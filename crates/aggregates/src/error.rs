@@ -1,0 +1,94 @@
+//! Error type of the aggregate layer.
+
+use dwc_relalg::{Attr, RelName, RelalgError};
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T, E = AggError> = std::result::Result<T, E>;
+
+/// Errors raised by summary-table specification and maintenance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AggError {
+    /// Substrate error.
+    Relalg(RelalgError),
+    /// Warehouse-layer error (when driving the aggregating integrator).
+    Warehouse(dwc_warehouse::WarehouseError),
+    /// An aggregate input attribute is missing from the source header.
+    UnknownInput { source: RelName, attr: Attr },
+    /// An output column collides with a group-by attribute or another
+    /// output column.
+    ColumnCollision(Attr),
+    /// The group-by attributes are not a subset of the source header.
+    BadGroupBy { source: RelName },
+    /// `SUM` encountered a non-integer value at runtime.
+    NonNumeric { attr: Attr },
+    /// Internal invariant: a deletion arrived for a value the group never
+    /// contained (deltas must be net deltas of the source relation).
+    PhantomDeletion { summary: RelName },
+    /// A summary references a relation the warehouse does not store.
+    UnknownSource(RelName),
+}
+
+impl fmt::Display for AggError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggError::Relalg(e) => write!(f, "{e}"),
+            AggError::Warehouse(e) => write!(f, "{e}"),
+            AggError::UnknownInput { source, attr } => {
+                write!(f, "aggregate input `{attr}` is not an attribute of `{source}`")
+            }
+            AggError::ColumnCollision(a) => {
+                write!(f, "summary column `{a}` collides with another column")
+            }
+            AggError::BadGroupBy { source } => {
+                write!(f, "group-by attributes are not within attr({source})")
+            }
+            AggError::NonNumeric { attr } => {
+                write!(f, "SUM over non-integer values in `{attr}`")
+            }
+            AggError::PhantomDeletion { summary } => {
+                write!(f, "summary `{summary}` received a deletion it never saw inserted")
+            }
+            AggError::UnknownSource(r) => {
+                write!(f, "summary source `{r}` is not a stored warehouse relation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AggError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AggError::Relalg(e) => Some(e),
+            AggError::Warehouse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelalgError> for AggError {
+    fn from(e: RelalgError) -> Self {
+        AggError::Relalg(e)
+    }
+}
+
+impl From<dwc_warehouse::WarehouseError> for AggError {
+    fn from(e: dwc_warehouse::WarehouseError) -> Self {
+        AggError::Warehouse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        let e = AggError::NonNumeric { attr: Attr::new("price") };
+        assert!(e.to_string().contains("price"));
+        assert!(e.source().is_none());
+        let e: AggError = RelalgError::UnknownRelation(RelName::new("X")).into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,66 @@
+//! Aggregate functions.
+
+use dwc_relalg::Attr;
+use std::fmt;
+
+/// An aggregate function over the tuples of one group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Number of tuples in the group.
+    Count,
+    /// Sum of an integer attribute.
+    Sum(Attr),
+    /// Arithmetic mean of an integer attribute (rendered as a double).
+    Avg(Attr),
+    /// Minimum of an attribute (any value type; the total [`dwc_relalg::Value`] order).
+    Min(Attr),
+    /// Maximum of an attribute.
+    Max(Attr),
+}
+
+impl AggFunc {
+    /// The input attribute, if the function has one.
+    pub fn input(&self) -> Option<Attr> {
+        match self {
+            AggFunc::Count => None,
+            AggFunc::Sum(a) | AggFunc::Avg(a) | AggFunc::Min(a) | AggFunc::Max(a) => Some(*a),
+        }
+    }
+
+    /// True for the order-statistics functions, which need a per-group
+    /// value multiset to survive deletions incrementally.
+    pub fn needs_multiset(&self) -> bool {
+        matches!(self, AggFunc::Min(_) | AggFunc::Max(_))
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggFunc::Count => write!(f, "count(*)"),
+            AggFunc::Sum(a) => write!(f, "sum({a})"),
+            AggFunc::Avg(a) => write!(f, "avg({a})"),
+            AggFunc::Min(a) => write!(f, "min({a})"),
+            AggFunc::Max(a) => write!(f, "max({a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_display() {
+        assert_eq!(AggFunc::Count.input(), None);
+        assert_eq!(AggFunc::Sum(Attr::new("qty")).input(), Some(Attr::new("qty")));
+        assert!(!AggFunc::Count.needs_multiset());
+        assert!(!AggFunc::Sum(Attr::new("x")).needs_multiset());
+        assert!(!AggFunc::Avg(Attr::new("x")).needs_multiset());
+        assert_eq!(AggFunc::Avg(Attr::new("q")).to_string(), "avg(q)");
+        assert!(AggFunc::Min(Attr::new("x")).needs_multiset());
+        assert!(AggFunc::Max(Attr::new("x")).needs_multiset());
+        assert_eq!(AggFunc::Count.to_string(), "count(*)");
+        assert_eq!(AggFunc::Min(Attr::new("p")).to_string(), "min(p)");
+    }
+}

@@ -1,0 +1,276 @@
+//! The aggregating integrator: Figure 1's integrator plus summary tables.
+//!
+//! Wires the net fact-view deltas produced by the complement-based
+//! maintenance plans into the summary-delta maintenance of
+//! [`SummaryState`]. The full chain stays source-free:
+//!
+//! ```text
+//! source deltas ──▶ maintenance plans ──▶ fact-view deltas ──▶ summaries
+//! ```
+
+use crate::error::{AggError, Result};
+use crate::spec::SummarySpec;
+use crate::state::SummaryState;
+use dwc_relalg::{RaExpr, RelName, Relation, Update};
+use dwc_warehouse::integrator::{Integrator, SourceSite};
+use std::collections::BTreeMap;
+
+/// An integrator that additionally maintains summary tables over stored
+/// warehouse relations.
+#[derive(Clone, Debug)]
+pub struct AggregatingIntegrator {
+    inner: Integrator,
+    summaries: BTreeMap<RelName, SummaryState>,
+}
+
+impl AggregatingIntegrator {
+    /// Wraps an already-loaded integrator and initializes the summaries
+    /// from its current state.
+    pub fn new(inner: Integrator, specs: Vec<SummarySpec>) -> Result<AggregatingIntegrator> {
+        let mut summaries = BTreeMap::new();
+        for spec in specs {
+            let source = inner
+                .state()
+                .relation(spec.source())
+                .map_err(|_| AggError::UnknownSource(spec.source()))?;
+            let name = spec.name();
+            if summaries.contains_key(&name) || inner.state().contains(name) {
+                return Err(AggError::ColumnCollision(dwc_relalg::Attr::new(
+                    name.as_str(),
+                )));
+            }
+            summaries.insert(name, SummaryState::init(spec, source)?);
+        }
+        Ok(AggregatingIntegrator { inner, summaries })
+    }
+
+    /// Convenience: initial load + summaries in one step.
+    pub fn initial_load(
+        aug: dwc_warehouse::AugmentedWarehouse,
+        site: &SourceSite,
+        specs: Vec<SummarySpec>,
+    ) -> Result<AggregatingIntegrator> {
+        let inner = Integrator::initial_load(aug, site)?;
+        AggregatingIntegrator::new(inner, specs)
+    }
+
+    /// The wrapped integrator.
+    pub fn integrator(&self) -> &Integrator {
+        &self.inner
+    }
+
+    /// Processes a source delta report: maintains the warehouse, then
+    /// cascades the net fact-view deltas into every affected summary.
+    pub fn on_report(&mut self, report: &Update) -> Result<()> {
+        let stored_deltas = self.inner.on_report_detailed(report)?;
+        for d in &stored_deltas {
+            for state in self.summaries.values_mut() {
+                if state.spec().source() == d.name {
+                    state.apply_delta(&d.inserted, &d.deleted)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The current contents of a summary table.
+    pub fn summary(&self, name: RelName) -> Option<Relation> {
+        self.summaries.get(&name).map(SummaryState::relation)
+    }
+
+    /// Iterates the summary states.
+    pub fn summaries(&self) -> impl Iterator<Item = &SummaryState> + '_ {
+        self.summaries.values()
+    }
+
+    /// Answers a source query at the warehouse (pass-through).
+    pub fn answer(&mut self, q: &RaExpr) -> Result<Relation> {
+        Ok(self.inner.answer(q)?)
+    }
+
+    /// Oracle: recompute every summary from the current warehouse state
+    /// and compare (used by tests and the experiments).
+    pub fn verify_summaries(&self) -> Result<std::result::Result<(), RelName>> {
+        for (name, state) in &self.summaries {
+            let source = self
+                .inner
+                .state()
+                .relation(state.spec().source())
+                .map_err(AggError::from)?;
+            let expected = SummaryState::materialize(state.spec(), source)?;
+            if state.relation() != expected {
+                return Ok(Err(*name));
+            }
+        }
+        Ok(Ok(()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::AggFunc;
+    use dwc_relalg::{rel, Attr, Catalog, DbState};
+    use dwc_warehouse::WarehouseSpec;
+
+    fn setup() -> (SourceSite, AggregatingIntegrator) {
+        let mut c = Catalog::new();
+        c.add_schema("Sale", &["item", "clerk", "amount"]).unwrap();
+        c.add_schema_with_key("Emp", &["clerk", "age"], &["clerk"]).unwrap();
+        let spec = WarehouseSpec::parse(c.clone(), &[("Sold", "Sale join Emp")]).unwrap();
+        let aug = spec.augment().unwrap();
+
+        let mut db = DbState::new();
+        db.insert_relation(
+            "Sale",
+            rel! { ["item", "clerk", "amount"] =>
+                ("TV", "Mary", 3), ("VCR", "Mary", 5), ("PC", "John", 7) },
+        );
+        db.insert_relation(
+            "Emp",
+            rel! { ["clerk", "age"] => ("Mary", 23), ("John", 25), ("Paula", 32) },
+        );
+        let site = SourceSite::new(c, db).unwrap();
+
+        let sold_header =
+            dwc_relalg::AttrSet::from_names(&["item", "clerk", "amount", "age"]);
+        let by_clerk = SummarySpec::new(
+            "SalesByClerk",
+            "Sold",
+            &sold_header,
+            &["clerk"],
+            vec![
+                ("n", AggFunc::Count),
+                ("total", AggFunc::Sum(Attr::new("amount"))),
+                ("biggest", AggFunc::Max(Attr::new("amount"))),
+            ],
+        )
+        .unwrap();
+        let agg = AggregatingIntegrator::initial_load(aug, &site, vec![by_clerk]).unwrap();
+        (site, agg)
+    }
+
+    #[test]
+    fn initial_summary_contents() {
+        let (_, agg) = setup();
+        let s = agg.summary(RelName::new("SalesByClerk")).unwrap();
+        assert_eq!(
+            s,
+            rel! { ["clerk", "biggest", "n", "total"] =>
+                ("Mary", 5, 2, 8), ("John", 7, 1, 7) }
+        );
+        assert_eq!(agg.verify_summaries().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn cascaded_maintenance_stays_source_free_and_exact() {
+        let (mut site, mut agg) = setup();
+        site.reset_stats();
+
+        // A new sale by Paula: enters Sold via the complement machinery,
+        // then cascades into the summary.
+        let report = site
+            .apply_update(&Update::inserting(
+                "Sale",
+                rel! { ["item", "clerk", "amount"] => ("Mac", "Paula", 9) },
+            ))
+            .unwrap();
+        agg.on_report(&report).unwrap();
+        assert_eq!(site.stats().queries, 0);
+        let s = agg.summary(RelName::new("SalesByClerk")).unwrap();
+        assert!(s.contains(
+            &rel! { ["clerk", "biggest", "n", "total"] => ("Paula", 9, 1, 9) }
+                .iter()
+                .next()
+                .unwrap()
+                .clone()
+        ));
+        assert_eq!(agg.verify_summaries().unwrap(), Ok(()));
+
+        // Deleting Mary's biggest sale must move MAX down.
+        let report = site
+            .apply_update(&Update::deleting(
+                "Sale",
+                rel! { ["item", "clerk", "amount"] => ("VCR", "Mary", 5) },
+            ))
+            .unwrap();
+        agg.on_report(&report).unwrap();
+        let s = agg.summary(RelName::new("SalesByClerk")).unwrap();
+        assert!(s.contains(
+            &rel! { ["clerk", "biggest", "n", "total"] => ("Mary", 3, 1, 3) }
+                .iter()
+                .next()
+                .unwrap()
+                .clone()
+        ));
+        assert_eq!(site.stats().queries, 0);
+        assert_eq!(agg.verify_summaries().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn deleting_an_employee_kills_the_group() {
+        let (mut site, mut agg) = setup();
+        // Remove John from Emp: his Sold tuples vanish, group dies.
+        let report = site
+            .apply_update(&Update::deleting(
+                "Emp",
+                rel! { ["clerk", "age"] => ("John", 25) },
+            ))
+            .unwrap();
+        agg.on_report(&report).unwrap();
+        let s = agg.summary(RelName::new("SalesByClerk")).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(agg.verify_summaries().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn unknown_source_rejected() {
+        let (site, agg) = setup();
+        let spec = SummarySpec::new(
+            "Bad",
+            "Ghost",
+            &dwc_relalg::AttrSet::from_names(&["x"]),
+            &[],
+            vec![("n", AggFunc::Count)],
+        )
+        .unwrap();
+        let err =
+            AggregatingIntegrator::new(agg.integrator().clone(), vec![spec]).unwrap_err();
+        assert!(matches!(err, AggError::UnknownSource(_)));
+        drop(site);
+    }
+
+    #[test]
+    fn long_stream_stays_exact() {
+        let (mut site, mut agg) = setup();
+        let mut rng = dwc_relalg::gen::SplitMix64::new(5);
+        let clerks = ["Mary", "John", "Paula"];
+        for i in 0..60u64 {
+            let report = if rng.chance(1, 3) {
+                // delete an arbitrary sale if any
+                let sale =
+                    site.oracle_state().relation(RelName::new("Sale")).unwrap().clone();
+                let victim = sale.iter().next().cloned();
+                match victim {
+                    Some(victim) => {
+                        let mut d = Relation::empty(sale.attrs().clone());
+                        d.insert(victim).unwrap();
+                        site.apply_update(&Update::deleting("Sale", d)).unwrap()
+                    }
+                    None => continue,
+                }
+            } else {
+                site.apply_update(&Update::inserting(
+                    "Sale",
+                    rel! { ["item", "clerk", "amount"] =>
+                        (format!("item{i}").as_str(),
+                         clerks[rng.index(3)],
+                         (1 + rng.below(10)) as i64) },
+                ))
+                .unwrap()
+            };
+            agg.on_report(&report).unwrap();
+            assert_eq!(agg.verify_summaries().unwrap(), Ok(()), "diverged at step {i}");
+        }
+    }
+}

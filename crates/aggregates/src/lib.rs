@@ -1,0 +1,62 @@
+//! # dwc-aggregates — summary tables over warehouse fact views
+//!
+//! Section 5 of *Complements for Data Warehouses* splits the OLAP layer
+//! in two: the PSJ **fact views** carry the complement machinery (and are
+//! maintained source-free, `dwc-warehouse`), while **materialized
+//! aggregate queries** over them are maintained by dedicated summary-table
+//! algorithms (the paper points at Griffin/Libkin [8], Gupta et al. [12]
+//! and Mumick/Quass/Mumick's summary-delta method [17]).
+//!
+//! This crate supplies that second layer:
+//!
+//! * [`func`] — the aggregate functions (`COUNT`, `SUM`, `MIN`, `MAX`),
+//! * [`spec`] — summary-table specifications: group-by attributes plus
+//!   aggregate columns over one stored warehouse relation,
+//! * [`state`] — materialized summary state with per-group auxiliary
+//!   structure (counts, sums, order-statistics multisets) making *all*
+//!   maintenance — including `MIN`/`MAX` under deletions — proportional
+//!   to the delta,
+//! * [`layer`] — [`AggregatingIntegrator`](layer::AggregatingIntegrator):
+//!   the Figure 1 integrator extended with summary tables, fed by the
+//!   net per-view deltas the maintenance plans already compute.
+//!
+//! The chain is therefore: source deltas → (complement-based plans) →
+//! fact-view deltas → (summary-delta maintenance) → summary tables; no
+//! step queries the sources.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dwc_aggregates::{AggFunc, SummarySpec, SummaryState};
+//! use dwc_relalg::{rel, Attr, AttrSet, Relation};
+//!
+//! let header = AttrSet::from_names(&["brand", "price"]);
+//! let spec = SummarySpec::new(
+//!     "ByBrand", "Fact", &header, &["brand"],
+//!     vec![("n", AggFunc::Count), ("cheapest", AggFunc::Min(Attr::new("price")))],
+//! )?;
+//!
+//! let fact = rel! { ["brand", "price"] => ("A", 30), ("A", 10), ("B", 50) };
+//! let mut summary = SummaryState::init(spec, &fact)?;
+//! assert_eq!(summary.relation(),
+//!     rel! { ["brand", "cheapest", "n"] => ("A", 10, 2), ("B", 50, 1) });
+//!
+//! // Deleting the current minimum costs O(log n), not a rescan.
+//! let del = rel! { ["brand", "price"] => ("A", 10) };
+//! summary.apply_delta(&Relation::empty(fact.attrs().clone()), &del)?;
+//! assert_eq!(summary.relation(),
+//!     rel! { ["brand", "cheapest", "n"] => ("A", 30, 1), ("B", 50, 1) });
+//! # Ok::<(), dwc_aggregates::AggError>(())
+//! ```
+
+pub mod error;
+pub mod func;
+pub mod layer;
+pub mod spec;
+pub mod state;
+
+pub use error::{AggError, Result};
+pub use func::AggFunc;
+pub use layer::AggregatingIntegrator;
+pub use spec::SummarySpec;
+pub use state::SummaryState;

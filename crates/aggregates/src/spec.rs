@@ -1,0 +1,161 @@
+//! Summary-table specifications.
+//!
+//! A summary table is `SELECT group_by, agg₁, …, aggₙ FROM source GROUP BY
+//! group_by` over one stored warehouse relation (typically a fact view).
+//! The header of the summary relation is `group_by ∪ {output columns}`.
+
+use crate::error::{AggError, Result};
+use crate::func::AggFunc;
+use dwc_relalg::{Attr, AttrSet, RelName};
+
+/// A summary-table specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SummarySpec {
+    name: RelName,
+    source: RelName,
+    group_by: AttrSet,
+    columns: Vec<(Attr, AggFunc)>,
+}
+
+impl SummarySpec {
+    /// Builds and validates a specification against the source header.
+    pub fn new(
+        name: impl Into<RelName>,
+        source: impl Into<RelName>,
+        source_header: &AttrSet,
+        group_by: &[&str],
+        columns: Vec<(&str, AggFunc)>,
+    ) -> Result<SummarySpec> {
+        let source = source.into();
+        let group_by = AttrSet::from_names(group_by);
+        if !group_by.is_subset(source_header) {
+            return Err(AggError::BadGroupBy { source });
+        }
+        let mut out_cols: Vec<(Attr, AggFunc)> = Vec::with_capacity(columns.len());
+        let mut seen = group_by.clone();
+        for (out, func) in columns {
+            let out = Attr::new(out);
+            if seen.contains(out) {
+                return Err(AggError::ColumnCollision(out));
+            }
+            seen = seen.with(out);
+            if let Some(input) = func.input() {
+                if !source_header.contains(input) {
+                    return Err(AggError::UnknownInput { source, attr: input });
+                }
+            }
+            out_cols.push((out, func));
+        }
+        Ok(SummarySpec {
+            name: name.into(),
+            source,
+            group_by,
+            columns: out_cols,
+        })
+    }
+
+    /// The summary table's name.
+    pub fn name(&self) -> RelName {
+        self.name
+    }
+
+    /// The stored warehouse relation the summary aggregates.
+    pub fn source(&self) -> RelName {
+        self.source
+    }
+
+    /// The grouping attributes.
+    pub fn group_by(&self) -> &AttrSet {
+        &self.group_by
+    }
+
+    /// The output columns `(name, function)` in declaration order.
+    pub fn columns(&self) -> &[(Attr, AggFunc)] {
+        &self.columns
+    }
+
+    /// The summary relation's header.
+    pub fn header(&self) -> AttrSet {
+        self.columns
+            .iter()
+            .fold(self.group_by.clone(), |acc, (a, _)| acc.with(*a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> AttrSet {
+        AttrSet::from_names(&["brand", "partkey", "price", "qty"])
+    }
+
+    #[test]
+    fn valid_spec() {
+        let s = SummarySpec::new(
+            "SalesByBrand",
+            "FactSales",
+            &header(),
+            &["brand"],
+            vec![
+                ("n", AggFunc::Count),
+                ("total_qty", AggFunc::Sum(Attr::new("qty"))),
+                ("min_price", AggFunc::Min(Attr::new("price"))),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.name(), RelName::new("SalesByBrand"));
+        assert_eq!(s.source(), RelName::new("FactSales"));
+        assert_eq!(
+            s.header(),
+            AttrSet::from_names(&["brand", "n", "total_qty", "min_price"])
+        );
+        assert_eq!(s.columns().len(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_group_by() {
+        let err = SummarySpec::new("S", "F", &header(), &["ghost"], vec![("n", AggFunc::Count)])
+            .unwrap_err();
+        assert!(matches!(err, AggError::BadGroupBy { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_input() {
+        let err = SummarySpec::new(
+            "S",
+            "F",
+            &header(),
+            &["brand"],
+            vec![("t", AggFunc::Sum(Attr::new("ghost")))],
+        )
+        .unwrap_err();
+        assert!(matches!(err, AggError::UnknownInput { .. }));
+    }
+
+    #[test]
+    fn rejects_column_collisions() {
+        // output colliding with group-by
+        let err = SummarySpec::new("S", "F", &header(), &["brand"], vec![("brand", AggFunc::Count)])
+            .unwrap_err();
+        assert!(matches!(err, AggError::ColumnCollision(_)));
+        // duplicate outputs
+        let err = SummarySpec::new(
+            "S",
+            "F",
+            &header(),
+            &["brand"],
+            vec![("n", AggFunc::Count), ("n", AggFunc::Sum(Attr::new("qty")))],
+        )
+        .unwrap_err();
+        assert!(matches!(err, AggError::ColumnCollision(_)));
+    }
+
+    #[test]
+    fn empty_group_by_is_a_grand_total() {
+        let s = SummarySpec::new("Total", "F", &header(), &[], vec![("n", AggFunc::Count)])
+            .unwrap();
+        assert!(s.group_by().is_empty());
+        assert_eq!(s.header(), AttrSet::from_names(&["n"]));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests: incremental summary maintenance equals recomputation
+//! for arbitrary specs, sources and net delta streams.
+
+use dwc_aggregates::{AggFunc, SummarySpec, SummaryState};
+use dwc_relalg::{Attr, AttrSet, Relation, Tuple, Value};
+use proptest::prelude::*;
+
+const ATTRS: [&str; 3] = ["g", "h", "v"];
+
+fn header() -> AttrSet {
+    AttrSet::from_names(&ATTRS)
+}
+
+fn relation_from(rows: &[(i64, i64, i64)]) -> Relation {
+    let mut r = Relation::empty(header());
+    for &(g, h, v) in rows {
+        r.insert(Tuple::new(vec![Value::int(g), Value::int(h), Value::int(v)]))
+            .expect("arity");
+    }
+    r
+}
+
+fn arb_rows(max: usize) -> impl Strategy<Value = Vec<(i64, i64, i64)>> {
+    proptest::collection::vec((0i64..4, 0i64..4, -5i64..10), 0..max)
+}
+
+/// A random spec: group by a subset of {g, h}, aggregate v (and count).
+fn arb_spec() -> impl Strategy<Value = SummarySpec> {
+    (0u8..4, proptest::bool::ANY, proptest::bool::ANY, proptest::bool::ANY).prop_map(
+        |(group_sel, with_sum, with_min, with_max)| {
+            let group: Vec<&str> = match group_sel {
+                0 => vec![],
+                1 => vec!["g"],
+                2 => vec!["h"],
+                _ => vec!["g", "h"],
+            };
+            let mut cols: Vec<(&str, AggFunc)> = vec![("n", AggFunc::Count)];
+            if with_sum {
+                cols.push(("s", AggFunc::Sum(Attr::new("v"))));
+            }
+            if with_min {
+                cols.push(("lo", AggFunc::Min(Attr::new("v"))));
+            }
+            if with_max {
+                cols.push(("hi", AggFunc::Max(Attr::new("v"))));
+            }
+            SummarySpec::new("S", "F", &header(), &group, cols).expect("valid spec")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// init(source).relation() == materialize(source).
+    #[test]
+    fn init_equals_materialize(spec in arb_spec(), rows in arb_rows(30)) {
+        let source = relation_from(&rows);
+        let state = SummaryState::init(spec.clone(), &source).expect("initializes");
+        prop_assert_eq!(
+            state.relation(),
+            SummaryState::materialize(&spec, &source).expect("materializes")
+        );
+    }
+
+    /// A stream of random net deltas keeps the incremental state equal to
+    /// recomputation at every step.
+    #[test]
+    fn stream_of_net_deltas_stays_exact(
+        spec in arb_spec(),
+        initial in arb_rows(20),
+        steps in proptest::collection::vec((arb_rows(5), proptest::collection::vec(any::<prop::sample::Index>(), 0..4)), 1..8),
+    ) {
+        let mut source = relation_from(&initial);
+        let mut state = SummaryState::init(spec.clone(), &source).expect("initializes");
+        for (ins_rows, del_picks) in steps {
+            // net insertions: rows not already present
+            let ins = relation_from(&ins_rows)
+                .difference(&source)
+                .expect("same header");
+            // net deletions: picked from the current source
+            let current: Vec<Tuple> = source.iter().cloned().collect();
+            let mut del = Relation::empty(header());
+            for pick in &del_picks {
+                if !current.is_empty() {
+                    del.insert(pick.get(&current).clone()).expect("arity");
+                }
+            }
+            // a tuple cannot be deleted and inserted in the same net delta
+            let ins = ins.difference(&del).expect("same header");
+            state.apply_delta(&ins, &del).expect("maintains");
+            source = source.difference(&del).expect("ok").union(&ins).expect("ok");
+            prop_assert_eq!(
+                state.relation(),
+                SummaryState::materialize(&spec, &source).expect("materializes")
+            );
+        }
+    }
+
+    /// Deleting everything empties the summary; re-inserting restores it.
+    #[test]
+    fn drain_and_refill(spec in arb_spec(), rows in arb_rows(20)) {
+        let source = relation_from(&rows);
+        let mut state = SummaryState::init(spec.clone(), &source).expect("initializes");
+        let empty = Relation::empty(header());
+        state.apply_delta(&empty, &source).expect("drains");
+        prop_assert_eq!(state.group_count(), 0);
+        prop_assert!(state.relation().is_empty());
+        state.apply_delta(&source, &empty).expect("refills");
+        prop_assert_eq!(
+            state.relation(),
+            SummaryState::materialize(&spec, &source).expect("materializes")
+        );
+    }
+}

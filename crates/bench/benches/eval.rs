@@ -1,0 +1,53 @@
+//! Substrate micro-benchmarks: the relational operators underlying every
+//! experiment. Not tied to a paper artifact; these numbers calibrate the
+//! engine so the experiment-level comparisons are interpretable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dwc_relalg::{DbState, RaExpr, Relation, Tuple, Value};
+use std::hint::black_box;
+
+fn two_table_state(n: usize) -> DbState {
+    let mut rng = dwc_relalg::gen::SplitMix64::new(7);
+    let mut db = DbState::new();
+    let mut r = Relation::empty(dwc_relalg::AttrSet::from_names(&["a", "k"]));
+    let mut s = Relation::empty(dwc_relalg::AttrSet::from_names(&["b", "k"]));
+    for i in 0..n {
+        r.insert(Tuple::new(vec![
+            Value::int(i as i64),
+            Value::int(rng.below(n as u64 / 2 + 1) as i64),
+        ]))
+        .expect("arity");
+        s.insert(Tuple::new(vec![
+            Value::int(i as i64),
+            Value::int(rng.below(n as u64 / 2 + 1) as i64),
+        ]))
+        .expect("arity");
+    }
+    db.insert_relation("R", r);
+    db.insert_relation("S", s);
+    db
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval");
+    for &n in &[1_000usize, 10_000] {
+        let db = two_table_state(n);
+        let cases = [
+            ("hash-join", "R join S"),
+            ("select", "sigma[a >= 10 and k < 100](R)"),
+            ("project", "pi[k](R)"),
+            ("union", "pi[k](R) union pi[k](S)"),
+            ("difference", "pi[k](R) minus pi[k](S)"),
+        ];
+        for (name, text) in cases {
+            let e = RaExpr::parse(text).expect("static query");
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| black_box(e.eval(&db).expect("evaluates")));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

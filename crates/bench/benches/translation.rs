@@ -1,0 +1,43 @@
+//! E2 timing backbone: query translation overhead (Theorem 3.1).
+//! Compares answering at the source, translating + answering at the
+//! warehouse, and the translation step alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dwc_bench::experiments::{fig1_catalog, fig1_state};
+use dwc_relalg::RaExpr;
+use dwc_warehouse::WarehouseSpec;
+use std::hint::black_box;
+
+fn bench_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translation");
+    let n = 10_000;
+    let catalog = fig1_catalog(false);
+    let db = fig1_state(n, n / 4, false, 7);
+    let spec =
+        WarehouseSpec::parse(catalog, &[("Sold", "Sale join Emp")]).expect("static spec");
+    let aug = spec.augment().expect("complement exists");
+    let w = aug.materialize(&db).expect("materializes");
+
+    let queries = [
+        ("union", "pi[clerk](Sale) union pi[clerk](Emp)"),
+        ("join", "pi[age](sigma[item = 'item7'](Sale) join Emp)"),
+        ("antijoin", "pi[clerk](Emp) minus pi[clerk](Sale)"),
+    ];
+    for (name, text) in queries {
+        let q = RaExpr::parse(text).expect("static query");
+        let translated = aug.translate_query(&q).expect("translates");
+        group.bench_with_input(BenchmarkId::new("at-source", name), &n, |b, _| {
+            b.iter(|| black_box(q.eval(&db).expect("evaluates")));
+        });
+        group.bench_with_input(BenchmarkId::new("at-warehouse", name), &n, |b, _| {
+            b.iter(|| black_box(translated.eval(&w).expect("evaluates")));
+        });
+        group.bench_with_input(BenchmarkId::new("translate-only", name), &n, |b, _| {
+            b.iter(|| black_box(aug.translate_query(&q).expect("translates")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_translation);
+criterion_main!(benches);

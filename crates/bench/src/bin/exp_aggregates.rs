@@ -1,0 +1,8 @@
+//! Prints the aggregates experiment tables (pass `--quick` for the smoke configuration).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for table in dwc_bench::experiments::aggregates::run(quick) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,9 @@
+//! Prints every experiment table in DESIGN.md order (pass `--quick` for
+//! the smoke configuration used by the test suite).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for table in dwc_bench::experiments::run_all(quick) {
+        println!("{table}");
+    }
+}

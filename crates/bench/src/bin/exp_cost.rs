@@ -1,0 +1,8 @@
+//! Prints the cost experiment tables (pass `--quick` for the smoke configuration).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for table in dwc_bench::experiments::cost::run(quick) {
+        println!("{table}");
+    }
+}

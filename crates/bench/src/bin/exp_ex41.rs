@@ -1,0 +1,8 @@
+//! Prints the ex41 experiment tables (pass `--quick` for the smoke configuration).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for table in dwc_bench::experiments::ex41::run(quick) {
+        println!("{table}");
+    }
+}

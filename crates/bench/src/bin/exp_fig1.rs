@@ -1,0 +1,8 @@
+//! Prints the fig1 experiment tables (pass `--quick` for the smoke configuration).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for table in dwc_bench::experiments::fig1::run(quick) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Prints the fig2_query experiment tables (pass `--quick` for the smoke configuration).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for table in dwc_bench::experiments::fig2_query::run(quick) {
+        println!("{table}");
+    }
+}

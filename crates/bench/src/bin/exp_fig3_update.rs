@@ -1,0 +1,8 @@
+//! Prints the fig3_update experiment tables (pass `--quick` for the smoke configuration).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for table in dwc_bench::experiments::fig3_update::run(quick) {
+        println!("{table}");
+    }
+}

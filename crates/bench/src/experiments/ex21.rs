@@ -1,0 +1,162 @@
+//! E4 — Example 2.1 / Theorem 2.1: SJ views and complement sharing.
+//!
+//! `D = {R(X,Y), S(Y,Z), T(Z)}`, `V1 = R ⋈ S ⋈ T`. The paper computes
+//! `C = {C_R, C_S, C_T}` with `C_X = X ∖ π(V1)` and observes:
+//!
+//! 1. `C` is strictly smaller than the trivial complement (copy `D`),
+//! 2. adding `V2 = S` to the warehouse makes `C'_S` *always empty* —
+//!    multi-view sharing shrinks the complement (the [14] observation),
+//! 3. for SJ views the Proposition 2.2 complement is minimal
+//!    (Theorem 2.1).
+//!
+//! The experiment scales the chain and reports complement sizes and the
+//! information-content comparisons.
+
+use crate::report::{Cell, Table};
+use dwc_core::basic;
+use dwc_core::minimality::compare_complements;
+use dwc_core::psj::{NamedView, PsjView};
+use dwc_core::{Complement, ComplementEntry};
+use dwc_relalg::{Catalog, DbState, RaExpr, Relation, RelName, Tuple, Value};
+
+fn chain_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_schema("R", &["X", "Y"]).expect("static schema");
+    c.add_schema("S", &["Y", "Z"]).expect("static schema");
+    c.add_schema("T", &["Z"]).expect("static schema");
+    c
+}
+
+/// A chain instance where roughly `selectivity`⁻¹ of the tuples survive
+/// the 3-way join.
+fn chain_state(n: usize, seed: u64) -> DbState {
+    let mut rng = dwc_relalg::gen::SplitMix64::new(seed);
+    let domain = (n as u64).max(4);
+    let mut db = DbState::new();
+    let mut r = Relation::empty(dwc_relalg::AttrSet::from_names(&["X", "Y"]));
+    let mut s = Relation::empty(dwc_relalg::AttrSet::from_names(&["Y", "Z"]));
+    let mut t = Relation::empty(dwc_relalg::AttrSet::from_names(&["Z"]));
+    for i in 0..n {
+        r.insert(Tuple::new(vec![
+            Value::int(i as i64),
+            Value::int(rng.below(domain) as i64),
+        ]))
+        .expect("arity");
+        s.insert(Tuple::new(vec![
+            Value::int(rng.below(domain) as i64),
+            Value::int(rng.below(domain) as i64),
+        ]))
+        .expect("arity");
+        // T keeps only half the Z domain: many chains die at T.
+        if rng.chance(1, 2) {
+            t.insert(Tuple::new(vec![Value::int(rng.below(domain) as i64)]))
+                .expect("arity");
+        }
+    }
+    db.insert_relation("R", r);
+    db.insert_relation("S", s);
+    db.insert_relation("T", t);
+    db
+}
+
+fn trivial_complement(catalog: &Catalog) -> Complement {
+    let entries: Vec<ComplementEntry> = catalog
+        .schemas()
+        .map(|s| ComplementEntry {
+            base: s.name(),
+            name: RelName::new(&format!("Copy_{}", s.name())),
+            definition: RaExpr::Base(s.name()),
+        })
+        .collect();
+    let inverse = entries
+        .iter()
+        .map(|e| (e.base, RaExpr::Base(e.name)))
+        .collect();
+    Complement::new(entries, inverse)
+}
+
+/// Runs E4.
+pub fn run(quick: bool) -> Vec<Table> {
+    let sizes: &[usize] = if quick { &[64] } else { &[64, 512, 4_096, 16_384] };
+    let catalog = chain_catalog();
+    let v1 = NamedView::new("V1", PsjView::join_of(&catalog, &["R", "S", "T"]).expect("static"));
+    let v2 = NamedView::new("V2", PsjView::of_base(&catalog, "S").expect("static"));
+    let single = vec![v1.clone()];
+    let multi = vec![v1, v2];
+
+    assert!(basic::theorem_21_applies(&catalog, &single));
+    assert!(basic::theorem_21_applies(&catalog, &multi));
+
+    let comp_single = basic::complement_of(&catalog, &single).expect("complement");
+    let comp_multi = basic::complement_of(&catalog, &multi).expect("complement");
+
+    let mut t = Table::new(
+        "E4 (Ex 2.1 / Thm 2.1): complement sizes for chain join R x S x T",
+        &["n", "warehouse", "|C_R|", "|C_S|", "|C_T|", "total", "trivial (copy D)"],
+    );
+
+    let mut states = Vec::new();
+    for &n in sizes {
+        let db = chain_state(n, 1234 + n as u64);
+        let m1 = comp_single.materialize(&db).expect("materializes");
+        let m2 = comp_multi.materialize(&db).expect("materializes");
+        let size = |m: &DbState, rel: &str| -> usize {
+            m.iter()
+                .find(|(name, _)| name.as_str().ends_with(rel))
+                .map(|(_, r)| r.len())
+                .unwrap_or(0)
+        };
+        t.row(vec![
+            Cell::from(n),
+            Cell::from("{V1}"),
+            Cell::from(size(&m1, "C_R")),
+            Cell::from(size(&m1, "C_S")),
+            Cell::from(size(&m1, "C_T")),
+            Cell::from(m1.total_tuples()),
+            Cell::from(db.total_tuples()),
+        ]);
+        t.row(vec![
+            Cell::from(n),
+            Cell::from("{V1, V2=S}"),
+            Cell::from(size(&m2, "C_R")),
+            Cell::from(size(&m2, "C_S")),
+            Cell::from(size(&m2, "C_T")),
+            Cell::from(m2.total_tuples()),
+            Cell::from(db.total_tuples()),
+        ]);
+        states.push(db);
+    }
+
+    // Information-content comparisons on the generated states.
+    let vs_trivial = compare_complements(&comp_single, &trivial_complement(&catalog), &states)
+        .expect("comparable");
+    t.note(format!(
+        "C vs trivial copy-D complement (Def 2.1 ordering on sampled states): {vs_trivial:?}"
+    ));
+    let single_vs_multi =
+        compare_complements(&comp_multi, &comp_single, &states).expect("comparable");
+    t.note(format!(
+        "C' (with V2) vs C (V1 only): {single_vs_multi:?} — adding V2 empties C_S"
+    ));
+    t.note("paper claim: C'_S is ALWAYS empty; C < trivial; both minimal for SJ views (Thm 2.1)");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use dwc_core::ordering::ViewOrder;
+
+    #[test]
+    fn shapes_match_paper() {
+        let tables = super::run(true);
+        let t = &tables[0];
+        // Row 0: single-view warehouse; row 1: multi-view.
+        let cs = t.column("|C_S|");
+        assert!(cs[0].as_int().unwrap() > 0, "C_S should be non-empty for {{V1}}");
+        assert_eq!(cs[1].as_int(), Some(0), "C'_S must be empty for {{V1, V2}}");
+        // complement strictly below the trivial copy
+        assert!(t.notes[0].contains(&format!("{:?}", ViewOrder::Less)));
+        // C' strictly below C
+        assert!(t.notes[1].contains(&format!("{:?}", ViewOrder::Less)));
+    }
+}

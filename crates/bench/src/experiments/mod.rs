@@ -1,0 +1,131 @@
+//! The experiment suite (see DESIGN.md's per-experiment index).
+//!
+//! Every function takes a `quick` flag: `false` is the full sweep the
+//! binaries run, `true` is a seconds-scale smoke configuration used by
+//! the integration tests so the whole suite stays exercised under
+//! `cargo test`.
+
+pub mod ablation;
+pub mod aggregates;
+pub mod cost;
+pub mod ex21;
+pub mod ex22;
+pub mod ex23;
+pub mod ex24;
+pub mod ex41;
+pub mod fig1;
+pub mod fig2_query;
+pub mod fig3_update;
+pub mod sigma;
+pub mod star;
+pub mod unionfacts;
+
+use dwc_relalg::{Catalog, DbState, Relation, Tuple, Value};
+
+/// Builds the Figure 1 catalog (Sale(item, clerk), Emp(clerk*, age)),
+/// optionally with the Example 2.4 foreign key Sale.clerk → Emp.clerk.
+pub fn fig1_catalog(with_fk: bool) -> Catalog {
+    let mut c = Catalog::new();
+    c.add_schema("Sale", &["item", "clerk"]).expect("static schema");
+    c.add_schema_with_key("Emp", &["clerk", "age"], &["clerk"]).expect("static schema");
+    if with_fk {
+        c.add_foreign_key("Sale", "Emp", &["clerk"]).expect("static schema");
+    }
+    c
+}
+
+/// A scaled Figure 1 instance: `n_emps` clerks, `n_sales` sales. A tenth
+/// of the clerks sell nothing (so `C_Emp` is non-empty), and — unless
+/// `fk_safe` — a twentieth of the sales reference unknown clerks (so
+/// `C_Sale` is non-empty too).
+pub fn fig1_state(n_sales: usize, n_emps: usize, fk_safe: bool, seed: u64) -> DbState {
+    let mut rng = dwc_relalg::gen::SplitMix64::new(seed);
+    let mut db = DbState::new();
+
+    let emp_attrs = dwc_relalg::AttrSet::from_names(&["age", "clerk"]);
+    let mut emp = Relation::empty(emp_attrs);
+    for k in 0..n_emps {
+        // {age, clerk}
+        emp.insert(Tuple::new(vec![
+            Value::int(20 + rng.below(45) as i64),
+            Value::str(&format!("clerk{k}")),
+        ]))
+        .expect("arity");
+    }
+    // Clerks eligible to sell: all but the last tenth.
+    let selling = (n_emps - n_emps / 10).max(1);
+
+    let sale_attrs = dwc_relalg::AttrSet::from_names(&["clerk", "item"]);
+    let mut sale = Relation::empty(sale_attrs);
+    for i in 0..n_sales {
+        let clerk = if !fk_safe && rng.chance(1, 20) {
+            format!("ghost{}", rng.below(64))
+        } else {
+            format!("clerk{}", rng.index(selling))
+        };
+        // {clerk, item}
+        sale.insert(Tuple::new(vec![Value::str(&clerk), Value::str(&format!("item{i}"))]))
+            .expect("arity");
+    }
+    db.insert_relation("Emp", emp);
+    db.insert_relation("Sale", sale);
+    db
+}
+
+/// Runs every experiment and returns all tables (what `exp_all` prints).
+pub fn run_all(quick: bool) -> Vec<crate::report::Table> {
+    let mut out = Vec::new();
+    out.extend(fig1::run(quick));
+    out.extend(fig2_query::run(quick));
+    out.extend(fig3_update::run(quick));
+    out.extend(ex21::run(quick));
+    out.extend(ex22::run(quick));
+    out.extend(ex23::run(quick));
+    out.extend(ex24::run(quick));
+    out.extend(ex41::run(quick));
+    out.extend(sigma::run(quick));
+    out.extend(star::run(quick));
+    out.extend(cost::run(quick));
+    out.extend(aggregates::run(quick));
+    out.extend(unionfacts::run(quick));
+    out.extend(ablation::run(quick));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_state_scales_and_has_complement_material() {
+        let db = fig1_state(200, 50, false, 1);
+        let sale = db.relation(dwc_relalg::RelName::new("Sale")).unwrap();
+        let emp = db.relation(dwc_relalg::RelName::new("Emp")).unwrap();
+        assert_eq!(sale.len(), 200);
+        assert_eq!(emp.len(), 50);
+        // Key holds on Emp.
+        db.check_constraints(&fig1_catalog(false)).unwrap();
+        // Some clerks sell nothing.
+        let unsold = dwc_relalg::RaExpr::parse(
+            "pi[clerk](Emp) minus pi[clerk](Sale)",
+        )
+        .unwrap()
+        .eval(&db)
+        .unwrap();
+        assert!(!unsold.is_empty());
+        // Some sales have ghost clerks (no FK).
+        let ghosts = dwc_relalg::RaExpr::parse(
+            "pi[clerk](Sale) minus pi[clerk](Emp)",
+        )
+        .unwrap()
+        .eval(&db)
+        .unwrap();
+        assert!(!ghosts.is_empty());
+    }
+
+    #[test]
+    fn fk_safe_state_satisfies_fk() {
+        let db = fig1_state(100, 30, true, 2);
+        db.check_constraints(&fig1_catalog(true)).unwrap();
+    }
+}

@@ -1,0 +1,209 @@
+//! E9 — end of Section 4: σ-views sit strictly between the notions.
+//!
+//! A warehouse of selection views is update-independent with *no*
+//! complement (direct delta translation), yet not query-independent.
+//! The experiment maintains a σ-warehouse over a stream without any
+//! auxiliary data and exhibits the query-independence refutation
+//! witness, then shows the complement restoring query independence —
+//! quantifying the storage price of the stronger property.
+
+use crate::report::{Cell, Table};
+use dwc_relalg::{DbState, RaExpr, Relation, Tuple, Update, Value};
+use dwc_warehouse::independence::{refute_query_independence, SigmaWarehouse};
+use dwc_warehouse::WarehouseSpec;
+
+fn catalog() -> dwc_relalg::Catalog {
+    let mut c = dwc_relalg::Catalog::new();
+    c.add_schema("R", &["x", "y"]).expect("static schema");
+    c
+}
+
+fn state(n: usize, seed: u64) -> DbState {
+    let mut rng = dwc_relalg::gen::SplitMix64::new(seed);
+    let mut r = Relation::empty(dwc_relalg::AttrSet::from_names(&["x", "y"]));
+    for i in 0..n {
+        r.insert(Tuple::new(vec![
+            Value::int(rng.below(1000) as i64),
+            Value::int(i as i64),
+        ]))
+        .expect("arity");
+    }
+    let mut db = DbState::new();
+    db.insert_relation("R", r);
+    db
+}
+
+/// Runs E9.
+pub fn run(quick: bool) -> Vec<Table> {
+    let n = if quick { 200 } else { 10_000 };
+    let steps = if quick { 10 } else { 100 };
+    let spec = WarehouseSpec::parse(catalog(), &[("W", "sigma[x >= 500](R)")])
+        .expect("static spec");
+    let sw = SigmaWarehouse::new(spec.clone()).expect("sigma warehouse");
+
+    let mut db = state(n, 21);
+    let mut w = sw.materialize(&db).expect("materializes");
+    let mut rng = dwc_relalg::gen::SplitMix64::new(99);
+    let mut exact = true;
+    for i in 0..steps {
+        let mut rows = Relation::empty(dwc_relalg::AttrSet::from_names(&["x", "y"]));
+        rows.insert(Tuple::new(vec![
+            Value::int(rng.below(1000) as i64),
+            Value::int((n + i) as i64),
+        ]))
+        .expect("arity");
+        let u = if rng.chance(1, 3) {
+            // delete an arbitrary existing tuple instead
+            match db.relation(dwc_relalg::RelName::new("R")).expect("state").iter().next() {
+                Some(t) => {
+                    let mut del =
+                        Relation::empty(dwc_relalg::AttrSet::from_names(&["x", "y"]));
+                    del.insert(t.clone()).expect("arity");
+                    Update::deleting("R", del)
+                }
+                None => Update::inserting("R", rows),
+            }
+        } else {
+            Update::inserting("R", rows)
+        };
+        let u = u.normalize(&db).expect("consistent");
+        w = sw.maintain(&w, &u).expect("maintains");
+        db = u.apply(&db).expect("applies");
+        exact &= w == sw.materialize(&db).expect("materializes");
+    }
+
+    let mut t = Table::new(
+        format!("E9 (Sec 4 end): sigma-warehouse W = sigma[x >= 500](R), |R| = {n}, {steps} updates"),
+        &["property", "holds", "auxiliary tuples needed"],
+    );
+    t.row(vec![
+        Cell::from("update independence (no complement)"),
+        Cell::from(exact),
+        Cell::from(0usize),
+    ]);
+
+    // Query independence fails without a complement…
+    let q = RaExpr::parse("pi[y](sigma[x < 500](R))").expect("static query");
+    let d1 = state(50, 1);
+    let mut d2 = d1.clone();
+    {
+        // remove one tuple below the selection bound: same W-image
+        let r = d2.relation(dwc_relalg::RelName::new("R")).expect("state").clone();
+        let below = r.filter(|tup| tup.get(0).as_int().unwrap() < 500);
+        let victim = below.iter().next().cloned();
+        if let Some(victim) = victim {
+            let mut smaller = r;
+            smaller.remove(&victim);
+            d2.insert_relation("R", smaller);
+        }
+    }
+    let witness = refute_query_independence(&spec, &q, &[d1.clone(), d2])
+        .expect("states evaluate");
+    t.row(vec![
+        Cell::from("query independence (no complement)"),
+        Cell::from(witness.is_none()),
+        Cell::from(0usize),
+    ]);
+
+    // …and the complement restores it, at a storage price.
+    let aug = spec.clone().augment().expect("complement exists");
+    let big = state(n, 21);
+    let storage = aug
+        .complement()
+        .materialized_size(&big)
+        .expect("materializes");
+    let wstate = aug.materialize(&big).expect("materializes");
+    let (src, wh) = (
+        q.eval(&big).expect("evaluates"),
+        aug.answer_at_warehouse(&q, &wstate).expect("answers"),
+    );
+    t.row(vec![
+        Cell::from("query independence (with complement)"),
+        Cell::from(src == wh),
+        Cell::from(storage),
+    ]);
+
+    t.note(format!("refutation witness (state pair with equal W-image, different Q): {witness:?}"));
+    t.note("paper claim: update independence < query independence; sigma-views witness the gap");
+    t.note("the complement for a sigma-view is sigma[not gamma](R): exactly the hidden tuples");
+
+    // Companion: the static self-maintainability analysis over view
+    // shapes and update classes (the related-work axis: [3, 10, 18]).
+    let mut analysis = Table::new(
+        "E9 companion: static self-maintainability without a complement",
+        &["view shape", "insert-only", "delete-only", "mixed"],
+    );
+    let shapes: &[(&str, WarehouseSpec)] = &[
+        ("sigma[x >= 500](R)", spec.clone()),
+        ("full copy sigma[true](R)", {
+            let mut c = dwc_relalg::Catalog::new();
+            c.add_schema("R", &["x", "y"]).expect("static");
+            WarehouseSpec::parse(c, &[("W", "sigma[true](R)")]).expect("static")
+        }),
+        ("pi[x](R)", {
+            let mut c = dwc_relalg::Catalog::new();
+            c.add_schema("R", &["x", "y"]).expect("static");
+            WarehouseSpec::parse(c, &[("W", "pi[x](R)")]).expect("static")
+        }),
+        ("R join S (Figure 1 shape)", {
+            let mut c = dwc_relalg::Catalog::new();
+            c.add_schema("R", &["x", "y"]).expect("static");
+            c.add_schema("S", &["y", "z"]).expect("static");
+            WarehouseSpec::parse(c, &[("W", "R join S")]).expect("static")
+        }),
+    ];
+    use dwc_warehouse::independence::{self_maintainable_without_complement, UpdateClass};
+    let touched: std::collections::BTreeSet<dwc_relalg::RelName> =
+        [dwc_relalg::RelName::new("R")].into();
+    for (label, shape_spec) in shapes {
+        let check = |class| {
+            self_maintainable_without_complement(shape_spec, &touched, class)
+                .expect("analysis runs")
+        };
+        analysis.row(vec![
+            Cell::from(*label),
+            Cell::from(check(UpdateClass::InsertOnly)),
+            Cell::from(check(UpdateClass::DeleteOnly)),
+            Cell::from(check(UpdateClass::Mixed)),
+        ]);
+    }
+    analysis.note("derived from the delta rules: does any base (non-delta) reference survive folding stored views?");
+    analysis.note("projection views are insert-only self-maintainable (they read their own old state) — the [10] criterion recovered mechanically");
+    analysis.note("`no` is the cue to store a complement; pairing a view with a copy restores `yes` (the multi-view effect of [14])");
+    vec![t, analysis]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sigma_gap_is_exhibited() {
+        let tables = super::run(true);
+        let t = &tables[0];
+        let holds = t.column("holds");
+        assert_eq!(holds[0].as_text(), Some("yes"), "update independence failed");
+        assert_eq!(holds[1].as_text(), Some("no"), "query independence unexpectedly held");
+        assert_eq!(holds[2].as_text(), Some("yes"), "complement did not restore it");
+        let aux = t.column("auxiliary tuples needed");
+        assert_eq!(aux[0].as_int(), Some(0));
+        assert!(aux[2].as_int().unwrap() > 0);
+    }
+
+    #[test]
+    fn static_analysis_table_matches_theory() {
+        let tables = super::run(true);
+        let a = &tables[1];
+        let text = |row: usize, col: &str| a.column(col)[row].as_text().unwrap().to_owned();
+        // sigma view: yes everywhere
+        assert_eq!(text(0, "insert-only"), "yes");
+        assert_eq!(text(0, "mixed"), "yes");
+        // copy view: yes everywhere
+        assert_eq!(text(1, "mixed"), "yes");
+        // projection: insertions yes (reads its own old state),
+        // deletions no (survivor information needed)
+        assert_eq!(text(2, "insert-only"), "yes");
+        assert_eq!(text(2, "delete-only"), "no");
+        assert_eq!(text(2, "mixed"), "no");
+        // join: no everywhere
+        assert_eq!(text(3, "delete-only"), "no");
+    }
+}

@@ -1,0 +1,20 @@
+//! # dwc-bench — the experiment harness
+//!
+//! One regenerator per figure/example of the paper (the paper is a
+//! theory paper: its "evaluation" consists of worked examples, two
+//! commuting-diagram figures, and the Section 5 star-schema
+//! application). Each experiment lives in [`experiments`] as a library
+//! function returning a printable [`report::Table`]; thin binaries under
+//! `src/bin/` print them, and criterion benches under `benches/` time
+//! the performance-sensitive ones.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run -p dwc-bench --release --bin exp_all
+//! ```
+//!
+//! or one experiment, e.g. `cargo run -p dwc-bench --release --bin exp_fig1`.
+
+pub mod experiments;
+pub mod report;

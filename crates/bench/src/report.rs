@@ -1,0 +1,268 @@
+//! Plain-text experiment reports.
+//!
+//! Experiments return [`Table`]s so the binaries can print them and the
+//! integration tests can assert on the raw cells instead of scraping
+//! stdout.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A cell value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cell {
+    /// Free text.
+    Text(String),
+    /// An integer quantity.
+    Int(i64),
+    /// A float quantity, printed with three significant decimals.
+    Float(f64),
+    /// A duration, printed in adaptive units.
+    Time(Duration),
+}
+
+impl Cell {
+    /// The integer payload, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Cell::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float payload (floats and ints).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Cell::Int(i) => Some(*i as f64),
+            Cell::Float(f) => Some(*f),
+            Cell::Time(d) => Some(d.as_secs_f64()),
+            _ => None,
+        }
+    }
+
+    /// The text payload, if any.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Cell::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Text(t) => write!(f, "{t}"),
+            Cell::Int(i) => write!(f, "{i}"),
+            Cell::Float(x) => write!(f, "{x:.3}"),
+            Cell::Time(d) => {
+                let us = d.as_secs_f64() * 1e6;
+                if us < 1000.0 {
+                    write!(f, "{us:.1}us")
+                } else if us < 1_000_000.0 {
+                    write!(f, "{:.2}ms", us / 1000.0)
+                } else {
+                    write!(f, "{:.3}s", d.as_secs_f64())
+                }
+            }
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<i64> for Cell {
+    fn from(i: i64) -> Self {
+        Cell::Int(i)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(i: usize) -> Self {
+        Cell::Int(i64::try_from(i).expect("cell value out of range"))
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(f: f64) -> Self {
+        Cell::Float(f)
+    }
+}
+
+impl From<Duration> for Cell {
+    fn from(d: Duration) -> Self {
+        Cell::Time(d)
+    }
+}
+
+impl From<bool> for Cell {
+    fn from(b: bool) -> Self {
+        Cell::Text(if b { "yes".into() } else { "no".into() })
+    }
+}
+
+/// A titled table of results.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id and title, e.g. `E1 (Figure 1): …`.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<Cell>>,
+    /// Free-form takeaways appended after the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Starts a table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row; its arity must match the header.
+    pub fn row(&mut self, cells: Vec<Cell>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row arity mismatch in table `{}`",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a takeaway note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Looks up a column index by header name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// All values of one column.
+    pub fn column(&self, name: &str) -> Vec<&Cell> {
+        match self.column_index(name) {
+            Some(i) => self.rows.iter().map(|r| &r[i]).collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Cell::to_string).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, "  ")?;
+            }
+            write!(f, "{c:>width$}", width = widths[i])?;
+        }
+        writeln!(f)?;
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}", width = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "-- {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Times `f` over `iters` runs and returns the mean duration. Small
+/// experiments use this; the criterion benches provide the rigorous
+/// numbers.
+pub fn time_mean(iters: usize, mut f: impl FnMut()) -> Duration {
+    assert!(iters > 0);
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed() / u32::try_from(iters).expect("iteration count fits u32")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_render() {
+        assert_eq!(Cell::from(42usize).to_string(), "42");
+        assert_eq!(Cell::from(1.5f64).to_string(), "1.500");
+        assert_eq!(Cell::from("x").to_string(), "x");
+        assert_eq!(Cell::from(true).to_string(), "yes");
+        assert_eq!(Cell::from(Duration::from_micros(15)).to_string(), "15.0us");
+        assert_eq!(Cell::from(Duration::from_millis(2)).to_string(), "2.00ms");
+        assert_eq!(Cell::from(Duration::from_secs(3)).to_string(), "3.000s");
+    }
+
+    #[test]
+    fn cell_accessors() {
+        assert_eq!(Cell::Int(7).as_int(), Some(7));
+        assert_eq!(Cell::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Cell::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(Cell::Text("a".into()).as_text(), Some("a"));
+        assert_eq!(Cell::Text("a".into()).as_int(), None);
+    }
+
+    #[test]
+    fn table_layout() {
+        let mut t = Table::new("T", &["n", "value"]);
+        t.row(vec![Cell::from(1usize), Cell::from("short")]);
+        t.row(vec![Cell::from(100usize), Cell::from("a longer value")]);
+        t.note("note here");
+        let s = t.to_string();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("a longer value"));
+        assert!(s.contains("-- note here"));
+        assert_eq!(t.column("n").len(), 2);
+        assert_eq!(t.column("nope").len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn row_arity_checked() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(vec![Cell::from(1usize)]);
+    }
+
+    #[test]
+    fn time_mean_is_positive() {
+        let d = time_mean(3, || {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert!(d.as_nanos() < 1_000_000_000);
+    }
+}

@@ -1,0 +1,118 @@
+//! Complements without integrity constraints (Proposition 2.2).
+//!
+//! For every base relation `R_i`:
+//!
+//! ```text
+//! R̄_i = ⋃ { π_{attr(R_i)}(V_j) | V_j ∈ V_{R_i} }    (Equation (1); π = ∅ when
+//!                                                    attr(R_i) ⊄ Z_j)
+//! C_i = R_i ∖ R̄_i
+//! R_i = C_i ∪ R̄_i                                    (Equation (2))
+//! ```
+//!
+//! By Theorem 2.1 this complement is *minimal* when every view in `V` is
+//! an SJ view (no final projection). For proper PSJ views it need not be
+//! (Example 2.2, see [`crate::minimality`]).
+
+use crate::complement::Complement;
+use crate::constrained::{complement_with, ComplementOptions};
+use crate::error::Result;
+use crate::psj::NamedView;
+use dwc_relalg::Catalog;
+
+/// Computes the Proposition 2.2 complement (keys and inclusion
+/// dependencies ignored).
+pub fn complement_of(catalog: &Catalog, views: &[NamedView]) -> Result<Complement> {
+    complement_with(catalog, views, &ComplementOptions::unconstrained())
+}
+
+/// True iff Theorem 2.1 applies: every view is an SJ view, making the
+/// Proposition 2.2 complement minimal.
+pub fn theorem_21_applies(catalog: &Catalog, views: &[NamedView]) -> bool {
+    views.iter().all(|v| v.view().is_sj(catalog))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psj::PsjView;
+    use dwc_relalg::{rel, DbState, RaExpr, RelName};
+
+    /// Example 2.1: D = {R(X,Y), S(Y,Z), T(Z)}, V1 = R ⋈ S ⋈ T.
+    fn example_21() -> (Catalog, DbState) {
+        let mut c = Catalog::new();
+        c.add_schema("R", &["X", "Y"]).unwrap();
+        c.add_schema("S", &["Y", "Z"]).unwrap();
+        c.add_schema("T", &["Z"]).unwrap();
+        let mut d = DbState::new();
+        d.insert_relation("R", rel! { ["X", "Y"] => (1, 10), (2, 20), (3, 30) });
+        d.insert_relation("S", rel! { ["Y", "Z"] => (10, 100), (20, 200), (40, 400) });
+        d.insert_relation("T", rel! { ["Z"] => (100,), (300,) });
+        (c, d)
+    }
+
+    #[test]
+    fn example_21_single_view() {
+        // C = {C_R, C_S, C_T} with C_R = R ∖ π_XY(V1), etc.
+        let (c, d) = example_21();
+        let views = vec![NamedView::new("V1", PsjView::join_of(&c, &["R", "S", "T"]).unwrap())];
+        assert!(theorem_21_applies(&c, &views));
+        let comp = complement_of(&c, &views).unwrap();
+        let m = comp.materialize(&d).unwrap();
+        // V1 = {(1,10,100)}: only that chain survives to T.
+        assert_eq!(
+            m.relation(RelName::new("C_R")).unwrap(),
+            &rel! { ["X", "Y"] => (2, 20), (3, 30) }
+        );
+        assert_eq!(
+            m.relation(RelName::new("C_S")).unwrap(),
+            &rel! { ["Y", "Z"] => (20, 200), (40, 400) }
+        );
+        assert_eq!(m.relation(RelName::new("C_T")).unwrap(), &rel! { ["Z"] => (300,) });
+        assert_eq!(comp.verify_on(&c, &views, &d).unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn example_21_adding_v2_shrinks_cs_to_empty() {
+        // V = {V1, V2 = S}: C'_S = S ∖ (π_YZ(V1) ∪ π_YZ(V2)) = ∅ always.
+        let (c, d) = example_21();
+        let views = vec![
+            NamedView::new("V1", PsjView::join_of(&c, &["R", "S", "T"]).unwrap()),
+            NamedView::new("V2", PsjView::of_base(&c, "S").unwrap()),
+        ];
+        let comp = complement_of(&c, &views).unwrap();
+        let m = comp.materialize(&d).unwrap();
+        assert!(m.relation(RelName::new("C_S")).unwrap().is_empty());
+        // C_R and C_T unchanged from the single-view case.
+        assert_eq!(m.relation(RelName::new("C_R")).unwrap().len(), 2);
+        assert_eq!(m.relation(RelName::new("C_T")).unwrap().len(), 1);
+        assert_eq!(comp.verify_on(&c, &views, &d).unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn no_constraints_means_no_ir_terms() {
+        // Even with a key declared, basic::complement_of ignores it: the
+        // complement definition only subtracts R̄ (Prop 2.2), never covers.
+        let mut c = Catalog::new();
+        c.add_schema_with_key("R", &["A", "B"], &["A"]).unwrap();
+        let views = vec![
+            NamedView::new("VA", PsjView::project_of(&c, "R", &["A"]).unwrap()),
+            NamedView::new("VB", PsjView::project_of(&c, "R", &["B"]).unwrap()),
+        ];
+        let comp = complement_of(&c, &views).unwrap();
+        // Neither view contains all of R's attrs: R̄ = ∅, C_R = R.
+        assert_eq!(
+            comp.entry_for(RelName::new("R")).unwrap().definition,
+            RaExpr::base("R")
+        );
+    }
+
+    #[test]
+    fn theorem_21_detects_proper_projection() {
+        let (c, _) = example_21();
+        let views = vec![NamedView::new(
+            "V",
+            PsjView::project_of(&c, "R", &["X"]).unwrap(),
+        )];
+        assert!(!theorem_21_applies(&c, &views));
+    }
+}

@@ -1,0 +1,507 @@
+//! Complement computation under constraints (Theorem 2.2).
+//!
+//! For every base relation `R_i` (with key `K_i` and incoming acyclic
+//! inclusion dependencies) the algorithm computes
+//!
+//! ```text
+//! R̄_i    = ⋃ { π_{attr(R_i)}(V_j) | V_j ∈ V_{R_i} }            (π = ∅ if not applicable)
+//! R̄_i^ir = ⋃ { π_{attr(R_i)}(⋈_{S ∈ Y} S) | Y ∈ C_{R_i}^ind }  (extension joins along K_i)
+//! C_i    = R_i ∖ (R̄_i ∪ R̄_i^ir)                                (Equation (3))
+//! R_i    = C_i ∪ R̄_i ∪ R̄_i^ir                                  (Equation (4), the inverse)
+//! ```
+//!
+//! where `C_{R_i}^ind` enumerates the minimal covers of `attr(R_i)` by
+//! `V_{K_i}^ind` (key-containing views plus IND-derived pseudo-views).
+//! In the inverse expressions, a pseudo-view `π_X(R_j)` is replaced by
+//! `π_X` of `R_j`'s *own inverse* (footnote 3 / Example 2.3 continued);
+//! acyclicity of the dependencies makes this substitution well-founded.
+//!
+//! Setting [`ComplementOptions::use_keys`]`/`[`ComplementOptions::use_inds`]
+//! to `false` disables the corresponding machinery; with both disabled the
+//! algorithm degenerates to Proposition 2.2 (see [`crate::basic`]). This
+//! is the ablation axis of experiment E6.
+
+use crate::analysis::{views_involving, vk_ind, CoverSource};
+use crate::complement::{complement_name, Complement, ComplementEntry};
+use crate::covers::{covers_of, DEFAULT_MAX_SOURCES};
+use crate::error::Result;
+use crate::psj::{definitions, NamedView};
+use dwc_relalg::{Catalog, Predicate, RaExpr, RelName};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tuning knobs for the complement computation.
+#[derive(Clone, Debug)]
+pub struct ComplementOptions {
+    /// Prefix for generated complement-view names (default `C_`).
+    pub prefix: String,
+    /// Maximum number of cover sources per relation (the cover search is
+    /// exponential in this number).
+    pub max_cover_sources: usize,
+    /// Exploit key constraints (extension-join covers).
+    pub use_keys: bool,
+    /// Exploit inclusion dependencies (pseudo-views).
+    pub use_inds: bool,
+    /// Statically detect provably-empty complements (Examples 2.3/2.4)
+    /// and emit `∅` definitions for them.
+    pub detect_empty: bool,
+}
+
+impl Default for ComplementOptions {
+    fn default() -> Self {
+        ComplementOptions {
+            prefix: "C_".to_owned(),
+            max_cover_sources: DEFAULT_MAX_SOURCES,
+            use_keys: true,
+            use_inds: true,
+            detect_empty: true,
+        }
+    }
+}
+
+impl ComplementOptions {
+    /// Options disabling all constraint machinery — Proposition 2.2.
+    pub fn unconstrained() -> Self {
+        ComplementOptions {
+            use_keys: false,
+            use_inds: false,
+            detect_empty: false,
+            ..ComplementOptions::default()
+        }
+    }
+
+    /// Options using keys but not inclusion dependencies.
+    pub fn keys_only() -> Self {
+        ComplementOptions {
+            use_inds: false,
+            ..ComplementOptions::default()
+        }
+    }
+}
+
+/// Computes a complement of `views` w.r.t. `catalog` under the default
+/// options (Theorem 2.2 with all machinery enabled).
+pub fn complement_of(catalog: &Catalog, views: &[NamedView]) -> Result<Complement> {
+    complement_with(catalog, views, &ComplementOptions::default())
+}
+
+/// Computes a complement with explicit options.
+pub fn complement_with(
+    catalog: &Catalog,
+    views: &[NamedView],
+    opts: &ComplementOptions,
+) -> Result<Complement> {
+    let mut taken: BTreeSet<RelName> = catalog.relation_names().collect();
+    for v in views {
+        if !taken.insert(v.name()) {
+            return Err(crate::error::CoreError::NameCollision(v.name()));
+        }
+    }
+    let view_defs = definitions(views);
+
+    // Per relation: the recovered expression (R̄ ∪ R̄^ir) over warehouse
+    // view names (with pseudo-views still referring to base names), plus
+    // bookkeeping for the static-emptiness analysis.
+    struct PerRelation {
+        comp_name: RelName,
+        recovered_names: Option<RaExpr>,
+        provably_complete: bool,
+    }
+    let mut per: BTreeMap<RelName, PerRelation> = BTreeMap::new();
+
+    for schema in catalog.schemas() {
+        let base = schema.name();
+        let base_attrs = schema.attrs().clone();
+        let comp_name = complement_name(&opts.prefix, base, &mut taken)?;
+
+        // --- R̄: Proposition 2.2 terms. π_{attr(R)}(V_j), empty (and
+        // thus omitted) unless attr(R) ⊆ Z_j.
+        let mut terms: Vec<RaExpr> = Vec::new();
+        let mut provably_complete = false;
+        for i in views_involving(views, base) {
+            let v = &views[i];
+            if base_attrs.is_subset(v.header()) {
+                let term = RaExpr::Base(v.name()).project(base_attrs.clone());
+                if !terms.contains(&term) {
+                    terms.push(term);
+                }
+                if opts.detect_empty && opts.use_inds && view_join_is_total(catalog, v, base) {
+                    provably_complete = true;
+                }
+            }
+        }
+
+        // --- R̄^ir: extension-join covers over V_K^ind.
+        if opts.use_keys && schema.key().is_some() {
+            let mut sources = vk_ind(catalog, views, base);
+            if !opts.use_inds {
+                sources.retain(|s| matches!(s, CoverSource::View(_)));
+            }
+            let covers = covers_of(views, base, &base_attrs, &sources, opts.max_cover_sources)?;
+            for cover in &covers {
+                let join = RaExpr::join_all(
+                    cover.iter().map(|&s| sources[s].to_name_expr(views)),
+                )
+                .expect("covers are non-empty");
+                let term = join.project(base_attrs.clone());
+                if !terms.contains(&term) {
+                    terms.push(term);
+                }
+                if opts.detect_empty && cover_is_lossless(views, base, &sources, cover) {
+                    provably_complete = true;
+                }
+            }
+        }
+
+        let recovered_names = RaExpr::union_all(terms);
+        per.insert(
+            base,
+            PerRelation {
+                comp_name,
+                recovered_names,
+                provably_complete,
+            },
+        );
+    }
+
+    // --- Complement definitions over D: C_i = R_i ∖ recovered, with view
+    // names inlined (pseudo-views already refer to base relations).
+    let mut entries = Vec::new();
+    for schema in catalog.schemas() {
+        let base = schema.name();
+        let info = &per[&base];
+        let definition = if info.provably_complete {
+            RaExpr::empty(schema.attrs().clone())
+        } else {
+            match &info.recovered_names {
+                None => RaExpr::Base(base),
+                Some(rec) => {
+                    let rec_d = rec.substitute(&view_defs);
+                    RaExpr::Base(base).diff(rec_d)
+                }
+            }
+        };
+        let definition = definition.simplified(catalog)?;
+        entries.push(ComplementEntry {
+            base,
+            name: info.comp_name,
+            definition,
+        });
+    }
+
+    // --- Inverse expressions (Equation (4)) over warehouse names, built
+    // in IND-source-first order so that pseudo-view base references can
+    // be substituted by the source's already-built inverse.
+    let mut inverse: BTreeMap<RelName, RaExpr> = BTreeMap::new();
+    let mut order = catalog.ind_topological_order();
+    order.reverse(); // sources of inclusion dependencies first
+    for base in order {
+        let info = &per[&base];
+        let mut term = info.recovered_names.as_ref().map(|rec| rec.substitute(&inverse));
+        if !info.provably_complete {
+            let c = RaExpr::Base(info.comp_name);
+            term = Some(match term {
+                None => c,
+                Some(t) => c.union(t),
+            });
+        }
+        let expr = term.unwrap_or({
+            // No views involve the relation and its complement is a full
+            // copy — recovered solely from the complement view.
+            RaExpr::Base(info.comp_name)
+        });
+        inverse.insert(base, expr);
+    }
+
+    let complement = Complement::new(entries, inverse.clone());
+    // Simplify the inverse expressions now that headers for complement
+    // names are resolvable.
+    let simplified: BTreeMap<RelName, RaExpr> = {
+        let resolver = complement.resolver(catalog, views);
+        inverse
+            .iter()
+            .map(|(b, e)| Ok((*b, e.simplified(&resolver)?)))
+            .collect::<Result<_>>()?
+    };
+    let entries = complement.entries().to_vec();
+    Ok(Complement::new(entries, simplified))
+}
+
+/// Static sufficient condition for `π_{attr(R)}(V) = R` (Example 2.4):
+/// the view joins exactly `R` and one partner `S`, keeps all of `R`'s
+/// attributes, has no selection, and an inclusion dependency
+/// `π_X(R) ⊆ π_X(S)` over the full common attribute set `X` guarantees
+/// every `R` tuple a join partner.
+fn view_join_is_total(catalog: &Catalog, view: &NamedView, base: RelName) -> bool {
+    let v = view.view();
+    if !matches!(v.selection(), Predicate::True) || v.relations().len() != 2 {
+        return false;
+    }
+    let partner = *v
+        .relations()
+        .iter()
+        .find(|&&r| r != base)
+        .expect("two distinct relations");
+    let (Ok(base_schema), Ok(partner_schema)) = (catalog.schema(base), catalog.schema(partner))
+    else {
+        return false;
+    };
+    let common = base_schema.attrs().intersect(partner_schema.attrs());
+    if common.is_empty() {
+        // Cartesian product: total iff partner non-empty, not static.
+        return false;
+    }
+    catalog
+        .inclusion_deps()
+        .iter()
+        .any(|d| d.from == base && d.to == partner && common.is_subset(&d.attrs))
+}
+
+/// Static sufficient condition for `π_{attr(R)}(⋈ Y) = R` (Example 2.3):
+/// every source of the cover is a selection-free projection view of `R`
+/// alone. Joining such views along the key re-extends every tuple of `R`.
+fn cover_is_lossless(
+    views: &[NamedView],
+    base: RelName,
+    sources: &[CoverSource],
+    cover: &[usize],
+) -> bool {
+    cover.iter().all(|&s| match &sources[s] {
+        CoverSource::View(i) => {
+            let v = views[*i].view();
+            v.relations() == [base] && matches!(v.selection(), Predicate::True)
+        }
+        CoverSource::Pseudo(_) => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psj::PsjView;
+    use dwc_relalg::{rel, AttrSet, DbState, InclusionDep};
+
+    fn fig1_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_schema("Sale", &["item", "clerk"]).unwrap();
+        c.add_schema_with_key("Emp", &["clerk", "age"], &["clerk"]).unwrap();
+        c
+    }
+
+    fn fig1_views(c: &Catalog) -> Vec<NamedView> {
+        vec![NamedView::new(
+            "Sold",
+            PsjView::join_of(c, &["Sale", "Emp"]).unwrap(),
+        )]
+    }
+
+    fn fig1_state() -> DbState {
+        let mut d = DbState::new();
+        d.insert_relation(
+            "Sale",
+            rel! { ["item", "clerk"] => ("TV set", "Mary"), ("VCR", "Mary"), ("PC", "John") },
+        );
+        d.insert_relation(
+            "Emp",
+            rel! { ["clerk", "age"] => ("Mary", 23), ("John", 25), ("Paula", 32) },
+        );
+        d
+    }
+
+    #[test]
+    fn example_11_complement() {
+        // C_Emp = Emp ∖ π_{clerk,age}(Sold), C_Sale = Sale ∖ π_{item,clerk}(Sold).
+        let c = fig1_catalog();
+        let views = fig1_views(&c);
+        let comp = complement_of(&c, &views).unwrap();
+        assert_eq!(comp.entries().len(), 2);
+        let db = fig1_state();
+        let m = comp.materialize(&db).unwrap();
+        assert_eq!(
+            m.relation(RelName::new("C_Emp")).unwrap(),
+            &rel! { ["clerk", "age"] => ("Paula", 32) }
+        );
+        assert!(m.relation(RelName::new("C_Sale")).unwrap().is_empty());
+        assert_eq!(comp.verify_on(&c, &views, &db).unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn example_24_referential_integrity_makes_c_sale_provably_empty() {
+        // With π_clerk(Sale) ⊆ π_clerk(Emp), every sale joins: C_Sale ≡ ∅.
+        let mut c = fig1_catalog();
+        c.add_foreign_key("Sale", "Emp", &["clerk"]).unwrap();
+        let views = fig1_views(&c);
+        let comp = complement_of(&c, &views).unwrap();
+        let c_sale = comp.entry_for(RelName::new("Sale")).unwrap();
+        assert!(c_sale.is_provably_empty());
+        let c_emp = comp.entry_for(RelName::new("Emp")).unwrap();
+        assert!(!c_emp.is_provably_empty());
+        // Inverse of Sale references Sold only.
+        let inv = comp.inverse_of(RelName::new("Sale")).unwrap();
+        assert_eq!(inv.to_string(), "pi[clerk, item](Sold)");
+        // Verified on a state satisfying the FK (the Figure 1 state does).
+        let db = fig1_state();
+        assert_eq!(comp.verify_on(&c, &views, &db).unwrap(), Ok(()));
+    }
+
+    /// Example 2.3 (continued): the full scenario with keys and INDs.
+    fn example_23() -> (Catalog, Vec<NamedView>) {
+        let mut c = Catalog::new();
+        c.add_schema_with_key("R1", &["A", "B", "C"], &["A"]).unwrap();
+        c.add_schema_with_key("R2", &["A", "C", "D"], &["A"]).unwrap();
+        c.add_schema_with_key("R3", &["A", "B"], &["A"]).unwrap();
+        c.add_inclusion_dep(InclusionDep::new("R3", "R1", AttrSet::from_names(&["A", "B"])))
+            .unwrap();
+        c.add_inclusion_dep(InclusionDep::new("R2", "R1", AttrSet::from_names(&["A", "C"])))
+            .unwrap();
+        let views = vec![
+            NamedView::new("V1", PsjView::join_of(&c, &["R1", "R2"]).unwrap()),
+            NamedView::new("V2", PsjView::of_base(&c, "R3").unwrap()),
+            NamedView::new("V3", PsjView::project_of(&c, "R1", &["A", "B"]).unwrap()),
+            NamedView::new("V4", PsjView::project_of(&c, "R1", &["A", "C"]).unwrap()),
+        ];
+        (c, views)
+    }
+
+    fn example_23_state() -> DbState {
+        // Satisfies: A key everywhere; π_AB(R3) ⊆ π_AB(R1); π_AC(R2) ⊆ π_AC(R1).
+        let mut d = DbState::new();
+        d.insert_relation(
+            "R1",
+            rel! { ["A", "B", "C"] => (1, 10, 100), (2, 20, 200), (3, 30, 300) },
+        );
+        d.insert_relation("R2", rel! { ["A", "C", "D"] => (1, 100, 7), (3, 300, 9) });
+        d.insert_relation("R3", rel! { ["A", "B"] => (2, 20) });
+        d
+    }
+
+    #[test]
+    fn example_23_key_makes_c1_empty() {
+        // With A a key for R1 and V = {V1..V4}: R1 = V3 ⋈ V4 (lossless),
+        // so C_R1 ≡ ∅ (the paper's "continued" discussion).
+        let (c, views) = example_23();
+        let comp = complement_of(&c, &views).unwrap();
+        assert!(comp.entry_for(RelName::new("R1")).unwrap().is_provably_empty());
+        // R3 is copied entirely into V2, so its complement evaluates empty
+        // (R3 ∖ V2 — not *provably* empty, but empty on every state).
+        let db = example_23_state();
+        let m = comp.materialize(&db).unwrap();
+        assert!(m.relation(comp.entry_for(RelName::new("R3")).unwrap().name).unwrap().is_empty());
+        // C_R2 = R2 ∖ π_ACD(V1): empty here since every R2 tuple joins R1.
+        assert_eq!(comp.verify_on(&c, &views, &db).unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn example_23_continued_subset_of_views() {
+        // V' = {V1, V3}: C_R2 = R2 ∖ π_ACD(V1), C_R3 = R3 (no views left),
+        // and R1's inverse uses the pseudo-view π_AC(R2), substituted by
+        // R2's inverse.
+        let (c, views_all) = example_23();
+        let views: Vec<NamedView> = vec![views_all[0].clone(), views_all[2].clone()];
+        let comp = complement_of(&c, &views).unwrap();
+
+        // R1 is NOT provably complete (cover {V3, π_AC(R2)} uses a pseudo).
+        let e1 = comp.entry_for(RelName::new("R1")).unwrap();
+        assert!(!e1.is_provably_empty());
+
+        // The inverse of R1 must reference warehouse names only.
+        let inv1 = comp.inverse_of(RelName::new("R1")).unwrap();
+        for name in inv1.base_relations() {
+            assert!(
+                name.as_str().starts_with("C_") || name.as_str().starts_with('V'),
+                "inverse leaks base relation {name}"
+            );
+        }
+
+        let db = example_23_state();
+        assert_eq!(comp.verify_on(&c, &views, &db).unwrap(), Ok(()));
+
+        // On this state R̄1 ∪ R̄1^ir recovers (1,10,100), (3,30,300) via V1
+        // and (2,20,200) via V3 ⋈ π_AC(inv R2)? (2,·) is not in R2, so the
+        // pseudo contributes nothing for A=2 — C_R1 must hold (2,20,200).
+        let m = comp.materialize(&db).unwrap();
+        let c1 = m.relation(e1.name).unwrap();
+        assert_eq!(c1, &rel! { ["A", "B", "C"] => (2, 20, 200) });
+    }
+
+    #[test]
+    fn relation_without_views_is_fully_copied() {
+        let mut c = fig1_catalog();
+        c.add_schema("Extra", &["x", "y"]).unwrap();
+        let views = fig1_views(&c);
+        let comp = complement_of(&c, &views).unwrap();
+        let e = comp.entry_for(RelName::new("Extra")).unwrap();
+        assert_eq!(e.definition, RaExpr::base("Extra"));
+        assert_eq!(
+            comp.inverse_of(RelName::new("Extra")).unwrap(),
+            &RaExpr::base("C_Extra")
+        );
+        let mut db = fig1_state();
+        db.insert_relation("Extra", rel! { ["x", "y"] => (1, 2) });
+        assert_eq!(comp.verify_on(&c, &views, &db).unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn name_collision_detected() {
+        let c = fig1_catalog();
+        // A view named like a complement-to-be.
+        let views = vec![
+            NamedView::new("C_Emp", PsjView::of_base(&c, "Emp").unwrap()),
+            NamedView::new("Sold", PsjView::join_of(&c, &["Sale", "Emp"]).unwrap()),
+        ];
+        let err = complement_of(&c, &views).unwrap_err();
+        assert!(matches!(err, crate::error::CoreError::NameCollision(_)));
+        // Duplicate view names.
+        let views = vec![
+            NamedView::new("V", PsjView::of_base(&c, "Emp").unwrap()),
+            NamedView::new("V", PsjView::of_base(&c, "Sale").unwrap()),
+        ];
+        assert!(complement_of(&c, &views).is_err());
+    }
+
+    #[test]
+    fn unconstrained_options_ignore_keys() {
+        // Same scenario as example_23_key_makes_c1_empty, but with
+        // Proposition 2.2 options R1's complement is NOT provably empty.
+        let (c, views) = example_23();
+        let comp =
+            complement_with(&c, &views, &ComplementOptions::unconstrained()).unwrap();
+        assert!(!comp.entry_for(RelName::new("R1")).unwrap().is_provably_empty());
+        // It is still a complement.
+        let db = example_23_state();
+        assert_eq!(comp.verify_on(&c, &views, &db).unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn keys_only_options_skip_pseudo_views() {
+        let (c, views_all) = example_23();
+        let views: Vec<NamedView> = vec![views_all[0].clone(), views_all[2].clone()];
+        let comp = complement_with(&c, &views, &ComplementOptions::keys_only()).unwrap();
+        // Without pseudo-views no inverse may reference R2 via C substitution
+        // chains, and V3 alone cannot cover {A,B,C}; R̄1^ir has only {V1}.
+        let db = example_23_state();
+        assert_eq!(comp.verify_on(&c, &views, &db).unwrap(), Ok(()));
+        // C_R1 is strictly larger than with INDs: it must hold (2,20,200)
+        // AND nothing else is recovered beyond V1's tuples.
+        let m = comp.materialize(&db).unwrap();
+        let e1 = comp.entry_for(RelName::new("R1")).unwrap();
+        assert_eq!(
+            m.relation(e1.name).unwrap(),
+            &rel! { ["A", "B", "C"] => (2, 20, 200) }
+        );
+    }
+
+    #[test]
+    fn update_independence_roundtrip_after_source_change() {
+        // Complements stay correct when recomputed on a changed state.
+        let c = fig1_catalog();
+        let views = fig1_views(&c);
+        let comp = complement_of(&c, &views).unwrap();
+        let mut db = fig1_state();
+        let sale = db.relation(RelName::new("Sale")).unwrap().clone();
+        db.insert_relation(
+            "Sale",
+            sale.union(&rel! { ["item", "clerk"] => ("Computer", "Paula") }).unwrap(),
+        );
+        assert_eq!(comp.verify_on(&c, &views, &db).unwrap(), Ok(()));
+    }
+}

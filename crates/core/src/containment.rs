@@ -1,0 +1,344 @@
+//! Containment of PSJ views (Definition 2.1, decided where possible).
+//!
+//! The sampled ordering of [`crate::ordering`] can only *refute*
+//! `U ≤ V`. For the natural-join PSJ fragment a sound syntactic proof is
+//! available, connecting to the answering-queries-using-views line the
+//! paper cites ([16, 19]): a PSJ view is a conjunctive query whose
+//! variables are the (globally shared) attribute names, so a containment
+//! homomorphism is forced to be the identity, and
+//!
+//! ```text
+//! π_Z(σ_p(⋈ R_a)) ⊆ π_Z(σ_q(⋈ R_b))   if  R_b ⊆ R_a  and  p ⟹ q
+//! ```
+//!
+//! (dropping relations only loses join filters; the surviving witness
+//! still satisfies `q` because `p` did). The implication `p ⟹ q` is
+//! decided for conjunctions of attribute-vs-constant comparisons via
+//! interval entailment — sound and conservative (`None` = don't know).
+//!
+//! [`view_le`] combines the proof attempt with the refutation search:
+//! `Proven`, `Disproven` (with a witness state index), or `Unknown`.
+
+use crate::error::{CoreError, Result};
+use crate::psj::PsjView;
+use dwc_relalg::{Attr, CmpOp, DbState, Operand, Predicate, Value};
+use std::collections::BTreeMap;
+
+/// Outcome of a containment check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Containment {
+    /// Syntactically proven: holds on *every* state.
+    Proven,
+    /// Refuted by the probe state at this index.
+    Disproven(usize),
+    /// Neither proven nor refuted (predicates outside the decidable
+    /// fragment, or no separating state found).
+    Unknown,
+}
+
+/// Per-attribute constraint extracted from a conjunction.
+#[derive(Clone, Debug, Default)]
+struct Range {
+    eq: Option<Value>,
+    ne: Vec<Value>,
+    /// `(bound, inclusive)`
+    lower: Option<(Value, bool)>,
+    upper: Option<(Value, bool)>,
+}
+
+impl Range {
+    fn add(&mut self, op: CmpOp, v: Value) {
+        match op {
+            CmpOp::Eq => self.eq = Some(v),
+            CmpOp::Ne => self.ne.push(v),
+            CmpOp::Lt => tighten_upper(&mut self.upper, v, false),
+            CmpOp::Le => tighten_upper(&mut self.upper, v, true),
+            CmpOp::Gt => tighten_lower(&mut self.lower, v, false),
+            CmpOp::Ge => tighten_lower(&mut self.lower, v, true),
+        }
+    }
+
+    /// Does this range entail `attr op v`? Conservative (`false` = don't
+    /// know, not "entails the negation").
+    fn entails(&self, op: CmpOp, v: &Value) -> bool {
+        if let Some(eq) = &self.eq {
+            // A pinned value decides every comparison exactly.
+            return op.test(eq.cmp(v));
+        }
+        match op {
+            CmpOp::Eq => false, // only a pin can entail equality
+            CmpOp::Ne => {
+                self.ne.contains(v)
+                    || matches!(&self.upper, Some((u, inc)) if u < v || (u == v && !inc))
+                    || matches!(&self.lower, Some((l, inc)) if l > v || (l == v && !inc))
+            }
+            CmpOp::Lt => matches!(&self.upper, Some((u, inc)) if u < v || (u == v && !inc)),
+            CmpOp::Le => matches!(&self.upper, Some((u, _)) if u <= v),
+            CmpOp::Gt => matches!(&self.lower, Some((l, inc)) if l > v || (l == v && !inc)),
+            CmpOp::Ge => matches!(&self.lower, Some((l, _)) if l >= v),
+        }
+    }
+}
+
+fn tighten_upper(slot: &mut Option<(Value, bool)>, v: Value, inclusive: bool) {
+    let replace = match slot {
+        None => true,
+        Some((u, inc)) => v < *u || (v == *u && *inc && !inclusive),
+    };
+    if replace {
+        *slot = Some((v, inclusive));
+    }
+}
+
+fn tighten_lower(slot: &mut Option<(Value, bool)>, v: Value, inclusive: bool) {
+    let replace = match slot {
+        None => true,
+        Some((l, inc)) => v > *l || (v == *l && *inc && !inclusive),
+    };
+    if replace {
+        *slot = Some((v, inclusive));
+    }
+}
+
+/// Flattens a predicate into attribute-vs-constant conjuncts; `None` when
+/// the predicate leaves the decidable fragment (disjunction, negation,
+/// attribute-attribute comparison).
+fn conjuncts(p: &Predicate) -> Option<Vec<(Attr, CmpOp, Value)>> {
+    let mut out = Vec::new();
+    fn walk(p: &Predicate, out: &mut Vec<(Attr, CmpOp, Value)>) -> bool {
+        match p {
+            Predicate::True => true,
+            Predicate::And(a, b) => walk(a, out) && walk(b, out),
+            Predicate::Cmp(Operand::Attr(a), op, Operand::Const(v)) => {
+                out.push((*a, *op, v.clone()));
+                true
+            }
+            Predicate::Cmp(Operand::Const(v), op, Operand::Attr(a)) => {
+                out.push((*a, op.flip(), v.clone()));
+                true
+            }
+            _ => false,
+        }
+    }
+    walk(p, &mut out).then_some(out)
+}
+
+/// Decides `p ⟹ q` for conjunctive constant comparisons. `Some(true)`
+/// is a proof; `Some(false)` means some conjunct of `q` is not entailed
+/// (not necessarily falsifiable); `None` means outside the fragment.
+pub fn predicate_implies(p: &Predicate, q: &Predicate) -> Option<bool> {
+    let p_atoms = conjuncts(p)?;
+    let q_atoms = conjuncts(q)?;
+    let mut ranges: BTreeMap<Attr, Range> = BTreeMap::new();
+    for (a, op, v) in p_atoms {
+        ranges.entry(a).or_default().add(op, v);
+    }
+    for (a, op, v) in q_atoms {
+        let entailed = ranges.get(&a).map(|r| r.entails(op, &v)).unwrap_or(false);
+        if !entailed {
+            return Some(false);
+        }
+    }
+    Some(true)
+}
+
+/// Checks `a ≤ b` (i.e. `a(d) ⊆ b(d)` for all `d`) for two PSJ views
+/// with equal headers: first the syntactic proof, then refutation on the
+/// probe states.
+pub fn view_le(a: &PsjView, b: &PsjView, probe_states: &[DbState]) -> Result<Containment> {
+    if a.projection() != b.projection() {
+        return Err(CoreError::NotPsj {
+            detail: format!(
+                "containment needs equal headers, got {} vs {}",
+                a.projection(),
+                b.projection()
+            ),
+        });
+    }
+    // Syntactic proof: b's relations a subset of a's, and a's selection
+    // implies b's.
+    let rels_subset = b.relations().iter().all(|r| a.relations().contains(r));
+    if rels_subset && predicate_implies(a.selection(), b.selection()) == Some(true) {
+        return Ok(Containment::Proven);
+    }
+    // Refutation on the probe states.
+    let ea = a.to_expr();
+    let eb = b.to_expr();
+    for (i, d) in probe_states.iter().enumerate() {
+        let ra = ea.eval(d).map_err(CoreError::from)?;
+        let rb = eb.eval(d).map_err(CoreError::from)?;
+        if !ra.is_subset(&rb).map_err(CoreError::from)? {
+            return Ok(Containment::Disproven(i));
+        }
+    }
+    Ok(Containment::Unknown)
+}
+
+/// Checks view equivalence: `≤` in both directions.
+pub fn view_equiv(a: &PsjView, b: &PsjView, probe_states: &[DbState]) -> Result<Containment> {
+    match (view_le(a, b, probe_states)?, view_le(b, a, probe_states)?) {
+        (Containment::Proven, Containment::Proven) => Ok(Containment::Proven),
+        (Containment::Disproven(i), _) | (_, Containment::Disproven(i)) => {
+            Ok(Containment::Disproven(i))
+        }
+        _ => Ok(Containment::Unknown),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwc_relalg::gen::{random_states, StateGenConfig};
+    use dwc_relalg::{AttrSet, Catalog};
+
+    fn pred(text: &str) -> Predicate {
+        dwc_relalg::parse::parse_predicate(text).unwrap()
+    }
+
+    #[test]
+    fn implication_basics() {
+        assert_eq!(predicate_implies(&pred("a = 5"), &pred("a >= 5")), Some(true));
+        assert_eq!(predicate_implies(&pred("a = 5"), &pred("a > 5")), Some(false));
+        assert_eq!(predicate_implies(&pred("a > 5"), &pred("a >= 5")), Some(true));
+        assert_eq!(predicate_implies(&pred("a >= 5"), &pred("a > 5")), Some(false));
+        assert_eq!(predicate_implies(&pred("a < 3"), &pred("a <= 3")), Some(true));
+        assert_eq!(predicate_implies(&pred("a < 3"), &pred("a != 3")), Some(true));
+        assert_eq!(predicate_implies(&pred("a > 3"), &pred("a != 3")), Some(true));
+        assert_eq!(predicate_implies(&pred("a != 3"), &pred("a != 3")), Some(true));
+        assert_eq!(predicate_implies(&pred("a = 2"), &pred("a != 3")), Some(true));
+        assert_eq!(predicate_implies(&pred("true"), &pred("a = 1")), Some(false));
+        assert_eq!(predicate_implies(&pred("a = 1"), &pred("true")), Some(true));
+    }
+
+    #[test]
+    fn implication_conjunctions_and_multiple_attrs() {
+        assert_eq!(
+            predicate_implies(&pred("a = 5 and b < 2"), &pred("a >= 5 and b <= 2")),
+            Some(true)
+        );
+        assert_eq!(
+            predicate_implies(&pred("a = 5"), &pred("a = 5 and b = 1")),
+            Some(false)
+        );
+        // tightening across conjuncts of p
+        assert_eq!(
+            predicate_implies(&pred("a >= 3 and a <= 3"), &pred("a >= 3")),
+            Some(true)
+        );
+        assert_eq!(
+            predicate_implies(&pred("a < 5 and a < 3"), &pred("a < 4")),
+            Some(true)
+        );
+        assert_eq!(
+            predicate_implies(&pred("a > 5 and a > 7"), &pred("a >= 6")),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn implication_fragment_limits() {
+        // disjunction / negation / attr-attr leave the fragment
+        assert_eq!(predicate_implies(&pred("a = 1 or a = 2"), &pred("a <= 2")), None);
+        assert_eq!(predicate_implies(&pred("not a = 1"), &pred("true")), None);
+        assert_eq!(predicate_implies(&pred("a = b"), &pred("true")), None);
+        // constant-on-the-left is normalized into the fragment
+        assert_eq!(predicate_implies(&pred("5 <= a"), &pred("a >= 4")), Some(true));
+    }
+
+    fn chain() -> (Catalog, Vec<DbState>) {
+        let mut c = Catalog::new();
+        c.add_schema("R", &["X", "Y"]).unwrap();
+        c.add_schema("S", &["Y", "Z"]).unwrap();
+        c.add_schema("T", &["Z"]).unwrap();
+        let states = random_states(&c, &StateGenConfig::new(20, 5), 11, 8);
+        (c, states)
+    }
+
+    #[test]
+    fn join_filters_prove_containment() {
+        // π_XY(R ⋈ S ⋈ T) ⊆ π_XY(R ⋈ S) ⊆ π_XY(R): proven syntactically.
+        let (c, states) = chain();
+        let z = AttrSet::from_names(&["X", "Y"]);
+        let mk = |rels: &[&str]| {
+            PsjView::new(
+                &c,
+                rels.iter().map(|r| (*r).into()).collect(),
+                Predicate::True,
+                z.clone(),
+            )
+            .unwrap()
+        };
+        let rst = mk(&["R", "S", "T"]);
+        let rs = mk(&["R", "S"]);
+        let r = mk(&["R"]);
+        assert_eq!(view_le(&rst, &rs, &states).unwrap(), Containment::Proven);
+        assert_eq!(view_le(&rs, &r, &states).unwrap(), Containment::Proven);
+        assert_eq!(view_le(&rst, &r, &states).unwrap(), Containment::Proven);
+        // The converse is refuted by some probe state.
+        assert!(matches!(
+            view_le(&r, &rst, &states).unwrap(),
+            Containment::Disproven(_)
+        ));
+    }
+
+    #[test]
+    fn selection_strength_proves_containment() {
+        let (c, states) = chain();
+        let narrow = PsjView::select_of(&c, "R", pred("X = 2")).unwrap();
+        let wide = PsjView::select_of(&c, "R", pred("X >= 1 and X <= 3")).unwrap();
+        assert_eq!(view_le(&narrow, &wide, &states).unwrap(), Containment::Proven);
+        assert!(matches!(
+            view_le(&wide, &narrow, &states).unwrap(),
+            Containment::Disproven(_)
+        ));
+        // identical views are provably equivalent
+        assert_eq!(view_equiv(&narrow, &narrow, &states).unwrap(), Containment::Proven);
+    }
+
+    #[test]
+    fn header_mismatch_is_an_error() {
+        let (c, states) = chain();
+        let a = PsjView::project_of(&c, "R", &["X"]).unwrap();
+        let b = PsjView::project_of(&c, "R", &["Y"]).unwrap();
+        assert!(view_le(&a, &b, &states).is_err());
+    }
+
+    #[test]
+    fn unknown_when_fragment_exceeded_and_no_witness() {
+        let (c, _) = chain();
+        // Disjunctive selection: proof unavailable; with no probe states
+        // the check must answer Unknown, not guess.
+        let a = PsjView::select_of(&c, "R", pred("X = 1 or X = 2")).unwrap();
+        let b = PsjView::select_of(&c, "R", pred("X <= 2 and X >= 1")).unwrap();
+        assert_eq!(view_le(&a, &b, &[]).unwrap(), Containment::Unknown);
+    }
+
+    #[test]
+    fn proofs_hold_on_probes() {
+        // Every Proven answer must be consistent with every probe state —
+        // cross-validate the syntactic criterion against evaluation.
+        let (c, states) = chain();
+        let z = AttrSet::from_names(&["Y"]);
+        let views = vec![
+            PsjView::new(&c, vec!["R".into()], pred("X <= 3"), z.clone()).unwrap(),
+            PsjView::new(&c, vec!["R".into()], pred("X <= 5"), z.clone()).unwrap(),
+            PsjView::new(&c, vec!["R".into(), "S".into()], pred("X <= 3"), z.clone()).unwrap(),
+            PsjView::new(&c, vec!["R".into(), "S".into(), "T".into()], Predicate::True, z.clone())
+                .unwrap(),
+        ];
+        for a in &views {
+            for b in &views {
+                if view_le(a, b, &[]).unwrap() == Containment::Proven {
+                    for (i, d) in states.iter().enumerate() {
+                        let ra = a.to_expr().eval(d).unwrap();
+                        let rb = b.to_expr().eval(d).unwrap();
+                        assert!(
+                            ra.is_subset(&rb).unwrap(),
+                            "proof contradicted on state {i}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

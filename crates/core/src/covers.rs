@@ -1,0 +1,174 @@
+//! Minimal attribute covers (the paper's `C_R^ind`).
+//!
+//! A *cover* of a base relation `R` is a subset `Y` of the candidate
+//! sources `V_K^ind` such that every attribute of `R` is present in some
+//! source of `Y`, and `Y` is minimal with that property (Definition in
+//! Section 2). Because "is a cover" is upward closed, a cover is minimal
+//! iff removing any single element destroys coverage — so enumeration can
+//! check minimality locally.
+//!
+//! The number of candidate sources is the exponent of the search; the
+//! paper's examples have at most a handful. [`minimal_covers`] enforces a
+//! caller-supplied limit and reports [`CoreError::TooManyCoverSources`]
+//! beyond it.
+
+use crate::analysis::CoverSource;
+use crate::error::{CoreError, Result};
+use crate::psj::NamedView;
+use dwc_relalg::{AttrSet, RelName};
+
+/// Upper bound on candidate sources accepted by default (2^20 subsets).
+pub const DEFAULT_MAX_SOURCES: usize = 20;
+
+/// Enumerates all minimal covers of `target` by the given coverage sets.
+/// Returns each cover as a sorted list of source indices. Sources whose
+/// coverage is empty can never occur in a minimal cover and are skipped.
+pub fn minimal_covers(target: &AttrSet, coverages: &[AttrSet]) -> Vec<Vec<usize>> {
+    assert!(
+        coverages.len() < usize::BITS as usize,
+        "cover enumeration limited to {} sources",
+        usize::BITS - 1
+    );
+    if target.is_empty() {
+        return Vec::new();
+    }
+    let useful: Vec<usize> = (0..coverages.len())
+        .filter(|&i| !coverages[i].intersect(target).is_empty())
+        .collect();
+    let n = useful.len();
+    let covered = |mask: usize| -> bool {
+        let mut acc = AttrSet::empty();
+        for (bit, &src) in useful.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                acc = acc.union(&coverages[src]);
+            }
+        }
+        target.is_subset(&acc)
+    };
+    let mut out = Vec::new();
+    for mask in 1usize..(1 << n) {
+        if !covered(mask) {
+            continue;
+        }
+        // Minimal iff dropping any single member breaks coverage.
+        let minimal = (0..n)
+            .filter(|bit| mask & (1 << bit) != 0)
+            .all(|bit| !covered(mask & !(1 << bit)));
+        if minimal {
+            out.push(
+                (0..n)
+                    .filter(|bit| mask & (1 << bit) != 0)
+                    .map(|bit| useful[bit])
+                    .collect(),
+            );
+        }
+    }
+    out
+}
+
+/// Enumerates the minimal covers of base relation `target` by the cover
+/// sources `sources` (the paper's `C_{target}^ind`), respecting the
+/// source-count `limit`.
+pub fn covers_of(
+    views: &[NamedView],
+    target: RelName,
+    target_attrs: &AttrSet,
+    sources: &[CoverSource],
+    limit: usize,
+) -> Result<Vec<Vec<usize>>> {
+    if sources.len() > limit {
+        return Err(CoreError::TooManyCoverSources {
+            relation: target,
+            count: sources.len(),
+            limit,
+        });
+    }
+    let coverages: Vec<AttrSet> = sources
+        .iter()
+        .map(|s| s.coverage(views, target_attrs))
+        .collect();
+    Ok(minimal_covers(target_attrs, &coverages))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(names: &[&str]) -> AttrSet {
+        AttrSet::from_names(names)
+    }
+
+    #[test]
+    fn example_23_covers() {
+        // Sources (Example 2.3): V1{A,B,C,D}→ABC, V3{A,B}, V4{A,C},
+        // π_AB(R3){A,B}, π_AC(R2){A,C}; target R1 = {A,B,C}.
+        // Paper: C_R1^ind = {{V1},{V3,V4},{π_AB(R3),V4},{V3,π_AC(R2)},
+        //                    {π_AB(R3),π_AC(R2)}}.
+        let target = s(&["A", "B", "C"]);
+        let coverages = vec![
+            s(&["A", "B", "C"]), // 0: V1 (coverage of R1's attrs)
+            s(&["A", "B"]),      // 1: V3
+            s(&["A", "C"]),      // 2: V4
+            s(&["A", "B"]),      // 3: π_AB(R3)
+            s(&["A", "C"]),      // 4: π_AC(R2)
+        ];
+        let mut covers = minimal_covers(&target, &coverages);
+        covers.sort();
+        assert_eq!(
+            covers,
+            vec![vec![0], vec![1, 2], vec![1, 4], vec![2, 3], vec![3, 4]]
+        );
+    }
+
+    #[test]
+    fn no_cover_when_attribute_unreachable() {
+        let target = s(&["A", "B"]);
+        let coverages = vec![s(&["A"]), s(&["A"])];
+        assert!(minimal_covers(&target, &coverages).is_empty());
+    }
+
+    #[test]
+    fn empty_coverage_sources_are_skipped() {
+        let target = s(&["A", "B"]);
+        let coverages = vec![s(&["Z"]), s(&["A", "B"]), s(&[])];
+        let covers = minimal_covers(&target, &coverages);
+        assert_eq!(covers, vec![vec![1]]);
+    }
+
+    #[test]
+    fn supersets_of_covers_are_not_minimal() {
+        let target = s(&["A", "B"]);
+        let coverages = vec![s(&["A", "B"]), s(&["A"]), s(&["B"])];
+        let mut covers = minimal_covers(&target, &coverages);
+        covers.sort();
+        // {0} and {1,2}; {0,1} etc are non-minimal.
+        assert_eq!(covers, vec![vec![0], vec![1, 2]]);
+    }
+
+    #[test]
+    fn empty_target_has_no_covers() {
+        assert!(minimal_covers(&AttrSet::empty(), &[s(&["A"])]).is_empty());
+    }
+
+    #[test]
+    fn single_source_exact_match() {
+        let covers = minimal_covers(&s(&["A"]), &[s(&["A"])]);
+        assert_eq!(covers, vec![vec![0]]);
+    }
+
+    #[test]
+    fn duplicate_sources_both_enumerate() {
+        // Two identical sources give two singleton minimal covers — the
+        // complement construction unions them, so duplicates are harmless.
+        let covers = minimal_covers(&s(&["A"]), &[s(&["A"]), s(&["A"])]);
+        assert_eq!(covers, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn covers_of_respects_limit() {
+        use crate::analysis::CoverSource;
+        let sources: Vec<CoverSource> = (0..3).map(CoverSource::View).collect();
+        let err = covers_of(&[], RelName::new("R"), &s(&["A"]), &sources, 2).unwrap_err();
+        assert!(matches!(err, CoreError::TooManyCoverSources { count: 3, limit: 2, .. }));
+    }
+}

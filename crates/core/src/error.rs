@@ -1,0 +1,78 @@
+//! Error types of the complement layer.
+
+use dwc_relalg::{RelName, RelalgError};
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T, E = CoreError> = std::result::Result<T, E>;
+
+/// Errors raised by the complement-computation layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// A substrate error (schema/typing/evaluation).
+    Relalg(RelalgError),
+    /// An expression could not be brought into PSJ normal form.
+    NotPsj { detail: String },
+    /// A PSJ view joins the same base relation twice; the paper's
+    /// constructions assume each `R_i` occurs at most once per view.
+    DuplicateRelationInView { relation: RelName },
+    /// A view or complement name collides with an existing name.
+    NameCollision(RelName),
+    /// Cover enumeration would explode: more candidate sources than the
+    /// configured limit (the search is exponential in this number).
+    TooManyCoverSources { relation: RelName, count: usize, limit: usize },
+    /// A view definition references a base relation missing from the
+    /// catalog.
+    UnknownBase(RelName),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Relalg(e) => write!(f, "{e}"),
+            CoreError::NotPsj { detail } => write!(f, "not a PSJ expression: {detail}"),
+            CoreError::DuplicateRelationInView { relation } => {
+                write!(f, "view joins `{relation}` more than once")
+            }
+            CoreError::NameCollision(n) => write!(f, "name `{n}` is already in use"),
+            CoreError::TooManyCoverSources { relation, count, limit } => write!(
+                f,
+                "cover enumeration for `{relation}` over {count} sources exceeds limit {limit}"
+            ),
+            CoreError::UnknownBase(n) => write!(f, "view references unknown base `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Relalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelalgError> for CoreError {
+    fn from(e: RelalgError) -> Self {
+        CoreError::Relalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::NotPsj { detail: "union at top level".into() };
+        assert!(e.to_string().contains("union"));
+        assert!(e.source().is_none());
+
+        let inner = RelalgError::UnknownRelation(RelName::new("X"));
+        let e: CoreError = inner.clone().into();
+        assert_eq!(e.to_string(), inner.to_string());
+        assert!(e.source().is_some());
+    }
+}

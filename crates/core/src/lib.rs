@@ -1,0 +1,68 @@
+//! # dwc-core — view complements for data warehouses
+//!
+//! This crate implements the central contribution of *Complements for
+//! Data Warehouses* (Laurent, Lechtenbörger, Spyratos, Vossen; ICDE
+//! 1999): computing a **complement** of a set of PSJ views — auxiliary
+//! views that, together with the warehouse views, let every base relation
+//! be recomputed (Definition 2.2) — and the corresponding **inverse
+//! expressions** (Equation (4)) which render the warehouse query- and
+//! update-independent.
+//!
+//! * [`psj`] — PSJ view normal form `π_Z(σ_c(R1 ⋈ … ⋈ Rk))` and
+//!   normalization of algebra expressions into it,
+//! * [`analysis`] — the paper's notation: `V_R`, `V_K`, IND-derived
+//!   pseudo-views, `V_K^ind`,
+//! * [`covers`] — minimal attribute covers `C_R^ind`,
+//! * [`basic`] — Proposition 2.2 (complements without constraints),
+//! * [`constrained`] — Theorem 2.2 (complements under key constraints and
+//!   acyclic inclusion dependencies, with extension joins),
+//! * [`complement`] — the [`Complement`](complement::Complement) artifact:
+//!   complement view definitions plus inverse expressions, and randomized
+//!   verification of the complement property (Proposition 2.1),
+//! * [`ordering`] — the information-content ordering `U ≤ V` on views
+//!   (Definition 2.1), decided on sampled states,
+//! * [`containment`] — sound syntactic containment proofs for the
+//!   natural-join PSJ fragment (cf. answering queries using views
+//!   [16, 19]),
+//! * [`minimality`] — complement comparison and the improved complement
+//!   of Example 2.2,
+//! * [`unionfact`] — union-integrated fact tables whose origin is
+//!   determined by a dimension selector (Section 5).
+//!
+//! ## Quick example (Figure 1 / Example 1.1)
+//!
+//! ```
+//! use dwc_relalg::Catalog;
+//! use dwc_core::psj::{NamedView, PsjView};
+//! use dwc_core::constrained::complement_of;
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.add_schema("Sale", &["item", "clerk"]).unwrap();
+//! catalog.add_schema_with_key("Emp", &["clerk", "age"], &["clerk"]).unwrap();
+//!
+//! // Sold = Sale ⋈ Emp
+//! let sold = NamedView::new(
+//!     "Sold",
+//!     PsjView::join_of(&catalog, &["Sale", "Emp"]).unwrap(),
+//! );
+//!
+//! let complement = complement_of(&catalog, &[sold]).unwrap();
+//! // One complement view per base relation: C_Sale and C_Emp
+//! assert_eq!(complement.entries().len(), 2);
+//! ```
+
+pub mod analysis;
+pub mod basic;
+pub mod complement;
+pub mod constrained;
+pub mod containment;
+pub mod covers;
+pub mod error;
+pub mod minimality;
+pub mod ordering;
+pub mod psj;
+pub mod unionfact;
+
+pub use complement::{Complement, ComplementEntry};
+pub use error::{CoreError, Result};
+pub use psj::{NamedView, PsjView};

@@ -1,0 +1,358 @@
+//! Complement comparison and the improved complement of Example 2.2.
+//!
+//! Theorem 2.1 states that for SJ views the Proposition 2.2 complement is
+//! minimal; Example 2.2 shows that for proper PSJ views it need not be,
+//! by exhibiting a strictly smaller complement for
+//! `D = {R(A,B,C)}`, `V1 = π_AB(R)`, `V2 = π_BC(R)`, `V3 = σ_{B=b}(R)`.
+//!
+//! ## A note on the paper's printed formula
+//!
+//! The paper prints the improved complement as
+//! `C'_R = (R ⋈ π_AB((V1 ⋈ V2) ∖ R)) ∖ V3`. As printed, the recomputation
+//! equation fails on the state `R = {(a,b,c), (a,b,e), (a2,b,e)}` with
+//! `V3 = ∅`: the spurious join tuple `(a2,b,c)` puts only `(a2,b,e)` into
+//! `C'_R`, the recomputation then removes `(b,e)` from the `V2` side and
+//! never recovers `(a,b,e)`. Projecting the ambiguity witness onto the
+//! *shared* (join) attributes `B` instead —
+//! `C'_R = (R ⋈ π_B((V1 ⋈ V2) ∖ R)) ∖ V3` — repairs the construction:
+//! every `B`-group is either fully ambiguous (stored in `C'_R`), or
+//! reconstructed exactly by `V1 ⋈ V2`. This module implements the
+//! repaired formula (the selection of `V3` must range over the shared
+//! attributes, as in the paper's `σ_{B=b}`); `C'_R` remains strictly
+//! smaller than the Proposition 2.2 complement `C_R = R ∖ V3` in general,
+//! which is the point of the example (experiment E5 quantifies the gap).
+
+use crate::complement::{Complement, ComplementEntry};
+use crate::error::{CoreError, Result};
+use crate::ordering::{compare_on_states, ViewOrder};
+use crate::psj::NamedView;
+use dwc_relalg::{Catalog, DbState, Predicate, RaExpr, RelName};
+use std::collections::BTreeMap;
+
+/// Compares two complements of the same warehouse pointwise (entry by
+/// entry, matched on the complemented base relation) on the given states.
+/// `Less` means `a` stores less information than `b` — i.e. `a` is the
+/// smaller complement (the ordering of Section 2 extended to sets).
+pub fn compare_complements(
+    a: &Complement,
+    b: &Complement,
+    states: &[DbState],
+) -> Result<ViewOrder> {
+    let mut all_le = true;
+    let mut all_ge = true;
+    let mut strict = false;
+    for ea in a.entries() {
+        let Some(eb) = b.entry_for(ea.base) else {
+            return Err(CoreError::UnknownBase(ea.base));
+        };
+        match compare_on_states(&ea.definition, &eb.definition, states)? {
+            ViewOrder::Equal => {}
+            ViewOrder::Less => {
+                all_ge = false;
+                strict = true;
+            }
+            ViewOrder::Greater => {
+                all_le = false;
+                strict = true;
+            }
+            ViewOrder::Incomparable => {
+                all_le = false;
+                all_ge = false;
+            }
+        }
+        if !all_le && !all_ge {
+            return Ok(ViewOrder::Incomparable);
+        }
+    }
+    Ok(match (all_le, all_ge, strict) {
+        (true, true, _) => ViewOrder::Equal,
+        (true, false, _) => ViewOrder::Less,
+        (false, true, _) => ViewOrder::Greater,
+        (false, false, _) => ViewOrder::Incomparable,
+    })
+}
+
+/// Randomized minimality refutation: `candidate` is *not* minimal if some
+/// other complement in `alternatives` is strictly smaller on the states.
+/// Returns the index of a strictly smaller alternative, if any. (True
+/// minimality quantifies over all complements and all states; this is the
+/// refutation direction, which is the checkable one.)
+pub fn find_smaller_complement(
+    candidate: &Complement,
+    alternatives: &[Complement],
+    states: &[DbState],
+) -> Result<Option<usize>> {
+    for (i, alt) in alternatives.iter().enumerate() {
+        if compare_complements(alt, candidate, states)? == ViewOrder::Less {
+            return Ok(Some(i));
+        }
+    }
+    Ok(None)
+}
+
+/// Builds the Example 2.2 improved complement (repaired formula, see the
+/// module docs) for a single-relation database `D = {R}` and views
+/// `V1 = π_{Z1}(R)`, `V2 = π_{Z2}(R)`, `V3 = σ_cond(R)` where
+/// `Z1 ∪ Z2 = attr(R)` and `cond` ranges over `Z1 ∩ Z2`.
+///
+/// The returned complement contains the single entry
+/// `C'_R = (R ⋈ π_{Z1∩Z2}((V1 ⋈ V2) ∖ R)) ∖ V3` and the inverse
+/// `R = C'_R ∪ V3 ∪ ((V1 ∖ π_{Z1}(C'_R ∪ V3)) ⋈ (V2 ∖ π_{Z2}(C'_R ∪ V3)))`.
+pub fn example_22_complement(
+    catalog: &Catalog,
+    v1: &NamedView,
+    v2: &NamedView,
+    v3: &NamedView,
+) -> Result<Complement> {
+    let base = check_single_base(v1)?;
+    if check_single_base(v2)? != base || check_single_base(v3)? != base {
+        return Err(CoreError::NotPsj {
+            detail: "all three views must range over the same single base relation".into(),
+        });
+    }
+    let schema = catalog.schema(base).map_err(CoreError::from)?;
+    let z1 = v1.header().clone();
+    let z2 = v2.header().clone();
+    if z1.union(&z2) != *schema.attrs() {
+        return Err(CoreError::NotPsj {
+            detail: format!("projections {z1} and {z2} must cover attr({base})"),
+        });
+    }
+    let shared = z1.intersect(&z2);
+    if shared.is_empty() {
+        return Err(CoreError::NotPsj {
+            detail: "the two projection views must share join attributes".into(),
+        });
+    }
+    if !matches!(v1.view().selection(), Predicate::True)
+        || !matches!(v2.view().selection(), Predicate::True)
+    {
+        return Err(CoreError::NotPsj {
+            detail: "V1 and V2 must be pure projections".into(),
+        });
+    }
+    if v3.header() != schema.attrs() || !v3.view().selection().attrs().is_subset(&shared) {
+        return Err(CoreError::NotPsj {
+            detail: format!(
+                "V3 must be a full-width selection of {base} over the shared attributes {shared}"
+            ),
+        });
+    }
+
+    let name = RelName::new(&format!("Cx_{base}"));
+    // Over warehouse names.
+    let spurious =
+        RaExpr::Base(v1.name()).join(RaExpr::Base(v2.name())); // V1 ⋈ V2 (reconstruction)
+    let cv3 = RaExpr::Base(name).union(RaExpr::Base(v3.name()));
+    let inverse_r = RaExpr::Base(name)
+        .union(RaExpr::Base(v3.name()))
+        .union(
+            RaExpr::Base(v1.name())
+                .diff(cv3.clone().project(z1.clone()))
+                .join(RaExpr::Base(v2.name()).diff(cv3.project(z2.clone()))),
+        );
+    // Over D (for materialization).
+    let defs: BTreeMap<RelName, RaExpr> = crate::psj::definitions(&[
+        v1.clone(),
+        v2.clone(),
+        v3.clone(),
+    ]);
+    let spurious_d = spurious.substitute(&defs).diff(RaExpr::Base(base));
+    let definition = RaExpr::Base(base)
+        .join(spurious_d.project(shared))
+        .diff(v3.to_expr())
+        .simplified(catalog)?;
+
+    let entries = vec![ComplementEntry {
+        base,
+        name,
+        definition,
+    }];
+    let inverse: BTreeMap<RelName, RaExpr> = [(base, inverse_r)].into();
+    Ok(Complement::new(entries, inverse))
+}
+
+fn check_single_base(v: &NamedView) -> Result<RelName> {
+    match v.view().relations() {
+        [r] => Ok(*r),
+        _ => Err(CoreError::NotPsj {
+            detail: format!("view {} must range over a single base relation", v.name()),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic;
+    use crate::psj::PsjView;
+    use dwc_relalg::{rel, AttrSet};
+
+    /// Example 2.2 setting: D = {R(A,B,C)}, V1 = π_AB(R), V2 = π_BC(R),
+    /// V3 = σ_{B=5}(R).
+    fn example_22() -> (Catalog, Vec<NamedView>) {
+        let mut c = Catalog::new();
+        c.add_schema("R", &["A", "B", "C"]).unwrap();
+        let views = vec![
+            NamedView::new("V1", PsjView::project_of(&c, "R", &["A", "B"]).unwrap()),
+            NamedView::new("V2", PsjView::project_of(&c, "R", &["B", "C"]).unwrap()),
+            NamedView::new(
+                "V3",
+                PsjView::select_of(&c, "R", Predicate::attr_eq("B", 5)).unwrap(),
+            ),
+        ];
+        (c, views)
+    }
+
+    fn states() -> Vec<DbState> {
+        let mk = |rows: Vec<(i64, i64, i64)>| {
+            let mut d = DbState::new();
+            d.insert_relation(
+                "R",
+                dwc_relalg::Relation::from_rows(
+                    &["A", "B", "C"],
+                    rows.into_iter().map(|(a, b, c)| {
+                        vec![
+                            dwc_relalg::Value::int(a),
+                            dwc_relalg::Value::int(b),
+                            dwc_relalg::Value::int(c),
+                        ]
+                    }),
+                )
+                .unwrap(),
+            );
+            d
+        };
+        vec![
+            mk(vec![]),
+            mk(vec![(1, 5, 1)]),
+            mk(vec![(1, 2, 3)]),
+            mk(vec![(1, 2, 3), (1, 2, 4)]),
+            mk(vec![(1, 2, 3), (4, 2, 3)]),
+            // the counterexample to the paper's printed formula:
+            mk(vec![(1, 2, 3), (1, 2, 5), (9, 2, 5)]),
+            mk(vec![(1, 5, 1), (1, 2, 3), (7, 2, 3), (7, 2, 8), (1, 9, 9)]),
+            mk(vec![(1, 2, 3), (4, 5, 6), (4, 5, 7), (8, 5, 6)]),
+        ]
+    }
+
+    #[test]
+    fn improved_complement_is_a_complement() {
+        let (c, views) = example_22();
+        let comp = example_22_complement(&c, &views[0], &views[1], &views[2]).unwrap();
+        for (i, d) in states().iter().enumerate() {
+            assert_eq!(
+                comp.verify_on(&c, &views, d).unwrap(),
+                Ok(()),
+                "failed on state #{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn papers_printed_formula_fails_on_counterexample() {
+        // Demonstrates why the repaired formula projects onto B: with the
+        // printed π_AB the recomputation loses (1,2,5).
+        let (_c, views) = example_22();
+        let defs = crate::psj::definitions(&views);
+        let spurious_d = RaExpr::base("V1")
+            .join(RaExpr::base("V2"))
+            .substitute(&defs)
+            .diff(RaExpr::base("R"));
+        let printed = RaExpr::base("R")
+            .join(spurious_d.project(AttrSet::from_names(&["A", "B"])))
+            .diff(views[2].to_expr());
+        let d = &states()[5];
+        let cr = printed.eval(d).unwrap();
+        // C'_R (printed) = {(9,2,5)} only.
+        assert_eq!(cr, rel! { ["A", "B", "C"] => (9, 2, 5) });
+        // Recomputation per the paper:
+        let mut w = DbState::new();
+        w.insert_relation("Cx", cr);
+        w.insert_relation("V1", views[0].to_expr().eval(d).unwrap());
+        w.insert_relation("V2", views[1].to_expr().eval(d).unwrap());
+        w.insert_relation("V3", views[2].to_expr().eval(d).unwrap());
+        let cv3 = RaExpr::base("Cx").union(RaExpr::base("V3"));
+        let recomputed = RaExpr::base("Cx")
+            .union(RaExpr::base("V3"))
+            .union(
+                RaExpr::base("V1")
+                    .diff(cv3.clone().project_names(&["A", "B"]))
+                    .join(RaExpr::base("V2").diff(cv3.project_names(&["B", "C"]))),
+            )
+            .eval(&w)
+            .unwrap();
+        let original = d.relation(RelName::new("R")).unwrap();
+        assert_ne!(&recomputed, original, "the printed formula should fail here");
+        assert!(recomputed.is_subset(original).unwrap());
+        assert_eq!(original.len() - recomputed.len(), 1); // (1,2,5) is lost
+    }
+
+    #[test]
+    fn improved_is_strictly_smaller_than_prop_22() {
+        let (c, views) = example_22();
+        let improved = example_22_complement(&c, &views[0], &views[1], &views[2]).unwrap();
+        let prop22 = basic::complement_of(&c, &views).unwrap();
+        let sts = states();
+        assert_eq!(
+            compare_complements(&improved, &prop22, &sts).unwrap(),
+            ViewOrder::Less
+        );
+        assert_eq!(
+            find_smaller_complement(&prop22, &[improved], &sts).unwrap(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn prop22_has_no_smaller_rival_among_trivial_ones() {
+        let (c, views) = example_22();
+        let prop22 = basic::complement_of(&c, &views).unwrap();
+        // The trivial complement (copy R) is larger, not smaller.
+        let trivial = Complement::new(
+            vec![ComplementEntry {
+                base: RelName::new("R"),
+                name: RelName::new("CT_R"),
+                definition: RaExpr::base("R"),
+            }],
+            [(RelName::new("R"), RaExpr::base("CT_R"))].into(),
+        );
+        let sts = states();
+        assert_eq!(
+            find_smaller_complement(&prop22, std::slice::from_ref(&trivial), &sts).unwrap(),
+            None
+        );
+        assert_eq!(
+            compare_complements(&trivial, &prop22, &sts).unwrap(),
+            ViewOrder::Greater
+        );
+    }
+
+    #[test]
+    fn shape_validation() {
+        let (c, views) = example_22();
+        // V3 selection over non-shared attribute A is rejected.
+        let bad_v3 = NamedView::new(
+            "V3b",
+            PsjView::select_of(&c, "R", Predicate::attr_eq("A", 1)).unwrap(),
+        );
+        assert!(example_22_complement(&c, &views[0], &views[1], &bad_v3).is_err());
+        // Projections not covering attr(R) are rejected.
+        let narrow = NamedView::new("Vn", PsjView::project_of(&c, "R", &["A"]).unwrap());
+        assert!(example_22_complement(&c, &narrow, &views[1], &views[2]).is_err());
+        // V1 with a selection is rejected.
+        let mut c2 = Catalog::new();
+        c2.add_schema("R", &["A", "B", "C"]).unwrap();
+        let sel_view = NamedView::new(
+            "Vs",
+            PsjView::new(
+                &c2,
+                vec![RelName::new("R")],
+                Predicate::attr_eq("B", 1),
+                AttrSet::from_names(&["A", "B"]),
+            )
+            .unwrap(),
+        );
+        assert!(example_22_complement(&c2, &sel_view, &views[1], &views[2]).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! The information-content ordering on views (Definition 2.1).
+//!
+//! `U ≤ V` iff `U(d) ⊆ V(d)` for *every* state `d`, and `U < V` iff
+//! additionally some state witnesses a proper inclusion. The universal
+//! quantifier is not decidable by evaluation, so this module decides the
+//! ordering *relative to a family of states*: testing enough
+//! (randomly generated, constraint-satisfying) states refutes false
+//! orderings and corroborates true ones. All callers document this
+//! sampled semantics.
+
+use crate::error::{CoreError, Result};
+use dwc_relalg::{DbState, RaExpr};
+use std::cmp::Ordering;
+
+/// Outcome of comparing two views on a family of states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViewOrder {
+    /// `U(d) = V(d)` on every state checked.
+    Equal,
+    /// `U(d) ⊆ V(d)` everywhere, properly on at least one state.
+    Less,
+    /// `V(d) ⊆ U(d)` everywhere, properly on at least one state.
+    Greater,
+    /// Both directions fail on some state.
+    Incomparable,
+}
+
+impl ViewOrder {
+    /// `≤` in the sense of Definition 2.1 (on the states checked).
+    pub fn is_le(self) -> bool {
+        matches!(self, ViewOrder::Equal | ViewOrder::Less)
+    }
+
+    /// Converts to a partial `Ordering` where possible.
+    pub fn as_ordering(self) -> Option<Ordering> {
+        match self {
+            ViewOrder::Equal => Some(Ordering::Equal),
+            ViewOrder::Less => Some(Ordering::Less),
+            ViewOrder::Greater => Some(Ordering::Greater),
+            ViewOrder::Incomparable => None,
+        }
+    }
+}
+
+/// Compares `u` and `v` (which must share a header) on the given states.
+pub fn compare_on_states<'a>(
+    u: &RaExpr,
+    v: &RaExpr,
+    states: impl IntoIterator<Item = &'a DbState>,
+) -> Result<ViewOrder> {
+    let mut u_le_v = true;
+    let mut v_le_u = true;
+    let mut proper = false;
+    for d in states {
+        let ru = u.eval(d).map_err(CoreError::from)?;
+        let rv = v.eval(d).map_err(CoreError::from)?;
+        let le = ru.is_subset(&rv).map_err(CoreError::from)?;
+        let ge = rv.is_subset(&ru).map_err(CoreError::from)?;
+        u_le_v &= le;
+        v_le_u &= ge;
+        proper |= le != ge;
+        if !u_le_v && !v_le_u {
+            return Ok(ViewOrder::Incomparable);
+        }
+    }
+    Ok(match (u_le_v, v_le_u) {
+        (true, true) => ViewOrder::Equal,
+        (true, false) => ViewOrder::Less,
+        (false, true) => ViewOrder::Greater,
+        (false, false) => unreachable!("early return above"),
+    })
+    .inspect(|&o| {
+        // `proper` is implied by the flags, but make Equal explicit when
+        // no state separated the views.
+        debug_assert!(o != ViewOrder::Equal || !proper);
+    })
+}
+
+/// `u ≤ v` on the given states.
+pub fn le_on_states<'a>(
+    u: &RaExpr,
+    v: &RaExpr,
+    states: impl IntoIterator<Item = &'a DbState>,
+) -> Result<bool> {
+    Ok(compare_on_states(u, v, states)?.is_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwc_relalg::rel;
+
+    fn states() -> Vec<DbState> {
+        let mut a = DbState::new();
+        a.insert_relation("R", rel! { ["x"] => (1,), (2,) });
+        let mut b = DbState::new();
+        b.insert_relation("R", rel! { ["x"] => (2,), (3,), (4,) });
+        let mut c = DbState::new();
+        c.insert_relation("R", rel! { ["x"] => });
+        vec![a, b, c]
+    }
+
+    #[test]
+    fn selection_is_less_than_base() {
+        let s = states();
+        let sel = RaExpr::parse("sigma[x >= 3](R)").unwrap();
+        let base = RaExpr::parse("R").unwrap();
+        assert_eq!(compare_on_states(&sel, &base, &s).unwrap(), ViewOrder::Less);
+        assert_eq!(compare_on_states(&base, &sel, &s).unwrap(), ViewOrder::Greater);
+        assert!(le_on_states(&sel, &base, &s).unwrap());
+        assert!(!le_on_states(&base, &sel, &s).unwrap());
+    }
+
+    #[test]
+    fn equal_expressions() {
+        let s = states();
+        let a = RaExpr::parse("sigma[x >= 1](R)").unwrap();
+        let b = RaExpr::parse("R").unwrap();
+        // On these states every x ≥ 1, so the views coincide.
+        assert_eq!(compare_on_states(&a, &b, &s).unwrap(), ViewOrder::Equal);
+    }
+
+    #[test]
+    fn incomparable_selections() {
+        let s = states();
+        let a = RaExpr::parse("sigma[x <= 2](R)").unwrap();
+        let b = RaExpr::parse("sigma[x >= 2](R)").unwrap();
+        assert_eq!(compare_on_states(&a, &b, &s).unwrap(), ViewOrder::Incomparable);
+        assert_eq!(
+            compare_on_states(&a, &b, &s).unwrap().as_ordering(),
+            None
+        );
+    }
+
+    #[test]
+    fn header_mismatch_is_error() {
+        let mut d = DbState::new();
+        d.insert_relation("R", rel! { ["x"] => (1,) });
+        d.insert_relation("S", rel! { ["y"] => (1,) });
+        let a = RaExpr::base("R");
+        let b = RaExpr::base("S");
+        assert!(compare_on_states(&a, &b, [&d]).is_err());
+    }
+
+    #[test]
+    fn empty_state_family_says_equal() {
+        let a = RaExpr::base("R");
+        let b = RaExpr::base("S");
+        // Vacuously equal — callers must supply states.
+        assert_eq!(compare_on_states(&a, &b, []).unwrap(), ViewOrder::Equal);
+    }
+}

@@ -1,0 +1,503 @@
+//! PSJ views: `π_Z(σ_cond(R_{i1} ⋈ … ⋈ R_{ik}))`.
+//!
+//! The paper's complement constructions are defined for
+//! projection–selection–join views over the base schemata `D`. This
+//! module provides the normal form ([`PsjView`]), named views
+//! ([`NamedView`]) as the warehouse definition `V = {V1, …, Vk}`, and a
+//! normalizer that brings general algebra expressions of PSJ shape into
+//! the normal form.
+
+use crate::error::{CoreError, Result};
+use dwc_relalg::expr::HeaderResolver;
+use dwc_relalg::{AttrSet, Catalog, Predicate, RaExpr, RelName};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A view in PSJ normal form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PsjView {
+    /// The joined base relations `R_{i1}, …, R_{ik}` (sorted, distinct).
+    relations: Vec<RelName>,
+    /// The selection condition (over the join attributes).
+    selection: Predicate,
+    /// The final projection `Z` (a subset of the join attributes).
+    projection: AttrSet,
+}
+
+impl PsjView {
+    /// Builds and validates a PSJ view against the catalog.
+    pub fn new(
+        catalog: &Catalog,
+        relations: Vec<RelName>,
+        selection: Predicate,
+        projection: AttrSet,
+    ) -> Result<PsjView> {
+        if relations.is_empty() {
+            return Err(CoreError::NotPsj {
+                detail: "a PSJ view must join at least one base relation".into(),
+            });
+        }
+        let mut sorted = relations;
+        sorted.sort_unstable();
+        for pair in sorted.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(CoreError::DuplicateRelationInView { relation: pair[0] });
+            }
+        }
+        let mut join_attrs = AttrSet::empty();
+        for &r in &sorted {
+            let schema = catalog
+                .schema(r)
+                .map_err(|_| CoreError::UnknownBase(r))?;
+            join_attrs = join_attrs.union(schema.attrs());
+        }
+        if !selection.attrs().is_subset(&join_attrs) {
+            return Err(CoreError::NotPsj {
+                detail: format!(
+                    "selection references {} outside join attributes {join_attrs}",
+                    selection.attrs()
+                ),
+            });
+        }
+        if projection.is_empty() || !projection.is_subset(&join_attrs) {
+            return Err(CoreError::NotPsj {
+                detail: format!(
+                    "projection {projection} must be a non-empty subset of join attributes {join_attrs}"
+                ),
+            });
+        }
+        Ok(PsjView {
+            relations: sorted,
+            selection,
+            projection,
+        })
+    }
+
+    /// The identity view on a single base relation.
+    pub fn of_base(catalog: &Catalog, name: &str) -> Result<PsjView> {
+        let r = RelName::new(name);
+        let attrs = catalog
+            .schema(r)
+            .map_err(|_| CoreError::UnknownBase(r))?
+            .attrs()
+            .clone();
+        PsjView::new(catalog, vec![r], Predicate::True, attrs)
+    }
+
+    /// The SJ view joining the named relations with no selection and full
+    /// projection.
+    pub fn join_of(catalog: &Catalog, names: &[&str]) -> Result<PsjView> {
+        let relations: Vec<RelName> = names.iter().map(|n| RelName::new(n)).collect();
+        let mut attrs = AttrSet::empty();
+        for &r in &relations {
+            attrs = attrs.union(
+                catalog
+                    .schema(r)
+                    .map_err(|_| CoreError::UnknownBase(r))?
+                    .attrs(),
+            );
+        }
+        PsjView::new(catalog, relations, Predicate::True, attrs)
+    }
+
+    /// A projection view `π_Z(R)` of a single base relation.
+    pub fn project_of(catalog: &Catalog, name: &str, attrs: &[&str]) -> Result<PsjView> {
+        PsjView::new(
+            catalog,
+            vec![RelName::new(name)],
+            Predicate::True,
+            AttrSet::from_names(attrs),
+        )
+    }
+
+    /// A selection view `σ_pred(R)` of a single base relation.
+    pub fn select_of(catalog: &Catalog, name: &str, pred: Predicate) -> Result<PsjView> {
+        let r = RelName::new(name);
+        let attrs = catalog
+            .schema(r)
+            .map_err(|_| CoreError::UnknownBase(r))?
+            .attrs()
+            .clone();
+        PsjView::new(catalog, vec![r], pred, attrs)
+    }
+
+    /// The joined base relations, sorted.
+    pub fn relations(&self) -> &[RelName] {
+        &self.relations
+    }
+
+    /// The selection condition.
+    pub fn selection(&self) -> &Predicate {
+        &self.selection
+    }
+
+    /// The projected attribute set `Z` — also the view's output header.
+    pub fn projection(&self) -> &AttrSet {
+        &self.projection
+    }
+
+    /// True iff the view's definition involves base relation `r`
+    /// (membership in the paper's `V_R`).
+    pub fn involves(&self, r: RelName) -> bool {
+        self.relations.binary_search(&r).is_ok()
+    }
+
+    /// The union of the attributes of all joined relations.
+    pub fn join_attrs(&self, catalog: &Catalog) -> AttrSet {
+        self.relations.iter().fold(AttrSet::empty(), |acc, &r| {
+            catalog
+                .schema(r)
+                .map(|s| acc.union(s.attrs()))
+                .unwrap_or(acc)
+        })
+    }
+
+    /// True iff the view is an SJ view: the final projection keeps *all*
+    /// attributes of the joined relations (Theorem 2.1's precondition).
+    pub fn is_sj(&self, catalog: &Catalog) -> bool {
+        self.projection == self.join_attrs(catalog)
+    }
+
+    /// The defining algebra expression over base relation names.
+    pub fn to_expr(&self) -> RaExpr {
+        let join = RaExpr::join_all(self.relations.iter().map(|&r| RaExpr::Base(r)))
+            .expect("PSJ views join at least one relation");
+        let selected = match &self.selection {
+            Predicate::True => join,
+            p => join.select(p.clone()),
+        };
+        // For SJ views this projection is the identity; the simplifier
+        // removes it when expressions are post-processed.
+        selected.project(self.projection.clone())
+    }
+
+    /// Brings an arbitrary expression of PSJ shape (selections,
+    /// projections and joins over base relations) into normal form.
+    /// Returns [`CoreError::NotPsj`] for unions, differences, renamings,
+    /// or join/projection nestings that do not commute (a projection that
+    /// hides an attribute shared with the other join input).
+    pub fn from_expr(catalog: &Catalog, expr: &RaExpr) -> Result<PsjView> {
+        let raw = normalize(catalog, expr)?;
+        PsjView::new(catalog, raw.relations, raw.selection, raw.projection)
+    }
+}
+
+struct Raw {
+    relations: Vec<RelName>,
+    selection: Predicate,
+    projection: AttrSet,
+}
+
+fn normalize(catalog: &Catalog, expr: &RaExpr) -> Result<Raw> {
+    match expr {
+        RaExpr::Base(r) => {
+            let attrs = catalog
+                .schema(*r)
+                .map_err(|_| CoreError::UnknownBase(*r))?
+                .attrs()
+                .clone();
+            Ok(Raw {
+                relations: vec![*r],
+                selection: Predicate::True,
+                projection: attrs,
+            })
+        }
+        RaExpr::Select(input, pred) => {
+            let inner = normalize(catalog, input)?;
+            if !pred.attrs().is_subset(&inner.projection) {
+                return Err(CoreError::NotPsj {
+                    detail: format!(
+                        "selection {pred} uses attributes hidden by an inner projection"
+                    ),
+                });
+            }
+            Ok(Raw {
+                relations: inner.relations,
+                selection: inner.selection.and(pred.clone()),
+                projection: inner.projection,
+            })
+        }
+        RaExpr::Project(input, wanted) => {
+            let inner = normalize(catalog, input)?;
+            if !wanted.is_subset(&inner.projection) {
+                return Err(CoreError::NotPsj {
+                    detail: format!(
+                        "projection {wanted} is not a subset of the inner projection {}",
+                        inner.projection
+                    ),
+                });
+            }
+            Ok(Raw {
+                relations: inner.relations,
+                selection: inner.selection,
+                projection: wanted.clone(),
+            })
+        }
+        RaExpr::Join(l, r) => {
+            let left = normalize(catalog, l)?;
+            let right = normalize(catalog, r)?;
+            for lr in &left.relations {
+                if right.relations.contains(lr) {
+                    return Err(CoreError::DuplicateRelationInView { relation: *lr });
+                }
+            }
+            // A projection below a join commutes with the join only when
+            // the hidden attributes do not occur on the other side.
+            let left_join_attrs = join_attrs_of(catalog, &left.relations);
+            let right_join_attrs = join_attrs_of(catalog, &right.relations);
+            let left_hidden = left_join_attrs.difference(&left.projection);
+            let right_hidden = right_join_attrs.difference(&right.projection);
+            if !left_hidden.is_disjoint(&right_join_attrs)
+                || !right_hidden.is_disjoint(&left_join_attrs)
+            {
+                return Err(CoreError::NotPsj {
+                    detail: "a projection hides attributes shared with the other join input"
+                        .into(),
+                });
+            }
+            let mut relations = left.relations;
+            relations.extend(right.relations);
+            Ok(Raw {
+                relations,
+                selection: left.selection.and(right.selection),
+                projection: left.projection.union(&right.projection),
+            })
+        }
+        other => Err(CoreError::NotPsj {
+            detail: format!("operator not allowed in PSJ views: {other}"),
+        }),
+    }
+}
+
+fn join_attrs_of(catalog: &Catalog, relations: &[RelName]) -> AttrSet {
+    relations.iter().fold(AttrSet::empty(), |acc, &r| {
+        catalog
+            .schema(r)
+            .map(|s| acc.union(s.attrs()))
+            .unwrap_or(acc)
+    })
+}
+
+impl fmt::Display for PsjView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_expr())
+    }
+}
+
+/// A named PSJ view: one element of the warehouse definition `V`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NamedView {
+    name: RelName,
+    view: PsjView,
+}
+
+impl NamedView {
+    /// Names a view.
+    pub fn new(name: impl Into<RelName>, view: PsjView) -> NamedView {
+        NamedView {
+            name: name.into(),
+            view,
+        }
+    }
+
+    /// The view name.
+    pub fn name(&self) -> RelName {
+        self.name
+    }
+
+    /// The underlying PSJ definition.
+    pub fn view(&self) -> &PsjView {
+        &self.view
+    }
+
+    /// The view's output header (its projection `Z`).
+    pub fn header(&self) -> &AttrSet {
+        self.view.projection()
+    }
+
+    /// The defining expression over base relations.
+    pub fn to_expr(&self) -> RaExpr {
+        self.view.to_expr()
+    }
+}
+
+/// The map `view name → defining expression over D`, used to inline view
+/// definitions when materializing complements.
+pub fn definitions(views: &[NamedView]) -> BTreeMap<RelName, RaExpr> {
+    views
+        .iter()
+        .map(|v| (v.name(), v.to_expr()))
+        .collect()
+}
+
+/// A header resolver that knows the catalog's base relations *and* the
+/// named views (a view's header is its projection set). Used to
+/// type-check expressions that mix base and view references.
+pub struct ViewResolver<'a> {
+    catalog: &'a Catalog,
+    views: &'a [NamedView],
+}
+
+impl<'a> ViewResolver<'a> {
+    /// Builds a resolver over a catalog and a set of named views.
+    pub fn new(catalog: &'a Catalog, views: &'a [NamedView]) -> ViewResolver<'a> {
+        ViewResolver { catalog, views }
+    }
+}
+
+impl HeaderResolver for ViewResolver<'_> {
+    fn header_of(&self, name: RelName) -> dwc_relalg::Result<AttrSet> {
+        if let Some(v) = self.views.iter().find(|v| v.name() == name) {
+            return Ok(v.header().clone());
+        }
+        self.catalog.header_of(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_schema("Sale", &["item", "clerk"]).unwrap();
+        c.add_schema_with_key("Emp", &["clerk", "age"], &["clerk"]).unwrap();
+        c.add_schema("T", &["clerk", "region"]).unwrap();
+        c
+    }
+
+    #[test]
+    fn join_of_builds_sj_view() {
+        let c = catalog();
+        let sold = PsjView::join_of(&c, &["Sale", "Emp"]).unwrap();
+        assert!(sold.is_sj(&c));
+        assert_eq!(sold.projection(), &AttrSet::from_names(&["item", "clerk", "age"]));
+        assert_eq!(sold.relations().len(), 2);
+        assert!(sold.involves(RelName::new("Sale")));
+        assert!(!sold.involves(RelName::new("T")));
+    }
+
+    #[test]
+    fn to_expr_round_trips_through_eval() {
+        use dwc_relalg::{rel, DbState};
+        let c = catalog();
+        let mut db = DbState::new();
+        db.insert_relation("Sale", rel! { ["item", "clerk"] => ("PC", "John") });
+        db.insert_relation("Emp", rel! { ["clerk", "age"] => ("John", 25), ("Paula", 32) });
+        let sold = PsjView::join_of(&c, &["Sale", "Emp"]).unwrap();
+        let r = sold.to_expr().eval(&db).unwrap();
+        assert_eq!(r, rel! { ["item", "clerk", "age"] => ("PC", "John", 25) });
+    }
+
+    #[test]
+    fn validation_rejects_bad_views() {
+        let c = catalog();
+        // empty relation list
+        assert!(PsjView::new(&c, vec![], Predicate::True, AttrSet::from_names(&["a"])).is_err());
+        // duplicate relation
+        let err = PsjView::new(
+            &c,
+            vec![RelName::new("Emp"), RelName::new("Emp")],
+            Predicate::True,
+            AttrSet::from_names(&["clerk"]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::DuplicateRelationInView { .. }));
+        // unknown base
+        assert!(matches!(
+            PsjView::of_base(&c, "Nope"),
+            Err(CoreError::UnknownBase(_))
+        ));
+        // selection out of scope
+        assert!(PsjView::select_of(&c, "Sale", Predicate::attr_eq("age", 1)).is_err());
+        // projection out of scope
+        assert!(PsjView::project_of(&c, "Sale", &["age"]).is_err());
+        // empty projection
+        assert!(PsjView::new(
+            &c,
+            vec![RelName::new("Sale")],
+            Predicate::True,
+            AttrSet::empty()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn from_expr_normalizes_psj_shapes() {
+        let c = catalog();
+        let e = RaExpr::parse("pi[age](sigma[item = 'PC'](Sale join Emp))").unwrap();
+        let v = PsjView::from_expr(&c, &e).unwrap();
+        assert_eq!(v.projection(), &AttrSet::from_names(&["age"]));
+        assert_eq!(v.selection(), &Predicate::attr_eq("item", "PC"));
+        assert_eq!(v.relations().len(), 2);
+
+        // selection below projection merges via conjunction
+        let e = RaExpr::parse("sigma[age = 25](pi[clerk, age](sigma[item = 'PC'](Sale join Emp)))")
+            .unwrap();
+        let v = PsjView::from_expr(&c, &e).unwrap();
+        assert_eq!(
+            v.selection(),
+            &Predicate::attr_eq("item", "PC").and(Predicate::attr_eq("age", 25))
+        );
+    }
+
+    #[test]
+    fn from_expr_join_of_projections_when_disjoint_hidden() {
+        let c = catalog();
+        // π hides `item` on the left; `item` does not occur in Emp, fine.
+        let e = RaExpr::parse("pi[clerk](Sale) join Emp").unwrap();
+        let v = PsjView::from_expr(&c, &e).unwrap();
+        assert_eq!(v.projection(), &AttrSet::from_names(&["clerk", "age"]));
+    }
+
+    #[test]
+    fn from_expr_rejects_non_commuting_projection() {
+        let c = catalog();
+        // π hides `clerk` which is the join attribute with Emp — the
+        // projected join is NOT equivalent to a PSJ normal form.
+        let e = RaExpr::parse("pi[item](Sale) join Emp").unwrap();
+        assert!(matches!(
+            PsjView::from_expr(&c, &e),
+            Err(CoreError::NotPsj { .. })
+        ));
+    }
+
+    #[test]
+    fn from_expr_rejects_non_psj_operators() {
+        let c = catalog();
+        for text in [
+            "Sale union Sale",
+            "Emp minus pi[clerk, age](Sale join Emp)",
+            "rho[age -> years](Emp)",
+            "empty[a]",
+            "Sale join Sale",
+            "sigma[region = 'x'](pi[clerk](T)) join Emp", // selection on hidden attr? no — region hidden
+        ] {
+            let e = RaExpr::parse(text).unwrap();
+            assert!(PsjView::from_expr(&c, &e).is_err(), "{text} should not normalize");
+        }
+    }
+
+    #[test]
+    fn named_view_and_definitions() {
+        let c = catalog();
+        let sold = NamedView::new("Sold", PsjView::join_of(&c, &["Sale", "Emp"]).unwrap());
+        assert_eq!(sold.name(), RelName::new("Sold"));
+        let defs = definitions(std::slice::from_ref(&sold));
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs[&RelName::new("Sold")], sold.to_expr());
+    }
+
+    #[test]
+    fn view_resolver_layers_views_over_catalog() {
+        let c = catalog();
+        let views = vec![NamedView::new(
+            "Sold",
+            PsjView::join_of(&c, &["Sale", "Emp"]).unwrap(),
+        )];
+        let r = ViewResolver::new(&c, &views);
+        let q = RaExpr::parse("pi[clerk](Sold) union pi[clerk](Emp)").unwrap();
+        assert!(q.attrs(&r).is_ok());
+        assert!(RaExpr::base("Nope").attrs(&r).is_err());
+    }
+}

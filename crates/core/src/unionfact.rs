@@ -1,0 +1,343 @@
+//! Union-integrated fact tables (Section 5).
+//!
+//! Multi-site businesses integrate per-site fact extractions by union:
+//! `U = σ_{sel=v₁}(E₁) ∪ … ∪ σ_{sel=vₖ}(Eₖ)`, one PSJ branch per site.
+//! Views containing union cannot carry the complement machinery in
+//! general, *but* — the paper's observation — when a dimension attribute
+//! (the *selector*) determines each tuple's origin, selecting on it
+//! recovers every branch exactly:
+//!
+//! ```text
+//! σ_{sel=vᵢ}(U) = branchᵢ        (branches with other selector values
+//!                                  contribute nothing to the selection)
+//! ```
+//!
+//! So the complement computation can treat the branches as ordinary PSJ
+//! views, and the resulting inverse expressions just need every branch
+//! reference replaced by `σ_{sel=vᵢ}(U)` — which is what
+//! [`complement_for`] does. Only `U` itself is stored at the warehouse.
+
+use crate::complement::{Complement, ComplementResolver};
+use crate::constrained::{complement_with, ComplementOptions};
+use crate::error::{CoreError, Result};
+use crate::psj::{NamedView, PsjView};
+use dwc_relalg::expr::HeaderResolver;
+use dwc_relalg::{Attr, AttrSet, Catalog, Predicate, RaExpr, RelName, Value};
+use std::collections::BTreeMap;
+
+/// A fact table integrated by union over selector-disjoint PSJ branches.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnionFactView {
+    name: RelName,
+    selector: Attr,
+    branches: Vec<(Value, PsjView)>,
+}
+
+impl UnionFactView {
+    /// Builds and validates a union fact table. Every branch view must
+    /// project the selector attribute, all branches must share one
+    /// header, and the selector values must be pairwise distinct. Each
+    /// branch's effective definition conjoins `selector = value` onto the
+    /// branch's selection (so branch tuples *provably* carry their
+    /// origin).
+    pub fn new(
+        catalog: &Catalog,
+        name: impl Into<RelName>,
+        selector: &str,
+        branches: Vec<(Value, PsjView)>,
+    ) -> Result<UnionFactView> {
+        let name = name.into();
+        let selector = Attr::new(selector);
+        if branches.is_empty() {
+            return Err(CoreError::NotPsj {
+                detail: format!("union fact `{name}` needs at least one branch"),
+            });
+        }
+        let header = branches[0].1.projection().clone();
+        let mut tagged = Vec::with_capacity(branches.len());
+        for (i, (value, view)) in branches.into_iter().enumerate() {
+            if view.projection() != &header {
+                return Err(CoreError::NotPsj {
+                    detail: format!(
+                        "branch {i} of `{name}` has header {} instead of {header}",
+                        view.projection()
+                    ),
+                });
+            }
+            if !header.contains(selector) {
+                return Err(CoreError::NotPsj {
+                    detail: format!("branches of `{name}` must project the selector `{selector}`"),
+                });
+            }
+            if tagged.iter().any(|(v, _)| v == &value) {
+                return Err(CoreError::NotPsj {
+                    detail: format!("duplicate selector value {value} in `{name}`"),
+                });
+            }
+            // Conjoin the origin condition.
+            let effective = PsjView::new(
+                catalog,
+                view.relations().to_vec(),
+                view.selection().clone().and(Predicate::Cmp(
+                    dwc_relalg::Operand::Attr(selector),
+                    dwc_relalg::CmpOp::Eq,
+                    dwc_relalg::Operand::Const(value.clone()),
+                )),
+                header.clone(),
+            )?;
+            tagged.push((value, effective));
+        }
+        Ok(UnionFactView {
+            name,
+            selector,
+            branches: tagged,
+        })
+    }
+
+    /// The fact table's name (the only stored relation).
+    pub fn name(&self) -> RelName {
+        self.name
+    }
+
+    /// The selector attribute.
+    pub fn selector(&self) -> Attr {
+        self.selector
+    }
+
+    /// The common branch header (= the fact table's header).
+    pub fn header(&self) -> &AttrSet {
+        self.branches[0].1.projection()
+    }
+
+    /// The branches with their selector values (selection already
+    /// conjoined with `selector = value`).
+    pub fn branches(&self) -> &[(Value, PsjView)] {
+        &self.branches
+    }
+
+    /// The defining expression over `D`: the union of the branches.
+    pub fn to_expr(&self) -> RaExpr {
+        RaExpr::union_all(self.branches.iter().map(|(_, v)| v.to_expr()))
+            .expect("at least one branch")
+    }
+
+    /// The synthetic per-branch views fed to the complement computation.
+    pub fn branch_views(&self) -> Vec<NamedView> {
+        self.branches
+            .iter()
+            .enumerate()
+            .map(|(i, (_, view))| NamedView::new(self.branch_name(i), view.clone()))
+            .collect()
+    }
+
+    /// The substitution mapping each branch reference back onto the
+    /// stored union: `branchᵢ ↦ σ_{sel=vᵢ}(U)`.
+    pub fn fold_map(&self) -> BTreeMap<RelName, RaExpr> {
+        self.branches
+            .iter()
+            .enumerate()
+            .map(|(i, (value, _))| {
+                (
+                    self.branch_name(i),
+                    RaExpr::Base(self.name).select(Predicate::Cmp(
+                        dwc_relalg::Operand::Attr(self.selector),
+                        dwc_relalg::CmpOp::Eq,
+                        dwc_relalg::Operand::Const(value.clone()),
+                    )),
+                )
+            })
+            .collect()
+    }
+
+    fn branch_name(&self, i: usize) -> RelName {
+        RelName::new(&format!("{}@b{i}", self.name))
+    }
+}
+
+/// Computes a complement for a warehouse mixing plain PSJ views and
+/// union fact tables: the branches participate in the Theorem 2.2
+/// computation as ordinary views; the inverse expressions are then folded
+/// back onto selections of the stored union.
+pub fn complement_for(
+    catalog: &Catalog,
+    plain_views: &[NamedView],
+    union_facts: &[UnionFactView],
+    opts: &ComplementOptions,
+) -> Result<Complement> {
+    let mut views_all = plain_views.to_vec();
+    let mut fold: BTreeMap<RelName, RaExpr> = BTreeMap::new();
+    for uf in union_facts {
+        views_all.extend(uf.branch_views());
+        fold.extend(uf.fold_map());
+    }
+    let comp = complement_with(catalog, &views_all, opts)?;
+    let inverse: BTreeMap<RelName, RaExpr> = comp
+        .inverse()
+        .iter()
+        .map(|(base, expr)| {
+            let folded = expr.substitute(&fold);
+            let resolver = UnionResolver {
+                inner: comp.resolver(catalog, &views_all),
+                union_facts,
+            };
+            Ok((*base, folded.simplified(&resolver)?))
+        })
+        .collect::<Result<_>>()?;
+    Ok(Complement::new(comp.entries().to_vec(), inverse))
+}
+
+/// Resolver covering union-fact names on top of the complement resolver.
+pub struct UnionResolver<'a> {
+    inner: ComplementResolver<'a>,
+    union_facts: &'a [UnionFactView],
+}
+
+impl HeaderResolver for UnionResolver<'_> {
+    fn header_of(&self, name: RelName) -> dwc_relalg::Result<AttrSet> {
+        if let Some(uf) = self.union_facts.iter().find(|u| u.name() == name) {
+            return Ok(uf.header().clone());
+        }
+        self.inner.header_of(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwc_relalg::{rel, DbState};
+
+    /// Two-site business: per-site order extractions integrated by union,
+    /// origin determined by the `site` dimension attribute.
+    fn two_sites() -> (Catalog, Vec<NamedView>, UnionFactView) {
+        let mut c = Catalog::new();
+        c.add_schema_with_key("OrdParis", &["okey", "site", "amount"], &["okey"]).unwrap();
+        c.add_schema_with_key("OrdLyon", &["okey", "site", "amount"], &["okey"]).unwrap();
+        let uf = UnionFactView::new(
+            &c,
+            "AllOrders",
+            "site",
+            vec![
+                (Value::str("paris"), PsjView::of_base(&c, "OrdParis").unwrap()),
+                (Value::str("lyon"), PsjView::of_base(&c, "OrdLyon").unwrap()),
+            ],
+        )
+        .unwrap();
+        (c, vec![], uf)
+    }
+
+    fn two_sites_state() -> DbState {
+        let mut d = DbState::new();
+        d.insert_relation(
+            "OrdParis",
+            rel! { ["okey", "site", "amount"] => (1, "paris", 10), (2, "paris", 20) },
+        );
+        d.insert_relation(
+            "OrdLyon",
+            rel! { ["okey", "site", "amount"] => (7, "lyon", 70) },
+        );
+        d
+    }
+
+    #[test]
+    fn validation() {
+        let (c, _, _) = two_sites();
+        // missing selector in projection
+        let narrow = PsjView::project_of(&c, "OrdParis", &["okey", "amount"]).unwrap();
+        assert!(UnionFactView::new(&c, "U", "site", vec![(Value::str("p"), narrow)]).is_err());
+        // mismatched branch headers
+        let full = PsjView::of_base(&c, "OrdParis").unwrap();
+        let partial = PsjView::project_of(&c, "OrdLyon", &["okey", "site"]).unwrap();
+        assert!(UnionFactView::new(
+            &c,
+            "U",
+            "site",
+            vec![(Value::str("p"), full.clone()), (Value::str("l"), partial)]
+        )
+        .is_err());
+        // duplicate selector values
+        let lyon = PsjView::of_base(&c, "OrdLyon").unwrap();
+        assert!(UnionFactView::new(
+            &c,
+            "U",
+            "site",
+            vec![(Value::str("x"), full), (Value::str("x"), lyon)]
+        )
+        .is_err());
+        // no branches
+        assert!(UnionFactView::new(&c, "U", "site", vec![]).is_err());
+    }
+
+    #[test]
+    fn selection_recovers_branches() {
+        let (_, _, uf) = two_sites();
+        let db = two_sites_state();
+        let u = uf.to_expr().eval(&db).unwrap();
+        assert_eq!(u.len(), 3);
+        let fold = uf.fold_map();
+        // Evaluate σ_{site=paris}(U) against a state storing U.
+        let mut w = DbState::new();
+        w.insert_relation("AllOrders", u);
+        let paris = fold[&RelName::new("AllOrders@b0")].eval(&w).unwrap();
+        assert_eq!(
+            paris,
+            rel! { ["okey", "site", "amount"] => (1, "paris", 10), (2, "paris", 20) }
+        );
+    }
+
+    #[test]
+    fn complement_for_union_fact_verifies() {
+        let (c, plain, uf) = two_sites();
+        let comp =
+            complement_for(&c, &plain, std::slice::from_ref(&uf), &ComplementOptions::default())
+                .unwrap();
+        // Inverses reference only the union name and complements.
+        for (base, inv) in comp.inverse() {
+            for r in inv.base_relations() {
+                assert!(
+                    r == uf.name() || r.as_str().starts_with("C_"),
+                    "inverse of {base} references {r}"
+                );
+            }
+        }
+        // Recompute bases from the materialized warehouse.
+        let db = two_sites_state();
+        let mut w = comp.materialize(&db).unwrap();
+        w.insert_relation("AllOrders", uf.to_expr().eval(&db).unwrap());
+        for base in c.relation_names() {
+            let rebuilt = comp.inverse_of(base).unwrap().eval(&w).unwrap();
+            assert_eq!(&rebuilt, db.relation(base).unwrap(), "base {base}");
+        }
+    }
+
+    #[test]
+    fn branches_with_dangling_tuples_fall_into_complement() {
+        // A Paris order with the wrong site tag is NOT in the union's
+        // paris-branch (its effective selection filters it) and must be
+        // stored in the complement.
+        let (c, plain, uf) = two_sites();
+        let comp =
+            complement_for(&c, &plain, std::slice::from_ref(&uf), &ComplementOptions::default())
+                .unwrap();
+        let mut db = two_sites_state();
+        let paris = db.relation(RelName::new("OrdParis")).unwrap().clone();
+        db.insert_relation(
+            "OrdParis",
+            paris
+                .union(&rel! { ["okey", "site", "amount"] => (3, "mislabeled", 5) })
+                .unwrap(),
+        );
+        let m = comp.materialize(&db).unwrap();
+        let c_paris = comp.entry_for(RelName::new("OrdParis")).unwrap();
+        assert_eq!(
+            m.relation(c_paris.name).unwrap(),
+            &rel! { ["okey", "site", "amount"] => (3, "mislabeled", 5) }
+        );
+        // And recomputation still works.
+        let mut w = m;
+        w.insert_relation("AllOrders", uf.to_expr().eval(&db).unwrap());
+        for base in c.relation_names() {
+            let rebuilt = comp.inverse_of(base).unwrap().eval(&w).unwrap();
+            assert_eq!(&rebuilt, db.relation(base).unwrap());
+        }
+    }
+}

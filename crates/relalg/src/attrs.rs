@@ -1,0 +1,279 @@
+//! Sorted attribute sets.
+//!
+//! Attribute sets are ubiquitous: schema headers, projection lists, join
+//! columns, keys, inclusion-dependency columns, and the cover computation
+//! of the complement algorithm all manipulate them. [`AttrSet`] stores a
+//! sorted, deduplicated `Vec<Attr>`; the sets involved are small (a handful
+//! of attributes), so sorted-vector merges beat tree or hash sets and keep
+//! iteration order canonical.
+
+use crate::symbol::Attr;
+use std::fmt;
+
+/// An immutable-by-convention sorted set of attributes.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AttrSet(Vec<Attr>);
+
+impl AttrSet {
+    /// The empty attribute set.
+    pub fn empty() -> AttrSet {
+        AttrSet(Vec::new())
+    }
+
+    /// Builds a set from any iterable of attributes; sorts and dedups.
+    /// (Deliberately shadows the trait method name: `AttrSet::from_iter`
+    /// is the crate's idiomatic constructor and the `FromIterator` impl
+    /// delegates here.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I, A>(iter: I) -> AttrSet
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<Attr>,
+    {
+        let mut v: Vec<Attr> = iter.into_iter().map(Into::into).collect();
+        v.sort_unstable();
+        v.dedup();
+        AttrSet(v)
+    }
+
+    /// Builds a set from attribute names.
+    pub fn from_names(names: &[&str]) -> AttrSet {
+        Self::from_iter(names.iter().map(|n| Attr::new(n)))
+    }
+
+    /// A singleton set.
+    pub fn singleton(a: Attr) -> AttrSet {
+        AttrSet(vec![a])
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, a: Attr) -> bool {
+        self.0.binary_search(&a).is_ok()
+    }
+
+    /// Position of `a` in sorted order, if present. Tuples are laid out in
+    /// this order, so this doubles as the column index.
+    pub fn index_of(&self, a: Attr) -> Option<usize> {
+        self.0.binary_search(&a).ok()
+    }
+
+    /// True iff `self ⊆ other`.
+    pub fn is_subset(&self, other: &AttrSet) -> bool {
+        if self.0.len() > other.0.len() {
+            return false;
+        }
+        let mut it = other.0.iter();
+        'outer: for a in &self.0 {
+            for b in it.by_ref() {
+                match b.cmp(a) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// True iff the sets share no attribute.
+    pub fn is_disjoint(&self, other: &AttrSet) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// `self ∪ other`.
+    pub fn union(&self, other: &AttrSet) -> AttrSet {
+        let mut out = Vec::with_capacity(self.0.len() + other.0.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.0[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.0[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.0[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.0[i..]);
+        out.extend_from_slice(&other.0[j..]);
+        AttrSet(out)
+    }
+
+    /// `self ∩ other`.
+    pub fn intersect(&self, other: &AttrSet) -> AttrSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.0[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        AttrSet(out)
+    }
+
+    /// `self ∖ other`.
+    pub fn difference(&self, other: &AttrSet) -> AttrSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() {
+            if j >= other.0.len() {
+                out.extend_from_slice(&self.0[i..]);
+                break;
+            }
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.0[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        AttrSet(out)
+    }
+
+    /// Adds a single attribute, returning a new set.
+    pub fn with(&self, a: Attr) -> AttrSet {
+        self.union(&AttrSet::singleton(a))
+    }
+
+    /// Iterates attributes in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = Attr> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// The attributes as a sorted slice.
+    pub fn as_slice(&self) -> &[Attr] {
+        &self.0
+    }
+
+    /// For each attribute of `self`, its column index in `outer`
+    /// (which must be a superset). Used to compile projections once per
+    /// operator instead of once per tuple.
+    pub fn positions_in(&self, outer: &AttrSet) -> Option<Vec<usize>> {
+        self.0.iter().map(|a| outer.index_of(*a)).collect()
+    }
+}
+
+impl FromIterator<Attr> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = Attr>>(iter: I) -> Self {
+        AttrSet::from_iter(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a AttrSet {
+    type Item = Attr;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Attr>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter().copied()
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(names: &[&str]) -> AttrSet {
+        AttrSet::from_names(names)
+    }
+
+    #[test]
+    fn from_names_sorts_and_dedups() {
+        let a = s(&["c", "a", "b", "a"]);
+        assert_eq!(a.len(), 3);
+        let names: Vec<&str> = a.iter().map(|x| x.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        assert!(s(&["a", "b"]).is_subset(&s(&["a", "b", "c"])));
+        assert!(!s(&["a", "d"]).is_subset(&s(&["a", "b", "c"])));
+        assert!(s(&[]).is_subset(&s(&["a"])));
+        assert!(s(&["a"]).is_disjoint(&s(&["b"])));
+        assert!(!s(&["a", "b"]).is_disjoint(&s(&["b", "c"])));
+        assert!(s(&[]).is_disjoint(&s(&[])));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let ab = s(&["a", "b"]);
+        let bc = s(&["b", "c"]);
+        assert_eq!(ab.union(&bc), s(&["a", "b", "c"]));
+        assert_eq!(ab.intersect(&bc), s(&["b"]));
+        assert_eq!(ab.difference(&bc), s(&["a"]));
+        assert_eq!(bc.difference(&ab), s(&["c"]));
+        assert_eq!(ab.difference(&ab), AttrSet::empty());
+    }
+
+    #[test]
+    fn index_and_positions() {
+        let abc = s(&["a", "b", "c"]);
+        assert_eq!(abc.index_of(Attr::new("b")), Some(1));
+        assert_eq!(abc.index_of(Attr::new("z")), None);
+        let ac = s(&["a", "c"]);
+        assert_eq!(ac.positions_in(&abc), Some(vec![0, 2]));
+        assert_eq!(s(&["z"]).positions_in(&abc), None);
+    }
+
+    #[test]
+    fn display_is_braced_list() {
+        assert_eq!(s(&["b", "a"]).to_string(), "{a, b}");
+        assert_eq!(AttrSet::empty().to_string(), "{}");
+    }
+}

@@ -1,0 +1,186 @@
+//! Integrity constraints: keys and inclusion dependencies.
+//!
+//! Theorem 2.2 of the paper computes smaller complements when the schema
+//! declares key constraints and *acyclic* inclusion dependencies
+//! `π_X(R_i) ⊆ π_X(R_j)` with `X ⊆ attr(R_i) ∩ attr(R_j)`. Foreign keys
+//! are the combination of a key on the target and an inclusion dependency
+//! into it. Following the paper, at most one key is declared per relation
+//! schema and the dependency set must be acyclic.
+
+use crate::attrs::AttrSet;
+use crate::error::{RelalgError, Result};
+use crate::symbol::RelName;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A (candidate) key constraint: the attributes functionally determine the
+/// whole tuple.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Key(pub AttrSet);
+
+/// An inclusion dependency `π_X(from) ⊆ π_X(to)` over the common attribute
+/// set `X` (the paper restricts to same-named attribute sequences; general
+/// renamed INDs could be added via the rename operator, cf. footnote 3).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct InclusionDep {
+    /// Relation whose projection is included.
+    pub from: RelName,
+    /// Relation whose projection includes it.
+    pub to: RelName,
+    /// The common attribute set `X`.
+    pub attrs: AttrSet,
+}
+
+impl InclusionDep {
+    /// Builds `π_X(from) ⊆ π_X(to)`.
+    pub fn new(from: impl Into<RelName>, to: impl Into<RelName>, attrs: AttrSet) -> InclusionDep {
+        InclusionDep {
+            from: from.into(),
+            to: to.into(),
+            attrs,
+        }
+    }
+}
+
+impl fmt::Debug for InclusionDep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pi_{}({}) <= pi_{}({})",
+            self.attrs, self.from, self.attrs, self.to
+        )
+    }
+}
+
+impl fmt::Display for InclusionDep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Checks that the dependency graph (edge `from -> to` per IND) is acyclic
+/// and returns the relations in a topological order such that every `to`
+/// precedes every `from` that depends on it.
+///
+/// Acyclicity is what makes the inverse-expression substitution of
+/// Theorem 2.2 (footnote 3 / Example 2.3 continued) well-founded: a
+/// pseudo-view `π_X(R_i)` used while recomputing `R_j` is replaced by
+/// `R_i`'s own inverse, which by acyclicity never refers back to `R_j`.
+pub fn topological_order(
+    relations: impl IntoIterator<Item = RelName>,
+    deps: &[InclusionDep],
+) -> Result<Vec<RelName>> {
+    let nodes: BTreeSet<RelName> = relations.into_iter().collect();
+    // Edges from -> to; a node is "ready" when all its `to` targets are out.
+    let mut out_edges: BTreeMap<RelName, BTreeSet<RelName>> =
+        nodes.iter().map(|&n| (n, BTreeSet::new())).collect();
+    let mut in_edges: BTreeMap<RelName, BTreeSet<RelName>> =
+        nodes.iter().map(|&n| (n, BTreeSet::new())).collect();
+    for d in deps {
+        if d.from == d.to {
+            return Err(RelalgError::CyclicInclusionDeps {
+                cycle: vec![d.from, d.to],
+            });
+        }
+        if let (Some(o), Some(i)) = (out_edges.get_mut(&d.from), in_edges.get_mut(&d.to)) {
+            o.insert(d.to);
+            i.insert(d.from);
+        }
+    }
+    // Kahn's algorithm; emit nodes with no remaining outgoing edges first,
+    // i.e. IND targets before their sources.
+    let mut order = Vec::with_capacity(nodes.len());
+    let mut ready: BTreeSet<RelName> = out_edges
+        .iter()
+        .filter(|(_, outs)| outs.is_empty())
+        .map(|(&n, _)| n)
+        .collect();
+    let mut remaining_out = out_edges.clone();
+    while let Some(&n) = ready.iter().next() {
+        ready.remove(&n);
+        order.push(n);
+        for &pred in &in_edges[&n] {
+            let outs = remaining_out.get_mut(&pred).expect("known node");
+            outs.remove(&n);
+            if outs.is_empty() && !order.contains(&pred) {
+                ready.insert(pred);
+            }
+        }
+    }
+    if order.len() != nodes.len() {
+        let cycle: Vec<RelName> = nodes
+            .iter()
+            .filter(|n| !order.contains(n))
+            .copied()
+            .collect();
+        return Err(RelalgError::CyclicInclusionDeps { cycle });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: &str) -> RelName {
+        RelName::new(n)
+    }
+
+    fn ind(from: &str, to: &str) -> InclusionDep {
+        InclusionDep::new(from, to, AttrSet::from_names(&["x"]))
+    }
+
+    #[test]
+    fn topological_order_targets_first() {
+        // R3 <= R1, R2 <= R1 (as in Example 2.3): R1 must come first.
+        let order = topological_order(
+            [r("R1"), r("R2"), r("R3")],
+            &[ind("R3", "R1"), ind("R2", "R1")],
+        )
+        .unwrap();
+        let pos = |n: &str| order.iter().position(|&x| x == r(n)).unwrap();
+        assert!(pos("R1") < pos("R2"));
+        assert!(pos("R1") < pos("R3"));
+    }
+
+    #[test]
+    fn chain_order() {
+        let order =
+            topological_order([r("A"), r("B"), r("C")], &[ind("A", "B"), ind("B", "C")])
+                .unwrap();
+        assert_eq!(order, vec![r("C"), r("B"), r("A")]);
+    }
+
+    #[test]
+    fn detects_two_cycle() {
+        let err = topological_order([r("A"), r("B")], &[ind("A", "B"), ind("B", "A")])
+            .unwrap_err();
+        assert!(matches!(err, RelalgError::CyclicInclusionDeps { .. }));
+    }
+
+    #[test]
+    fn detects_self_loop() {
+        let err = topological_order([r("A")], &[ind("A", "A")]).unwrap_err();
+        assert!(matches!(err, RelalgError::CyclicInclusionDeps { .. }));
+    }
+
+    #[test]
+    fn no_deps_any_order_complete() {
+        let order = topological_order([r("A"), r("B")], &[]).unwrap();
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn ignores_edges_to_unknown_relations() {
+        // An IND mentioning a relation outside the node set is skipped here;
+        // Catalog::add_inclusion_dep rejects it earlier.
+        let order = topological_order([r("A")], &[ind("A", "Z")]).unwrap();
+        assert_eq!(order, vec![r("A")]);
+    }
+
+    #[test]
+    fn display_inclusion_dep() {
+        let d = InclusionDep::new("S", "T", AttrSet::from_names(&["k"]));
+        assert_eq!(d.to_string(), "pi_{k}(S) <= pi_{k}(T)");
+    }
+}

@@ -1,0 +1,299 @@
+//! Database states.
+//!
+//! A [`DbState`] is the paper's `d = ⟨r1, …, rn⟩`: one relation instance
+//! per (known) relation name. The same type also stores *warehouse*
+//! states, since a warehouse state is just a set of materialized views —
+//! relations under view names.
+
+use crate::attrs::AttrSet;
+use crate::error::{RelalgError, Result};
+use crate::relation::Relation;
+use crate::schema::Catalog;
+use crate::symbol::RelName;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A database (or warehouse) state: named relation instances.
+///
+/// Instances are reference-counted: cloning a state (which the
+/// maintenance machinery does to snapshot warehouse states and build
+/// evaluation environments) shares the relations instead of deep-copying
+/// their tuples. States are modified only by *replacing* whole instances
+/// ([`DbState::insert_relation`]), which fits the functional style of the
+/// paper's state transformers.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct DbState {
+    relations: BTreeMap<RelName, Arc<Relation>>,
+}
+
+impl DbState {
+    /// An empty state.
+    pub fn new() -> DbState {
+        DbState::default()
+    }
+
+    /// A state with one empty instance per catalog relation.
+    pub fn empty_for(catalog: &Catalog) -> DbState {
+        let mut s = DbState::new();
+        for schema in catalog.schemas() {
+            s.relations
+                .insert(schema.name(), Arc::new(Relation::empty(schema.attrs().clone())));
+        }
+        s
+    }
+
+    /// Adds or replaces a relation instance.
+    pub fn insert_relation(&mut self, name: impl Into<RelName>, rel: Relation) {
+        self.relations.insert(name.into(), Arc::new(rel));
+    }
+
+    /// Adds or replaces a relation instance without re-wrapping (shares
+    /// the instance with other states holding the same `Arc`).
+    pub fn insert_shared(&mut self, name: impl Into<RelName>, rel: Arc<Relation>) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    /// Looks up a relation instance.
+    pub fn relation(&self, name: RelName) -> Result<&Relation> {
+        self.relations
+            .get(&name)
+            .map(Arc::as_ref)
+            .ok_or(RelalgError::UnknownRelation(name))
+    }
+
+    /// Looks up a relation instance as a shareable handle.
+    pub fn relation_shared(&self, name: RelName) -> Result<Arc<Relation>> {
+        self.relations
+            .get(&name)
+            .cloned()
+            .ok_or(RelalgError::UnknownRelation(name))
+    }
+
+    /// True iff `name` has an instance in this state.
+    pub fn contains(&self, name: RelName) -> bool {
+        self.relations.contains_key(&name)
+    }
+
+    /// Iterates `(name, instance)` pairs sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = (RelName, &Relation)> + '_ {
+        self.relations.iter().map(|(&n, r)| (n, r.as_ref()))
+    }
+
+    /// Number of relation instances.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True iff the state holds no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total number of tuples across all relations (used as a crude but
+    /// faithful storage-size measure in the experiments).
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// Restriction of the state to the given relation names.
+    pub fn restrict_to(&self, names: impl IntoIterator<Item = RelName>) -> DbState {
+        let mut out = DbState::new();
+        for n in names {
+            if let Some(r) = self.relations.get(&n) {
+                out.relations.insert(n, r.clone());
+            }
+        }
+        out
+    }
+
+    /// Merges another state in; right-hand instances win on name clashes.
+    pub fn merged_with(&self, other: &DbState) -> DbState {
+        let mut out = self.clone();
+        for (n, r) in &other.relations {
+            out.relations.insert(*n, Arc::clone(r));
+        }
+        out
+    }
+
+    /// Checks that every catalog relation has an instance with the correct
+    /// header (extra instances — e.g. materialized views — are allowed).
+    pub fn check_headers(&self, catalog: &Catalog) -> Result<()> {
+        for schema in catalog.schemas() {
+            let rel = self.relation(schema.name())?;
+            if rel.attrs() != schema.attrs() {
+                return Err(RelalgError::HeaderMismatch {
+                    left: rel.attrs().clone(),
+                    right: schema.attrs().clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the declared key constraints and inclusion dependencies
+    /// of `catalog` against this state.
+    pub fn check_constraints(&self, catalog: &Catalog) -> Result<()> {
+        self.check_headers(catalog)?;
+        for schema in catalog.schemas() {
+            if let Some(key) = schema.key() {
+                let rel = self.relation(schema.name())?;
+                if !key_holds(rel, key) {
+                    return Err(RelalgError::KeyViolation {
+                        relation: schema.name(),
+                        key: key.clone(),
+                    });
+                }
+            }
+        }
+        for dep in catalog.inclusion_deps() {
+            let from = self.relation(dep.from)?.project(&dep.attrs)?;
+            let to = self.relation(dep.to)?.project(&dep.attrs)?;
+            if !from.is_subset(&to)? {
+                return Err(RelalgError::InclusionViolation {
+                    detail: dep.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// True iff `key` functionally determines the tuples of `rel`, i.e. no two
+/// distinct tuples agree on the key attributes.
+pub fn key_holds(rel: &Relation, key: &AttrSet) -> bool {
+    let Some(positions) = key.positions_in(rel.attrs()) else {
+        return false;
+    };
+    let mut seen = std::collections::BTreeSet::new();
+    for t in rel.iter() {
+        if !seen.insert(t.project(&positions)) {
+            return false;
+        }
+    }
+    true
+}
+
+impl fmt::Debug for DbState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (n, r) in &self.relations {
+            writeln!(f, "{n}: {} tuples over {}", r.len(), r.attrs())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rel;
+
+    fn fig1_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_schema("Sale", &["item", "clerk"]).unwrap();
+        c.add_schema_with_key("Emp", &["clerk", "age"], &["clerk"]).unwrap();
+        c
+    }
+
+    fn fig1_state() -> DbState {
+        let mut d = DbState::new();
+        d.insert_relation(
+            "Sale",
+            rel! { ["item", "clerk"] => ("TV set", "Mary"), ("VCR", "Mary"), ("PC", "John") },
+        );
+        d.insert_relation(
+            "Emp",
+            rel! { ["clerk", "age"] => ("Mary", 23), ("John", 25), ("Paula", 32) },
+        );
+        d
+    }
+
+    #[test]
+    fn lookup_and_iteration() {
+        let d = fig1_state();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.total_tuples(), 6);
+        assert_eq!(d.relation(RelName::new("Sale")).unwrap().len(), 3);
+        assert!(d.relation(RelName::new("Nope")).is_err());
+        let names: Vec<RelName> = d.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec![RelName::new("Emp"), RelName::new("Sale")]);
+    }
+
+    #[test]
+    fn header_check() {
+        let c = fig1_catalog();
+        let d = fig1_state();
+        d.check_headers(&c).unwrap();
+
+        let mut bad = d.clone();
+        bad.insert_relation("Emp", rel! { ["clerk"] => ("Mary",) });
+        assert!(bad.check_headers(&c).is_err());
+
+        let missing = DbState::new();
+        assert!(missing.check_headers(&c).is_err());
+    }
+
+    #[test]
+    fn key_constraint_check() {
+        let c = fig1_catalog();
+        let mut d = fig1_state();
+        d.check_constraints(&c).unwrap();
+        // Two ages for Mary violate the key.
+        d.insert_relation(
+            "Emp",
+            rel! { ["clerk", "age"] => ("Mary", 23), ("Mary", 24) },
+        );
+        assert!(matches!(
+            d.check_constraints(&c),
+            Err(RelalgError::KeyViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn inclusion_dep_check() {
+        let mut c = fig1_catalog();
+        c.add_foreign_key("Sale", "Emp", &["clerk"]).unwrap();
+        let mut d = fig1_state();
+        d.check_constraints(&c).unwrap();
+        // A sale by an unknown clerk violates referential integrity.
+        let mut sale = d.relation(RelName::new("Sale")).unwrap().clone();
+        sale = sale
+            .union(&rel! { ["item", "clerk"] => ("Modem", "Ghost") })
+            .unwrap();
+        d.insert_relation("Sale", sale);
+        assert!(matches!(
+            d.check_constraints(&c),
+            Err(RelalgError::InclusionViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_for_catalog() {
+        let c = fig1_catalog();
+        let d = DbState::empty_for(&c);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.total_tuples(), 0);
+        d.check_constraints(&c).unwrap();
+    }
+
+    #[test]
+    fn key_holds_helper() {
+        let r = rel! { ["clerk", "age"] => ("Mary", 23), ("John", 25) };
+        assert!(key_holds(&r, &AttrSet::from_names(&["clerk"])));
+        let r2 = rel! { ["clerk", "age"] => ("Mary", 23), ("Mary", 25) };
+        assert!(!key_holds(&r2, &AttrSet::from_names(&["clerk"])));
+        assert!(key_holds(&r2, &AttrSet::from_names(&["clerk", "age"])));
+        // Key attrs outside the header never hold.
+        assert!(!key_holds(&r, &AttrSet::from_names(&["zzz"])));
+    }
+
+    #[test]
+    fn restrict_and_merge() {
+        let d = fig1_state();
+        let only_sale = d.restrict_to([RelName::new("Sale")]);
+        assert_eq!(only_sale.len(), 1);
+        let merged = only_sale.merged_with(&d.restrict_to([RelName::new("Emp")]));
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged, d);
+    }
+}

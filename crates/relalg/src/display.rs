@@ -1,0 +1,87 @@
+//! Pretty printing of expressions.
+//!
+//! The printed form is exactly the grammar accepted by [`crate::parse`],
+//! so `RaExpr::parse(&expr.to_string())` round-trips (a property test in
+//! `parse.rs` pins this down). Binary operators are always parenthesized;
+//! unary operators use the `op[args](input)` form:
+//!
+//! ```text
+//! pi[age](sigma[item = 'PC'](Sale join Emp))
+//! ```
+
+use crate::expr::RaExpr;
+use std::fmt;
+
+impl fmt::Display for RaExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaExpr::Base(n) => write!(f, "{n}"),
+            RaExpr::Empty(attrs) => {
+                write!(f, "empty[")?;
+                write_attr_list(f, attrs)?;
+                write!(f, "]")
+            }
+            RaExpr::Select(input, pred) => write!(f, "sigma[{pred}]({input})"),
+            RaExpr::Project(input, attrs) => {
+                write!(f, "pi[")?;
+                write_attr_list(f, attrs)?;
+                write!(f, "]({input})")
+            }
+            RaExpr::Join(l, r) => write!(f, "({l} join {r})"),
+            RaExpr::Union(l, r) => write!(f, "({l} union {r})"),
+            RaExpr::Diff(l, r) => write!(f, "({l} minus {r})"),
+            RaExpr::Intersect(l, r) => write!(f, "({l} intersect {r})"),
+            RaExpr::Rename(input, pairs) => {
+                write!(f, "rho[")?;
+                for (i, (from, to)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{from} -> {to}")?;
+                }
+                write!(f, "]({input})")
+            }
+        }
+    }
+}
+
+fn write_attr_list(f: &mut fmt::Formatter<'_>, attrs: &crate::attrs::AttrSet) -> fmt::Result {
+    for (i, a) in attrs.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{a}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttrSet;
+    use crate::predicate::Predicate;
+    use crate::symbol::Attr;
+
+    #[test]
+    fn display_forms() {
+        let sold = RaExpr::base("Sale").join(RaExpr::base("Emp"));
+        assert_eq!(sold.to_string(), "(Sale join Emp)");
+
+        let c1 = RaExpr::base("Emp").diff(sold.clone().project_names(&["clerk", "age"]));
+        assert_eq!(c1.to_string(), "(Emp minus pi[age, clerk]((Sale join Emp)))");
+
+        let q = RaExpr::base("Sale")
+            .select(Predicate::attr_eq("item", "PC"))
+            .project_names(&["clerk"]);
+        assert_eq!(q.to_string(), "pi[clerk](sigma[item = 'PC'](Sale))");
+
+        let e = RaExpr::empty(AttrSet::from_names(&["b", "a"]));
+        assert_eq!(e.to_string(), "empty[a, b]");
+
+        let r = RaExpr::base("Emp").rename(vec![(Attr::new("age"), Attr::new("years"))]);
+        assert_eq!(r.to_string(), "rho[age -> years](Emp)");
+
+        let u = RaExpr::base("A").union(RaExpr::base("B")).intersect(RaExpr::base("C"));
+        assert_eq!(u.to_string(), "((A union B) intersect C)");
+    }
+}

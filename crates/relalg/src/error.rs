@@ -1,0 +1,119 @@
+//! Error types for the relational substrate.
+
+use crate::attrs::AttrSet;
+use crate::symbol::{Attr, RelName};
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T, E = RelalgError> = std::result::Result<T, E>;
+
+/// Everything that can go wrong when building schemas, type-checking
+/// expressions, evaluating them, or parsing their textual form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelalgError {
+    /// A relation name was referenced but is not in the catalog/state.
+    UnknownRelation(RelName),
+    /// A relation schema was declared twice.
+    DuplicateRelation(RelName),
+    /// An attribute was referenced that the expression's header lacks.
+    UnknownAttribute { attr: Attr, header: AttrSet },
+    /// A projection list is not a subset of the input header.
+    ProjectionNotSubset { wanted: AttrSet, header: AttrSet },
+    /// A set operation was applied to inputs with different headers.
+    HeaderMismatch { left: AttrSet, right: AttrSet },
+    /// A tuple's arity does not match the relation header.
+    ArityMismatch { expected: usize, got: usize },
+    /// Renaming would collide with an existing attribute or renames a
+    /// missing one.
+    BadRename { from: Attr, to: Attr, header: AttrSet },
+    /// A key constraint refers to attributes outside its relation schema.
+    BadKey { relation: RelName, key: AttrSet, header: AttrSet },
+    /// An inclusion dependency is ill-formed (attributes missing on either
+    /// side).
+    BadInclusionDep { detail: String },
+    /// The set of inclusion dependencies is cyclic; the paper (and
+    /// Theorem 2.2) require acyclicity.
+    CyclicInclusionDeps { cycle: Vec<RelName> },
+    /// A state violates a declared key.
+    KeyViolation { relation: RelName, key: AttrSet },
+    /// A state violates a declared inclusion dependency.
+    InclusionViolation { detail: String },
+    /// Text that failed to parse as an expression or predicate.
+    Parse { position: usize, message: String },
+}
+
+impl fmt::Display for RelalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelalgError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            RelalgError::DuplicateRelation(r) => {
+                write!(f, "relation `{r}` is already declared")
+            }
+            RelalgError::UnknownAttribute { attr, header } => {
+                write!(f, "attribute `{attr}` not in header {header}")
+            }
+            RelalgError::ProjectionNotSubset { wanted, header } => {
+                write!(f, "projection {wanted} is not a subset of header {header}")
+            }
+            RelalgError::HeaderMismatch { left, right } => {
+                write!(f, "set operation on different headers {left} vs {right}")
+            }
+            RelalgError::ArityMismatch { expected, got } => {
+                write!(f, "tuple arity {got} does not match header arity {expected}")
+            }
+            RelalgError::BadRename { from, to, header } => {
+                write!(f, "cannot rename {from} -> {to} in header {header}")
+            }
+            RelalgError::BadKey { relation, key, header } => {
+                write!(f, "key {key} of `{relation}` is not within its attributes {header}")
+            }
+            RelalgError::BadInclusionDep { detail } => {
+                write!(f, "ill-formed inclusion dependency: {detail}")
+            }
+            RelalgError::CyclicInclusionDeps { cycle } => {
+                write!(f, "inclusion dependencies are cyclic through: ")?;
+                for (i, r) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                Ok(())
+            }
+            RelalgError::KeyViolation { relation, key } => {
+                write!(f, "state of `{relation}` violates key {key}")
+            }
+            RelalgError::InclusionViolation { detail } => {
+                write!(f, "inclusion dependency violated: {detail}")
+            }
+            RelalgError::Parse { position, message } => {
+                write!(f, "parse error at offset {position}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelalgError::UnknownRelation(RelName::new("Nope"));
+        assert!(e.to_string().contains("Nope"));
+
+        let e = RelalgError::HeaderMismatch {
+            left: AttrSet::from_names(&["a"]),
+            right: AttrSet::from_names(&["b"]),
+        };
+        assert!(e.to_string().contains("{a}"));
+        assert!(e.to_string().contains("{b}"));
+
+        let e = RelalgError::CyclicInclusionDeps {
+            cycle: vec![RelName::new("R"), RelName::new("S"), RelName::new("R")],
+        };
+        assert!(e.to_string().contains("R -> S -> R"));
+    }
+}

@@ -1,0 +1,348 @@
+//! Expression evaluation.
+//!
+//! A straightforward but non-naive evaluator: joins are hash joins keyed
+//! on the common attributes (building on the smaller input), selections
+//! compile their predicate once, projections precompute positional
+//! mappings. Set semantics fall out of [`Relation`]'s ordered-set storage.
+
+use crate::attrs::AttrSet;
+use crate::database::DbState;
+use crate::error::{RelalgError, Result};
+use crate::expr::{rename_header, RaExpr};
+use crate::relation::Relation;
+use crate::tuple::{ColSource, Tuple};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Evaluates `expr` against `db`, producing a fresh relation.
+pub fn eval(expr: &RaExpr, db: &DbState) -> Result<Relation> {
+    let arc = eval_arc(expr, db)?;
+    Ok(Arc::try_unwrap(arc).unwrap_or_else(|a| (*a).clone()))
+}
+
+/// Evaluation producing a shareable handle; base references are returned
+/// without copying their tuples.
+pub fn eval_arc(expr: &RaExpr, db: &DbState) -> Result<Arc<Relation>> {
+    Ok(match expr {
+        RaExpr::Base(name) => db.relation_shared(*name)?,
+        RaExpr::Empty(attrs) => Arc::new(Relation::empty(attrs.clone())),
+        RaExpr::Select(input, pred) => {
+            let rel = eval_arc(input, db)?;
+            let compiled = pred.compile(rel.attrs())?;
+            Arc::new(rel.filter(|t| compiled.eval(t)))
+        }
+        RaExpr::Project(input, wanted) => Arc::new(eval_arc(input, db)?.project(wanted)?),
+        RaExpr::Join(l, r) => {
+            let (l, r) = (eval_arc(l, db)?, eval_arc(r, db)?);
+            Arc::new(natural_join(&l, &r)?)
+        }
+        RaExpr::Union(l, r) => {
+            let (l, r) = (eval_arc(l, db)?, eval_arc(r, db)?);
+            Arc::new(l.union(&r)?)
+        }
+        RaExpr::Diff(l, r) => {
+            let (l, r) = (eval_arc(l, db)?, eval_arc(r, db)?);
+            Arc::new(l.difference(&r)?)
+        }
+        RaExpr::Intersect(l, r) => {
+            let (l, r) = (eval_arc(l, db)?, eval_arc(r, db)?);
+            Arc::new(l.intersect(&r)?)
+        }
+        RaExpr::Rename(input, pairs) => {
+            let rel = eval_arc(input, db)?;
+            Arc::new(rename_relation(&rel, pairs)?)
+        }
+    })
+}
+
+/// Memoizing evaluation: identical subexpressions are evaluated once per
+/// cache lifetime. The warehouse maintenance plans share one cache across
+/// all maintenance expressions of a single update, where the delta rules
+/// repeat large reconstruction subtrees; the cache must not outlive the
+/// database state it was filled against.
+pub fn eval_cached(
+    expr: &RaExpr,
+    db: &DbState,
+    cache: &mut HashMap<RaExpr, Arc<Relation>>,
+) -> Result<Arc<Relation>> {
+    if let Some(hit) = cache.get(expr) {
+        return Ok(Arc::clone(hit));
+    }
+    let result: Arc<Relation> = match expr {
+        RaExpr::Base(name) => db.relation_shared(*name)?,
+        RaExpr::Empty(attrs) => Arc::new(Relation::empty(attrs.clone())),
+        RaExpr::Select(input, pred) => {
+            let rel = eval_cached(input, db, cache)?;
+            let compiled = pred.compile(rel.attrs())?;
+            Arc::new(rel.filter(|t| compiled.eval(t)))
+        }
+        RaExpr::Project(input, wanted) => {
+            Arc::new(eval_cached(input, db, cache)?.project(wanted)?)
+        }
+        RaExpr::Join(l, r) => {
+            let (l, r) = (eval_cached(l, db, cache)?, eval_cached(r, db, cache)?);
+            Arc::new(natural_join(&l, &r)?)
+        }
+        RaExpr::Union(l, r) => {
+            let (l, r) = (eval_cached(l, db, cache)?, eval_cached(r, db, cache)?);
+            Arc::new(l.union(&r)?)
+        }
+        RaExpr::Diff(l, r) => {
+            let (l, r) = (eval_cached(l, db, cache)?, eval_cached(r, db, cache)?);
+            Arc::new(l.difference(&r)?)
+        }
+        RaExpr::Intersect(l, r) => {
+            let (l, r) = (eval_cached(l, db, cache)?, eval_cached(r, db, cache)?);
+            Arc::new(l.intersect(&r)?)
+        }
+        RaExpr::Rename(input, pairs) => {
+            let rel = eval_cached(input, db, cache)?;
+            Arc::new(rename_relation(&rel, pairs)?)
+        }
+    };
+    cache.insert(expr.clone(), Arc::clone(&result));
+    Ok(result)
+}
+
+/// Natural join of two relation instances. Degenerates to the cartesian
+/// product when the headers are disjoint and to intersection when they are
+/// equal.
+pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation> {
+    if left.attrs() == right.attrs() {
+        return left.intersect(right);
+    }
+    // Put the smaller relation on the build side.
+    if left.len() > right.len() {
+        return natural_join(right, left);
+    }
+    let common = left.attrs().intersect(right.attrs());
+    let out_attrs = left.attrs().union(right.attrs());
+    let layout = join_layout(left.attrs(), right.attrs(), &out_attrs);
+    let build_positions = common
+        .positions_in(left.attrs())
+        .expect("common attrs are in left header");
+    let probe_positions = common
+        .positions_in(right.attrs())
+        .expect("common attrs are in right header");
+
+    let mut out = Relation::empty(out_attrs);
+    if left.is_empty() || right.is_empty() {
+        return Ok(out);
+    }
+    let mut index: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(left.len());
+    for t in left.iter() {
+        let key: Vec<Value> = build_positions.iter().map(|&i| t.get(i).clone()).collect();
+        index.entry(key).or_default().push(t);
+    }
+    for probe in right.iter() {
+        let key: Vec<Value> = probe_positions.iter().map(|&i| probe.get(i).clone()).collect();
+        if let Some(matches) = index.get(&key) {
+            for build in matches {
+                out.insert(build.merge(probe, &layout))
+                    .expect("join layout preserves arity");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// For each output column, where to fetch it from: common and left-only
+/// attributes come from the left (build) tuple, right-only attributes from
+/// the right (probe) tuple.
+fn join_layout(left: &AttrSet, right: &AttrSet, out: &AttrSet) -> Vec<ColSource> {
+    out.iter()
+        .map(|a| {
+            if let Some(i) = left.index_of(a) {
+                ColSource::Left(i)
+            } else {
+                ColSource::Right(right.index_of(a).expect("output attr is in some input"))
+            }
+        })
+        .collect()
+}
+
+/// Applies an attribute renaming to an instance; the tuple layout is
+/// permuted to match the new sorted header.
+pub fn rename_relation(rel: &Relation, pairs: &[(crate::symbol::Attr, crate::symbol::Attr)]) -> Result<Relation> {
+    let new_header = rename_header(rel.attrs(), pairs)?;
+    // old attr for each new attr
+    let back: Vec<usize> = new_header
+        .iter()
+        .map(|new_attr| {
+            let old_attr = pairs
+                .iter()
+                .find(|(_, t)| *t == new_attr)
+                .map(|&(f, _)| f)
+                .unwrap_or(new_attr);
+            rel.attrs()
+                .index_of(old_attr)
+                .ok_or(RelalgError::UnknownAttribute {
+                    attr: old_attr,
+                    header: rel.attrs().clone(),
+                })
+        })
+        .collect::<Result<_>>()?;
+    let mut out = Relation::empty(new_header);
+    for t in rel.iter() {
+        out.insert(t.project(&back))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use crate::rel;
+    use crate::symbol::Attr;
+
+    fn fig1_db() -> DbState {
+        let mut d = DbState::new();
+        d.insert_relation(
+            "Sale",
+            rel! { ["item", "clerk"] => ("TV set", "Mary"), ("VCR", "Mary"), ("PC", "John") },
+        );
+        d.insert_relation(
+            "Emp",
+            rel! { ["clerk", "age"] => ("Mary", 23), ("John", 25), ("Paula", 32) },
+        );
+        d
+    }
+
+    #[test]
+    fn eval_cached_agrees_with_eval_and_hits() {
+        let db = fig1_db();
+        let mut cache = HashMap::new();
+        let e = RaExpr::parse(
+            "pi[clerk]((Sale join Emp)) union pi[clerk]((Sale join Emp))",
+        )
+        .unwrap();
+        let cached = eval_cached(&e, &db, &mut cache).unwrap();
+        assert_eq!(*cached, e.eval(&db).unwrap());
+        // The join and its projection each appear once in the cache even
+        // though the expression contains them twice.
+        let join = RaExpr::parse("Sale join Emp").unwrap();
+        assert!(cache.contains_key(&join));
+        // Cache reuse across a second evaluation.
+        let again = eval_cached(&e, &db, &mut cache).unwrap();
+        assert_eq!(again, cached);
+    }
+
+    #[test]
+    fn base_and_empty() {
+        let db = fig1_db();
+        assert_eq!(RaExpr::base("Sale").eval(&db).unwrap().len(), 3);
+        assert!(RaExpr::base("Nope").eval(&db).is_err());
+        let e = RaExpr::empty(AttrSet::from_names(&["x"]));
+        assert_eq!(e.eval(&db).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn fig1_sold_join() {
+        // Sold = Sale ⋈ Emp has 3 tuples (Paula sells nothing).
+        let db = fig1_db();
+        let sold = RaExpr::base("Sale").join(RaExpr::base("Emp")).eval(&db).unwrap();
+        assert_eq!(sold.len(), 3);
+        assert_eq!(sold.attrs(), &AttrSet::from_names(&["age", "clerk", "item"]));
+        // Check one joined tuple: (23, 'Mary', 'TV set') in {age, clerk, item} order.
+        let expected = rel! { ["age", "clerk", "item"] =>
+            (23, "Mary", "TV set"), (23, "Mary", "VCR"), (25, "John", "PC") };
+        assert_eq!(sold, expected);
+    }
+
+    #[test]
+    fn join_disjoint_headers_is_product() {
+        let mut db = DbState::new();
+        db.insert_relation("A", rel! { ["x"] => (1,), (2,) });
+        db.insert_relation("B", rel! { ["y"] => (10,), (20,), (30,) });
+        let p = RaExpr::base("A").join(RaExpr::base("B")).eval(&db).unwrap();
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn join_equal_headers_is_intersection() {
+        let mut db = DbState::new();
+        db.insert_relation("A", rel! { ["x"] => (1,), (2,) });
+        db.insert_relation("B", rel! { ["x"] => (2,), (3,) });
+        let p = RaExpr::base("A").join(RaExpr::base("B")).eval(&db).unwrap();
+        assert_eq!(p, rel! { ["x"] => (2,) });
+    }
+
+    #[test]
+    fn join_with_empty_side() {
+        let mut db = DbState::new();
+        db.insert_relation("A", rel! { ["x"] => (1,) });
+        db.insert_relation("B", Relation::empty(AttrSet::from_names(&["x", "y"])));
+        let p = RaExpr::base("A").join(RaExpr::base("B")).eval(&db).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.attrs(), &AttrSet::from_names(&["x", "y"]));
+    }
+
+    #[test]
+    fn select_and_project() {
+        let db = fig1_db();
+        let q = RaExpr::base("Sale")
+            .select(Predicate::attr_eq("clerk", "Mary"))
+            .project_names(&["item"]);
+        let r = q.eval(&db).unwrap();
+        assert_eq!(r, rel! { ["item"] => ("TV set",), ("VCR",) });
+    }
+
+    #[test]
+    fn union_diff_intersect() {
+        let db = fig1_db();
+        let sale_clerks = RaExpr::base("Sale").project_names(&["clerk"]);
+        let emp_clerks = RaExpr::base("Emp").project_names(&["clerk"]);
+        let union = sale_clerks.clone().union(emp_clerks.clone()).eval(&db).unwrap();
+        assert_eq!(union, rel! { ["clerk"] => ("Mary",), ("John",), ("Paula",) });
+        let diff = emp_clerks.clone().diff(sale_clerks.clone()).eval(&db).unwrap();
+        assert_eq!(diff, rel! { ["clerk"] => ("Paula",) });
+        let both = emp_clerks.intersect(sale_clerks).eval(&db).unwrap();
+        assert_eq!(both, rel! { ["clerk"] => ("Mary",), ("John",) });
+    }
+
+    #[test]
+    fn example_11_complement_c1() {
+        // C1 = Emp ∖ π_{clerk,age}(Sold) = {(Paula, 32)}.
+        let db = fig1_db();
+        let sold = RaExpr::base("Sale").join(RaExpr::base("Emp"));
+        let c1 = RaExpr::base("Emp").diff(sold.project_names(&["clerk", "age"]));
+        let r = c1.eval(&db).unwrap();
+        assert_eq!(r, rel! { ["clerk", "age"] => ("Paula", 32) });
+    }
+
+    #[test]
+    fn rename_eval_permutes_layout() {
+        let db = fig1_db();
+        let e = RaExpr::base("Emp").rename(vec![(Attr::new("age"), Attr::new("years"))]);
+        let r = e.eval(&db).unwrap();
+        assert_eq!(r.attrs(), &AttrSet::from_names(&["clerk", "years"]));
+        // {clerk, years}: clerk first now (was age first in {age, clerk}).
+        let expected = rel! { ["clerk", "years"] => ("Mary", 23), ("John", 25), ("Paula", 32) };
+        assert_eq!(r, expected);
+    }
+
+    #[test]
+    fn rename_then_join_on_new_name() {
+        // Self-join Emp with a renamed copy to find pairs with equal age.
+        let mut db = fig1_db();
+        db.insert_relation("Emp2", rel! { ["colleague", "age"] => ("Zoe", 23), ("Abe", 40) });
+        let e = RaExpr::base("Emp").join(RaExpr::base("Emp2"));
+        let r = e.eval(&db).unwrap();
+        // join on common attr age: Mary(23) matches Zoe(23).
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn build_side_swap_is_transparent() {
+        // Larger left side triggers the swap; result must be identical.
+        let mut db = DbState::new();
+        db.insert_relation("Big", rel! { ["k", "a"] => (1, 10), (2, 20), (3, 30), (4, 40) });
+        db.insert_relation("Small", rel! { ["k", "b"] => (2, 200), (3, 300) });
+        let ab = RaExpr::base("Big").join(RaExpr::base("Small")).eval(&db).unwrap();
+        let ba = RaExpr::base("Small").join(RaExpr::base("Big")).eval(&db).unwrap();
+        assert_eq!(ab, ba);
+        assert_eq!(ab.len(), 2);
+    }
+}

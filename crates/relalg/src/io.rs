@@ -1,0 +1,275 @@
+//! CSV import/export for relations.
+//!
+//! A small, dependency-free CSV dialect for moving data in and out of
+//! the engine (examples, the shell, external tooling): comma-separated,
+//! double-quote quoting with `""` escapes, first line = header. Values
+//! are written in the display syntax of [`Value`] minus the string
+//! quotes; on import each cell is parsed as `i64`, then `f64`, then
+//! `true`/`false`, falling back to a string — so `export → import`
+//! round-trips relations whose strings do not themselves look numeric.
+//! For exact round-trips of arbitrary values use [`export_typed`] /
+//! [`import_typed`], which tag each cell (`i:`, `d:`, `b:`, `s:`).
+
+use crate::attrs::AttrSet;
+use crate::error::{RelalgError, Result};
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Serializes a relation as CSV (header = sorted attribute names).
+pub fn export_csv(rel: &Relation) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = rel.attrs().iter().map(|a| quote(a.as_str())).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for t in rel.iter() {
+        let row: Vec<String> = t.values().iter().map(|v| quote(&plain(v))).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes with type tags for exact round-trips.
+pub fn export_typed(rel: &Relation) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = rel.attrs().iter().map(|a| quote(a.as_str())).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for t in rel.iter() {
+        let row: Vec<String> = t.values().iter().map(|v| quote(&tagged(v))).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses CSV into a relation; cell types are inferred (see module docs).
+pub fn import_csv(text: &str) -> Result<Relation> {
+    import_with(text, infer)
+}
+
+/// Parses type-tagged CSV (the [`export_typed`] format).
+pub fn import_typed(text: &str) -> Result<Relation> {
+    import_with(text, untag)
+}
+
+fn import_with(text: &str, decode: impl Fn(&str) -> Result<Value>) -> Result<Relation> {
+    let mut rows = parse_csv(text)?;
+    if rows.is_empty() {
+        return Err(RelalgError::Parse {
+            position: 0,
+            message: "CSV needs a header line".into(),
+        });
+    }
+    let header_cells = rows.remove(0);
+    let names: Vec<&str> = header_cells.iter().map(String::as_str).collect();
+    let attrs = AttrSet::from_names(&names);
+    if attrs.len() != names.len() {
+        return Err(RelalgError::Parse {
+            position: 0,
+            message: "duplicate attribute in CSV header".into(),
+        });
+    }
+    // Column order in the file is the header order; tuples must land in
+    // canonical (sorted) order.
+    let permutation: Vec<usize> = attrs
+        .iter()
+        .map(|a| {
+            names
+                .iter()
+                .position(|n| *n == a.as_str())
+                .expect("attr from header")
+        })
+        .collect();
+    let mut rel = Relation::empty(attrs);
+    for (lineno, row) in rows.into_iter().enumerate() {
+        if row.len() != names.len() {
+            return Err(RelalgError::Parse {
+                position: lineno + 2,
+                message: format!(
+                    "row has {} cells, header has {}",
+                    row.len(),
+                    names.len()
+                ),
+            });
+        }
+        let values: Vec<Value> = permutation
+            .iter()
+            .map(|&i| decode(&row[i]))
+            .collect::<Result<_>>()?;
+        rel.insert(Tuple::new(values))?;
+    }
+    Ok(rel)
+}
+
+fn plain(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.to_string(),
+        other => other.to_string(),
+    }
+}
+
+fn tagged(v: &Value) -> String {
+    match v {
+        Value::Int(i) => format!("i:{i}"),
+        Value::Double(d) => format!("d:{}", d.0),
+        Value::Bool(b) => format!("b:{b}"),
+        Value::Str(s) => format!("s:{s}"),
+    }
+}
+
+fn infer(cell: &str) -> Result<Value> {
+    if let Ok(i) = cell.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(d) = cell.parse::<f64>() {
+        return Ok(Value::double(d));
+    }
+    match cell {
+        "true" => Ok(Value::Bool(true)),
+        "false" => Ok(Value::Bool(false)),
+        _ => Ok(Value::str(cell)),
+    }
+}
+
+fn untag(cell: &str) -> Result<Value> {
+    let err = || RelalgError::Parse {
+        position: 0,
+        message: format!("bad typed cell `{cell}`"),
+    };
+    let (tag, body) = cell.split_once(':').ok_or_else(err)?;
+    match tag {
+        "i" => body.parse::<i64>().map(Value::Int).map_err(|_| err()),
+        "d" => body.parse::<f64>().map(Value::double).map_err(|_| err()),
+        "b" => match body {
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            _ => Err(err()),
+        },
+        "s" => Ok(Value::str(body)),
+        _ => Err(err()),
+    }
+}
+
+fn quote(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_owned()
+    }
+}
+
+/// A minimal RFC-4180-style reader: quoted cells may contain commas,
+/// escaped quotes (`""`) and newlines.
+fn parse_csv(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut cell = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    cell.push('"');
+                }
+                '"' => in_quotes = false,
+                other => cell.push(other),
+            }
+        } else {
+            match c {
+                '"' if cell.is_empty() => in_quotes = true,
+                ',' => {
+                    row.push(std::mem::take(&mut cell));
+                }
+                '\n' => {
+                    row.push(std::mem::take(&mut cell));
+                    rows.push(std::mem::take(&mut row));
+                }
+                '\r' => {} // tolerate CRLF
+                other => cell.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(RelalgError::Parse {
+            position: text.len(),
+            message: "unterminated quoted cell".into(),
+        });
+    }
+    if any && (!cell.is_empty() || !row.is_empty()) {
+        row.push(cell);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rel;
+
+    #[test]
+    fn export_import_roundtrip_inferred() {
+        let r = rel! { ["clerk", "age"] => ("Mary", 23), ("John", 25) };
+        let csv = export_csv(&r);
+        assert!(csv.starts_with("age,clerk\n"));
+        let back = import_csv(&csv).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn typed_roundtrip_preserves_ambiguous_values() {
+        // The string "42" would infer as Int; typed export keeps it a string.
+        let r = rel! { ["x", "y"] => ("42", 42), (true, 2.5) };
+        let csv = export_typed(&r);
+        let back = import_typed(&csv).unwrap();
+        assert_eq!(back, r);
+        // plain inference would NOT round-trip this relation
+        let lossy = import_csv(&export_csv(&r)).unwrap();
+        assert_ne!(lossy, r);
+    }
+
+    #[test]
+    fn quoting_commas_quotes_newlines() {
+        let r = rel! { ["note"] => ("a,b",), ("say \"hi\"",), ("line1\nline2",) };
+        let back = import_csv(&export_csv(&r)).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn header_only_gives_empty_relation() {
+        let r = import_csv("a,b\n").unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.attrs(), &AttrSet::from_names(&["a", "b"]));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(import_csv("").is_err()); // no header
+        assert!(import_csv("a,a\n1,2\n").is_err()); // duplicate header
+        assert!(import_csv("a,b\n1\n").is_err()); // ragged row
+        assert!(import_csv("a\n\"open").is_err()); // unterminated quote
+        assert!(import_typed("a\nz:1\n").is_err()); // unknown tag
+        assert!(import_typed("a\nplain\n").is_err()); // missing tag
+        assert!(import_typed("a\ni:xyz\n").is_err()); // bad int body
+    }
+
+    #[test]
+    fn header_permutation_is_respected() {
+        // File lists columns out of canonical order.
+        let csv = "item,clerk\nTV,Mary\n";
+        let r = import_csv(csv).unwrap();
+        assert_eq!(r, rel! { ["item", "clerk"] => ("TV", "Mary") });
+    }
+
+    #[test]
+    fn crlf_tolerated_and_final_line_without_newline() {
+        let r = import_csv("a,b\r\n1,2\r\n3,4").unwrap();
+        assert_eq!(r, rel! { ["a", "b"] => (1, 2), (3, 4) });
+    }
+}

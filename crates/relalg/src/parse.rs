@@ -1,0 +1,587 @@
+//! A text syntax for relational algebra expressions.
+//!
+//! Grammar (whitespace-insensitive; `NAME` is an identifier that is not a
+//! keyword):
+//!
+//! ```text
+//! expr     := joined (("union" | "minus" | "intersect") joined)*   // left-assoc
+//! joined   := primary ("join" primary)*                            // binds tighter
+//! primary  := NAME
+//!           | ("sigma" | "select") "[" cond "]" "(" expr ")"
+//!           | ("pi" | "project") "[" attrs "]" "(" expr ")"
+//!           | ("rho" | "rename") "[" NAME "->" NAME ("," NAME "->" NAME)* "]" "(" expr ")"
+//!           | "empty" "[" attrs "]"
+//!           | "(" expr ")"
+//! attrs    := (NAME ("," NAME)*)?
+//! cond     := conj ("or" conj)*
+//! conj     := unary ("and" unary)*
+//! unary    := "not" unary | "true" | "false" | "(" cond ")"
+//!           | operand ("=" | "!=" | "<" | "<=" | ">" | ">=") operand
+//! operand  := NAME | INT | FLOAT | "'" chars "'" | "true" | "false"
+//! ```
+//!
+//! The printer in [`crate::display`] emits exactly this syntax, so
+//! printing and re-parsing is the identity on expressions.
+
+use crate::attrs::AttrSet;
+use crate::error::{RelalgError, Result};
+use crate::expr::RaExpr;
+use crate::predicate::{CmpOp, Operand, Predicate};
+use crate::symbol::Attr;
+use crate::value::Value;
+
+/// Parses an expression. Entry point behind [`RaExpr::parse`].
+pub fn parse_expr(text: &str) -> Result<RaExpr> {
+    let tokens = tokenize(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_end()?;
+    Ok(e)
+}
+
+/// Parses a selection predicate on its own (useful in tests and tools).
+pub fn parse_predicate(text: &str) -> Result<Predicate> {
+    let tokens = tokenize(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let c = p.cond()?;
+    p.expect_end()?;
+    Ok(c)
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Name(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Sym(&'static str), // ( ) [ ] , -> = != < <= > >=
+}
+
+#[derive(Clone, Debug)]
+struct Spanned {
+    tok: Tok,
+    at: usize,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Spanned>> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' | ')' | '[' | ']' | ',' => {
+                out.push(Spanned {
+                    tok: Tok::Sym(match c {
+                        '(' => "(",
+                        ')' => ")",
+                        '[' => "[",
+                        ']' => "]",
+                        _ => ",",
+                    }),
+                    at: i,
+                });
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'>') => {
+                out.push(Spanned { tok: Tok::Sym("->"), at: i });
+                i += 2;
+            }
+            '=' => {
+                out.push(Spanned { tok: Tok::Sym("="), at: i });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Spanned { tok: Tok::Sym("!="), at: i });
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::Sym("<="), at: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Sym("<"), at: i });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::Sym(">="), at: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Sym(">"), at: i });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(RelalgError::Parse {
+                        position: i,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(text[start..j].to_owned()),
+                    at: i,
+                });
+                i = j + 1;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                    if !(i < bytes.len() && bytes[i].is_ascii_digit()) {
+                        return Err(RelalgError::Parse {
+                            position: start,
+                            message: "expected digits after '-'".into(),
+                        });
+                    }
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let s = &text[start..i];
+                let tok = if is_float {
+                    Tok::Float(s.parse().map_err(|_| RelalgError::Parse {
+                        position: start,
+                        message: format!("bad float literal `{s}`"),
+                    })?)
+                } else {
+                    Tok::Int(s.parse().map_err(|_| RelalgError::Parse {
+                        position: start,
+                        message: format!("bad integer literal `{s}`"),
+                    })?)
+                };
+                out.push(Spanned { tok, at: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Name(text[start..i].to_owned()),
+                    at: start,
+                });
+            }
+            _ => {
+                return Err(RelalgError::Parse {
+                    position: i,
+                    message: format!("unexpected character `{c}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+const KEYWORDS: &[&str] = &[
+    "join", "union", "minus", "intersect", "sigma", "select", "pi", "project", "rho",
+    "rename", "empty", "and", "or", "not", "true", "false",
+];
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn at(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |s| s.at)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> RelalgError {
+        RelalgError::Parse {
+            position: self.at(),
+            message: message.into(),
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &'static str) -> Result<()> {
+        match self.peek() {
+            Some(Tok::Sym(s)) if *s == sym => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{sym}`, found {other:?}"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Name(n)) = self.peek() {
+            if n == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Name(n)) if n == kw)
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Tok::Name(n)) if !KEYWORDS.contains(&n.as_str()) => {
+                let n = n.clone();
+                self.pos += 1;
+                Ok(n)
+            }
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_end(&self) -> Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.error("trailing input after expression"))
+        }
+    }
+
+    fn expr(&mut self) -> Result<RaExpr> {
+        let mut left = self.joined()?;
+        loop {
+            if self.eat_keyword("union") {
+                left = left.union(self.joined()?);
+            } else if self.eat_keyword("minus") {
+                left = left.diff(self.joined()?);
+            } else if self.eat_keyword("intersect") {
+                left = left.intersect(self.joined()?);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn joined(&mut self) -> Result<RaExpr> {
+        let mut left = self.primary()?;
+        while self.eat_keyword("join") {
+            left = left.join(self.primary()?);
+        }
+        Ok(left)
+    }
+
+    fn primary(&mut self) -> Result<RaExpr> {
+        if self.peek_keyword("sigma") || self.peek_keyword("select") {
+            self.pos += 1;
+            self.eat_sym("[")?;
+            let cond = self.cond()?;
+            self.eat_sym("]")?;
+            self.eat_sym("(")?;
+            let input = self.expr()?;
+            self.eat_sym(")")?;
+            return Ok(input.select(cond));
+        }
+        if self.peek_keyword("pi") || self.peek_keyword("project") {
+            self.pos += 1;
+            self.eat_sym("[")?;
+            let attrs = self.attr_list()?;
+            self.eat_sym("]")?;
+            self.eat_sym("(")?;
+            let input = self.expr()?;
+            self.eat_sym(")")?;
+            return Ok(input.project(attrs));
+        }
+        if self.peek_keyword("rho") || self.peek_keyword("rename") {
+            self.pos += 1;
+            self.eat_sym("[")?;
+            let mut pairs = Vec::new();
+            loop {
+                let from = self.ident()?;
+                self.eat_sym("->")?;
+                let to = self.ident()?;
+                pairs.push((Attr::new(&from), Attr::new(&to)));
+                if !matches!(self.peek(), Some(Tok::Sym(","))) {
+                    break;
+                }
+                self.pos += 1;
+            }
+            self.eat_sym("]")?;
+            self.eat_sym("(")?;
+            let input = self.expr()?;
+            self.eat_sym(")")?;
+            return Ok(input.rename(pairs));
+        }
+        if self.peek_keyword("empty") {
+            self.pos += 1;
+            self.eat_sym("[")?;
+            let attrs = self.attr_list()?;
+            self.eat_sym("]")?;
+            return Ok(RaExpr::empty(attrs));
+        }
+        if matches!(self.peek(), Some(Tok::Sym("("))) {
+            self.pos += 1;
+            let e = self.expr()?;
+            self.eat_sym(")")?;
+            return Ok(e);
+        }
+        let name = self.ident().map_err(|_| {
+            self.error("expected relation name, operator keyword, or `(`")
+        })?;
+        Ok(RaExpr::base(name.as_str()))
+    }
+
+    fn attr_list(&mut self) -> Result<AttrSet> {
+        let mut names = Vec::new();
+        if matches!(self.peek(), Some(Tok::Sym("]"))) {
+            return Ok(AttrSet::empty());
+        }
+        loop {
+            names.push(Attr::new(&self.ident()?));
+            if !matches!(self.peek(), Some(Tok::Sym(","))) {
+                break;
+            }
+            self.pos += 1;
+        }
+        Ok(AttrSet::from_iter(names))
+    }
+
+    fn cond(&mut self) -> Result<Predicate> {
+        let mut left = self.conj()?;
+        while self.eat_keyword("or") {
+            let right = self.conj()?;
+            left = Predicate::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn conj(&mut self) -> Result<Predicate> {
+        let mut left = self.cond_unary()?;
+        while self.eat_keyword("and") {
+            let right = self.cond_unary()?;
+            left = Predicate::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn cond_unary(&mut self) -> Result<Predicate> {
+        if self.eat_keyword("not") {
+            return Ok(Predicate::Not(Box::new(self.cond_unary()?)));
+        }
+        // `true`/`false` standing alone are predicates; as comparison
+        // operands they are handled inside `operand`.
+        if self.peek_keyword("true") && !self.next_is_cmp(1) {
+            self.pos += 1;
+            return Ok(Predicate::True);
+        }
+        if self.peek_keyword("false") && !self.next_is_cmp(1) {
+            self.pos += 1;
+            return Ok(Predicate::False);
+        }
+        if matches!(self.peek(), Some(Tok::Sym("("))) {
+            self.pos += 1;
+            let c = self.cond()?;
+            self.eat_sym(")")?;
+            return Ok(c);
+        }
+        let lhs = self.operand()?;
+        let op = self.cmp_op()?;
+        let rhs = self.operand()?;
+        Ok(Predicate::Cmp(lhs, op, rhs))
+    }
+
+    fn next_is_cmp(&self, offset: usize) -> bool {
+        matches!(
+            self.tokens.get(self.pos + offset).map(|s| &s.tok),
+            Some(Tok::Sym("=" | "!=" | "<" | "<=" | ">" | ">="))
+        )
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp> {
+        let op = match self.peek() {
+            Some(Tok::Sym("=")) => CmpOp::Eq,
+            Some(Tok::Sym("!=")) => CmpOp::Ne,
+            Some(Tok::Sym("<")) => CmpOp::Lt,
+            Some(Tok::Sym("<=")) => CmpOp::Le,
+            Some(Tok::Sym(">")) => CmpOp::Gt,
+            Some(Tok::Sym(">=")) => CmpOp::Ge,
+            other => return Err(self.error(format!("expected comparison, found {other:?}"))),
+        };
+        self.pos += 1;
+        Ok(op)
+    }
+
+    fn operand(&mut self) -> Result<Operand> {
+        match self.bump() {
+            Some(Tok::Int(i)) => Ok(Operand::Const(Value::Int(i))),
+            Some(Tok::Float(d)) => Ok(Operand::Const(Value::double(d))),
+            Some(Tok::Str(s)) => Ok(Operand::Const(Value::str(&s))),
+            Some(Tok::Name(n)) if n == "true" => Ok(Operand::Const(Value::Bool(true))),
+            Some(Tok::Name(n)) if n == "false" => Ok(Operand::Const(Value::Bool(false))),
+            Some(Tok::Name(n)) if !KEYWORDS.contains(&n.as_str()) => {
+                Ok(Operand::Attr(Attr::new(&n)))
+            }
+            other => Err(self.error(format!("expected operand, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_base_and_join() {
+        assert_eq!(
+            parse_expr("Sale join Emp").unwrap(),
+            RaExpr::base("Sale").join(RaExpr::base("Emp"))
+        );
+        // join is left associative and binds tighter than union
+        assert_eq!(
+            parse_expr("A join B union C").unwrap(),
+            RaExpr::base("A").join(RaExpr::base("B")).union(RaExpr::base("C"))
+        );
+        assert_eq!(
+            parse_expr("A union B join C").unwrap(),
+            RaExpr::base("A").union(RaExpr::base("B").join(RaExpr::base("C")))
+        );
+    }
+
+    #[test]
+    fn parse_setops_left_assoc() {
+        assert_eq!(
+            parse_expr("A union B minus C").unwrap(),
+            RaExpr::base("A").union(RaExpr::base("B")).diff(RaExpr::base("C"))
+        );
+        assert_eq!(
+            parse_expr("A minus (B intersect C)").unwrap(),
+            RaExpr::base("A").diff(RaExpr::base("B").intersect(RaExpr::base("C")))
+        );
+    }
+
+    #[test]
+    fn parse_unary_ops() {
+        assert_eq!(
+            parse_expr("pi[clerk, age](Sold)").unwrap(),
+            RaExpr::base("Sold").project_names(&["clerk", "age"])
+        );
+        assert_eq!(
+            parse_expr("sigma[item = 'PC'](Sale)").unwrap(),
+            RaExpr::base("Sale").select(Predicate::attr_eq("item", "PC"))
+        );
+        assert_eq!(
+            parse_expr("rho[age -> years](Emp)").unwrap(),
+            RaExpr::base("Emp").rename(vec![(Attr::new("age"), Attr::new("years"))])
+        );
+        assert_eq!(
+            parse_expr("empty[a, b]").unwrap(),
+            RaExpr::empty(AttrSet::from_names(&["a", "b"]))
+        );
+        assert_eq!(parse_expr("empty[]").unwrap(), RaExpr::empty(AttrSet::empty()));
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!(
+            parse_expr("project[a](select[a = 1](R))").unwrap(),
+            parse_expr("pi[a](sigma[a = 1](R))").unwrap()
+        );
+        assert_eq!(
+            parse_expr("rename[a -> b](R)").unwrap(),
+            parse_expr("rho[a -> b](R)").unwrap()
+        );
+    }
+
+    #[test]
+    fn parse_predicates() {
+        let p = parse_predicate("a = 1 and b != 'x' or not c < 2.5").unwrap();
+        // or is outermost: (a=1 and b!='x') or (not c<2.5)
+        match p {
+            Predicate::Or(l, r) => {
+                assert!(matches!(*l, Predicate::And(_, _)));
+                assert!(matches!(*r, Predicate::Not(_)));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+        assert_eq!(parse_predicate("true").unwrap(), Predicate::True);
+        assert_eq!(parse_predicate("not false").unwrap(), Predicate::Not(Box::new(Predicate::False)));
+        // true as an operand
+        let p = parse_predicate("flag = true").unwrap();
+        assert_eq!(
+            p,
+            Predicate::Cmp(Operand::attr("flag"), CmpOp::Eq, Operand::Const(Value::Bool(true)))
+        );
+    }
+
+    #[test]
+    fn parse_negative_numbers() {
+        let p = parse_predicate("a >= -5").unwrap();
+        assert_eq!(
+            p,
+            Predicate::Cmp(Operand::attr("a"), CmpOp::Ge, Operand::Const(Value::Int(-5)))
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        for text in [
+            "",
+            "Sale join",
+            "pi[clerk](Sale",
+            "sigma[](R)",
+            "sigma[a =](R)",
+            "'unterminated",
+            "A ~ B",
+            "join",
+            "A B",
+            "rho[a](R)",
+            "-x",
+        ] {
+            let err = parse_expr(text).unwrap_err();
+            assert!(matches!(err, RelalgError::Parse { .. }), "text {text:?} gave {err:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let exprs = [
+            "Sale",
+            "(Sale join Emp)",
+            "(Emp minus pi[age, clerk]((Sale join Emp)))",
+            "pi[clerk](sigma[item = 'PC' and age <= 30](Sale))",
+            "empty[a, b]",
+            "rho[age -> years](Emp)",
+            "((A union B) intersect C)",
+            "sigma[not (a = 1 or b = 2)](R)",
+        ];
+        for text in exprs {
+            let e = parse_expr(text).unwrap();
+            let printed = e.to_string();
+            let reparsed = parse_expr(&printed).unwrap();
+            assert_eq!(e, reparsed, "roundtrip failed for {text}");
+        }
+    }
+}

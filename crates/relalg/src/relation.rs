@@ -1,0 +1,323 @@
+//! Set-semantics relations.
+//!
+//! A [`Relation`] is a sorted attribute header plus an ordered set of
+//! tuples. The paper's constructions (complements, the one-to-one mapping
+//! of Proposition 2.1, the correctness criteria of Theorems 3.1/4.1) all
+//! rely on relations being *sets* with a well-defined equality, which
+//! `BTreeSet<Tuple>` provides directly, along with deterministic
+//! iteration for printing and hashing.
+
+use crate::attrs::AttrSet;
+use crate::error::{RelalgError, Result};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A relation instance: a header and a set of tuples of matching arity.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Relation {
+    attrs: AttrSet,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// The empty relation over the given header.
+    pub fn empty(attrs: AttrSet) -> Relation {
+        Relation {
+            attrs,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Builds a relation from a header given as attribute names (in any
+    /// order) and rows aligned with *that* order. Rows are permuted into
+    /// canonical (sorted-header) order internally.
+    pub fn from_rows<R>(names: &[&str], rows: impl IntoIterator<Item = R>) -> Result<Relation>
+    where
+        R: IntoIterator<Item = Value>,
+    {
+        let given: Vec<crate::symbol::Attr> =
+            names.iter().map(|n| crate::symbol::Attr::new(n)).collect();
+        let attrs = AttrSet::from_iter(given.iter().copied());
+        if attrs.len() != given.len() {
+            return Err(RelalgError::ArityMismatch {
+                expected: attrs.len(),
+                got: given.len(),
+            });
+        }
+        // permutation[k] = index (in the given row) of the k-th canonical attr
+        let permutation: Vec<usize> = attrs
+            .iter()
+            .map(|a| given.iter().position(|g| *g == a).expect("attr from given list"))
+            .collect();
+        let mut rel = Relation::empty(attrs);
+        for row in rows {
+            let row: Vec<Value> = row.into_iter().collect();
+            if row.len() != permutation.len() {
+                return Err(RelalgError::ArityMismatch {
+                    expected: permutation.len(),
+                    got: row.len(),
+                });
+            }
+            let tuple = Tuple::new(permutation.iter().map(|&i| row[i].clone()).collect());
+            rel.tuples.insert(tuple);
+        }
+        Ok(rel)
+    }
+
+    /// The header.
+    pub fn attrs(&self) -> &AttrSet {
+        &self.attrs
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Inserts a tuple (must match arity); returns whether it was new.
+    pub fn insert(&mut self, t: Tuple) -> Result<bool> {
+        if t.arity() != self.attrs.len() {
+            return Err(RelalgError::ArityMismatch {
+                expected: self.attrs.len(),
+                got: t.arity(),
+            });
+        }
+        Ok(self.tuples.insert(t))
+    }
+
+    /// Removes a tuple; returns whether it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.tuples.remove(t)
+    }
+
+    /// Iterates tuples in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// The underlying tuple set.
+    pub fn tuples(&self) -> &BTreeSet<Tuple> {
+        &self.tuples
+    }
+
+    fn require_same_header(&self, other: &Relation) -> Result<()> {
+        if self.attrs != other.attrs {
+            return Err(RelalgError::HeaderMismatch {
+                left: self.attrs.clone(),
+                right: other.attrs.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// `self ∪ other` (same header required).
+    pub fn union(&self, other: &Relation) -> Result<Relation> {
+        self.require_same_header(other)?;
+        let mut out = self.clone();
+        out.tuples.extend(other.tuples.iter().cloned());
+        Ok(out)
+    }
+
+    /// `self ∖ other` (same header required).
+    pub fn difference(&self, other: &Relation) -> Result<Relation> {
+        self.require_same_header(other)?;
+        Ok(Relation {
+            attrs: self.attrs.clone(),
+            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// `self ∩ other` (same header required).
+    pub fn intersect(&self, other: &Relation) -> Result<Relation> {
+        self.require_same_header(other)?;
+        Ok(Relation {
+            attrs: self.attrs.clone(),
+            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// `π_Z(self)`; `Z` must be a subset of the header. (The paper's
+    /// convention that `π_Z(R) = ∅` when `Z ⊄ attr(R)` is applied one
+    /// level up, in the PSJ layer, where it is a deliberate notational
+    /// device rather than a silent coercion.)
+    pub fn project(&self, wanted: &AttrSet) -> Result<Relation> {
+        let Some(positions) = wanted.positions_in(&self.attrs) else {
+            return Err(RelalgError::ProjectionNotSubset {
+                wanted: wanted.clone(),
+                header: self.attrs.clone(),
+            });
+        };
+        Ok(Relation {
+            attrs: wanted.clone(),
+            tuples: self.tuples.iter().map(|t| t.project(&positions)).collect(),
+        })
+    }
+
+    /// Keeps the tuples satisfying `keep`.
+    pub fn filter(&self, mut keep: impl FnMut(&Tuple) -> bool) -> Relation {
+        Relation {
+            attrs: self.attrs.clone(),
+            tuples: self.tuples.iter().filter(|t| keep(t)).cloned().collect(),
+        }
+    }
+
+    /// True iff `self ⊆ other` (same header required).
+    pub fn is_subset(&self, other: &Relation) -> Result<bool> {
+        self.require_same_header(other)?;
+        Ok(self.tuples.is_subset(&other.tuples))
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.attrs)?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Builds a [`Relation`] literal:
+///
+/// ```
+/// use dwc_relalg::rel;
+/// let r = rel! { ["item", "clerk"] => ("TV set", "Mary"), ("PC", "John") };
+/// assert_eq!(r.len(), 2);
+/// ```
+#[macro_export]
+macro_rules! rel {
+    { [$($name:expr),* $(,)?] => $(($($v:expr),* $(,)?)),* $(,)? } => {
+        $crate::Relation::from_rows(
+            &[$($name),*],
+            vec![$(vec![$($crate::Value::from($v)),*]),*] as Vec<Vec<$crate::Value>>,
+        ).expect("rel! literal is well-formed")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sale() -> Relation {
+        Relation::from_rows(
+            &["item", "clerk"],
+            vec![
+                vec![Value::str("TV set"), Value::str("Mary")],
+                vec![Value::str("VCR"), Value::str("Mary")],
+                vec![Value::str("PC"), Value::str("John")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_rows_permutes_into_canonical_order() {
+        // Header sorted => {clerk, item}; row given as (item, clerk).
+        let r = sale();
+        assert_eq!(r.attrs().to_string(), "{clerk, item}");
+        let first = r.iter().next().unwrap();
+        // Canonical order of first (lexicographically least) tuple: John, PC.
+        assert_eq!(first.get(0), &Value::str("John"));
+        assert_eq!(first.get(1), &Value::str("PC"));
+    }
+
+    #[test]
+    fn from_rows_rejects_wrong_arity() {
+        let err = Relation::from_rows(&["a", "b"], vec![vec![Value::int(1)]]).unwrap_err();
+        assert!(matches!(err, RelalgError::ArityMismatch { expected: 2, got: 1 }));
+    }
+
+    #[test]
+    fn from_rows_rejects_duplicate_attrs() {
+        let err =
+            Relation::from_rows(&["a", "a"], Vec::<Vec<Value>>::new()).unwrap_err();
+        assert!(matches!(err, RelalgError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn set_semantics_dedup() {
+        let r = Relation::from_rows(
+            &["a"],
+            vec![vec![Value::int(1)], vec![Value::int(1)], vec![Value::int(2)]],
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn union_difference_intersect() {
+        let a = Relation::from_rows(&["x"], vec![vec![Value::int(1)], vec![Value::int(2)]])
+            .unwrap();
+        let b = Relation::from_rows(&["x"], vec![vec![Value::int(2)], vec![Value::int(3)]])
+            .unwrap();
+        assert_eq!(a.union(&b).unwrap().len(), 3);
+        assert_eq!(a.difference(&b).unwrap().len(), 1);
+        assert_eq!(a.intersect(&b).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn header_mismatch_is_an_error() {
+        let a = Relation::empty(AttrSet::from_names(&["x"]));
+        let b = Relation::empty(AttrSet::from_names(&["y"]));
+        assert!(a.union(&b).is_err());
+        assert!(a.difference(&b).is_err());
+        assert!(a.intersect(&b).is_err());
+        assert!(a.is_subset(&b).is_err());
+    }
+
+    #[test]
+    fn project_subset_and_error() {
+        let r = sale();
+        let p = r.project(&AttrSet::from_names(&["clerk"])).unwrap();
+        assert_eq!(p.len(), 2); // Mary, John — set semantics collapse
+        assert!(r.project(&AttrSet::from_names(&["age"])).is_err());
+    }
+
+    #[test]
+    fn project_empty_set_of_attrs() {
+        let r = sale();
+        let p = r.project(&AttrSet::empty()).unwrap();
+        // π_{}(R) for non-empty R is the single empty tuple (dee).
+        assert_eq!(p.len(), 1);
+        let e = Relation::empty(r.attrs().clone());
+        assert_eq!(e.project(&AttrSet::empty()).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn rel_macro() {
+        let r = rel! { ["item", "clerk"] => ("TV set", "Mary"), ("PC", "John") };
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.attrs(), &AttrSet::from_names(&["item", "clerk"]));
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut r = Relation::empty(AttrSet::from_names(&["x"]));
+        let t = Tuple::new(vec![Value::int(7)]);
+        assert!(r.insert(t.clone()).unwrap());
+        assert!(!r.insert(t.clone()).unwrap());
+        assert!(r.contains(&t));
+        assert!(r.remove(&t));
+        assert!(!r.remove(&t));
+        assert!(r.insert(Tuple::new(vec![])).is_err());
+    }
+}

@@ -1,0 +1,377 @@
+//! Relation schemata and the catalog `D`.
+//!
+//! A [`Catalog`] is the paper's `D = {R1, …, Rn}` together with its
+//! declared integrity constraints: at most one key per relation schema and
+//! a set of acyclic inclusion dependencies.
+
+use crate::attrs::AttrSet;
+use crate::constraints::{topological_order, InclusionDep};
+use crate::error::{RelalgError, Result};
+use crate::symbol::RelName;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A relation schema: name, attributes and an optional key.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RelSchema {
+    name: RelName,
+    attrs: AttrSet,
+    key: Option<AttrSet>,
+}
+
+impl RelSchema {
+    /// Builds a schema; the key, if given, must be a subset of the
+    /// attributes.
+    pub fn new(name: RelName, attrs: AttrSet, key: Option<AttrSet>) -> Result<RelSchema> {
+        if let Some(k) = &key {
+            if !k.is_subset(&attrs) || k.is_empty() {
+                return Err(RelalgError::BadKey {
+                    relation: name,
+                    key: k.clone(),
+                    header: attrs,
+                });
+            }
+        }
+        Ok(RelSchema { name, attrs, key })
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> RelName {
+        self.name
+    }
+
+    /// The attribute set (the paper writes `attr(R)`).
+    pub fn attrs(&self) -> &AttrSet {
+        &self.attrs
+    }
+
+    /// The declared key, if any.
+    pub fn key(&self) -> Option<&AttrSet> {
+        self.key.as_ref()
+    }
+}
+
+impl fmt::Debug for RelSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let keyed = self.key.as_ref().is_some_and(|k| k.contains(a));
+            if keyed {
+                write!(f, "{a}*")?;
+            } else {
+                write!(f, "{a}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// The set `D` of base relation schemata plus declared constraints.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Catalog {
+    schemas: BTreeMap<RelName, RelSchema>,
+    inds: Vec<InclusionDep>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Declares a relation schema without a key.
+    pub fn add_schema(&mut self, name: &str, attrs: &[&str]) -> Result<RelName> {
+        self.add(RelSchema::new(
+            RelName::new(name),
+            AttrSet::from_names(attrs),
+            None,
+        )?)
+    }
+
+    /// Declares a relation schema with a key.
+    pub fn add_schema_with_key(
+        &mut self,
+        name: &str,
+        attrs: &[&str],
+        key: &[&str],
+    ) -> Result<RelName> {
+        self.add(RelSchema::new(
+            RelName::new(name),
+            AttrSet::from_names(attrs),
+            Some(AttrSet::from_names(key)),
+        )?)
+    }
+
+    /// Declares a pre-built schema.
+    pub fn add(&mut self, schema: RelSchema) -> Result<RelName> {
+        let name = schema.name();
+        if self.schemas.contains_key(&name) {
+            return Err(RelalgError::DuplicateRelation(name));
+        }
+        self.schemas.insert(name, schema);
+        Ok(name)
+    }
+
+    /// Declares the inclusion dependency `π_X(from) ⊆ π_X(to)`. Validates
+    /// that both relations exist, that `X` is non-empty and within both
+    /// attribute sets, and that the dependency set stays acyclic.
+    pub fn add_inclusion_dep(&mut self, dep: InclusionDep) -> Result<()> {
+        let from = self.schema(dep.from)?;
+        let to = self.schema(dep.to)?;
+        if dep.attrs.is_empty() {
+            return Err(RelalgError::BadInclusionDep {
+                detail: format!("{dep}: empty attribute set"),
+            });
+        }
+        if !dep.attrs.is_subset(from.attrs()) || !dep.attrs.is_subset(to.attrs()) {
+            return Err(RelalgError::BadInclusionDep {
+                detail: format!(
+                    "{dep}: attributes must be common to {:?} and {:?}",
+                    from.attrs(),
+                    to.attrs()
+                ),
+            });
+        }
+        let mut candidate = self.inds.clone();
+        candidate.push(dep.clone());
+        topological_order(self.schemas.keys().copied(), &candidate)?;
+        self.inds = candidate;
+        Ok(())
+    }
+
+    /// Declares a foreign key: a key on `to` over `attrs` (which must
+    /// already be declared) plus the inclusion dependency `from ⊆ to`.
+    pub fn add_foreign_key(&mut self, from: &str, to: &str, attrs: &[&str]) -> Result<()> {
+        let x = AttrSet::from_names(attrs);
+        let to_name = RelName::new(to);
+        let to_schema = self.schema(to_name)?;
+        match to_schema.key() {
+            Some(k) if k.is_subset(&x) => {}
+            _ => {
+                return Err(RelalgError::BadInclusionDep {
+                    detail: format!(
+                        "foreign key {from} -> {to} over {x} requires the key of {to} to be contained in {x}"
+                    ),
+                })
+            }
+        }
+        self.add_inclusion_dep(InclusionDep::new(from, to, x))
+    }
+
+    /// Looks up a schema.
+    pub fn schema(&self, name: RelName) -> Result<&RelSchema> {
+        self.schemas
+            .get(&name)
+            .ok_or(RelalgError::UnknownRelation(name))
+    }
+
+    /// True iff the relation is declared.
+    pub fn contains(&self, name: RelName) -> bool {
+        self.schemas.contains_key(&name)
+    }
+
+    /// All declared relation names, sorted.
+    pub fn relation_names(&self) -> impl Iterator<Item = RelName> + '_ {
+        self.schemas.keys().copied()
+    }
+
+    /// All declared schemata, sorted by name.
+    pub fn schemas(&self) -> impl Iterator<Item = &RelSchema> + '_ {
+        self.schemas.values()
+    }
+
+    /// Number of declared relations.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// True iff no relation is declared.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    /// The declared inclusion dependencies.
+    pub fn inclusion_deps(&self) -> &[InclusionDep] {
+        &self.inds
+    }
+
+    /// Inclusion dependencies whose *target* is `to` (these are the ones
+    /// Theorem 2.2 exploits when complementing `to`).
+    pub fn inclusion_deps_into(&self, to: RelName) -> impl Iterator<Item = &InclusionDep> + '_ {
+        self.inds.iter().filter(move |d| d.to == to)
+    }
+
+    /// A topological order of the relations such that IND targets precede
+    /// IND sources (well-defined because the catalog enforces acyclicity).
+    pub fn ind_topological_order(&self) -> Vec<RelName> {
+        topological_order(self.schemas.keys().copied(), &self.inds)
+            .expect("catalog maintains acyclicity invariant")
+    }
+
+    /// The union of all attributes declared anywhere (used by cover
+    /// search heuristics and generators).
+    pub fn all_attrs(&self) -> AttrSet {
+        self.schemas
+            .values()
+            .fold(AttrSet::empty(), |acc, s| acc.union(s.attrs()))
+    }
+
+    /// Attribute helper: `attr(R)` as the paper writes it.
+    pub fn attrs_of(&self, name: RelName) -> Result<&AttrSet> {
+        Ok(self.schema(name)?.attrs())
+    }
+
+    /// The key of `name`, if declared.
+    pub fn key_of(&self, name: RelName) -> Result<Option<&AttrSet>> {
+        Ok(self.schema(name)?.key())
+    }
+}
+
+impl fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "catalog:")?;
+        for s in self.schemas.values() {
+            writeln!(f, "  {s:?}")?;
+        }
+        for d in &self.inds {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Iterator support for `for name in &catalog`.
+impl<'a> IntoIterator for &'a Catalog {
+    type Item = &'a RelSchema;
+    type IntoIter = std::collections::btree_map::Values<'a, RelName, RelSchema>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.schemas.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_23_catalog() -> Catalog {
+        // R1(A,B,C), R2(A,C,D), R3(A,B); A key of each;
+        // π_AB(R3) ⊆ π_AB(R1), π_AC(R2) ⊆ π_AC(R1).
+        let mut c = Catalog::new();
+        c.add_schema_with_key("R1", &["A", "B", "C"], &["A"]).unwrap();
+        c.add_schema_with_key("R2", &["A", "C", "D"], &["A"]).unwrap();
+        c.add_schema_with_key("R3", &["A", "B"], &["A"]).unwrap();
+        c.add_inclusion_dep(InclusionDep::new("R3", "R1", AttrSet::from_names(&["A", "B"])))
+            .unwrap();
+        c.add_inclusion_dep(InclusionDep::new("R2", "R1", AttrSet::from_names(&["A", "C"])))
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let c = example_23_catalog();
+        assert_eq!(c.len(), 3);
+        let r1 = c.schema(RelName::new("R1")).unwrap();
+        assert_eq!(r1.attrs(), &AttrSet::from_names(&["A", "B", "C"]));
+        assert_eq!(r1.key(), Some(&AttrSet::from_names(&["A"])));
+        assert!(c.schema(RelName::new("R9")).is_err());
+    }
+
+    #[test]
+    fn duplicate_schema_rejected() {
+        let mut c = Catalog::new();
+        c.add_schema("R", &["A"]).unwrap();
+        assert!(matches!(
+            c.add_schema("R", &["B"]),
+            Err(RelalgError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn bad_key_rejected() {
+        let res = RelSchema::new(
+            RelName::new("R"),
+            AttrSet::from_names(&["A"]),
+            Some(AttrSet::from_names(&["Z"])),
+        );
+        assert!(matches!(res, Err(RelalgError::BadKey { .. })));
+        let res = RelSchema::new(
+            RelName::new("R"),
+            AttrSet::from_names(&["A"]),
+            Some(AttrSet::empty()),
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn ind_validation() {
+        let mut c = Catalog::new();
+        c.add_schema("R", &["A", "B"]).unwrap();
+        c.add_schema("S", &["B", "C"]).unwrap();
+        // A not common to both.
+        assert!(c
+            .add_inclusion_dep(InclusionDep::new("R", "S", AttrSet::from_names(&["A"])))
+            .is_err());
+        // Empty attribute set.
+        assert!(c
+            .add_inclusion_dep(InclusionDep::new("R", "S", AttrSet::empty()))
+            .is_err());
+        // Unknown relation.
+        assert!(c
+            .add_inclusion_dep(InclusionDep::new("R", "Z", AttrSet::from_names(&["B"])))
+            .is_err());
+        // Valid one.
+        c.add_inclusion_dep(InclusionDep::new("R", "S", AttrSet::from_names(&["B"])))
+            .unwrap();
+        // Reverse direction would close a cycle.
+        assert!(c
+            .add_inclusion_dep(InclusionDep::new("S", "R", AttrSet::from_names(&["B"])))
+            .is_err());
+        assert_eq!(c.inclusion_deps().len(), 1);
+    }
+
+    #[test]
+    fn foreign_key_requires_key_on_target() {
+        let mut c = Catalog::new();
+        c.add_schema_with_key("Emp", &["clerk", "age"], &["clerk"]).unwrap();
+        c.add_schema("Sale", &["item", "clerk"]).unwrap();
+        c.add_foreign_key("Sale", "Emp", &["clerk"]).unwrap();
+        assert_eq!(c.inclusion_deps().len(), 1);
+        // No key on Sale => FK into Sale is rejected.
+        let err = c.add_foreign_key("Emp", "Sale", &["clerk"]).unwrap_err();
+        assert!(matches!(err, RelalgError::BadInclusionDep { .. }));
+    }
+
+    #[test]
+    fn ind_topological_order_targets_first() {
+        let c = example_23_catalog();
+        let order = c.ind_topological_order();
+        let pos = |n: &str| order.iter().position(|&x| x == RelName::new(n)).unwrap();
+        assert!(pos("R1") < pos("R2"));
+        assert!(pos("R1") < pos("R3"));
+    }
+
+    #[test]
+    fn deps_into() {
+        let c = example_23_catalog();
+        assert_eq!(c.inclusion_deps_into(RelName::new("R1")).count(), 2);
+        assert_eq!(c.inclusion_deps_into(RelName::new("R2")).count(), 0);
+    }
+
+    #[test]
+    fn all_attrs_union() {
+        let c = example_23_catalog();
+        assert_eq!(c.all_attrs(), AttrSet::from_names(&["A", "B", "C", "D"]));
+    }
+
+    #[test]
+    fn debug_marks_key_attrs() {
+        let c = example_23_catalog();
+        let s = format!("{:?}", c.schema(RelName::new("R1")).unwrap());
+        assert_eq!(s, "R1(A*, B, C)");
+    }
+}

@@ -1,0 +1,252 @@
+//! Algebraic simplification.
+//!
+//! The substitution steps of the paper (query translation, maintenance
+//! expressions, inverse expressions under inclusion dependencies) compose
+//! expressions mechanically, which leaves obvious redundancy behind:
+//! unions with provably-empty complements, selections with constant-folded
+//! predicates, stacked projections. This pass applies standard
+//! semantics-preserving rewrites bottom-up:
+//!
+//! * predicate constant folding; `σ_true(e) = e`, `σ_false(e) = ∅`,
+//!   `σ_p(σ_q(e)) = σ_{p∧q}(e)`
+//! * `π_{attrs(e)}(e) = e`, `π_Z(π_Y(e)) = π_Z(e)`
+//! * `∅`-propagation through every operator
+//! * idempotence: `e ∪ e = e`, `e ∩ e = e`, `e ⋈ e = e`, `e ∖ e = ∅`
+//! * identity renamings disappear
+//!
+//! All rewrites preserve the inferred header, so a simplified expression
+//! evaluates to the same relation on every state (pinned by a property
+//! test in the crate's test suite).
+
+use crate::expr::{HeaderResolver, RaExpr};
+use crate::error::Result;
+use crate::predicate::Predicate;
+
+/// Simplifies `expr` bottom-up. Fails only if the expression does not
+/// type-check against `resolver` (simplification needs headers to replace
+/// subtrees by `∅` of the right schema).
+pub fn simplify(expr: &RaExpr, resolver: &impl HeaderResolver) -> Result<RaExpr> {
+    // Type-check once up front; the rewrite itself can then rely on
+    // header inference succeeding on any subtree.
+    expr.attrs(resolver)?;
+    Ok(go(expr, resolver))
+}
+
+fn is_empty(e: &RaExpr) -> bool {
+    matches!(e, RaExpr::Empty(_))
+}
+
+fn go(expr: &RaExpr, r: &impl HeaderResolver) -> RaExpr {
+    match expr {
+        RaExpr::Base(_) | RaExpr::Empty(_) => expr.clone(),
+        RaExpr::Select(input, pred) => {
+            let input = go(input, r);
+            let pred = pred.fold();
+            match (&input, &pred) {
+                (RaExpr::Empty(a), _) => RaExpr::Empty(a.clone()),
+                (_, Predicate::True) => input,
+                (_, Predicate::False) => {
+                    RaExpr::Empty(input.attrs(r).expect("type-checked"))
+                }
+                (RaExpr::Select(inner, q), _) => {
+                    RaExpr::Select(inner.clone(), q.clone().and(pred))
+                }
+                _ => RaExpr::Select(Box::new(input), pred),
+            }
+        }
+        RaExpr::Project(input, wanted) => {
+            let input = go(input, r);
+            if is_empty(&input) {
+                return RaExpr::Empty(wanted.clone());
+            }
+            if input.attrs(r).expect("type-checked") == *wanted {
+                return input;
+            }
+            if let RaExpr::Project(inner, _) = &input {
+                return RaExpr::Project(inner.clone(), wanted.clone());
+            }
+            RaExpr::Project(Box::new(input), wanted.clone())
+        }
+        RaExpr::Join(l, right) => {
+            let l = go(l, r);
+            let rt = go(right, r);
+            if is_empty(&l) || is_empty(&rt) {
+                let attrs = l
+                    .attrs(r)
+                    .expect("type-checked")
+                    .union(&rt.attrs(r).expect("type-checked"));
+                return RaExpr::Empty(attrs);
+            }
+            if l == rt {
+                return l;
+            }
+            RaExpr::Join(Box::new(l), Box::new(rt))
+        }
+        RaExpr::Union(l, right) => {
+            let l = go(l, r);
+            let rt = go(right, r);
+            if is_empty(&l) {
+                return rt;
+            }
+            if is_empty(&rt) || l == rt {
+                return l;
+            }
+            RaExpr::Union(Box::new(l), Box::new(rt))
+        }
+        RaExpr::Diff(l, right) => {
+            let l = go(l, r);
+            let rt = go(right, r);
+            if is_empty(&l) {
+                return l;
+            }
+            if is_empty(&rt) {
+                return l;
+            }
+            if l == rt {
+                return RaExpr::Empty(l.attrs(r).expect("type-checked"));
+            }
+            RaExpr::Diff(Box::new(l), Box::new(rt))
+        }
+        RaExpr::Intersect(l, right) => {
+            let l = go(l, r);
+            let rt = go(right, r);
+            if is_empty(&l) {
+                return l;
+            }
+            if is_empty(&rt) {
+                return rt;
+            }
+            if l == rt {
+                return l;
+            }
+            RaExpr::Intersect(Box::new(l), Box::new(rt))
+        }
+        RaExpr::Rename(input, pairs) => {
+            let input = go(input, r);
+            let effective: Vec<_> = pairs.iter().filter(|(f, t)| f != t).cloned().collect();
+            if effective.is_empty() {
+                return input;
+            }
+            if let RaExpr::Empty(attrs) = &input {
+                let renamed =
+                    crate::expr::rename_header(attrs, &effective).expect("type-checked");
+                return RaExpr::Empty(renamed);
+            }
+            RaExpr::Rename(Box::new(input), effective)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CmpOp, Operand};
+    use crate::schema::Catalog;
+    use crate::symbol::Attr;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_schema("R", &["a", "b"]).unwrap();
+        c.add_schema("S", &["a", "b"]).unwrap();
+        c.add_schema("T", &["b", "c"]).unwrap();
+        c
+    }
+
+    fn simp(text: &str) -> String {
+        RaExpr::parse(text)
+            .unwrap()
+            .simplified(&catalog())
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn empty_propagation() {
+        assert_eq!(simp("R join empty[b, c]"), "empty[a, b, c]");
+        assert_eq!(simp("empty[a, b] union R"), "R");
+        assert_eq!(simp("R union empty[a, b]"), "R");
+        assert_eq!(simp("empty[a, b] minus R"), "empty[a, b]");
+        assert_eq!(simp("R minus empty[a, b]"), "R");
+        assert_eq!(simp("R intersect empty[a, b]"), "empty[a, b]");
+        assert_eq!(simp("pi[a](empty[a, b])"), "empty[a]");
+        assert_eq!(simp("sigma[a = 1](empty[a, b])"), "empty[a, b]");
+        assert_eq!(simp("rho[a -> z](empty[a, b])"), "empty[b, z]");
+    }
+
+    #[test]
+    fn idempotence() {
+        assert_eq!(simp("R union R"), "R");
+        assert_eq!(simp("R intersect R"), "R");
+        assert_eq!(simp("R join R"), "R");
+        assert_eq!(simp("R minus R"), "empty[a, b]");
+        // different relations stay
+        assert_eq!(simp("R union S"), "(R union S)");
+    }
+
+    #[test]
+    fn selection_rules() {
+        assert_eq!(simp("sigma[true](R)"), "R");
+        assert_eq!(simp("sigma[false](R)"), "empty[a, b]");
+        assert_eq!(simp("sigma[1 < 2](R)"), "R");
+        assert_eq!(simp("sigma[a = 1](sigma[b = 2](R))"), "sigma[b = 2 and a = 1](R)");
+        // ground subterm folds away inside a conjunction
+        assert_eq!(simp("sigma[a = 1 and 2 = 2](R)"), "sigma[a = 1](R)");
+    }
+
+    #[test]
+    fn projection_rules() {
+        assert_eq!(simp("pi[a, b](R)"), "R");
+        assert_eq!(simp("pi[a](pi[a, b](R))"), "pi[a](R)");
+        assert_eq!(simp("pi[a](R)"), "pi[a](R)");
+    }
+
+    #[test]
+    fn rename_rules() {
+        assert_eq!(simp("rho[a -> a](R)"), "R");
+        assert_eq!(simp("rho[a -> z](R)"), "rho[a -> z](R)");
+    }
+
+    #[test]
+    fn nested_cascade() {
+        // (R minus R) join T = empty join T = empty over all attrs,
+        // then union with S leaves S.
+        assert_eq!(simp("pi[a, b]((R minus R) join T) union S"), "S");
+    }
+
+    #[test]
+    fn simplify_rejects_ill_typed() {
+        let e = RaExpr::parse("R union T").unwrap();
+        assert!(e.simplified(&catalog()).is_err());
+    }
+
+    #[test]
+    fn semantics_preserved_on_instance() {
+        use crate::database::DbState;
+        use crate::rel;
+        let c = catalog();
+        let mut db = DbState::new();
+        db.insert_relation("R", rel! { ["a", "b"] => (1, 10), (2, 20) });
+        db.insert_relation("S", rel! { ["a", "b"] => (2, 20), (3, 30) });
+        db.insert_relation("T", rel! { ["b", "c"] => (10, 100), (20, 200) });
+        for text in [
+            "pi[a, b](sigma[a = 2 and true](R join T)) union (S minus S)",
+            "pi[a](pi[a, b](R union S))",
+            "R join R join T",
+            "sigma[not a != 2](R)",
+        ] {
+            let e = RaExpr::parse(text).unwrap();
+            let s = e.simplified(&c).unwrap();
+            assert_eq!(e.eval(&db).unwrap(), s.eval(&db).unwrap(), "mismatch for {text}");
+            assert!(s.size() <= e.size(), "simplify grew {text}");
+        }
+    }
+
+    #[test]
+    fn selection_fold_pushes_not_into_cmp() {
+        let e = RaExpr::base("R").select(
+            Predicate::cmp(Operand::Attr(Attr::new("a")), CmpOp::Lt, Operand::val(5)).not(),
+        );
+        let s = e.simplified(&catalog()).unwrap();
+        assert_eq!(s.to_string(), "sigma[a >= 5](R)");
+    }
+}

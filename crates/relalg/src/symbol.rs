@@ -1,0 +1,190 @@
+//! Interned symbols for attribute and relation names.
+//!
+//! Attribute names occur on every hot path of the algebra (projection
+//! mappings, join-column computation, attribute-set algebra), so they are
+//! interned once into a global table and handled as `u32` ids thereafter.
+//! Interned strings live for the duration of the process; the number of
+//! distinct attribute/relation names in a warehouse specification is small
+//! and bounded, so the leak is intentional and harmless.
+//!
+//! Ordering of symbols is *lexicographic on the resolved string*, not on
+//! the numeric id. This keeps schema headers, printed relations and
+//! attribute sets deterministic across runs regardless of interning order.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string. Cheap to copy and compare; ordering is
+/// lexicographic on the underlying string so that derived structures are
+/// deterministic across processes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name` and returns its symbol. Repeated calls with the same
+    /// string return the same symbol.
+    pub fn intern(name: &str) -> Symbol {
+        let mut i = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = i.map.get(name) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = u32::try_from(i.strings.len()).expect("symbol table overflow");
+        i.strings.push(leaked);
+        i.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Resolves the symbol back to its string.
+    pub fn as_str(self) -> &'static str {
+        let i = interner().lock().expect("symbol interner poisoned");
+        i.strings[self.0 as usize]
+    }
+
+    /// The raw id; only useful for dense side tables.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+macro_rules! symbol_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub Symbol);
+
+        impl $name {
+            /// Interns `name` as a new or existing symbol.
+            pub fn new(name: &str) -> Self {
+                Self(Symbol::intern(name))
+            }
+
+            /// Resolves to the underlying string.
+            pub fn as_str(self) -> &'static str {
+                self.0.as_str()
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                Self::new(s)
+            }
+        }
+
+        impl From<&String> for $name {
+            fn from(s: &String) -> Self {
+                Self::new(s)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.as_str())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.as_str())
+            }
+        }
+    };
+}
+
+symbol_newtype! {
+    /// An attribute name (a column of a relation schema).
+    Attr
+}
+
+symbol_newtype! {
+    /// A relation name — either a base relation of `D` or a view name.
+    RelName
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = Symbol::intern("clerk");
+        let b = Symbol::intern("clerk");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "clerk");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        let a = Symbol::intern("item");
+        let b = Symbol::intern("age");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        // Intern in reverse-lexicographic order to make sure ordering does
+        // not follow interning order.
+        let z = Symbol::intern("zzz-order-test");
+        let a = Symbol::intern("aaa-order-test");
+        assert!(a < z);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn attr_and_relname_are_distinct_types_over_same_table() {
+        let a = Attr::new("shared");
+        let r = RelName::new("shared");
+        assert_eq!(a.as_str(), r.as_str());
+    }
+
+    #[test]
+    fn display_matches_str() {
+        let a = Attr::new("price");
+        assert_eq!(format!("{a}"), "price");
+        assert_eq!(format!("{a:?}"), "price");
+    }
+}

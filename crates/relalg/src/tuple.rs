@@ -1,0 +1,131 @@
+//! Tuples.
+//!
+//! A [`Tuple`] is a sequence of [`Value`]s aligned with the sorted
+//! attribute header of the relation that holds it. The header itself is
+//! *not* stored in the tuple; operators compute positional mappings from
+//! headers once and then work purely on indices.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A tuple: values in the order of the owning relation's sorted header.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Builds a tuple from values already in header order.
+    pub fn new(values: Vec<Value>) -> Tuple {
+        Tuple(values.into_boxed_slice())
+    }
+
+    /// The arity of the tuple.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Value at column `i`.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    /// All values in header order.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Projects the tuple onto the given column positions (computed via
+    /// [`crate::AttrSet::positions_in`]).
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Concatenation used by joins: `self` provides the values for its own
+    /// header, `other` the values for columns unique to the right side; the
+    /// `layout` slice says, for each output column, where to take the value
+    /// from (see [`JoinLayout`]).
+    pub fn merge(&self, other: &Tuple, layout: &[ColSource]) -> Tuple {
+        Tuple(
+            layout
+                .iter()
+                .map(|src| match *src {
+                    ColSource::Left(i) => self.0[i].clone(),
+                    ColSource::Right(i) => other.0[i].clone(),
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Where an output column of a join takes its value from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColSource {
+    /// Column `i` of the left input.
+    Left(usize),
+    /// Column `i` of the right input.
+    Right(usize),
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Tuple {
+        Tuple::new(vals.iter().map(|&v| Value::int(v)).collect())
+    }
+
+    #[test]
+    fn project_by_positions() {
+        let tp = t(&[10, 20, 30]);
+        assert_eq!(tp.project(&[2, 0]), t(&[30, 10]));
+        assert_eq!(tp.project(&[]), t(&[]));
+    }
+
+    #[test]
+    fn merge_by_layout() {
+        let left = t(&[1, 2]);
+        let right = t(&[9, 8]);
+        let layout = [
+            ColSource::Left(0),
+            ColSource::Right(1),
+            ColSource::Left(1),
+        ];
+        assert_eq!(left.merge(&right, &layout), t(&[1, 8, 2]));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_values() {
+        assert!(t(&[1, 5]) < t(&[2, 0]));
+        assert!(t(&[1, 5]) < t(&[1, 6]));
+    }
+
+    #[test]
+    fn display() {
+        let tp = Tuple::new(vec![Value::str("Mary"), Value::int(23)]);
+        assert_eq!(tp.to_string(), "('Mary', 23)");
+    }
+}

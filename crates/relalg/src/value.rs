@@ -1,0 +1,211 @@
+//! The attribute value domain.
+//!
+//! The paper works in the untyped relational model: a tuple is a function
+//! from attributes to an abstract domain with equality. For practical
+//! workloads (selection predicates, the star-schema generator) we provide
+//! integers, strings, booleans and totally-ordered doubles. Comparison
+//! across variants is defined by variant rank followed by payload — this
+//! gives [`Value`] a total order so relations can live in ordered sets and
+//! comparisons never fail at runtime.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A totally ordered `f64` wrapper. NaNs are ordered greater than all
+/// other values and equal to each other (the usual `total_cmp` order),
+/// which lets doubles participate in ordered relations.
+#[derive(Clone, Copy, Debug)]
+pub struct F64(pub f64);
+
+impl PartialEq for F64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for F64 {}
+
+impl PartialOrd for F64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for F64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+/// A single attribute value.
+///
+/// Strings are reference counted so that wide tuples and projections copy
+/// cheaply.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Totally-ordered double.
+    Double(F64),
+    /// Interned-by-refcount string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Convenience constructor for strings.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Convenience constructor for integers.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// Convenience constructor for doubles.
+    pub fn double(d: f64) -> Value {
+        Value::Double(F64(d))
+    }
+
+    /// A short name of the variant, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Double(_) => "double",
+            Value::Str(_) => "str",
+        }
+    }
+
+    /// Returns the integer payload if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i64::try_from(i).expect("usize value out of i64 range"))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(d: f64) -> Self {
+        Value::Double(F64(d))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            // `{:?}` keeps a trailing `.0` on integral doubles so that the
+            // printed form re-parses as a double, not an int.
+            Value::Double(F64(d)) => write!(f, "{d:?}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ordering() {
+        assert!(Value::int(1) < Value::int(2));
+        assert_eq!(Value::int(5), Value::from(5i32));
+    }
+
+    #[test]
+    fn str_ordering_and_equality() {
+        assert!(Value::str("a") < Value::str("b"));
+        assert_eq!(Value::str("x"), Value::from("x"));
+    }
+
+    #[test]
+    fn cross_variant_total_order() {
+        // Variant rank: Bool < Int < Double < Str.
+        assert!(Value::from(true) < Value::int(0));
+        assert!(Value::int(i64::MAX) < Value::double(0.0));
+        assert!(Value::double(f64::INFINITY) < Value::str(""));
+    }
+
+    #[test]
+    fn doubles_are_totally_ordered() {
+        let nan = Value::double(f64::NAN);
+        assert_eq!(nan, Value::double(f64::NAN));
+        assert!(Value::double(1.0) < nan);
+        assert!(Value::double(-0.0) < Value::double(0.0)); // total_cmp order
+    }
+
+    #[test]
+    fn display_quotes_strings_only() {
+        assert_eq!(Value::str("Mary").to_string(), "'Mary'");
+        assert_eq!(Value::int(23).to_string(), "23");
+        assert_eq!(Value::from(true).to_string(), "true");
+    }
+}

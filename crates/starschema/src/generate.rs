@@ -1,0 +1,236 @@
+//! Seeded, scale-factored data generation.
+//!
+//! Shapes follow the TPC-D proportions loosely (orders dominate,
+//! dimensions are small); all values are drawn deterministically from a
+//! seeded PRNG so experiments are reproducible. Generated states always
+//! satisfy the catalog's keys and foreign keys by construction.
+
+use crate::schema::star_catalog;
+use dwc_relalg::{Catalog, DbState, Relation, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Row counts per relation; use [`ScaleConfig::scaled`] for proportional
+/// sizing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScaleConfig {
+    /// Customers (dimension).
+    pub customers: usize,
+    /// Suppliers (dimension).
+    pub suppliers: usize,
+    /// Parts (dimension).
+    pub parts: usize,
+    /// Locations (dimension).
+    pub locations: usize,
+    /// Orders (fact).
+    pub orders: usize,
+    /// Average line items per order.
+    pub lineitems_per_order: usize,
+}
+
+impl ScaleConfig {
+    /// TPC-D-like proportions at a fraction of scale factor 1:
+    /// `scaled(1.0)` ≈ 1 500 customers / 10 000 orders. The experiments
+    /// use `0.001..0.1` — plenty for shape-level conclusions on a pure
+    /// in-memory engine.
+    pub fn scaled(sf: f64) -> ScaleConfig {
+        let n = |base: f64| ((base * sf).round() as usize).max(1);
+        ScaleConfig {
+            customers: n(1500.0),
+            suppliers: n(100.0),
+            parts: n(2000.0),
+            locations: n(25.0),
+            orders: n(10_000.0),
+            lineitems_per_order: 4,
+        }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> ScaleConfig {
+        ScaleConfig {
+            customers: 8,
+            suppliers: 4,
+            parts: 10,
+            locations: 3,
+            orders: 20,
+            lineitems_per_order: 3,
+        }
+    }
+
+    /// Total target tuples (for reporting).
+    pub fn expected_tuples(&self) -> usize {
+        self.customers
+            + self.suppliers
+            + self.parts
+            + self.locations
+            + self.orders
+            + self.orders * self.lineitems_per_order
+    }
+}
+
+const NATIONS: &[&str] = &["FR", "DE", "JP", "US", "BR", "IN", "CN", "AU"];
+const REGIONS: &[&str] = &["EUROPE", "ASIA", "AMERICA", "OCEANIA"];
+const BRANDS: &[&str] = &["Brand#1", "Brand#2", "Brand#3", "Brand#4", "Brand#5"];
+
+fn t(values: Vec<Value>) -> Tuple {
+    Tuple::new(values)
+}
+
+/// Generates a valid star-schema state.
+pub fn generate(config: &ScaleConfig, seed: u64) -> DbState {
+    let catalog = star_catalog();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = DbState::empty_for(&catalog);
+
+    // Dimensions first (FK targets). Relation headers are sorted attr
+    // sets, so tuples must be built in sorted-attribute order.
+    insert_all(&mut db, &catalog, "Customer", (0..config.customers).map(|k| {
+        // {cname, cnation, custkey}
+        t(vec![
+            Value::str(&format!("Customer#{k}")),
+            Value::str(NATIONS[rng.random_range(0..NATIONS.len())]),
+            Value::from(k),
+        ])
+    }));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5151);
+    insert_all(&mut db, &catalog, "Supplier", (0..config.suppliers).map(|k| {
+        // {sname, snation, suppkey}
+        t(vec![
+            Value::str(&format!("Supplier#{k}")),
+            Value::str(NATIONS[rng.random_range(0..NATIONS.len())]),
+            Value::from(k),
+        ])
+    }));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7a7a);
+    insert_all(&mut db, &catalog, "Part", (0..config.parts).map(|k| {
+        // {brand, partkey, pname}
+        t(vec![
+            Value::str(BRANDS[rng.random_range(0..BRANDS.len())]),
+            Value::from(k),
+            Value::str(&format!("Part#{k}")),
+        ])
+    }));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1312);
+    insert_all(&mut db, &catalog, "Location", (0..config.locations).map(|k| {
+        // {city, lockey, region}
+        t(vec![
+            Value::str(&format!("City#{k}")),
+            Value::from(k),
+            Value::str(REGIONS[rng.random_range(0..REGIONS.len())]),
+        ])
+    }));
+
+    // Facts: FK columns drawn from existing dimension keys.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+    insert_all(&mut db, &catalog, "Orders", (0..config.orders).map(|k| {
+        // {custkey, lockey, odate, orderkey}
+        t(vec![
+            Value::from(rng.random_range(0..config.customers)),
+            Value::from(rng.random_range(0..config.locations)),
+            Value::int(rng.random_range(19990101..19991231)),
+            Value::from(k),
+        ])
+    }));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+    let mut lineitems = Vec::new();
+    for orderkey in 0..config.orders {
+        let n = 1 + rng.random_range(0..config.lineitems_per_order.max(1) * 2);
+        // Dedup on (partkey, suppkey) within the order: the composite key
+        // (orderkey, partkey, suppkey) must stay unique even though qty
+        // and price differ between draws.
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..n {
+            let partkey = rng.random_range(0..config.parts);
+            let suppkey = rng.random_range(0..config.suppliers);
+            if !seen.insert((partkey, suppkey)) {
+                continue;
+            }
+            // {orderkey, partkey, price, qty, suppkey}
+            lineitems.push(t(vec![
+                Value::from(orderkey),
+                Value::from(partkey),
+                Value::int(rng.random_range(100..100_000)),
+                Value::int(rng.random_range(1..50)),
+                Value::from(suppkey),
+            ]));
+        }
+    }
+    insert_all(&mut db, &catalog, "Lineitem", lineitems);
+
+    debug_assert!(db.check_constraints(&catalog).is_ok());
+    db
+}
+
+fn insert_all(
+    db: &mut DbState,
+    catalog: &Catalog,
+    name: &str,
+    tuples: impl IntoIterator<Item = Tuple>,
+) {
+    let rel_name = dwc_relalg::RelName::new(name);
+    let mut rel = Relation::empty(
+        catalog
+            .schema(rel_name)
+            .expect("static schema")
+            .attrs()
+            .clone(),
+    );
+    for tuple in tuples {
+        rel.insert(tuple).expect("generator respects arity");
+    }
+    db.insert_relation(rel_name, rel);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwc_relalg::RelName;
+
+    #[test]
+    fn tiny_state_is_valid_and_sized() {
+        let db = generate(&ScaleConfig::tiny(), 42);
+        db.check_constraints(&star_catalog()).unwrap();
+        assert_eq!(db.relation(RelName::new("Customer")).unwrap().len(), 8);
+        assert_eq!(db.relation(RelName::new("Orders")).unwrap().len(), 20);
+        assert!(db.relation(RelName::new("Lineitem")).unwrap().len() >= 20);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(&ScaleConfig::tiny(), 7);
+        let b = generate(&ScaleConfig::tiny(), 7);
+        assert_eq!(a, b);
+        assert_ne!(a, generate(&ScaleConfig::tiny(), 8));
+    }
+
+    #[test]
+    fn scaled_proportions() {
+        let c = ScaleConfig::scaled(0.01);
+        assert_eq!(c.customers, 15);
+        assert_eq!(c.orders, 100);
+        assert!(c.expected_tuples() > 500);
+        // minimum clamping at very small scales
+        let c = ScaleConfig::scaled(0.0001);
+        assert!(c.locations >= 1);
+        let db = generate(&c, 1);
+        db.check_constraints(&star_catalog()).unwrap();
+    }
+
+    #[test]
+    fn facts_join_dimensions() {
+        // every order joins a customer; every lineitem joins its order.
+        let db = generate(&ScaleConfig::tiny(), 3);
+        let orders = db.relation(RelName::new("Orders")).unwrap().len();
+        let j = dwc_relalg::RaExpr::parse("Orders join Customer")
+            .unwrap()
+            .eval(&db)
+            .unwrap();
+        assert_eq!(j.len(), orders);
+        let li = db.relation(RelName::new("Lineitem")).unwrap().len();
+        let j = dwc_relalg::RaExpr::parse("Lineitem join Orders")
+            .unwrap()
+            .eval(&db)
+            .unwrap();
+        assert_eq!(j.len(), li);
+    }
+}

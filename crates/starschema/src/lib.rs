@@ -1,0 +1,34 @@
+//! # dwc-starschema — the Section 5 application
+//!
+//! Section 5 of the paper argues that star schemata — fact tables
+//! extracted from operational sources by PSJ queries, dimension tables,
+//! foreign keys throughout — make the complement machinery *more*
+//! applicable, not less: foreign keys shrink complements (often to ∅ for
+//! fact tables) and key-joins make the inverse expressions extension
+//! joins. The paper points at the TPC-D decision-support benchmark as
+//! the reference shape.
+//!
+//! This crate provides a schema-compatible synthetic reproduction of
+//! that setting (the official TPC-D `dbgen` is out of scope; see
+//! DESIGN.md's substitution notes):
+//!
+//! * [`schema`] — dimension tables (`Customer`, `Supplier`, `Part`,
+//!   `Location`), operational fact tables (`Orders`, `Lineitem`), keys
+//!   and foreign keys, and the warehouse view definitions,
+//! * [`generate`] — a seeded, scale-factored data generator,
+//! * [`updates`] — operational update streams (new orders, cancellations,
+//!   customer churn, price changes),
+//! * [`queries`] — an OLAP-style PSJ query workload. Aggregates are
+//!   deliberately absent: the paper itself defers aggregate views to
+//!   dedicated maintenance algorithms ([8, 12, 17] there) and uses the
+//!   PSJ fact tables as the complement-bearing layer, which is what this
+//!   crate exercises.
+
+pub mod generate;
+pub mod queries;
+pub mod schema;
+pub mod updates;
+
+pub use generate::{generate, ScaleConfig};
+pub use schema::{star_catalog, star_views, star_warehouse};
+pub use updates::UpdateStream;

@@ -1,0 +1,432 @@
+//! Incremental delta rules for relational algebra (set semantics).
+//!
+//! Given an expression `E` over base relations and a set of relations
+//! touched by an update, [`derive`] produces two expressions
+//! `(ΔE⁺, ΔE⁻)` over an extended vocabulary — for every touched relation
+//! `R` the names `R` (old state), `R@new`, `R@ins`, `R@del` — such that
+//!
+//! ```text
+//! E(u(d)) = (E(d) ∖ ΔE⁻) ∪ ΔE⁺
+//! ```
+//!
+//! with the stronger invariants `ΔE⁺ ⊆ E(u(d))` and
+//! `ΔE⁻ ∩ E(u(d)) = ∅` which make the rules compose (they are the
+//! Qian/Wiederhold-style change-propagation rules, adapted to mixed
+//! insert/delete updates under pure set semantics; cf. the paper's
+//! references [4, 9]).
+//!
+//! The rules assume the per-relation deltas are *normalized*
+//! (`ins ∩ r = ∅`, `del ⊆ r`, `ins ∩ del = ∅` — see
+//! [`dwc_relalg::Delta::normalize`]); the integrator normalizes reported
+//! updates before deriving deltas.
+//!
+//! Everything stays in the ordinary [`RaExpr`] world, so the warehouse
+//! layer can further substitute base references by inverse expressions
+//! (Example 4.1) and reuse the evaluator and simplifier unchanged.
+
+use crate::error::Result;
+use dwc_relalg::expr::HeaderResolver;
+use dwc_relalg::{AttrSet, DbState, RaExpr, RelName, Update};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The name of the post-update state of `r` in the extended vocabulary.
+pub fn new_name(r: RelName) -> RelName {
+    RelName::new(&format!("{r}@new"))
+}
+
+/// The name of the inserted-tuples relation of `r`.
+pub fn ins_name(r: RelName) -> RelName {
+    RelName::new(&format!("{r}@ins"))
+}
+
+/// The name of the deleted-tuples relation of `r`.
+pub fn del_name(r: RelName) -> RelName {
+    RelName::new(&format!("{r}@del"))
+}
+
+/// The derived change of an expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaExpr {
+    /// Tuples entering the result (`⊆ E(u(d))`).
+    pub plus: RaExpr,
+    /// Tuples leaving the result (disjoint from `E(u(d))`).
+    pub minus: RaExpr,
+}
+
+impl DeltaExpr {
+    /// Applies the delta to the materialized old value of the expression.
+    pub fn apply(
+        &self,
+        old: &dwc_relalg::Relation,
+        env: &DbState,
+    ) -> Result<dwc_relalg::Relation> {
+        let plus = self.plus.eval(env)?;
+        let minus = self.minus.eval(env)?;
+        Ok(old.difference(&minus)?.union(&plus)?)
+    }
+
+    /// Total node count of both expressions (complexity metric).
+    pub fn size(&self) -> usize {
+        self.plus.size() + self.minus.size()
+    }
+}
+
+/// Rewrites `e` so that every touched base reference denotes the
+/// *post-update* state.
+fn to_new(e: &RaExpr, touched: &BTreeSet<RelName>) -> RaExpr {
+    let map: BTreeMap<RelName, RaExpr> = touched
+        .iter()
+        .map(|&r| (r, RaExpr::Base(new_name(r))))
+        .collect();
+    e.substitute(&map)
+}
+
+/// Derives `(ΔE⁺, ΔE⁻)` for `e` w.r.t. the touched relations. `resolver`
+/// supplies headers (needed to emit empty deltas of the right schema for
+/// untouched subtrees).
+pub fn derive(
+    e: &RaExpr,
+    touched: &BTreeSet<RelName>,
+    resolver: &impl HeaderResolver,
+) -> Result<DeltaExpr> {
+    let header = e.attrs(resolver)?;
+    if e.base_relations().is_disjoint(touched) {
+        // Untouched subtree: nothing changes.
+        return Ok(DeltaExpr {
+            plus: RaExpr::Empty(header.clone()),
+            minus: RaExpr::Empty(header),
+        });
+    }
+    Ok(match e {
+        RaExpr::Base(r) => DeltaExpr {
+            plus: RaExpr::Base(ins_name(*r)),
+            minus: RaExpr::Base(del_name(*r)),
+        },
+        RaExpr::Empty(attrs) => DeltaExpr {
+            plus: RaExpr::Empty(attrs.clone()),
+            minus: RaExpr::Empty(attrs.clone()),
+        },
+        RaExpr::Select(input, pred) => {
+            let d = derive(input, touched, resolver)?;
+            DeltaExpr {
+                plus: d.plus.select(pred.clone()),
+                minus: d.minus.select(pred.clone()),
+            }
+        }
+        RaExpr::Project(input, wanted) => {
+            // plus  = π(Δ⁺) ∖ π(E_old): genuinely new projected tuples.
+            // minus = π(Δ⁻) ∖ π(E_new): projected tuples with no survivor.
+            let d = derive(input, touched, resolver)?;
+            let old = input.as_ref().clone();
+            let new = to_new(input, touched);
+            DeltaExpr {
+                plus: d.plus.project(wanted.clone()).diff(old.project(wanted.clone())),
+                minus: d.minus.project(wanted.clone()).diff(new.project(wanted.clone())),
+            }
+        }
+        RaExpr::Join(l, r) => {
+            // plus  = (Δl⁺ ⋈ r_new) ∪ (l_new ⋈ Δr⁺)
+            // minus = (Δl⁻ ⋈ r_old) ∪ (l_old ⋈ Δr⁻)
+            let dl = derive(l, touched, resolver)?;
+            let dr = derive(r, touched, resolver)?;
+            let l_old = l.as_ref().clone();
+            let r_old = r.as_ref().clone();
+            let l_new = to_new(l, touched);
+            let r_new = to_new(r, touched);
+            DeltaExpr {
+                plus: dl.plus.join(r_new).union(l_new.join(dr.plus)),
+                minus: dl.minus.join(r_old).union(l_old.join(dr.minus)),
+            }
+        }
+        RaExpr::Union(l, r) => {
+            // plus  = Δl⁺ ∪ Δr⁺
+            // minus = (Δl⁻ ∖ r_new) ∪ (Δr⁻ ∖ l_new)
+            let dl = derive(l, touched, resolver)?;
+            let dr = derive(r, touched, resolver)?;
+            let l_new = to_new(l, touched);
+            let r_new = to_new(r, touched);
+            DeltaExpr {
+                plus: dl.plus.union(dr.plus),
+                minus: dl.minus.diff(r_new).union(dr.minus.diff(l_new)),
+            }
+        }
+        RaExpr::Diff(l, r) => {
+            // plus  = (Δl⁺ ∖ r_new) ∪ (l_new ∩ Δr⁻)
+            // minus = Δl⁻ ∪ (l_old ∩ Δr⁺)
+            let dl = derive(l, touched, resolver)?;
+            let dr = derive(r, touched, resolver)?;
+            let l_old = l.as_ref().clone();
+            let l_new = to_new(l, touched);
+            let r_new = to_new(r, touched);
+            DeltaExpr {
+                plus: dl.plus.diff(r_new).union(l_new.intersect(dr.minus)),
+                minus: dl.minus.union(l_old.intersect(dr.plus)),
+            }
+        }
+        RaExpr::Intersect(l, r) => {
+            // plus  = (Δl⁺ ∩ r_new) ∪ (l_new ∩ Δr⁺)
+            // minus = Δl⁻ ∪ Δr⁻
+            let dl = derive(l, touched, resolver)?;
+            let dr = derive(r, touched, resolver)?;
+            let l_new = to_new(l, touched);
+            let r_new = to_new(r, touched);
+            DeltaExpr {
+                plus: dl.plus.intersect(r_new).union(l_new.intersect(dr.plus)),
+                minus: dl.minus.union(dr.minus),
+            }
+        }
+        RaExpr::Rename(input, pairs) => {
+            let d = derive(input, touched, resolver)?;
+            DeltaExpr {
+                plus: d.plus.rename(pairs.clone()),
+                minus: d.minus.rename(pairs.clone()),
+            }
+        }
+    })
+}
+
+/// A resolver for the extended vocabulary: `R@new`, `R@ins`, `R@del`
+/// share `R`'s header; everything else defers to the inner resolver.
+pub struct DeltaResolver<'a, R: HeaderResolver> {
+    inner: &'a R,
+}
+
+impl<'a, R: HeaderResolver> DeltaResolver<'a, R> {
+    /// Wraps a resolver.
+    pub fn new(inner: &'a R) -> Self {
+        DeltaResolver { inner }
+    }
+}
+
+impl<R: HeaderResolver> HeaderResolver for DeltaResolver<'_, R> {
+    fn header_of(&self, name: RelName) -> dwc_relalg::Result<AttrSet> {
+        let s = name.as_str();
+        if let Some(base) = s
+            .strip_suffix("@new")
+            .or_else(|| s.strip_suffix("@ins"))
+            .or_else(|| s.strip_suffix("@del"))
+        {
+            return self.inner.header_of(RelName::new(base));
+        }
+        self.inner.header_of(name)
+    }
+}
+
+/// Builds the evaluation environment for derived deltas: the old state
+/// plus, for every touched relation, its `@new`, `@ins` and `@del`
+/// instances. The update is normalized against `db` first (the rules
+/// require net deltas).
+pub fn delta_environment(db: &DbState, update: &Update) -> Result<DbState> {
+    let normalized = update.normalize(db)?;
+    let mut env = db.clone();
+    for (r, delta) in normalized.iter() {
+        let old = db.relation(r)?;
+        env.insert_relation(new_name(r), delta.apply(old)?);
+        env.insert_relation(ins_name(r), delta.inserted().clone());
+        env.insert_relation(del_name(r), delta.deleted().clone());
+    }
+    Ok(env)
+}
+
+/// The touched-relation set of an update after normalization against `db`.
+pub fn touched_set(db: &DbState, update: &Update) -> Result<BTreeSet<RelName>> {
+    Ok(update.normalize(db)?.touched().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwc_relalg::{rel, Catalog, Delta, Relation};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_schema("R", &["a", "b"]).unwrap();
+        c.add_schema("S", &["b", "c"]).unwrap();
+        c
+    }
+
+    fn state() -> DbState {
+        let mut d = DbState::new();
+        d.insert_relation("R", rel! { ["a", "b"] => (1, 10), (2, 20), (3, 30) });
+        d.insert_relation("S", rel! { ["b", "c"] => (10, 100), (20, 200), (40, 400) });
+        d
+    }
+
+    /// Exhaustive incremental-vs-recompute check for one expression and
+    /// one update.
+    fn check(expr_text: &str, update: Update) {
+        let c = catalog();
+        let db = state();
+        let e = RaExpr::parse(expr_text).unwrap();
+        let touched = touched_set(&db, &update).unwrap();
+        let resolver = DeltaResolver::new(&c);
+        let d = derive(&e, &touched, &resolver).unwrap();
+        let env = delta_environment(&db, &update).unwrap();
+        let old = e.eval(&db).unwrap();
+        let incremental = d.apply(&old, &env).unwrap();
+        let recomputed = e.eval(&update.apply(&db).unwrap()).unwrap();
+        assert_eq!(incremental, recomputed, "expr {expr_text}, update {update}");
+        // The stronger invariants.
+        let plus = d.plus.eval(&env).unwrap();
+        let minus = d.minus.eval(&env).unwrap();
+        assert!(plus.is_subset(&recomputed).unwrap(), "I2 fails for {expr_text}");
+        assert!(minus.intersect(&recomputed).unwrap().is_empty(), "I3 fails for {expr_text}");
+    }
+
+    fn ins_r(rows: Relation) -> Update {
+        Update::inserting("R", rows)
+    }
+
+    #[test]
+    fn base_select_project_rules() {
+        let u = ins_r(rel! { ["a", "b"] => (4, 10), (5, 50) });
+        check("R", u.clone());
+        check("sigma[b = 10](R)", u.clone());
+        check("pi[b](R)", u.clone());
+        let del = Update::deleting("R", rel! { ["a", "b"] => (1, 10) });
+        check("pi[b](R)", del.clone());
+        check("sigma[a >= 2](R)", del);
+    }
+
+    #[test]
+    fn projection_survivorship() {
+        // Deleting (1,10) does NOT delete b=10 from π_b(R) if (4,10) stays.
+        let mut db = state();
+        db.insert_relation("R", rel! { ["a", "b"] => (1, 10), (4, 10) });
+        let e = RaExpr::parse("pi[b](R)").unwrap();
+        let u = Update::deleting("R", rel! { ["a", "b"] => (1, 10) });
+        let touched = touched_set(&db, &u).unwrap();
+        let c = catalog();
+        let resolver = DeltaResolver::new(&c);
+        let d = derive(&e, &touched, &resolver).unwrap();
+        let env = delta_environment(&db, &u).unwrap();
+        let minus = d.minus.eval(&env).unwrap();
+        assert!(minus.is_empty(), "b=10 still has a witness");
+    }
+
+    #[test]
+    fn join_rules_mixed_update() {
+        let u = Update::new()
+            .with("R", Delta::insert_only(rel! { ["a", "b"] => (7, 40) }))
+            .with("R", Delta::delete_only(rel! { ["a", "b"] => (1, 10) }))
+            .with("S", Delta::insert_only(rel! { ["b", "c"] => (30, 300) }))
+            .with("S", Delta::delete_only(rel! { ["b", "c"] => (20, 200) }));
+        check("R join S", u);
+    }
+
+    #[test]
+    fn union_diff_intersect_rules() {
+        for expr in [
+            "pi[b](R) union pi[b](S)",
+            "pi[b](R) minus pi[b](S)",
+            "pi[b](S) minus pi[b](R)",
+            "pi[b](R) intersect pi[b](S)",
+        ] {
+            check(
+                expr,
+                Update::new()
+                    .with("R", Delta::insert_only(rel! { ["a", "b"] => (9, 40), (8, 15) }))
+                    .with("R", Delta::delete_only(rel! { ["a", "b"] => (2, 20) })),
+            );
+            check(
+                expr,
+                Update::new()
+                    .with("S", Delta::insert_only(rel! { ["b", "c"] => (10, 111) }))
+                    .with("S", Delta::delete_only(rel! { ["b", "c"] => (40, 400) })),
+            );
+        }
+    }
+
+    #[test]
+    fn rename_and_nested_expressions() {
+        let u = Update::new()
+            .with("R", Delta::insert_only(rel! { ["a", "b"] => (6, 20) }))
+            .with("S", Delta::delete_only(rel! { ["b", "c"] => (10, 100) }));
+        check("rho[a -> x](R)", u.clone());
+        check("pi[c](sigma[a >= 1](R join S))", u.clone());
+        check("pi[b](R join S) union (pi[b](R) minus pi[b](S))", u);
+    }
+
+    #[test]
+    fn untouched_subtrees_yield_empty_deltas() {
+        let c = catalog();
+        let resolver = DeltaResolver::new(&c);
+        let touched: BTreeSet<RelName> = [RelName::new("R")].into();
+        let e = RaExpr::parse("pi[b](S)").unwrap();
+        let d = derive(&e, &touched, &resolver).unwrap();
+        assert!(matches!(d.plus, RaExpr::Empty(_)));
+        assert!(matches!(d.minus, RaExpr::Empty(_)));
+        // Join where only one side is touched: the untouched side's delta
+        // contributes nothing after simplification.
+        let e = RaExpr::parse("R join S").unwrap();
+        let d = derive(&e, &touched, &resolver).unwrap();
+        let dr = DeltaResolver::new(&c);
+        let p = d.plus.simplified(&dr).unwrap();
+        // (Δ⁺R ⋈ S) ∪ (R@new ⋈ ∅) simplifies to Δ⁺R ⋈ S.
+        assert_eq!(p.to_string(), "(R@ins join S)");
+    }
+
+    #[test]
+    fn exhaustive_small_updates_over_expression_zoo() {
+        // Drive every rule through a batch of update shapes.
+        let exprs = [
+            "R",
+            "pi[a](R)",
+            "sigma[b >= 20](R)",
+            "R join S",
+            "pi[b](R) union pi[b](S)",
+            "pi[b](R) minus pi[b](S)",
+            "pi[b](R) intersect pi[b](S)",
+            "pi[c](R join S)",
+            "rho[b -> z](pi[b](R))",
+            "sigma[b = 10](R) join sigma[c >= 100](S)",
+        ];
+        let updates = [
+            Update::inserting("R", rel! { ["a", "b"] => (5, 10) }),
+            Update::deleting("R", rel! { ["a", "b"] => (2, 20) }),
+            Update::inserting("S", rel! { ["b", "c"] => (10, 999) }),
+            Update::deleting("S", rel! { ["b", "c"] => (40, 400) }),
+            Update::new()
+                .with("R", Delta::insert_only(rel! { ["a", "b"] => (5, 40) }))
+                .with("S", Delta::delete_only(rel! { ["b", "c"] => (10, 100) })),
+            // no-op updates (insert existing, delete absent)
+            Update::inserting("R", rel! { ["a", "b"] => (1, 10) }),
+            Update::deleting("R", rel! { ["a", "b"] => (9, 99) }),
+        ];
+        for e in exprs {
+            for u in &updates {
+                check(e, u.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn delta_resolver_maps_extended_names() {
+        let c = catalog();
+        let r = DeltaResolver::new(&c);
+        for n in ["R@new", "R@ins", "R@del"] {
+            assert_eq!(
+                r.header_of(RelName::new(n)).unwrap(),
+                AttrSet::from_names(&["a", "b"])
+            );
+        }
+        assert!(r.header_of(RelName::new("Z@ins")).is_err());
+        assert!(r.header_of(RelName::new("R")).is_ok());
+    }
+
+    #[test]
+    fn environment_contains_normalized_deltas() {
+        let db = state();
+        // insert an existing tuple + delete an absent one: both net to zero
+        let u = Update::new()
+            .with("R", Delta::insert_only(rel! { ["a", "b"] => (1, 10), (7, 70) }))
+            .with("R", Delta::delete_only(rel! { ["a", "b"] => (9, 99) }));
+        let env = delta_environment(&db, &u).unwrap();
+        assert_eq!(
+            env.relation(ins_name(RelName::new("R"))).unwrap(),
+            &rel! { ["a", "b"] => (7, 70) }
+        );
+        assert!(env.relation(del_name(RelName::new("R"))).unwrap().is_empty());
+        assert_eq!(env.relation(new_name(RelName::new("R"))).unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type of the warehouse layer.
+
+use dwc_core::CoreError;
+use dwc_relalg::{RelName, RelalgError};
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T, E = WarehouseError> = std::result::Result<T, E>;
+
+/// Errors raised by the warehouse layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WarehouseError {
+    /// Substrate error.
+    Relalg(RelalgError),
+    /// Complement-layer error.
+    Core(CoreError),
+    /// An update touches a relation that is not a base relation of the
+    /// warehouse's catalog.
+    UpdateOutsideSources(RelName),
+    /// The maintained state diverged from `W(u(d))` — the correctness
+    /// criterion of Theorem 4.1 failed for the named stored relation.
+    /// (Reaching this indicates a bug; it is checked in debug builds and
+    /// by the test suites.)
+    CorrectnessViolation(RelName),
+    /// A query references a relation that is neither a base relation nor
+    /// a warehouse view.
+    UnknownQueryRelation(RelName),
+}
+
+impl fmt::Display for WarehouseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarehouseError::Relalg(e) => write!(f, "{e}"),
+            WarehouseError::Core(e) => write!(f, "{e}"),
+            WarehouseError::UpdateOutsideSources(r) => {
+                write!(f, "update touches `{r}`, which is not a source relation")
+            }
+            WarehouseError::CorrectnessViolation(r) => {
+                write!(f, "maintained state diverged from W(u(d)) at `{r}`")
+            }
+            WarehouseError::UnknownQueryRelation(r) => {
+                write!(f, "query references unknown relation `{r}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WarehouseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WarehouseError::Relalg(e) => Some(e),
+            WarehouseError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelalgError> for WarehouseError {
+    fn from(e: RelalgError) -> Self {
+        WarehouseError::Relalg(e)
+    }
+}
+
+impl From<CoreError> for WarehouseError {
+    fn from(e: CoreError) -> Self {
+        WarehouseError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        use std::error::Error;
+        let e: WarehouseError = RelalgError::UnknownRelation(RelName::new("X")).into();
+        assert!(e.source().is_some());
+        let e: WarehouseError = CoreError::UnknownBase(RelName::new("X")).into();
+        assert!(e.to_string().contains("X"));
+        let e = WarehouseError::UpdateOutsideSources(RelName::new("V"));
+        assert!(e.to_string().contains("not a source relation"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,419 @@
+//! Independence without complements, and refuting query independence.
+//!
+//! The end of Section 4 observes that a warehouse of *selection views*
+//! `W = σ_γ(R)` is update-independent with **no** complement: insertions
+//! and deletions translate directly (`w' = w ∪ σ_γ(Δr)` resp.
+//! `w ∖ σ_γ(Δr)`), yet such a warehouse is not query-independent for
+//! non-trivial `γ`. [`SigmaWarehouse`] implements exactly this
+//! translation, and [`refute_query_independence`] exhibits the formal
+//! witness for the negative half: two database states with identical
+//! warehouse images but different query answers — no translated query
+//! `Q̄` can exist for such a `Q` (Definition 3.1), whatever it computes.
+
+use crate::error::{Result, WarehouseError};
+use crate::spec::WarehouseSpec;
+use dwc_core::NamedView;
+use dwc_relalg::{DbState, Predicate, RaExpr, Update};
+
+/// A warehouse of full-width selection views, maintained without any
+/// auxiliary data.
+#[derive(Clone, Debug)]
+pub struct SigmaWarehouse {
+    spec: WarehouseSpec,
+}
+
+impl SigmaWarehouse {
+    /// Validates that every view is a single-relation, projection-free
+    /// selection `σ_γ(R)`.
+    pub fn new(spec: WarehouseSpec) -> Result<SigmaWarehouse> {
+        for v in spec.views() {
+            if !is_sigma_view(spec.catalog(), v) {
+                return Err(WarehouseError::Core(dwc_core::CoreError::NotPsj {
+                    detail: format!("view {} is not a full-width selection view", v.name()),
+                }));
+            }
+        }
+        Ok(SigmaWarehouse { spec })
+    }
+
+    /// The underlying specification.
+    pub fn spec(&self) -> &WarehouseSpec {
+        &self.spec
+    }
+
+    /// Materializes the warehouse.
+    pub fn materialize(&self, db: &DbState) -> Result<DbState> {
+        self.spec.materialize(db)
+    }
+
+    /// Translates a (normalized) source update directly onto the
+    /// warehouse: `σ_γ(r ∪ Δ⁺ ∖ Δ⁻) = σ_γ(r) ∪ σ_γ(Δ⁺) ∖ σ_γ(Δ⁻)`.
+    /// No complement, no inverse, no source query.
+    pub fn maintain(&self, warehouse: &DbState, update: &Update) -> Result<DbState> {
+        let mut next = warehouse.clone();
+        for v in self.spec.views() {
+            let base = v.view().relations()[0];
+            let Some(delta) = update.delta(base) else {
+                continue;
+            };
+            let pred = v.view().selection().compile(delta.inserted().attrs())?;
+            let plus = delta.inserted().filter(|t| pred.eval(t));
+            let minus = delta.deleted().filter(|t| pred.eval(t));
+            let old = warehouse.relation(v.name())?;
+            next.insert_relation(v.name(), old.difference(&minus)?.union(&plus)?);
+        }
+        Ok(next)
+    }
+}
+
+fn is_sigma_view(catalog: &dwc_relalg::Catalog, v: &NamedView) -> bool {
+    let view = v.view();
+    view.relations().len() == 1
+        && catalog
+            .schema(view.relations()[0])
+            .map(|s| s.attrs() == view.projection())
+            .unwrap_or(false)
+}
+
+/// Is the selection trivially total (`true`)? A σ-warehouse with only
+/// trivial selections copies its base relations and *is*
+/// query-independent; the interesting (negative) case is non-trivial γ.
+pub fn has_trivial_selection(v: &NamedView) -> bool {
+    matches!(v.view().selection(), Predicate::True)
+}
+
+/// The update classes the self-maintainability analysis distinguishes
+/// (the paper's footnote 1 excludes modifications; a modification is a
+/// deletion plus an insertion, i.e. `Mixed`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateClass {
+    /// Only insertions into the touched relations.
+    InsertOnly,
+    /// Only deletions from the touched relations.
+    DeleteOnly,
+    /// Arbitrary insert/delete combinations.
+    Mixed,
+}
+
+/// Statically decides whether the *unaugmented* warehouse is
+/// self-maintainable for updates of the given class touching exactly
+/// `touched` — i.e. whether the derived maintenance expressions can be
+/// evaluated from the reported deltas alone, without any base-relation
+/// (or inverse) reference surviving.
+///
+/// This is the question the paper's related work ([3, 10, 18]) answers
+/// with syntactic criteria; here it falls out of the delta-rule engine:
+/// derive, specialize to the class (empty `@ins` or `@del`), simplify,
+/// and inspect the surviving references. σ-views come out
+/// self-maintainable for every class (the end of Section 4); join views
+/// do not (they need partners); projection views are insert/delete
+/// sensitive under set semantics (a deletion needs survivor
+/// information). A `false` answer is the cue to store a complement.
+pub fn self_maintainable_without_complement(
+    spec: &WarehouseSpec,
+    touched: &std::collections::BTreeSet<dwc_relalg::RelName>,
+    class: UpdateClass,
+) -> Result<bool> {
+    use crate::delta::{self, DeltaResolver};
+    use dwc_relalg::RaExpr;
+    use std::collections::BTreeMap;
+
+    let catalog = spec.catalog();
+    let resolver = DeltaResolver::new(catalog);
+    // Specialize: for InsertOnly every `@del` is empty, for DeleteOnly
+    // every `@ins` is.
+    let mut specialize: BTreeMap<dwc_relalg::RelName, RaExpr> = BTreeMap::new();
+    for &r in touched {
+        let header = catalog.schema(r).map_err(WarehouseError::from)?.attrs().clone();
+        match class {
+            UpdateClass::InsertOnly => {
+                specialize.insert(delta::del_name(r), RaExpr::Empty(header));
+            }
+            UpdateClass::DeleteOnly => {
+                specialize.insert(delta::ins_name(r), RaExpr::Empty(header));
+            }
+            UpdateClass::Mixed => {}
+        }
+    }
+    // Three refinements make the check match the classical criteria:
+    //
+    // * a view's maintenance expressions may read any stored view's *old*
+    //   state, including the view's own — maintenance evaluates against
+    //   the pre-update warehouse (this is what makes projection views
+    //   self-maintainable w.r.t. insertions: `π(Δ⁺) ∖ π(R_old)` becomes
+    //   `π(Δ⁺) ∖ V_old`);
+    // * the multi-view effect ([14], cf. Example 2.1): one view's
+    //   definition occurring inside another's maintenance expression
+    //   folds into a read of that view;
+    // * stratification: views proven self-maintainable can be maintained
+    //   *first*, so later views may also use their NEW states (the same
+    //   `@next` ordering the compiled plans exploit).
+    //
+    // The whole warehouse is self-maintainable iff the fixpoint covers
+    // every view.
+    let mut named_defs: Vec<(dwc_relalg::RelName, RaExpr)> = spec
+        .views()
+        .iter()
+        .map(|v| Ok((v.name(), v.to_expr().simplified(catalog)?)))
+        .collect::<Result<_>>()?;
+    for u in spec.union_facts() {
+        named_defs.push((u.name(), u.to_expr().simplified(catalog)?));
+    }
+    let new_map: BTreeMap<dwc_relalg::RelName, RaExpr> = touched
+        .iter()
+        .map(|&r| (r, RaExpr::Base(delta::new_name(r))))
+        .collect();
+
+    let mut proven: std::collections::BTreeSet<dwc_relalg::RelName> =
+        std::collections::BTreeSet::new();
+    loop {
+        let mut progress = false;
+        // Old states of every view are always readable; new states only
+        // of already-proven (maintain-first) views.
+        let mut patterns: Vec<(RaExpr, dwc_relalg::RelName)> = named_defs
+            .iter()
+            .map(|(name, def)| (def.clone(), *name))
+            .collect();
+        for (name, def) in &named_defs {
+            if proven.contains(name) {
+                patterns.push((def.substitute(&new_map), *name));
+            }
+        }
+        'views: for (name, def) in &named_defs {
+            if proven.contains(name) {
+                continue;
+            }
+            let d = delta::derive(def, touched, &resolver)?;
+            for e in [d.plus, d.minus] {
+                let e = e.substitute(&specialize).simplified(&resolver)?;
+                let e = crate::incremental::fold_stored_public(&e, &patterns);
+                for r in e.base_relations() {
+                    let n = r.as_str();
+                    let is_delta = n.ends_with("@ins") || n.ends_with("@del");
+                    let is_view = named_defs.iter().any(|(vn, _)| *vn == r);
+                    if !is_delta && !is_view {
+                        continue 'views;
+                    }
+                }
+            }
+            proven.insert(*name);
+            progress = true;
+        }
+        if !progress {
+            break;
+        }
+    }
+    Ok(proven.len() == named_defs.len())
+}
+
+/// Searches the given states for a witness pair against query
+/// independence of the (unaugmented!) warehouse: indices `(i, j)` with
+/// `W(dᵢ) = W(dⱼ)` but `Q(dᵢ) ≠ Q(dⱼ)`. Such a pair proves that *no*
+/// warehouse query `Q̄` satisfies `Q = Q̄ ∘ W` (Definition 3.1).
+pub fn refute_query_independence(
+    spec: &WarehouseSpec,
+    q: &RaExpr,
+    states: &[DbState],
+) -> Result<Option<(usize, usize)>> {
+    let images: Vec<DbState> = states
+        .iter()
+        .map(|d| spec.materialize(d))
+        .collect::<Result<_>>()?;
+    let answers: Vec<dwc_relalg::Relation> = states
+        .iter()
+        .map(|d| q.eval(d).map_err(WarehouseError::from))
+        .collect::<Result<_>>()?;
+    for i in 0..states.len() {
+        for j in (i + 1)..states.len() {
+            if images[i] == images[j] && answers[i] != answers[j] {
+                return Ok(Some((i, j)));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fig1_catalog, fig1_state};
+    use dwc_relalg::{rel, Catalog, RelName};
+
+    fn sigma_spec() -> WarehouseSpec {
+        let mut c = Catalog::new();
+        c.add_schema("R", &["x", "y"]).unwrap();
+        WarehouseSpec::parse(c, &[("W", "sigma[x >= 10](R)")]).unwrap()
+    }
+
+    #[test]
+    fn sigma_warehouse_validation() {
+        SigmaWarehouse::new(sigma_spec()).unwrap();
+        // A join view is rejected.
+        let bad = WarehouseSpec::parse(fig1_catalog(), &[("Sold", "Sale join Emp")]).unwrap();
+        assert!(SigmaWarehouse::new(bad).is_err());
+        // A projection view is rejected.
+        let mut c = Catalog::new();
+        c.add_schema("R", &["x", "y"]).unwrap();
+        let bad = WarehouseSpec::parse(c, &[("P", "pi[x](R)")]).unwrap();
+        assert!(SigmaWarehouse::new(bad).is_err());
+    }
+
+    #[test]
+    fn update_independent_without_complement() {
+        // Section 4's closing argument, executed: maintain σ-views from
+        // deltas alone and compare against recomputation.
+        let sw = SigmaWarehouse::new(sigma_spec()).unwrap();
+        let mut db = DbState::new();
+        db.insert_relation("R", rel! { ["x", "y"] => (5, 1), (10, 2), (20, 3) });
+        let mut w = sw.materialize(&db).unwrap();
+        assert_eq!(w.relation(RelName::new("W")).unwrap().len(), 2);
+
+        let updates = [
+            Update::inserting("R", rel! { ["x", "y"] => (30, 4), (1, 5) }),
+            Update::deleting("R", rel! { ["x", "y"] => (10, 2), (5, 1) }),
+            Update::inserting("R", rel! { ["x", "y"] => (10, 9) }),
+        ];
+        for u in updates {
+            let u = u.normalize(&db).unwrap();
+            w = sw.maintain(&w, &u).unwrap();
+            db = u.apply(&db).unwrap();
+            assert_eq!(w, sw.materialize(&db).unwrap());
+        }
+    }
+
+    #[test]
+    fn sigma_warehouse_is_not_query_independent() {
+        // Two states that differ only below the selection have equal
+        // warehouse images; a query about the hidden part distinguishes
+        // them — the formal witness of Section 4.
+        let sw = SigmaWarehouse::new(sigma_spec()).unwrap();
+        let mut d1 = DbState::new();
+        d1.insert_relation("R", rel! { ["x", "y"] => (5, 1), (10, 2) });
+        let mut d2 = DbState::new();
+        d2.insert_relation("R", rel! { ["x", "y"] => (10, 2) });
+        let q = RaExpr::parse("pi[y](R)").unwrap();
+        let witness =
+            refute_query_independence(sw.spec(), &q, &[d1, d2]).unwrap();
+        assert_eq!(witness, Some((0, 1)));
+    }
+
+    #[test]
+    fn example_12_sold_alone_is_not_query_independent() {
+        // Example 1.2: Q = π_clerk(Sale) ∪ π_clerk(Emp) cannot be answered
+        // from Sold alone. Witness: add Paula to Emp — Sold is unchanged
+        // (she sells nothing) but Q's answer grows.
+        let spec =
+            WarehouseSpec::parse(fig1_catalog(), &[("Sold", "Sale join Emp")]).unwrap();
+        let d1 = fig1_state();
+        let mut d2 = fig1_state();
+        d2.insert_relation(
+            "Emp",
+            rel! { ["clerk", "age"] => ("Mary", 23), ("John", 25) },
+        );
+        let q = RaExpr::parse("pi[clerk](Sale) union pi[clerk](Emp)").unwrap();
+        let witness = refute_query_independence(&spec, &q, &[d1, d2]).unwrap();
+        assert_eq!(witness, Some((0, 1)));
+    }
+
+    #[test]
+    fn no_witness_for_answerable_queries() {
+        // A query over the selected part IS answerable; no witness exists
+        // among these states.
+        let sw = SigmaWarehouse::new(sigma_spec()).unwrap();
+        let mut d1 = DbState::new();
+        d1.insert_relation("R", rel! { ["x", "y"] => (5, 1), (10, 2) });
+        let mut d2 = DbState::new();
+        d2.insert_relation("R", rel! { ["x", "y"] => (10, 2) });
+        let q = RaExpr::parse("sigma[x >= 10](R)").unwrap();
+        assert_eq!(
+            refute_query_independence(sw.spec(), &q, &[d1, d2]).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn self_maintainability_analysis_matches_theory() {
+        use super::UpdateClass::*;
+        let touched_r: std::collections::BTreeSet<RelName> = [RelName::new("R")].into();
+
+        // σ-views: self-maintainable for every update class (Section 4).
+        let sigma = sigma_spec();
+        for class in [InsertOnly, DeleteOnly, Mixed] {
+            assert!(
+                self_maintainable_without_complement(&sigma, &touched_r, class).unwrap(),
+                "sigma view should be self-maintainable for {class:?}"
+            );
+        }
+
+        // Join views: never (join partners needed) — the Figure 1 point.
+        let join = WarehouseSpec::parse(fig1_catalog(), &[("Sold", "Sale join Emp")]).unwrap();
+        let touched_sale: std::collections::BTreeSet<RelName> = [RelName::new("Sale")].into();
+        for class in [InsertOnly, DeleteOnly, Mixed] {
+            assert!(
+                !self_maintainable_without_complement(&join, &touched_sale, class).unwrap(),
+                "Sold should NOT be self-maintainable for {class:?}"
+            );
+        }
+
+        // Projection views under set semantics: self-maintainable for
+        // insertions (π(Δ⁺) ∖ V_old — the view reads its own old state,
+        // the classical [10] result) but not for deletions (survivor
+        // information needed).
+        let mut c = Catalog::new();
+        c.add_schema("R", &["x", "y"]).unwrap();
+        let proj = WarehouseSpec::parse(c, &[("P", "pi[x](R)")]).unwrap();
+        assert!(
+            self_maintainable_without_complement(&proj, &touched_r, InsertOnly).unwrap(),
+            "projection views ARE self-maintainable w.r.t. insertions"
+        );
+        for class in [DeleteOnly, Mixed] {
+            assert!(
+                !self_maintainable_without_complement(&proj, &touched_r, class).unwrap(),
+                "projection view should NOT be self-maintainable for {class:?}"
+            );
+        }
+
+        // The multi-view effect ([14]): a projection view plus a full
+        // copy of its base is jointly self-maintainable for every class —
+        // the copy supplies the survivor information.
+        let mut c = Catalog::new();
+        c.add_schema("R", &["x", "y"]).unwrap();
+        let pair = WarehouseSpec::parse(
+            c,
+            &[("P", "pi[x](R)"), ("CopyR", "sigma[true](R)")],
+        )
+        .unwrap();
+        for class in [InsertOnly, DeleteOnly, Mixed] {
+            assert!(
+                self_maintainable_without_complement(&pair, &touched_r, class).unwrap(),
+                "projection + copy should be jointly self-maintainable for {class:?}"
+            );
+        }
+
+        // A full copy view: trivially self-maintainable.
+        let mut c = Catalog::new();
+        c.add_schema("R", &["x", "y"]).unwrap();
+        let copy = WarehouseSpec::parse(c, &[("Copy", "sigma[true](R)")]).unwrap();
+        assert!(self_maintainable_without_complement(&copy, &touched_r, Mixed).unwrap());
+
+        // Updates touching an unrelated relation never require anything.
+        let mut c = fig1_catalog();
+        c.add_schema("Other", &["z"]).unwrap();
+        let spec = WarehouseSpec::parse(c, &[("Sold", "Sale join Emp")]).unwrap();
+        let touched_other: std::collections::BTreeSet<RelName> =
+            [RelName::new("Other")].into();
+        assert!(
+            self_maintainable_without_complement(&spec, &touched_other, Mixed).unwrap()
+        );
+    }
+
+    #[test]
+    fn trivial_selection_detection() {
+        let spec = sigma_spec();
+        assert!(!has_trivial_selection(&spec.views()[0]));
+        let mut c = Catalog::new();
+        c.add_schema("R", &["x"]).unwrap();
+        let spec = WarehouseSpec::parse(c, &[("Copy", "sigma[true](R)")]).unwrap();
+        assert!(has_trivial_selection(&spec.views()[0]));
+    }
+}

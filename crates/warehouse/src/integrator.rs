@@ -1,0 +1,453 @@
+//! The warehousing architecture of Figure 1.
+//!
+//! A [`SourceSite`] plays an operational database: it owns the authoritative
+//! state, applies updates, and *reports* the normalized deltas. Crucially
+//! it counts every query evaluated against it ([`SourceSite::answer`]),
+//! so "the warehouse never queries the sources" is a measured property,
+//! not an assumption.
+//!
+//! The [`Integrator`] owns the materialized warehouse state `W(d)` and
+//! maintains it from reported deltas alone, caching one maintenance plan
+//! per touched-relation set. It also answers source queries at the
+//! warehouse (query independence, Section 3).
+
+use crate::error::{Result, WarehouseError};
+use crate::incremental::{MaintenancePlan, StoredDelta};
+use crate::spec::AugmentedWarehouse;
+use dwc_relalg::{Catalog, DbState, RaExpr, RelName, Relation, Update};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+
+/// Cumulative access statistics of a source site.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SourceStats {
+    /// Number of queries evaluated against the site.
+    pub queries: usize,
+    /// Total tuples read by those queries (sum of the sizes of every base
+    /// relation each query touches — a bandwidth proxy).
+    pub tuples_read: usize,
+    /// Number of updates applied.
+    pub updates: usize,
+}
+
+/// A decoupled operational source database.
+#[derive(Clone, Debug)]
+pub struct SourceSite {
+    catalog: Catalog,
+    db: DbState,
+    queries: Cell<usize>,
+    tuples_read: Cell<usize>,
+    updates: Cell<usize>,
+}
+
+impl SourceSite {
+    /// Wraps a state; `db` must cover the catalog.
+    pub fn new(catalog: Catalog, db: DbState) -> Result<SourceSite> {
+        db.check_headers(&catalog)?;
+        Ok(SourceSite {
+            catalog,
+            db,
+            queries: Cell::new(0),
+            tuples_read: Cell::new(0),
+            updates: Cell::new(0),
+        })
+    }
+
+    /// The site's catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Read-only access to the authoritative state — for test oracles.
+    /// Does *not* count as a source query.
+    pub fn oracle_state(&self) -> &DbState {
+        &self.db
+    }
+
+    /// Applies an update and returns the normalized delta report the
+    /// site sends to the integrator (solid arrow in Figure 1).
+    pub fn apply_update(&mut self, update: &Update) -> Result<Update> {
+        for r in update.touched() {
+            if !self.catalog.contains(r) {
+                return Err(WarehouseError::UpdateOutsideSources(r));
+            }
+        }
+        let normalized = update.normalize(&self.db)?;
+        normalized.apply_mut(&mut self.db)?;
+        self.updates.set(self.updates.get() + 1);
+        Ok(normalized)
+    }
+
+    /// Evaluates a query against the source, *counting the access*
+    /// (dashed arrow in Figure 1 — the thing independence avoids).
+    pub fn answer(&self, q: &RaExpr) -> Result<Relation> {
+        self.count_query(q);
+        Ok(q.eval(&self.db)?)
+    }
+
+    /// Bumps the access counters for `q`: one query, plus the sizes of
+    /// every base relation it touches as a bandwidth proxy.
+    pub(crate) fn count_query(&self, q: &RaExpr) {
+        self.queries.set(self.queries.get() + 1);
+        let mut read = 0;
+        for base in q.base_relations() {
+            read += self.db.relation(base).map(Relation::len).unwrap_or(0);
+        }
+        self.tuples_read.set(self.tuples_read.get() + read);
+    }
+
+    /// The access counters.
+    pub fn stats(&self) -> SourceStats {
+        SourceStats {
+            queries: self.queries.get(),
+            tuples_read: self.tuples_read.get(),
+            updates: self.updates.get(),
+        }
+    }
+
+    /// Resets the access counters.
+    pub fn reset_stats(&self) {
+        self.queries.set(0);
+        self.tuples_read.set(0);
+        self.updates.set(0);
+    }
+}
+
+/// Cumulative integrator statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntegratorStats {
+    /// Delta reports processed.
+    pub updates_processed: usize,
+    /// Tuples contained in those reports.
+    pub delta_tuples: usize,
+    /// Maintenance plans compiled (cache misses).
+    pub plans_compiled: usize,
+    /// Queries answered at the warehouse.
+    pub queries_answered: usize,
+}
+
+/// Integrator tuning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntegratorConfig {
+    /// Keep materialized mirrors of the reconstructed base relations and
+    /// maintain them delta-wise, instead of re-deriving `R@inv` from the
+    /// warehouse on every update. Removes the per-update reconstruction
+    /// scans at the cost of storing a full source copy — exactly the
+    /// trade the paper's Section 6 remark describes (keep the expression,
+    /// or keep the materialization). Still zero source queries.
+    pub cache_inverses: bool,
+}
+
+/// The integrator of Figure 1: maintains `W(d)` from delta reports alone.
+#[derive(Clone, Debug)]
+pub struct Integrator {
+    aug: AugmentedWarehouse,
+    warehouse: DbState,
+    plans: BTreeMap<Vec<RelName>, MaintenancePlan>,
+    stats: IntegratorStats,
+    /// Materialized source reconstructions, maintained delta-wise
+    /// (present iff `IntegratorConfig::cache_inverses`).
+    mirrors: Option<DbState>,
+}
+
+impl Integrator {
+    /// Initial load: materializes `W(d)` from the source state. This is
+    /// the only moment the integrator sees base data (and it is counted
+    /// at the site as a query per stored relation).
+    pub fn initial_load(aug: AugmentedWarehouse, site: &SourceSite) -> Result<Integrator> {
+        Integrator::initial_load_with(aug, site, IntegratorConfig::default())
+    }
+
+    /// Initial load with explicit tuning.
+    pub fn initial_load_with(
+        aug: AugmentedWarehouse,
+        site: &SourceSite,
+        config: IntegratorConfig,
+    ) -> Result<Integrator> {
+        let mut warehouse = DbState::new();
+        for name in aug.stored_relations() {
+            let def = aug.definition_of(name).expect("stored relation has a definition");
+            warehouse.insert_relation(name, site.answer(&def)?);
+        }
+        // Mirrors are derived from the warehouse itself (the inverse
+        // expressions), not from the sources: no extra source access.
+        let mirrors = if config.cache_inverses {
+            let mut m = DbState::new();
+            for (base, inv) in aug.inverse() {
+                m.insert_relation(*base, inv.eval(&warehouse)?);
+            }
+            Some(m)
+        } else {
+            None
+        };
+        Ok(Integrator {
+            aug,
+            warehouse,
+            plans: BTreeMap::new(),
+            stats: IntegratorStats::default(),
+            mirrors,
+        })
+    }
+
+    /// The warehouse definition.
+    pub fn warehouse(&self) -> &AugmentedWarehouse {
+        &self.aug
+    }
+
+    /// The current materialized warehouse state.
+    pub fn state(&self) -> &DbState {
+        &self.warehouse
+    }
+
+    /// Processes a delta report (already normalized by the source). No
+    /// source access happens here — by construction the maintenance plan
+    /// references warehouse relations and the report only.
+    pub fn on_report(&mut self, report: &Update) -> Result<()> {
+        self.on_report_detailed(report).map(drop)
+    }
+
+    /// Like [`Integrator::on_report`], additionally returning the net
+    /// per-stored-relation deltas, for cascading layers (summary tables).
+    pub fn on_report_detailed(&mut self, report: &Update) -> Result<Vec<StoredDelta>> {
+        if report.is_empty() {
+            return Ok(Vec::new());
+        }
+        let touched: Vec<RelName> = report.touched().collect();
+        if !self.plans.contains_key(&touched) {
+            let set = touched.iter().copied().collect();
+            let plan = self.aug.compile_plan(&set)?;
+            self.plans.insert(touched.clone(), plan);
+            self.stats.plans_compiled += 1;
+        }
+        let plan = &self.plans[&touched];
+        let (next, deltas) = match &self.mirrors {
+            Some(m) => plan.apply_with_mirrors_detailed(&self.warehouse, report, m)?,
+            None => plan.apply_detailed(&self.warehouse, report)?,
+        };
+        self.warehouse = next;
+        // Mirrors are themselves maintained delta-wise: the mirror IS the
+        // base relation (Proposition 2.1), so the reported delta applies
+        // directly.
+        if let Some(m) = &mut self.mirrors {
+            for (base, delta) in report.iter() {
+                let next = delta.apply(m.relation(base)?)?;
+                m.insert_relation(base, next);
+            }
+        }
+        self.stats.updates_processed += 1;
+        self.stats.delta_tuples += report.len();
+        Ok(deltas)
+    }
+
+    /// Tuples held by the inverse mirrors (0 when caching is off) — the
+    /// storage price of `cache_inverses`.
+    pub fn mirror_storage(&self) -> usize {
+        self.mirrors.as_ref().map_or(0, DbState::total_tuples)
+    }
+
+    /// Answers a source query at the warehouse (query independence).
+    pub fn answer(&mut self, q: &RaExpr) -> Result<Relation> {
+        self.stats.queries_answered += 1;
+        self.aug.answer_at_warehouse(q, &self.warehouse)
+    }
+
+    /// The integrator's counters.
+    pub fn stats(&self) -> IntegratorStats {
+        self.stats
+    }
+
+    /// Auxiliary storage currently used by complement views, in tuples.
+    pub fn complement_storage(&self) -> usize {
+        self.aug
+            .complement()
+            .entries()
+            .iter()
+            .filter_map(|e| self.warehouse.relation(e.name).ok())
+            .map(Relation::len)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fig1_spec, fig1_state};
+    use dwc_relalg::{gen, rel};
+
+    fn setup() -> (SourceSite, Integrator) {
+        let spec = fig1_spec();
+        let catalog = spec.catalog().clone();
+        let aug = spec.augment().unwrap();
+        let site = SourceSite::new(catalog, fig1_state()).unwrap();
+        let integ = Integrator::initial_load(aug, &site).unwrap();
+        (site, integ)
+    }
+
+    #[test]
+    fn initial_load_counts_source_access() {
+        let (site, integ) = setup();
+        assert_eq!(site.stats().queries, 3); // Sold, C_Sale, C_Emp
+        assert!(site.stats().tuples_read > 0);
+        assert_eq!(integ.state().len(), 3);
+    }
+
+    #[test]
+    fn maintenance_without_any_source_access() {
+        let (mut site, mut integ) = setup();
+        site.reset_stats();
+        let report = site
+            .apply_update(&Update::inserting(
+                "Sale",
+                rel! { ["item", "clerk"] => ("Computer", "Paula") },
+            ))
+            .unwrap();
+        integ.on_report(&report).unwrap();
+        // Zero queries: this is what update independence *means*.
+        assert_eq!(site.stats().queries, 0);
+        assert_eq!(site.stats().updates, 1);
+        // And the warehouse is exactly W(u(d)).
+        let expected = integ.warehouse().materialize(site.oracle_state()).unwrap();
+        assert_eq!(integ.state(), &expected);
+        assert_eq!(integ.stats().updates_processed, 1);
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeated_shapes() {
+        let (mut site, mut integ) = setup();
+        for i in 0..5 {
+            let report = site
+                .apply_update(&Update::inserting(
+                    "Sale",
+                    rel! { ["item", "clerk"] => (format!("item{i}").as_str(), "Mary") },
+                ))
+                .unwrap();
+            integ.on_report(&report).unwrap();
+        }
+        assert_eq!(integ.stats().updates_processed, 5);
+        assert_eq!(integ.stats().plans_compiled, 1);
+    }
+
+    #[test]
+    fn queries_answered_at_warehouse_match_source() {
+        let (mut site, mut integ) = setup();
+        let report = site
+            .apply_update(&Update::deleting(
+                "Emp",
+                rel! { ["clerk", "age"] => ("John", 25) },
+            ))
+            .unwrap();
+        integ.on_report(&report).unwrap();
+        site.reset_stats();
+        let q = RaExpr::parse("pi[clerk](Sale) union pi[clerk](Emp)").unwrap();
+        let at_wh = integ.answer(&q).unwrap();
+        let at_src = site.answer(&q).unwrap(); // oracle comparison
+        assert_eq!(at_wh, at_src);
+        assert_eq!(site.stats().queries, 1); // only the oracle access
+        assert_eq!(integ.stats().queries_answered, 1);
+    }
+
+    #[test]
+    fn long_random_stream_stays_exact() {
+        let (mut site, mut integ) = setup();
+        let cfg = gen::StateGenConfig::new(10, 5);
+        for seed in 0..15u64 {
+            let target = gen::random_state(site.catalog(), &cfg, 3000 + seed);
+            let mut u = Update::new();
+            for (name, t) in target.iter() {
+                let cur = site.oracle_state().relation(name).unwrap();
+                u = u.with(
+                    name.as_str(),
+                    dwc_relalg::Delta::new(
+                        t.difference(cur).unwrap(),
+                        cur.difference(t).unwrap(),
+                    )
+                    .unwrap(),
+                );
+            }
+            let report = site.apply_update(&u).unwrap();
+            integ.on_report(&report).unwrap();
+            let expected = integ.warehouse().materialize(site.oracle_state()).unwrap();
+            assert_eq!(integ.state(), &expected, "diverged at seed {seed}");
+        }
+        assert_eq!(site.stats().queries, 3); // just the initial load
+    }
+
+    #[test]
+    fn empty_reports_are_ignored() {
+        let (mut site, mut integ) = setup();
+        let report = site
+            .apply_update(&Update::inserting(
+                "Sale",
+                rel! { ["item", "clerk"] => ("TV set", "Mary") }, // already present
+            ))
+            .unwrap();
+        assert!(report.is_empty());
+        integ.on_report(&report).unwrap();
+        assert_eq!(integ.stats().updates_processed, 0);
+    }
+
+    #[test]
+    fn update_outside_catalog_rejected_at_site() {
+        let (mut site, _) = setup();
+        let err = site
+            .apply_update(&Update::inserting("Ghost", rel! { ["x"] => (1,) }))
+            .unwrap_err();
+        assert!(matches!(err, WarehouseError::UpdateOutsideSources(_)));
+    }
+
+    #[test]
+    fn mirrored_integrator_matches_plain_and_pays_storage() {
+        let spec = fig1_spec();
+        let catalog = spec.catalog().clone();
+        let aug = spec.augment().unwrap();
+        let site0 = SourceSite::new(catalog.clone(), fig1_state()).unwrap();
+        let mut plain = Integrator::initial_load(aug.clone(), &site0).unwrap();
+        let mut mirrored = Integrator::initial_load_with(
+            aug,
+            &site0,
+            IntegratorConfig { cache_inverses: true },
+        )
+        .unwrap();
+        assert_eq!(plain.mirror_storage(), 0);
+        assert_eq!(mirrored.mirror_storage(), 6); // full source copy
+
+        let mut site = SourceSite::new(catalog, fig1_state()).unwrap();
+        site.reset_stats();
+        let cfg = gen::StateGenConfig::new(10, 5);
+        for seed in 0..8u64 {
+            let target = gen::random_state(site.catalog(), &cfg, 4000 + seed);
+            let mut u = Update::new();
+            for (name, t) in target.iter() {
+                let cur = site.oracle_state().relation(name).unwrap();
+                u = u.with(
+                    name.as_str(),
+                    dwc_relalg::Delta::new(
+                        t.difference(cur).unwrap(),
+                        cur.difference(t).unwrap(),
+                    )
+                    .unwrap(),
+                );
+            }
+            let report = site.apply_update(&u).unwrap();
+            plain.on_report(&report).unwrap();
+            mirrored.on_report(&report).unwrap();
+            assert_eq!(plain.state(), mirrored.state(), "strategies diverged at {seed}");
+            // mirrors track the true sources exactly
+            assert_eq!(
+                mirrored.mirror_storage(),
+                site.oracle_state().total_tuples()
+            );
+        }
+        // both stayed source-free
+        assert_eq!(site.stats().queries, 0);
+        let expected = plain.warehouse().materialize(site.oracle_state()).unwrap();
+        assert_eq!(plain.state(), &expected);
+    }
+
+    #[test]
+    fn complement_storage_metric() {
+        let (_, integ) = setup();
+        // C_Emp = {(Paula, 32)}, C_Sale = ∅ on the Figure 1 state.
+        assert_eq!(integ.complement_storage(), 1);
+    }
+}

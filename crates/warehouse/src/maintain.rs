@@ -1,0 +1,216 @@
+//! Update translation and the Theorem 4.1 correctness criterion.
+//!
+//! `w' = W(u(W⁻¹(w)))` — the new warehouse state computed from the old
+//! one and the reported update only (Figure 3's commuting diagram). The
+//! incremental implementation is [`crate::incremental`]; this module
+//! provides the one-call convenience API and the checked variant used in
+//! tests and experiments, plus the *semantic* (non-incremental but still
+//! source-free) fallback that literally evaluates `W ∘ u ∘ W⁻¹`.
+
+use crate::error::{Result, WarehouseError};
+use crate::spec::AugmentedWarehouse;
+use dwc_relalg::{DbState, RelName, Update};
+use std::collections::BTreeSet;
+
+impl AugmentedWarehouse {
+    /// Maintains the warehouse incrementally: compiles (or reuses) the
+    /// plan for the update's touched set and applies it. `update` must be
+    /// normalized by the reporting source.
+    pub fn maintain(&self, warehouse: &DbState, update: &Update) -> Result<DbState> {
+        let touched: BTreeSet<RelName> = update.touched().collect();
+        let plan = self.compile_plan(&touched)?;
+        plan.apply(warehouse, update)
+    }
+
+    /// The literal `W(u(W⁻¹(w)))` pipeline: reconstruct the sources from
+    /// the warehouse, apply the update, re-materialize. Source-free like
+    /// the incremental path but recomputes every view; used as the
+    /// correctness oracle and as a baseline in the experiments.
+    pub fn maintain_by_reconstruction(
+        &self,
+        warehouse: &DbState,
+        update: &Update,
+    ) -> Result<DbState> {
+        let sources = self.reconstruct_sources(warehouse)?;
+        let next_sources = update.apply(&sources)?;
+        self.materialize(&next_sources)
+    }
+
+    /// Incremental maintenance with the Theorem 4.1 correctness criterion
+    /// checked against ground truth: the caller provides the *actual*
+    /// pre-update source state `db` (as a test oracle only — the
+    /// maintenance itself never touches it).
+    pub fn maintain_checked(
+        &self,
+        db: &DbState,
+        warehouse: &DbState,
+        update: &Update,
+    ) -> Result<DbState> {
+        let next = self.maintain(warehouse, update)?;
+        let expected = self.materialize(&update.apply(db)?)?;
+        if next != expected {
+            let bad = next
+                .iter()
+                .find(|(n, r)| expected.relation(*n).map(|e| &e != r).unwrap_or(true))
+                .map(|(n, _)| n)
+                .unwrap_or_else(|| RelName::new("<missing>"));
+            return Err(WarehouseError::CorrectnessViolation(bad));
+        }
+        Ok(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fig1_catalog, fig1_spec, fig1_state};
+    use dwc_core::constrained::ComplementOptions;
+    use dwc_relalg::{gen, rel, Delta, RaExpr};
+
+    #[test]
+    fn incremental_equals_reconstruction_equals_recompute() {
+        let aug = fig1_spec().augment().unwrap();
+        let db = fig1_state();
+        let w = aug.materialize(&db).unwrap();
+        let update = Update::new()
+            .with(
+                "Sale",
+                Delta::insert_only(rel! { ["item", "clerk"] => ("Computer", "Paula") }),
+            )
+            .with(
+                "Emp",
+                Delta::delete_only(rel! { ["clerk", "age"] => ("John", 25) }),
+            )
+            .normalize(&db)
+            .unwrap();
+        let incremental = aug.maintain(&w, &update).unwrap();
+        let reconstructed = aug.maintain_by_reconstruction(&w, &update).unwrap();
+        let recomputed = aug.materialize(&update.apply(&db).unwrap()).unwrap();
+        assert_eq!(incremental, recomputed);
+        assert_eq!(reconstructed, recomputed);
+    }
+
+    #[test]
+    fn checked_maintenance_passes_on_fig1() {
+        let aug = fig1_spec().augment().unwrap();
+        let db = fig1_state();
+        let w = aug.materialize(&db).unwrap();
+        let u = Update::deleting("Sale", rel! { ["item", "clerk"] => ("VCR", "Mary") })
+            .normalize(&db)
+            .unwrap();
+        aug.maintain_checked(&db, &w, &u).unwrap();
+    }
+
+    #[test]
+    fn update_stream_stays_consistent() {
+        // Figure 3 commuting diagram over a stream of random updates:
+        // maintain incrementally and compare against ground truth at each
+        // step, under all three complement-option regimes.
+        for opts in [
+            ComplementOptions::default(),
+            ComplementOptions::keys_only(),
+            ComplementOptions::unconstrained(),
+        ] {
+            let aug = fig1_spec().augment_with(&opts).unwrap();
+            let cfg = gen::StateGenConfig::new(12, 5);
+            let mut db = gen::random_state(aug.catalog(), &cfg, 99);
+            let mut w = aug.materialize(&db).unwrap();
+            for seed in 0..12u64 {
+                let other = gen::random_state(aug.catalog(), &cfg, 1000 + seed);
+                // Build an update moving db toward `other` on one relation.
+                let name = if seed % 2 == 0 { "Sale" } else { "Emp" };
+                let r = RelName::new(name);
+                let current = db.relation(r).unwrap().clone();
+                let target = other.relation(r).unwrap().clone();
+                let update = Update::new()
+                    .with(
+                        name,
+                        Delta::new(
+                            target.difference(&current).unwrap(),
+                            current.difference(&target).unwrap(),
+                        )
+                        .unwrap(),
+                    )
+                    .normalize(&db)
+                    .unwrap();
+                if update.is_empty() {
+                    continue;
+                }
+                w = aug.maintain_checked(&db, &w, &update).unwrap();
+                db = update.apply(&db).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn queries_after_maintenance_remain_correct() {
+        // Query independence survives maintenance: answers at the
+        // maintained warehouse match answers at the updated source.
+        let aug = fig1_spec().augment().unwrap();
+        let db = fig1_state();
+        let mut w = aug.materialize(&db).unwrap();
+        let u = Update::inserting("Sale", rel! { ["item", "clerk"] => ("Computer", "Paula") })
+            .normalize(&db)
+            .unwrap();
+        w = aug.maintain(&w, &u).unwrap();
+        let db_next = u.apply(&db).unwrap();
+        let q = RaExpr::parse("pi[clerk](Sale) union pi[clerk](Emp)").unwrap();
+        let at_source = q.eval(&db_next).unwrap();
+        let at_warehouse = aug.answer_at_warehouse(&q, &w).unwrap();
+        assert_eq!(at_source, at_warehouse);
+    }
+
+    #[test]
+    fn correctness_violation_is_detected() {
+        // Feed maintain_checked a stale warehouse state: it must object.
+        let aug = fig1_spec().augment().unwrap();
+        let db = fig1_state();
+        let mut wrong_db = db.clone();
+        wrong_db.insert_relation("Emp", rel! { ["clerk", "age"] => ("Mary", 23) });
+        let w_wrong = aug.materialize(&wrong_db).unwrap();
+        let u = Update::inserting("Sale", rel! { ["item", "clerk"] => ("X", "Mary") })
+            .normalize(&db)
+            .unwrap();
+        let err = aug.maintain_checked(&db, &w_wrong, &u).unwrap_err();
+        assert!(matches!(err, WarehouseError::CorrectnessViolation(_)));
+    }
+
+    #[test]
+    fn constrained_catalog_stream_with_fk() {
+        // With the FK of Example 2.4, C_Sale ≡ ∅; updates must respect the
+        // FK and maintenance must stay exact.
+        let mut c = fig1_catalog();
+        c.add_foreign_key("Sale", "Emp", &["clerk"]).unwrap();
+        let spec =
+            crate::spec::WarehouseSpec::parse(c, &[("Sold", "Sale join Emp")]).unwrap();
+        let aug = spec.augment().unwrap();
+        let cfg = gen::StateGenConfig::new(14, 5);
+        let mut db = gen::random_state(aug.catalog(), &cfg, 7);
+        let mut w = aug.materialize(&db).unwrap();
+        for seed in 0..10u64 {
+            let next = gen::random_state(aug.catalog(), &cfg, 2000 + seed);
+            // Replace the entire database state in one multi-relation
+            // update (FK-safe because both states are valid and the update
+            // is applied atomically).
+            let mut update = Update::new();
+            for (name, target) in next.iter() {
+                let current = db.relation(name).unwrap();
+                update = update.with(
+                    name.as_str(),
+                    Delta::new(
+                        target.difference(current).unwrap(),
+                        current.difference(target).unwrap(),
+                    )
+                    .unwrap(),
+                );
+            }
+            let update = update.normalize(&db).unwrap();
+            if update.is_empty() {
+                continue;
+            }
+            w = aug.maintain_checked(&db, &w, &update).unwrap();
+            db = update.apply(&db).unwrap();
+            db.check_constraints(aug.catalog()).unwrap();
+        }
+    }
+}

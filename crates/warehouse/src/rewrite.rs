@@ -1,0 +1,149 @@
+//! Query translation: `Q̄ = Q ∘ W⁻¹` (Theorem 3.1).
+//!
+//! Given the augmented warehouse `W = V ∪ C` and any query `Q` over the
+//! base relations, substituting every base reference by its inverse
+//! expression (Equation (4)) yields a query `Q̄` over warehouse relations
+//! with `Q(d) = Q̄(W(d))` for every state `d` — the commuting diagram of
+//! Figure 2. The translation is purely syntactic; a simplification pass
+//! removes the redundancy the substitution introduces (e.g. unions with
+//! provably-empty complements).
+
+use crate::error::{Result, WarehouseError};
+use crate::spec::AugmentedWarehouse;
+use dwc_relalg::{DbState, RaExpr, Relation};
+
+impl AugmentedWarehouse {
+    /// Translates a source query into an equivalent warehouse query.
+    /// Fails if `q` references relations outside the catalog (warehouse
+    /// views may *not* appear in source queries; they are the target
+    /// vocabulary, not the source one).
+    pub fn translate_query(&self, q: &RaExpr) -> Result<RaExpr> {
+        for base in q.base_relations() {
+            if !self.catalog().contains(base) {
+                return Err(WarehouseError::UnknownQueryRelation(base));
+            }
+        }
+        // Type-check the source query against D.
+        q.attrs(self.catalog())?;
+        let rewritten = q.substitute(self.inverse());
+        Ok(rewritten.simplified(&self.resolver())?)
+    }
+
+    /// Evaluates a source query *at the warehouse*: translate, then run
+    /// against the materialized warehouse state.
+    pub fn answer_at_warehouse(&self, q: &RaExpr, warehouse: &DbState) -> Result<Relation> {
+        let translated = self.translate_query(q)?;
+        Ok(translated.eval(warehouse)?)
+    }
+
+    /// Checks the Theorem 3.1 commuting diagram `Q(d) = Q̄(W(d))` on one
+    /// state. Returns the two relations for inspection.
+    pub fn query_commutes(&self, q: &RaExpr, db: &DbState) -> Result<(Relation, Relation)> {
+        let at_source = q.eval(db)?;
+        let w = self.materialize(db)?;
+        let at_warehouse = self.answer_at_warehouse(q, &w)?;
+        Ok((at_source, at_warehouse))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WarehouseSpec;
+    use crate::testutil::{fig1_catalog, fig1_spec, fig1_state};
+    use dwc_relalg::{rel, RelName};
+
+    #[test]
+    fn example_12_union_query_becomes_answerable() {
+        // Q = π_clerk(Sale) ∪ π_clerk(Emp) is not answerable from Sold
+        // alone; with the complement it is (Example 1.2).
+        let aug = fig1_spec().augment().unwrap();
+        let q = RaExpr::parse("pi[clerk](Sale) union pi[clerk](Emp)").unwrap();
+        let db = fig1_state();
+        let (src, wh) = aug.query_commutes(&q, &db).unwrap();
+        assert_eq!(src, wh);
+        assert_eq!(src, rel! { ["clerk"] => ("Mary",), ("John",), ("Paula",) });
+    }
+
+    #[test]
+    fn translated_query_references_warehouse_names_only() {
+        let aug = fig1_spec().augment().unwrap();
+        let q = RaExpr::parse("pi[age](sigma[item = 'Computer'](Sale) join Emp)").unwrap();
+        let translated = aug.translate_query(&q).unwrap();
+        for name in translated.base_relations() {
+            assert!(
+                aug.stored_relations().contains(&name),
+                "translated query leaks base relation {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn section3_worked_query_with_referential_integrity() {
+        // Section 3 walks Q = π_age(σ_item='computer'(Sale) ⋈ Emp) through
+        // the FK-constrained warehouse where C_Sale ≡ ∅ and the inverse is
+        // Sale = π_{item,clerk}(Sold), Emp = π_{clerk,age}(Sold) ∪ C_Emp.
+        let mut c = fig1_catalog();
+        c.add_foreign_key("Sale", "Emp", &["clerk"]).unwrap();
+        let spec = WarehouseSpec::parse(c, &[("Sold", "Sale join Emp")]).unwrap();
+        let aug = spec.augment().unwrap();
+        let mut db = fig1_state();
+        // add a computer sale so the query is non-empty
+        let sale = db.relation(RelName::new("Sale")).unwrap().clone();
+        db.insert_relation(
+            "Sale",
+            sale.union(&rel! { ["item", "clerk"] => ("computer", "John") }).unwrap(),
+        );
+        db.check_constraints(aug.catalog()).unwrap();
+
+        let q = RaExpr::parse("pi[age](sigma[item = 'computer'](Sale) join Emp)").unwrap();
+        let (src, wh) = aug.query_commutes(&q, &db).unwrap();
+        assert_eq!(src, wh);
+        assert_eq!(src, rel! { ["age"] => (25,) });
+    }
+
+    #[test]
+    fn commutes_on_many_random_states_and_queries() {
+        let aug = fig1_spec().augment().unwrap();
+        let cfg = dwc_relalg::gen::StateGenConfig::new(16, 5);
+        let queries = [
+            "Sale",
+            "Emp",
+            "pi[clerk](Sale) union pi[clerk](Emp)",
+            "pi[clerk](Emp) minus pi[clerk](Sale)",
+            "sigma[age >= 3](Emp) join Sale",
+            "pi[item](Sale) join pi[age](Emp)",
+            "Emp intersect Emp",
+        ];
+        for seed in 0..10u64 {
+            let db = dwc_relalg::gen::random_state(aug.catalog(), &cfg, seed);
+            for q in &queries {
+                let q = RaExpr::parse(q).unwrap();
+                let (src, wh) = aug.query_commutes(&q, &db).unwrap();
+                assert_eq!(src, wh, "mismatch on seed {seed} for {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_queries_over_unknown_relations() {
+        let aug = fig1_spec().augment().unwrap();
+        let q = RaExpr::parse("Sold").unwrap(); // a view, not a source relation
+        assert!(matches!(
+            aug.translate_query(&q),
+            Err(WarehouseError::UnknownQueryRelation(_))
+        ));
+        let q = RaExpr::parse("Nope").unwrap();
+        assert!(aug.translate_query(&q).is_err());
+    }
+
+    #[test]
+    fn rejects_ill_typed_queries() {
+        let aug = fig1_spec().augment().unwrap();
+        let q = RaExpr::parse("Sale union Emp").unwrap();
+        assert!(matches!(
+            aug.translate_query(&q),
+            Err(WarehouseError::Relalg(_))
+        ));
+    }
+}

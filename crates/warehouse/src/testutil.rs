@@ -1,0 +1,31 @@
+//! Shared fixtures for the crate's unit tests (compiled only for tests).
+
+use crate::spec::WarehouseSpec;
+use dwc_relalg::{rel, Catalog, DbState};
+
+/// The Figure 1 catalog: Sale(item, clerk), Emp(clerk*, age).
+pub(crate) fn fig1_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_schema("Sale", &["item", "clerk"]).unwrap();
+    c.add_schema_with_key("Emp", &["clerk", "age"], &["clerk"]).unwrap();
+    c
+}
+
+/// The Figure 1 instance.
+pub(crate) fn fig1_state() -> DbState {
+    let mut d = DbState::new();
+    d.insert_relation(
+        "Sale",
+        rel! { ["item", "clerk"] => ("TV set", "Mary"), ("VCR", "Mary"), ("PC", "John") },
+    );
+    d.insert_relation(
+        "Emp",
+        rel! { ["clerk", "age"] => ("Mary", 23), ("John", 25), ("Paula", 32) },
+    );
+    d
+}
+
+/// The Figure 1 warehouse: Sold = Sale ⋈ Emp.
+pub(crate) fn fig1_spec() -> WarehouseSpec {
+    WarehouseSpec::parse(fig1_catalog(), &[("Sold", "Sale join Emp")]).unwrap()
+}

@@ -1,0 +1,70 @@
+//! Example 2.3 walkthrough: how key constraints and inclusion
+//! dependencies shrink complements.
+//!
+//! Prints the complement definitions for the paper's R1/R2/R3 scenario
+//! under three regimes (no constraints, keys only, keys + inclusion
+//! dependencies) and shows the cover structure `C_{R1}^ind`.
+//!
+//! Run with: `cargo run --example constraint_minimization`
+
+use dwcomplements::core::analysis::{vk_ind, CoverSource};
+use dwcomplements::core::constrained::{complement_with, ComplementOptions};
+use dwcomplements::core::covers::covers_of;
+use dwcomplements::core::psj::{NamedView, PsjView};
+use dwcomplements::relalg::{AttrSet, Catalog, InclusionDep, RelName};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // R1(A,B,C), R2(A,C,D), R3(A,B); A keys everything;
+    // π_AB(R3) ⊆ π_AB(R1) and π_AC(R2) ⊆ π_AC(R1).
+    let mut catalog = Catalog::new();
+    catalog.add_schema_with_key("R1", &["A", "B", "C"], &["A"])?;
+    catalog.add_schema_with_key("R2", &["A", "C", "D"], &["A"])?;
+    catalog.add_schema_with_key("R3", &["A", "B"], &["A"])?;
+    catalog.add_inclusion_dep(InclusionDep::new("R3", "R1", AttrSet::from_names(&["A", "B"])))?;
+    catalog.add_inclusion_dep(InclusionDep::new("R2", "R1", AttrSet::from_names(&["A", "C"])))?;
+
+    let views = vec![
+        NamedView::new("V1", PsjView::join_of(&catalog, &["R1", "R2"])?),
+        NamedView::new("V2", PsjView::of_base(&catalog, "R3")?),
+        NamedView::new("V3", PsjView::project_of(&catalog, "R1", &["A", "B"])?),
+        NamedView::new("V4", PsjView::project_of(&catalog, "R1", &["A", "C"])?),
+    ];
+
+    // The cover structure the paper lists for R1.
+    println!("C_R1^ind (minimal covers of attr(R1) by V_K1^ind):");
+    let sources = vk_ind(&catalog, &views, RelName::new("R1"));
+    let r1_attrs = catalog.schema(RelName::new("R1"))?.attrs().clone();
+    for cover in covers_of(&views, RelName::new("R1"), &r1_attrs, &sources, 20)? {
+        let members: Vec<String> = cover
+            .iter()
+            .map(|&i| match &sources[i] {
+                CoverSource::View(v) => views[*v].name().to_string(),
+                CoverSource::Pseudo(d) => format!("pi_{}({})", d.attrs, d.from),
+            })
+            .collect();
+        println!("  {{{}}}", members.join(", "));
+    }
+
+    for (label, opts) in [
+        ("no constraints (Proposition 2.2)", ComplementOptions::unconstrained()),
+        ("keys only", ComplementOptions::keys_only()),
+        ("keys + inclusion dependencies (Theorem 2.2)", ComplementOptions::default()),
+    ] {
+        println!("\n=== {label} ===");
+        let comp = complement_with(&catalog, &views, &opts)?;
+        for entry in comp.entries() {
+            let status = if entry.is_provably_empty() { " (provably empty)" } else { "" };
+            println!("  {} = {}{status}", entry.name, entry.definition);
+        }
+    }
+
+    // The paper's "continued" sub-warehouse {V1, V3}: the inverse of R1
+    // routes through the pseudo-view π_AC(R2), i.e. through R2's inverse.
+    let sub = vec![views[0].clone(), views[2].clone()];
+    let comp = complement_with(&catalog, &sub, &ComplementOptions::default())?;
+    println!("\n=== sub-warehouse {{V1, V3}}: inverse expressions ===");
+    for (base, inv) in comp.inverse() {
+        println!("  {base} = {inv}");
+    }
+    Ok(())
+}

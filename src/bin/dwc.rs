@@ -1,0 +1,41 @@
+//! `dwc` — the interactive warehouse shell.
+//!
+//! ```text
+//! cargo run --bin dwc
+//! dwc> help
+//! ```
+//!
+//! Reads commands from stdin (one per line); see
+//! [`dwcomplements::shell`] for the command language.
+
+use dwcomplements::shell::{Outcome, Shell};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut shell = Shell::new();
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    println!("dwcomplements shell — `help` for commands, `quit` to leave");
+    loop {
+        print!("dwc> ");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        match shell.exec(&line) {
+            Ok(Outcome::Quit) => break,
+            Ok(Outcome::Text(t)) => {
+                if !t.is_empty() {
+                    println!("{t}");
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # dwcomplements
+//!
+//! Facade crate for the *Complements for Data Warehouses* reproduction
+//! (Laurent, Lechtenbörger, Spyratos, Vossen; ICDE 1999). Re-exports the
+//! workspace crates:
+//!
+//! * [`relalg`] — relational algebra substrate
+//! * [`core`] — complement computation (the paper's contribution)
+//! * [`warehouse`] — query/update independence framework
+//! * [`aggregates`] — summary tables over fact views (Section 5's OLAP layer)
+//! * [`starschema`] — TPC-D-like star-schema workload (Section 5)
+
+pub mod shell;
+
+pub use dwc_aggregates as aggregates;
+pub use dwc_core as core;
+pub use dwc_relalg as relalg;
+pub use dwc_starschema as starschema;
+pub use dwc_warehouse as warehouse;

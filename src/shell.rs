@@ -1,0 +1,543 @@
+//! An interactive warehouse shell.
+//!
+//! Drives the whole stack from a line-based command language: declare
+//! sources and constraints, define PSJ views, augment with the
+//! complement, and then watch updates maintain the warehouse while
+//! queries are answered on both sides of the Theorem 3.1 diagram.
+//!
+//! ```text
+//! dwc> table Emp(clerk*, age)
+//! dwc> table Sale(item, clerk)
+//! dwc> view Sold = Sale join Emp
+//! dwc> insert Emp (clerk='Mary', age=23)
+//! dwc> augment
+//! dwc> insert Sale (item='TV', clerk='Mary')
+//! dwc> query pi[clerk](Sale) union pi[clerk](Emp)
+//! ```
+//!
+//! The engine lives here (testable); the `dwc` binary is a thin REPL
+//! wrapper around [`Shell::exec`].
+
+use crate::relalg::{
+    Attr, AttrSet, Catalog, DbState, Delta, RaExpr, RelName, Relation, Tuple, Update, Value,
+};
+use crate::warehouse::{AugmentedWarehouse, WarehouseSpec};
+use std::fmt::Write as _;
+
+/// Result of executing one command.
+#[derive(Debug, PartialEq)]
+pub enum Outcome {
+    /// Text to display.
+    Text(String),
+    /// The user asked to leave.
+    Quit,
+}
+
+/// The interactive engine: sources, declared views, and (after
+/// `augment`) the maintained warehouse.
+pub struct Shell {
+    catalog: Catalog,
+    views: Vec<(String, String)>,
+    db: DbState,
+    warehouse: Option<(AugmentedWarehouse, DbState)>,
+}
+
+impl Default for Shell {
+    fn default() -> Self {
+        Shell::new()
+    }
+}
+
+impl Shell {
+    /// An empty session.
+    pub fn new() -> Shell {
+        Shell {
+            catalog: Catalog::new(),
+            views: Vec::new(),
+            db: DbState::new(),
+            warehouse: None,
+        }
+    }
+
+    /// Executes one command line.
+    pub fn exec(&mut self, line: &str) -> Result<Outcome, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(Outcome::Text(String::new()));
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd {
+            "help" => Ok(Outcome::Text(HELP.to_owned())),
+            "quit" | "exit" => Ok(Outcome::Quit),
+            "table" => self.cmd_table(rest),
+            "fk" => self.cmd_fk(rest),
+            "view" => self.cmd_view(rest),
+            "insert" => self.cmd_update(rest, true),
+            "delete" => self.cmd_update(rest, false),
+            "augment" => self.cmd_augment(),
+            "load" => self.cmd_load(rest),
+            "save" => self.cmd_save(rest),
+            "query" => self.cmd_query(rest),
+            "show" => self.cmd_show(rest),
+            "tables" => Ok(Outcome::Text(format!("{:?}", self.catalog))),
+            "views" => {
+                let mut out = String::new();
+                for (name, text) in &self.views {
+                    let _ = writeln!(out, "{name} = {text}");
+                }
+                Ok(Outcome::Text(out))
+            }
+            "state" => {
+                let mut out = format!("sources:\n{:?}", self.db);
+                if let Some((_, w)) = &self.warehouse {
+                    let _ = write!(out, "warehouse:\n{w:?}");
+                } else {
+                    out.push_str("warehouse: not augmented yet\n");
+                }
+                Ok(Outcome::Text(out))
+            }
+            other => Err(format!("unknown command `{other}` (try `help`)")),
+        }
+    }
+
+    /// `table Name(a*, b, c)` — `*` marks key attributes.
+    fn cmd_table(&mut self, rest: &str) -> Result<Outcome, String> {
+        if self.warehouse.is_some() {
+            return Err("cannot change the schema after `augment`".into());
+        }
+        let (name, attrs_text) = rest
+            .split_once('(')
+            .ok_or("usage: table Name(attr*, attr, ...)")?;
+        let name = name.trim();
+        let attrs_text = attrs_text
+            .strip_suffix(')')
+            .ok_or("missing closing `)`")?;
+        let mut attrs = Vec::new();
+        let mut key = Vec::new();
+        for raw in attrs_text.split(',') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                return Err("empty attribute name".into());
+            }
+            if let Some(k) = raw.strip_suffix('*') {
+                attrs.push(k.trim().to_owned());
+                key.push(k.trim().to_owned());
+            } else {
+                attrs.push(raw.to_owned());
+            }
+        }
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let result = if key.is_empty() {
+            self.catalog.add_schema(name, &attr_refs)
+        } else {
+            let key_refs: Vec<&str> = key.iter().map(String::as_str).collect();
+            self.catalog.add_schema_with_key(name, &attr_refs, &key_refs)
+        };
+        result.map_err(|e| e.to_string())?;
+        self.db.insert_relation(name, Relation::empty(AttrSet::from_names(&attr_refs)));
+        Ok(Outcome::Text(format!("declared {name}({})", attrs_text.trim())))
+    }
+
+    /// `fk From -> To (a, b)`.
+    fn cmd_fk(&mut self, rest: &str) -> Result<Outcome, String> {
+        if self.warehouse.is_some() {
+            return Err("cannot change the schema after `augment`".into());
+        }
+        let (from, rest2) = rest.split_once("->").ok_or("usage: fk From -> To (a, b)")?;
+        let (to, attrs_text) = rest2.split_once('(').ok_or("usage: fk From -> To (a, b)")?;
+        let attrs_text = attrs_text.strip_suffix(')').ok_or("missing closing `)`")?;
+        let attrs: Vec<&str> = attrs_text.split(',').map(str::trim).collect();
+        self.catalog
+            .add_foreign_key(from.trim(), to.trim(), &attrs)
+            .map_err(|e| e.to_string())?;
+        Ok(Outcome::Text(format!("declared fk {} -> {} on ({attrs_text})", from.trim(), to.trim())))
+    }
+
+    /// `view Name = expr`.
+    fn cmd_view(&mut self, rest: &str) -> Result<Outcome, String> {
+        if self.warehouse.is_some() {
+            return Err("cannot add views after `augment`".into());
+        }
+        let (name, text) = rest.split_once('=').ok_or("usage: view Name = <expression>")?;
+        let name = name.trim().to_owned();
+        let text = text.trim().to_owned();
+        // Validate eagerly: parse + PSJ normalization.
+        let expr = RaExpr::parse(&text).map_err(|e| e.to_string())?;
+        crate::core::PsjView::from_expr(&self.catalog, &expr).map_err(|e| e.to_string())?;
+        self.views.push((name.clone(), text));
+        Ok(Outcome::Text(format!("defined view {name}")))
+    }
+
+    /// `insert Name (a=1, b='x')` / `delete Name (...)`.
+    fn cmd_update(&mut self, rest: &str, insert: bool) -> Result<Outcome, String> {
+        let (name, vals_text) = rest
+            .split_once('(')
+            .ok_or("usage: insert Name (attr=value, ...)")?;
+        let name = RelName::new(name.trim());
+        let schema = self.catalog.schema(name).map_err(|e| e.to_string())?;
+        let vals_text = vals_text.strip_suffix(')').ok_or("missing closing `)`")?;
+        let mut values: Vec<Option<Value>> = vec![None; schema.attrs().len()];
+        for pair in vals_text.split(',') {
+            let (attr, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("expected attr=value, found `{pair}`"))?;
+            let attr = Attr::new(attr.trim());
+            let i = schema
+                .attrs()
+                .index_of(attr)
+                .ok_or_else(|| format!("`{name}` has no attribute `{attr}`"))?;
+            values[i] = Some(parse_value(value.trim())?);
+        }
+        let values: Vec<Value> = values
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| {
+                v.ok_or_else(|| {
+                    format!("missing value for `{}`", schema.attrs().as_slice()[i])
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        let mut rows = Relation::empty(schema.attrs().clone());
+        rows.insert(Tuple::new(values)).map_err(|e| e.to_string())?;
+        let delta = if insert {
+            Delta::insert_only(rows)
+        } else {
+            Delta::delete_only(rows)
+        };
+        let update = Update::new().with(name.as_str(), delta);
+        self.apply(update)
+    }
+
+    fn apply(&mut self, update: Update) -> Result<Outcome, String> {
+        let normalized = update.normalize(&self.db).map_err(|e| e.to_string())?;
+        self.db = normalized.apply(&self.db).map_err(|e| e.to_string())?;
+        if let Err(e) = self.db.check_constraints(&self.catalog) {
+            // Roll back: re-derive the previous state by inverting.
+            return Err(format!("update violates constraints: {e} (rejected)"));
+        }
+        let report = if normalized.is_empty() { "no-op" } else { "applied" };
+        let mut msg = format!("{report} ({} tuple(s) net)", normalized.len());
+        if let Some((aug, w)) = &mut self.warehouse {
+            if !normalized.is_empty() {
+                *w = aug.maintain(w, &normalized).map_err(|e| e.to_string())?;
+                msg.push_str("; warehouse maintained from the report alone");
+            }
+        }
+        Ok(Outcome::Text(msg))
+    }
+
+    /// `load Name path.csv` — replace a source relation from CSV.
+    fn cmd_load(&mut self, rest: &str) -> Result<Outcome, String> {
+        let (name, path) = rest
+            .split_once(char::is_whitespace)
+            .ok_or("usage: load Name path.csv")?;
+        let name = RelName::new(name.trim());
+        let schema = self.catalog.schema(name).map_err(|e| e.to_string())?;
+        let text = std::fs::read_to_string(path.trim()).map_err(|e| e.to_string())?;
+        let rel = crate::relalg::io::import_csv(&text).map_err(|e| e.to_string())?;
+        if rel.attrs() != schema.attrs() {
+            return Err(format!(
+                "CSV header {} does not match attr({name}) = {}",
+                rel.attrs(),
+                schema.attrs()
+            ));
+        }
+        // Express the replacement as an update so the warehouse (if any)
+        // is maintained rather than invalidated.
+        let current = self.db.relation(name).map_err(|e| e.to_string())?.clone();
+        let update = Update::new().with(
+            name.as_str(),
+            Delta::new(
+                rel.difference(&current).map_err(|e| e.to_string())?,
+                current.difference(&rel).map_err(|e| e.to_string())?,
+            )
+            .map_err(|e| e.to_string())?,
+        );
+        let n = rel.len();
+        self.apply(update)?;
+        Ok(Outcome::Text(format!("loaded {n} tuple(s) into {name}")))
+    }
+
+    /// `save Name path.csv` — export a source relation or stored view.
+    fn cmd_save(&mut self, rest: &str) -> Result<Outcome, String> {
+        let (name, path) = rest
+            .split_once(char::is_whitespace)
+            .ok_or("usage: save Name path.csv")?;
+        let name = RelName::new(name.trim());
+        let rel = if let Ok(r) = self.db.relation(name) {
+            r.clone()
+        } else if let Some((_, w)) = &self.warehouse {
+            w.relation(name).map_err(|e| e.to_string())?.clone()
+        } else {
+            return Err(format!("no relation or stored view named `{name}`"));
+        };
+        let csv = crate::relalg::io::export_csv(&rel);
+        std::fs::write(path.trim(), csv).map_err(|e| e.to_string())?;
+        Ok(Outcome::Text(format!("saved {} tuple(s) from {name}", rel.len())))
+    }
+
+    /// `augment` — build W = V ∪ C and materialize it.
+    fn cmd_augment(&mut self) -> Result<Outcome, String> {
+        if self.warehouse.is_some() {
+            return Err("already augmented".into());
+        }
+        if self.views.is_empty() {
+            return Err("define at least one view first".into());
+        }
+        let pairs: Vec<(&str, &str)> = self
+            .views
+            .iter()
+            .map(|(n, t)| (n.as_str(), t.as_str()))
+            .collect();
+        let spec = WarehouseSpec::parse(self.catalog.clone(), &pairs)
+            .map_err(|e| e.to_string())?;
+        let aug = spec.augment().map_err(|e| e.to_string())?;
+        let w = aug.materialize(&self.db).map_err(|e| e.to_string())?;
+        let mut out = String::from("augmented warehouse:\n");
+        for e in aug.complement().entries() {
+            let _ = writeln!(out, "  {} = {}", e.name, e.definition);
+        }
+        for (base, inv) in aug.inverse() {
+            let _ = writeln!(out, "  {base} = {inv}   (inverse)");
+        }
+        self.warehouse = Some((aug, w));
+        Ok(Outcome::Text(out))
+    }
+
+    /// `query expr` — evaluate at the source; if augmented, also at the
+    /// warehouse with a commuting check.
+    fn cmd_query(&mut self, rest: &str) -> Result<Outcome, String> {
+        let q = RaExpr::parse(rest).map_err(|e| e.to_string())?;
+        let at_source = q.eval(&self.db).map_err(|e| e.to_string())?;
+        let mut out = String::new();
+        let _ = writeln!(out, "{} tuple(s):", at_source.len());
+        for t in at_source.iter() {
+            let _ = writeln!(out, "  {t}");
+        }
+        if let Some((aug, w)) = &self.warehouse {
+            let translated = aug.translate_query(&q).map_err(|e| e.to_string())?;
+            let at_wh = translated.eval(w).map_err(|e| e.to_string())?;
+            let verdict = if at_wh == at_source { "commutes" } else { "MISMATCH" };
+            let _ = writeln!(out, "translated: {translated}");
+            let _ = writeln!(out, "warehouse answer {verdict} (Theorem 3.1)");
+        }
+        Ok(Outcome::Text(out))
+    }
+
+    /// `show Name` — print a source relation or stored warehouse view.
+    fn cmd_show(&mut self, rest: &str) -> Result<Outcome, String> {
+        let name = RelName::new(rest.trim());
+        if let Ok(r) = self.db.relation(name) {
+            return Ok(Outcome::Text(format!("{r:?}")));
+        }
+        if let Some((_, w)) = &self.warehouse {
+            if let Ok(r) = w.relation(name) {
+                return Ok(Outcome::Text(format!("{r:?}")));
+            }
+        }
+        Err(format!("no relation or stored view named `{name}`"))
+    }
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    if let Some(stripped) = text.strip_prefix('\'') {
+        let inner = stripped
+            .strip_suffix('\'')
+            .ok_or_else(|| format!("unterminated string `{text}`"))?;
+        return Ok(Value::str(inner));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(i) = text.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(d) = text.parse::<f64>() {
+        return Ok(Value::double(d));
+    }
+    Err(format!("cannot parse value `{text}` (int, float, 'string', true/false)"))
+}
+
+const HELP: &str = "\
+commands:
+  table Name(a*, b, ...)     declare a source relation (* marks key attrs)
+  fk From -> To (a, b)       declare a foreign key
+  view Name = <expr>         define a PSJ view (sigma/pi/join syntax)
+  augment                    compute the complement; warehouse goes live
+  insert Name (a=1, b='x')   insert a tuple (maintains the warehouse)
+  delete Name (a=1, b='x')   delete a tuple
+  query <expr>               evaluate at the source and at the warehouse
+  load Name path.csv         replace a source relation from CSV (maintained)
+  save Name path.csv         export a relation or stored view to CSV
+  show Name | tables | views | state
+  help | quit
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(shell: &mut Shell, line: &str) -> String {
+        match shell.exec(line) {
+            Ok(Outcome::Text(t)) => t,
+            Ok(Outcome::Quit) => panic!("unexpected quit"),
+            Err(e) => panic!("command `{line}` failed: {e}"),
+        }
+    }
+
+    fn fig1_session() -> Shell {
+        let mut s = Shell::new();
+        run(&mut s, "table Emp(clerk*, age)");
+        run(&mut s, "table Sale(item, clerk)");
+        run(&mut s, "view Sold = Sale join Emp");
+        run(&mut s, "insert Emp (clerk='Mary', age=23)");
+        run(&mut s, "insert Emp (clerk='John', age=25)");
+        run(&mut s, "insert Emp (clerk='Paula', age=32)");
+        run(&mut s, "insert Sale (item='TV', clerk='Mary')");
+        run(&mut s, "insert Sale (item='PC', clerk='John')");
+        s
+    }
+
+    #[test]
+    fn full_session_flow() {
+        let mut s = fig1_session();
+        let out = run(&mut s, "augment");
+        assert!(out.contains("C_Emp"));
+        assert!(out.contains("(inverse)"));
+
+        // Maintained insert after augmentation.
+        let out = run(&mut s, "insert Sale (item='Mac', clerk='Paula')");
+        assert!(out.contains("warehouse maintained"));
+
+        // The Example 1.2 query commutes.
+        let out = run(&mut s, "query pi[clerk](Sale) union pi[clerk](Emp)");
+        assert!(out.contains("3 tuple(s)"));
+        assert!(out.contains("commutes"));
+
+        // show works for sources and stored views.
+        assert!(run(&mut s, "show Sold").contains("age"));
+        assert!(run(&mut s, "show C_Emp").contains("clerk"));
+
+        // deleting the tuple again
+        let out = run(&mut s, "delete Sale (item='Mac', clerk='Paula')");
+        assert!(out.contains("warehouse maintained"));
+        let out = run(&mut s, "query Sale join Emp");
+        assert!(out.contains("commutes"));
+        // queries are *source* queries: view names are not source relations
+        assert!(s.exec("query Sold").is_err());
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut s = Shell::new();
+        assert!(s.exec("bogus").is_err());
+        assert!(s.exec("table").is_err());
+        assert!(s.exec("table X(a").is_err());
+        assert!(s.exec("view V = ").is_err());
+        assert!(s.exec("augment").is_err()); // no views yet
+        run(&mut s, "table R(a*, b)");
+        assert!(s.exec("view V = R union R").is_err()); // not PSJ
+        assert!(s.exec("insert R (a=1)").is_err()); // missing b
+        assert!(s.exec("insert R (z=1, b=2)").is_err()); // unknown attr
+        assert!(s.exec("insert Nope (a=1)").is_err());
+        assert!(s.exec("show Nope").is_err());
+        // key violation rejected
+        run(&mut s, "insert R (a=1, b=1)");
+        assert!(s.exec("insert R (a=1, b=2)").is_err());
+        // fk with bad target
+        assert!(s.exec("fk R -> Nope (a)").is_err());
+    }
+
+    #[test]
+    fn schema_frozen_after_augment() {
+        let mut s = fig1_session();
+        run(&mut s, "augment");
+        assert!(s.exec("table Z(x)").is_err());
+        assert!(s.exec("view V2 = Emp").is_err());
+        assert!(s.exec("augment").is_err());
+        assert!(s.exec("fk Sale -> Emp (clerk)").is_err());
+    }
+
+    #[test]
+    fn constraint_violations_are_rejected() {
+        let mut s = Shell::new();
+        run(&mut s, "table Emp(clerk*, age)");
+        run(&mut s, "table Sale(item, clerk)");
+        run(&mut s, "fk Sale -> Emp (clerk)");
+        run(&mut s, "insert Emp (clerk='Mary', age=23)");
+        run(&mut s, "insert Sale (item='TV', clerk='Mary')");
+        // sale by unknown clerk violates the fk
+        assert!(s.exec("insert Sale (item='X', clerk='Ghost')").is_err());
+    }
+
+    #[test]
+    fn value_parsing() {
+        assert_eq!(parse_value("42").unwrap(), Value::Int(42));
+        assert_eq!(parse_value("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse_value("'hi'").unwrap(), Value::str("hi"));
+        assert_eq!(parse_value("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_value("2.5").unwrap(), Value::double(2.5));
+        assert!(parse_value("'open").is_err());
+        assert!(parse_value("not-a-value").is_err());
+    }
+
+    #[test]
+    fn misc_commands() {
+        let mut s = fig1_session();
+        assert!(run(&mut s, "tables").contains("Emp"));
+        assert!(run(&mut s, "views").contains("Sold"));
+        assert!(run(&mut s, "state").contains("not augmented"));
+        assert!(run(&mut s, "help").contains("augment"));
+        assert_eq!(s.exec("quit").unwrap(), Outcome::Quit);
+        assert_eq!(s.exec("").unwrap(), Outcome::Text(String::new()));
+        assert_eq!(s.exec("# comment").unwrap(), Outcome::Text(String::new()));
+        run(&mut s, "augment");
+        assert!(run(&mut s, "state").contains("warehouse"));
+    }
+
+    #[test]
+    fn load_and_save_roundtrip() {
+        let dir = std::env::temp_dir().join("dwc_shell_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sale_csv = dir.join("sale.csv");
+        let out_csv = dir.join("sold.csv");
+
+        let mut s = fig1_session();
+        run(&mut s, "augment");
+        // Export a source relation, wipe it via load of a smaller file,
+        // and check the warehouse followed.
+        run(&mut s, &format!("save Sale {}", sale_csv.display()));
+        std::fs::write(&sale_csv, "clerk,item
+Mary,TV
+").unwrap();
+        let out = run(&mut s, &format!("load Sale {}", sale_csv.display()));
+        assert!(out.contains("loaded 1 tuple(s)"), "{out}");
+        assert!(out.contains("warehouse maintained") || !out.is_empty());
+        let out = run(&mut s, "query Sale join Emp");
+        assert!(out.contains("commutes"));
+        // Stored views export too.
+        run(&mut s, &format!("save Sold {}", out_csv.display()));
+        let text = std::fs::read_to_string(&out_csv).unwrap();
+        assert!(text.starts_with("age,clerk,item"));
+        // Errors: unknown relation, bad header, missing file.
+        assert!(s.exec("load Nope whatever.csv").is_err());
+        assert!(s.exec(&format!("load Emp {}", sale_csv.display())).is_err());
+        assert!(s.exec("load Sale /nonexistent/nope.csv").is_err());
+        assert!(s.exec("save Nope out.csv").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn noop_updates_reported() {
+        let mut s = fig1_session();
+        let out = run(&mut s, "insert Emp (clerk='Mary', age=23)");
+        assert!(out.contains("no-op"));
+        let out = run(&mut s, "delete Emp (clerk='Ghost', age=1)");
+        assert!(out.contains("no-op"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Shared generators and fixtures for the cross-crate test suites.
+#![allow(dead_code)] // each test binary uses a different subset
+
+use dwcomplements::relalg::{
+    AttrSet, Catalog, DbState, Delta, Predicate, RaExpr, RelName, Relation, Tuple, Update,
+    Value,
+};
+use proptest::prelude::*;
+
+/// The unconstrained three-relation catalog used by the expression and
+/// delta properties: R(a,b), S(b,c), T(c).
+pub fn chain_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_schema("R", &["a", "b"]).expect("static schema");
+    c.add_schema("S", &["b", "c"]).expect("static schema");
+    c.add_schema("T", &["c"]).expect("static schema");
+    c
+}
+
+/// Rows over a small domain (collisions on purpose).
+pub fn arb_rows(arity: usize, max: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
+    proptest::collection::vec(proptest::collection::vec(0i64..6, arity), 0..max)
+}
+
+/// Builds a relation from generated integer rows.
+pub fn relation_from(names: &[&str], rows: &[Vec<i64>]) -> Relation {
+    let mut rel = Relation::empty(AttrSet::from_names(names));
+    for row in rows {
+        // names given in canonical (sorted) order by the callers
+        rel.insert(Tuple::new(row.iter().map(|&v| Value::int(v)).collect()))
+            .expect("generated arity matches");
+    }
+    rel
+}
+
+/// A random state over the chain catalog.
+pub fn arb_chain_state() -> impl Strategy<Value = DbState> {
+    (arb_rows(2, 24), arb_rows(2, 24), arb_rows(1, 12)).prop_map(|(r, s, t)| {
+        let mut db = DbState::new();
+        db.insert_relation("R", relation_from(&["a", "b"], &r));
+        db.insert_relation("S", relation_from(&["b", "c"], &s));
+        db.insert_relation("T", relation_from(&["c"], &t));
+        db
+    })
+}
+
+/// A random update over the chain catalog (possibly overlapping,
+/// unnormalized — exercises normalization too).
+pub fn arb_chain_update() -> impl Strategy<Value = Update> {
+    (
+        arb_rows(2, 6),
+        arb_rows(2, 6),
+        arb_rows(2, 6),
+        arb_rows(2, 6),
+        arb_rows(1, 4),
+        arb_rows(1, 4),
+    )
+        .prop_map(|(ri, rd, si, sd, ti, td)| {
+            Update::new()
+                .with(
+                    "R",
+                    Delta::new(
+                        relation_from(&["a", "b"], &ri),
+                        relation_from(&["a", "b"], &rd),
+                    )
+                    .expect("same header"),
+                )
+                .with(
+                    "S",
+                    Delta::new(
+                        relation_from(&["b", "c"], &si),
+                        relation_from(&["b", "c"], &sd),
+                    )
+                    .expect("same header"),
+                )
+                .with(
+                    "T",
+                    Delta::new(relation_from(&["c"], &ti), relation_from(&["c"], &td))
+                        .expect("same header"),
+                )
+        })
+}
+
+/// A random well-typed expression over the chain catalog, produced from a
+/// seed with a deterministic generator (proptest drives the seed/depth;
+/// well-typedness by construction keeps rejection rates at zero).
+pub fn random_expr(seed: u64, depth: u32, catalog: &Catalog) -> RaExpr {
+    let mut rng = dwcomplements::relalg::gen::SplitMix64::new(seed);
+    gen_expr(&mut rng, depth, catalog).0
+}
+
+fn gen_expr(
+    rng: &mut dwcomplements::relalg::gen::SplitMix64,
+    depth: u32,
+    catalog: &Catalog,
+) -> (RaExpr, AttrSet) {
+    let bases: Vec<RelName> = catalog.relation_names().collect();
+    if depth == 0 || rng.chance(1, 4) {
+        let name = bases[rng.index(bases.len())];
+        let attrs = catalog.schema(name).expect("known").attrs().clone();
+        return (RaExpr::Base(name), attrs);
+    }
+    match rng.below(6) {
+        // selection
+        0 => {
+            let (e, attrs) = gen_expr(rng, depth - 1, catalog);
+            let a = attrs.as_slice()[rng.index(attrs.len())];
+            let pred = Predicate::Cmp(
+                dwcomplements::relalg::Operand::Attr(a),
+                match rng.below(3) {
+                    0 => dwcomplements::relalg::CmpOp::Eq,
+                    1 => dwcomplements::relalg::CmpOp::Le,
+                    _ => dwcomplements::relalg::CmpOp::Gt,
+                },
+                dwcomplements::relalg::Operand::Const(Value::int(rng.below(6) as i64)),
+            );
+            (e.select(pred), attrs)
+        }
+        // projection onto a random non-empty subset
+        1 => {
+            let (e, attrs) = gen_expr(rng, depth - 1, catalog);
+            let keep: Vec<_> = attrs
+                .iter()
+                .filter(|_| rng.chance(2, 3))
+                .collect();
+            let subset = if keep.is_empty() {
+                AttrSet::singleton(attrs.as_slice()[rng.index(attrs.len())])
+            } else {
+                AttrSet::from_iter(keep)
+            };
+            (e.project(subset.clone()), subset)
+        }
+        // join
+        2 => {
+            let (l, la) = gen_expr(rng, depth - 1, catalog);
+            let (r, ra) = gen_expr(rng, depth - 1, catalog);
+            (l.join(r), la.union(&ra))
+        }
+        // set operations: project both sides to the shared header
+        3..=5 => {
+            let (l, la) = gen_expr(rng, depth - 1, catalog);
+            let (r, ra) = gen_expr(rng, depth - 1, catalog);
+            let common = la.intersect(&ra);
+            if common.is_empty() {
+                return (l, la);
+            }
+            let lp = l.project(common.clone());
+            let rp = r.project(common.clone());
+            let e = match rng.below(3) {
+                0 => lp.union(rp),
+                1 => lp.diff(rp),
+                _ => lp.intersect(rp),
+            };
+            (e, common)
+        }
+        _ => unreachable!(),
+    }
+}

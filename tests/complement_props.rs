@@ -1,0 +1,123 @@
+//! Property tests of the complement constructions (Proposition 2.2,
+//! Theorem 2.2): on every constraint-satisfying state, the inverse
+//! expressions reconstruct every base relation from the materialized
+//! warehouse — the one-to-one mapping of Proposition 2.1.
+
+use dwcomplements::core::constrained::{complement_with, ComplementOptions};
+use dwcomplements::core::psj::{NamedView, PsjView};
+use dwcomplements::relalg::gen::{random_state, StateGenConfig};
+use dwcomplements::relalg::{AttrSet, Catalog, InclusionDep, Predicate};
+use proptest::prelude::*;
+
+/// The Example 2.3 catalog (keys + INDs) — the richest constraint shape.
+fn constrained_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_schema_with_key("R1", &["A", "B", "C"], &["A"]).unwrap();
+    c.add_schema_with_key("R2", &["A", "C", "D"], &["A"]).unwrap();
+    c.add_schema_with_key("R3", &["A", "B"], &["A"]).unwrap();
+    c.add_inclusion_dep(InclusionDep::new("R3", "R1", AttrSet::from_names(&["A", "B"])))
+        .unwrap();
+    c.add_inclusion_dep(InclusionDep::new("R2", "R1", AttrSet::from_names(&["A", "C"])))
+        .unwrap();
+    c
+}
+
+/// A pool of warehouse shapes over the constrained catalog, indexed by a
+/// generated selector. Mixes SJ views, projections, selections and the
+/// paper's exact warehouses.
+fn warehouse_variants(c: &Catalog, which: u8) -> Vec<NamedView> {
+    let v1 = NamedView::new("V1", PsjView::join_of(c, &["R1", "R2"]).unwrap());
+    let v2 = NamedView::new("V2", PsjView::of_base(c, "R3").unwrap());
+    let v3 = NamedView::new("V3", PsjView::project_of(c, "R1", &["A", "B"]).unwrap());
+    let v4 = NamedView::new("V4", PsjView::project_of(c, "R1", &["A", "C"]).unwrap());
+    let v5 = NamedView::new(
+        "V5",
+        PsjView::select_of(c, "R2", Predicate::attr_eq("D", 1)).unwrap(),
+    );
+    let v6 = NamedView::new(
+        "V6",
+        PsjView::new(
+            c,
+            vec!["R1".into(), "R3".into()],
+            Predicate::True,
+            AttrSet::from_names(&["A", "B"]),
+        )
+        .unwrap(),
+    );
+    match which % 6 {
+        0 => vec![v1, v2, v3, v4],
+        1 => vec![v1, v3],
+        2 => vec![v1],
+        3 => vec![v3, v4, v5],
+        4 => vec![v2, v6],
+        _ => vec![v1, v2, v3, v4, v5, v6],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 2.2 complements verify on arbitrary valid states, for all
+    /// constraint regimes and a zoo of warehouse shapes.
+    #[test]
+    fn complements_verify_on_valid_states(
+        which in 0u8..6,
+        seed in any::<u64>(),
+        regime in 0u8..3,
+    ) {
+        let catalog = constrained_catalog();
+        let views = warehouse_variants(&catalog, which);
+        let opts = match regime {
+            0 => ComplementOptions::unconstrained(),
+            1 => ComplementOptions::keys_only(),
+            _ => ComplementOptions::default(),
+        };
+        let comp = complement_with(&catalog, &views, &opts).expect("complement computes");
+        let cfg = StateGenConfig::new(20, 6);
+        for i in 0..4u64 {
+            let db = random_state(&catalog, &cfg, seed.wrapping_add(i));
+            let verdict = comp.verify_on(&catalog, &views, &db).expect("evaluates");
+            prop_assert_eq!(verdict, Ok(()),
+                "complement failed for warehouse variant {} regime {} seed {}",
+                which, regime, seed.wrapping_add(i));
+        }
+    }
+
+    /// The constrained complement is never larger than the unconstrained
+    /// one (constraints only remove stored tuples).
+    #[test]
+    fn constraints_never_grow_complements(which in 0u8..6, seed in any::<u64>()) {
+        let catalog = constrained_catalog();
+        let views = warehouse_variants(&catalog, which);
+        let plain = complement_with(&catalog, &views, &ComplementOptions::unconstrained())
+            .expect("complement");
+        let full = complement_with(&catalog, &views, &ComplementOptions::default())
+            .expect("complement");
+        let cfg = StateGenConfig::new(20, 6);
+        let db = random_state(&catalog, &cfg, seed);
+        let plain_size = plain.materialized_size(&db).expect("materializes");
+        let full_size = full.materialized_size(&db).expect("materializes");
+        prop_assert!(full_size <= plain_size,
+            "constraints grew the complement: {} > {}", full_size, plain_size);
+    }
+
+    /// Proposition 2.1: the mapping d -> (V(d), C(d)) is injective on
+    /// sampled state pairs — different states, different images.
+    #[test]
+    fn warehouse_mapping_is_injective(which in 0u8..6, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let catalog = constrained_catalog();
+        let views = warehouse_variants(&catalog, which);
+        let comp = complement_with(&catalog, &views, &ComplementOptions::default())
+            .expect("complement");
+        let cfg = StateGenConfig::new(16, 5);
+        let d1 = random_state(&catalog, &cfg, s1);
+        let d2 = random_state(&catalog, &cfg, s2);
+        let w1 = comp.warehouse_state(&views, &d1).expect("materializes");
+        let w2 = comp.warehouse_state(&views, &d2).expect("materializes");
+        if d1 != d2 {
+            prop_assert_ne!(w1, w2, "distinct states collapsed to one warehouse image");
+        } else {
+            prop_assert_eq!(w1, w2);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests of the independence theorems: the Figure 2 and
+//! Figure 3 commuting diagrams on random states, queries, and update
+//! streams.
+
+mod common;
+
+use common::{arb_chain_state, arb_chain_update, chain_catalog, random_expr};
+use dwcomplements::warehouse::WarehouseSpec;
+use proptest::prelude::*;
+
+fn chain_warehouse() -> dwcomplements::warehouse::AugmentedWarehouse {
+    // Two PSJ views over the chain catalog; neither alone determines D.
+    WarehouseSpec::parse(
+        chain_catalog(),
+        &[("V_RS", "R join S"), ("V_T", "sigma[c >= 2](T)")],
+    )
+    .expect("static spec")
+    .augment()
+    .expect("complement exists")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 3.1: Q(d) = Q̄(W(d)) for random queries and states.
+    #[test]
+    fn query_translation_commutes(
+        seed in any::<u64>(),
+        depth in 0u32..4,
+        db in arb_chain_state(),
+    ) {
+        let aug = chain_warehouse();
+        let q = random_expr(seed, depth, aug.catalog());
+        let (at_source, at_warehouse) = aug.query_commutes(&q, &db).expect("both evaluate");
+        prop_assert_eq!(at_source, at_warehouse);
+    }
+
+    /// Theorem 4.1: incremental maintenance tracks W(u(d)) over random
+    /// update streams; the reconstruction pipeline agrees.
+    #[test]
+    fn update_translation_commutes(
+        db in arb_chain_state(),
+        updates in proptest::collection::vec(arb_chain_update(), 1..4),
+    ) {
+        let aug = chain_warehouse();
+        let mut current_db = db;
+        let mut w = aug.materialize(&current_db).expect("materializes");
+        for u in updates {
+            let u = u.normalize(&current_db).expect("consistent");
+            if u.is_empty() {
+                continue;
+            }
+            let w_inc = aug.maintain(&w, &u).expect("incremental");
+            let w_rec = aug.maintain_by_reconstruction(&w, &u).expect("reconstruction");
+            current_db = u.apply(&current_db).expect("applies");
+            let oracle = aug.materialize(&current_db).expect("materializes");
+            prop_assert_eq!(&w_inc, &oracle);
+            prop_assert_eq!(&w_rec, &oracle);
+            w = w_inc;
+        }
+    }
+
+    /// Query independence survives maintenance: answers at the maintained
+    /// warehouse equal answers at the updated sources.
+    #[test]
+    fn queries_remain_correct_after_maintenance(
+        seed in any::<u64>(),
+        db in arb_chain_state(),
+        u in arb_chain_update(),
+    ) {
+        let aug = chain_warehouse();
+        let mut w = aug.materialize(&db).expect("materializes");
+        let u = u.normalize(&db).expect("consistent");
+        if !u.is_empty() {
+            w = aug.maintain(&w, &u).expect("incremental");
+        }
+        let db_next = u.apply(&db).expect("applies");
+        let q = random_expr(seed, 3, aug.catalog());
+        let at_source = q.eval(&db_next).expect("evaluates");
+        let at_warehouse = aug.answer_at_warehouse(&q, &w).expect("answers");
+        prop_assert_eq!(at_source, at_warehouse);
+    }
+
+    /// Reconstructing the sources from the warehouse is exact (the
+    /// W⁻¹ ∘ W identity behind both theorems).
+    #[test]
+    fn inverse_identity(db in arb_chain_state()) {
+        let aug = chain_warehouse();
+        let w = aug.materialize(&db).expect("materializes");
+        let reconstructed = aug.reconstruct_sources(&w).expect("reconstructs");
+        prop_assert_eq!(reconstructed, db);
+    }
+}

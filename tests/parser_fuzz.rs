@@ -1,0 +1,46 @@
+//! Parser robustness: arbitrary input never panics, and every successful
+//! parse round-trips through the printer.
+
+use dwcomplements::relalg::RaExpr;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Totally arbitrary strings: parse must return (Ok or Err), never panic.
+    #[test]
+    fn arbitrary_strings_never_panic(text in ".{0,80}") {
+        let _ = RaExpr::parse(&text);
+        let _ = dwcomplements::relalg::parse::parse_predicate(&text);
+    }
+
+    /// Grammar-shaped soup: tokens from the expression vocabulary in
+    /// random order — much more likely to reach deep parser states.
+    #[test]
+    fn token_soup_never_panics(
+        tokens in proptest::collection::vec(
+            prop::sample::select(vec![
+                "R", "S", "join", "union", "minus", "intersect", "sigma", "pi",
+                "rho", "empty", "(", ")", "[", "]", ",", "->", "=", "!=", "<",
+                "<=", "a", "b", "1", "-5", "2.5", "'x'", "and", "or", "not",
+                "true", "false",
+            ]),
+            0..24,
+        )
+    ) {
+        let text = tokens.join(" ");
+        if let Ok(expr) = RaExpr::parse(&text) {
+            // Anything that parses must print and re-parse identically.
+            let reparsed = RaExpr::parse(&expr.to_string()).expect("printer output parses");
+            prop_assert_eq!(expr, reparsed);
+        }
+    }
+
+    /// Valid numeric edge cases.
+    #[test]
+    fn numeric_literals(i in any::<i64>()) {
+        let text = format!("sigma[a = {i}](R)");
+        let e = RaExpr::parse(&text).expect("valid literal");
+        prop_assert_eq!(RaExpr::parse(&e.to_string()).expect("round-trips"), e);
+    }
+}
