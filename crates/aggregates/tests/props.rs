@@ -3,13 +3,16 @@
 
 use dwc_aggregates::{AggFunc, SummarySpec, SummaryState};
 use dwc_relalg::{Attr, AttrSet, Relation, Tuple, Value};
-use proptest::prelude::*;
+use dwc_testkit::prop::Runner;
+use dwc_testkit::{tk_ensure, tk_ensure_eq, SplitMix64};
 
 const ATTRS: [&str; 3] = ["g", "h", "v"];
 
 fn header() -> AttrSet {
     AttrSet::from_names(&ATTRS)
 }
+
+type Rows = Vec<(i64, i64, i64)>;
 
 fn relation_from(rows: &[(i64, i64, i64)]) -> Relation {
     let mut r = Relation::empty(header());
@@ -20,96 +23,131 @@ fn relation_from(rows: &[(i64, i64, i64)]) -> Relation {
     r
 }
 
-fn arb_rows(max: usize) -> impl Strategy<Value = Vec<(i64, i64, i64)>> {
-    proptest::collection::vec((0i64..4, 0i64..4, -5i64..10), 0..max)
+fn gen_rows(rng: &mut SplitMix64, max: usize) -> Rows {
+    let n = rng.index(max);
+    (0..n)
+        .map(|_| (rng.i64_in(0, 4), rng.i64_in(0, 4), rng.i64_in(-5, 10)))
+        .collect()
+}
+
+/// The shrinkable wire format of a spec: group-by selector plus three
+/// aggregate toggles.
+type SpecRaw = (u8, bool, bool, bool);
+
+fn gen_spec(rng: &mut SplitMix64) -> SpecRaw {
+    (rng.below(4) as u8, rng.bool(), rng.bool(), rng.bool())
 }
 
 /// A random spec: group by a subset of {g, h}, aggregate v (and count).
-fn arb_spec() -> impl Strategy<Value = SummarySpec> {
-    (0u8..4, proptest::bool::ANY, proptest::bool::ANY, proptest::bool::ANY).prop_map(
-        |(group_sel, with_sum, with_min, with_max)| {
-            let group: Vec<&str> = match group_sel {
-                0 => vec![],
-                1 => vec!["g"],
-                2 => vec!["h"],
-                _ => vec!["g", "h"],
-            };
-            let mut cols: Vec<(&str, AggFunc)> = vec![("n", AggFunc::Count)];
-            if with_sum {
-                cols.push(("s", AggFunc::Sum(Attr::new("v"))));
-            }
-            if with_min {
-                cols.push(("lo", AggFunc::Min(Attr::new("v"))));
-            }
-            if with_max {
-                cols.push(("hi", AggFunc::Max(Attr::new("v"))));
-            }
-            SummarySpec::new("S", "F", &header(), &group, cols).expect("valid spec")
-        },
-    )
+fn spec_from((group_sel, with_sum, with_min, with_max): SpecRaw) -> SummarySpec {
+    let group: Vec<&str> = match group_sel % 4 {
+        0 => vec![],
+        1 => vec!["g"],
+        2 => vec!["h"],
+        _ => vec!["g", "h"],
+    };
+    let mut cols: Vec<(&str, AggFunc)> = vec![("n", AggFunc::Count)];
+    if with_sum {
+        cols.push(("s", AggFunc::Sum(Attr::new("v"))));
+    }
+    if with_min {
+        cols.push(("lo", AggFunc::Min(Attr::new("v"))));
+    }
+    if with_max {
+        cols.push(("hi", AggFunc::Max(Attr::new("v"))));
+    }
+    SummarySpec::new("S", "F", &header(), &group, cols).expect("valid spec")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// init(source).relation() == materialize(source).
-    #[test]
-    fn init_equals_materialize(spec in arb_spec(), rows in arb_rows(30)) {
-        let source = relation_from(&rows);
-        let state = SummaryState::init(spec.clone(), &source).expect("initializes");
-        prop_assert_eq!(
-            state.relation(),
-            SummaryState::materialize(&spec, &source).expect("materializes")
-        );
-    }
-
-    /// A stream of random net deltas keeps the incremental state equal to
-    /// recomputation at every step.
-    #[test]
-    fn stream_of_net_deltas_stays_exact(
-        spec in arb_spec(),
-        initial in arb_rows(20),
-        steps in proptest::collection::vec((arb_rows(5), proptest::collection::vec(any::<prop::sample::Index>(), 0..4)), 1..8),
-    ) {
-        let mut source = relation_from(&initial);
-        let mut state = SummaryState::init(spec.clone(), &source).expect("initializes");
-        for (ins_rows, del_picks) in steps {
-            // net insertions: rows not already present
-            let ins = relation_from(&ins_rows)
-                .difference(&source)
-                .expect("same header");
-            // net deletions: picked from the current source
-            let current: Vec<Tuple> = source.iter().cloned().collect();
-            let mut del = Relation::empty(header());
-            for pick in &del_picks {
-                if !current.is_empty() {
-                    del.insert(pick.get(&current).clone()).expect("arity");
-                }
-            }
-            // a tuple cannot be deleted and inserted in the same net delta
-            let ins = ins.difference(&del).expect("same header");
-            state.apply_delta(&ins, &del).expect("maintains");
-            source = source.difference(&del).expect("ok").union(&ins).expect("ok");
-            prop_assert_eq!(
+/// init(source).relation() == materialize(source).
+#[test]
+fn init_equals_materialize() {
+    Runner::new("init_equals_materialize").cases(128).run(
+        |rng| (gen_spec(rng), gen_rows(rng, 30)),
+        |(spec_raw, rows)| {
+            let spec = spec_from(*spec_raw);
+            let source = relation_from(rows);
+            let state = SummaryState::init(spec.clone(), &source).expect("initializes");
+            tk_ensure_eq!(
                 state.relation(),
                 SummaryState::materialize(&spec, &source).expect("materializes")
             );
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Deleting everything empties the summary; re-inserting restores it.
-    #[test]
-    fn drain_and_refill(spec in arb_spec(), rows in arb_rows(20)) {
-        let source = relation_from(&rows);
-        let mut state = SummaryState::init(spec.clone(), &source).expect("initializes");
-        let empty = Relation::empty(header());
-        state.apply_delta(&empty, &source).expect("drains");
-        prop_assert_eq!(state.group_count(), 0);
-        prop_assert!(state.relation().is_empty());
-        state.apply_delta(&source, &empty).expect("refills");
-        prop_assert_eq!(
-            state.relation(),
-            SummaryState::materialize(&spec, &source).expect("materializes")
-        );
-    }
+/// A stream of random net deltas keeps the incremental state equal to
+/// recomputation at every step.
+#[test]
+fn stream_of_net_deltas_stays_exact() {
+    Runner::new("stream_of_net_deltas_stays_exact").cases(64).run(
+        |rng| {
+            let steps = rng.usize_in(1, 8);
+            (
+                gen_spec(rng),
+                gen_rows(rng, 20),
+                (0..steps)
+                    .map(|_| {
+                        let picks = rng.index(4);
+                        (
+                            gen_rows(rng, 5),
+                            (0..picks).map(|_| rng.index(64)).collect::<Vec<usize>>(),
+                        )
+                    })
+                    .collect::<Vec<(Rows, Vec<usize>)>>(),
+            )
+        },
+        |(spec_raw, initial, steps)| {
+            let spec = spec_from(*spec_raw);
+            let mut source = relation_from(initial);
+            let mut state = SummaryState::init(spec.clone(), &source).expect("initializes");
+            for (ins_rows, del_picks) in steps {
+                // net insertions: rows not already present
+                let ins = relation_from(ins_rows)
+                    .difference(&source)
+                    .expect("same header");
+                // net deletions: picked from the current source
+                let current: Vec<Tuple> = source.iter().cloned().collect();
+                let mut del = Relation::empty(header());
+                for pick in del_picks {
+                    if !current.is_empty() {
+                        del.insert(current[pick % current.len()].clone()).expect("arity");
+                    }
+                }
+                // a tuple cannot be deleted and inserted in the same net delta
+                let ins = ins.difference(&del).expect("same header");
+                state.apply_delta(&ins, &del).expect("maintains");
+                source = source.difference(&del).expect("ok").union(&ins).expect("ok");
+                tk_ensure_eq!(
+                    state.relation(),
+                    SummaryState::materialize(&spec, &source).expect("materializes")
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Deleting everything empties the summary; re-inserting restores it.
+#[test]
+fn drain_and_refill() {
+    Runner::new("drain_and_refill").cases(128).run(
+        |rng| (gen_spec(rng), gen_rows(rng, 20)),
+        |(spec_raw, rows)| {
+            let spec = spec_from(*spec_raw);
+            let source = relation_from(rows);
+            let mut state = SummaryState::init(spec.clone(), &source).expect("initializes");
+            let empty = Relation::empty(header());
+            state.apply_delta(&empty, &source).expect("drains");
+            tk_ensure_eq!(state.group_count(), 0);
+            tk_ensure!(state.relation().is_empty());
+            state.apply_delta(&source, &empty).expect("refills");
+            tk_ensure_eq!(
+                state.relation(),
+                SummaryState::materialize(&spec, &source).expect("materializes")
+            );
+            Ok(())
+        },
+    );
 }

@@ -1,16 +1,16 @@
 //! E11 timing backbone: complement computation (cover enumeration) and
 //! complement materialization cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dwc_bench::experiments::{fig1_catalog, fig1_state};
 use dwc_core::constrained::{complement_with, ComplementOptions};
 use dwc_core::psj::{NamedView, PsjView};
 use dwc_starschema::star_warehouse;
+use dwc_testkit::Bench;
 use dwc_warehouse::WarehouseSpec;
 use std::hint::black_box;
 
-fn bench_computation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("complement-computation");
+fn bench_computation() {
+    let group = Bench::new("complement-computation");
     // Redundant key-projection views: worst case for cover multiplicity.
     for &k in &[4usize, 8, 12] {
         let width = 4;
@@ -28,30 +28,25 @@ fn bench_computation(c: &mut Criterion) {
                 )
             })
             .collect();
-        group.bench_with_input(BenchmarkId::new("theorem-2.2", k), &k, |b, _| {
-            b.iter(|| {
-                black_box(
-                    complement_with(&cat, &views, &ComplementOptions::default())
-                        .expect("complement"),
-                )
-            });
-        });
-    }
-    // The star schema (realistic shape).
-    let (cat, views) = star_warehouse();
-    group.bench_function("theorem-2.2/star-schema", |b| {
-        b.iter(|| {
+        group.run(&format!("theorem-2.2/{k}"), || {
             black_box(
                 complement_with(&cat, &views, &ComplementOptions::default())
                     .expect("complement"),
             )
         });
+    }
+    // The star schema (realistic shape).
+    let (cat, views) = star_warehouse();
+    group.run("theorem-2.2/star-schema", || {
+        black_box(
+            complement_with(&cat, &views, &ComplementOptions::default())
+                .expect("complement"),
+        )
     });
-    group.finish();
 }
 
-fn bench_materialization(c: &mut Criterion) {
-    let mut group = c.benchmark_group("complement-materialization");
+fn bench_materialization() {
+    let group = Bench::new("complement-materialization");
     for &n in &[1_000usize, 10_000] {
         let catalog = fig1_catalog(false);
         let db = fig1_state(n, n / 4, false, 11);
@@ -59,12 +54,13 @@ fn bench_materialization(c: &mut Criterion) {
             .expect("static spec")
             .augment()
             .expect("complement exists");
-        group.bench_with_input(BenchmarkId::new("fig1", n), &n, |b, _| {
-            b.iter(|| black_box(aug.materialize(&db).expect("materializes")));
+        group.run(&format!("fig1/{n}"), || {
+            black_box(aug.materialize(&db).expect("materializes"))
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_computation, bench_materialization);
-criterion_main!(benches);
+fn main() {
+    bench_computation();
+    bench_materialization();
+}

@@ -2,8 +2,8 @@
 //! experiment. Not tied to a paper artifact; these numbers calibrate the
 //! engine so the experiment-level comparisons are interpretable.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dwc_relalg::{DbState, RaExpr, Relation, Tuple, Value};
+use dwc_testkit::Bench;
 use std::hint::black_box;
 
 fn two_table_state(n: usize) -> DbState {
@@ -28,8 +28,8 @@ fn two_table_state(n: usize) -> DbState {
     db
 }
 
-fn bench_operators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("eval");
+fn main() {
+    let group = Bench::new("eval");
     for &n in &[1_000usize, 10_000] {
         let db = two_table_state(n);
         let cases = [
@@ -41,13 +41,9 @@ fn bench_operators(c: &mut Criterion) {
         ];
         for (name, text) in cases {
             let e = RaExpr::parse(text).expect("static query");
-            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
-                b.iter(|| black_box(e.eval(&db).expect("evaluates")));
+            group.run(&format!("{name}/{n}"), || {
+                black_box(e.eval(&db).expect("evaluates"))
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_operators);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! E1/E3/E8 timing backbone: per-update maintenance cost of the three
-//! strategies on the scaled Figure 1 warehouse (criterion-grade numbers
-//! for EXPERIMENTS.md; the `exp_*` binaries report the communication
+//! strategies on the scaled Figure 1 warehouse (timer-grade numbers for
+//! EXPERIMENTS.md; the `exp_*` binaries report the communication
 //! metrics).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dwc_bench::experiments::{fig1_catalog, fig1_state};
 use dwc_relalg::{RelName, Relation, Tuple, Update, Value};
+use dwc_testkit::Bench;
 use dwc_warehouse::WarehouseSpec;
 use std::collections::BTreeSet;
 use std::hint::black_box;
@@ -20,8 +20,8 @@ fn insertion(i: usize, clerks: usize) -> Update {
     Update::inserting("Sale", rows)
 }
 
-fn bench_maintenance(c: &mut Criterion) {
-    let mut group = c.benchmark_group("maintenance");
+fn main() {
+    let group = Bench::new("maintenance");
     for &n in &[1_000usize, 10_000] {
         let clerks = n / 4;
         let catalog = fig1_catalog(false);
@@ -34,28 +34,22 @@ fn bench_maintenance(c: &mut Criterion) {
         let plan = aug.compile_plan(&touched).expect("compiles");
         let u = insertion(0, clerks).normalize(&db).expect("consistent");
 
-        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
-            b.iter(|| black_box(plan.apply(&w, &u).expect("maintains")));
+        group.run(&format!("incremental/{n}"), || {
+            black_box(plan.apply(&w, &u).expect("maintains"))
         });
         let mirrors = aug.reconstruct_sources(&w).expect("reconstructs");
-        group.bench_with_input(BenchmarkId::new("incremental-mirrored", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(plan.apply_with_mirrors(&w, &u, &mirrors).expect("maintains"))
-            });
+        group.run(&format!("incremental-mirrored/{n}"), || {
+            black_box(plan.apply_with_mirrors(&w, &u, &mirrors).expect("maintains"))
         });
-        group.bench_with_input(BenchmarkId::new("reconstruct", n), &n, |b, _| {
-            b.iter(|| black_box(aug.maintain_by_reconstruction(&w, &u).expect("maintains")));
+        group.run(&format!("reconstruct/{n}"), || {
+            black_box(aug.maintain_by_reconstruction(&w, &u).expect("maintains"))
         });
         let db_next = u.apply(&db).expect("applies");
-        group.bench_with_input(BenchmarkId::new("recompute-at-source", n), &n, |b, _| {
-            b.iter(|| black_box(spec.materialize(&db_next).expect("materializes")));
+        group.run(&format!("recompute-at-source/{n}"), || {
+            black_box(spec.materialize(&db_next).expect("materializes"))
         });
-        group.bench_with_input(BenchmarkId::new("plan-compilation", n), &n, |b, _| {
-            b.iter(|| black_box(aug.compile_plan(&touched).expect("compiles")));
+        group.run(&format!("plan-compilation/{n}"), || {
+            black_box(aug.compile_plan(&touched).expect("compiles"))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_maintenance);
-criterion_main!(benches);

@@ -1,16 +1,15 @@
 //! E10 timing backbone: end-to-end star-schema maintenance throughput
 //! and warehouse query answering at scale factors.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dwc_starschema::queries::workload;
 use dwc_starschema::{generate, star_warehouse, ScaleConfig, UpdateStream};
+use dwc_testkit::Bench;
 use dwc_warehouse::integrator::{Integrator, SourceSite};
 use dwc_warehouse::WarehouseSpec;
 use std::hint::black_box;
 
-fn bench_star_maintenance(c: &mut Criterion) {
-    let mut group = c.benchmark_group("star-maintenance");
-    group.sample_size(10);
+fn bench_star_maintenance() {
+    let group = Bench::new("star-maintenance").samples(10);
     for &sf in &[0.005f64, 0.02] {
         let (catalog, views) = star_warehouse();
         let spec = WarehouseSpec::new(catalog.clone(), views).expect("static spec");
@@ -19,30 +18,23 @@ fn bench_star_maintenance(c: &mut Criterion) {
         let integ0 = Integrator::initial_load(spec.clone().augment().expect("aug"), &site)
             .expect("load");
 
-        group.bench_with_input(
-            BenchmarkId::new("integrator-30-updates", format!("sf{sf}")),
-            &sf,
-            |b, _| {
-                b.iter(|| {
-                    let mut integ = integ0.clone();
-                    let mut stream = UpdateStream::new(&db, 1);
-                    let mut shadow = db.clone();
-                    for _ in 0..30 {
-                        let u = stream.next();
-                        // the stream pre-normalizes against its own state
-                        u.apply_mut(&mut shadow).expect("applies");
-                        integ.on_report(&u).expect("maintains");
-                    }
-                    black_box(integ.state().total_tuples())
-                });
-            },
-        );
+        group.run(&format!("integrator-30-updates/sf{sf}"), || {
+            let mut integ = integ0.clone();
+            let mut stream = UpdateStream::new(&db, 1);
+            let mut shadow = db.clone();
+            for _ in 0..30 {
+                let u = stream.next();
+                // the stream pre-normalizes against its own state
+                u.apply_mut(&mut shadow).expect("applies");
+                integ.on_report(&u).expect("maintains");
+            }
+            black_box(integ.state().total_tuples())
+        });
     }
-    group.finish();
 }
 
-fn bench_star_queries(c: &mut Criterion) {
-    let mut group = c.benchmark_group("star-queries");
+fn bench_star_queries() {
+    let group = Bench::new("star-queries");
     let sf = 0.02;
     let (catalog, views) = star_warehouse();
     let spec = WarehouseSpec::new(catalog, views).expect("static spec");
@@ -51,15 +43,16 @@ fn bench_star_queries(c: &mut Criterion) {
     let w = aug.materialize(&db).expect("materializes");
     for q in workload() {
         let translated = aug.translate_query(&q.expr).expect("translates");
-        group.bench_function(BenchmarkId::new("at-warehouse", q.name), |b| {
-            b.iter(|| black_box(translated.eval(&w).expect("evaluates")));
+        group.run(&format!("at-warehouse/{}", q.name), || {
+            black_box(translated.eval(&w).expect("evaluates"))
         });
-        group.bench_function(BenchmarkId::new("at-source", q.name), |b| {
-            b.iter(|| black_box(q.expr.eval(&db).expect("evaluates")));
+        group.run(&format!("at-source/{}", q.name), || {
+            black_box(q.expr.eval(&db).expect("evaluates"))
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_star_maintenance, bench_star_queries);
-criterion_main!(benches);
+fn main() {
+    bench_star_maintenance();
+    bench_star_queries();
+}

@@ -2,14 +2,14 @@
 //! Compares answering at the source, translating + answering at the
 //! warehouse, and the translation step alone.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dwc_bench::experiments::{fig1_catalog, fig1_state};
 use dwc_relalg::RaExpr;
+use dwc_testkit::Bench;
 use dwc_warehouse::WarehouseSpec;
 use std::hint::black_box;
 
-fn bench_translation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("translation");
+fn main() {
+    let group = Bench::new("translation");
     let n = 10_000;
     let catalog = fig1_catalog(false);
     let db = fig1_state(n, n / 4, false, 7);
@@ -26,18 +26,14 @@ fn bench_translation(c: &mut Criterion) {
     for (name, text) in queries {
         let q = RaExpr::parse(text).expect("static query");
         let translated = aug.translate_query(&q).expect("translates");
-        group.bench_with_input(BenchmarkId::new("at-source", name), &n, |b, _| {
-            b.iter(|| black_box(q.eval(&db).expect("evaluates")));
+        group.run(&format!("at-source/{name}"), || {
+            black_box(q.eval(&db).expect("evaluates"))
         });
-        group.bench_with_input(BenchmarkId::new("at-warehouse", name), &n, |b, _| {
-            b.iter(|| black_box(translated.eval(&w).expect("evaluates")));
+        group.run(&format!("at-warehouse/{name}"), || {
+            black_box(translated.eval(&w).expect("evaluates"))
         });
-        group.bench_with_input(BenchmarkId::new("translate-only", name), &n, |b, _| {
-            b.iter(|| black_box(aug.translate_query(&q).expect("translates")));
+        group.run(&format!("translate-only/{name}"), || {
+            black_box(aug.translate_query(&q).expect("translates"))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_translation);
-criterion_main!(benches);

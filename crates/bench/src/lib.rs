@@ -5,7 +5,7 @@
 //! commuting-diagram figures, and the Section 5 star-schema
 //! application). Each experiment lives in [`experiments`] as a library
 //! function returning a printable [`report::Table`]; thin binaries under
-//! `src/bin/` print them, and criterion benches under `benches/` time
+//! `src/bin/` print them, and testkit benches under `benches/` time
 //! the performance-sensitive ones.
 //!
 //! Run everything with:

@@ -202,7 +202,7 @@ impl fmt::Display for Table {
 }
 
 /// Times `f` over `iters` runs and returns the mean duration. Small
-/// experiments use this; the criterion benches provide the rigorous
+/// experiments use this; the `benches/` timers provide the rigorous
 /// numbers.
 pub fn time_mean(iters: usize, mut f: impl FnMut()) -> Duration {
     assert!(iters > 0);

@@ -4,8 +4,9 @@
 //! tests and experiments therefore need a supply of *valid* states —
 //! satisfying the declared keys and inclusion dependencies — with enough
 //! value collisions to make joins, projections and complements
-//! non-trivial. This module provides a tiny, dependency-free PRNG
-//! (SplitMix64) and a generator that:
+//! non-trivial. This module builds on `dwc-testkit`'s tiny,
+//! dependency-free PRNG (SplitMix64, re-exported here) with a generator
+//! that:
 //!
 //! 1. draws tuples over small integer domains (to force join overlap),
 //! 2. for inclusion dependencies `π_X(R_i) ⊆ π_X(R_j)`, draws the `X`
@@ -27,45 +28,9 @@ use crate::schema::Catalog;
 use crate::tuple::Tuple;
 use crate::value::Value;
 
-/// SplitMix64: a tiny, high-quality, dependency-free PRNG. Deterministic
-/// in its seed; used for state generation only (not cryptography).
-#[derive(Clone, Debug)]
-pub struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    /// Seeds the generator.
-    pub fn new(seed: u64) -> SplitMix64 {
-        SplitMix64 { state: seed }
-    }
-
-    /// The next raw 64-bit value.
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform value in `0..bound` (`bound` must be positive).
-    pub fn below(&mut self, bound: u64) -> u64 {
-        debug_assert!(bound > 0);
-        // Multiply-shift; bias is negligible for the small bounds used here.
-        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
-    }
-
-    /// Uniform `usize` index in `0..len`.
-    pub fn index(&mut self, len: usize) -> usize {
-        self.below(len as u64) as usize
-    }
-
-    /// Bernoulli draw with probability `num/denom`.
-    pub fn chance(&mut self, num: u64, denom: u64) -> bool {
-        self.below(denom) < num
-    }
-}
+/// The workspace's deterministic PRNG, re-exported from `dwc-testkit` so
+/// existing `gen::SplitMix64` users keep working.
+pub use dwc_testkit::SplitMix64;
 
 /// Tuning for [`random_state`].
 #[derive(Clone, Debug)]
@@ -222,24 +187,6 @@ mod tests {
         c.add_inclusion_dep(InclusionDep::new("R2", "R1", AttrSet::from_names(&["A", "C"])))
             .unwrap();
         c
-    }
-
-    #[test]
-    fn splitmix_is_deterministic_and_bounded() {
-        let mut a = SplitMix64::new(42);
-        let mut b = SplitMix64::new(42);
-        for _ in 0..100 {
-            assert_eq!(a.next_u64(), b.next_u64());
-        }
-        let mut r = SplitMix64::new(7);
-        for _ in 0..1000 {
-            assert!(r.below(10) < 10);
-            let i = r.index(3);
-            assert!(i < 3);
-        }
-        // chance(1,1) is always true; chance(0,10) never.
-        assert!(r.chance(1, 1));
-        assert!(!r.chance(0, 10));
     }
 
     #[test]

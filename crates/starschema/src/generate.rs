@@ -7,8 +7,7 @@
 
 use crate::schema::star_catalog;
 use dwc_relalg::{Catalog, DbState, Relation, Tuple, Value};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use dwc_testkit::SplitMix64;
 
 /// Row counts per relation; use [`ScaleConfig::scaled`] for proportional
 /// sizing.
@@ -79,7 +78,7 @@ fn t(values: Vec<Value>) -> Tuple {
 /// Generates a valid star-schema state.
 pub fn generate(config: &ScaleConfig, seed: u64) -> DbState {
     let catalog = star_catalog();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut db = DbState::empty_for(&catalog);
 
     // Dimensions first (FK targets). Relation headers are sorted attr
@@ -88,60 +87,60 @@ pub fn generate(config: &ScaleConfig, seed: u64) -> DbState {
         // {cname, cnation, custkey}
         t(vec![
             Value::str(&format!("Customer#{k}")),
-            Value::str(NATIONS[rng.random_range(0..NATIONS.len())]),
+            Value::str(NATIONS[rng.index(NATIONS.len())]),
             Value::from(k),
         ])
     }));
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5151);
+    let mut rng = SplitMix64::new(seed ^ 0x5151);
     insert_all(&mut db, &catalog, "Supplier", (0..config.suppliers).map(|k| {
         // {sname, snation, suppkey}
         t(vec![
             Value::str(&format!("Supplier#{k}")),
-            Value::str(NATIONS[rng.random_range(0..NATIONS.len())]),
+            Value::str(NATIONS[rng.index(NATIONS.len())]),
             Value::from(k),
         ])
     }));
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7a7a);
+    let mut rng = SplitMix64::new(seed ^ 0x7a7a);
     insert_all(&mut db, &catalog, "Part", (0..config.parts).map(|k| {
         // {brand, partkey, pname}
         t(vec![
-            Value::str(BRANDS[rng.random_range(0..BRANDS.len())]),
+            Value::str(BRANDS[rng.index(BRANDS.len())]),
             Value::from(k),
             Value::str(&format!("Part#{k}")),
         ])
     }));
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x1312);
+    let mut rng = SplitMix64::new(seed ^ 0x1312);
     insert_all(&mut db, &catalog, "Location", (0..config.locations).map(|k| {
         // {city, lockey, region}
         t(vec![
             Value::str(&format!("City#{k}")),
             Value::from(k),
-            Value::str(REGIONS[rng.random_range(0..REGIONS.len())]),
+            Value::str(REGIONS[rng.index(REGIONS.len())]),
         ])
     }));
 
     // Facts: FK columns drawn from existing dimension keys.
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+    let mut rng = SplitMix64::new(seed ^ 0xbeef);
     insert_all(&mut db, &catalog, "Orders", (0..config.orders).map(|k| {
         // {custkey, lockey, odate, orderkey}
         t(vec![
-            Value::from(rng.random_range(0..config.customers)),
-            Value::from(rng.random_range(0..config.locations)),
-            Value::int(rng.random_range(19990101..19991231)),
+            Value::from(rng.index(config.customers)),
+            Value::from(rng.index(config.locations)),
+            Value::int(rng.i64_in(19990101, 19991231)),
             Value::from(k),
         ])
     }));
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+    let mut rng = SplitMix64::new(seed ^ 0xfeed);
     let mut lineitems = Vec::new();
     for orderkey in 0..config.orders {
-        let n = 1 + rng.random_range(0..config.lineitems_per_order.max(1) * 2);
+        let n = 1 + rng.index(config.lineitems_per_order.max(1) * 2);
         // Dedup on (partkey, suppkey) within the order: the composite key
         // (orderkey, partkey, suppkey) must stay unique even though qty
         // and price differ between draws.
         let mut seen = std::collections::BTreeSet::new();
         for _ in 0..n {
-            let partkey = rng.random_range(0..config.parts);
-            let suppkey = rng.random_range(0..config.suppliers);
+            let partkey = rng.index(config.parts);
+            let suppkey = rng.index(config.suppliers);
             if !seen.insert((partkey, suppkey)) {
                 continue;
             }
@@ -149,8 +148,8 @@ pub fn generate(config: &ScaleConfig, seed: u64) -> DbState {
             lineitems.push(t(vec![
                 Value::from(orderkey),
                 Value::from(partkey),
-                Value::int(rng.random_range(100..100_000)),
-                Value::int(rng.random_range(1..50)),
+                Value::int(rng.i64_in(100, 100_000)),
+                Value::int(rng.i64_in(1, 50)),
                 Value::from(suppkey),
             ]));
         }

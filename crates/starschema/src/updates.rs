@@ -19,8 +19,7 @@
 
 use crate::schema::star_catalog;
 use dwc_relalg::{Catalog, DbState, Delta, RaExpr, Relation, RelName, Tuple, Update, Value};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use dwc_testkit::SplitMix64;
 
 /// The kinds of operational updates the stream emits.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,7 +38,7 @@ pub enum UpdateKind {
 pub struct UpdateStream {
     catalog: Catalog,
     state: DbState,
-    rng: StdRng,
+    rng: SplitMix64,
     next_orderkey: i64,
     next_custkey: i64,
 }
@@ -61,7 +60,7 @@ impl UpdateStream {
         UpdateStream {
             catalog,
             state: initial.clone(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             next_orderkey: max_key("Orders", "orderkey") + 1,
             next_custkey: max_key("Customer", "custkey") + 1,
         }
@@ -93,7 +92,7 @@ impl UpdateStream {
     /// `Option` would only add noise.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Update {
-        let kind = match self.rng.random_range(0..10) {
+        let kind = match self.rng.index(10) {
             0..=4 => UpdateKind::NewOrder,
             5..=6 => UpdateKind::PriceChange,
             7..=8 => UpdateKind::CancelOrder,
@@ -123,7 +122,7 @@ impl UpdateStream {
     }
 
     fn pick(&mut self, keys: &[i64]) -> i64 {
-        keys[self.rng.random_range(0..keys.len())]
+        keys[self.rng.index(keys.len())]
     }
 
     fn new_order(&mut self, count: usize) -> Update {
@@ -143,12 +142,12 @@ impl UpdateStream {
                 .insert(Tuple::new(vec![
                     Value::int(self.pick(&customers)),
                     Value::int(self.pick(&locations)),
-                    Value::int(self.rng.random_range(19990101..19991231)),
+                    Value::int(self.rng.i64_in(19990101, 19991231)),
                     Value::int(orderkey),
                 ]))
                 .expect("arity");
             let mut seen = std::collections::BTreeSet::new();
-            for _ in 0..self.rng.random_range(1..5) {
+            for _ in 0..self.rng.usize_in(1, 5) {
                 let partkey = self.pick(&parts);
                 let suppkey = self.pick(&suppliers);
                 if !seen.insert((partkey, suppkey)) {
@@ -159,8 +158,8 @@ impl UpdateStream {
                     .insert(Tuple::new(vec![
                         Value::int(orderkey),
                         Value::int(partkey),
-                        Value::int(self.rng.random_range(100..100_000)),
-                        Value::int(self.rng.random_range(1..50)),
+                        Value::int(self.rng.i64_in(100, 100_000)),
+                        Value::int(self.rng.i64_in(1, 50)),
                         Value::int(suppkey),
                     ]))
                     .expect("arity");
@@ -193,7 +192,7 @@ impl UpdateStream {
     fn customer_churn(&mut self) -> Update {
         let custkey = self.next_custkey;
         self.next_custkey += 1;
-        let nation = ["FR", "DE", "JP", "US"][self.rng.random_range(0..4)];
+        let nation = ["FR", "DE", "JP", "US"][self.rng.index(4)];
         // {cname, cnation, custkey}
         let insert = Relation::from_rows(
             &["cname", "cnation", "custkey"],
@@ -231,7 +230,7 @@ impl UpdateStream {
             .index_of(dwc_relalg::Attr::new("price"))
             .expect("price attr");
         let mut values: Vec<Value> = old_row.values().to_vec();
-        values[price_idx] = Value::int(self.rng.random_range(100..100_000));
+        values[price_idx] = Value::int(self.rng.i64_in(100, 100_000));
         let mut del = Relation::empty(li.attrs().clone());
         del.insert(old_row).expect("arity");
         let mut ins = Relation::empty(li.attrs().clone());

@@ -1,0 +1,209 @@
+//! The deterministic PRNG and value generators.
+//!
+//! [`SplitMix64`] is a tiny, high-quality, dependency-free generator
+//! (Steele/Lea/Flood's SplitMix64 finalizer over a Weyl sequence). It is
+//! deterministic in its seed, trivially forkable into independent
+//! streams, and fast enough to be invisible next to any relational
+//! operator. It is **not** cryptographic and does not try to be.
+//!
+//! Everything in the workspace that needs randomness — state generators,
+//! update streams, property-test case seeds, bench shuffles — draws from
+//! this one type, so a single `u64` seed always reproduces a run exactly.
+
+/// SplitMix64: a tiny, high-quality, dependency-free PRNG. Deterministic
+/// in its seed; used for test and data generation only (not cryptography).
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// An independent generator split off from this one. Both streams
+    /// stay deterministic; splitting advances the parent by one draw.
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ 0x6A09_E667_F3BC_C909)
+    }
+
+    /// Uniform value in `0..bound` (`bound` must be positive).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift; bias is negligible for the small bounds used here.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `usize` index in `0..len`.
+    pub fn index(&mut self, len: usize) -> usize {
+        self.below(len as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `num/denom`.
+    pub fn chance(&mut self, num: u64, denom: u64) -> bool {
+        self.below(denom) < num
+    }
+
+    /// A uniform draw from the half-open range `lo..hi` (`lo < hi`).
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo < hi);
+        lo.wrapping_add(self.below(hi.wrapping_sub(lo) as u64) as i64)
+    }
+
+    /// A uniform `usize` draw from the half-open range `lo..hi` (`lo < hi`).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + self.index(hi - lo)
+    }
+
+    /// A uniform boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A uniform reference into a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.index(xs.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            xs.swap(i, self.index(i + 1));
+        }
+    }
+
+    /// A vector of `len` draws from `gen`.
+    pub fn vec_of<T>(&mut self, len: usize, mut gen: impl FnMut(&mut SplitMix64) -> T) -> Vec<T> {
+        (0..len).map(|_| gen(self)).collect()
+    }
+
+    /// A string of `len` characters drawn uniformly from `alphabet`.
+    pub fn string_from(&mut self, len: usize, alphabet: &[char]) -> String {
+        (0..len).map(|_| *self.pick(alphabet)).collect()
+    }
+
+    /// A lowercase ASCII identifier of `len` characters (first character
+    /// alphabetic).
+    pub fn ident(&mut self, len: usize) -> String {
+        const HEAD: &[char] = &[
+            'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p',
+            'q', 'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z',
+        ];
+        const TAIL: &[char] = &[
+            'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p',
+            'q', 'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '0', '1', '2', '3', '4', '5',
+            '6', '7', '8', '9', '_',
+        ];
+        if len == 0 {
+            return String::new();
+        }
+        let mut s = String::with_capacity(len);
+        s.push(*self.pick(HEAD));
+        for _ in 1..len {
+            s.push(*self.pick(TAIL));
+        }
+        s
+    }
+
+    /// An arbitrary (printable-biased) string of up to `max_len`
+    /// characters, occasionally spiced with non-ASCII and control
+    /// characters — the fuzzing workhorse.
+    pub fn wild_string(&mut self, max_len: usize) -> String {
+        let len = if max_len == 0 { 0 } else { self.index(max_len + 1) };
+        (0..len)
+            .map(|_| {
+                if self.chance(9, 10) {
+                    // printable ASCII
+                    char::from(self.below(95) as u8 + 32)
+                } else {
+                    // anything Unicode-shaped (skip unpaired surrogates)
+                    char::from_u32(self.below(0x11_0000) as u32).unwrap_or('\u{FFFD}')
+                }
+            })
+            .collect()
+    }
+}
+
+/// Derives a per-case seed from a base seed and a case index; used by the
+/// property runner and safe to use for manual loops that want one seed
+/// per iteration.
+pub fn case_seed(base: u64, case: u64) -> u64 {
+    let mut mix = SplitMix64::new(base ^ case.wrapping_mul(0x2545_F491_4F6C_DD1D));
+    mix.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+            assert!(r.index(3) < 3);
+            let v = r.i64_in(-5, 5);
+            assert!((-5..5).contains(&v));
+            let u = r.usize_in(2, 9);
+            assert!((2..9).contains(&u));
+        }
+        assert!(r.chance(1, 1));
+        assert!(!r.chance(0, 10));
+    }
+
+    #[test]
+    fn forked_streams_diverge() {
+        let mut parent = SplitMix64::new(1);
+        let mut kid = parent.fork();
+        let a: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| kid.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = SplitMix64::new(3);
+        let mut xs: Vec<u32> = (0..20).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(xs, sorted, "20 elements staying put is astronomically unlikely");
+    }
+
+    #[test]
+    fn ident_is_wellformed() {
+        let mut r = SplitMix64::new(9);
+        for len in 0..12 {
+            let s = r.ident(len);
+            assert_eq!(s.chars().count(), len);
+            if let Some(c) = s.chars().next() {
+                assert!(c.is_ascii_lowercase());
+            }
+        }
+    }
+
+    #[test]
+    fn case_seeds_spread() {
+        let seeds: std::collections::BTreeSet<u64> =
+            (0..1000).map(|i| case_seed(17, i)).collect();
+        assert_eq!(seeds.len(), 1000);
+    }
+}

@@ -1,0 +1,242 @@
+//! Greedy input shrinking.
+//!
+//! [`Shrink::shrink`] proposes a finite batch of strictly "smaller"
+//! candidate values. The property runner repeatedly re-runs the failing
+//! property on candidates and walks to the first one that still fails,
+//! until no candidate fails (a local minimum) or the step budget runs
+//! out. Candidates must be *smaller* in some well-founded sense (toward
+//! zero, shorter, fewer elements) so the walk terminates.
+//!
+//! Implementations exist for the primitive scalars, `String`, `Vec`,
+//! `Option`, and tuples up to arity 6 — enough to express every property
+//! input in this workspace as plain data that shrinks for free.
+
+/// A type whose values can propose smaller candidate values.
+pub trait Shrink: Sized {
+    /// A finite batch of candidates, each strictly smaller than `self`.
+    /// An empty vector means fully shrunk.
+    fn shrink(&self) -> Vec<Self>;
+}
+
+macro_rules! shrink_unsigned {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let n = *self;
+                if n == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0, n / 2];
+                if n > 1 {
+                    out.push(n - 1);
+                }
+                out.dedup();
+                out.retain(|&c| c != n);
+                out
+            }
+        }
+    )*};
+}
+shrink_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! shrink_signed {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let n = *self;
+                if n == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0, n / 2];
+                if n < 0 {
+                    out.push(-n); // prefer the positive twin
+                    out.push(n + 1);
+                } else if n > 1 {
+                    out.push(n - 1);
+                }
+                out.sort_unstable_by_key(|c| c.unsigned_abs());
+                out.dedup();
+                out.retain(|&c| c != n);
+                out
+            }
+        }
+    )*};
+}
+shrink_signed!(i8, i16, i32, i64, isize);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self { vec![false] } else { Vec::new() }
+    }
+}
+
+impl Shrink for char {
+    fn shrink(&self) -> Vec<Self> {
+        if *self == 'a' {
+            Vec::new()
+        } else {
+            vec!['a']
+        }
+    }
+}
+
+impl Shrink for String {
+    fn shrink(&self) -> Vec<Self> {
+        let chars: Vec<char> = self.chars().collect();
+        let mut out: Vec<String> = shrink_vec_structure(&chars)
+            .into_iter()
+            .map(|cs| cs.into_iter().collect())
+            .collect();
+        // also simplify one character at a time toward 'a'
+        for (i, &c) in chars.iter().enumerate() {
+            if c != 'a' {
+                let mut cs = chars.clone();
+                cs[i] = 'a';
+                out.push(cs.into_iter().collect());
+            }
+        }
+        out
+    }
+}
+
+impl<T: Clone> Shrink for Vec<T>
+where
+    T: Shrink,
+{
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = shrink_vec_structure(self);
+        // shrink individual elements in place
+        for (i, x) in self.iter().enumerate() {
+            for smaller in x.shrink() {
+                let mut v = self.clone();
+                v[i] = smaller;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Structural vector shrinks only: drop halves, then single elements.
+/// (Shared by `Vec` and `String`; element-wise shrinks are layered on top
+/// by the callers.)
+fn shrink_vec_structure<T: Clone>(xs: &[T]) -> Vec<Vec<T>> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![Vec::new()];
+    let n = xs.len();
+    if n >= 2 {
+        out.push(xs[..n / 2].to_vec());
+        out.push(xs[n / 2..].to_vec());
+    }
+    // Dropping one element at a time; cap the fan-out for long inputs.
+    let stride = (n / 16).max(1);
+    for i in (0..n).step_by(stride) {
+        let mut v = xs.to_vec();
+        v.remove(i);
+        out.push(v);
+    }
+    out
+}
+
+impl<T: Shrink + Clone> Shrink for Option<T> {
+    fn shrink(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(x) => {
+                let mut out = vec![None];
+                out.extend(x.shrink().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+macro_rules! shrink_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for smaller in self.$idx.shrink() {
+                        let mut t = self.clone();
+                        t.$idx = smaller;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+shrink_tuple! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
+}
+
+/// A wrapper that opts a value *out* of shrinking (e.g. a raw seed whose
+/// "smaller" values are not meaningfully simpler).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NoShrink<T>(pub T);
+
+impl<T: Clone> Shrink for NoShrink<T> {
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_shrink_toward_zero() {
+        assert!(0u64.shrink().is_empty());
+        assert!(100u64.shrink().contains(&0));
+        assert!(100u64.shrink().contains(&50));
+        assert!((-8i64).shrink().contains(&0));
+        assert!((-8i64).shrink().contains(&8));
+        assert!(0i64.shrink().is_empty());
+        assert!(true.shrink() == vec![false]);
+        assert!(false.shrink().is_empty());
+    }
+
+    #[test]
+    fn shrinking_terminates() {
+        // Greedy descent from any start must reach a fixpoint.
+        let mut v: Vec<i64> = vec![5, -3, 200, 0, 7];
+        let mut steps = 0;
+        loop {
+            let Some(next) = v.shrink().into_iter().next() else { break };
+            v = next;
+            steps += 1;
+            assert!(steps < 10_000, "shrinking diverged");
+        }
+    }
+
+    #[test]
+    fn vec_shrinks_structure_and_elements() {
+        let v = vec![3u32, 4];
+        let cands = v.shrink();
+        assert!(cands.contains(&Vec::new()));
+        assert!(cands.contains(&vec![4])); // dropped element
+        assert!(cands.iter().any(|c| c == &vec![0u32, 4])); // shrunk element
+    }
+
+    #[test]
+    fn tuples_shrink_componentwise() {
+        let cands = (4u64, true).shrink();
+        assert!(cands.contains(&(0, true)));
+        assert!(cands.contains(&(4, false)));
+    }
+
+    #[test]
+    fn noshrink_is_inert() {
+        assert!(NoShrink(7u64).shrink().is_empty());
+    }
+}

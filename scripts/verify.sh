@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline.
+#
+# Runs the ROADMAP tier-1 gate (`cargo build --release && cargo test -q`)
+# with all network access to the registry forbidden, then the full
+# workspace test suite. The workspace's only verification dependency is
+# the in-tree `dwc-testkit` crate, so any attempt to reach crates.io is
+# a regression — this script makes that attempt a hard failure:
+#
+#   * `CARGO_NET_OFFLINE=true` turns any download attempt into an error;
+#   * the lockfile is checked for registry entries before building.
+#
+# Usage: scripts/verify.sh [--quick]
+#   --quick   lower property-test case counts (smoke pass)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+# --- 0. the dependency closure must be entirely in-tree ----------------
+if grep -q 'source = "registry' Cargo.lock; then
+  echo "FAIL: Cargo.lock references a registry; the workspace must be" >&2
+  echo "      buildable with zero external crates:" >&2
+  grep -B2 'source = "registry' Cargo.lock >&2
+  exit 1
+fi
+echo "ok: lockfile is registry-free ($(grep -c '^name = ' Cargo.lock) in-tree packages)"
+
+export CARGO_NET_OFFLINE=true
+if [ "$QUICK" = 1 ]; then
+  export DWC_TESTKIT_CASES="${DWC_TESTKIT_CASES:-8}"
+  echo "quick mode: DWC_TESTKIT_CASES=$DWC_TESTKIT_CASES"
+fi
+
+# --- 1. tier-1: release build + root test suite ------------------------
+cargo build --release
+cargo test -q
+
+# --- 2. the rest of the workspace (crate unit tests, aggregates props) -
+cargo test -q --workspace
+
+# --- 3. bench targets must at least compile (they don't run here) ------
+cargo build -q -p dwc-bench --benches
+
+echo "verify: all green"

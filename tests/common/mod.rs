@@ -1,11 +1,17 @@
 //! Shared generators and fixtures for the cross-crate test suites.
+//!
+//! All random inputs are produced from a `dwc-testkit` [`SplitMix64`]
+//! stream and represented as plain data (`Vec<Vec<i64>>` row sets) so the
+//! testkit's generic [`Shrink`](dwc_testkit::Shrink) machinery can
+//! minimize counterexamples structurally — fewer rows, smaller values —
+//! before a failure is reported.
 #![allow(dead_code)] // each test binary uses a different subset
 
+use dwc_testkit::SplitMix64;
 use dwcomplements::relalg::{
     AttrSet, Catalog, DbState, Delta, Predicate, RaExpr, RelName, Relation, Tuple, Update,
     Value,
 };
-use proptest::prelude::*;
 
 /// The unconstrained three-relation catalog used by the expression and
 /// delta properties: R(a,b), S(b,c), T(c).
@@ -17,9 +23,16 @@ pub fn chain_catalog() -> Catalog {
     c
 }
 
-/// Rows over a small domain (collisions on purpose).
-pub fn arb_rows(arity: usize, max: usize) -> impl Strategy<Value = Vec<Vec<i64>>> {
-    proptest::collection::vec(proptest::collection::vec(0i64..6, arity), 0..max)
+/// Integer row sets — the shrinkable wire format for relations.
+pub type Rows = Vec<Vec<i64>>;
+
+/// Rows over a small domain (collisions on purpose): up to `max` rows of
+/// `arity` values each, drawn from `0..6`.
+pub fn gen_rows(rng: &mut SplitMix64, arity: usize, max: usize) -> Rows {
+    let n = rng.index(max);
+    (0..n)
+        .map(|_| (0..arity).map(|_| rng.i64_in(0, 6)).collect())
+        .collect()
 }
 
 /// Builds a relation from generated integer rows.
@@ -33,67 +46,70 @@ pub fn relation_from(names: &[&str], rows: &[Vec<i64>]) -> Relation {
     rel
 }
 
-/// A random state over the chain catalog.
-pub fn arb_chain_state() -> impl Strategy<Value = DbState> {
-    (arb_rows(2, 24), arb_rows(2, 24), arb_rows(1, 12)).prop_map(|(r, s, t)| {
-        let mut db = DbState::new();
-        db.insert_relation("R", relation_from(&["a", "b"], &r));
-        db.insert_relation("S", relation_from(&["b", "c"], &s));
-        db.insert_relation("T", relation_from(&["c"], &t));
-        db
-    })
+/// The shrinkable raw material of a chain-catalog state: row sets for R,
+/// S and T.
+pub type ChainRows = (Rows, Rows, Rows);
+
+/// Random raw rows for a chain state.
+pub fn gen_chain_rows(rng: &mut SplitMix64) -> ChainRows {
+    (gen_rows(rng, 2, 24), gen_rows(rng, 2, 24), gen_rows(rng, 1, 12))
 }
 
-/// A random update over the chain catalog (possibly overlapping,
+/// Materializes chain rows into a state.
+pub fn chain_state((r, s, t): &ChainRows) -> DbState {
+    let mut db = DbState::new();
+    db.insert_relation("R", relation_from(&["a", "b"], r));
+    db.insert_relation("S", relation_from(&["b", "c"], s));
+    db.insert_relation("T", relation_from(&["c"], t));
+    db
+}
+
+/// The shrinkable raw material of a chain-catalog update: insert/delete
+/// row sets for R, S and T in order.
+pub type ChainUpdateRows = (Rows, Rows, Rows, Rows, Rows, Rows);
+
+/// Random raw rows for a chain update (possibly overlapping,
 /// unnormalized — exercises normalization too).
-pub fn arb_chain_update() -> impl Strategy<Value = Update> {
+pub fn gen_chain_update_rows(rng: &mut SplitMix64) -> ChainUpdateRows {
     (
-        arb_rows(2, 6),
-        arb_rows(2, 6),
-        arb_rows(2, 6),
-        arb_rows(2, 6),
-        arb_rows(1, 4),
-        arb_rows(1, 4),
+        gen_rows(rng, 2, 6),
+        gen_rows(rng, 2, 6),
+        gen_rows(rng, 2, 6),
+        gen_rows(rng, 2, 6),
+        gen_rows(rng, 1, 4),
+        gen_rows(rng, 1, 4),
     )
-        .prop_map(|(ri, rd, si, sd, ti, td)| {
-            Update::new()
-                .with(
-                    "R",
-                    Delta::new(
-                        relation_from(&["a", "b"], &ri),
-                        relation_from(&["a", "b"], &rd),
-                    )
-                    .expect("same header"),
-                )
-                .with(
-                    "S",
-                    Delta::new(
-                        relation_from(&["b", "c"], &si),
-                        relation_from(&["b", "c"], &sd),
-                    )
-                    .expect("same header"),
-                )
-                .with(
-                    "T",
-                    Delta::new(relation_from(&["c"], &ti), relation_from(&["c"], &td))
-                        .expect("same header"),
-                )
-        })
+}
+
+/// Materializes update rows into an [`Update`].
+pub fn chain_update((ri, rd, si, sd, ti, td): &ChainUpdateRows) -> Update {
+    Update::new()
+        .with(
+            "R",
+            Delta::new(relation_from(&["a", "b"], ri), relation_from(&["a", "b"], rd))
+                .expect("same header"),
+        )
+        .with(
+            "S",
+            Delta::new(relation_from(&["b", "c"], si), relation_from(&["b", "c"], sd))
+                .expect("same header"),
+        )
+        .with(
+            "T",
+            Delta::new(relation_from(&["c"], ti), relation_from(&["c"], td))
+                .expect("same header"),
+        )
 }
 
 /// A random well-typed expression over the chain catalog, produced from a
-/// seed with a deterministic generator (proptest drives the seed/depth;
+/// seed with a deterministic generator (the runner drives the seed/depth;
 /// well-typedness by construction keeps rejection rates at zero).
 pub fn random_expr(seed: u64, depth: u32, catalog: &Catalog) -> RaExpr {
-    let mut rng = dwcomplements::relalg::gen::SplitMix64::new(seed);
+    let mut rng = SplitMix64::new(seed);
     gen_expr(&mut rng, depth, catalog).0
 }
 
-fn gen_expr(
-    rng: &mut dwcomplements::relalg::gen::SplitMix64,
-    depth: u32,
-    catalog: &Catalog,
-) -> (RaExpr, AttrSet) {
+fn gen_expr(rng: &mut SplitMix64, depth: u32, catalog: &Catalog) -> (RaExpr, AttrSet) {
     let bases: Vec<RelName> = catalog.relation_names().collect();
     if depth == 0 || rng.chance(1, 4) {
         let name = bases[rng.index(bases.len())];

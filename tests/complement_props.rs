@@ -3,11 +3,12 @@
 //! expressions reconstruct every base relation from the materialized
 //! warehouse — the one-to-one mapping of Proposition 2.1.
 
+use dwc_testkit::prop::Runner;
+use dwc_testkit::{tk_ensure, tk_ensure_eq, tk_ensure_ne};
 use dwcomplements::core::constrained::{complement_with, ComplementOptions};
 use dwcomplements::core::psj::{NamedView, PsjView};
 use dwcomplements::relalg::gen::{random_state, StateGenConfig};
 use dwcomplements::relalg::{AttrSet, Catalog, InclusionDep, Predicate};
-use proptest::prelude::*;
 
 /// The Example 2.3 catalog (keys + INDs) — the richest constraint shape.
 fn constrained_catalog() -> Catalog {
@@ -54,70 +55,80 @@ fn warehouse_variants(c: &Catalog, which: u8) -> Vec<NamedView> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Theorem 2.2 complements verify on arbitrary valid states, for all
+/// constraint regimes and a zoo of warehouse shapes.
+#[test]
+fn complements_verify_on_valid_states() {
+    Runner::new("complements_verify_on_valid_states").cases(64).run(
+        |rng| (rng.below(6) as u8, rng.next_u64(), rng.below(3) as u8),
+        |&(which, seed, regime)| {
+            let catalog = constrained_catalog();
+            let views = warehouse_variants(&catalog, which);
+            let opts = match regime {
+                0 => ComplementOptions::unconstrained(),
+                1 => ComplementOptions::keys_only(),
+                _ => ComplementOptions::default(),
+            };
+            let comp = complement_with(&catalog, &views, &opts).expect("complement computes");
+            let cfg = StateGenConfig::new(20, 6);
+            for i in 0..4u64 {
+                let db = random_state(&catalog, &cfg, seed.wrapping_add(i));
+                let verdict = comp.verify_on(&catalog, &views, &db).expect("evaluates");
+                tk_ensure_eq!(verdict, Ok(()));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Theorem 2.2 complements verify on arbitrary valid states, for all
-    /// constraint regimes and a zoo of warehouse shapes.
-    #[test]
-    fn complements_verify_on_valid_states(
-        which in 0u8..6,
-        seed in any::<u64>(),
-        regime in 0u8..3,
-    ) {
-        let catalog = constrained_catalog();
-        let views = warehouse_variants(&catalog, which);
-        let opts = match regime {
-            0 => ComplementOptions::unconstrained(),
-            1 => ComplementOptions::keys_only(),
-            _ => ComplementOptions::default(),
-        };
-        let comp = complement_with(&catalog, &views, &opts).expect("complement computes");
-        let cfg = StateGenConfig::new(20, 6);
-        for i in 0..4u64 {
-            let db = random_state(&catalog, &cfg, seed.wrapping_add(i));
-            let verdict = comp.verify_on(&catalog, &views, &db).expect("evaluates");
-            prop_assert_eq!(verdict, Ok(()),
-                "complement failed for warehouse variant {} regime {} seed {}",
-                which, regime, seed.wrapping_add(i));
-        }
-    }
+/// The constrained complement is never larger than the unconstrained
+/// one (constraints only remove stored tuples).
+#[test]
+fn constraints_never_grow_complements() {
+    Runner::new("constraints_never_grow_complements").cases(64).run(
+        |rng| (rng.below(6) as u8, rng.next_u64()),
+        |&(which, seed)| {
+            let catalog = constrained_catalog();
+            let views = warehouse_variants(&catalog, which);
+            let plain = complement_with(&catalog, &views, &ComplementOptions::unconstrained())
+                .expect("complement");
+            let full = complement_with(&catalog, &views, &ComplementOptions::default())
+                .expect("complement");
+            let cfg = StateGenConfig::new(20, 6);
+            let db = random_state(&catalog, &cfg, seed);
+            let plain_size = plain.materialized_size(&db).expect("materializes");
+            let full_size = full.materialized_size(&db).expect("materializes");
+            tk_ensure!(
+                full_size <= plain_size,
+                "constraints grew the complement: {full_size} > {plain_size}"
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// The constrained complement is never larger than the unconstrained
-    /// one (constraints only remove stored tuples).
-    #[test]
-    fn constraints_never_grow_complements(which in 0u8..6, seed in any::<u64>()) {
-        let catalog = constrained_catalog();
-        let views = warehouse_variants(&catalog, which);
-        let plain = complement_with(&catalog, &views, &ComplementOptions::unconstrained())
-            .expect("complement");
-        let full = complement_with(&catalog, &views, &ComplementOptions::default())
-            .expect("complement");
-        let cfg = StateGenConfig::new(20, 6);
-        let db = random_state(&catalog, &cfg, seed);
-        let plain_size = plain.materialized_size(&db).expect("materializes");
-        let full_size = full.materialized_size(&db).expect("materializes");
-        prop_assert!(full_size <= plain_size,
-            "constraints grew the complement: {} > {}", full_size, plain_size);
-    }
-
-    /// Proposition 2.1: the mapping d -> (V(d), C(d)) is injective on
-    /// sampled state pairs — different states, different images.
-    #[test]
-    fn warehouse_mapping_is_injective(which in 0u8..6, s1 in any::<u64>(), s2 in any::<u64>()) {
-        let catalog = constrained_catalog();
-        let views = warehouse_variants(&catalog, which);
-        let comp = complement_with(&catalog, &views, &ComplementOptions::default())
-            .expect("complement");
-        let cfg = StateGenConfig::new(16, 5);
-        let d1 = random_state(&catalog, &cfg, s1);
-        let d2 = random_state(&catalog, &cfg, s2);
-        let w1 = comp.warehouse_state(&views, &d1).expect("materializes");
-        let w2 = comp.warehouse_state(&views, &d2).expect("materializes");
-        if d1 != d2 {
-            prop_assert_ne!(w1, w2, "distinct states collapsed to one warehouse image");
-        } else {
-            prop_assert_eq!(w1, w2);
-        }
-    }
+/// Proposition 2.1: the mapping d -> (V(d), C(d)) is injective on
+/// sampled state pairs — different states, different images.
+#[test]
+fn warehouse_mapping_is_injective() {
+    Runner::new("warehouse_mapping_is_injective").cases(64).run(
+        |rng| (rng.below(6) as u8, rng.next_u64(), rng.next_u64()),
+        |&(which, s1, s2)| {
+            let catalog = constrained_catalog();
+            let views = warehouse_variants(&catalog, which);
+            let comp = complement_with(&catalog, &views, &ComplementOptions::default())
+                .expect("complement");
+            let cfg = StateGenConfig::new(16, 5);
+            let d1 = random_state(&catalog, &cfg, s1);
+            let d2 = random_state(&catalog, &cfg, s2);
+            let w1 = comp.warehouse_state(&views, &d1).expect("materializes");
+            let w2 = comp.warehouse_state(&views, &d2).expect("materializes");
+            if d1 != d2 {
+                tk_ensure_ne!(w1, w2);
+            } else {
+                tk_ensure_eq!(w1, w2);
+            }
+            Ok(())
+        },
+    );
 }

@@ -3,81 +3,89 @@
 //! evaluation on random tuples), and every `Proven` view containment
 //! must hold on random states.
 
+use dwc_testkit::prop::Runner;
+use dwc_testkit::{tk_ensure, SplitMix64};
 use dwcomplements::core::containment::{predicate_implies, view_le, Containment};
 use dwcomplements::core::PsjView;
 use dwcomplements::relalg::gen::{random_states, StateGenConfig};
 use dwcomplements::relalg::{AttrSet, Catalog, CmpOp, Operand, Predicate, Tuple, Value};
-use proptest::prelude::*;
 
-fn arb_atom() -> impl Strategy<Value = Predicate> {
-    (
-        prop::sample::select(vec!["a", "b"]),
-        prop::sample::select(vec![
-            CmpOp::Eq,
-            CmpOp::Ne,
-            CmpOp::Lt,
-            CmpOp::Le,
-            CmpOp::Gt,
-            CmpOp::Ge,
-        ]),
-        0i64..6,
-    )
-        .prop_map(|(attr, op, v)| {
+/// The shrinkable wire format of a conjunction of atoms: each atom is
+/// `(attr selector, operator selector, constant)`.
+type Conj = Vec<(u8, u8, i64)>;
+
+fn gen_conj(rng: &mut SplitMix64) -> Conj {
+    let n = rng.index(4);
+    (0..n)
+        .map(|_| (rng.below(2) as u8, rng.below(6) as u8, rng.i64_in(0, 6)))
+        .collect()
+}
+
+fn conj_to_predicate(conj: &Conj) -> Predicate {
+    conj.iter()
+        .map(|&(attr, op, v)| {
+            let attr = ["a", "b"][attr as usize % 2];
+            let op = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
+                [op as usize % 6];
             Predicate::Cmp(Operand::attr(attr), op, Operand::Const(Value::int(v)))
         })
+        .fold(Predicate::True, Predicate::and)
 }
 
-fn arb_conj() -> impl Strategy<Value = Predicate> {
-    proptest::collection::vec(arb_atom(), 0..4)
-        .prop_map(|atoms| atoms.into_iter().fold(Predicate::True, Predicate::and))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Soundness: if `p ⟹ q` is proven, then on every tuple satisfying
-    /// `p`, `q` holds.
-    #[test]
-    fn implication_proofs_are_sound(p in arb_conj(), q in arb_conj()) {
-        if predicate_implies(&p, &q) == Some(true) {
-            let header = AttrSet::from_names(&["a", "b"]);
-            let cp = p.compile(&header).expect("compiles");
-            let cq = q.compile(&header).expect("compiles");
-            for a in -1..7i64 {
-                for b in -1..7i64 {
-                    let t = Tuple::new(vec![Value::int(a), Value::int(b)]);
-                    if cp.eval(&t) {
-                        prop_assert!(
-                            cq.eval(&t),
-                            "proved {} => {} but ({a},{b}) violates it", p, q
-                        );
+/// Soundness: if `p ⟹ q` is proven, then on every tuple satisfying
+/// `p`, `q` holds.
+#[test]
+fn implication_proofs_are_sound() {
+    Runner::new("implication_proofs_are_sound").cases(512).run(
+        |rng| (gen_conj(rng), gen_conj(rng)),
+        |(cp_raw, cq_raw)| {
+            let p = conj_to_predicate(cp_raw);
+            let q = conj_to_predicate(cq_raw);
+            if predicate_implies(&p, &q) == Some(true) {
+                let header = AttrSet::from_names(&["a", "b"]);
+                let cp = p.compile(&header).expect("compiles");
+                let cq = q.compile(&header).expect("compiles");
+                for a in -1..7i64 {
+                    for b in -1..7i64 {
+                        let t = Tuple::new(vec![Value::int(a), Value::int(b)]);
+                        if cp.eval(&t) {
+                            tk_ensure!(
+                                cq.eval(&t),
+                                "proved {p} => {q} but ({a},{b}) violates it"
+                            );
+                        }
                     }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Soundness at the view level: `Proven` containments hold on random
-    /// states.
-    #[test]
-    fn proven_view_containments_hold(
-        p in arb_conj(),
-        q in arb_conj(),
-        seed in any::<u64>(),
-    ) {
-        let mut c = Catalog::new();
-        c.add_schema("R", &["a", "b"]).expect("static");
-        c.add_schema("S", &["b", "c"]).expect("static");
-        let z = AttrSet::from_names(&["a", "b"]);
-        let narrow = PsjView::new(&c, vec!["R".into(), "S".into()], p, z.clone())
-            .expect("well-formed");
-        let wide = PsjView::new(&c, vec!["R".into()], q, z).expect("well-formed");
-        if view_le(&narrow, &wide, &[]).expect("checks") == Containment::Proven {
-            for d in random_states(&c, &StateGenConfig::new(16, 5), seed, 4) {
-                let rn = narrow.to_expr().eval(&d).expect("evaluates");
-                let rw = wide.to_expr().eval(&d).expect("evaluates");
-                prop_assert!(rn.is_subset(&rw).expect("same header"));
+/// Soundness at the view level: `Proven` containments hold on random
+/// states.
+#[test]
+fn proven_view_containments_hold() {
+    Runner::new("proven_view_containments_hold").cases(256).run(
+        |rng| (gen_conj(rng), gen_conj(rng), rng.next_u64()),
+        |(cp_raw, cq_raw, seed)| {
+            let p = conj_to_predicate(cp_raw);
+            let q = conj_to_predicate(cq_raw);
+            let mut c = Catalog::new();
+            c.add_schema("R", &["a", "b"]).expect("static");
+            c.add_schema("S", &["b", "c"]).expect("static");
+            let z = AttrSet::from_names(&["a", "b"]);
+            let narrow = PsjView::new(&c, vec!["R".into(), "S".into()], p, z.clone())
+                .expect("well-formed");
+            let wide = PsjView::new(&c, vec!["R".into()], q, z).expect("well-formed");
+            if view_le(&narrow, &wide, &[]).expect("checks") == Containment::Proven {
+                for d in random_states(&c, &StateGenConfig::new(16, 5), *seed, 4) {
+                    let rn = narrow.to_expr().eval(&d).expect("evaluates");
+                    let rw = wide.to_expr().eval(&d).expect("evaluates");
+                    tk_ensure!(rn.is_subset(&rw).expect("same header"));
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }

@@ -5,88 +5,107 @@
 
 mod common;
 
-use common::{arb_chain_state, arb_chain_update, chain_catalog, random_expr};
+use common::{chain_catalog, chain_state, chain_update, gen_chain_rows, gen_chain_update_rows,
+    random_expr};
+use dwc_testkit::prop::Runner;
+use dwc_testkit::{tk_ensure, tk_ensure_eq};
 use dwcomplements::warehouse::delta::{delta_environment, derive, touched_set, DeltaResolver};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The fundamental delta-rule soundness property.
-    #[test]
-    fn incremental_equals_recompute(
-        seed in any::<u64>(),
-        depth in 0u32..4,
-        db in arb_chain_state(),
-        update in arb_chain_update(),
-    ) {
-        let catalog = chain_catalog();
-        let e = random_expr(seed, depth, &catalog);
-        let touched = touched_set(&db, &update).expect("consistent");
-        let resolver = DeltaResolver::new(&catalog);
-        let d = derive(&e, &touched, &resolver).expect("derives");
-        let env = delta_environment(&db, &update).expect("builds");
-
-        let old = e.eval(&db).expect("evaluates");
-        let incremental = d.apply(&old, &env).expect("applies");
-        let recomputed = e
-            .eval(&update.apply(&db).expect("updates"))
-            .expect("evaluates");
-        prop_assert_eq!(&incremental, &recomputed);
-
-        // Composing invariants.
-        let plus = d.plus.eval(&env).expect("evaluates");
-        let minus = d.minus.eval(&env).expect("evaluates");
-        prop_assert!(plus.is_subset(&recomputed).expect("same header"));
-        prop_assert!(minus.intersect(&recomputed).expect("same header").is_empty());
-    }
-
-    /// No-op updates derive empty deltas after evaluation.
-    #[test]
-    fn noop_updates_change_nothing(
-        seed in any::<u64>(),
-        depth in 0u32..4,
-        db in arb_chain_state(),
-    ) {
-        let catalog = chain_catalog();
-        let e = random_expr(seed, depth, &catalog);
-        // Insert tuples that already exist, delete tuples that don't.
-        let r = db.relation("R".into()).unwrap().clone();
-        let ghost = common::relation_from(&["a", "b"], &[vec![99, 99]]);
-        let update = dwcomplements::relalg::Update::new()
-            .with("R", dwcomplements::relalg::Delta::insert_only(r))
-            .with("R", dwcomplements::relalg::Delta::delete_only(ghost));
-        let touched = touched_set(&db, &update).expect("consistent");
-        prop_assert!(touched.is_empty());
-        let resolver = DeltaResolver::new(&catalog);
-        let d = derive(&e, &touched, &resolver).expect("derives");
-        let env = delta_environment(&db, &update).expect("builds");
-        prop_assert!(d.plus.eval(&env).expect("evaluates").is_empty());
-        prop_assert!(d.minus.eval(&env).expect("evaluates").is_empty());
-    }
-
-    /// Delta application composes: two sequential updates maintained
-    /// incrementally equal the one-shot recomputation.
-    #[test]
-    fn sequential_composition(
-        seed in any::<u64>(),
-        db in arb_chain_state(),
-        u1 in arb_chain_update(),
-        u2 in arb_chain_update(),
-    ) {
-        let catalog = chain_catalog();
-        let e = random_expr(seed, 3, &catalog);
-        let resolver = DeltaResolver::new(&catalog);
-
-        let mut current_db = db;
-        let mut current = e.eval(&current_db).expect("evaluates");
-        for u in [u1, u2] {
-            let touched = touched_set(&current_db, &u).expect("consistent");
+/// The fundamental delta-rule soundness property.
+#[test]
+fn incremental_equals_recompute() {
+    Runner::new("incremental_equals_recompute").cases(128).run(
+        |rng| {
+            (
+                rng.next_u64(),
+                rng.below(4) as u32,
+                gen_chain_rows(rng),
+                gen_chain_update_rows(rng),
+            )
+        },
+        |(seed, depth, state_rows, update_rows)| {
+            let catalog = chain_catalog();
+            let db = chain_state(state_rows);
+            let update = chain_update(update_rows);
+            let e = random_expr(*seed, *depth, &catalog);
+            let touched = touched_set(&db, &update).expect("consistent");
+            let resolver = DeltaResolver::new(&catalog);
             let d = derive(&e, &touched, &resolver).expect("derives");
-            let env = delta_environment(&current_db, &u).expect("builds");
-            current = d.apply(&current, &env).expect("applies");
-            current_db = u.apply(&current_db).expect("updates");
-        }
-        prop_assert_eq!(current, e.eval(&current_db).expect("evaluates"));
-    }
+            let env = delta_environment(&db, &update).expect("builds");
+
+            let old = e.eval(&db).expect("evaluates");
+            let incremental = d.apply(&old, &env).expect("applies");
+            let recomputed = e
+                .eval(&update.apply(&db).expect("updates"))
+                .expect("evaluates");
+            tk_ensure_eq!(&incremental, &recomputed);
+
+            // Composing invariants.
+            let plus = d.plus.eval(&env).expect("evaluates");
+            let minus = d.minus.eval(&env).expect("evaluates");
+            tk_ensure!(plus.is_subset(&recomputed).expect("same header"));
+            tk_ensure!(minus.intersect(&recomputed).expect("same header").is_empty());
+            Ok(())
+        },
+    );
+}
+
+/// No-op updates derive empty deltas after evaluation.
+#[test]
+fn noop_updates_change_nothing() {
+    Runner::new("noop_updates_change_nothing").cases(128).run(
+        |rng| (rng.next_u64(), rng.below(4) as u32, gen_chain_rows(rng)),
+        |(seed, depth, rows)| {
+            let catalog = chain_catalog();
+            let db = chain_state(rows);
+            let e = random_expr(*seed, *depth, &catalog);
+            // Insert tuples that already exist, delete tuples that don't.
+            let r = db.relation("R".into()).unwrap().clone();
+            let ghost = common::relation_from(&["a", "b"], &[vec![99, 99]]);
+            let update = dwcomplements::relalg::Update::new()
+                .with("R", dwcomplements::relalg::Delta::insert_only(r))
+                .with("R", dwcomplements::relalg::Delta::delete_only(ghost));
+            let touched = touched_set(&db, &update).expect("consistent");
+            tk_ensure!(touched.is_empty());
+            let resolver = DeltaResolver::new(&catalog);
+            let d = derive(&e, &touched, &resolver).expect("derives");
+            let env = delta_environment(&db, &update).expect("builds");
+            tk_ensure!(d.plus.eval(&env).expect("evaluates").is_empty());
+            tk_ensure!(d.minus.eval(&env).expect("evaluates").is_empty());
+            Ok(())
+        },
+    );
+}
+
+/// Delta application composes: two sequential updates maintained
+/// incrementally equal the one-shot recomputation.
+#[test]
+fn sequential_composition() {
+    Runner::new("sequential_composition").cases(64).run(
+        |rng| {
+            (
+                rng.next_u64(),
+                gen_chain_rows(rng),
+                gen_chain_update_rows(rng),
+                gen_chain_update_rows(rng),
+            )
+        },
+        |(seed, state_rows, u1_rows, u2_rows)| {
+            let catalog = chain_catalog();
+            let e = random_expr(*seed, 3, &catalog);
+            let resolver = DeltaResolver::new(&catalog);
+
+            let mut current_db = chain_state(state_rows);
+            let mut current = e.eval(&current_db).expect("evaluates");
+            for u in [chain_update(u1_rows), chain_update(u2_rows)] {
+                let touched = touched_set(&current_db, &u).expect("consistent");
+                let d = derive(&e, &touched, &resolver).expect("derives");
+                let env = delta_environment(&current_db, &u).expect("builds");
+                current = d.apply(&current, &env).expect("applies");
+                current_db = u.apply(&current_db).expect("updates");
+            }
+            tk_ensure_eq!(current, e.eval(&current_db).expect("evaluates"));
+            Ok(())
+        },
+    );
 }

@@ -3,103 +3,139 @@
 
 mod common;
 
-use common::{arb_chain_state, chain_catalog, random_expr};
+use common::{chain_catalog, chain_state, gen_chain_rows, random_expr};
+use dwc_testkit::prop::Runner;
+use dwc_testkit::{tk_ensure, tk_ensure_eq};
 use dwcomplements::relalg::{RaExpr, Relation};
-use proptest::prelude::*;
 
-proptest! {
-    /// Printing and re-parsing is the identity on expressions.
-    #[test]
-    fn display_parse_roundtrip(seed in any::<u64>(), depth in 0u32..4) {
-        let catalog = chain_catalog();
-        let e = random_expr(seed, depth, &catalog);
-        let printed = e.to_string();
-        let reparsed = RaExpr::parse(&printed).expect("printer output parses");
-        prop_assert_eq!(e, reparsed);
-    }
+/// Printing and re-parsing is the identity on expressions.
+#[test]
+fn display_parse_roundtrip() {
+    Runner::new("display_parse_roundtrip").cases(256).run(
+        |rng| (rng.next_u64(), rng.below(4) as u32),
+        |&(seed, depth)| {
+            let catalog = chain_catalog();
+            let e = random_expr(seed, depth, &catalog);
+            let printed = e.to_string();
+            let reparsed = RaExpr::parse(&printed).expect("printer output parses");
+            tk_ensure_eq!(e, reparsed);
+            Ok(())
+        },
+    );
+}
 
-    /// The simplifier preserves semantics and never grows the expression.
-    #[test]
-    fn simplifier_preserves_semantics(
-        seed in any::<u64>(),
-        depth in 0u32..4,
-        db in arb_chain_state(),
-    ) {
-        let catalog = chain_catalog();
-        let e = random_expr(seed, depth, &catalog);
-        let s = e.simplified(&catalog).expect("well-typed by construction");
-        prop_assert!(s.size() <= e.size());
-        prop_assert_eq!(e.eval(&db).expect("evaluates"), s.eval(&db).expect("evaluates"));
-    }
+/// The simplifier preserves semantics and never grows the expression.
+#[test]
+fn simplifier_preserves_semantics() {
+    Runner::new("simplifier_preserves_semantics").cases(256).run(
+        |rng| (rng.next_u64(), rng.below(4) as u32, gen_chain_rows(rng)),
+        |(seed, depth, rows)| {
+            let catalog = chain_catalog();
+            let db = chain_state(rows);
+            let e = random_expr(*seed, *depth, &catalog);
+            let s = e.simplified(&catalog).expect("well-typed by construction");
+            tk_ensure!(s.size() <= e.size(), "simplifier grew {e} to {s}");
+            tk_ensure_eq!(e.eval(&db).expect("evaluates"), s.eval(&db).expect("evaluates"));
+            Ok(())
+        },
+    );
+}
 
-    /// The memoizing evaluator agrees with the plain one.
-    #[test]
-    fn cached_eval_agrees(seed in any::<u64>(), depth in 0u32..4, db in arb_chain_state()) {
-        let catalog = chain_catalog();
-        let e = random_expr(seed, depth, &catalog);
-        let mut cache = std::collections::HashMap::new();
-        let cached = dwcomplements::relalg::eval::eval_cached(&e, &db, &mut cache)
-            .expect("evaluates");
-        prop_assert_eq!(&*cached, &e.eval(&db).expect("evaluates"));
-    }
+/// The memoizing evaluator agrees with the plain one.
+#[test]
+fn cached_eval_agrees() {
+    Runner::new("cached_eval_agrees").cases(128).run(
+        |rng| (rng.next_u64(), rng.below(4) as u32, gen_chain_rows(rng)),
+        |(seed, depth, rows)| {
+            let catalog = chain_catalog();
+            let db = chain_state(rows);
+            let e = random_expr(*seed, *depth, &catalog);
+            let mut cache = std::collections::HashMap::new();
+            let cached = dwcomplements::relalg::eval::eval_cached(&e, &db, &mut cache)
+                .expect("evaluates");
+            tk_ensure_eq!(&*cached, &e.eval(&db).expect("evaluates"));
+            Ok(())
+        },
+    );
+}
 
-    /// Algebraic laws of the evaluated operators (set semantics).
-    #[test]
-    fn set_operator_laws(db in arb_chain_state()) {
-        let r = db.relation("R".into()).unwrap();
-        let s_rel = {
-            // project S onto {b} renamed shape is overkill; use R vs R-variants
-            let sel = RaExpr::parse("sigma[a <= 3](R)").unwrap();
-            sel.eval(&db).unwrap()
-        };
-        // union/intersection commute; difference antitone checks
-        prop_assert_eq!(r.union(&s_rel).unwrap(), s_rel.union(r).unwrap());
-        prop_assert_eq!(r.intersect(&s_rel).unwrap(), s_rel.intersect(r).unwrap());
-        // A ∖ B ⊆ A, (A ∖ B) ∩ B = ∅
-        let diff = r.difference(&s_rel).unwrap();
-        prop_assert!(diff.is_subset(r).unwrap());
-        prop_assert!(diff.intersect(&s_rel).unwrap().is_empty());
-        // σ is a subset of its input and idempotent
-        let sel = RaExpr::parse("sigma[b = 2](R)").unwrap().eval(&db).unwrap();
-        prop_assert!(sel.is_subset(r).unwrap());
-    }
+/// Algebraic laws of the evaluated operators (set semantics).
+#[test]
+fn set_operator_laws() {
+    Runner::new("set_operator_laws").cases(128).run(
+        |rng| gen_chain_rows(rng),
+        |rows| {
+            let db = chain_state(rows);
+            let r = db.relation("R".into()).unwrap();
+            let s_rel = {
+                let sel = RaExpr::parse("sigma[a <= 3](R)").unwrap();
+                sel.eval(&db).unwrap()
+            };
+            // union/intersection commute; difference antitone checks
+            tk_ensure_eq!(r.union(&s_rel).unwrap(), s_rel.union(r).unwrap());
+            tk_ensure_eq!(r.intersect(&s_rel).unwrap(), s_rel.intersect(r).unwrap());
+            // A ∖ B ⊆ A, (A ∖ B) ∩ B = ∅
+            let diff = r.difference(&s_rel).unwrap();
+            tk_ensure!(diff.is_subset(r).unwrap());
+            tk_ensure!(diff.intersect(&s_rel).unwrap().is_empty());
+            // σ is a subset of its input and idempotent
+            let sel = RaExpr::parse("sigma[b = 2](R)").unwrap().eval(&db).unwrap();
+            tk_ensure!(sel.is_subset(r).unwrap());
+            Ok(())
+        },
+    );
+}
 
-    /// Natural join laws: commutativity and the degenerate cases.
-    #[test]
-    fn join_laws(db in arb_chain_state()) {
-        use dwcomplements::relalg::eval::natural_join;
-        let r = db.relation("R".into()).unwrap();
-        let s = db.relation("S".into()).unwrap();
-        let t = db.relation("T".into()).unwrap();
-        prop_assert_eq!(natural_join(r, s).unwrap(), natural_join(s, r).unwrap());
-        // associativity across the chain
-        let left = natural_join(&natural_join(r, s).unwrap(), t).unwrap();
-        let right = natural_join(r, &natural_join(s, t).unwrap()).unwrap();
-        prop_assert_eq!(left, right);
-        // self join is identity
-        prop_assert_eq!(natural_join(r, r).unwrap(), r.clone());
-        // join with empty same-header relation is empty
-        let empty = Relation::empty(r.attrs().clone());
-        prop_assert!(natural_join(r, &empty).unwrap().is_empty());
-    }
+/// Natural join laws: commutativity and the degenerate cases.
+#[test]
+fn join_laws() {
+    Runner::new("join_laws").cases(128).run(
+        |rng| gen_chain_rows(rng),
+        |rows| {
+            use dwcomplements::relalg::eval::natural_join;
+            let db = chain_state(rows);
+            let r = db.relation("R".into()).unwrap();
+            let s = db.relation("S".into()).unwrap();
+            let t = db.relation("T".into()).unwrap();
+            tk_ensure_eq!(natural_join(r, s).unwrap(), natural_join(s, r).unwrap());
+            // associativity across the chain
+            let left = natural_join(&natural_join(r, s).unwrap(), t).unwrap();
+            let right = natural_join(r, &natural_join(s, t).unwrap()).unwrap();
+            tk_ensure_eq!(left, right);
+            // self join is identity
+            tk_ensure_eq!(natural_join(r, r).unwrap(), r.clone());
+            // join with empty same-header relation is empty
+            let empty = Relation::empty(r.attrs().clone());
+            tk_ensure!(natural_join(r, &empty).unwrap().is_empty());
+            Ok(())
+        },
+    );
+}
 
-    /// π distributes over ∪ (but not ∖ — set semantics), σ commutes with ∪.
-    #[test]
-    fn projection_selection_distributivity(db in arb_chain_state()) {
-        let lhs = RaExpr::parse("pi[b](R) union pi[b](S)").unwrap().eval(&db).unwrap();
-        // (π over union needs same headers — project first, union after is the law we check)
-        let r_b = RaExpr::parse("pi[b](R)").unwrap().eval(&db).unwrap();
-        let s_b = RaExpr::parse("pi[b](S)").unwrap().eval(&db).unwrap();
-        prop_assert_eq!(lhs, r_b.union(&s_b).unwrap());
+/// π distributes over ∪ (but not ∖ — set semantics), σ commutes with ∪.
+#[test]
+fn projection_selection_distributivity() {
+    Runner::new("projection_selection_distributivity").cases(128).run(
+        |rng| gen_chain_rows(rng),
+        |rows| {
+            let db = chain_state(rows);
+            let lhs = RaExpr::parse("pi[b](R) union pi[b](S)").unwrap().eval(&db).unwrap();
+            // (π over union needs same headers — project first, union after is the law we check)
+            let r_b = RaExpr::parse("pi[b](R)").unwrap().eval(&db).unwrap();
+            let s_b = RaExpr::parse("pi[b](S)").unwrap().eval(&db).unwrap();
+            tk_ensure_eq!(lhs, r_b.union(&s_b).unwrap());
 
-        let sel_union = RaExpr::parse("sigma[b = 1](pi[b](R) union pi[b](S))")
-            .unwrap()
-            .eval(&db)
-            .unwrap();
-        let union_sel = RaExpr::parse("sigma[b = 1](pi[b](R)) union sigma[b = 1](pi[b](S))")
-            .unwrap()
-            .eval(&db)
-            .unwrap();
-        prop_assert_eq!(sel_union, union_sel);
-    }
+            let sel_union = RaExpr::parse("sigma[b = 1](pi[b](R) union pi[b](S))")
+                .unwrap()
+                .eval(&db)
+                .unwrap();
+            let union_sel =
+                RaExpr::parse("sigma[b = 1](pi[b](R)) union sigma[b = 1](pi[b](S))")
+                    .unwrap()
+                    .eval(&db)
+                    .unwrap();
+            tk_ensure_eq!(sel_union, union_sel);
+            Ok(())
+        },
+    );
 }

@@ -4,9 +4,11 @@
 
 mod common;
 
-use common::{arb_chain_state, arb_chain_update, chain_catalog, random_expr};
+use common::{chain_catalog, chain_state, chain_update, gen_chain_rows, gen_chain_update_rows,
+    random_expr, ChainUpdateRows};
+use dwc_testkit::prop::Runner;
+use dwc_testkit::{tk_ensure_eq, SplitMix64};
 use dwcomplements::warehouse::WarehouseSpec;
-use proptest::prelude::*;
 
 fn chain_warehouse() -> dwcomplements::warehouse::AugmentedWarehouse {
     // Two PSJ views over the chain catalog; neither alone determines D.
@@ -19,75 +21,94 @@ fn chain_warehouse() -> dwcomplements::warehouse::AugmentedWarehouse {
     .expect("complement exists")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Theorem 3.1: Q(d) = Q̄(W(d)) for random queries and states.
+#[test]
+fn query_translation_commutes() {
+    Runner::new("query_translation_commutes").cases(128).run(
+        |rng| (rng.next_u64(), rng.below(4) as u32, gen_chain_rows(rng)),
+        |(seed, depth, rows)| {
+            let aug = chain_warehouse();
+            let db = chain_state(rows);
+            let q = random_expr(*seed, *depth, aug.catalog());
+            let (at_source, at_warehouse) = aug.query_commutes(&q, &db).expect("both evaluate");
+            tk_ensure_eq!(at_source, at_warehouse);
+            Ok(())
+        },
+    );
+}
 
-    /// Theorem 3.1: Q(d) = Q̄(W(d)) for random queries and states.
-    #[test]
-    fn query_translation_commutes(
-        seed in any::<u64>(),
-        depth in 0u32..4,
-        db in arb_chain_state(),
-    ) {
-        let aug = chain_warehouse();
-        let q = random_expr(seed, depth, aug.catalog());
-        let (at_source, at_warehouse) = aug.query_commutes(&q, &db).expect("both evaluate");
-        prop_assert_eq!(at_source, at_warehouse);
-    }
+fn gen_update_stream(rng: &mut SplitMix64) -> Vec<ChainUpdateRows> {
+    let n = rng.usize_in(1, 4);
+    (0..n).map(|_| gen_chain_update_rows(rng)).collect()
+}
 
-    /// Theorem 4.1: incremental maintenance tracks W(u(d)) over random
-    /// update streams; the reconstruction pipeline agrees.
-    #[test]
-    fn update_translation_commutes(
-        db in arb_chain_state(),
-        updates in proptest::collection::vec(arb_chain_update(), 1..4),
-    ) {
-        let aug = chain_warehouse();
-        let mut current_db = db;
-        let mut w = aug.materialize(&current_db).expect("materializes");
-        for u in updates {
-            let u = u.normalize(&current_db).expect("consistent");
-            if u.is_empty() {
-                continue;
+/// Theorem 4.1: incremental maintenance tracks W(u(d)) over random
+/// update streams; the reconstruction pipeline agrees.
+#[test]
+fn update_translation_commutes() {
+    Runner::new("update_translation_commutes").cases(64).run(
+        |rng| (gen_chain_rows(rng), gen_update_stream(rng)),
+        |(state_rows, updates)| {
+            let aug = chain_warehouse();
+            let mut current_db = chain_state(state_rows);
+            let mut w = aug.materialize(&current_db).expect("materializes");
+            for u_rows in updates {
+                let u = chain_update(u_rows)
+                    .normalize(&current_db)
+                    .expect("consistent");
+                if u.is_empty() {
+                    continue;
+                }
+                let w_inc = aug.maintain(&w, &u).expect("incremental");
+                let w_rec = aug.maintain_by_reconstruction(&w, &u).expect("reconstruction");
+                current_db = u.apply(&current_db).expect("applies");
+                let oracle = aug.materialize(&current_db).expect("materializes");
+                tk_ensure_eq!(&w_inc, &oracle);
+                tk_ensure_eq!(&w_rec, &oracle);
+                w = w_inc;
             }
-            let w_inc = aug.maintain(&w, &u).expect("incremental");
-            let w_rec = aug.maintain_by_reconstruction(&w, &u).expect("reconstruction");
-            current_db = u.apply(&current_db).expect("applies");
-            let oracle = aug.materialize(&current_db).expect("materializes");
-            prop_assert_eq!(&w_inc, &oracle);
-            prop_assert_eq!(&w_rec, &oracle);
-            w = w_inc;
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Query independence survives maintenance: answers at the maintained
-    /// warehouse equal answers at the updated sources.
-    #[test]
-    fn queries_remain_correct_after_maintenance(
-        seed in any::<u64>(),
-        db in arb_chain_state(),
-        u in arb_chain_update(),
-    ) {
-        let aug = chain_warehouse();
-        let mut w = aug.materialize(&db).expect("materializes");
-        let u = u.normalize(&db).expect("consistent");
-        if !u.is_empty() {
-            w = aug.maintain(&w, &u).expect("incremental");
-        }
-        let db_next = u.apply(&db).expect("applies");
-        let q = random_expr(seed, 3, aug.catalog());
-        let at_source = q.eval(&db_next).expect("evaluates");
-        let at_warehouse = aug.answer_at_warehouse(&q, &w).expect("answers");
-        prop_assert_eq!(at_source, at_warehouse);
-    }
+/// Query independence survives maintenance: answers at the maintained
+/// warehouse equal answers at the updated sources.
+#[test]
+fn queries_remain_correct_after_maintenance() {
+    Runner::new("queries_remain_correct_after_maintenance").cases(64).run(
+        |rng| (rng.next_u64(), gen_chain_rows(rng), gen_chain_update_rows(rng)),
+        |(seed, state_rows, update_rows)| {
+            let aug = chain_warehouse();
+            let db = chain_state(state_rows);
+            let mut w = aug.materialize(&db).expect("materializes");
+            let u = chain_update(update_rows).normalize(&db).expect("consistent");
+            if !u.is_empty() {
+                w = aug.maintain(&w, &u).expect("incremental");
+            }
+            let db_next = u.apply(&db).expect("applies");
+            let q = random_expr(*seed, 3, aug.catalog());
+            let at_source = q.eval(&db_next).expect("evaluates");
+            let at_warehouse = aug.answer_at_warehouse(&q, &w).expect("answers");
+            tk_ensure_eq!(at_source, at_warehouse);
+            Ok(())
+        },
+    );
+}
 
-    /// Reconstructing the sources from the warehouse is exact (the
-    /// W⁻¹ ∘ W identity behind both theorems).
-    #[test]
-    fn inverse_identity(db in arb_chain_state()) {
-        let aug = chain_warehouse();
-        let w = aug.materialize(&db).expect("materializes");
-        let reconstructed = aug.reconstruct_sources(&w).expect("reconstructs");
-        prop_assert_eq!(reconstructed, db);
-    }
+/// Reconstructing the sources from the warehouse is exact (the
+/// W⁻¹ ∘ W identity behind both theorems).
+#[test]
+fn inverse_identity() {
+    Runner::new("inverse_identity").cases(128).run(
+        |rng| gen_chain_rows(rng),
+        |rows| {
+            let aug = chain_warehouse();
+            let db = chain_state(rows);
+            let w = aug.materialize(&db).expect("materializes");
+            let reconstructed = aug.reconstruct_sources(&w).expect("reconstructs");
+            tk_ensure_eq!(reconstructed, db);
+            Ok(())
+        },
+    );
 }

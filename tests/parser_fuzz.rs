@@ -1,46 +1,100 @@
 //! Parser robustness: arbitrary input never panics, and every successful
 //! parse round-trips through the printer.
+//!
+//! Runs on the dwc-testkit runner with a deterministic fixed-seed corpus:
+//! every `cargo test` fuzzes the same inputs, and a failure prints a
+//! shrunk counterexample (shorter string / fewer tokens) plus a
+//! `DWC_TESTKIT_SEED` that replays it exactly.
 
+mod common;
+
+use common::{chain_catalog, random_expr};
+use dwc_testkit::prop::Runner;
+use dwc_testkit::tk_ensure_eq;
 use dwcomplements::relalg::RaExpr;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+/// Totally arbitrary strings: parse must return (Ok or Err), never panic.
+/// (The runner converts panics into failures, then shrinks the string.)
+#[test]
+fn arbitrary_strings_never_panic() {
+    Runner::new("arbitrary_strings_never_panic").cases(1024).run(
+        |rng| rng.wild_string(80),
+        |text| {
+            let _ = RaExpr::parse(text);
+            let _ = dwcomplements::relalg::parse::parse_predicate(text);
+            Ok(())
+        },
+    );
+}
 
-    /// Totally arbitrary strings: parse must return (Ok or Err), never panic.
-    #[test]
-    fn arbitrary_strings_never_panic(text in ".{0,80}") {
-        let _ = RaExpr::parse(&text);
-        let _ = dwcomplements::relalg::parse::parse_predicate(&text);
-    }
+/// The expression-grammar vocabulary; soup inputs are shrinkable index
+/// vectors into this table, so counterexamples minimize to the fewest,
+/// earliest tokens that still fail.
+const VOCAB: &[&str] = &[
+    "R", "S", "join", "union", "minus", "intersect", "sigma", "pi",
+    "rho", "empty", "(", ")", "[", "]", ",", "->", "=", "!=", "<",
+    "<=", "a", "b", "1", "-5", "2.5", "'x'", "and", "or", "not",
+    "true", "false",
+];
 
-    /// Grammar-shaped soup: tokens from the expression vocabulary in
-    /// random order — much more likely to reach deep parser states.
-    #[test]
-    fn token_soup_never_panics(
-        tokens in proptest::collection::vec(
-            prop::sample::select(vec![
-                "R", "S", "join", "union", "minus", "intersect", "sigma", "pi",
-                "rho", "empty", "(", ")", "[", "]", ",", "->", "=", "!=", "<",
-                "<=", "a", "b", "1", "-5", "2.5", "'x'", "and", "or", "not",
-                "true", "false",
-            ]),
-            0..24,
-        )
-    ) {
-        let text = tokens.join(" ");
-        if let Ok(expr) = RaExpr::parse(&text) {
-            // Anything that parses must print and re-parse identically.
-            let reparsed = RaExpr::parse(&expr.to_string()).expect("printer output parses");
-            prop_assert_eq!(expr, reparsed);
-        }
-    }
+/// Grammar-shaped soup: tokens from the expression vocabulary in
+/// random order — much more likely to reach deep parser states.
+#[test]
+fn token_soup_never_panics() {
+    Runner::new("token_soup_never_panics").cases(1024).run(
+        |rng| {
+            let len = rng.index(24);
+            rng.vec_of(len, |r| r.index(VOCAB.len()))
+        },
+        |picks: &Vec<usize>| {
+            let tokens: Vec<&str> = picks.iter().map(|&i| VOCAB[i % VOCAB.len()]).collect();
+            let text = tokens.join(" ");
+            if let Ok(expr) = RaExpr::parse(&text) {
+                // Anything that parses must print and re-parse identically.
+                let reparsed =
+                    RaExpr::parse(&expr.to_string()).expect("printer output parses");
+                tk_ensure_eq!(expr, reparsed);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Valid numeric edge cases.
-    #[test]
-    fn numeric_literals(i in any::<i64>()) {
-        let text = format!("sigma[a = {i}](R)");
-        let e = RaExpr::parse(&text).expect("valid literal");
-        prop_assert_eq!(RaExpr::parse(&e.to_string()).expect("round-trips"), e);
-    }
+/// Structured corpus: well-typed expressions generated from a seed must
+/// satisfy `parse(display(e)) == e` exactly.
+#[test]
+fn generated_expressions_roundtrip() {
+    Runner::new("generated_expressions_roundtrip").cases(512).run(
+        |rng| (rng.next_u64(), rng.below(5) as u32),
+        |&(seed, depth)| {
+            let catalog = chain_catalog();
+            let e = random_expr(seed, depth, &catalog);
+            let reparsed = RaExpr::parse(&e.to_string()).expect("printer output parses");
+            tk_ensure_eq!(e, reparsed);
+            Ok(())
+        },
+    );
+}
+
+/// Valid numeric edge cases (the shrinker drives extreme literals toward
+/// zero, so failures report the smallest offending magnitude).
+#[test]
+fn numeric_literals() {
+    Runner::new("numeric_literals").cases(256).run(
+        |rng| {
+            // mix raw 64-bit patterns with small values and the extremes
+            match rng.below(4) {
+                0 => rng.next_u64() as i64,
+                1 => rng.i64_in(-1000, 1000),
+                2 => i64::MIN.wrapping_add(rng.below(4) as i64),
+                _ => i64::MAX.wrapping_sub(rng.below(4) as i64),
+            }
+        },
+        |&i| {
+            let text = format!("sigma[a = {i}](R)");
+            let e = RaExpr::parse(&text).expect("valid literal");
+            tk_ensure_eq!(RaExpr::parse(&e.to_string()).expect("round-trips"), e);
+            Ok(())
+        },
+    );
 }

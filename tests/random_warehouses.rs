@@ -2,15 +2,16 @@
 //! *randomly generated* catalogs (schemas, keys, acyclic inclusion
 //! dependencies) and randomly generated PSJ warehouses, verified on
 //! randomly generated constraint-satisfying states. Everything is
-//! seed-deterministic; proptest drives the seeds.
+//! seed-deterministic; the testkit runner drives the seeds.
 
+use dwc_testkit::prop::Runner;
+use dwc_testkit::tk_ensure_eq;
 use dwcomplements::core::constrained::{complement_with, ComplementOptions};
 use dwcomplements::core::psj::{NamedView, PsjView};
 use dwcomplements::relalg::gen::{random_state, SplitMix64, StateGenConfig};
 use dwcomplements::relalg::{
     AttrSet, Catalog, CmpOp, InclusionDep, Operand, Predicate, RelName, Value,
 };
-use proptest::prelude::*;
 
 /// Builds a random catalog: 2–4 relations over a shared pool of 6
 /// attribute names (shared names create natural-join structure), each
@@ -128,87 +129,81 @@ fn random_views(catalog: &Catalog, seed: u64) -> Vec<NamedView> {
     views
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+/// The headline property: for ANY random catalog, warehouse and
+/// constraint regime, the computed complement verifies on random
+/// valid states (Definition 2.2 / Proposition 2.1 / Theorem 2.2).
+#[test]
+fn theorem_22_holds_on_random_warehouses() {
+    Runner::new("theorem_22_holds_on_random_warehouses").cases(64).run(
+        |rng| (rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.below(3) as u8),
+        |&(cat_seed, view_seed, state_seed, regime)| {
+            let catalog = random_catalog(cat_seed);
+            let views = random_views(&catalog, view_seed);
+            let opts = match regime {
+                0 => ComplementOptions::unconstrained(),
+                1 => ComplementOptions::keys_only(),
+                _ => ComplementOptions::default(),
+            };
+            let comp = complement_with(&catalog, &views, &opts).expect("complement computes");
+            let cfg = StateGenConfig::new(16, 5);
+            for i in 0..3u64 {
+                let db = random_state(&catalog, &cfg, state_seed.wrapping_add(i));
+                let verdict = comp.verify_on(&catalog, &views, &db).expect("evaluates");
+                tk_ensure_eq!(verdict, Ok(()));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The headline property: for ANY random catalog, warehouse and
-    /// constraint regime, the computed complement verifies on random
-    /// valid states (Definition 2.2 / Proposition 2.1 / Theorem 2.2).
-    #[test]
-    fn theorem_22_holds_on_random_warehouses(
-        cat_seed in any::<u64>(),
-        view_seed in any::<u64>(),
-        state_seed in any::<u64>(),
-        regime in 0u8..3,
-    ) {
-        let catalog = random_catalog(cat_seed);
-        let views = random_views(&catalog, view_seed);
-        let opts = match regime {
-            0 => ComplementOptions::unconstrained(),
-            1 => ComplementOptions::keys_only(),
-            _ => ComplementOptions::default(),
-        };
-        let comp = complement_with(&catalog, &views, &opts).expect("complement computes");
-        let cfg = StateGenConfig::new(16, 5);
-        for i in 0..3u64 {
-            let db = random_state(&catalog, &cfg, state_seed.wrapping_add(i));
-            let verdict = comp.verify_on(&catalog, &views, &db).expect("evaluates");
-            prop_assert_eq!(
-                verdict,
-                Ok(()),
-                "complement failed: cat_seed={} view_seed={} state_seed={} regime={}",
-                cat_seed, view_seed, state_seed.wrapping_add(i), regime
-            );
-        }
-    }
+/// The whole pipeline on random warehouses: augmentation, query
+/// translation, and incremental maintenance all commute.
+#[test]
+fn pipeline_commutes_on_random_warehouses() {
+    Runner::new("pipeline_commutes_on_random_warehouses").cases(64).run(
+        |rng| (rng.next_u64(), rng.next_u64(), rng.next_u64()),
+        |&(cat_seed, view_seed, state_seed)| {
+            use dwcomplements::relalg::{Delta, Update};
+            use dwcomplements::warehouse::WarehouseSpec;
 
-    /// The whole pipeline on random warehouses: augmentation, query
-    /// translation, and incremental maintenance all commute.
-    #[test]
-    fn pipeline_commutes_on_random_warehouses(
-        cat_seed in any::<u64>(),
-        view_seed in any::<u64>(),
-        state_seed in any::<u64>(),
-    ) {
-        use dwcomplements::relalg::{Delta, Update};
-        use dwcomplements::warehouse::WarehouseSpec;
+            let catalog = random_catalog(cat_seed);
+            let views = random_views(&catalog, view_seed);
+            let spec = WarehouseSpec::new(catalog.clone(), views).expect("no collisions");
+            let aug = spec.augment().expect("augments");
+            let cfg = StateGenConfig::new(14, 5);
+            let db = random_state(&catalog, &cfg, state_seed);
+            let w = aug.materialize(&db).expect("materializes");
 
-        let catalog = random_catalog(cat_seed);
-        let views = random_views(&catalog, view_seed);
-        let spec = WarehouseSpec::new(catalog.clone(), views).expect("no collisions");
-        let aug = spec.augment().expect("augments");
-        let cfg = StateGenConfig::new(14, 5);
-        let db = random_state(&catalog, &cfg, state_seed);
-        let w = aug.materialize(&db).expect("materializes");
+            // Query translation commutes for a projection of each base.
+            for name in catalog.relation_names() {
+                let q = dwcomplements::relalg::RaExpr::Base(name);
+                let (src, wh) = aug.query_commutes(&q, &db).expect("evaluates");
+                tk_ensure_eq!(src, wh);
+            }
 
-        // Query translation commutes for a projection of each base.
-        for name in catalog.relation_names() {
-            let q = dwcomplements::relalg::RaExpr::Base(name);
-            let (src, wh) = aug.query_commutes(&q, &db).expect("evaluates");
-            prop_assert_eq!(src, wh);
-        }
-
-        // One multi-relation update, maintained incrementally.
-        let target = random_state(&catalog, &cfg, state_seed.wrapping_add(17));
-        let mut update = Update::new();
-        for (name, t) in target.iter() {
-            let cur = db.relation(name).expect("state");
-            update = update.with(
-                name.as_str(),
-                Delta::new(
-                    t.difference(cur).expect("same header"),
-                    cur.difference(t).expect("same header"),
-                )
-                .expect("same header"),
-            );
-        }
-        let update = update.normalize(&db).expect("consistent");
-        if !update.is_empty() {
-            let w_next = aug.maintain(&w, &update).expect("maintains");
-            let oracle = aug
-                .materialize(&update.apply(&db).expect("applies"))
-                .expect("materializes");
-            prop_assert_eq!(w_next, oracle);
-        }
-    }
+            // One multi-relation update, maintained incrementally.
+            let target = random_state(&catalog, &cfg, state_seed.wrapping_add(17));
+            let mut update = Update::new();
+            for (name, t) in target.iter() {
+                let cur = db.relation(name).expect("state");
+                update = update.with(
+                    name.as_str(),
+                    Delta::new(
+                        t.difference(cur).expect("same header"),
+                        cur.difference(t).expect("same header"),
+                    )
+                    .expect("same header"),
+                );
+            }
+            let update = update.normalize(&db).expect("consistent");
+            if !update.is_empty() {
+                let w_next = aug.maintain(&w, &update).expect("maintains");
+                let oracle = aug
+                    .materialize(&update.apply(&db).expect("applies"))
+                    .expect("materializes");
+                tk_ensure_eq!(w_next, oracle);
+            }
+            Ok(())
+        },
+    );
 }
