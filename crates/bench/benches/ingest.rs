@@ -1,0 +1,115 @@
+//! Ingestion-layer timings: what fault tolerance costs per report.
+//!
+//! Compares offering the same report stream to an [`IngestingIntegrator`]
+//! over a clean channel versus a faulty one (drops, duplicates,
+//! reordering, corrupted payloads — the [`FaultPlan`] is pinned so the
+//! numbers are stable), and prices the source-free gap recovery and the
+//! paranoid Theorem 4.1 cross-check separately. One JSON line per
+//! benchmark, like every suite in this crate.
+
+use dwc_bench::experiments::{fig1_catalog, fig1_state};
+use dwc_relalg::{rel, Update};
+use dwc_testkit::{Bench, FaultPlan};
+use dwc_warehouse::channel::{Envelope, SequencedSource};
+use dwc_warehouse::ingest::{IngestConfig, IngestingIntegrator};
+use dwc_warehouse::integrator::{Integrator, SourceSite};
+use dwc_warehouse::WarehouseSpec;
+use std::hint::black_box;
+
+const STREAM_LEN: usize = 64;
+
+/// Drains one prepared delivery sequence into a fresh clone of the
+/// loaded ingestor, then repairs any gaps from the log.
+fn drain(
+    ingestor: &IngestingIntegrator,
+    src: &SequencedSource,
+    deliveries: &[Envelope],
+) -> IngestingIntegrator {
+    let mut ing = ingestor.clone();
+    for env in deliveries {
+        black_box(ing.offer(env));
+    }
+    ing.recover_from_log(src.id(), src.outbox()).expect("log is complete");
+    ing
+}
+
+fn main() {
+    let group = Bench::new("ingest");
+    for &n in &[1_000usize, 10_000] {
+        let clerks = n / 4;
+        let catalog = fig1_catalog(false);
+        let db = fig1_state(n, clerks, false, 42);
+        let aug = WarehouseSpec::parse(catalog.clone(), &[("Sold", "Sale join Emp")])
+            .expect("static spec")
+            .augment()
+            .expect("complement exists");
+        let site = SourceSite::new(catalog, db).expect("valid state");
+        let mut src = SequencedSource::new("bench", site);
+        let integ = Integrator::initial_load(aug, src.site()).expect("loads");
+        let ingestor = IngestingIntegrator::new(integ, IngestConfig::default());
+
+        let envelopes: Vec<Envelope> = (0..STREAM_LEN)
+            .map(|i| {
+                let item = format!("bench-item{i}");
+                let clerk = format!("clerk{}", i % clerks);
+                src.apply_update(&Update::inserting(
+                    "Sale",
+                    rel! { ["clerk", "item"] => (clerk.as_str(), item.as_str()) },
+                ))
+                .expect("valid update")
+            })
+            .collect();
+
+        // The faulty channel, pinned: ~10% drops, ~10% duplicates, ~5%
+        // corrupted copies, reordering within a window of 3.
+        let plan = FaultPlan {
+            seed: 0xC0FFEE,
+            drop_permille: 100,
+            dup_permille: 100,
+            corrupt_permille: 50,
+            reorder_window: 3,
+        };
+        let faulty: Vec<Envelope> = plan
+            .apply(&envelopes)
+            .into_iter()
+            .map(|d| {
+                let mut env = d.item;
+                if d.corrupted {
+                    env.report = Update::inserting("Ghost", rel! { ["x"] => (1,) });
+                }
+                env
+            })
+            .collect();
+
+        group.run(&format!("clean-stream/{n}"), || {
+            black_box(drain(&ingestor, &src, &envelopes))
+        });
+        group.run(&format!("faulty-stream/{n}"), || {
+            black_box(drain(&ingestor, &src, &faulty))
+        });
+
+        // Recovery priced alone: every report past the first is missing
+        // and comes back through one composed reconstruction.
+        let head = &envelopes[..1];
+        group.run(&format!("gap-recovery/{n}"), || {
+            black_box(drain(&ingestor, &src, head))
+        });
+
+        // The paranoid cross-check, clean channel, no recovery involved:
+        // per-report cost of evaluating W ∘ u ∘ W⁻¹ next to the
+        // incremental plan (a complete in-order prefix, so `offer` alone
+        // keeps the cursor gap-free).
+        let paranoid = IngestingIntegrator::new(
+            ingestor.integrator().clone(),
+            IngestConfig::paranoid(),
+        );
+        let short = &envelopes[..8];
+        group.run(&format!("paranoid-stream/{n}"), || {
+            let mut ing = paranoid.clone();
+            for env in short {
+                black_box(ing.offer(env));
+            }
+            black_box(ing)
+        });
+    }
+}

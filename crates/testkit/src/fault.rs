@@ -1,0 +1,229 @@
+//! Deterministic fault injection for stream-delivery testing.
+//!
+//! A [`FaultPlan`] models an unreliable channel between a producer and a
+//! consumer of a message stream: messages can be **dropped**,
+//! **duplicated**, **reordered** within a bounded window, and
+//! **corrupted** in flight. The plan is pure data — four knobs plus a
+//! seed — and [`FaultPlan::apply`] is a deterministic function of the
+//! plan and the input stream, so a failing chaos test reproduces exactly
+//! from its `DWC_TESTKIT_SEED` banner like any other property.
+//!
+//! The testkit knows nothing about message payloads: corruption is
+//! reported as a flag on the [`Delivery`] and the caller mutates the
+//! payload however its domain demands (the warehouse chaos suites, for
+//! example, scramble delta headers or retarget relations). This keeps
+//! the crate dependency-free in both directions.
+//!
+//! [`FaultPlan`] implements [`Shrink`]: candidates move each knob toward
+//! the clean plan (no faults) so counterexamples minimize to the fewest
+//! fault kinds that still break the property.
+
+use crate::rng::SplitMix64;
+use crate::shrink::Shrink;
+
+/// One message arriving at the consumer end of a faulty channel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery<T> {
+    /// Index of the message in the original (sent) stream.
+    pub index: usize,
+    /// The payload as sent.
+    pub item: T,
+    /// True iff the channel corrupted this copy in flight; the caller
+    /// decides what corruption means for the payload type.
+    pub corrupted: bool,
+}
+
+/// A deterministic schedule of channel faults.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of the fault stream (independent of the data stream's seed).
+    pub seed: u64,
+    /// Per-message drop probability, in permille (0..=1000).
+    pub drop_permille: u16,
+    /// Per-delivered-message duplication probability, in permille.
+    pub dup_permille: u16,
+    /// Per-copy corruption probability, in permille.
+    pub corrupt_permille: u16,
+    /// Maximum forward displacement of a delivery (0 = in order).
+    pub reorder_window: usize,
+}
+
+impl FaultPlan {
+    /// The fault-free plan: every message delivered once, in order,
+    /// intact. `apply` with this plan is the identity (as deliveries).
+    pub fn clean() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            drop_permille: 0,
+            dup_permille: 0,
+            corrupt_permille: 0,
+            reorder_window: 0,
+        }
+    }
+
+    /// A random plan with moderate fault rates — the generator used by
+    /// the chaos property suites.
+    pub fn random(rng: &mut SplitMix64) -> FaultPlan {
+        FaultPlan {
+            seed: rng.next_u64(),
+            drop_permille: rng.below(300) as u16,
+            dup_permille: rng.below(300) as u16,
+            corrupt_permille: rng.below(200) as u16,
+            reorder_window: rng.index(5),
+        }
+    }
+
+    /// True iff the plan can never perturb a stream.
+    pub fn is_clean(&self) -> bool {
+        self.drop_permille == 0
+            && self.dup_permille == 0
+            && self.corrupt_permille == 0
+            && self.reorder_window == 0
+    }
+
+    /// Runs the stream through the faulty channel, producing the
+    /// delivery sequence seen by the consumer. Deterministic in
+    /// `(self, items.len())`: the same plan perturbs equal-length
+    /// streams identically.
+    pub fn apply<T: Clone>(&self, items: &[T]) -> Vec<Delivery<T>> {
+        let mut rng = SplitMix64::new(self.seed ^ 0x5EED_FAB1E_u64);
+        // (sort key, arrival tiebreak, delivery)
+        let mut scheduled: Vec<(usize, usize, Delivery<T>)> = Vec::with_capacity(items.len());
+        for (index, item) in items.iter().enumerate() {
+            if self.drop_permille > 0 && rng.chance(u64::from(self.drop_permille), 1000) {
+                continue;
+            }
+            let copies =
+                if self.dup_permille > 0 && rng.chance(u64::from(self.dup_permille), 1000) {
+                    2
+                } else {
+                    1
+                };
+            for _ in 0..copies {
+                let corrupted = self.corrupt_permille > 0
+                    && rng.chance(u64::from(self.corrupt_permille), 1000);
+                let displacement =
+                    if self.reorder_window > 0 { rng.index(self.reorder_window + 1) } else { 0 };
+                scheduled.push((
+                    index + displacement,
+                    scheduled.len(),
+                    Delivery { index, item: item.clone(), corrupted },
+                ));
+            }
+        }
+        // Stable by construction: the arrival counter breaks ties, so
+        // displacement bounds how far any delivery strays from order.
+        scheduled.sort_by_key(|&(key, arrival, _)| (key, arrival));
+        scheduled.into_iter().map(|(_, _, d)| d).collect()
+    }
+}
+
+impl Shrink for FaultPlan {
+    /// Shrinks toward [`FaultPlan::clean`], one knob at a time (then by
+    /// halves), keeping the seed fixed so the surviving faults stay
+    /// recognizable across the walk.
+    fn shrink(&self) -> Vec<FaultPlan> {
+        let mut out = Vec::new();
+        if !self.is_clean() {
+            out.push(FaultPlan { seed: self.seed, ..FaultPlan::clean() });
+        }
+        let mut knob = |mutate: &dyn Fn(&mut FaultPlan)| {
+            let mut candidate = self.clone();
+            mutate(&mut candidate);
+            if &candidate != self {
+                out.push(candidate);
+            }
+        };
+        knob(&|p| p.drop_permille = 0);
+        knob(&|p| p.dup_permille = 0);
+        knob(&|p| p.corrupt_permille = 0);
+        knob(&|p| p.reorder_window = 0);
+        knob(&|p| p.drop_permille /= 2);
+        knob(&|p| p.dup_permille /= 2);
+        knob(&|p| p.corrupt_permille /= 2);
+        knob(&|p| p.reorder_window /= 2);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_plan_is_identity() {
+        let items: Vec<u32> = (0..20).collect();
+        let out = FaultPlan::clean().apply(&items);
+        assert_eq!(out.len(), items.len());
+        for (i, d) in out.iter().enumerate() {
+            assert_eq!(d.index, i);
+            assert_eq!(d.item, items[i]);
+            assert!(!d.corrupted);
+        }
+    }
+
+    #[test]
+    fn apply_is_deterministic() {
+        let items: Vec<u32> = (0..50).collect();
+        let mut rng = SplitMix64::new(7);
+        let plan = FaultPlan::random(&mut rng);
+        assert_eq!(plan.apply(&items), plan.apply(&items));
+    }
+
+    #[test]
+    fn drops_and_duplicates_change_cardinality() {
+        let items: Vec<u32> = (0..200).collect();
+        let all_dropped = FaultPlan { drop_permille: 1000, ..FaultPlan::clean() };
+        assert!(all_dropped.apply(&items).is_empty());
+        let all_duplicated = FaultPlan { dup_permille: 1000, ..FaultPlan::clean() };
+        assert_eq!(all_duplicated.apply(&items).len(), 2 * items.len());
+        let all_corrupt = FaultPlan { corrupt_permille: 1000, ..FaultPlan::clean() };
+        assert!(all_corrupt.apply(&items).iter().all(|d| d.corrupted));
+    }
+
+    #[test]
+    fn reordering_is_window_bounded() {
+        let items: Vec<usize> = (0..300).collect();
+        for window in [1usize, 3, 7] {
+            let plan = FaultPlan { seed: 11, reorder_window: window, ..FaultPlan::clean() };
+            let out = plan.apply(&items);
+            assert_eq!(out.len(), items.len());
+            for (pos, d) in out.iter().enumerate() {
+                // A message can be displaced forward at most `window`
+                // slots, so its delivery position stays within the
+                // window of its send position in both directions.
+                assert!(
+                    pos.abs_diff(d.index) <= window,
+                    "index {} delivered at {} exceeds window {}",
+                    d.index,
+                    pos,
+                    window
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_plans_eventually_reorder() {
+        let items: Vec<usize> = (0..100).collect();
+        let plan = FaultPlan { seed: 3, reorder_window: 4, ..FaultPlan::clean() };
+        let out = plan.apply(&items);
+        let indices: Vec<usize> = out.iter().map(|d| d.index).collect();
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        assert_ne!(indices, sorted, "window 4 over 100 items should reorder something");
+    }
+
+    #[test]
+    fn shrinking_reaches_clean() {
+        let mut rng = SplitMix64::new(21);
+        let mut plan = FaultPlan::random(&mut rng);
+        let mut steps = 0;
+        while let Some(next) = plan.shrink().into_iter().next() {
+            plan = next;
+            steps += 1;
+            assert!(steps < 1000, "fault-plan shrinking diverged");
+        }
+        assert!(plan.is_clean());
+    }
+}

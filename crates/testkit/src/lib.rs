@@ -4,7 +4,7 @@
 //! plain `std`: no registry crates, no build scripts, no feature flags —
 //! so `cargo build --release && cargo test -q` works fully offline.
 //!
-//! Three subsystems:
+//! Four subsystems:
 //!
 //! * [`rng`] — the [`rng::SplitMix64`] PRNG plus value generators
 //!   (bounded ints, indices, Bernoulli draws, identifiers, wild strings,
@@ -13,6 +13,9 @@
 //!   configurable case counts, greedy counterexample shrinking (via the
 //!   [`shrink::Shrink`] trait), panic capture, and a failure banner that
 //!   prints a reproduction seed honored through `DWC_TESTKIT_SEED`.
+//! * [`fault`] — a deterministic chaos harness ([`fault::FaultPlan`])
+//!   that drops, duplicates, reorders and corrupts a message stream,
+//!   replayable from the same seed and shrinkable toward the clean plan.
 //! * [`bench`] — a microbenchmark timer ([`bench::Bench`]) with
 //!   calibration, warmup and median-of-N sampling, reporting one JSON
 //!   line per benchmark.
@@ -49,11 +52,13 @@
 //! the one seed).
 
 pub mod bench;
+pub mod fault;
 pub mod prop;
 pub mod rng;
 pub mod shrink;
 
 pub use bench::{Bench, Stats};
+pub use fault::{Delivery, FaultPlan};
 pub use prop::{PropResult, Runner};
 pub use rng::SplitMix64;
 pub use shrink::{NoShrink, Shrink};

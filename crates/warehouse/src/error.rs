@@ -1,7 +1,7 @@
 //! Error type of the warehouse layer.
 
 use dwc_core::CoreError;
-use dwc_relalg::{RelName, RelalgError};
+use dwc_relalg::{AttrSet, RelName, RelalgError};
 use std::fmt;
 
 /// Convenience alias.
@@ -25,6 +25,52 @@ pub enum WarehouseError {
     /// A query references a relation that is neither a base relation nor
     /// a warehouse view.
     UnknownQueryRelation(RelName),
+    /// A report's delta carries a header that does not match the
+    /// relation's catalog schema.
+    ReportHeaderMismatch {
+        /// The reported relation.
+        relation: RelName,
+        /// The schema header the catalog declares.
+        expected: AttrSet,
+        /// The header the report carried.
+        got: AttrSet,
+    },
+    /// A report's delta violates the normalization contract of
+    /// [`dwc_relalg::Delta::normalize`] (e.g. a tuple both inserted and
+    /// deleted) — the signature of a corrupted or forged report.
+    MalformedReport {
+        /// The reported relation.
+        relation: RelName,
+        /// What exactly is malformed.
+        detail: String,
+    },
+    /// An envelope arrived for an epoch older than the one the ingest
+    /// cursor is tracking (a stale retransmission from before a source
+    /// restart).
+    StaleEpoch {
+        /// Identifier of the reporting source.
+        source: String,
+        /// The epoch the cursor is at.
+        current: u64,
+        /// The stale epoch the envelope carried.
+        got: u64,
+    },
+    /// A sequence gap that cannot be repaired from the available report
+    /// log: the channel lost a report for good.
+    UnfillableGap {
+        /// Identifier of the reporting source.
+        source: String,
+        /// The first missing sequence number.
+        missing: u64,
+    },
+    /// The bounded reorder buffer overflowed while waiting for a gap to
+    /// fill; the ingestor demands recovery before accepting more.
+    ReorderWindowOverflow {
+        /// Identifier of the reporting source.
+        source: String,
+        /// The sequence number the cursor is blocked on.
+        waiting_for: u64,
+    },
 }
 
 impl fmt::Display for WarehouseError {
@@ -40,6 +86,27 @@ impl fmt::Display for WarehouseError {
             }
             WarehouseError::UnknownQueryRelation(r) => {
                 write!(f, "query references unknown relation `{r}`")
+            }
+            WarehouseError::ReportHeaderMismatch { relation, expected, got } => {
+                write!(
+                    f,
+                    "report for `{relation}` carries header {got}, schema declares {expected}"
+                )
+            }
+            WarehouseError::MalformedReport { relation, detail } => {
+                write!(f, "malformed report for `{relation}`: {detail}")
+            }
+            WarehouseError::StaleEpoch { source, current, got } => {
+                write!(f, "stale epoch {got} from source `{source}` (cursor at epoch {current})")
+            }
+            WarehouseError::UnfillableGap { source, missing } => {
+                write!(f, "sequence {missing} from source `{source}` is lost for good")
+            }
+            WarehouseError::ReorderWindowOverflow { source, waiting_for } => {
+                write!(
+                    f,
+                    "reorder window overflowed waiting for sequence {waiting_for} from source `{source}`"
+                )
             }
         }
     }
@@ -81,5 +148,27 @@ mod tests {
         let e = WarehouseError::UpdateOutsideSources(RelName::new("V"));
         assert!(e.to_string().contains("not a source relation"));
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn ingest_variants_display() {
+        let e = WarehouseError::ReportHeaderMismatch {
+            relation: RelName::new("Sale"),
+            expected: AttrSet::from_names(&["item", "clerk"]),
+            got: AttrSet::from_names(&["item"]),
+        };
+        assert!(e.to_string().contains("Sale"));
+        let e = WarehouseError::MalformedReport {
+            relation: RelName::new("Sale"),
+            detail: "insert and delete overlap".into(),
+        };
+        assert!(e.to_string().contains("malformed"));
+        let e = WarehouseError::StaleEpoch { source: "paris".into(), current: 3, got: 1 };
+        assert!(e.to_string().contains("stale epoch 1"));
+        let e = WarehouseError::UnfillableGap { source: "paris".into(), missing: 7 };
+        assert!(e.to_string().contains("7"));
+        let e =
+            WarehouseError::ReorderWindowOverflow { source: "paris".into(), waiting_for: 2 };
+        assert!(e.to_string().contains("waiting for sequence 2"));
     }
 }

@@ -1,0 +1,605 @@
+//! Fault-tolerant ingestion: the receiving end of an unreliable channel.
+//!
+//! The plain [`Integrator`] assumes every report arrives exactly once,
+//! in order, well-formed. [`IngestingIntegrator`] drops that assumption
+//! and restores it *behind* the integrator:
+//!
+//! * **Idempotence** — replayed envelopes (sequence already applied, or
+//!   already parked) are skipped, so at-least-once delivery is safe.
+//! * **Reordering** — early envelopes wait in a bounded per-source
+//!   reorder window and apply the moment the gap before them fills.
+//! * **Quarantine** — malformed reports (unknown relations, header
+//!   mismatches, normalization violations, stale epochs) are rejected
+//!   with typed [`WarehouseError`]s into an inspectable quarantine log.
+//!   Nothing panics; nothing applies partially.
+//! * **Recovery** — when a gap cannot fill from the stream (the window
+//!   overflows, or the stream ends short), [`IngestingIntegrator::recover_from_log`]
+//!   replays the missing reports from the source's outbox, composes them
+//!   with everything parked behind them, and rebuilds the affected views
+//!   **source-free** through the `W ∘ u ∘ W⁻¹` pipeline
+//!   ([`Integrator::recover_by_reconstruction`]). With
+//!   [`IngestConfig::verify_invariants`] on, every applied report is
+//!   additionally checked against the Theorem 4.1 criterion
+//!   `w' = W(u(W⁻¹(w)))`, and a failed check heals the same way.
+//!
+//! Every decision is counted in [`IngestStats`], the channel-side
+//! sibling of [`crate::integrator::SourceStats`].
+
+use crate::channel::{Envelope, SourceId};
+use crate::error::{Result, WarehouseError};
+use crate::integrator::{Integrator, IntegratorStats};
+use dwc_relalg::{DbState, RaExpr, Relation, Update};
+use std::collections::BTreeMap;
+
+/// Tuning of the ingestion layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Maximum number of out-of-order reports parked per source while a
+    /// sequence gap waits to fill; one more forces recovery.
+    pub reorder_window: usize,
+    /// Check the Theorem 4.1 correctness criterion after every applied
+    /// report by also evaluating the (source-free) reconstruction
+    /// pipeline, and adopt the reconstructed state when the incremental
+    /// result diverges. Expensive — a full re-materialization per report
+    /// — but turns silent corruption into a counted, healed event.
+    pub verify_invariants: bool,
+}
+
+impl Default for IngestConfig {
+    fn default() -> IngestConfig {
+        IngestConfig { reorder_window: 32, verify_invariants: false }
+    }
+}
+
+impl IngestConfig {
+    /// The trust-nothing configuration: small window, every report
+    /// cross-checked against `W(u(W⁻¹(w)))`.
+    pub fn paranoid() -> IngestConfig {
+        IngestConfig { reorder_window: 8, verify_invariants: true }
+    }
+}
+
+/// Cumulative ingestion statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Envelopes offered to the ingestor.
+    pub delivered: usize,
+    /// Reports applied to the warehouse, in sequence (including reports
+    /// consumed by gap recovery).
+    pub applied: usize,
+    /// Envelopes skipped idempotently (replays of applied or parked
+    /// sequences).
+    pub duplicates: usize,
+    /// Envelopes parked out of order in the reorder window.
+    pub buffered: usize,
+    /// Envelopes rejected into quarantine.
+    pub quarantined: usize,
+    /// Sequence gaps observed (transitions from in-order to waiting).
+    pub gaps_detected: usize,
+    /// Recoveries through the `W ∘ u ∘ W⁻¹` reconstruction fallback
+    /// (gap repairs and adopted invariant-check results).
+    pub recoveries: usize,
+    /// Theorem 4.1 invariant checks that failed and were healed.
+    pub invariant_failures: usize,
+}
+
+/// What [`IngestingIntegrator::offer`] did with one envelope.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// Applied in sequence; the count includes parked successors drained
+    /// by this envelope.
+    Applied(usize),
+    /// Already seen — skipped idempotently.
+    Duplicate,
+    /// Out of order — parked in the reorder window.
+    Buffered,
+    /// Rejected into quarantine with a typed error. The sequence number
+    /// is *not* consumed: a pristine retransmission (or gap recovery)
+    /// can still fill it.
+    Quarantined(WarehouseError),
+    /// The reorder window is full (or the epoch stream is wedged): the
+    /// gap cannot fill from the stream alone. The caller should invoke
+    /// [`IngestingIntegrator::recover_from_log`].
+    NeedsRecovery(WarehouseError),
+}
+
+/// Per-source ingestion cursor.
+#[derive(Clone, Debug, Default)]
+struct Cursor {
+    epoch: u64,
+    next_seq: u64,
+    /// Out-of-order reports parked by sequence number.
+    pending: BTreeMap<u64, Update>,
+}
+
+/// An [`Integrator`] hardened against channel faults; see the module
+/// docs for the fault model.
+#[derive(Clone, Debug)]
+pub struct IngestingIntegrator {
+    integ: Integrator,
+    cursors: BTreeMap<SourceId, Cursor>,
+    quarantine: Vec<(Envelope, WarehouseError)>,
+    config: IngestConfig,
+    stats: IngestStats,
+}
+
+impl IngestingIntegrator {
+    /// Wraps a loaded integrator.
+    pub fn new(integ: Integrator, config: IngestConfig) -> IngestingIntegrator {
+        IngestingIntegrator {
+            integ,
+            cursors: BTreeMap::new(),
+            quarantine: Vec::new(),
+            config,
+            stats: IngestStats::default(),
+        }
+    }
+
+    /// Offers one envelope from the channel. Infallible at the call
+    /// site: every failure mode is a typed [`IngestOutcome`], recorded
+    /// in the stats and (for rejects) the quarantine log.
+    pub fn offer(&mut self, envelope: &Envelope) -> IngestOutcome {
+        self.stats.delivered += 1;
+        let mut cursor = self.cursors.remove(&envelope.source).unwrap_or_default();
+        let outcome = self.offer_at(&mut cursor, envelope);
+        self.cursors.insert(envelope.source.clone(), cursor);
+        outcome
+    }
+
+    fn offer_at(&mut self, cursor: &mut Cursor, envelope: &Envelope) -> IngestOutcome {
+        // Epoch transitions first: a newer epoch supersedes the cursor
+        // (the source's sequencer restarted), an older one is a stale
+        // replay from before the restart.
+        if envelope.epoch > cursor.epoch {
+            *cursor = Cursor { epoch: envelope.epoch, next_seq: 0, pending: BTreeMap::new() };
+        } else if envelope.epoch < cursor.epoch {
+            return self.reject(
+                envelope,
+                WarehouseError::StaleEpoch {
+                    source: envelope.source.to_string(),
+                    current: cursor.epoch,
+                    got: envelope.epoch,
+                },
+            );
+        }
+        // Idempotent dedup: applied or already parked.
+        if envelope.seq < cursor.next_seq || cursor.pending.contains_key(&envelope.seq) {
+            self.stats.duplicates += 1;
+            return IngestOutcome::Duplicate;
+        }
+        // Malformed reports never touch warehouse state or sequencing.
+        if let Err(e) = self.validate(&envelope.report) {
+            return self.reject(envelope, e);
+        }
+        if envelope.seq > cursor.next_seq {
+            // A gap: park the early report, bounded by the window.
+            if cursor.pending.len() >= self.config.reorder_window {
+                return IngestOutcome::NeedsRecovery(WarehouseError::ReorderWindowOverflow {
+                    source: envelope.source.to_string(),
+                    waiting_for: cursor.next_seq,
+                });
+            }
+            if cursor.pending.is_empty() {
+                self.stats.gaps_detected += 1;
+            }
+            cursor.pending.insert(envelope.seq, envelope.report.clone());
+            self.stats.buffered += 1;
+            return IngestOutcome::Buffered;
+        }
+        // In sequence: apply, then drain every parked successor that
+        // became contiguous.
+        let mut applied = 0;
+        let mut report = envelope.report.clone();
+        loop {
+            if let Err(e) = self.apply_one(&report) {
+                // The report is well-formed but failed evaluation; park
+                // it in quarantine without consuming its sequence so
+                // recovery (or an operator) can deal with it.
+                return self.reject(
+                    &Envelope {
+                        source: envelope.source.clone(),
+                        epoch: cursor.epoch,
+                        seq: cursor.next_seq,
+                        report,
+                    },
+                    e,
+                );
+            }
+            applied += 1;
+            self.stats.applied += 1;
+            cursor.next_seq += 1;
+            match cursor.pending.remove(&cursor.next_seq) {
+                Some(next) => report = next,
+                None => break,
+            }
+        }
+        IngestOutcome::Applied(applied)
+    }
+
+    /// Applies one in-sequence report, optionally cross-checked against
+    /// the Theorem 4.1 criterion `w' = W(u(W⁻¹(w)))`.
+    fn apply_one(&mut self, report: &Update) -> Result<()> {
+        if !self.config.verify_invariants {
+            return self.integ.on_report(report);
+        }
+        let expected = self
+            .integ
+            .warehouse()
+            .maintain_by_reconstruction(self.integ.state(), report)?;
+        self.integ.on_report(report)?;
+        if self.integ.state() != &expected {
+            // The incremental result diverged from the source-free
+            // oracle: heal by adopting the reconstruction.
+            self.stats.invariant_failures += 1;
+            self.stats.recoveries += 1;
+            self.integ.force_state(expected)?;
+        }
+        Ok(())
+    }
+
+    /// Structural validation of a report against the warehouse catalog:
+    /// known relations, schema headers, normalization shape. State-free
+    /// and cheap; runs before any sequencing decision.
+    fn validate(&self, report: &Update) -> Result<()> {
+        let catalog = self.integ.warehouse().catalog();
+        for (name, delta) in report.iter() {
+            if !catalog.contains(name) {
+                return Err(WarehouseError::UpdateOutsideSources(name));
+            }
+            let schema = catalog.schema(name)?;
+            if delta.inserted().attrs() != schema.attrs() {
+                return Err(WarehouseError::ReportHeaderMismatch {
+                    relation: name,
+                    expected: schema.attrs().clone(),
+                    got: delta.inserted().attrs().clone(),
+                });
+            }
+            let overlap = delta.inserted().intersect(delta.deleted())?;
+            if !overlap.is_empty() {
+                return Err(WarehouseError::MalformedReport {
+                    relation: name,
+                    detail: format!(
+                        "{} tuple(s) both inserted and deleted — not a normalized report",
+                        overlap.len()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn reject(&mut self, envelope: &Envelope, error: WarehouseError) -> IngestOutcome {
+        self.stats.quarantined += 1;
+        self.quarantine.push((envelope.clone(), error.clone()));
+        IngestOutcome::Quarantined(error)
+    }
+
+    /// The sequence numbers (current epoch) the cursor still waits for:
+    /// every hole at or above `next_seq`, up to the highest parked
+    /// report. Empty means the source is fully drained *as far as the
+    /// ingestor can know* — trailing channel drops are only visible to
+    /// [`IngestingIntegrator::recover_from_log`], which also consults
+    /// the log's horizon.
+    pub fn missing_seqs(&self, source: &SourceId) -> Vec<u64> {
+        let Some(cursor) = self.cursors.get(source) else {
+            return Vec::new();
+        };
+        match cursor.pending.keys().next_back() {
+            None => Vec::new(),
+            Some(&hi) => {
+                (cursor.next_seq..=hi).filter(|s| !cursor.pending.contains_key(s)).collect()
+            }
+        }
+    }
+
+    /// Repairs sequence gaps from the source's outbox log: every report
+    /// from the cursor position to the log's horizon is taken from the
+    /// reorder buffer or the log, validated, composed into one update,
+    /// and applied through the source-free reconstruction fallback.
+    /// Returns the number of reports recovered (0 if nothing is
+    /// missing). On any error — a sequence absent from the log
+    /// ([`WarehouseError::UnfillableGap`]), a log entry that fails
+    /// validation — the warehouse state and the cursor are untouched.
+    pub fn recover_from_log(&mut self, source: &SourceId, log: &[Envelope]) -> Result<usize> {
+        let mut cursor = self.cursors.remove(source).unwrap_or_default();
+        let result = self.recover_at(source, &mut cursor, log);
+        self.cursors.insert(source.clone(), cursor);
+        result
+    }
+
+    fn recover_at(
+        &mut self,
+        source: &SourceId,
+        cursor: &mut Cursor,
+        log: &[Envelope],
+    ) -> Result<usize> {
+        let in_epoch =
+            |e: &&Envelope| e.source == *source && e.epoch == cursor.epoch;
+        let log_hi = log.iter().filter(in_epoch).map(|e| e.seq).max();
+        let pending_hi = cursor.pending.keys().next_back().copied();
+        let hi = match (pending_hi, log_hi) {
+            (Some(p), Some(l)) => p.max(l),
+            (Some(p), None) => p,
+            (None, Some(l)) => l,
+            (None, None) => return Ok(0),
+        };
+        if hi < cursor.next_seq {
+            return Ok(0);
+        }
+        // Gather read-only first: failure must not consume anything.
+        let mut reports: Vec<&Update> = Vec::with_capacity((hi - cursor.next_seq + 1) as usize);
+        for seq in cursor.next_seq..=hi {
+            let report = cursor.pending.get(&seq).or_else(|| {
+                log.iter().find(|e| in_epoch(e) && e.seq == seq).map(|e| &e.report)
+            });
+            match report {
+                Some(r) => reports.push(r),
+                None => {
+                    return Err(WarehouseError::UnfillableGap {
+                        source: source.to_string(),
+                        missing: seq,
+                    })
+                }
+            }
+        }
+        for r in &reports {
+            self.validate(r)?;
+        }
+        // Sequential composition of the whole backlog into one update —
+        // exact because `Update::with` composes per-relation deltas in
+        // application order.
+        let mut composed = Update::new();
+        for r in &reports {
+            for (name, delta) in r.iter() {
+                composed = composed.with(name, delta.clone());
+            }
+        }
+        let count = reports.len();
+        // The composed update is generally *not* normalized with respect
+        // to the current state, which is exactly what the reconstruction
+        // pipeline tolerates and the incremental plans do not.
+        self.integ.recover_by_reconstruction(&composed)?;
+        cursor.pending.clear();
+        cursor.next_seq = hi + 1;
+        self.stats.applied += count;
+        self.stats.recoveries += 1;
+        Ok(count)
+    }
+
+    /// The current materialized warehouse state.
+    pub fn state(&self) -> &DbState {
+        self.integ.state()
+    }
+
+    /// Answers a source query at the warehouse (query independence).
+    pub fn answer(&mut self, q: &RaExpr) -> Result<Relation> {
+        self.integ.answer(q)
+    }
+
+    /// The wrapped integrator.
+    pub fn integrator(&self) -> &Integrator {
+        &self.integ
+    }
+
+    /// Mutable access to the wrapped integrator — for corruption
+    /// injection in chaos tests and operator interventions.
+    pub fn integrator_mut(&mut self) -> &mut Integrator {
+        &mut self.integ
+    }
+
+    /// The ingestion counters.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// The wrapped integrator's counters.
+    pub fn integrator_stats(&self) -> IntegratorStats {
+        self.integ.stats()
+    }
+
+    /// The quarantine log: every rejected envelope with its typed error,
+    /// oldest first.
+    pub fn quarantine(&self) -> &[(Envelope, WarehouseError)] {
+        &self.quarantine
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> IngestConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::SequencedSource;
+    use crate::integrator::SourceSite;
+    use crate::testutil::{fig1_spec, fig1_state};
+    use dwc_relalg::rel;
+
+    fn setup(config: IngestConfig) -> (SequencedSource, IngestingIntegrator) {
+        let spec = fig1_spec();
+        let catalog = spec.catalog().clone();
+        let aug = spec.augment().unwrap();
+        let site = SourceSite::new(catalog, fig1_state()).unwrap();
+        let integ = Integrator::initial_load(aug, &site).unwrap();
+        (SequencedSource::new("fig1", site), IngestingIntegrator::new(integ, config))
+    }
+
+    fn sale_insert(src: &mut SequencedSource, item: &str, clerk: &str) -> Envelope {
+        src.apply_update(&Update::inserting(
+            "Sale",
+            rel! { ["item", "clerk"] => (item, clerk) },
+        ))
+        .unwrap()
+    }
+
+    fn oracle(src: &SequencedSource, ing: &IngestingIntegrator) -> DbState {
+        ing.integrator().warehouse().materialize(src.oracle_state()).unwrap()
+    }
+
+    #[test]
+    fn in_order_stream_applies_exactly() {
+        let (mut src, mut ing) = setup(IngestConfig::default());
+        for i in 0..5 {
+            let env = sale_insert(&mut src, &format!("item{i}"), "Mary");
+            assert_eq!(ing.offer(&env), IngestOutcome::Applied(1));
+        }
+        assert_eq!(ing.state(), &oracle(&src, &ing));
+        assert_eq!(ing.stats().applied, 5);
+        assert_eq!(ing.stats().recoveries, 0);
+    }
+
+    #[test]
+    fn duplicates_are_idempotent_and_reorders_park() {
+        let (mut src, mut ing) = setup(IngestConfig::default());
+        let envs: Vec<Envelope> =
+            (0..4).map(|i| sale_insert(&mut src, &format!("item{i}"), "John")).collect();
+        assert_eq!(ing.offer(&envs[0]), IngestOutcome::Applied(1));
+        assert_eq!(ing.offer(&envs[2]), IngestOutcome::Buffered);
+        assert_eq!(ing.offer(&envs[2]), IngestOutcome::Duplicate); // parked replay
+        assert_eq!(ing.offer(&envs[0]), IngestOutcome::Duplicate); // applied replay
+        assert_eq!(ing.offer(&envs[1]), IngestOutcome::Applied(2)); // fills the gap
+        assert_eq!(ing.offer(&envs[3]), IngestOutcome::Applied(1));
+        assert_eq!(ing.state(), &oracle(&src, &ing));
+        let s = ing.stats();
+        assert_eq!((s.applied, s.duplicates, s.buffered, s.gaps_detected), (4, 2, 1, 1));
+        assert!(ing.missing_seqs(src.id()).is_empty());
+    }
+
+    #[test]
+    fn window_overflow_demands_recovery_and_log_replay_heals() {
+        let (mut src, mut ing) =
+            setup(IngestConfig { reorder_window: 2, verify_invariants: false });
+        let envs: Vec<Envelope> =
+            (0..5).map(|i| sale_insert(&mut src, &format!("item{i}"), "Mary")).collect();
+        assert_eq!(ing.offer(&envs[0]), IngestOutcome::Applied(1));
+        // Drop seq 1; 2 and 3 park, 4 overflows the window.
+        assert_eq!(ing.offer(&envs[2]), IngestOutcome::Buffered);
+        assert_eq!(ing.offer(&envs[3]), IngestOutcome::Buffered);
+        let outcome = ing.offer(&envs[4]);
+        assert!(
+            matches!(
+                outcome,
+                IngestOutcome::NeedsRecovery(WarehouseError::ReorderWindowOverflow { .. })
+            ),
+            "got {outcome:?}"
+        );
+        assert_eq!(ing.missing_seqs(src.id()), vec![1]);
+        let recovered = ing.recover_from_log(src.id(), src.outbox()).unwrap();
+        assert_eq!(recovered, 4); // seqs 1..=4
+        assert_eq!(ing.state(), &oracle(&src, &ing));
+        assert_eq!(ing.stats().recoveries, 1);
+        assert!(ing.missing_seqs(src.id()).is_empty());
+        // And the stream continues normally afterwards.
+        let env = sale_insert(&mut src, "item5", "Mary");
+        assert_eq!(ing.offer(&env), IngestOutcome::Applied(1));
+        assert_eq!(ing.state(), &oracle(&src, &ing));
+    }
+
+    #[test]
+    fn trailing_drops_recovered_from_log_horizon() {
+        let (mut src, mut ing) = setup(IngestConfig::default());
+        let envs: Vec<Envelope> =
+            (0..3).map(|i| sale_insert(&mut src, &format!("item{i}"), "John")).collect();
+        ing.offer(&envs[0]);
+        // seqs 1 and 2 are lost in flight; nothing is parked, so only
+        // the log knows they exist.
+        assert!(ing.missing_seqs(src.id()).is_empty());
+        let recovered = ing.recover_from_log(src.id(), src.outbox()).unwrap();
+        assert_eq!(recovered, 2);
+        assert_eq!(ing.state(), &oracle(&src, &ing));
+    }
+
+    #[test]
+    fn recovery_with_incomplete_log_is_a_typed_error() {
+        let (mut src, mut ing) = setup(IngestConfig::default());
+        let envs: Vec<Envelope> =
+            (0..3).map(|i| sale_insert(&mut src, &format!("item{i}"), "Mary")).collect();
+        ing.offer(&envs[0]);
+        ing.offer(&envs[2]);
+        let before = ing.state().clone();
+        // A log that lost seq 1 for good.
+        let holey: Vec<Envelope> = vec![envs[0].clone(), envs[2].clone()];
+        let err = ing.recover_from_log(src.id(), &holey).unwrap_err();
+        assert!(matches!(err, WarehouseError::UnfillableGap { missing: 1, .. }));
+        assert_eq!(ing.state(), &before, "failed recovery must not touch state");
+        // The full log still heals.
+        ing.recover_from_log(src.id(), src.outbox()).unwrap();
+        assert_eq!(ing.state(), &oracle(&src, &ing));
+    }
+
+    #[test]
+    fn malformed_reports_quarantine_without_consuming_sequence() {
+        let (mut src, mut ing) = setup(IngestConfig::default());
+        let good = sale_insert(&mut src, "Mac", "Paula");
+        // A corrupted copy of the same envelope: retargeted at a ghost
+        // relation.
+        let mut corrupt = good.clone();
+        corrupt.report = Update::inserting("Ghost", rel! { ["x"] => (1,) });
+        let outcome = ing.offer(&corrupt);
+        assert!(matches!(
+            outcome,
+            IngestOutcome::Quarantined(WarehouseError::UpdateOutsideSources(_))
+        ));
+        assert_eq!(ing.quarantine().len(), 1);
+        // The pristine retransmission still fills seq 0.
+        assert_eq!(ing.offer(&good), IngestOutcome::Applied(1));
+        assert_eq!(ing.state(), &oracle(&src, &ing));
+    }
+
+    #[test]
+    fn stale_epochs_are_quarantined() {
+        let (mut src, mut ing) = setup(IngestConfig::default());
+        let old = sale_insert(&mut src, "Mac", "Paula");
+        src.begin_epoch();
+        let new = sale_insert(&mut src, "Modem", "John");
+        assert_eq!((new.epoch, new.seq), (1, 0));
+        // The new epoch supersedes the cursor...
+        assert_eq!(ing.offer(&new), IngestOutcome::Applied(1));
+        // ...and the pre-restart envelope is rejected as stale.
+        let outcome = ing.offer(&old);
+        assert!(matches!(
+            outcome,
+            IngestOutcome::Quarantined(WarehouseError::StaleEpoch { current: 1, got: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn paranoid_mode_heals_tampered_state_by_reconstruction() {
+        let (mut src, mut ing) = setup(IngestConfig::paranoid());
+        // Tamper: smuggle a joinable tuple into the C_Sale complement,
+        // pushing the warehouse state outside the image of W — exactly
+        // what the Theorem 4.1 check exists to catch.
+        let mut tampered = ing.state().clone();
+        let c_sale = tampered.relation(dwc_relalg::RelName::new("C_Sale")).unwrap();
+        let extra = c_sale
+            .union(&rel! { ["item", "clerk"] => ("Widget", "Mary") })
+            .unwrap();
+        tampered.insert_relation("C_Sale", extra);
+        ing.integrator_mut().force_state(tampered).unwrap();
+
+        let env = sale_insert(&mut src, "Mac", "John");
+        assert_eq!(ing.offer(&env), IngestOutcome::Applied(1));
+        assert_eq!(ing.stats().invariant_failures, 1);
+        assert_eq!(ing.stats().recoveries, 1);
+        // The healed state is self-consistent: it round-trips through
+        // W⁻¹ and W.
+        let aug = ing.integrator().warehouse().clone();
+        let roundtrip =
+            aug.materialize(&aug.reconstruct_sources(ing.state()).unwrap()).unwrap();
+        assert_eq!(ing.state(), &roundtrip);
+    }
+
+    #[test]
+    fn paranoid_mode_is_silent_on_healthy_streams() {
+        let (mut src, mut ing) = setup(IngestConfig::paranoid());
+        for i in 0..4 {
+            let env = sale_insert(&mut src, &format!("item{i}"), "Paula");
+            assert_eq!(ing.offer(&env), IngestOutcome::Applied(1));
+        }
+        assert_eq!(ing.stats().invariant_failures, 0);
+        assert_eq!(ing.stats().recoveries, 0);
+        assert_eq!(ing.state(), &oracle(&src, &ing));
+    }
+}

@@ -66,14 +66,31 @@ impl SourceSite {
 
     /// Applies an update and returns the normalized delta report the
     /// site sends to the integrator (solid arrow in Figure 1).
+    ///
+    /// Rejections are typed, never panics: an update touching a relation
+    /// outside the catalog raises [`WarehouseError::UpdateOutsideSources`],
+    /// a delta whose header disagrees with the relation's schema raises
+    /// [`WarehouseError::ReportHeaderMismatch`]. Application is staged:
+    /// on any error the authoritative state is untouched.
     pub fn apply_update(&mut self, update: &Update) -> Result<Update> {
-        for r in update.touched() {
+        for (r, delta) in update.iter() {
             if !self.catalog.contains(r) {
                 return Err(WarehouseError::UpdateOutsideSources(r));
             }
+            let schema = self.catalog.schema(r)?;
+            if delta.inserted().attrs() != schema.attrs() {
+                return Err(WarehouseError::ReportHeaderMismatch {
+                    relation: r,
+                    expected: schema.attrs().clone(),
+                    got: delta.inserted().attrs().clone(),
+                });
+            }
         }
         let normalized = update.normalize(&self.db)?;
-        normalized.apply_mut(&mut self.db)?;
+        // Stage-then-swap: a failure below must not leave the
+        // authoritative state with only some relations updated.
+        let next = normalized.apply(&self.db)?;
+        self.db = next;
         self.updates.set(self.updates.get() + 1);
         Ok(normalized)
     }
@@ -208,6 +225,11 @@ impl Integrator {
 
     /// Like [`Integrator::on_report`], additionally returning the net
     /// per-stored-relation deltas, for cascading layers (summary tables).
+    ///
+    /// Application is transactional: the next warehouse state *and* the
+    /// next mirror state are both staged in full before either is
+    /// committed, so an evaluation error on any path leaves the
+    /// integrator exactly as it was.
     pub fn on_report_detailed(&mut self, report: &Update) -> Result<Vec<StoredDelta>> {
         if report.is_empty() {
             return Ok(Vec::new());
@@ -224,19 +246,59 @@ impl Integrator {
             Some(m) => plan.apply_with_mirrors_detailed(&self.warehouse, report, m)?,
             None => plan.apply_detailed(&self.warehouse, report)?,
         };
-        self.warehouse = next;
         // Mirrors are themselves maintained delta-wise: the mirror IS the
         // base relation (Proposition 2.1), so the reported delta applies
-        // directly.
-        if let Some(m) = &mut self.mirrors {
-            for (base, delta) in report.iter() {
-                let next = delta.apply(m.relation(base)?)?;
-                m.insert_relation(base, next);
+        // directly. Staged before the swap below — no partial commits.
+        let next_mirrors = match &self.mirrors {
+            Some(m) => {
+                let mut staged = m.clone();
+                for (base, delta) in report.iter() {
+                    let next = delta.apply(staged.relation(base)?)?;
+                    staged.insert_relation(base, next);
+                }
+                Some(staged)
             }
-        }
+            None => None,
+        };
+        self.warehouse = next;
+        self.mirrors = next_mirrors;
         self.stats.updates_processed += 1;
         self.stats.delta_tuples += report.len();
         Ok(deltas)
+    }
+
+    /// Replaces the warehouse state wholesale and rebuilds any inverse
+    /// mirrors from it. This is the commit half of the recovery paths in
+    /// [`crate::ingest`] (and the corruption-injection hook of the chaos
+    /// suites); normal maintenance goes through [`Integrator::on_report`].
+    pub fn force_state(&mut self, state: DbState) -> Result<()> {
+        let mirrors = match &self.mirrors {
+            Some(_) => {
+                let mut m = DbState::new();
+                for (base, inv) in self.aug.inverse() {
+                    m.insert_relation(*base, inv.eval(&state)?);
+                }
+                Some(m)
+            }
+            None => None,
+        };
+        self.warehouse = state;
+        self.mirrors = mirrors;
+        Ok(())
+    }
+
+    /// The source-free fallback: rebuilds every stored relation through
+    /// the literal `W ∘ u ∘ W⁻¹` pipeline
+    /// ([`AugmentedWarehouse::maintain_by_reconstruction`]) instead of
+    /// the incremental plans. Used by the ingestion layer to repair
+    /// sequence gaps (where `update` is a composition of several backed-up
+    /// reports, possibly unnormalized with respect to the current state)
+    /// and failed invariant checks. Still zero source queries.
+    pub fn recover_by_reconstruction(&mut self, update: &Update) -> Result<()> {
+        let next = self.aug.maintain_by_reconstruction(&self.warehouse, update)?;
+        self.stats.updates_processed += 1;
+        self.stats.delta_tuples += update.len();
+        self.force_state(next)
     }
 
     /// Tuples held by the inverse mirrors (0 when caching is off) — the

@@ -19,6 +19,12 @@
 //! * [`integrator`] — the decoupled-source architecture of Figure 1:
 //!   sources report deltas, the integrator maintains the warehouse; all
 //!   source accesses are accounted, making "independence" measurable,
+//! * [`channel`] — sequenced report envelopes (source id, epoch,
+//!   per-source sequence number) and the sending half that logs every
+//!   emitted envelope for retransmission,
+//! * [`ingest`] — the fault-tolerant receiving end: idempotent dedup,
+//!   bounded reordering, typed quarantine, and source-free gap recovery
+//!   through the `W ∘ u ∘ W⁻¹` reconstruction fallback,
 //! * [`baselines`] — the comparison points: full recomputation with
 //!   source access, and maintenance expressions evaluated against the
 //!   sources (the approach the paper contrasts with),
@@ -59,10 +65,12 @@
 //! ```
 
 pub mod baselines;
+pub mod channel;
 pub mod delta;
 pub mod error;
 pub mod incremental;
 pub mod independence;
+pub mod ingest;
 pub mod integrator;
 pub mod maintain;
 pub mod rewrite;
@@ -70,5 +78,7 @@ pub mod spec;
 #[cfg(test)]
 pub(crate) mod testutil;
 
+pub use channel::{Envelope, SequencedSource, SourceId};
 pub use error::{Result, WarehouseError};
+pub use ingest::{IngestConfig, IngestOutcome, IngestStats, IngestingIntegrator};
 pub use spec::{AugmentedWarehouse, WarehouseSpec};

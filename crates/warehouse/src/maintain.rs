@@ -25,7 +25,13 @@ impl AugmentedWarehouse {
     /// The literal `W(u(W⁻¹(w)))` pipeline: reconstruct the sources from
     /// the warehouse, apply the update, re-materialize. Source-free like
     /// the incremental path but recomputes every view; used as the
-    /// correctness oracle and as a baseline in the experiments.
+    /// correctness oracle, as a baseline in the experiments, and as the
+    /// degraded-mode recovery path of the ingestion layer
+    /// ([`crate::ingest::IngestingIntegrator`] repairs sequence gaps and
+    /// failed invariant checks through it — unlike the incremental
+    /// plans, it tolerates an `update` that is not normalized with
+    /// respect to the current state, such as a composition of several
+    /// backed-up reports).
     pub fn maintain_by_reconstruction(
         &self,
         warehouse: &DbState,

@@ -49,4 +49,15 @@ cargo test -q --workspace
 # --- 3. bench targets must at least compile (they don't run here) ------
 cargo build -q -p dwc-bench --benches
 
+# --- 4. pinned chaos replays -------------------------------------------
+# Two known-interesting fault schedules for the ingestion layer, pinned
+# by seed so every run exercises the exact same drop/duplicate/reorder/
+# corrupt interleavings (regression armor on top of the random sweep in
+# step 1). The seeds pin the testkit runner's case stream, as a failure
+# banner would.
+for seed in 8234113119275560397 1157442765409226768; do
+  echo "chaos replay: DWC_TESTKIT_SEED=$seed"
+  DWC_TESTKIT_SEED="$seed" cargo test -q --test chaos_props
+done
+
 echo "verify: all green"
