@@ -10,7 +10,8 @@ use dwc_warehouse::WarehouseSpec;
 use std::hint::black_box;
 
 fn bench_computation() {
-    let group = Bench::new("complement-computation");
+    let group = Bench::new("complement-computation")
+        .field_num("threads", dwc_relalg::exec::threads() as u64);
     // Redundant key-projection views: worst case for cover multiplicity.
     for &k in &[4usize, 8, 12] {
         let width = 4;
@@ -46,7 +47,8 @@ fn bench_computation() {
 }
 
 fn bench_materialization() {
-    let group = Bench::new("complement-materialization");
+    let group = Bench::new("complement-materialization")
+        .field_num("threads", dwc_relalg::exec::threads() as u64);
     for &n in &[1_000usize, 10_000] {
         let catalog = fig1_catalog(false);
         let db = fig1_state(n, n / 4, false, 11);

@@ -29,7 +29,8 @@ fn two_table_state(n: usize) -> DbState {
 }
 
 fn main() {
-    let group = Bench::new("eval");
+    let group =
+        Bench::new("eval").field_num("threads", dwc_relalg::exec::threads() as u64);
     for &n in &[1_000usize, 10_000] {
         let db = two_table_state(n);
         let cases = [

@@ -21,7 +21,8 @@ fn insertion(i: usize, clerks: usize) -> Update {
 }
 
 fn main() {
-    let group = Bench::new("maintenance");
+    let group =
+        Bench::new("maintenance").field_num("threads", dwc_relalg::exec::threads() as u64);
     for &n in &[1_000usize, 10_000] {
         let clerks = n / 4;
         let catalog = fig1_catalog(false);

@@ -9,7 +9,9 @@ use dwc_warehouse::WarehouseSpec;
 use std::hint::black_box;
 
 fn bench_star_maintenance() {
-    let group = Bench::new("star-maintenance").samples(10);
+    let group = Bench::new("star-maintenance")
+        .samples(10)
+        .field_num("threads", dwc_relalg::exec::threads() as u64);
     for &sf in &[0.005f64, 0.02] {
         let (catalog, views) = star_warehouse();
         let spec = WarehouseSpec::new(catalog.clone(), views).expect("static spec");

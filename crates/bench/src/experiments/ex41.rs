@@ -108,18 +108,23 @@ pub fn run(quick: bool) -> Vec<Table> {
 mod tests {
     #[test]
     fn incremental_agrees_and_wins_at_small_delta() {
-        let tables = super::run(true);
-        let t = &tables[0];
-        for c in t.column("agree") {
-            assert_eq!(c.as_text(), Some("yes"));
+        // Quick mode times sub-millisecond runs on possibly loaded
+        // hardware; correctness (`agree`) must hold on every run, the
+        // timing assertion gets a few attempts.
+        let mut best = f64::MIN;
+        for _ in 0..3 {
+            let tables = super::run(true);
+            let t = &tables[0];
+            for c in t.column("agree") {
+                assert_eq!(c.as_text(), Some("yes"));
+            }
+            // The smallest delta should enjoy a clear speedup.
+            best = best.max(t.column("speedup")[0].as_f64().unwrap());
+            if best > 1.0 {
+                return;
+            }
         }
-        // The smallest delta should enjoy a clear speedup.
-        let speedups = t.column("speedup");
-        assert!(
-            speedups[0].as_f64().unwrap() > 1.0,
-            "no incremental advantage at delta=1: {:?}",
-            speedups[0]
-        );
+        panic!("no incremental advantage at delta=1 in 3 runs; best speedup {best}");
     }
 
     #[test]

@@ -17,8 +17,9 @@
 
 use crate::error::Result;
 use crate::psj::NamedView;
+use dwc_relalg::eval::{eval_cached, EvalCache};
 use dwc_relalg::expr::HeaderResolver;
-use dwc_relalg::{AttrSet, Catalog, DbState, RaExpr, RelName};
+use dwc_relalg::{exec, AttrSet, Catalog, DbState, RaExpr, RelName};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -84,11 +85,25 @@ impl Complement {
             .map(|e| e.name)
     }
 
-    /// Materializes the complement views against a base state.
+    /// Materializes the complement views against a base state. Each `C_i`
+    /// is an independent expression over `db` (Proposition 2.2: one
+    /// difference per base relation), so they evaluate in parallel.
     pub fn materialize(&self, db: &DbState) -> Result<DbState> {
+        self.materialize_cached(db, &EvalCache::new())
+    }
+
+    /// [`Complement::materialize`] sharing an evaluation cache: the `C_i`
+    /// definitions embed the view expressions (Equations (1)/(3) subtract
+    /// projections of the views), so a cache primed with the views — or
+    /// shared between the `C_i` themselves — evaluates each repeated
+    /// subtree once.
+    pub fn materialize_cached(&self, db: &DbState, cache: &EvalCache) -> Result<DbState> {
+        let materialized = exec::try_par_map(&self.entries, |e| {
+            eval_cached(&e.definition, db, cache).map_err(crate::error::CoreError::from)
+        })?;
         let mut out = DbState::new();
-        for e in &self.entries {
-            out.insert_relation(e.name, e.definition.eval(db).map_err(crate::error::CoreError::from)?);
+        for (e, rel) in self.entries.iter().zip(materialized) {
+            out.insert_shared(e.name, rel);
         }
         Ok(out)
     }
@@ -99,11 +114,27 @@ impl Complement {
         Ok(self.materialize(db)?.total_tuples())
     }
 
-    /// Materializes the full warehouse state `W(d) = (V(d), C(d))`.
+    /// Materializes the full warehouse state `W(d) = (V(d), C(d))`; the
+    /// views, like the complements, evaluate concurrently.
     pub fn warehouse_state(&self, views: &[NamedView], db: &DbState) -> Result<DbState> {
-        let mut w = self.materialize(db)?;
-        for v in views {
-            w.insert_relation(v.name(), v.to_expr().eval(db).map_err(crate::error::CoreError::from)?);
+        self.warehouse_state_cached(views, db, &EvalCache::new())
+    }
+
+    /// [`Complement::warehouse_state`] sharing an evaluation cache. The
+    /// views evaluate first so the complement definitions — which embed
+    /// the view expressions — find those subtrees already cached.
+    pub fn warehouse_state_cached(
+        &self,
+        views: &[NamedView],
+        db: &DbState,
+        cache: &EvalCache,
+    ) -> Result<DbState> {
+        let evaluated = exec::try_par_map(views, |v| {
+            eval_cached(&v.to_expr(), db, cache).map_err(crate::error::CoreError::from)
+        })?;
+        let mut w = self.materialize_cached(db, cache)?;
+        for (v, rel) in views.iter().zip(evaluated) {
+            w.insert_shared(v.name(), rel);
         }
         Ok(w)
     }

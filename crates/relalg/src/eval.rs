@@ -1,19 +1,140 @@
 //! Expression evaluation.
 //!
 //! A straightforward but non-naive evaluator: joins are hash joins keyed
-//! on the common attributes (building on the smaller input), selections
-//! compile their predicate once, projections precompute positional
-//! mappings. Set semantics fall out of [`Relation`]'s ordered-set storage.
+//! on the common attributes (building on the smaller input, probing with
+//! a reused borrowed-value scratch key), selections compile their
+//! predicate once, projections precompute positional mappings. Set
+//! semantics fall out of [`Relation`]'s ordered-set storage.
+//!
+//! ## Parallelism
+//!
+//! Evaluation fans out over [`crate::exec`]'s scoped-thread pool in two
+//! places, both bit-identical to the serial path:
+//!
+//! * **independent subtrees** — every binary operator forks its two
+//!   children through [`exec::join2`] under a per-root thread budget, so
+//!   a bushy expression uses up to [`exec::threads`] cores and a deep
+//!   left-linear one degenerates to the serial walk;
+//! * **large joins** — [`natural_join`] hash-partitions build and probe
+//!   sides by join-key hash and joins the partitions with
+//!   [`exec::par_map`]. Matching keys land in the same partition, and the
+//!   per-partition outputs are merged into one ordered set, so the result
+//!   does not depend on scheduling.
+//!
+//! The memo cache ([`EvalCache`]) is sharded behind mutexes and keyed by
+//! `Arc<RaExpr>` with a precomputed structural hash: workers evaluating
+//! sibling subtrees share one cache without cloning expression trees.
 
 use crate::attrs::AttrSet;
 use crate::database::DbState;
 use crate::error::{RelalgError, Result};
+use crate::exec;
 use crate::expr::{rename_header, RaExpr};
 use crate::relation::Relation;
 use crate::tuple::{ColSource, Tuple};
 use crate::value::Value;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::AtomicIsize;
+use std::sync::{Arc, Mutex};
+
+/// Below this total tuple count a join is evaluated serially even when
+/// workers are available — partitioning overhead beats the win on small
+/// inputs.
+const PAR_JOIN_MIN_TUPLES: usize = 1024;
+
+/// Number of lock shards in an [`EvalCache`]; a small power of two well
+/// above any worker count we expect.
+const CACHE_SHARDS: usize = 16;
+
+/// A memo-cache key: a shared expression handle plus its precomputed
+/// structural hash. Hashing writes the stored hash (no tree walk), and
+/// equality fast-paths on pointer identity — substitution shares
+/// untouched subtrees, so repeated subexpressions usually *are* the same
+/// allocation.
+struct CacheKey {
+    hash: u64,
+    expr: Arc<RaExpr>,
+}
+
+impl Hash for CacheKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl PartialEq for CacheKey {
+    fn eq(&self, other: &CacheKey) -> bool {
+        self.hash == other.hash
+            && (Arc::ptr_eq(&self.expr, &other.expr) || self.expr == other.expr)
+    }
+}
+
+impl Eq for CacheKey {}
+
+/// A sharded memoization cache for [`eval_cached`], shareable across the
+/// worker threads of one evaluation wave. Entries are keyed by shared
+/// expression handles with precomputed hashes, so a hit or an insert
+/// never clones an expression tree.
+///
+/// The cache is only valid for the database state it was filled against;
+/// the maintenance layer creates one per update application.
+#[derive(Default)]
+pub struct EvalCache {
+    shards: Vec<Mutex<HashMap<CacheKey, Arc<Relation>>>>,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> EvalCache {
+        EvalCache {
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, hash: u64) -> &Mutex<HashMap<CacheKey, Arc<Relation>>> {
+        if self.shards.is_empty() {
+            // A `Default`-constructed cache has no shards yet; `new` is
+            // the only constructor used on hot paths.
+            unreachable!("EvalCache::new allocates shards");
+        }
+        &self.shards[(hash as usize) % self.shards.len()]
+    }
+
+    fn get(&self, hash: u64, expr: &Arc<RaExpr>) -> Option<Arc<Relation>> {
+        let key = CacheKey { hash, expr: Arc::clone(expr) };
+        let shard = self.shard(hash).lock().unwrap_or_else(|p| p.into_inner());
+        shard.get(&key).cloned()
+    }
+
+    fn insert(&self, hash: u64, expr: &Arc<RaExpr>, rel: Arc<Relation>) {
+        let key = CacheKey { hash, expr: Arc::clone(expr) };
+        let mut shard = self.shard(hash).lock().unwrap_or_else(|p| p.into_inner());
+        shard.insert(key, rel);
+    }
+
+    /// Number of memoized subexpressions.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).len())
+            .sum()
+    }
+
+    /// True iff nothing has been memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a structurally equal expression has been memoized (test
+    /// and diagnostics helper — takes the linear-time structural hash).
+    pub fn contains(&self, expr: &RaExpr) -> bool {
+        let hash = exec::stable_hash(expr);
+        let shard = self.shard(hash).lock().unwrap_or_else(|p| p.into_inner());
+        shard.keys().any(|k| k.hash == hash && *k.expr == *expr)
+    }
+}
 
 /// Evaluates `expr` against `db`, producing a fresh relation.
 pub fn eval(expr: &RaExpr, db: &DbState) -> Result<Relation> {
@@ -22,38 +143,13 @@ pub fn eval(expr: &RaExpr, db: &DbState) -> Result<Relation> {
 }
 
 /// Evaluation producing a shareable handle; base references are returned
-/// without copying their tuples.
+/// without copying their tuples. Independent subtrees are evaluated in
+/// parallel when [`exec::threads`] allows.
 pub fn eval_arc(expr: &RaExpr, db: &DbState) -> Result<Arc<Relation>> {
-    Ok(match expr {
-        RaExpr::Base(name) => db.relation_shared(*name)?,
-        RaExpr::Empty(attrs) => Arc::new(Relation::empty(attrs.clone())),
-        RaExpr::Select(input, pred) => {
-            let rel = eval_arc(input, db)?;
-            let compiled = pred.compile(rel.attrs())?;
-            Arc::new(rel.filter(|t| compiled.eval(t)))
-        }
-        RaExpr::Project(input, wanted) => Arc::new(eval_arc(input, db)?.project(wanted)?),
-        RaExpr::Join(l, r) => {
-            let (l, r) = (eval_arc(l, db)?, eval_arc(r, db)?);
-            Arc::new(natural_join(&l, &r)?)
-        }
-        RaExpr::Union(l, r) => {
-            let (l, r) = (eval_arc(l, db)?, eval_arc(r, db)?);
-            Arc::new(l.union(&r)?)
-        }
-        RaExpr::Diff(l, r) => {
-            let (l, r) = (eval_arc(l, db)?, eval_arc(r, db)?);
-            Arc::new(l.difference(&r)?)
-        }
-        RaExpr::Intersect(l, r) => {
-            let (l, r) = (eval_arc(l, db)?, eval_arc(r, db)?);
-            Arc::new(l.intersect(&r)?)
-        }
-        RaExpr::Rename(input, pairs) => {
-            let rel = eval_arc(input, db)?;
-            Arc::new(rename_relation(&rel, pairs)?)
-        }
-    })
+    // Children are Arc-shared, so this clone is a shallow spine copy.
+    let root = Arc::new(expr.clone());
+    let budget = exec::fork_budget();
+    eval_rec(&root, db, None, &budget)
 }
 
 /// Memoizing evaluation: identical subexpressions are evaluated once per
@@ -61,53 +157,91 @@ pub fn eval_arc(expr: &RaExpr, db: &DbState) -> Result<Arc<Relation>> {
 /// all maintenance expressions of a single update, where the delta rules
 /// repeat large reconstruction subtrees; the cache must not outlive the
 /// database state it was filled against.
-pub fn eval_cached(
-    expr: &RaExpr,
+pub fn eval_cached(expr: &RaExpr, db: &DbState, cache: &EvalCache) -> Result<Arc<Relation>> {
+    let root = Arc::new(expr.clone());
+    let budget = exec::fork_budget();
+    eval_rec(&root, db, Some(cache), &budget)
+}
+
+/// The recursive core shared by [`eval_arc`] and [`eval_cached`]:
+/// consults/fills the optional cache and forks binary operators under the
+/// per-root `budget`. Errors are reported left-first, matching the serial
+/// evaluation order regardless of scheduling.
+fn eval_rec(
+    expr: &Arc<RaExpr>,
     db: &DbState,
-    cache: &mut HashMap<RaExpr, Arc<Relation>>,
+    cache: Option<&EvalCache>,
+    budget: &AtomicIsize,
 ) -> Result<Arc<Relation>> {
-    if let Some(hit) = cache.get(expr) {
-        return Ok(Arc::clone(hit));
+    let hash = cache.map(|c| {
+        let h = exec::stable_hash(expr.as_ref());
+        (c, h)
+    });
+    if let Some((c, h)) = hash {
+        if let Some(hit) = c.get(h, expr) {
+            return Ok(hit);
+        }
     }
-    let result: Arc<Relation> = match expr {
+    let result: Arc<Relation> = match expr.as_ref() {
         RaExpr::Base(name) => db.relation_shared(*name)?,
         RaExpr::Empty(attrs) => Arc::new(Relation::empty(attrs.clone())),
         RaExpr::Select(input, pred) => {
-            let rel = eval_cached(input, db, cache)?;
+            let rel = eval_rec(input, db, cache, budget)?;
             let compiled = pred.compile(rel.attrs())?;
             Arc::new(rel.filter(|t| compiled.eval(t)))
         }
         RaExpr::Project(input, wanted) => {
-            Arc::new(eval_cached(input, db, cache)?.project(wanted)?)
+            Arc::new(eval_rec(input, db, cache, budget)?.project(wanted)?)
         }
         RaExpr::Join(l, r) => {
-            let (l, r) = (eval_cached(l, db, cache)?, eval_cached(r, db, cache)?);
+            let (l, r) = eval_pair(l, r, db, cache, budget)?;
             Arc::new(natural_join(&l, &r)?)
         }
         RaExpr::Union(l, r) => {
-            let (l, r) = (eval_cached(l, db, cache)?, eval_cached(r, db, cache)?);
+            let (l, r) = eval_pair(l, r, db, cache, budget)?;
             Arc::new(l.union(&r)?)
         }
         RaExpr::Diff(l, r) => {
-            let (l, r) = (eval_cached(l, db, cache)?, eval_cached(r, db, cache)?);
+            let (l, r) = eval_pair(l, r, db, cache, budget)?;
             Arc::new(l.difference(&r)?)
         }
         RaExpr::Intersect(l, r) => {
-            let (l, r) = (eval_cached(l, db, cache)?, eval_cached(r, db, cache)?);
+            let (l, r) = eval_pair(l, r, db, cache, budget)?;
             Arc::new(l.intersect(&r)?)
         }
         RaExpr::Rename(input, pairs) => {
-            let rel = eval_cached(input, db, cache)?;
+            let rel = eval_rec(input, db, cache, budget)?;
             Arc::new(rename_relation(&rel, pairs)?)
         }
     };
-    cache.insert(expr.clone(), Arc::clone(&result));
+    if let Some((c, h)) = hash {
+        c.insert(h, expr, Arc::clone(&result));
+    }
     Ok(result)
+}
+
+/// Evaluates the two children of a binary operator, forking when the
+/// budget allows. The left error wins, as in serial evaluation.
+fn eval_pair(
+    l: &Arc<RaExpr>,
+    r: &Arc<RaExpr>,
+    db: &DbState,
+    cache: Option<&EvalCache>,
+    budget: &AtomicIsize,
+) -> Result<(Arc<Relation>, Arc<Relation>)> {
+    let (rl, rr) = exec::join2(
+        budget,
+        || eval_rec(l, db, cache, budget),
+        || eval_rec(r, db, cache, budget),
+    );
+    Ok((rl?, rr?))
 }
 
 /// Natural join of two relation instances. Degenerates to the cartesian
 /// product when the headers are disjoint and to intersection when they are
-/// equal.
+/// equal. Large joins with a non-empty common header are hash-partitioned
+/// and joined in parallel; the set-semantics merge makes the output
+/// independent of the partition count and scheduling.
 pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation> {
     if left.attrs() == right.attrs() {
         return left.intersect(right);
@@ -130,21 +264,81 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation> {
     if left.is_empty() || right.is_empty() {
         return Ok(out);
     }
-    let mut index: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(left.len());
-    for t in left.iter() {
-        let key: Vec<Value> = build_positions.iter().map(|&i| t.get(i).clone()).collect();
+
+    let workers = exec::threads();
+    if workers > 1
+        && !common.is_empty()
+        && left.len() + right.len() >= PAR_JOIN_MIN_TUPLES
+    {
+        // Partition both sides by join-key hash: matching keys meet in
+        // the same partition, so partitions join independently.
+        let build: Vec<&Tuple> = left.iter().collect();
+        let probe: Vec<&Tuple> = right.iter().collect();
+        let bparts = exec::par_partition(&build, workers, |t| key_hash(t, &build_positions));
+        let pparts = exec::par_partition(&probe, workers, |t| key_hash(t, &probe_positions));
+        let tasks: Vec<(Vec<&&Tuple>, Vec<&&Tuple>)> =
+            bparts.into_iter().zip(pparts).collect();
+        let rows = exec::par_map(&tasks, |(b, p)| {
+            let b: Vec<&Tuple> = b.iter().map(|t| **t).collect();
+            let p: Vec<&Tuple> = p.iter().map(|t| **t).collect();
+            join_partition(&b, &p, &build_positions, &probe_positions, &layout)
+        });
+        for part in rows {
+            for t in part {
+                out.insert(t).expect("join layout preserves arity");
+            }
+        }
+        return Ok(out);
+    }
+
+    let build: Vec<&Tuple> = left.iter().collect();
+    let probe: Vec<&Tuple> = right.iter().collect();
+    for t in join_partition(&build, &probe, &build_positions, &probe_positions, &layout) {
+        out.insert(t).expect("join layout preserves arity");
+    }
+    Ok(out)
+}
+
+/// Process-stable hash of a tuple's join-key columns, used to route
+/// build and probe tuples to the same partition.
+fn key_hash(t: &Tuple, positions: &[usize]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for &i in positions {
+        t.get(i).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Hash-joins one (build, probe) pair of tuple sets. The index keys on
+/// *borrowed* values and the probe loop reuses one scratch key, so the
+/// hot path performs no per-tuple key allocation or value cloning.
+fn join_partition(
+    build: &[&Tuple],
+    probe: &[&Tuple],
+    build_positions: &[usize],
+    probe_positions: &[usize],
+    layout: &[ColSource],
+) -> Vec<Tuple> {
+    if build.is_empty() || probe.is_empty() {
+        return Vec::new();
+    }
+    let mut index: HashMap<Vec<&Value>, Vec<&Tuple>> = HashMap::with_capacity(build.len());
+    for &t in build {
+        let key: Vec<&Value> = build_positions.iter().map(|&i| t.get(i)).collect();
         index.entry(key).or_default().push(t);
     }
-    for probe in right.iter() {
-        let key: Vec<Value> = probe_positions.iter().map(|&i| probe.get(i).clone()).collect();
-        if let Some(matches) = index.get(&key) {
-            for build in matches {
-                out.insert(build.merge(probe, &layout))
-                    .expect("join layout preserves arity");
+    let mut out = Vec::new();
+    let mut scratch: Vec<&Value> = Vec::with_capacity(probe_positions.len());
+    for &p in probe {
+        scratch.clear();
+        scratch.extend(probe_positions.iter().map(|&i| p.get(i)));
+        if let Some(matches) = index.get(scratch.as_slice()) {
+            for &b in matches {
+                out.push(b.merge(p, layout));
             }
         }
     }
-    Ok(out)
+    out
 }
 
 /// For each output column, where to fetch it from: common and left-only
@@ -213,20 +407,22 @@ mod tests {
     #[test]
     fn eval_cached_agrees_with_eval_and_hits() {
         let db = fig1_db();
-        let mut cache = HashMap::new();
+        let cache = EvalCache::new();
         let e = RaExpr::parse(
             "pi[clerk]((Sale join Emp)) union pi[clerk]((Sale join Emp))",
         )
         .unwrap();
-        let cached = eval_cached(&e, &db, &mut cache).unwrap();
+        let cached = eval_cached(&e, &db, &cache).unwrap();
         assert_eq!(*cached, e.eval(&db).unwrap());
         // The join and its projection each appear once in the cache even
         // though the expression contains them twice.
         let join = RaExpr::parse("Sale join Emp").unwrap();
-        assert!(cache.contains_key(&join));
+        assert!(cache.contains(&join));
+        let before = cache.len();
         // Cache reuse across a second evaluation.
-        let again = eval_cached(&e, &db, &mut cache).unwrap();
+        let again = eval_cached(&e, &db, &cache).unwrap();
         assert_eq!(again, cached);
+        assert_eq!(cache.len(), before);
     }
 
     #[test]
@@ -277,6 +473,28 @@ mod tests {
         let p = RaExpr::base("A").join(RaExpr::base("B")).eval(&db).unwrap();
         assert!(p.is_empty());
         assert_eq!(p.attrs(), &AttrSet::from_names(&["x", "y"]));
+    }
+
+    #[test]
+    fn parallel_join_matches_serial_on_large_input() {
+        // Large enough to cross PAR_JOIN_MIN_TUPLES; run the same join at
+        // 1 and 4 workers and require identical results.
+        let mut db = DbState::new();
+        let mut big = Relation::empty(AttrSet::from_names(&["k", "a"]));
+        let mut other = Relation::empty(AttrSet::from_names(&["k", "b"]));
+        // Tuples are in canonical (sorted-header) order: {a, k} / {b, k}.
+        for i in 0..900i64 {
+            big.insert(Tuple::new(vec![Value::int(i), Value::int(i % 211)])).unwrap();
+            other.insert(Tuple::new(vec![Value::int(i * 7), Value::int(i % 211)])).unwrap();
+        }
+        db.insert_relation("Big", big);
+        db.insert_relation("Other", other);
+        let e = RaExpr::base("Big").join(RaExpr::base("Other"));
+        // Serialize against other exec-override users in this binary.
+        let serial = exec::with_threads_for_test(1, || e.eval(&db).unwrap());
+        let parallel = exec::with_threads_for_test(4, || e.eval(&db).unwrap());
+        assert_eq!(serial, parallel);
+        assert!(serial.len() >= 900);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Scoped-thread execution layer.
+//!
+//! Every hot path of the workspace — operator evaluation, complement
+//! materialization, maintenance-plan application — fans out over
+//! independent units of work (expression subtrees, hash partitions,
+//! per-view maintenance steps). This module provides the zero-dependency
+//! substrate they share: a worker pool built on [`std::thread::scope`]
+//! (no registry crates, no global runtime), with a **determinism
+//! contract**: every combinator returns results in input order and picks
+//! errors by the smallest input index, so parallel execution is
+//! bit-identical to serial execution regardless of scheduling.
+//!
+//! ## Thread-count policy
+//!
+//! The worker count comes from, in priority order:
+//!
+//! 1. [`set_threads`] — a programmatic override (tests, benches),
+//! 2. the `DWC_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! At `1` every combinator degenerates to the serial loop with zero
+//! synchronization and zero spawned threads — the serial fallback is not
+//! a special build, it is the same code path.
+//!
+//! Workers are spawned per combinator invocation and joined before it
+//! returns (a *scoped* pool): no detached threads, no channels, borrows
+//! of the caller's stack work directly, and a panic in a worker
+//! propagates to the caller.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+
+/// Programmatic thread-count override; `0` means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count for subsequent operations (`0` clears the
+/// override and returns control to `DWC_THREADS` / the hardware). Used by
+/// the differential test suites to evaluate the same expression at
+/// different widths inside one process.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The worker count for parallel operations (≥ 1). See the module docs
+/// for the resolution order.
+pub fn threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var("DWC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// A fork budget for nested fork–join parallelism: the number of extra
+/// threads an operation tree may still spawn. Rooted once per top-level
+/// operation (e.g. one `eval` call) and decremented by [`join2`].
+pub fn fork_budget() -> AtomicIsize {
+    AtomicIsize::new(threads() as isize - 1)
+}
+
+/// Deterministic parallel map: applies `f` to every item and returns the
+/// results **in input order**. Items are dealt to workers in contiguous
+/// chunks; with one worker (or one item) this is exactly `items.iter().map(f)`.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    match try_par_map(items, |t| Ok::<R, std::convert::Infallible>(f(t))) {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+/// Fallible deterministic parallel map. All items are attempted; on
+/// failure the error with the **smallest item index** is returned, so the
+/// reported error does not depend on scheduling.
+pub fn try_par_map<T, R, E, F>(items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    let workers = threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut slots: Vec<Option<Result<R, E>>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|s| {
+        for (input, output) in items.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            s.spawn(|| {
+                for (t, slot) in input.iter().zip(output.iter_mut()) {
+                    *slot = Some(f(t));
+                }
+            });
+        }
+    });
+    // Scan in input order: the first error seen is the smallest-index one.
+    let mut out = Vec::with_capacity(items.len());
+    for slot in slots {
+        out.push(slot.expect("worker filled every slot")?);
+    }
+    Ok(out)
+}
+
+/// Deterministic parallel hash partitioning: splits `items` into
+/// `buckets` groups by `key(item) % buckets`. Each bucket preserves the
+/// original item order (workers scan contiguous chunks and per-chunk
+/// buckets are concatenated in chunk order), so downstream per-bucket
+/// processing sees a scheduling-independent sequence.
+pub fn par_partition<'a, T: Sync>(
+    items: &'a [T],
+    buckets: usize,
+    key: impl Fn(&T) -> u64 + Sync,
+) -> Vec<Vec<&'a T>> {
+    let buckets = buckets.max(1);
+    let split = |chunk: &'a [T]| -> Vec<Vec<&'a T>> {
+        let mut local: Vec<Vec<&T>> = (0..buckets).map(|_| Vec::new()).collect();
+        for t in chunk {
+            local[(key(t) % buckets as u64) as usize].push(t);
+        }
+        local
+    };
+    let workers = threads().min(items.len());
+    if workers <= 1 {
+        return split(items);
+    }
+    let chunk = items.len().div_ceil(workers);
+    let chunks: Vec<&[T]> = items.chunks(chunk).collect();
+    let per_chunk = par_map(&chunks, |c| split(c));
+    let mut merged: Vec<Vec<&T>> = (0..buckets).map(|_| Vec::new()).collect();
+    for local in per_chunk {
+        for (b, mut part) in local.into_iter().enumerate() {
+            merged[b].append(&mut part);
+        }
+    }
+    merged
+}
+
+/// Fork–join over two closures: runs `a` on a scoped worker and `b` on
+/// the current thread when `budget` still has a thread to spend, serially
+/// otherwise. Results come back as `(a, b)` either way.
+pub fn join2<A, B>(
+    budget: &AtomicIsize,
+    a: impl FnOnce() -> A + Send,
+    b: impl FnOnce() -> B + Send,
+) -> (A, B)
+where
+    A: Send,
+    B: Send,
+{
+    if budget.fetch_sub(1, Ordering::AcqRel) > 0 {
+        let pair = std::thread::scope(|s| {
+            let ha = s.spawn(a);
+            let rb = b();
+            (ha.join().expect("forked evaluation panicked"), rb)
+        });
+        budget.fetch_add(1, Ordering::AcqRel);
+        pair
+    } else {
+        budget.fetch_add(1, Ordering::AcqRel);
+        (a(), b())
+    }
+}
+
+/// A process-stable structural hash (SipHash with fixed keys via
+/// [`DefaultHasher::new`]): identical values hash identically within a
+/// process, independent of any `RandomState`. Used for hash partitioning
+/// and for the evaluator's precomputed cache keys.
+pub fn stable_hash(value: &impl Hash) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Runs `f` with the worker count pinned to `n`, restoring the previous
+/// override afterwards. Serializes against other callers in the process,
+/// because the override is global — this is a helper for differential
+/// test suites (serial vs parallel runs of the same computation inside
+/// one test binary), not a production API.
+#[doc(hidden)]
+pub fn with_threads_for_test<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    use std::sync::Mutex;
+    static LOCK: Mutex<()> = Mutex::new(());
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let prev = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    set_threads(n);
+    let result = f();
+    set_threads(prev);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        with_threads_for_test(n, f)
+    }
+
+    #[test]
+    fn par_map_preserves_order_at_any_width() {
+        let items: Vec<u64> = (0..101).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for n in [1, 2, 4, 7] {
+            let got = with_threads(n, || par_map(&items, |x| x * 3));
+            assert_eq!(got, expect, "width {n}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_reports_smallest_index_error() {
+        let items: Vec<u64> = (0..64).collect();
+        for n in [1, 4] {
+            let err = with_threads(n, || {
+                try_par_map(&items, |&x| if x % 10 == 7 { Err(x) } else { Ok(x) })
+            })
+            .unwrap_err();
+            assert_eq!(err, 7, "width {n}");
+        }
+    }
+
+    #[test]
+    fn par_partition_is_deterministic_and_complete() {
+        let items: Vec<u64> = (0..200).map(|i| i * 17 % 111).collect();
+        let serial = with_threads(1, || {
+            par_partition(&items, 4, |&x| x).iter().map(|b| b.len()).collect::<Vec<_>>()
+        });
+        let parallel4: Vec<Vec<u64>> = with_threads(4, || {
+            par_partition(&items, 4, |&x| x)
+                .into_iter()
+                .map(|b| b.into_iter().copied().collect())
+                .collect()
+        });
+        assert_eq!(parallel4.iter().map(Vec::len).sum::<usize>(), items.len());
+        assert_eq!(serial, parallel4.iter().map(Vec::len).collect::<Vec<_>>());
+        for (b, bucket) in parallel4.iter().enumerate() {
+            for &x in bucket {
+                assert_eq!((x % 4) as usize, b);
+            }
+        }
+    }
+
+    #[test]
+    fn join2_runs_both_and_restores_budget() {
+        let budget = AtomicIsize::new(1);
+        let (a, b) = join2(&budget, || 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+        assert_eq!(budget.load(Ordering::SeqCst), 1);
+        // Exhausted budget falls back to serial execution.
+        let empty = AtomicIsize::new(0);
+        let (a, b) = join2(&empty, || 1, || 2);
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(empty.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn threads_override_and_env() {
+        assert_eq!(with_threads(3, threads), 3);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn stable_hash_is_stable() {
+        assert_eq!(stable_hash(&42u64), stable_hash(&42u64));
+        assert_ne!(stable_hash(&1u64), stable_hash(&2u64));
+    }
+}

@@ -15,8 +15,16 @@ use crate::relation::Relation;
 use crate::schema::Catalog;
 use crate::symbol::{Attr, RelName};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A relational algebra expression.
+///
+/// Children are [`Arc`]-shared: cloning an expression is a shallow
+/// reference-count bump, and rewrites that leave a subtree untouched
+/// ([`RaExpr::substitute`], the maintenance layer's stored-state folding)
+/// return the *same* allocation. The evaluator's memo cache exploits
+/// this: repeated subtrees produced by substitution share pointers, so
+/// cache keys are cheap and pointer equality is a valid fast path.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum RaExpr {
     /// A reference to a named relation (base relation or stored view).
@@ -24,20 +32,20 @@ pub enum RaExpr {
     /// The constant empty relation over the given header.
     Empty(AttrSet),
     /// `σ_pred(input)`.
-    Select(Box<RaExpr>, Predicate),
+    Select(Arc<RaExpr>, Predicate),
     /// `π_attrs(input)`; `attrs ⊆ attrs(input)` is required.
-    Project(Box<RaExpr>, AttrSet),
+    Project(Arc<RaExpr>, AttrSet),
     /// Natural join `left ⋈ right` (cartesian product when headers are
     /// disjoint).
-    Join(Box<RaExpr>, Box<RaExpr>),
+    Join(Arc<RaExpr>, Arc<RaExpr>),
     /// `left ∪ right` (same headers required).
-    Union(Box<RaExpr>, Box<RaExpr>),
+    Union(Arc<RaExpr>, Arc<RaExpr>),
     /// `left ∖ right` (same headers required).
-    Diff(Box<RaExpr>, Box<RaExpr>),
+    Diff(Arc<RaExpr>, Arc<RaExpr>),
     /// `left ∩ right` (same headers required).
-    Intersect(Box<RaExpr>, Box<RaExpr>),
+    Intersect(Arc<RaExpr>, Arc<RaExpr>),
     /// `ρ` — renames attributes; pairs are `(from, to)`.
-    Rename(Box<RaExpr>, Vec<(Attr, Attr)>),
+    Rename(Arc<RaExpr>, Vec<(Attr, Attr)>),
 }
 
 /// Anything that can resolve the header of a named relation: a [`Catalog`]
@@ -80,12 +88,12 @@ impl RaExpr {
 
     /// `σ_pred(self)`.
     pub fn select(self, pred: Predicate) -> RaExpr {
-        RaExpr::Select(Box::new(self), pred)
+        RaExpr::Select(Arc::new(self), pred)
     }
 
     /// `π_attrs(self)`.
     pub fn project(self, attrs: AttrSet) -> RaExpr {
-        RaExpr::Project(Box::new(self), attrs)
+        RaExpr::Project(Arc::new(self), attrs)
     }
 
     /// `π` onto named attributes.
@@ -95,27 +103,27 @@ impl RaExpr {
 
     /// Natural join.
     pub fn join(self, other: RaExpr) -> RaExpr {
-        RaExpr::Join(Box::new(self), Box::new(other))
+        RaExpr::Join(Arc::new(self), Arc::new(other))
     }
 
     /// Set union.
     pub fn union(self, other: RaExpr) -> RaExpr {
-        RaExpr::Union(Box::new(self), Box::new(other))
+        RaExpr::Union(Arc::new(self), Arc::new(other))
     }
 
     /// Set difference.
     pub fn diff(self, other: RaExpr) -> RaExpr {
-        RaExpr::Diff(Box::new(self), Box::new(other))
+        RaExpr::Diff(Arc::new(self), Arc::new(other))
     }
 
     /// Set intersection.
     pub fn intersect(self, other: RaExpr) -> RaExpr {
-        RaExpr::Intersect(Box::new(self), Box::new(other))
+        RaExpr::Intersect(Arc::new(self), Arc::new(other))
     }
 
     /// Attribute renaming.
     pub fn rename(self, pairs: Vec<(Attr, Attr)>) -> RaExpr {
-        RaExpr::Rename(Box::new(self), pairs)
+        RaExpr::Rename(Arc::new(self), pairs)
     }
 
     /// Joins all expressions in `items` left to right; `None` if empty.
@@ -208,25 +216,75 @@ impl RaExpr {
         match self {
             RaExpr::Base(n) => map.get(n).cloned().unwrap_or(RaExpr::Base(*n)),
             RaExpr::Empty(a) => RaExpr::Empty(a.clone()),
-            RaExpr::Select(i, p) => RaExpr::Select(Box::new(i.substitute(map)), p.clone()),
-            RaExpr::Project(i, a) => RaExpr::Project(Box::new(i.substitute(map)), a.clone()),
-            RaExpr::Join(l, r) => RaExpr::Join(
-                Box::new(l.substitute(map)),
-                Box::new(r.substitute(map)),
-            ),
-            RaExpr::Union(l, r) => RaExpr::Union(
-                Box::new(l.substitute(map)),
-                Box::new(r.substitute(map)),
-            ),
-            RaExpr::Diff(l, r) => RaExpr::Diff(
-                Box::new(l.substitute(map)),
-                Box::new(r.substitute(map)),
-            ),
-            RaExpr::Intersect(l, r) => RaExpr::Intersect(
-                Box::new(l.substitute(map)),
-                Box::new(r.substitute(map)),
-            ),
-            RaExpr::Rename(i, p) => RaExpr::Rename(Box::new(i.substitute(map)), p.clone()),
+            RaExpr::Select(i, p) => RaExpr::Select(Self::subst_arc(i, map), p.clone()),
+            RaExpr::Project(i, a) => RaExpr::Project(Self::subst_arc(i, map), a.clone()),
+            RaExpr::Join(l, r) => {
+                RaExpr::Join(Self::subst_arc(l, map), Self::subst_arc(r, map))
+            }
+            RaExpr::Union(l, r) => {
+                RaExpr::Union(Self::subst_arc(l, map), Self::subst_arc(r, map))
+            }
+            RaExpr::Diff(l, r) => {
+                RaExpr::Diff(Self::subst_arc(l, map), Self::subst_arc(r, map))
+            }
+            RaExpr::Intersect(l, r) => {
+                RaExpr::Intersect(Self::subst_arc(l, map), Self::subst_arc(r, map))
+            }
+            RaExpr::Rename(i, p) => RaExpr::Rename(Self::subst_arc(i, map), p.clone()),
+        }
+    }
+
+    /// [`RaExpr::substitute`] over a shared subtree: returns the *same*
+    /// allocation (a refcount bump) when the subtree contains no mapped
+    /// base relation, so substitution only reallocates the spine that
+    /// actually changes.
+    fn subst_arc(e: &Arc<RaExpr>, map: &BTreeMap<RelName, RaExpr>) -> Arc<RaExpr> {
+        match e.as_ref() {
+            RaExpr::Base(n) => match map.get(n) {
+                Some(r) => Arc::new(r.clone()),
+                None => Arc::clone(e),
+            },
+            RaExpr::Empty(_) => Arc::clone(e),
+            RaExpr::Select(i, p) => {
+                let si = Self::subst_arc(i, map);
+                if Arc::ptr_eq(&si, i) {
+                    Arc::clone(e)
+                } else {
+                    Arc::new(RaExpr::Select(si, p.clone()))
+                }
+            }
+            RaExpr::Project(i, a) => {
+                let si = Self::subst_arc(i, map);
+                if Arc::ptr_eq(&si, i) {
+                    Arc::clone(e)
+                } else {
+                    Arc::new(RaExpr::Project(si, a.clone()))
+                }
+            }
+            RaExpr::Rename(i, p) => {
+                let si = Self::subst_arc(i, map);
+                if Arc::ptr_eq(&si, i) {
+                    Arc::clone(e)
+                } else {
+                    Arc::new(RaExpr::Rename(si, p.clone()))
+                }
+            }
+            RaExpr::Join(l, r)
+            | RaExpr::Union(l, r)
+            | RaExpr::Diff(l, r)
+            | RaExpr::Intersect(l, r) => {
+                let sl = Self::subst_arc(l, map);
+                let sr = Self::subst_arc(r, map);
+                if Arc::ptr_eq(&sl, l) && Arc::ptr_eq(&sr, r) {
+                    return Arc::clone(e);
+                }
+                Arc::new(match e.as_ref() {
+                    RaExpr::Join(..) => RaExpr::Join(sl, sr),
+                    RaExpr::Union(..) => RaExpr::Union(sl, sr),
+                    RaExpr::Diff(..) => RaExpr::Diff(sl, sr),
+                    _ => RaExpr::Intersect(sl, sr),
+                })
+            }
         }
     }
 

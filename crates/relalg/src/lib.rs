@@ -44,6 +44,7 @@ pub mod database;
 pub mod display;
 pub mod error;
 pub mod eval;
+pub mod exec;
 pub mod expr;
 pub mod gen;
 pub mod io;

@@ -122,26 +122,45 @@ impl Relation {
         Ok(())
     }
 
-    /// `self ∪ other` (same header required).
+    /// `self ∪ other` (same header required). Clones the larger operand
+    /// and extends it with the smaller one, so cost scales with the
+    /// smaller side plus one bulk clone instead of always re-cloning
+    /// `self`.
     pub fn union(&self, other: &Relation) -> Result<Relation> {
         self.require_same_header(other)?;
-        let mut out = self.clone();
-        out.tuples.extend(other.tuples.iter().cloned());
+        let (big, small) = if self.len() >= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = big.clone();
+        out.tuples.extend(small.tuples.iter().cloned());
         Ok(out)
     }
 
-    /// `self ∖ other` (same header required).
+    /// `self ∖ other` (same header required). When either side is empty
+    /// the answer is a clone of `self` (resp. empty) without walking the
+    /// other operand.
     pub fn difference(&self, other: &Relation) -> Result<Relation> {
         self.require_same_header(other)?;
+        if other.is_empty() || self.is_empty() {
+            return Ok(self.clone());
+        }
         Ok(Relation {
             attrs: self.attrs.clone(),
             tuples: self.tuples.difference(&other.tuples).cloned().collect(),
         })
     }
 
-    /// `self ∩ other` (same header required).
+    /// `self ∩ other` (same header required). Empty operands short-circuit.
     pub fn intersect(&self, other: &Relation) -> Result<Relation> {
         self.require_same_header(other)?;
+        if self.is_empty() {
+            return Ok(self.clone());
+        }
+        if other.is_empty() {
+            return Ok(Relation::empty(self.attrs.clone()));
+        }
         Ok(Relation {
             attrs: self.attrs.clone(),
             tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
@@ -177,6 +196,22 @@ impl Relation {
     pub fn is_subset(&self, other: &Relation) -> Result<bool> {
         self.require_same_header(other)?;
         Ok(self.tuples.is_subset(&other.tuples))
+    }
+
+    /// `(self ∖ delete) ∪ insert` in one pass: a single clone of `self`
+    /// followed by point removals and insertions. The delta-composition
+    /// identity every maintenance path ends with — as two set operations
+    /// it would clone the full relation twice per stored relation per
+    /// update; deltas are usually tiny compared to `self`.
+    pub fn apply_delta(&self, insert: &Relation, delete: &Relation) -> Result<Relation> {
+        self.require_same_header(insert)?;
+        self.require_same_header(delete)?;
+        let mut out = self.clone();
+        for t in &delete.tuples {
+            out.tuples.remove(t);
+        }
+        out.tuples.extend(insert.tuples.iter().cloned());
+        Ok(out)
     }
 }
 

@@ -21,6 +21,7 @@
 use crate::expr::{HeaderResolver, RaExpr};
 use crate::error::Result;
 use crate::predicate::Predicate;
+use std::sync::Arc;
 
 /// Simplifies `expr` bottom-up. Fails only if the expression does not
 /// type-check against `resolver` (simplification needs headers to replace
@@ -51,7 +52,7 @@ fn go(expr: &RaExpr, r: &impl HeaderResolver) -> RaExpr {
                 (RaExpr::Select(inner, q), _) => {
                     RaExpr::Select(inner.clone(), q.clone().and(pred))
                 }
-                _ => RaExpr::Select(Box::new(input), pred),
+                _ => RaExpr::Select(Arc::new(input), pred),
             }
         }
         RaExpr::Project(input, wanted) => {
@@ -65,7 +66,7 @@ fn go(expr: &RaExpr, r: &impl HeaderResolver) -> RaExpr {
             if let RaExpr::Project(inner, _) = &input {
                 return RaExpr::Project(inner.clone(), wanted.clone());
             }
-            RaExpr::Project(Box::new(input), wanted.clone())
+            RaExpr::Project(Arc::new(input), wanted.clone())
         }
         RaExpr::Join(l, right) => {
             let l = go(l, r);
@@ -80,7 +81,7 @@ fn go(expr: &RaExpr, r: &impl HeaderResolver) -> RaExpr {
             if l == rt {
                 return l;
             }
-            RaExpr::Join(Box::new(l), Box::new(rt))
+            RaExpr::Join(Arc::new(l), Arc::new(rt))
         }
         RaExpr::Union(l, right) => {
             let l = go(l, r);
@@ -91,7 +92,7 @@ fn go(expr: &RaExpr, r: &impl HeaderResolver) -> RaExpr {
             if is_empty(&rt) || l == rt {
                 return l;
             }
-            RaExpr::Union(Box::new(l), Box::new(rt))
+            RaExpr::Union(Arc::new(l), Arc::new(rt))
         }
         RaExpr::Diff(l, right) => {
             let l = go(l, r);
@@ -105,7 +106,7 @@ fn go(expr: &RaExpr, r: &impl HeaderResolver) -> RaExpr {
             if l == rt {
                 return RaExpr::Empty(l.attrs(r).expect("type-checked"));
             }
-            RaExpr::Diff(Box::new(l), Box::new(rt))
+            RaExpr::Diff(Arc::new(l), Arc::new(rt))
         }
         RaExpr::Intersect(l, right) => {
             let l = go(l, r);
@@ -119,7 +120,7 @@ fn go(expr: &RaExpr, r: &impl HeaderResolver) -> RaExpr {
             if l == rt {
                 return l;
             }
-            RaExpr::Intersect(Box::new(l), Box::new(rt))
+            RaExpr::Intersect(Arc::new(l), Arc::new(rt))
         }
         RaExpr::Rename(input, pairs) => {
             let input = go(input, r);
@@ -132,7 +133,7 @@ fn go(expr: &RaExpr, r: &impl HeaderResolver) -> RaExpr {
                     crate::expr::rename_header(attrs, &effective).expect("type-checked");
                 return RaExpr::Empty(renamed);
             }
-            RaExpr::Rename(Box::new(input), effective)
+            RaExpr::Rename(Arc::new(input), effective)
         }
     }
 }

@@ -68,7 +68,7 @@ impl Delta {
 
     /// Applies the delta to an instance: `(current ∖ delete) ∪ insert`.
     pub fn apply(&self, current: &Relation) -> Result<Relation> {
-        current.difference(&self.delete)?.union(&self.insert)
+        current.apply_delta(&self.insert, &self.delete)
     }
 
     /// The *net effect* relative to `current`: deletions restricted to

@@ -51,6 +51,7 @@ pub struct Bench {
     samples: usize,
     target_sample: Duration,
     warmup_samples: usize,
+    extra: Vec<(String, String)>,
 }
 
 impl Bench {
@@ -69,6 +70,7 @@ impl Bench {
             samples: samples.max(3),
             target_sample: Duration::from_millis(target_ms.max(1)),
             warmup_samples: 2,
+            extra: Vec::new(),
         }
     }
 
@@ -77,6 +79,20 @@ impl Bench {
         if std::env::var("DWC_TESTKIT_BENCH_SAMPLES").is_err() {
             self.samples = n.max(3);
         }
+        self
+    }
+
+    /// Attaches an extra numeric field to every JSON line this group
+    /// emits (e.g. the worker-thread count a run was configured with —
+    /// the testkit itself has no notion of threads, callers supply it).
+    pub fn field_num(mut self, key: &str, value: u64) -> Bench {
+        self.extra.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Attaches an extra string field to every JSON line this group emits.
+    pub fn field_str(mut self, key: &str, value: &str) -> Bench {
+        self.extra.push((key.to_owned(), json_str(value)));
         self
     }
 
@@ -108,8 +124,13 @@ impl Bench {
             samples: per_iter.len(),
             iters,
         };
+        let extra: String = self
+            .extra
+            .iter()
+            .map(|(k, v)| format!(",{}:{}", json_str(k), v))
+            .collect();
         println!(
-            "{{\"group\":{},\"bench\":{},\"median_ns\":{},\"min_ns\":{},\"mean_ns\":{},\"samples\":{},\"iters\":{}}}",
+            "{{\"group\":{},\"bench\":{},\"median_ns\":{},\"min_ns\":{},\"mean_ns\":{},\"samples\":{},\"iters\":{}{}}}",
             json_str(&self.group),
             json_str(&stats.name),
             stats.median_ns,
@@ -117,6 +138,7 @@ impl Bench {
             stats.mean_ns,
             stats.samples,
             stats.iters,
+            extra,
         );
         stats
     }
@@ -157,6 +179,16 @@ mod tests {
         assert!(stats.iters >= 1);
         assert!(stats.min_ns <= stats.median_ns);
         assert!(stats.samples >= 3);
+    }
+
+    #[test]
+    fn extra_fields_ride_along() {
+        let b = Bench::new("testkit-self")
+            .samples(3)
+            .field_num("threads", 4)
+            .field_str("mode", "smoke");
+        assert_eq!(b.extra[0], ("threads".to_owned(), "4".to_owned()));
+        assert_eq!(b.extra[1], ("mode".to_owned(), "\"smoke\"".to_owned()));
     }
 
     #[test]

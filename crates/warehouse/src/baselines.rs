@@ -116,7 +116,7 @@ impl SourceQueryMaintainer {
             let plus_r = answer_with_deltas(site, &plus, report)?;
             let minus_r = answer_with_deltas(site, &minus, report)?;
             let old = self.warehouse.relation(v.name())?;
-            next.insert_relation(v.name(), old.difference(&minus_r)?.union(&plus_r)?);
+            next.insert_relation(v.name(), old.apply_delta(&plus_r, &minus_r)?);
         }
         self.warehouse = next;
         Ok(())

@@ -62,7 +62,7 @@ impl DeltaExpr {
     ) -> Result<dwc_relalg::Relation> {
         let plus = self.plus.eval(env)?;
         let minus = self.minus.eval(env)?;
-        Ok(old.difference(&minus)?.union(&plus)?)
+        Ok(old.apply_delta(&plus, &minus)?)
     }
 
     /// Total node count of both expressions (complexity metric).

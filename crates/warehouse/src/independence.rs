@@ -60,7 +60,7 @@ impl SigmaWarehouse {
             let plus = delta.inserted().filter(|t| pred.eval(t));
             let minus = delta.deleted().filter(|t| pred.eval(t));
             let old = warehouse.relation(v.name())?;
-            next.insert_relation(v.name(), old.difference(&minus)?.union(&plus)?);
+            next.insert_relation(v.name(), old.apply_delta(&plus, &minus)?);
         }
         Ok(next)
     }

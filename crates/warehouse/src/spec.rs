@@ -13,8 +13,9 @@ use dwc_core::constrained::ComplementOptions;
 use dwc_core::psj::definitions;
 use dwc_core::unionfact::{complement_for, UnionFactView};
 use dwc_core::{Complement, NamedView, PsjView};
+use dwc_relalg::eval::{eval_cached, EvalCache};
 use dwc_relalg::expr::HeaderResolver;
-use dwc_relalg::{AttrSet, Catalog, DbState, RaExpr, RelName};
+use dwc_relalg::{exec, AttrSet, Catalog, DbState, RaExpr, RelName};
 use std::collections::BTreeMap;
 
 /// The pair (D, V): sources and view definitions (plain PSJ views plus
@@ -90,13 +91,19 @@ impl WarehouseSpec {
     }
 
     /// Materializes the *unaugmented* warehouse state `⟨V1(d), …, Vk(d)⟩`.
+    /// The views are independent queries over `db`, so they evaluate in
+    /// parallel.
     pub fn materialize(&self, db: &DbState) -> Result<DbState> {
+        let exprs: Vec<(RelName, RaExpr)> = self
+            .views
+            .iter()
+            .map(|v| (v.name(), v.to_expr()))
+            .chain(self.union_facts.iter().map(|u| (u.name(), u.to_expr())))
+            .collect();
+        let evaluated = exec::try_par_map(&exprs, |(_, e)| e.eval(db))?;
         let mut w = DbState::new();
-        for v in &self.views {
-            w.insert_relation(v.name(), v.to_expr().eval(db)?);
-        }
-        for uf in &self.union_facts {
-            w.insert_relation(uf.name(), uf.to_expr().eval(db)?);
+        for ((name, _), rel) in exprs.iter().zip(evaluated) {
+            w.insert_relation(*name, rel);
         }
         Ok(w)
     }
@@ -156,9 +163,18 @@ impl AugmentedWarehouse {
     /// Materializes the full warehouse state `W(d) = (V(d), C(d))`
     /// (including union fact tables).
     pub fn materialize(&self, db: &DbState) -> Result<DbState> {
-        let mut w = self.complement.warehouse_state(self.views(), db)?;
-        for u in self.spec.union_facts() {
-            w.insert_relation(u.name(), u.to_expr().eval(db)?);
+        // One evaluation cache spans views, complements, and fact tables:
+        // the complement definitions embed the view expressions, so the
+        // shared subtrees evaluate once.
+        let cache = EvalCache::new();
+        let mut w = self
+            .complement
+            .warehouse_state_cached(self.views(), db, &cache)?;
+        let evaluated = exec::try_par_map(self.spec.union_facts(), |u| {
+            eval_cached(&u.to_expr(), db, &cache)
+        })?;
+        for (u, rel) in self.spec.union_facts().iter().zip(evaluated) {
+            w.insert_shared(u.name(), rel);
         }
         Ok(w)
     }
@@ -211,11 +227,14 @@ impl AugmentedWarehouse {
     }
 
     /// Reconstructs the full database state from a warehouse state via
-    /// `W⁻¹` (the paper's Step 1.2 artifact put to work).
+    /// `W⁻¹` (the paper's Step 1.2 artifact put to work). One independent
+    /// inverse expression per base relation — they evaluate in parallel.
     pub fn reconstruct_sources(&self, warehouse: &DbState) -> Result<DbState> {
+        let inverses: Vec<(&RelName, &RaExpr)> = self.inverse().iter().collect();
+        let evaluated = exec::try_par_map(&inverses, |(_, inv)| inv.eval(warehouse))?;
         let mut db = DbState::new();
-        for (base, inv) in self.inverse() {
-            db.insert_relation(*base, inv.eval(warehouse)?);
+        for ((base, _), rel) in inverses.iter().zip(evaluated) {
+            db.insert_relation(**base, rel);
         }
         Ok(db)
     }

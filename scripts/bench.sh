@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Thread-scaling bench sweep, fully offline.
+#
+# Runs the evaluator, complement, maintenance, and star-schema bench
+# targets serially (DWC_THREADS=1) and at a parallel width, collecting
+# every JSON line into BENCH_eval.json. Each line carries a "threads"
+# field (tagged by the bench targets via the exec layer), so the file is
+# directly diffable across widths:
+#
+#   jq -s 'group_by(.group+"/"+.bench)' BENCH_eval.json
+#
+# Usage: scripts/bench.sh [--quick] [--threads N] [--out FILE]
+#   --quick      smoke pass (fewer samples, 2ms target per sample)
+#   --threads N  parallel width for the second sweep (default 4, or the
+#                machine width if smaller is all that's available — the
+#                exec layer caps nothing; on a 1-CPU host the N-thread
+#                run measures scheduling overhead, not speedup)
+#   --out FILE   result file (default BENCH_eval.json; verify.sh points
+#                this at a scratch file so a smoke run never overwrites
+#                recorded numbers)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+PAR_THREADS=4
+OUT=BENCH_eval.json
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) QUICK=1; shift ;;
+    --threads) PAR_THREADS="$2"; shift 2 ;;
+    --out) OUT="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+export CARGO_NET_OFFLINE=true
+if [ "$QUICK" = 1 ]; then
+  export DWC_TESTKIT_BENCH_SAMPLES="${DWC_TESTKIT_BENCH_SAMPLES:-3}"
+  export DWC_TESTKIT_BENCH_MS="${DWC_TESTKIT_BENCH_MS:-2}"
+  echo "quick mode: samples=$DWC_TESTKIT_BENCH_SAMPLES target=${DWC_TESTKIT_BENCH_MS}ms"
+fi
+
+: > "$OUT"
+
+cargo build -q --release -p dwc-bench --benches
+
+BENCHES=(eval complement maintenance star)
+for threads in 1 "$PAR_THREADS"; do
+  echo "=== sweep: DWC_THREADS=$threads ==="
+  for bench in "${BENCHES[@]}"; do
+    # `cargo bench` with the testkit harness just runs the target's main;
+    # JSON lines go to stdout, cargo chatter to stderr.
+    DWC_THREADS="$threads" cargo bench -q -p dwc-bench --bench "$bench" \
+      | grep '^{' | tee -a "$OUT"
+  done
+done
+
+echo "wrote $(grep -c '^{' "$OUT") results to $OUT"

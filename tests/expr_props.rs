@@ -50,8 +50,8 @@ fn cached_eval_agrees() {
             let catalog = chain_catalog();
             let db = chain_state(rows);
             let e = random_expr(*seed, *depth, &catalog);
-            let mut cache = std::collections::HashMap::new();
-            let cached = dwcomplements::relalg::eval::eval_cached(&e, &db, &mut cache)
+            let cache = dwcomplements::relalg::eval::EvalCache::new();
+            let cached = dwcomplements::relalg::eval::eval_cached(&e, &db, &cache)
                 .expect("evaluates");
             tk_ensure_eq!(&*cached, &e.eval(&db).expect("evaluates"));
             Ok(())

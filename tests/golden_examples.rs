@@ -10,7 +10,7 @@ use dwcomplements::core::constrained::{complement_with, ComplementOptions};
 use dwcomplements::core::covers::covers_of;
 use dwcomplements::core::psj::{NamedView, PsjView};
 use dwcomplements::relalg::{
-    rel, AttrSet, Catalog, DbState, InclusionDep, RelName, Relation, Update,
+    rel, AttrSet, Catalog, DbState, InclusionDep, RelName, Update,
 };
 use dwcomplements::warehouse::WarehouseSpec;
 use std::collections::BTreeSet;

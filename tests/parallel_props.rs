@@ -1,0 +1,186 @@
+//! Differential properties of the parallel execution layer: every result
+//! computed at 4 workers must be **bit-identical** to the serial (1
+//! worker) result. Covers the evaluator (random expressions and joins
+//! large enough to take the partitioned-parallel path), complement
+//! materialization via `core`, and the full Example 4.1 maintenance
+//! pipeline (plan application and reconstruction fallback).
+//!
+//! The thread widths are pinned per computation through the exec layer's
+//! process-global override (`with_threads_for_test` serializes its
+//! users), so this suite is its own test binary and exercises both
+//! schedules in one process regardless of `DWC_THREADS`.
+
+mod common;
+
+use common::{chain_catalog, chain_state, gen_chain_rows, random_expr};
+use dwc_testkit::prop::Runner;
+use dwc_testkit::tk_ensure_eq;
+use dwcomplements::relalg::exec::with_threads_for_test;
+use dwcomplements::relalg::{gen, AttrSet, Delta, RaExpr, RelName, Relation, Tuple, Update, Value};
+use dwcomplements::warehouse::WarehouseSpec;
+
+/// The serial and the 4-worker schedule of the same closure must agree.
+fn differential<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) -> (R, R) {
+    (with_threads_for_test(1, &f), with_threads_for_test(4, &f))
+}
+
+/// Random chain-catalog expressions evaluate identically at 1 and 4
+/// workers (exercises the fork–join subtree schedule on every operator).
+#[test]
+fn eval_is_schedule_independent() {
+    Runner::new("eval_is_schedule_independent").cases(96).run(
+        |rng| (rng.next_u64(), rng.below(4) as u32, gen_chain_rows(rng)),
+        |(seed, depth, rows)| {
+            let catalog = chain_catalog();
+            let db = chain_state(rows);
+            let e = random_expr(*seed, *depth, &catalog);
+            let (serial, parallel) = differential(|| e.eval(&db).expect("evaluates"));
+            tk_ensure_eq!(serial, parallel);
+            Ok(())
+        },
+    );
+}
+
+/// Joins above the partitioned-parallel threshold produce the same
+/// relation under hash partitioning as under the single-index serial
+/// path, for skewed and uniform key distributions.
+#[test]
+fn large_partitioned_join_is_schedule_independent() {
+    Runner::new("large_partitioned_join_is_schedule_independent").cases(12).run(
+        |rng| (rng.next_u64(), 1 + rng.index(97) as i64),
+        |&(seed, modulus)| {
+            let mut db = dwcomplements::relalg::DbState::new();
+            // Canonical (sorted-header) tuple order: {a, k} and {b, k}.
+            let mut left = Relation::empty(AttrSet::from_names(&["k", "a"]));
+            let mut right = Relation::empty(AttrSet::from_names(&["k", "b"]));
+            for i in 0..800i64 {
+                let salt = (seed as i64).wrapping_add(i);
+                left.insert(Tuple::new(vec![Value::int(i), Value::int(salt % modulus)]))
+                    .expect("arity");
+                right
+                    .insert(Tuple::new(vec![Value::int(i * 3), Value::int(i % modulus)]))
+                    .expect("arity");
+            }
+            db.insert_relation("L", left);
+            db.insert_relation("Rr", right);
+            let e = RaExpr::base("L").join(RaExpr::base("Rr"));
+            let (serial, parallel) = differential(|| e.eval(&db).expect("evaluates"));
+            tk_ensure_eq!(serial, parallel);
+            Ok(())
+        },
+    );
+}
+
+fn fig1_like() -> WarehouseSpec {
+    let mut c = dwcomplements::relalg::Catalog::new();
+    c.add_schema("Sale", &["item", "clerk"]).expect("static");
+    c.add_schema_with_key("Emp", &["clerk", "age"], &["clerk"]).expect("static");
+    WarehouseSpec::parse(c, &[("Sold", "Sale join Emp")]).expect("static")
+}
+
+/// Complement materialization (the per-`C_i` fan-out in `core`) and the
+/// full warehouse state agree across schedules on random states.
+#[test]
+fn complement_materialization_is_schedule_independent() {
+    Runner::new("complement_materialization_is_schedule_independent").cases(32).run(
+        |rng| rng.next_u64(),
+        |&seed| {
+            let aug = fig1_like().augment().expect("complement exists");
+            let cfg = gen::StateGenConfig::new(40, 8);
+            let db = gen::random_state(aug.catalog(), &cfg, seed);
+            let (serial, parallel) = differential(|| {
+                let w = aug.materialize(&db).expect("materializes");
+                let back = aug.reconstruct_sources(&w).expect("reconstructs");
+                (w, back)
+            });
+            tk_ensure_eq!(serial, parallel);
+            tk_ensure_eq!(serial.1, db);
+            Ok(())
+        },
+    );
+}
+
+/// Full Example 4.1 maintenance: incremental plan application (parallel
+/// inverse materialization + wave-parallel steps over one shared cache)
+/// and reconstruction maintenance agree across schedules, and both agree
+/// with ground-truth recomputation.
+#[test]
+fn maintenance_is_schedule_independent() {
+    Runner::new("maintenance_is_schedule_independent").cases(24).run(
+        |rng| (rng.next_u64(), rng.next_u64()),
+        |&(seed, target_seed)| {
+            let aug = fig1_like().augment().expect("complement exists");
+            let cfg = gen::StateGenConfig::new(30, 6);
+            let db = gen::random_state(aug.catalog(), &cfg, seed);
+            let target = gen::random_state(aug.catalog(), &cfg, target_seed);
+            // An update moving both relations toward the target state.
+            let mut update = Update::new();
+            for (name, goal) in target.iter() {
+                let current = db.relation(name).expect("generated");
+                update = update.with(
+                    name.as_str(),
+                    Delta::new(
+                        goal.difference(current).expect("same header"),
+                        current.difference(goal).expect("same header"),
+                    )
+                    .expect("disjoint by construction"),
+                );
+            }
+            let update = update.normalize(&db).expect("consistent");
+            if update.is_empty() {
+                return Ok(());
+            }
+            let w = with_threads_for_test(1, || aug.materialize(&db).expect("materializes"));
+            let (serial, parallel) = differential(|| {
+                let inc = aug.maintain(&w, &update).expect("incremental");
+                let rec =
+                    aug.maintain_by_reconstruction(&w, &update).expect("reconstruction");
+                (inc, rec)
+            });
+            tk_ensure_eq!(serial, parallel);
+            let truth = with_threads_for_test(1, || {
+                aug.materialize(&update.apply(&db).expect("applies")).expect("materializes")
+            });
+            tk_ensure_eq!(serial.0, truth);
+            tk_ensure_eq!(serial.1, truth);
+            Ok(())
+        },
+    );
+}
+
+/// Plan application also agrees step-for-step on the reported net deltas
+/// (the `StoredDelta` stream consumed by cascading maintenance), not just
+/// on the final state.
+#[test]
+fn stored_deltas_are_schedule_independent() {
+    Runner::new("stored_deltas_are_schedule_independent").cases(16).run(
+        |rng| rng.next_u64(),
+        |&seed| {
+            let aug = fig1_like().augment().expect("complement exists");
+            let cfg = gen::StateGenConfig::new(25, 6);
+            let db = gen::random_state(aug.catalog(), &cfg, seed);
+            let extra = gen::random_state(aug.catalog(), &cfg, seed ^ 0x9E37_79B9);
+            let sale = RelName::new("Sale");
+            let ins = extra
+                .relation(sale)
+                .expect("generated")
+                .difference(db.relation(sale).expect("generated"))
+                .expect("same header");
+            let update = Update::new()
+                .with("Sale", Delta::insert_only(ins))
+                .normalize(&db)
+                .expect("consistent");
+            if update.is_empty() {
+                return Ok(());
+            }
+            let touched = update.touched().collect();
+            let plan = aug.compile_plan(&touched).expect("compiles");
+            let w = with_threads_for_test(1, || aug.materialize(&db).expect("materializes"));
+            let (serial, parallel) =
+                differential(|| plan.apply_detailed(&w, &update).expect("applies"));
+            tk_ensure_eq!(serial.0, parallel.0);
+            tk_ensure_eq!(serial.1, parallel.1);
+            Ok(())
+        },
+    );
+}
