@@ -14,17 +14,31 @@ pub enum AggError {
     /// Warehouse-layer error (when driving the aggregating integrator).
     Warehouse(dwc_warehouse::WarehouseError),
     /// An aggregate input attribute is missing from the source header.
-    UnknownInput { source: RelName, attr: Attr },
+    UnknownInput {
+        /// The source view the summary reads.
+        source: RelName,
+        /// The missing input attribute.
+        attr: Attr,
+    },
     /// An output column collides with a group-by attribute or another
     /// output column.
     ColumnCollision(Attr),
     /// The group-by attributes are not a subset of the source header.
-    BadGroupBy { source: RelName },
+    BadGroupBy {
+        /// The source view the summary reads.
+        source: RelName,
+    },
     /// `SUM` encountered a non-integer value at runtime.
-    NonNumeric { attr: Attr },
+    NonNumeric {
+        /// The attribute holding the non-integer value.
+        attr: Attr,
+    },
     /// Internal invariant: a deletion arrived for a value the group never
     /// contained (deltas must be net deltas of the source relation).
-    PhantomDeletion { summary: RelName },
+    PhantomDeletion {
+        /// The summary table whose group state was inconsistent.
+        summary: RelName,
+    },
     /// A summary references a relation the warehouse does not store.
     UnknownSource(RelName),
 }

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! # dwc-aggregates — summary tables over warehouse fact views
 //!
 //! Section 5 of *Complements for Data Warehouses* splits the OLAP layer

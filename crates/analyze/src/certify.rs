@@ -1,0 +1,346 @@
+//! Theorem 2.2 precondition certification.
+//!
+//! Without touching any relation instance, decide per base relation `R`
+//! whether the stored views can reconstruct it — and whether that
+//! reconstruction is *certified* (statically lossless) or merely
+//! *trusted* (the complement view compensates at run time):
+//!
+//! * keys present and covering: the extension-join machinery needs a
+//!   declared key whose attributes survive some view's projection,
+//! * IND acyclicity (checked catalog-wide, with an explicit cycle
+//!   witness),
+//! * cover existence and static losslessness, lifted from
+//!   [`dwc_core::covers`] / [`dwc_core::constrained`].
+//!
+//! The verdict per relation:
+//!
+//! | situation | code |
+//! |---|---|
+//! | no view involves `R` | `I903` (info: complement = full copy) |
+//! | some attributes of `R` never stored | `I902` (info: full copy by design) |
+//! | all attrs stored, recoverable, statically lossless | `I901` (info: complement certified empty-safe) |
+//! | all attrs stored, recoverable, not statically lossless | `C203` (info: trusted, complement compensates) |
+//! | all attrs stored, split across views, no key | `C201` |
+//! | all attrs stored, key declared, but no extension-join cover | `L301` |
+
+use crate::diag::{Code, Report, Severity};
+use crate::{AnalyzeOptions, Gate};
+use dwc_core::analysis::{views_involving, vk, vk_ind};
+use dwc_core::constrained::{cover_is_lossless, view_join_is_total};
+use dwc_core::covers::covers_of;
+use dwc_core::psj::NamedView;
+use dwc_core::CoreError;
+use dwc_relalg::{AttrSet, Catalog, RelalgError};
+
+/// Checks the catalog-level preconditions: well-formed keys and
+/// inclusion dependencies, and IND acyclicity (`C101` carries the full
+/// minimal cycle path as its witness).
+pub fn certify_catalog(catalog: &Catalog, report: &mut Report) {
+    match catalog.validate() {
+        Ok(()) => {}
+        Err(RelalgError::CyclicInclusionDeps { cycle }) => {
+            let path: Vec<&str> = cycle.iter().map(|r| r.as_str()).collect();
+            report.push(
+                Code::C101CyclicInds,
+                Severity::Error,
+                "catalog",
+                format!(
+                    "inclusion dependencies form a cycle: {} (Theorem 2.2 requires acyclicity)",
+                    path.join(" -> ")
+                ),
+            );
+        }
+        Err(e) => {
+            report.push(Code::C102IllFormedInd, Severity::Error, "catalog", e.to_string());
+        }
+    }
+}
+
+/// Certifies reconstruction of every base relation from the view set.
+pub fn certify_relations(
+    catalog: &Catalog,
+    views: &[NamedView],
+    opts: &AnalyzeOptions,
+    report: &mut Report,
+) {
+    // Severity of genuine spec defects depends on the gate: the CLI's
+    // certification gate rejects them, the ingestion gate only warns
+    // (Proposition 2.2 keeps such warehouses correct via full-copy
+    // complements; they are merely storing more than the user probably
+    // intended).
+    let defect = match opts.gate {
+        Gate::Certify => Severity::Error,
+        Gate::Accept => Severity::Warning,
+    };
+
+    for schema in catalog.schemas() {
+        let base = schema.name();
+        let at = format!("relation {base}");
+        let base_attrs = schema.attrs().clone();
+        let involved = views_involving(views, base);
+        if involved.is_empty() {
+            report.push(
+                Code::I903UncoveredRelation,
+                Severity::Info,
+                at,
+                format!("no view involves `{base}`; its complement is a full copy"),
+            );
+            continue;
+        }
+
+        // Which attributes of R are stored at all, across every view that
+        // involves R?
+        let stored = involved.iter().fold(AttrSet::empty(), |acc, &i| {
+            acc.union(&views[i].header().intersect(&base_attrs))
+        });
+        let missing = base_attrs.difference(&stored);
+        if !missing.is_empty() {
+            report.push(
+                Code::I902FullCopyComplement,
+                Severity::Info,
+                at,
+                format!(
+                    "attributes {missing} of `{base}` are not stored in any view; \
+                     the complement keeps a full copy of `{base}`"
+                ),
+            );
+            continue;
+        }
+
+        // All attributes are stored somewhere. Reconstruction succeeds
+        // directly when a single view keeps attr(R) whole…
+        let direct: Vec<usize> = involved
+            .iter()
+            .copied()
+            .filter(|&i| base_attrs.is_subset(views[i].header()))
+            .collect();
+        let mut certified = direct
+            .iter()
+            .any(|&i| view_join_is_total(catalog, &views[i], base));
+
+        // …or via extension joins over V_K^ind (Theorem 2.2).
+        let mut covers_found = !direct.is_empty();
+        if schema.key().is_some() {
+            let sources = vk_ind(catalog, views, base);
+            match covers_of(views, base, &base_attrs, &sources, opts.max_cover_sources) {
+                Ok(covers) => {
+                    covers_found |= !covers.is_empty();
+                    certified |= covers
+                        .iter()
+                        .any(|cover| cover_is_lossless(views, base, &sources, cover));
+                }
+                Err(CoreError::TooManyCoverSources { count, limit, .. }) => {
+                    report.push(
+                        Code::W401CoverSearchTruncated,
+                        Severity::Warning,
+                        at.clone(),
+                        format!(
+                            "cover search for `{base}` skipped: {count} candidate sources \
+                             exceed the limit {limit}; reconstruction is trusted, not certified"
+                        ),
+                    );
+                    continue;
+                }
+                Err(e) => {
+                    report.push(Code::C102IllFormedInd, Severity::Error, at.clone(), e.to_string());
+                    continue;
+                }
+            }
+        }
+
+        if covers_found {
+            if certified {
+                report.push(
+                    Code::I901CertifiedEmptyComplement,
+                    Severity::Info,
+                    at,
+                    format!(
+                        "`{base}` is statically recoverable from the views alone; \
+                         Theorem 2.2 certifies its complement empty"
+                    ),
+                );
+            } else {
+                report.push(
+                    Code::C203TrustedNotCertified,
+                    Severity::Info,
+                    at,
+                    format!(
+                        "`{base}` is recoverable but not statically lossless; \
+                         the complement view compensates at run time"
+                    ),
+                );
+            }
+            continue;
+        }
+
+        // Every attribute of R is stored, yet no reconstruction path
+        // exists: the pieces cannot be rejoined. Distinguish the two
+        // root causes for precise diagnostics.
+        match schema.key() {
+            None => {
+                report.push(
+                    Code::C201KeylessReassembly,
+                    defect,
+                    at,
+                    format!(
+                        "attributes of `{base}` are split across views but `{base}` declares \
+                         no key; Theorem 2.2's extension joins need one — declare a key or \
+                         store attr({base}) in a single view"
+                    ),
+                );
+            }
+            Some(key) => {
+                // The key exists but every view projection loses it (V_K
+                // is empty), or the key-containing views do not cover the
+                // attributes: lossy projections feeding the
+                // reconstruction path.
+                let vk_views = vk(catalog, views, base);
+                let detail = if vk_views.is_empty() {
+                    format!(
+                        "every view projection over `{base}` loses its key {key}, so the \
+                         stored pieces cannot be extension-joined back together"
+                    )
+                } else {
+                    format!(
+                        "no combination of key-containing views covers attr({base}); \
+                         the projections are lossy for reconstruction"
+                    )
+                };
+                report.push(Code::L301LossyReassembly, defect, at, detail);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwc_core::psj::PsjView;
+    use dwc_relalg::{AttrSet, InclusionDep};
+
+    fn opts_certify() -> AnalyzeOptions {
+        AnalyzeOptions::certify()
+    }
+
+    #[test]
+    fn fig1_is_trusted_not_flagged() {
+        let mut c = Catalog::new();
+        c.add_schema("Sale", &["item", "clerk"]).unwrap();
+        c.add_schema_with_key("Emp", &["clerk", "age"], &["clerk"]).unwrap();
+        let views = vec![NamedView::new(
+            "Sold",
+            PsjView::join_of(&c, &["Sale", "Emp"]).unwrap(),
+        )];
+        let mut r = Report::new();
+        certify_catalog(&c, &mut r);
+        certify_relations(&c, &views, &opts_certify(), &mut r);
+        assert!(!r.has_errors(), "{r}");
+        assert!(r.has_code(Code::C203TrustedNotCertified));
+    }
+
+    #[test]
+    fn referential_integrity_certifies_empty() {
+        let mut c = Catalog::new();
+        c.add_schema("Sale", &["item", "clerk"]).unwrap();
+        c.add_schema_with_key("Emp", &["clerk", "age"], &["clerk"]).unwrap();
+        c.add_foreign_key("Sale", "Emp", &["clerk"]).unwrap();
+        let views = vec![NamedView::new(
+            "Sold",
+            PsjView::join_of(&c, &["Sale", "Emp"]).unwrap(),
+        )];
+        let mut r = Report::new();
+        certify_relations(&c, &views, &opts_certify(), &mut r);
+        let sale = r
+            .diagnostics()
+            .iter()
+            .find(|d| d.at == "relation Sale")
+            .unwrap();
+        assert_eq!(sale.code, Code::I901CertifiedEmptyComplement);
+    }
+
+    #[test]
+    fn keyless_split_is_c201() {
+        let mut c = Catalog::new();
+        c.add_schema("R", &["a", "b", "c"]).unwrap();
+        let views = vec![
+            NamedView::new("V1", PsjView::project_of(&c, "R", &["a", "b"]).unwrap()),
+            NamedView::new("V2", PsjView::project_of(&c, "R", &["a", "c"]).unwrap()),
+        ];
+        let mut r = Report::new();
+        certify_relations(&c, &views, &opts_certify(), &mut r);
+        assert!(r.has_code(Code::C201KeylessReassembly));
+        assert!(r.has_errors());
+        // Under the ingestion gate the same defect only warns.
+        let mut r = Report::new();
+        certify_relations(&c, &views, &AnalyzeOptions::accept(), &mut r);
+        assert!(r.has_code(Code::C201KeylessReassembly));
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn lossy_key_projections_are_l301() {
+        let mut c = Catalog::new();
+        c.add_schema_with_key("R", &["a", "b", "c", "d"], &["a", "b"]).unwrap();
+        let views = vec![
+            NamedView::new("V1", PsjView::project_of(&c, "R", &["a", "b"]).unwrap()),
+            NamedView::new("V2", PsjView::project_of(&c, "R", &["a", "c"]).unwrap()),
+            NamedView::new("V3", PsjView::project_of(&c, "R", &["b", "d"]).unwrap()),
+        ];
+        let mut r = Report::new();
+        certify_relations(&c, &views, &opts_certify(), &mut r);
+        assert!(r.has_code(Code::L301LossyReassembly), "{r}");
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn never_stored_attr_is_info_not_error() {
+        // The star-schema "hidden dimension attribute" pattern: pname is
+        // simply not stored; the complement is a full copy by design.
+        let mut c = Catalog::new();
+        c.add_schema_with_key("Part", &["partkey", "pname", "brand"], &["partkey"]).unwrap();
+        let views = vec![NamedView::new(
+            "DimPart",
+            PsjView::project_of(&c, "Part", &["partkey", "brand"]).unwrap(),
+        )];
+        let mut r = Report::new();
+        certify_relations(&c, &views, &opts_certify(), &mut r);
+        assert!(!r.has_errors(), "{r}");
+        assert!(r.has_code(Code::I902FullCopyComplement));
+    }
+
+    #[test]
+    fn uncovered_relation_is_i903() {
+        let mut c = Catalog::new();
+        c.add_schema("R", &["a"]).unwrap();
+        c.add_schema("S", &["b"]).unwrap();
+        let views = vec![NamedView::new("V", PsjView::of_base(&c, "R").unwrap())];
+        let mut r = Report::new();
+        certify_relations(&c, &views, &opts_certify(), &mut r);
+        assert!(r.has_code(Code::I903UncoveredRelation));
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn example_23_certifies_r1_empty() {
+        let mut c = Catalog::new();
+        c.add_schema_with_key("R1", &["A", "B", "C"], &["A"]).unwrap();
+        c.add_schema_with_key("R2", &["A", "C", "D"], &["A"]).unwrap();
+        c.add_schema_with_key("R3", &["A", "B"], &["A"]).unwrap();
+        c.add_inclusion_dep(InclusionDep::new("R3", "R1", AttrSet::from_names(&["A", "B"])))
+            .unwrap();
+        c.add_inclusion_dep(InclusionDep::new("R2", "R1", AttrSet::from_names(&["A", "C"])))
+            .unwrap();
+        let views = vec![
+            NamedView::new("V1", PsjView::join_of(&c, &["R1", "R2"]).unwrap()),
+            NamedView::new("V2", PsjView::of_base(&c, "R3").unwrap()),
+            NamedView::new("V3", PsjView::project_of(&c, "R1", &["A", "B"]).unwrap()),
+            NamedView::new("V4", PsjView::project_of(&c, "R1", &["A", "C"]).unwrap()),
+        ];
+        let mut r = Report::new();
+        certify_catalog(&c, &mut r);
+        certify_relations(&c, &views, &opts_certify(), &mut r);
+        assert!(!r.has_errors(), "{r}");
+        let r1 = r.diagnostics().iter().find(|d| d.at == "relation R1").unwrap();
+        assert_eq!(r1.code, Code::I901CertifiedEmptyComplement);
+    }
+}

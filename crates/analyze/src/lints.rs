@@ -1,0 +1,330 @@
+//! Plan hygiene lints.
+//!
+//! * `L302` — statically-unsatisfiable selections, via constant folding
+//!   plus bound-propagation contradiction detection,
+//! * `L303` — duplicate view definitions,
+//! * `L304` — view definitions that fold to the constant empty relation.
+//!
+//! The satisfiability check is deliberately one-sided: it claims "unsat"
+//! only when the predicate is provably contradictory under the total
+//! order on [`Value`]; anything it cannot decide is assumed satisfiable.
+
+use crate::diag::{Code, Report, Severity};
+use crate::{AnalyzeOptions, Gate};
+use dwc_core::psj::NamedView;
+use dwc_relalg::predicate::{CmpOp, Operand};
+use dwc_relalg::{Attr, Catalog, Predicate, RaExpr, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-attribute bound state accumulated over a conjunction.
+#[derive(Clone, Debug, Default)]
+struct Bounds {
+    /// Greatest lower bound `(value, inclusive)`.
+    lower: Option<(Value, bool)>,
+    /// Least upper bound `(value, inclusive)`.
+    upper: Option<(Value, bool)>,
+    /// Excluded values.
+    ne: BTreeSet<Value>,
+}
+
+impl Bounds {
+    /// Applies `attr op value`; returns false on contradiction.
+    fn apply(&mut self, op: CmpOp, v: &Value) -> bool {
+        match op {
+            CmpOp::Eq => {
+                self.tighten_lower(v, true);
+                self.tighten_upper(v, true);
+            }
+            CmpOp::Ne => {
+                self.ne.insert(v.clone());
+            }
+            CmpOp::Lt => self.tighten_upper(v, false),
+            CmpOp::Le => self.tighten_upper(v, true),
+            CmpOp::Gt => self.tighten_lower(v, false),
+            CmpOp::Ge => self.tighten_lower(v, true),
+        }
+        self.consistent()
+    }
+
+    fn tighten_lower(&mut self, v: &Value, inclusive: bool) {
+        let stronger = match &self.lower {
+            None => true,
+            Some((cur, cur_incl)) => {
+                v > cur || (v == cur && *cur_incl && !inclusive)
+            }
+        };
+        if stronger {
+            self.lower = Some((v.clone(), inclusive));
+        }
+    }
+
+    fn tighten_upper(&mut self, v: &Value, inclusive: bool) {
+        let stronger = match &self.upper {
+            None => true,
+            Some((cur, cur_incl)) => {
+                v < cur || (v == cur && *cur_incl && !inclusive)
+            }
+        };
+        if stronger {
+            self.upper = Some((v.clone(), inclusive));
+        }
+    }
+
+    fn consistent(&self) -> bool {
+        if let (Some((lv, li)), Some((uv, ui))) = (&self.lower, &self.upper) {
+            if lv > uv {
+                return false;
+            }
+            if lv == uv {
+                if !(*li && *ui) {
+                    return false;
+                }
+                // The interval is the single point lv; an exclusion of
+                // that point empties it.
+                if self.ne.contains(lv) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+type Env = BTreeMap<Attr, Bounds>;
+
+/// True iff `p` is provably unsatisfiable (no tuple can pass).
+pub fn predicate_unsat(p: &Predicate) -> bool {
+    !sat_possible(&nnf(&p.fold()), &mut Env::new())
+}
+
+/// Pushes negations down to comparisons (De Morgan; `¬(a op b)` becomes
+/// `a op.negate() b`). `Predicate::not` already handles the atomic cases.
+fn nnf(p: &Predicate) -> Predicate {
+    match p {
+        Predicate::Not(inner) => match inner.as_ref() {
+            Predicate::And(a, b) => nnf(&a.clone().not()).or(nnf(&b.clone().not())),
+            Predicate::Or(a, b) => nnf(&a.clone().not()).and(nnf(&b.clone().not())),
+            other => other.clone().not(),
+        },
+        Predicate::And(a, b) => nnf(a).and(nnf(b)),
+        Predicate::Or(a, b) => nnf(a).or(nnf(b)),
+        p => p.clone(),
+    }
+}
+
+/// Over-approximate satisfiability: false means *definitely* unsat; true
+/// means "could not prove a contradiction". `env` carries the bounds of
+/// the enclosing conjunction.
+fn sat_possible(p: &Predicate, env: &mut Env) -> bool {
+    match p {
+        Predicate::True => true,
+        Predicate::False => false,
+        Predicate::Cmp(l, op, r) => apply_cmp(l, *op, r, env),
+        Predicate::And(_, _) => {
+            // Flatten the conjunction; apply atomic comparisons first so
+            // that disjunctive conjuncts are judged under the full bound
+            // environment regardless of syntactic order.
+            let mut atoms = Vec::new();
+            let mut complex = Vec::new();
+            flatten_and(p, &mut atoms, &mut complex);
+            for (l, op, r) in atoms {
+                if !apply_cmp(l, op, r, env) {
+                    return false;
+                }
+            }
+            complex.iter().all(|c| sat_possible(c, &mut env.clone()))
+        }
+        Predicate::Or(a, b) => {
+            sat_possible(a, &mut env.clone()) || sat_possible(b, &mut env.clone())
+        }
+        // A residual negation after NNF wraps something we cannot
+        // decide; assume satisfiable.
+        Predicate::Not(_) => true,
+    }
+}
+
+fn flatten_and<'a>(
+    p: &'a Predicate,
+    atoms: &mut Vec<(&'a Operand, CmpOp, &'a Operand)>,
+    complex: &mut Vec<&'a Predicate>,
+) {
+    match p {
+        Predicate::And(a, b) => {
+            flatten_and(a, atoms, complex);
+            flatten_and(b, atoms, complex);
+        }
+        Predicate::Cmp(l, op, r) => atoms.push((l, *op, r)),
+        Predicate::True => {}
+        other => complex.push(other),
+    }
+}
+
+/// Applies one comparison to the environment; false on contradiction.
+fn apply_cmp(l: &Operand, op: CmpOp, r: &Operand, env: &mut Env) -> bool {
+    match (l, r) {
+        (Operand::Attr(a), Operand::Const(v)) => {
+            env.entry(*a).or_default().apply(op, v)
+        }
+        (Operand::Const(v), Operand::Attr(a)) => {
+            env.entry(*a).or_default().apply(op.flip(), v)
+        }
+        (Operand::Const(lv), Operand::Const(rv)) => op.test(lv.cmp(rv)),
+        (Operand::Attr(a), Operand::Attr(b)) if a == b => {
+            // `fold` resolves these, but be safe against direct calls.
+            matches!(op, CmpOp::Eq | CmpOp::Le | CmpOp::Ge)
+        }
+        // Comparisons between two distinct attributes: not tracked.
+        (Operand::Attr(_), Operand::Attr(_)) => true,
+    }
+}
+
+/// Runs the view-level lints (`L302`, `L303`, `L304`).
+pub fn lint_views(
+    catalog: &Catalog,
+    views: &[NamedView],
+    opts: &AnalyzeOptions,
+    report: &mut Report,
+) {
+    let unsat_severity = match opts.gate {
+        Gate::Certify => Severity::Error,
+        Gate::Accept => Severity::Warning,
+    };
+    for (i, v) in views.iter().enumerate() {
+        let at = format!("view {}", v.name());
+        let mut dead = false;
+        if predicate_unsat(v.view().selection()) {
+            report.push(
+                Code::L302UnsatisfiableSelection,
+                unsat_severity,
+                at.clone(),
+                format!(
+                    "selection `{}` is statically unsatisfiable: the view is always empty",
+                    v.view().selection()
+                ),
+            );
+            dead = true;
+        }
+        // Duplicate definitions: same relations, selection and projection
+        // under a different name store the same bytes twice.
+        if let Some(prev) = views[..i].iter().find(|p| p.view() == v.view()) {
+            report.push(
+                Code::L303DuplicateView,
+                Severity::Warning,
+                at.clone(),
+                format!("definition is identical to view `{}`", prev.name()),
+            );
+        }
+        // Dead plan by pure folding (constant-empty definition), only
+        // when not already reported as unsatisfiable.
+        if !dead {
+            if let Ok(simplified) = v.to_expr().simplified(catalog) {
+                if matches!(simplified, RaExpr::Empty(_)) {
+                    report.push(
+                        Code::L304DeadSubplan,
+                        Severity::Warning,
+                        at,
+                        "definition simplifies to the constant empty relation".to_owned(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwc_core::psj::PsjView;
+
+    fn p(text: &str) -> Predicate {
+        // Parse through a selection expression to reuse the parser.
+        let e = RaExpr::parse(&format!("sigma[{text}](R)")).unwrap();
+        match e {
+            RaExpr::Select(_, pred) => pred,
+            _ => unreachable!("sigma parses to Select"),
+        }
+    }
+
+    #[test]
+    fn detects_contradictions() {
+        for text in [
+            "a = 1 and a = 2",
+            "a = 1 and a != 1",
+            "a < 1 and a > 1",
+            "a < 1 and a >= 1",
+            "a <= 1 and a >= 2",
+            "a = 'x' and a = 'y'",
+            "a > 5 and (a < 3 or a = 4)",
+            "(a < 3 or a = 4) and a > 5",
+            "not (a = 1 or a != 1)",
+            "a = 1 and b = 2 and a = 3",
+            "a < a",
+        ] {
+            assert!(predicate_unsat(&p(text)), "{text} should be unsat");
+        }
+    }
+
+    #[test]
+    fn accepts_satisfiable() {
+        for text in [
+            "a = 1",
+            "a = 1 or a = 2",
+            "a >= 1 and a <= 1",
+            "a > 1 and a < 3",
+            "a != 1 and a != 2",
+            "a = 1 and b = 2",
+            "a < b and b < a", // cross-attribute chains are not tracked
+            "not (a = 1 and a = 2)",
+            "a >= 1 and a <= 2 and a != 1",
+        ] {
+            assert!(!predicate_unsat(&p(text)), "{text} should stay sat");
+        }
+    }
+
+    #[test]
+    fn point_interval_excluded_is_unsat() {
+        assert!(predicate_unsat(&p("a >= 1 and a <= 1 and a != 1")));
+    }
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_schema("R", &["a", "b"]).unwrap();
+        c
+    }
+
+    #[test]
+    fn l302_and_l303_fire() {
+        let c = catalog();
+        let views = vec![
+            NamedView::new("V1", PsjView::of_base(&c, "R").unwrap()),
+            NamedView::new("V2", PsjView::of_base(&c, "R").unwrap()),
+            NamedView::new(
+                "V3",
+                PsjView::select_of(&c, "R", p("a = 1 and a = 2")).unwrap(),
+            ),
+        ];
+        let mut r = Report::new();
+        lint_views(&c, &views, &AnalyzeOptions::certify(), &mut r);
+        assert!(r.has_code(Code::L303DuplicateView));
+        assert!(r.has_code(Code::L302UnsatisfiableSelection));
+        assert!(r.has_errors());
+        // The same unsat selection is only a warning under the ingestion
+        // gate.
+        let mut r = Report::new();
+        lint_views(&c, &views, &AnalyzeOptions::accept(), &mut r);
+        assert!(r.has_code(Code::L302UnsatisfiableSelection));
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn clean_views_stay_clean() {
+        let c = catalog();
+        let views = vec![
+            NamedView::new("V1", PsjView::of_base(&c, "R").unwrap()),
+            NamedView::new("V2", PsjView::project_of(&c, "R", &["a"]).unwrap()),
+        ];
+        let mut r = Report::new();
+        lint_views(&c, &views, &AnalyzeOptions::certify(), &mut r);
+        assert!(r.is_empty(), "{r}");
+    }
+}

@@ -1,0 +1,469 @@
+//! Zero-dependency in-tree source lint (`dwc analyze --self-check`).
+//!
+//! Scans the workspace's own Rust sources with `std::fs` only:
+//!
+//! * `S501` — no `.unwrap()` / `.expect(` / `panic!` / `unreachable!` /
+//!   `todo!` / `unimplemented!` in the non-test library code of
+//!   `crates/relalg`, `crates/core` and `crates/warehouse` (the layers a
+//!   warehouse deployment actually links). Scanning stops at the first
+//!   `#[cfg(test)]` line of a file (the repo convention keeps test
+//!   modules at the bottom), and a same-line `// lint:allow <token> --
+//!   reason` comment waives a single occurrence.
+//! * `S502` — no `thread::spawn` outside `crates/relalg/src/exec.rs`,
+//!   the one sanctioned executor module.
+//! * `S503` — every crate root (and the workspace root library) carries
+//!   `#![forbid(unsafe_code)]`.
+//!
+//! Comments, string literals, raw strings and char literals are stripped
+//! by a small lexer before token matching, so a doc-comment mentioning
+//! `panic!` does not trip the lint; waivers are matched on the *raw*
+//! line precisely because they live in comments.
+
+use crate::diag::{Code, Report, Severity};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Files excluded from the `S501` panic-free rule, with the reason
+/// reported in documentation: they are test-support code compiled into
+/// the library target.
+const S501_EXCLUDED: &[&str] = &[
+    // Randomized test-data generator; its invariants are local.
+    "crates/relalg/src/gen.rs",
+    // cfg(test)-gated fixture module.
+    "crates/warehouse/src/testutil.rs",
+];
+
+/// Library trees subject to the `S501` panic-free rule.
+const S501_ROOTS: &[&str] = &["crates/relalg/src", "crates/core/src", "crates/warehouse/src"];
+
+/// The one module allowed to call `thread::spawn`.
+const S502_ALLOWED: &str = "crates/relalg/src/exec.rs";
+
+/// Banned tokens: `(needle, waiver name)`.
+const BANNED: &[(&str, &str)] = &[
+    (".unwrap()", "unwrap"),
+    (".expect(", "expect"),
+    ("panic!", "panic"),
+    ("unreachable!", "unreachable"),
+    ("todo!", "todo"),
+    ("unimplemented!", "unimplemented"),
+];
+
+/// Runs every source-lint rule over the workspace rooted at `root`.
+/// I/O problems (unreadable files) are reported as findings, not
+/// panics.
+pub fn self_check(root: &Path) -> Report {
+    let mut report = Report::new();
+
+    // --- S501: panic-free library code.
+    for tree in S501_ROOTS {
+        for file in rust_files(&root.join(tree), &mut report) {
+            let rel = rel_path(root, &file);
+            if S501_EXCLUDED.contains(&rel.as_str()) {
+                continue;
+            }
+            scan_banned(&file, &rel, &mut report);
+        }
+    }
+
+    // --- S502: thread::spawn containment. Scan every crate's src tree
+    // plus the workspace root's own src.
+    let mut src_trees: Vec<PathBuf> = vec![root.join("src")];
+    src_trees.extend(crate_dirs(root, &mut report).into_iter().map(|d| d.join("src")));
+    for tree in src_trees {
+        for file in rust_files(&tree, &mut report) {
+            let rel = rel_path(root, &file);
+            if rel == S502_ALLOWED {
+                continue;
+            }
+            scan_spawn(&file, &rel, &mut report);
+        }
+    }
+
+    // --- S503: forbid(unsafe_code) in crate roots.
+    let mut lib_roots: Vec<PathBuf> = vec![root.join("src/lib.rs")];
+    lib_roots.extend(
+        crate_dirs(root, &mut report)
+            .into_iter()
+            .map(|d| d.join("src/lib.rs")),
+    );
+    for lib in lib_roots {
+        let rel = rel_path(root, &lib);
+        match fs::read_to_string(&lib) {
+            Ok(text) => {
+                if !text.contains("#![forbid(unsafe_code)]") {
+                    report.push(
+                        Code::S503MissingForbidUnsafe,
+                        Severity::Error,
+                        rel,
+                        "crate root must declare #![forbid(unsafe_code)]".to_owned(),
+                    );
+                }
+            }
+            Err(e) => {
+                report.push(
+                    Code::S503MissingForbidUnsafe,
+                    Severity::Error,
+                    rel,
+                    format!("cannot read crate root: {e}"),
+                );
+            }
+        }
+    }
+
+    report
+}
+
+/// The `crates/*` member directories, sorted for deterministic reports.
+fn crate_dirs(root: &Path, report: &mut Report) -> Vec<PathBuf> {
+    let crates = root.join("crates");
+    let mut out = Vec::new();
+    match fs::read_dir(&crates) {
+        Ok(entries) => {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.is_dir() && path.join("src/lib.rs").is_file() {
+                    out.push(path);
+                }
+            }
+        }
+        Err(e) => {
+            report.push(
+                Code::S503MissingForbidUnsafe,
+                Severity::Error,
+                rel_path(root, &crates),
+                format!("cannot list workspace members: {e}"),
+            );
+        }
+    }
+    out.sort();
+    out
+}
+
+/// All `.rs` files under `dir`, recursively, sorted.
+fn rust_files(dir: &Path, report: &mut Report) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    walk(dir, &mut out, report);
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>, report: &mut Report) {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            report.push(
+                Code::S501BannedCall,
+                Severity::Error,
+                dir.display().to_string(),
+                format!("cannot read directory: {e}"),
+            );
+            return;
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, out, report);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+/// Scans one file for banned panicking tokens.
+fn scan_banned(path: &Path, rel: &str, report: &mut Report) {
+    let Some(lines) = stripped_lines(path, rel, report) else {
+        return;
+    };
+    for (line_no, raw, stripped) in &lines {
+        // Test modules sit at the bottom of each file by repo
+        // convention; everything after the marker is test code.
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        for (needle, name) in BANNED {
+            if stripped.contains(needle) && !has_waiver(raw, name) {
+                report.push(
+                    Code::S501BannedCall,
+                    Severity::Error,
+                    format!("{rel}:{line_no}"),
+                    format!(
+                        "`{needle}` in non-test library code; return a typed error instead \
+                         (or waive with `// lint:allow {name} -- reason`)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Scans one file for `thread::spawn` (any path spelling ending in
+/// `thread::spawn`).
+fn scan_spawn(path: &Path, rel: &str, report: &mut Report) {
+    let Some(lines) = stripped_lines(path, rel, report) else {
+        return;
+    };
+    for (line_no, raw, stripped) in &lines {
+        if stripped.contains("thread::spawn") && !has_waiver(raw, "thread_spawn") {
+            report.push(
+                Code::S502ThreadSpawn,
+                Severity::Error,
+                format!("{rel}:{line_no}"),
+                format!("thread::spawn outside {S502_ALLOWED}; use dwc_relalg::exec"),
+            );
+        }
+    }
+}
+
+fn has_waiver(raw_line: &str, name: &str) -> bool {
+    raw_line
+        .find("lint:allow")
+        .is_some_and(|p| raw_line[p..].contains(name))
+}
+
+/// Reads a file and returns `(line number, raw line, stripped line)`
+/// triples with comments/strings/char literals blanked out.
+#[allow(clippy::type_complexity)]
+fn stripped_lines(
+    path: &Path,
+    rel: &str,
+    report: &mut Report,
+) -> Option<Vec<(usize, String, String)>> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            report.push(
+                Code::S501BannedCall,
+                Severity::Error,
+                rel.to_owned(),
+                format!("cannot read file: {e}"),
+            );
+            return None;
+        }
+    };
+    let stripped = strip_source(&text);
+    Some(
+        text.lines()
+            .zip(stripped.lines())
+            .enumerate()
+            .map(|(i, (raw, s))| (i + 1, raw.to_owned(), s.to_owned()))
+            .collect(),
+    )
+}
+
+/// Replaces the contents of comments, string literals, raw strings and
+/// char literals by spaces, preserving newlines so line numbers align.
+fn strip_source(text: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Normal,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+    }
+    let mut out = String::with_capacity(text.len());
+    let chars: Vec<char> = text.chars().collect();
+    let mut st = State::Normal;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match st {
+            State::Normal => match c {
+                '/' if next == Some('/') => {
+                    st = State::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    st = State::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    st = State::Str;
+                    out.push(' ');
+                    i += 1;
+                }
+                'r' if matches!(next, Some('"') | Some('#')) => {
+                    // Possible raw string r"..." / r#"..."#.
+                    let mut j = i + 1;
+                    let mut hashes = 0;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        st = State::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                'b' if next == Some('"') => {
+                    st = State::Str;
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '\'' => {
+                    // Char literal or lifetime. A literal is '\…' or 'x'
+                    // followed by a closing quote; anything else is a
+                    // lifetime marker.
+                    if next == Some('\\') {
+                        out.push(' ');
+                        i += 2; // consume '\ and the escaped char
+                        while i < chars.len() && chars[i] != '\'' {
+                            out.push(' ');
+                            i += 1;
+                        }
+                        out.push(' ');
+                        i += 1; // closing quote
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        out.push_str("   ");
+                        i += 3;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                '\n' => {
+                    out.push('\n');
+                    i += 1;
+                }
+                c => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    st = State::Normal;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = State::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    st = State::Normal;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        st = State::Normal;
+                        for _ in i..j {
+                            out.push(' ');
+                        }
+                        i = j;
+                        continue;
+                    }
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_removes_comments_and_strings() {
+        let src = r#"
+// panic! in a comment
+let x = "panic!(inside string)";
+let c = '"'; // char literal with a quote
+let r = r"panic! raw";
+call(); /* block panic! comment */ after();
+"#;
+        let s = strip_source(src);
+        assert!(!s.contains("panic!"), "{s}");
+        assert!(s.contains("let x ="));
+        assert!(s.contains("call();"));
+        assert!(s.contains("after();"));
+        assert_eq!(s.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn strip_keeps_code_after_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x.unwrap() }";
+        let s = strip_source(src);
+        assert!(s.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn strip_handles_raw_hash_strings() {
+        let src = r###"let x = r#"a "quoted" panic!"# ; x.unwrap()"###;
+        let s = strip_source(src);
+        assert!(!s.contains("panic!"));
+        assert!(s.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn waiver_matches_same_line_only() {
+        assert!(has_waiver("foo.expect(\"x\"); // lint:allow expect -- reason", "expect"));
+        assert!(!has_waiver("foo.expect(\"x\");", "expect"));
+        assert!(!has_waiver("// lint:allow unwrap", "expect"));
+    }
+
+    #[test]
+    fn self_check_passes_on_this_workspace() {
+        // The crate lives at <root>/crates/analyze; hop up twice.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root"); // lint:allow expect -- test-only path arithmetic
+        let report = self_check(root);
+        assert!(!report.has_errors(), "srclint found violations:\n{report}");
+    }
+}

@@ -1,0 +1,305 @@
+//! Schema/type inference over [`RaExpr`] plans with attribute provenance.
+//!
+//! This is a *diagnostic* re-implementation of [`RaExpr::attrs`]: instead
+//! of stopping at the first ill-typed node it keeps descending, collects
+//! every independent error with a path-like location, and tracks for each
+//! output attribute which base relations can contribute it. Provenance
+//! powers the precise part of the diagnostics ("`price` comes from
+//! `Lineitem`; the projection at join.l hides it").
+
+use crate::diag::{Code, Report, Severity};
+use dwc_relalg::expr::{rename_header, HeaderResolver};
+use dwc_relalg::{Attr, AttrSet, RaExpr, RelName, RelalgError};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The inferred type of (a subtree of) a plan: its output header plus,
+/// for each attribute, the set of base relations it can originate from.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlanType {
+    /// The output header.
+    pub header: AttrSet,
+    /// `attribute → base relations that can contribute it`.
+    pub provenance: BTreeMap<Attr, BTreeSet<RelName>>,
+}
+
+impl PlanType {
+    fn of_base(name: RelName, header: AttrSet) -> PlanType {
+        let provenance = header
+            .iter()
+            .map(|a| (a, BTreeSet::from([name])))
+            .collect();
+        PlanType { header, provenance }
+    }
+
+    /// Renders the provenance of one attribute for messages; empty string
+    /// when nothing is known.
+    pub fn provenance_of(&self, a: Attr) -> String {
+        match self.provenance.get(&a) {
+            Some(rels) if !rels.is_empty() => {
+                let names: Vec<&str> = rels.iter().map(|r| r.as_str()).collect();
+                format!(" (from {})", names.join(", "))
+            }
+            _ => String::new(),
+        }
+    }
+}
+
+/// Infers the type of `expr`, appending a diagnostic per independent
+/// defect to `report`. Returns `None` when the subtree's type could not
+/// be established (errors were reported along the way).
+///
+/// `at` is the location prefix (e.g. `"view Sold"`); node paths like
+/// `join.l/project` are appended to it.
+pub fn infer(
+    resolver: &impl HeaderResolver,
+    expr: &RaExpr,
+    at: &str,
+    report: &mut Report,
+) -> Option<PlanType> {
+    go(resolver, expr, at, "", report)
+}
+
+fn loc(at: &str, path: &str) -> String {
+    if path.is_empty() {
+        at.to_owned()
+    } else {
+        format!("{at} / {path}")
+    }
+}
+
+fn join_path(path: &str, seg: &str) -> String {
+    if path.is_empty() {
+        seg.to_owned()
+    } else {
+        format!("{path}/{seg}")
+    }
+}
+
+fn go(
+    resolver: &impl HeaderResolver,
+    expr: &RaExpr,
+    at: &str,
+    path: &str,
+    report: &mut Report,
+) -> Option<PlanType> {
+    match expr {
+        RaExpr::Base(name) => match resolver.header_of(*name) {
+            Ok(header) => Some(PlanType::of_base(*name, header)),
+            Err(_) => {
+                report.push(
+                    Code::A001UnknownRelation,
+                    Severity::Error,
+                    loc(at, path),
+                    format!("unknown relation `{name}`"),
+                );
+                None
+            }
+        },
+        RaExpr::Empty(attrs) => Some(PlanType {
+            header: attrs.clone(),
+            provenance: BTreeMap::new(),
+        }),
+        RaExpr::Select(input, pred) => {
+            let inner = go(resolver, input, at, &join_path(path, "select"), report)?;
+            let mut ok = true;
+            for a in pred.attrs().iter() {
+                if !inner.header.contains(a) {
+                    report.push(
+                        Code::A002UnknownAttribute,
+                        Severity::Error,
+                        loc(at, path),
+                        format!(
+                            "selection `{pred}` references `{a}` outside header {}",
+                            inner.header
+                        ),
+                    );
+                    ok = false;
+                }
+            }
+            ok.then_some(inner)
+        }
+        RaExpr::Project(input, wanted) => {
+            let inner = go(resolver, input, at, &join_path(path, "project"), report)?;
+            if wanted.is_subset(&inner.header) {
+                let provenance = inner
+                    .provenance
+                    .iter()
+                    .filter(|(a, _)| wanted.contains(**a))
+                    .map(|(a, r)| (*a, r.clone()))
+                    .collect();
+                Some(PlanType {
+                    header: wanted.clone(),
+                    provenance,
+                })
+            } else {
+                let missing = wanted.difference(&inner.header);
+                for a in missing.iter() {
+                    report.push(
+                        Code::A002UnknownAttribute,
+                        Severity::Error,
+                        loc(at, path),
+                        format!(
+                            "projection keeps `{a}` which is not in header {}{}",
+                            inner.header,
+                            inner.provenance_of(a)
+                        ),
+                    );
+                }
+                None
+            }
+        }
+        RaExpr::Join(l, r) => {
+            let lt = go(resolver, l, at, &join_path(path, "join.l"), report);
+            let rt = go(resolver, r, at, &join_path(path, "join.r"), report);
+            let (lt, rt) = (lt?, rt?);
+            let header = lt.header.union(&rt.header);
+            let mut provenance = lt.provenance;
+            for (a, rels) in rt.provenance {
+                provenance.entry(a).or_default().extend(rels);
+            }
+            Some(PlanType { header, provenance })
+        }
+        RaExpr::Union(l, r) | RaExpr::Diff(l, r) | RaExpr::Intersect(l, r) => {
+            let op = match expr {
+                RaExpr::Union(..) => "union",
+                RaExpr::Diff(..) => "minus",
+                _ => "intersect",
+            };
+            let lt = go(resolver, l, at, &join_path(path, &format!("{op}.l")), report);
+            let rt = go(resolver, r, at, &join_path(path, &format!("{op}.r")), report);
+            let (lt, rt) = (lt?, rt?);
+            if lt.header != rt.header {
+                report.push(
+                    Code::A003HeaderMismatch,
+                    Severity::Error,
+                    loc(at, path),
+                    format!(
+                        "`{op}` over different headers: {} vs {}",
+                        lt.header, rt.header
+                    ),
+                );
+                return None;
+            }
+            let mut provenance = lt.provenance;
+            for (a, rels) in rt.provenance {
+                provenance.entry(a).or_default().extend(rels);
+            }
+            Some(PlanType {
+                header: lt.header,
+                provenance,
+            })
+        }
+        RaExpr::Rename(input, pairs) => {
+            let inner = go(resolver, input, at, &join_path(path, "rename"), report)?;
+            match rename_header(&inner.header, pairs) {
+                Ok(header) => {
+                    let mut provenance: BTreeMap<Attr, BTreeSet<RelName>> = BTreeMap::new();
+                    for a in inner.header.iter() {
+                        let target = pairs
+                            .iter()
+                            .find(|(f, _)| *f == a)
+                            .map(|&(_, t)| t)
+                            .unwrap_or(a);
+                        if let Some(rels) = inner.provenance.get(&a) {
+                            provenance.insert(target, rels.clone());
+                        }
+                    }
+                    Some(PlanType { header, provenance })
+                }
+                Err(RelalgError::BadRename { from, to, header }) => {
+                    report.push(
+                        Code::A004BadRename,
+                        Severity::Error,
+                        loc(at, path),
+                        format!("cannot rename {from} -> {to} in header {header}"),
+                    );
+                    None
+                }
+                Err(e) => {
+                    report.push(Code::A004BadRename, Severity::Error, loc(at, path), e.to_string());
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwc_relalg::{Catalog, Predicate};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_schema("Sale", &["item", "clerk"]).unwrap();
+        c.add_schema_with_key("Emp", &["clerk", "age"], &["clerk"]).unwrap();
+        c
+    }
+
+    #[test]
+    fn well_typed_join_merges_provenance() {
+        let c = catalog();
+        let e = RaExpr::base("Sale").join(RaExpr::base("Emp"));
+        let mut r = Report::new();
+        let t = infer(&c, &e, "q", &mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(t.header, AttrSet::from_names(&["item", "clerk", "age"]));
+        let clerk = &t.provenance[&Attr::new("clerk")];
+        assert_eq!(clerk.len(), 2);
+    }
+
+    #[test]
+    fn collects_multiple_independent_errors() {
+        let c = catalog();
+        // Two broken branches of one union: both reported.
+        let e = RaExpr::base("Nope1").union(RaExpr::base("Nope2"));
+        let mut r = Report::new();
+        assert!(infer(&c, &e, "q", &mut r).is_none());
+        assert_eq!(r.errors().count(), 2);
+        assert!(r.has_code(Code::A001UnknownRelation));
+    }
+
+    #[test]
+    fn projection_error_names_missing_attr_with_provenance() {
+        let c = catalog();
+        let e = RaExpr::base("Sale")
+            .project_names(&["item"])
+            .join(RaExpr::base("Emp"))
+            .project_names(&["item", "salary"]);
+        let mut r = Report::new();
+        assert!(infer(&c, &e, "view V", &mut r).is_none());
+        let d = r.diagnostics().first().unwrap();
+        assert_eq!(d.code, Code::A002UnknownAttribute);
+        assert!(d.message.contains("salary"));
+        assert!(d.at.starts_with("view V"));
+    }
+
+    #[test]
+    fn selection_header_mismatch_rename() {
+        let c = catalog();
+        let mut r = Report::new();
+        let e = RaExpr::base("Sale").select(Predicate::attr_eq("age", 1));
+        assert!(infer(&c, &e, "q", &mut r).is_none());
+        assert!(r.has_code(Code::A002UnknownAttribute));
+
+        let mut r = Report::new();
+        let e = RaExpr::base("Sale").union(RaExpr::base("Emp"));
+        assert!(infer(&c, &e, "q", &mut r).is_none());
+        assert!(r.has_code(Code::A003HeaderMismatch));
+
+        let mut r = Report::new();
+        let e = RaExpr::base("Emp").rename(vec![(Attr::new("age"), Attr::new("clerk"))]);
+        assert!(infer(&c, &e, "q", &mut r).is_none());
+        assert!(r.has_code(Code::A004BadRename));
+    }
+
+    #[test]
+    fn rename_remaps_provenance() {
+        let c = catalog();
+        let e = RaExpr::base("Emp").rename(vec![(Attr::new("age"), Attr::new("years"))]);
+        let mut r = Report::new();
+        let t = infer(&c, &e, "q", &mut r).unwrap();
+        assert!(t.provenance[&Attr::new("years")].contains(&RelName::new("Emp")));
+        assert!(!t.provenance.contains_key(&Attr::new("age")));
+    }
+}

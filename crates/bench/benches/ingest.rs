@@ -46,7 +46,8 @@ fn main() {
         let site = SourceSite::new(catalog, db).expect("valid state");
         let mut src = SequencedSource::new("bench", site);
         let integ = Integrator::initial_load(aug, src.site()).expect("loads");
-        let ingestor = IngestingIntegrator::new(integ, IngestConfig::default());
+        let ingestor =
+            IngestingIntegrator::new(integ, IngestConfig::default()).expect("spec verifies");
 
         let envelopes: Vec<Envelope> = (0..STREAM_LEN)
             .map(|i| {
@@ -102,7 +103,8 @@ fn main() {
         let paranoid = IngestingIntegrator::new(
             ingestor.integrator().clone(),
             IngestConfig::paranoid(),
-        );
+        )
+        .expect("spec verifies");
         let short = &envelopes[..8];
         group.run(&format!("paranoid-stream/{n}"), || {
             let mut ing = paranoid.clone();

@@ -1,0 +1,8 @@
+//! Prints the E16 static-analyzer cost tables (pass `--quick` for the smoke configuration).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    for table in dwc_bench::experiments::analyze::run(quick) {
+        println!("{table}");
+    }
+}

@@ -7,6 +7,7 @@
 
 pub mod ablation;
 pub mod aggregates;
+pub mod analyze;
 pub mod cost;
 pub mod ex21;
 pub mod ex22;
@@ -89,6 +90,7 @@ pub fn run_all(quick: bool) -> Vec<crate::report::Table> {
     out.extend(aggregates::run(quick));
     out.extend(unionfacts::run(quick));
     out.extend(ablation::run(quick));
+    out.extend(analyze::run(quick));
     out
 }
 

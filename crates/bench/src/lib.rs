@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! # dwc-bench — the experiment harness
 //!
 //! One regenerator per figure/example of the paper (the paper is a

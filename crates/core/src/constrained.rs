@@ -90,6 +90,7 @@ pub fn complement_with(
     views: &[NamedView],
     opts: &ComplementOptions,
 ) -> Result<Complement> {
+    catalog.validate()?;
     let mut taken: BTreeSet<RelName> = catalog.relation_names().collect();
     for v in views {
         if !taken.insert(v.name()) {
@@ -138,10 +139,13 @@ pub fn complement_with(
             }
             let covers = covers_of(views, base, &base_attrs, &sources, opts.max_cover_sources)?;
             for cover in &covers {
-                let join = RaExpr::join_all(
+                // Covers are non-empty by construction; skip defensively if
+                // an empty one ever appears rather than panicking.
+                let Some(join) = RaExpr::join_all(
                     cover.iter().map(|&s| sources[s].to_name_expr(views)),
-                )
-                .expect("covers are non-empty");
+                ) else {
+                    continue;
+                };
                 let term = join.project(base_attrs.clone());
                 if !terms.contains(&term) {
                     terms.push(term);
@@ -192,7 +196,7 @@ pub fn complement_with(
     // in IND-source-first order so that pseudo-view base references can
     // be substituted by the source's already-built inverse.
     let mut inverse: BTreeMap<RelName, RaExpr> = BTreeMap::new();
-    let mut order = catalog.ind_topological_order();
+    let mut order = catalog.ind_topological_order()?;
     order.reverse(); // sources of inclusion dependencies first
     for base in order {
         let info = &per[&base];
@@ -231,16 +235,17 @@ pub fn complement_with(
 /// attributes, has no selection, and an inclusion dependency
 /// `π_X(R) ⊆ π_X(S)` over the full common attribute set `X` guarantees
 /// every `R` tuple a join partner.
-fn view_join_is_total(catalog: &Catalog, view: &NamedView, base: RelName) -> bool {
+///
+/// Exposed so the static analyzer (`dwc-analyze`) can certify the same
+/// condition without computing a complement.
+pub fn view_join_is_total(catalog: &Catalog, view: &NamedView, base: RelName) -> bool {
     let v = view.view();
     if !matches!(v.selection(), Predicate::True) || v.relations().len() != 2 {
         return false;
     }
-    let partner = *v
-        .relations()
-        .iter()
-        .find(|&&r| r != base)
-        .expect("two distinct relations");
+    let Some(&partner) = v.relations().iter().find(|&&r| r != base) else {
+        return false;
+    };
     let (Ok(base_schema), Ok(partner_schema)) = (catalog.schema(base), catalog.schema(partner))
     else {
         return false;
@@ -259,7 +264,10 @@ fn view_join_is_total(catalog: &Catalog, view: &NamedView, base: RelName) -> boo
 /// Static sufficient condition for `π_{attr(R)}(⋈ Y) = R` (Example 2.3):
 /// every source of the cover is a selection-free projection view of `R`
 /// alone. Joining such views along the key re-extends every tuple of `R`.
-fn cover_is_lossless(
+///
+/// Exposed so the static analyzer (`dwc-analyze`) can certify the same
+/// condition without computing a complement.
+pub fn cover_is_lossless(
     views: &[NamedView],
     base: RelName,
     sources: &[CoverSource],

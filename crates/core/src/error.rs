@@ -12,15 +12,28 @@ pub enum CoreError {
     /// A substrate error (schema/typing/evaluation).
     Relalg(RelalgError),
     /// An expression could not be brought into PSJ normal form.
-    NotPsj { detail: String },
+    NotPsj {
+        /// Which operator or shape broke the normal form.
+        detail: String,
+    },
     /// A PSJ view joins the same base relation twice; the paper's
     /// constructions assume each `R_i` occurs at most once per view.
-    DuplicateRelationInView { relation: RelName },
+    DuplicateRelationInView {
+        /// The relation that occurs more than once.
+        relation: RelName,
+    },
     /// A view or complement name collides with an existing name.
     NameCollision(RelName),
     /// Cover enumeration would explode: more candidate sources than the
     /// configured limit (the search is exponential in this number).
-    TooManyCoverSources { relation: RelName, count: usize, limit: usize },
+    TooManyCoverSources {
+        /// The relation whose cover was requested.
+        relation: RelName,
+        /// How many candidate source views exist.
+        count: usize,
+        /// The configured enumeration limit.
+        limit: usize,
+    },
     /// A view definition references a base relation missing from the
     /// catalog.
     UnknownBase(RelName),

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! # dwc-core — view complements for data warehouses
 //!
 //! This crate implements the central contribution of *Complements for

@@ -67,7 +67,8 @@ pub fn compare_on_states<'a>(
         (true, true) => ViewOrder::Equal,
         (true, false) => ViewOrder::Less,
         (false, true) => ViewOrder::Greater,
-        (false, false) => unreachable!("early return above"),
+        // Already returned inside the loop; harmless to repeat here.
+        (false, false) => ViewOrder::Incomparable,
     })
     .inspect(|&o| {
         // `proper` is implied by the flags, but make Equal explicit when

@@ -160,8 +160,12 @@ impl PsjView {
 
     /// The defining algebra expression over base relation names.
     pub fn to_expr(&self) -> RaExpr {
-        let join = RaExpr::join_all(self.relations.iter().map(|&r| RaExpr::Base(r)))
-            .expect("PSJ views join at least one relation");
+        // PSJ views join at least one relation by construction; an empty
+        // list would make the view the empty relation over its projection.
+        let join = match RaExpr::join_all(self.relations.iter().map(|&r| RaExpr::Base(r))) {
+            Some(j) => j,
+            None => return RaExpr::Empty(self.projection.clone()),
+        };
         let selected = match &self.selection {
             Predicate::True => join,
             p => join.select(p.clone()),

@@ -117,8 +117,10 @@ impl UnionFactView {
 
     /// The defining expression over `D`: the union of the branches.
     pub fn to_expr(&self) -> RaExpr {
+        // The constructor requires at least one branch; degrade to the
+        // empty relation rather than panicking if that is ever bypassed.
         RaExpr::union_all(self.branches.iter().map(|(_, v)| v.to_expr()))
-            .expect("at least one branch")
+            .unwrap_or_else(|| RaExpr::Empty(AttrSet::empty()))
     }
 
     /// The synthetic per-branch views fed to the complement computation.

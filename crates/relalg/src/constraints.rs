@@ -77,7 +77,7 @@ pub fn topological_order(
     let mut in_edges: BTreeMap<RelName, BTreeSet<RelName>> =
         nodes.iter().map(|&n| (n, BTreeSet::new())).collect();
     for d in deps {
-        if d.from == d.to {
+        if d.from == d.to && nodes.contains(&d.from) {
             return Err(RelalgError::CyclicInclusionDeps {
                 cycle: vec![d.from, d.to],
             });
@@ -99,23 +99,85 @@ pub fn topological_order(
     while let Some(&n) = ready.iter().next() {
         ready.remove(&n);
         order.push(n);
-        for &pred in &in_edges[&n] {
-            let outs = remaining_out.get_mut(&pred).expect("known node");
-            outs.remove(&n);
-            if outs.is_empty() && !order.contains(&pred) {
-                ready.insert(pred);
+        for &pred in in_edges.get(&n).into_iter().flatten() {
+            if let Some(outs) = remaining_out.get_mut(&pred) {
+                outs.remove(&n);
+                if outs.is_empty() && !order.contains(&pred) {
+                    ready.insert(pred);
+                }
             }
         }
     }
     if order.len() != nodes.len() {
-        let cycle: Vec<RelName> = nodes
+        let leftover: BTreeSet<RelName> = nodes
             .iter()
             .filter(|n| !order.contains(n))
             .copied()
             .collect();
-        return Err(RelalgError::CyclicInclusionDeps { cycle });
+        return Err(RelalgError::CyclicInclusionDeps {
+            cycle: shortest_cycle(&leftover, &out_edges),
+        });
     }
     Ok(order)
+}
+
+/// Finds a shortest simple cycle inside the subgraph induced by `nodes`,
+/// returned as a closed walk `[s, ..., s]` (the start repeated at the end)
+/// so diagnostics can render `s -> ... -> s`. Every node left over by
+/// Kahn's algorithm lies on or leads into a cycle, so a BFS from each
+/// leftover node along edges that stay inside the leftover set must find
+/// one; if the graph were somehow consistent we fall back to listing the
+/// leftover nodes rather than panicking.
+fn shortest_cycle(
+    nodes: &BTreeSet<RelName>,
+    out_edges: &BTreeMap<RelName, BTreeSet<RelName>>,
+) -> Vec<RelName> {
+    let mut best: Option<Vec<RelName>> = None;
+    for &start in nodes {
+        // BFS from `start` over in-subgraph edges, tracking predecessors.
+        let mut pred: BTreeMap<RelName, RelName> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<RelName> = [start].into();
+        let mut seen: BTreeSet<RelName> = [start].into();
+        let mut closed = false;
+        while let Some(n) = queue.pop_front() {
+            for &next in out_edges.get(&n).into_iter().flatten() {
+                if !nodes.contains(&next) {
+                    continue;
+                }
+                if next == start {
+                    // Found a shortest cycle through `start`. The pred chain
+                    // from `n` walks back to `start`, so reversing it gives
+                    // the forward path; the closing `start` is appended so
+                    // the witness renders as `start -> ... -> n -> start`.
+                    let mut path = vec![n];
+                    let mut cur = n;
+                    while let Some(&p) = pred.get(&cur) {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    path.push(start);
+                    let shorter = match &best {
+                        Some(b) => path.len() < b.len(),
+                        None => true,
+                    };
+                    if shorter {
+                        best = Some(path);
+                    }
+                    closed = true;
+                    break;
+                }
+                if seen.insert(next) {
+                    pred.insert(next, n);
+                    queue.push_back(next);
+                }
+            }
+            if closed {
+                break;
+            }
+        }
+    }
+    best.unwrap_or_else(|| nodes.iter().copied().collect())
 }
 
 #[cfg(test)]
@@ -162,6 +224,40 @@ mod tests {
     fn detects_self_loop() {
         let err = topological_order([r("A")], &[ind("A", "A")]).unwrap_err();
         assert!(matches!(err, RelalgError::CyclicInclusionDeps { .. }));
+    }
+
+    #[test]
+    fn cycle_witness_is_a_closed_minimal_path() {
+        // A -> B -> C -> A is the cycle; D merely leads into it and must
+        // not appear in the witness.
+        let err = topological_order(
+            [r("A"), r("B"), r("C"), r("D")],
+            &[ind("A", "B"), ind("B", "C"), ind("C", "A"), ind("D", "A")],
+        )
+        .unwrap_err();
+        let RelalgError::CyclicInclusionDeps { cycle } = err else {
+            panic!("expected cyclic-IND error");
+        };
+        assert_eq!(cycle.len(), 4, "closed 3-cycle walk: {cycle:?}");
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(!cycle.contains(&r("D")), "witness must exclude D: {cycle:?}");
+        // Every consecutive pair must be a declared edge.
+        let edges: Vec<(RelName, RelName)> =
+            vec![(r("A"), r("B")), (r("B"), r("C")), (r("C"), r("A"))];
+        for w in cycle.windows(2) {
+            assert!(edges.contains(&(w[0], w[1])), "{:?} not an edge", w);
+        }
+    }
+
+    #[test]
+    fn two_cycle_witness_closes() {
+        let err = topological_order([r("A"), r("B")], &[ind("A", "B"), ind("B", "A")])
+            .unwrap_err();
+        let RelalgError::CyclicInclusionDeps { cycle } = err else {
+            panic!("expected cyclic-IND error");
+        };
+        assert_eq!(cycle.len(), 3);
+        assert_eq!(cycle.first(), cycle.last());
     }
 
     #[test]

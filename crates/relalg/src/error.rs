@@ -16,30 +16,83 @@ pub enum RelalgError {
     /// A relation schema was declared twice.
     DuplicateRelation(RelName),
     /// An attribute was referenced that the expression's header lacks.
-    UnknownAttribute { attr: Attr, header: AttrSet },
+    UnknownAttribute {
+        /// The attribute that was referenced.
+        attr: Attr,
+        /// The header it is missing from.
+        header: AttrSet,
+    },
     /// A projection list is not a subset of the input header.
-    ProjectionNotSubset { wanted: AttrSet, header: AttrSet },
+    ProjectionNotSubset {
+        /// The requested projection attributes.
+        wanted: AttrSet,
+        /// The available input header.
+        header: AttrSet,
+    },
     /// A set operation was applied to inputs with different headers.
-    HeaderMismatch { left: AttrSet, right: AttrSet },
+    HeaderMismatch {
+        /// Header of the left input.
+        left: AttrSet,
+        /// Header of the right input.
+        right: AttrSet,
+    },
     /// A tuple's arity does not match the relation header.
-    ArityMismatch { expected: usize, got: usize },
+    ArityMismatch {
+        /// Arity the header requires.
+        expected: usize,
+        /// Arity the tuple actually has.
+        got: usize,
+    },
     /// Renaming would collide with an existing attribute or renames a
     /// missing one.
-    BadRename { from: Attr, to: Attr, header: AttrSet },
+    BadRename {
+        /// Attribute to rename away from.
+        from: Attr,
+        /// Attribute to rename into.
+        to: Attr,
+        /// The header the rename was applied to.
+        header: AttrSet,
+    },
     /// A key constraint refers to attributes outside its relation schema.
-    BadKey { relation: RelName, key: AttrSet, header: AttrSet },
+    BadKey {
+        /// The relation the key was declared on.
+        relation: RelName,
+        /// The offending key attributes.
+        key: AttrSet,
+        /// The relation's actual attributes.
+        header: AttrSet,
+    },
     /// An inclusion dependency is ill-formed (attributes missing on either
     /// side).
-    BadInclusionDep { detail: String },
+    BadInclusionDep {
+        /// Human-readable description of the defect.
+        detail: String,
+    },
     /// The set of inclusion dependencies is cyclic; the paper (and
     /// Theorem 2.2) require acyclicity.
-    CyclicInclusionDeps { cycle: Vec<RelName> },
+    CyclicInclusionDeps {
+        /// A minimal cycle, listed `R -> … -> R` with the start repeated.
+        cycle: Vec<RelName>,
+    },
     /// A state violates a declared key.
-    KeyViolation { relation: RelName, key: AttrSet },
+    KeyViolation {
+        /// The relation whose state is invalid.
+        relation: RelName,
+        /// The violated key.
+        key: AttrSet,
+    },
     /// A state violates a declared inclusion dependency.
-    InclusionViolation { detail: String },
+    InclusionViolation {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
     /// Text that failed to parse as an expression or predicate.
-    Parse { position: usize, message: String },
+    Parse {
+        /// Byte offset of the failure in the input.
+        position: usize,
+        /// What the parser expected or found.
+        message: String,
+    },
 }
 
 impl fmt::Display for RelalgError {

@@ -80,9 +80,14 @@ impl Eq for CacheKey {}
 ///
 /// The cache is only valid for the database state it was filled against;
 /// the maintenance layer creates one per update application.
-#[derive(Default)]
 pub struct EvalCache {
     shards: Vec<Mutex<HashMap<CacheKey, Arc<Relation>>>>,
+}
+
+impl Default for EvalCache {
+    fn default() -> EvalCache {
+        EvalCache::new()
+    }
 }
 
 impl EvalCache {
@@ -94,11 +99,8 @@ impl EvalCache {
     }
 
     fn shard(&self, hash: u64) -> &Mutex<HashMap<CacheKey, Arc<Relation>>> {
-        if self.shards.is_empty() {
-            // A `Default`-constructed cache has no shards yet; `new` is
-            // the only constructor used on hot paths.
-            unreachable!("EvalCache::new allocates shards");
-        }
+        // Both constructors allocate CACHE_SHARDS shards, so the modulus
+        // is never zero.
         &self.shards[(hash as usize) % self.shards.len()]
     }
 
@@ -252,13 +254,21 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation> {
     }
     let common = left.attrs().intersect(right.attrs());
     let out_attrs = left.attrs().union(right.attrs());
-    let layout = join_layout(left.attrs(), right.attrs(), &out_attrs);
-    let build_positions = common
-        .positions_in(left.attrs())
-        .expect("common attrs are in left header");
-    let probe_positions = common
-        .positions_in(right.attrs())
-        .expect("common attrs are in right header");
+    let layout = join_layout(left.attrs(), right.attrs(), &out_attrs)?;
+    let build_positions =
+        common
+            .positions_in(left.attrs())
+            .ok_or_else(|| RelalgError::ProjectionNotSubset {
+                wanted: common.clone(),
+                header: left.attrs().clone(),
+            })?;
+    let probe_positions =
+        common
+            .positions_in(right.attrs())
+            .ok_or_else(|| RelalgError::ProjectionNotSubset {
+                wanted: common.clone(),
+                header: right.attrs().clone(),
+            })?;
 
     let mut out = Relation::empty(out_attrs);
     if left.is_empty() || right.is_empty() {
@@ -285,7 +295,7 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation> {
         });
         for part in rows {
             for t in part {
-                out.insert(t).expect("join layout preserves arity");
+                out.insert(t)?;
             }
         }
         return Ok(out);
@@ -294,7 +304,7 @@ pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation> {
     let build: Vec<&Tuple> = left.iter().collect();
     let probe: Vec<&Tuple> = right.iter().collect();
     for t in join_partition(&build, &probe, &build_positions, &probe_positions, &layout) {
-        out.insert(t).expect("join layout preserves arity");
+        out.insert(t)?;
     }
     Ok(out)
 }
@@ -344,13 +354,19 @@ fn join_partition(
 /// For each output column, where to fetch it from: common and left-only
 /// attributes come from the left (build) tuple, right-only attributes from
 /// the right (probe) tuple.
-fn join_layout(left: &AttrSet, right: &AttrSet, out: &AttrSet) -> Vec<ColSource> {
+fn join_layout(left: &AttrSet, right: &AttrSet, out: &AttrSet) -> Result<Vec<ColSource>> {
     out.iter()
         .map(|a| {
             if let Some(i) = left.index_of(a) {
-                ColSource::Left(i)
+                Ok(ColSource::Left(i))
             } else {
-                ColSource::Right(right.index_of(a).expect("output attr is in some input"))
+                right
+                    .index_of(a)
+                    .map(ColSource::Right)
+                    .ok_or(RelalgError::UnknownAttribute {
+                        attr: a,
+                        header: right.clone(),
+                    })
             }
         })
         .collect()

@@ -103,9 +103,14 @@ where
         }
     });
     // Scan in input order: the first error seen is the smallest-index one.
+    // Every slot is filled by its worker; if one were somehow missed,
+    // recompute the item inline rather than panicking.
     let mut out = Vec::with_capacity(items.len());
-    for slot in slots {
-        out.push(slot.expect("worker filled every slot")?);
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(r) => out.push(r?),
+            None => out.push(f(&items[i])?),
+        }
     }
     Ok(out)
 }
@@ -160,7 +165,13 @@ where
         let pair = std::thread::scope(|s| {
             let ha = s.spawn(a);
             let rb = b();
-            (ha.join().expect("forked evaluation panicked"), rb)
+            let ra = match ha.join() {
+                Ok(v) => v,
+                // Re-raise a worker panic on the caller thread instead of
+                // aborting with a nested panic message.
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            (ra, rb)
         });
         budget.fetch_add(1, Ordering::AcqRel);
         pair

@@ -67,7 +67,7 @@ pub fn random_state(catalog: &Catalog, config: &StateGenConfig, seed: u64) -> Db
     let mut db = DbState::empty_for(catalog);
 
     // IND targets first so sources can copy their X-columns.
-    for name in catalog.ind_topological_order() {
+    for name in catalog.ind_topological_order().expect("catalog is acyclic") {
         let schema = catalog.schema(name).expect("name from catalog");
         let attrs = schema.attrs().clone();
         let deps: Vec<_> = catalog

@@ -79,9 +79,12 @@ fn import_with(text: &str, decode: impl Fn(&str) -> Result<Value>) -> Result<Rel
             names
                 .iter()
                 .position(|n| *n == a.as_str())
-                .expect("attr from header")
+                .ok_or_else(|| RelalgError::Parse {
+                    position: 0,
+                    message: format!("attribute {a} missing from CSV header"),
+                })
         })
-        .collect();
+        .collect::<Result<_>>()?;
     let mut rel = Relation::empty(attrs);
     for (lineno, row) in rows.into_iter().enumerate() {
         if row.len() != names.len() {

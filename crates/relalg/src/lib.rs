@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! # dwc-relalg — relational algebra substrate
 //!
 //! This crate provides the relational substrate used by the

@@ -49,8 +49,16 @@ impl Relation {
         // permutation[k] = index (in the given row) of the k-th canonical attr
         let permutation: Vec<usize> = attrs
             .iter()
-            .map(|a| given.iter().position(|g| *g == a).expect("attr from given list"))
-            .collect();
+            .map(|a| {
+                given
+                    .iter()
+                    .position(|g| *g == a)
+                    .ok_or_else(|| RelalgError::UnknownAttribute {
+                        attr: a,
+                        header: attrs.clone(),
+                    })
+            })
+            .collect::<Result<_>>()?;
         let mut rel = Relation::empty(attrs);
         for row in rows {
             let row: Vec<Value> = row.into_iter().collect();
@@ -244,7 +252,7 @@ macro_rules! rel {
         $crate::Relation::from_rows(
             &[$($name),*],
             vec![$(vec![$($crate::Value::from($v)),*]),*] as Vec<Vec<$crate::Value>>,
-        ).expect("rel! literal is well-formed")
+        ).expect("rel! literal is well-formed") // lint:allow expect -- macro contract: literals are checked at the use site
     };
 }
 

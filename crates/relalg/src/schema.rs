@@ -205,10 +205,52 @@ impl Catalog {
     }
 
     /// A topological order of the relations such that IND targets precede
-    /// IND sources (well-defined because the catalog enforces acyclicity).
-    pub fn ind_topological_order(&self) -> Vec<RelName> {
+    /// IND sources. The catalog's constructors keep the dependency set
+    /// acyclic, so this only fails for a catalog whose invariant was
+    /// bypassed (e.g. built from raw parts by future code) — the error then
+    /// carries the full cycle witness instead of panicking.
+    pub fn ind_topological_order(&self) -> Result<Vec<RelName>> {
         topological_order(self.schemas.keys().copied(), &self.inds)
-            .expect("catalog maintains acyclicity invariant")
+    }
+
+    /// Re-checks every declared constraint from scratch: keys are subsets
+    /// of their headers, each IND is well-formed (both endpoints exist,
+    /// `X` non-empty and common to both headers), and the IND graph is
+    /// acyclic. The incremental constructors already enforce all of this,
+    /// so `validate` is cheap insurance for catalogs that cross an API
+    /// boundary (parser, shell, spec files) before complement computation.
+    pub fn validate(&self) -> Result<()> {
+        for s in self.schemas.values() {
+            if let Some(k) = s.key() {
+                if k.is_empty() || !k.is_subset(s.attrs()) {
+                    return Err(RelalgError::BadKey {
+                        relation: s.name(),
+                        key: k.clone(),
+                        header: s.attrs().clone(),
+                    });
+                }
+            }
+        }
+        for dep in &self.inds {
+            let from = self.schema(dep.from)?;
+            let to = self.schema(dep.to)?;
+            if dep.attrs.is_empty() {
+                return Err(RelalgError::BadInclusionDep {
+                    detail: format!("{dep}: empty attribute set"),
+                });
+            }
+            if !dep.attrs.is_subset(from.attrs()) || !dep.attrs.is_subset(to.attrs()) {
+                return Err(RelalgError::BadInclusionDep {
+                    detail: format!(
+                        "{dep}: attributes must be common to {:?} and {:?}",
+                        from.attrs(),
+                        to.attrs()
+                    ),
+                });
+            }
+        }
+        topological_order(self.schemas.keys().copied(), &self.inds)?;
+        Ok(())
     }
 
     /// The union of all attributes declared anywhere (used by cover
@@ -349,10 +391,16 @@ mod tests {
     #[test]
     fn ind_topological_order_targets_first() {
         let c = example_23_catalog();
-        let order = c.ind_topological_order();
+        let order = c.ind_topological_order().unwrap();
         let pos = |n: &str| order.iter().position(|&x| x == RelName::new(n)).unwrap();
         assert!(pos("R1") < pos("R2"));
         assert!(pos("R1") < pos("R3"));
+    }
+
+    #[test]
+    fn validate_accepts_constructed_catalogs() {
+        assert!(example_23_catalog().validate().is_ok());
+        assert!(Catalog::new().validate().is_ok());
     }
 
     #[test]

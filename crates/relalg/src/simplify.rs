@@ -28,27 +28,26 @@ use std::sync::Arc;
 /// subtrees by `∅` of the right schema).
 pub fn simplify(expr: &RaExpr, resolver: &impl HeaderResolver) -> Result<RaExpr> {
     // Type-check once up front; the rewrite itself can then rely on
-    // header inference succeeding on any subtree.
+    // header inference succeeding on any subtree, and propagates the
+    // (unreachable) error instead of panicking if that ever changes.
     expr.attrs(resolver)?;
-    Ok(go(expr, resolver))
+    go(expr, resolver)
 }
 
 fn is_empty(e: &RaExpr) -> bool {
     matches!(e, RaExpr::Empty(_))
 }
 
-fn go(expr: &RaExpr, r: &impl HeaderResolver) -> RaExpr {
-    match expr {
+fn go(expr: &RaExpr, r: &impl HeaderResolver) -> Result<RaExpr> {
+    Ok(match expr {
         RaExpr::Base(_) | RaExpr::Empty(_) => expr.clone(),
         RaExpr::Select(input, pred) => {
-            let input = go(input, r);
+            let input = go(input, r)?;
             let pred = pred.fold();
             match (&input, &pred) {
                 (RaExpr::Empty(a), _) => RaExpr::Empty(a.clone()),
                 (_, Predicate::True) => input,
-                (_, Predicate::False) => {
-                    RaExpr::Empty(input.attrs(r).expect("type-checked"))
-                }
+                (_, Predicate::False) => RaExpr::Empty(input.attrs(r)?),
                 (RaExpr::Select(inner, q), _) => {
                     RaExpr::Select(inner.clone(), q.clone().and(pred))
                 }
@@ -56,86 +55,82 @@ fn go(expr: &RaExpr, r: &impl HeaderResolver) -> RaExpr {
             }
         }
         RaExpr::Project(input, wanted) => {
-            let input = go(input, r);
+            let input = go(input, r)?;
             if is_empty(&input) {
-                return RaExpr::Empty(wanted.clone());
+                return Ok(RaExpr::Empty(wanted.clone()));
             }
-            if input.attrs(r).expect("type-checked") == *wanted {
-                return input;
+            if input.attrs(r)? == *wanted {
+                return Ok(input);
             }
             if let RaExpr::Project(inner, _) = &input {
-                return RaExpr::Project(inner.clone(), wanted.clone());
+                return Ok(RaExpr::Project(inner.clone(), wanted.clone()));
             }
             RaExpr::Project(Arc::new(input), wanted.clone())
         }
         RaExpr::Join(l, right) => {
-            let l = go(l, r);
-            let rt = go(right, r);
+            let l = go(l, r)?;
+            let rt = go(right, r)?;
             if is_empty(&l) || is_empty(&rt) {
-                let attrs = l
-                    .attrs(r)
-                    .expect("type-checked")
-                    .union(&rt.attrs(r).expect("type-checked"));
-                return RaExpr::Empty(attrs);
+                let attrs = l.attrs(r)?.union(&rt.attrs(r)?);
+                return Ok(RaExpr::Empty(attrs));
             }
             if l == rt {
-                return l;
+                return Ok(l);
             }
             RaExpr::Join(Arc::new(l), Arc::new(rt))
         }
         RaExpr::Union(l, right) => {
-            let l = go(l, r);
-            let rt = go(right, r);
+            let l = go(l, r)?;
+            let rt = go(right, r)?;
             if is_empty(&l) {
-                return rt;
+                return Ok(rt);
             }
             if is_empty(&rt) || l == rt {
-                return l;
+                return Ok(l);
             }
             RaExpr::Union(Arc::new(l), Arc::new(rt))
         }
         RaExpr::Diff(l, right) => {
-            let l = go(l, r);
-            let rt = go(right, r);
+            let l = go(l, r)?;
+            let rt = go(right, r)?;
             if is_empty(&l) {
-                return l;
+                return Ok(l);
             }
             if is_empty(&rt) {
-                return l;
+                return Ok(l);
             }
             if l == rt {
-                return RaExpr::Empty(l.attrs(r).expect("type-checked"));
+                return Ok(RaExpr::Empty(l.attrs(r)?));
             }
             RaExpr::Diff(Arc::new(l), Arc::new(rt))
         }
         RaExpr::Intersect(l, right) => {
-            let l = go(l, r);
-            let rt = go(right, r);
+            let l = go(l, r)?;
+            let rt = go(right, r)?;
             if is_empty(&l) {
-                return l;
+                return Ok(l);
             }
             if is_empty(&rt) {
-                return rt;
+                return Ok(rt);
             }
             if l == rt {
-                return l;
+                return Ok(l);
             }
             RaExpr::Intersect(Arc::new(l), Arc::new(rt))
         }
         RaExpr::Rename(input, pairs) => {
-            let input = go(input, r);
+            let input = go(input, r)?;
             let effective: Vec<_> = pairs.iter().filter(|(f, t)| f != t).cloned().collect();
             if effective.is_empty() {
-                return input;
+                return Ok(input);
             }
             if let RaExpr::Empty(attrs) = &input {
-                let renamed =
-                    crate::expr::rename_header(attrs, &effective).expect("type-checked");
-                return RaExpr::Empty(renamed);
+                let renamed = crate::expr::rename_header(attrs, &effective)?;
+                return Ok(RaExpr::Empty(renamed));
             }
             RaExpr::Rename(Arc::new(input), effective)
         }
-    }
+    })
 }
 
 #[cfg(test)]

@@ -40,12 +40,15 @@ impl Symbol {
     /// Interns `name` and returns its symbol. Repeated calls with the same
     /// string return the same symbol.
     pub fn intern(name: &str) -> Symbol {
-        let mut i = interner().lock().expect("symbol interner poisoned");
+        // The interner never panics while holding the lock, but recover
+        // from poisoning anyway: the table is append-only, so a poisoned
+        // guard still holds a consistent map.
+        let mut i = interner().lock().unwrap_or_else(|p| p.into_inner());
         if let Some(&id) = i.map.get(name) {
             return Symbol(id);
         }
+        let id = u32::try_from(i.strings.len()).expect("symbol table overflow"); // lint:allow expect -- overflowing u32 needs 4 billion distinct names
         let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
-        let id = u32::try_from(i.strings.len()).expect("symbol table overflow");
         i.strings.push(leaked);
         i.map.insert(leaked, id);
         Symbol(id)
@@ -53,7 +56,7 @@ impl Symbol {
 
     /// Resolves the symbol back to its string.
     pub fn as_str(self) -> &'static str {
-        let i = interner().lock().expect("symbol interner poisoned");
+        let i = interner().lock().unwrap_or_else(|p| p.into_inner());
         i.strings[self.0 as usize]
     }
 

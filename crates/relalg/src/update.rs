@@ -89,6 +89,10 @@ impl Delta {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Update {
     deltas: BTreeMap<RelName, Delta>,
+    /// Set when [`Update::with`] was asked to compose deltas with
+    /// mismatched headers; surfaced as a typed error at application time
+    /// so the builder API can stay infallible.
+    invalid: Option<RelalgError>,
 }
 
 impl Update {
@@ -99,6 +103,11 @@ impl Update {
 
     /// Adds (or merges, by sequential composition on the same relation) a
     /// delta for `name`.
+    ///
+    /// Composing two deltas for the same relation with different headers
+    /// is a schema error; the builder records it and every later
+    /// [`Update::apply`]/[`Update::normalize`] call reports it as a
+    /// [`RelalgError::HeaderMismatch`].
     pub fn with(mut self, name: impl Into<RelName>, delta: Delta) -> Update {
         let name = name.into();
         match self.deltas.remove(&name) {
@@ -109,19 +118,34 @@ impl Update {
                 // Sequential composition: apply `first`, then `delta`.
                 // delete = first.delete ∪ (delta.delete ∖ first.insert)
                 // insert = (first.insert ∖ delta.delete) ∪ delta.insert
-                let delete = first
-                    .delete
-                    .union(&delta.delete)
-                    .expect("same header by construction");
-                let insert = first
-                    .insert
-                    .difference(&delta.delete)
-                    .and_then(|r| r.union(&delta.insert))
-                    .expect("same header by construction");
-                self.deltas.insert(name, Delta { insert, delete });
+                let composed = first.delete.union(&delta.delete).and_then(|delete| {
+                    let insert = first
+                        .insert
+                        .difference(&delta.delete)
+                        .and_then(|r| r.union(&delta.insert))?;
+                    Ok(Delta { insert, delete })
+                });
+                match composed {
+                    Ok(d) => {
+                        self.deltas.insert(name, d);
+                    }
+                    Err(e) => {
+                        // Keep the first delta and remember the mismatch.
+                        self.deltas.insert(name, first);
+                        self.invalid.get_or_insert(e);
+                    }
+                }
             }
         }
         self
+    }
+
+    /// The header-mismatch recorded by [`Update::with`], if any.
+    fn check_valid(&self) -> Result<()> {
+        match &self.invalid {
+            None => Ok(()),
+            Some(e) => Err(e.clone()),
+        }
     }
 
     /// Shorthand for an insertion-only update on one relation.
@@ -169,6 +193,7 @@ impl Update {
 
     /// In-place application.
     pub fn apply_mut(&self, db: &mut DbState) -> Result<()> {
+        self.check_valid()?;
         for (&name, delta) in &self.deltas {
             let current = db.relation(name)?;
             let next = delta.apply(current)?;
@@ -179,6 +204,7 @@ impl Update {
 
     /// Normalizes every delta against `db` (see [`Delta::normalize`]).
     pub fn normalize(&self, db: &DbState) -> Result<Update> {
+        self.check_valid()?;
         let mut out = Update::new();
         for (&name, delta) in &self.deltas {
             let normalized = delta.normalize(db.relation(name)?)?;
@@ -276,6 +302,18 @@ mod tests {
             .with("Emp", Delta::insert_only(rel! { ["clerk", "age"] => ("Mary", 23) }));
         let db4 = u.apply(&db).unwrap();
         assert_eq!(db4, db);
+    }
+
+    #[test]
+    fn mismatched_composition_surfaces_at_apply() {
+        let mut db = DbState::new();
+        db.insert_relation("Emp", emp());
+        let u = Update::new()
+            .with("Emp", Delta::insert_only(rel! { ["clerk", "age"] => ("Zoe", 40) }))
+            .with("Emp", Delta::insert_only(rel! { ["other"] => (1,) }));
+        let err = u.apply(&db).unwrap_err();
+        assert!(matches!(err, RelalgError::HeaderMismatch { .. }));
+        assert!(u.normalize(&db).is_err());
     }
 
     #[test]

@@ -123,7 +123,9 @@ impl From<u32> for Value {
 
 impl From<usize> for Value {
     fn from(i: usize) -> Self {
-        Value::Int(i64::try_from(i).expect("usize value out of i64 range"))
+        // Sizes beyond i64::MAX cannot occur for in-memory collections;
+        // saturate rather than panic if one ever does.
+        Value::Int(i64::try_from(i).unwrap_or(i64::MAX))
     }
 }
 

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! # dwc-starschema — the Section 5 application
 //!
 //! Section 5 of the paper argues that star schemata — fact tables

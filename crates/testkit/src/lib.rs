@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! # dwc-testkit — deterministic property-test & bench substrate
 //!
 //! The workspace's only verification dependency. Everything here is

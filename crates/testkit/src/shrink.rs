@@ -211,8 +211,7 @@ mod tests {
         // Greedy descent from any start must reach a fixpoint.
         let mut v: Vec<i64> = vec![5, -3, 200, 0, 7];
         let mut steps = 0;
-        loop {
-            let Some(next) = v.shrink().into_iter().next() else { break };
+        while let Some(next) = v.shrink().into_iter().next() {
             v = next;
             steps += 1;
             assert!(steps < 10_000, "shrinking diverged");

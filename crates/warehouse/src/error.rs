@@ -71,6 +71,21 @@ pub enum WarehouseError {
         /// The sequence number the cursor is blocked on.
         waiting_for: u64,
     },
+    /// A stored relation has no definition in the augmented warehouse —
+    /// the spec/augmentation bookkeeping is inconsistent.
+    MissingDefinition(RelName),
+    /// An internal invariant of the compiled maintenance plan was
+    /// violated (reaching this indicates a scheduling bug).
+    PlanInvariant {
+        /// What exactly went wrong.
+        detail: String,
+    },
+    /// The static analyzer rejected the warehouse specification before
+    /// any relation was materialized (see `WarehouseSpec::verify_static`).
+    SpecRejected {
+        /// Rendered diagnostics, one per line, most severe first.
+        diagnostics: Vec<String>,
+    },
 }
 
 impl fmt::Display for WarehouseError {
@@ -107,6 +122,19 @@ impl fmt::Display for WarehouseError {
                     f,
                     "reorder window overflowed waiting for sequence {waiting_for} from source `{source}`"
                 )
+            }
+            WarehouseError::MissingDefinition(r) => {
+                write!(f, "stored relation `{r}` has no definition")
+            }
+            WarehouseError::PlanInvariant { detail } => {
+                write!(f, "maintenance-plan invariant violated: {detail}")
+            }
+            WarehouseError::SpecRejected { diagnostics } => {
+                write!(f, "warehouse spec rejected by static analysis")?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
             }
         }
     }

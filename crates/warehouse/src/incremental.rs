@@ -262,7 +262,17 @@ impl MaintenancePlan {
                 next.insert_relation(name, new);
             }
         }
-        let deltas = delta_slots.into_iter().map(|d| d.expect("every wave ran")).collect();
+        let mut deltas = Vec::with_capacity(delta_slots.len());
+        for (i, slot) in delta_slots.into_iter().enumerate() {
+            match slot {
+                Some(d) => deltas.push(d),
+                None => {
+                    return Err(WarehouseError::PlanInvariant {
+                        detail: format!("step {i} was never scheduled into a wave"),
+                    })
+                }
+            }
+        }
         Ok((next, deltas))
     }
 }
@@ -326,7 +336,9 @@ impl AugmentedWarehouse {
             .stored_relations()
             .into_iter()
             .map(|name| {
-                let def = all_defs.get(&name).expect("stored relation has a definition");
+                let def = all_defs
+                    .get(&name)
+                    .ok_or(WarehouseError::MissingDefinition(name))?;
                 Ok((name, def.simplified(self.catalog())?))
             })
             .collect::<Result<_>>()?;

@@ -124,15 +124,20 @@ pub struct IngestingIntegrator {
 }
 
 impl IngestingIntegrator {
-    /// Wraps a loaded integrator.
-    pub fn new(integ: Integrator, config: IngestConfig) -> IngestingIntegrator {
-        IngestingIntegrator {
+    /// Wraps a loaded integrator. Re-runs the static analyzer over the
+    /// integrator's specification ([`crate::spec::WarehouseSpec::verify_static`])
+    /// before accepting the configuration: an ingestor is a long-lived
+    /// service, and a spec that was mutated or deserialized since
+    /// augmentation must not start consuming reports.
+    pub fn new(integ: Integrator, config: IngestConfig) -> Result<IngestingIntegrator> {
+        integ.warehouse().spec().verify_static()?;
+        Ok(IngestingIntegrator {
             integ,
             cursors: BTreeMap::new(),
             quarantine: Vec::new(),
             config,
             stats: IngestStats::default(),
-        }
+        })
     }
 
     /// Offers one envelope from the channel. Infallible at the call
@@ -423,7 +428,7 @@ mod tests {
         let aug = spec.augment().unwrap();
         let site = SourceSite::new(catalog, fig1_state()).unwrap();
         let integ = Integrator::initial_load(aug, &site).unwrap();
-        (SequencedSource::new("fig1", site), IngestingIntegrator::new(integ, config))
+        (SequencedSource::new("fig1", site), IngestingIntegrator::new(integ, config).unwrap())
     }
 
     fn sale_insert(src: &mut SequencedSource, item: &str, clerk: &str) -> Envelope {

@@ -183,7 +183,9 @@ impl Integrator {
     ) -> Result<Integrator> {
         let mut warehouse = DbState::new();
         for name in aug.stored_relations() {
-            let def = aug.definition_of(name).expect("stored relation has a definition");
+            let def = aug
+                .definition_of(name)
+                .ok_or(WarehouseError::MissingDefinition(name))?;
             warehouse.insert_relation(name, site.answer(&def)?);
         }
         // Mirrors are derived from the warehouse itself (the inverse

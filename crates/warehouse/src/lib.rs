@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! # dwc-warehouse — query- and update-independent warehouses
 //!
 //! Sections 3–5 of *Complements for Data Warehouses* (Laurent,

@@ -108,6 +108,32 @@ impl WarehouseSpec {
         Ok(w)
     }
 
+    /// Runs the static analyzer over this specification under the
+    /// ingestion ([`dwc_analyze::Gate::Accept`]) gate, without evaluating
+    /// any relation. Returns the full report (warnings and all) when the
+    /// spec is acceptable, and `Err(WarehouseError::SpecRejected)` with
+    /// the rendered error diagnostics when it is not.
+    ///
+    /// Lossy-spec findings (`C201`, `L301`, `L302`) pass this gate as
+    /// warnings: Proposition 2.2 keeps such warehouses correct via
+    /// full-copy complements. Only defects the complement machinery
+    /// cannot compensate for — type errors, name collisions, cyclic or
+    /// ill-formed dependency sets — reject the spec.
+    pub fn verify_static(&self) -> Result<dwc_analyze::Report> {
+        let report = dwc_analyze::analyze(
+            &self.catalog,
+            &self.views,
+            &self.union_facts,
+            &dwc_analyze::AnalyzeOptions::accept(),
+        );
+        if report.has_errors() {
+            return Err(WarehouseError::SpecRejected {
+                diagnostics: report.errors().map(|d| d.to_string()).collect(),
+            });
+        }
+        Ok(report)
+    }
+
     /// Step 1 of the paper's algorithm: computes a complement under the
     /// default options and augments the warehouse with it.
     pub fn augment(self) -> Result<AugmentedWarehouse> {
@@ -115,8 +141,10 @@ impl WarehouseSpec {
     }
 
     /// Augmentation with explicit complement options (used by the
-    /// constraint-ablation experiments).
+    /// constraint-ablation experiments). Statically verifies the spec
+    /// ([`WarehouseSpec::verify_static`]) before computing anything.
     pub fn augment_with(self, opts: &ComplementOptions) -> Result<AugmentedWarehouse> {
+        self.verify_static()?;
         let complement =
             complement_for(&self.catalog, &self.views, &self.union_facts, opts)?;
         Ok(AugmentedWarehouse {

@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // catalog; the integrator bootstraps from the combined state once.
     let bootstrap = SourceSite::new(catalog.clone(), db.clone())?;
     let integ = Integrator::initial_load(aug, &bootstrap)?;
-    let mut ing = IngestingIntegrator::new(integ, IngestConfig::default());
+    let mut ing = IngestingIntegrator::new(integ, IngestConfig::default())?;
     let mut paris = SequencedSource::new("paris", SourceSite::new(catalog.clone(), db.clone())?);
     let mut lyon = SequencedSource::new("lyon", SourceSite::new(catalog, db)?);
 

@@ -79,4 +79,48 @@ trap 'rm -f "$SWEEP_OUT"' EXIT
 scripts/bench.sh --quick --out "$SWEEP_OUT" >/dev/null
 echo "ok: bench sweep produced $(grep -c '^{' "$SWEEP_OUT") results"
 
+# --- 7. static analysis gate -------------------------------------------
+# `dwc analyze` must certify the shipped good specs, reject each seeded
+# defect with its documented code, and pass the workspace source lint.
+# Everything here is offline and reads no relation instance.
+DWC=target/release/dwc
+[ -x "$DWC" ] || { echo "FAIL: $DWC missing (step 1 builds it)" >&2; exit 1; }
+
+"$DWC" analyze examples/specs/fig1.dwc examples/specs/ex23.dwc \
+  examples/specs/starschema.dwc >/dev/null \
+  || { echo "FAIL: a known-good spec was rejected" >&2; exit 1; }
+echo "ok: example specs certify"
+
+for case in cyclic:DWC-C101 keyless:DWC-C201 lossy:DWC-L301 unsat:DWC-L302; do
+  spec="examples/specs/${case%%:*}.dwc"
+  code="${case##*:}"
+  if "$DWC" analyze "$spec" >/dev/null 2>&1; then
+    echo "FAIL: $spec must be rejected by the certification gate" >&2
+    exit 1
+  fi
+  # dwc exits 1 on rejection (expected), so capture before grepping —
+  # piping directly would trip pipefail even when the code is present.
+  json=$("$DWC" analyze --json "$spec" || true)
+  if ! grep -q "\"code\":\"$code\",\"severity\":\"error\"" <<<"$json"; then
+    echo "FAIL: $spec must report $code as an error" >&2
+    echo "$json" >&2
+    exit 1
+  fi
+done
+echo "ok: seeded-defect specs rejected with their documented codes"
+
+"$DWC" analyze --self-check >/dev/null \
+  || { echo "FAIL: workspace source lint (srclint) found violations" >&2
+       "$DWC" analyze --self-check >&2 || true; exit 1; }
+echo "ok: srclint self-check clean"
+
+# Clippy is not part of the offline gate, but when a toolchain ships it,
+# run it too (still offline).
+if cargo clippy --version >/dev/null 2>&1; then
+  cargo clippy -q --workspace --all-targets -- -D warnings
+  echo "ok: clippy clean"
+else
+  echo "skip: cargo clippy not installed"
+fi
+
 echo "verify: all green"

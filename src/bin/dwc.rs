@@ -1,17 +1,131 @@
-//! `dwc` — the interactive warehouse shell.
+//! `dwc` — the warehouse shell and static analyzer.
 //!
 //! ```text
-//! cargo run --bin dwc
+//! cargo run --bin dwc                      # interactive shell
+//! cargo run --bin dwc -- analyze spec.dwc  # static verification
 //! dwc> help
 //! ```
 //!
-//! Reads commands from stdin (one per line); see
-//! [`dwcomplements::shell`] for the command language.
+//! With no arguments, reads shell commands from stdin (one per line);
+//! see [`dwcomplements::shell`] for the command language. The `analyze`
+//! subcommand runs the static verifier of [`dwcomplements::analyze`]
+//! over spec files (or, with `--self-check`, over the workspace's own
+//! sources) without evaluating any relation, and exits non-zero when
+//! any error-severity diagnostic is found.
 
+use dwcomplements::analyze::{analyze, specfile, srclint, AnalyzeOptions, Report};
 use dwcomplements::shell::{Outcome, Shell};
 use std::io::{BufRead, Write};
+use std::process::ExitCode;
 
-fn main() {
+const ANALYZE_USAGE: &str = "\
+usage: dwc analyze [--json] <spec.dwc>...
+       dwc analyze [--json] --self-check [workspace-root]
+
+Statically verifies warehouse spec files (catalog + PSJ views) against
+the Theorem 2.2 preconditions and the plan hygiene lints, printing one
+diagnostic per line (JSON lines with --json). Exits 0 when no
+error-severity diagnostic was produced.
+
+--self-check lints the workspace's own sources instead: no panicking
+calls in library code, no stray thread spawns, forbid(unsafe_code) in
+every crate root.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            println!("usage: dwc [analyze ...]\n\n{ANALYZE_USAGE}\n\nWithout arguments: the interactive shell.");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}` (try `dwc --help`)");
+            ExitCode::from(2)
+        }
+        None => repl(),
+    }
+}
+
+/// `dwc analyze [--json] <files>` / `dwc analyze [--json] --self-check [root]`.
+fn cmd_analyze(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut self_check = false;
+    let mut paths: Vec<&str> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--self-check" => self_check = true,
+            "--help" | "-h" => {
+                println!("{ANALYZE_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}`\n{ANALYZE_USAGE}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(path),
+        }
+    }
+
+    let mut failed = false;
+    if self_check {
+        let root = paths.first().copied().unwrap_or(".");
+        if paths.len() > 1 {
+            eprintln!("--self-check takes at most one root directory\n{ANALYZE_USAGE}");
+            return ExitCode::from(2);
+        }
+        let report = srclint::self_check(std::path::Path::new(root));
+        failed |= emit(&report, &format!("self-check {root}"), json);
+    } else {
+        if paths.is_empty() {
+            eprintln!("{ANALYZE_USAGE}");
+            return ExitCode::from(2);
+        }
+        for path in paths {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{path}: cannot read: {e}");
+                    failed = true;
+                    continue;
+                }
+            };
+            let (spec, mut report) = specfile::parse_spec(&text, path);
+            // Certification only makes sense over a spec that parsed; on
+            // parse errors the report already explains what broke.
+            if !report.has_errors() {
+                report.extend(analyze(
+                    &spec.catalog,
+                    &spec.views,
+                    &[],
+                    &AnalyzeOptions::certify(),
+                ));
+            }
+            failed |= emit(&report, path, json);
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Prints one report; returns true when it carries errors.
+fn emit(report: &Report, subject: &str, json: bool) -> bool {
+    if json {
+        print!("{}", report.to_json_lines());
+    } else if report.is_empty() {
+        println!("{subject}: clean");
+    } else {
+        println!("{subject}:");
+        print!("{report}");
+    }
+    report.has_errors()
+}
+
+fn repl() -> ExitCode {
     let mut shell = Shell::new();
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
@@ -38,4 +152,5 @@ fn main() {
             Err(e) => println!("error: {e}"),
         }
     }
+    ExitCode::SUCCESS
 }

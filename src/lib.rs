@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 //! # dwcomplements
 //!
 //! Facade crate for the *Complements for Data Warehouses* reproduction
@@ -9,10 +12,12 @@
 //! * [`warehouse`] — query/update independence framework
 //! * [`aggregates`] — summary tables over fact views (Section 5's OLAP layer)
 //! * [`starschema`] — TPC-D-like star-schema workload (Section 5)
+//! * [`analyze`] — static plan/complement verifier (`dwc analyze`)
 
 pub mod shell;
 
 pub use dwc_aggregates as aggregates;
+pub use dwc_analyze as analyze;
 pub use dwc_core as core;
 pub use dwc_relalg as relalg;
 pub use dwc_starschema as starschema;

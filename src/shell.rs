@@ -77,6 +77,7 @@ impl Shell {
             "view" => self.cmd_view(rest),
             "insert" => self.cmd_update(rest, true),
             "delete" => self.cmd_update(rest, false),
+            "analyze" => self.cmd_analyze(),
             "augment" => self.cmd_augment(),
             "load" => self.cmd_load(rest),
             "save" => self.cmd_save(rest),
@@ -279,6 +280,30 @@ impl Shell {
         Ok(Outcome::Text(format!("saved {} tuple(s) from {name}", rel.len())))
     }
 
+    /// `analyze` — statically verify the declared schema and views
+    /// (certification gate) without touching any relation instance.
+    fn cmd_analyze(&mut self) -> Result<Outcome, String> {
+        let mut views = Vec::new();
+        for (name, text) in &self.views {
+            let expr = RaExpr::parse(text).map_err(|e| e.to_string())?;
+            let psj = crate::core::PsjView::from_expr(&self.catalog, &expr)
+                .map_err(|e| e.to_string())?;
+            views.push(crate::core::NamedView::new(name.as_str(), psj));
+        }
+        let report = crate::analyze::analyze(
+            &self.catalog,
+            &views,
+            &[],
+            &crate::analyze::AnalyzeOptions::certify(),
+        );
+        let verdict = if report.has_errors() {
+            "REJECTED (certification gate)"
+        } else {
+            "certified"
+        };
+        Ok(Outcome::Text(format!("{report}spec {verdict}")))
+    }
+
     /// `augment` — build W = V ∪ C and materialize it.
     fn cmd_augment(&mut self) -> Result<Outcome, String> {
         if self.warehouse.is_some() {
@@ -368,6 +393,7 @@ commands:
   table Name(a*, b, ...)     declare a source relation (* marks key attrs)
   fk From -> To (a, b)       declare a foreign key
   view Name = <expr>         define a PSJ view (sigma/pi/join syntax)
+  analyze                    statically verify schema + views (no data read)
   augment                    compute the complement; warehouse goes live
   insert Name (a=1, b='x')   insert a tuple (maintains the warehouse)
   delete Name (a=1, b='x')   delete a tuple
@@ -498,6 +524,25 @@ mod tests {
         assert_eq!(s.exec("# comment").unwrap(), Outcome::Text(String::new()));
         run(&mut s, "augment");
         assert!(run(&mut s, "state").contains("warehouse"));
+    }
+
+    #[test]
+    fn analyze_reports_certification_verdict() {
+        // The Figure 1 session certifies: Emp carries its key, so the
+        // extension-join cover is lossless.
+        let mut s = fig1_session();
+        let out = run(&mut s, "analyze");
+        assert!(out.contains("spec certified"), "got: {out}");
+
+        // A keyless split-projection plan is rejected with C201 before
+        // any data exists.
+        let mut s = Shell::new();
+        run(&mut s, "table R(a, b, c)");
+        run(&mut s, "view V1 = pi[a, b](R)");
+        run(&mut s, "view V2 = pi[a, c](R)");
+        let out = run(&mut s, "analyze");
+        assert!(out.contains("DWC-C201"), "got: {out}");
+        assert!(out.contains("REJECTED"), "got: {out}");
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Differential properties of the static analyzer (`dwc-analyze`).
+//!
+//! The analyzer's claims are checked against what actually happens when
+//! the same specification is augmented, materialized and reconstructed:
+//!
+//! * **accept ⇒ works** — every spec the ingestion gate accepts
+//!   augments, materializes, and reconstructs its sources exactly on
+//!   random constraint-satisfying states;
+//! * **certify ⇒ empty complement** — a relation certified `I901`
+//!   really gets an empty complement from the construction machinery;
+//! * **reject ⇒ seeded defect** — corrupting one Theorem 2.2
+//!   precondition at a time produces exactly the diagnostic code that
+//!   names it (`C101`, `C201`, `L301`, `L302`);
+//! * **goldens** — the shipped `examples/specs/*.dwc` files keep their
+//!   verdicts, and diagnostics serialize as well-formed JSON lines.
+
+use dwc_testkit::prop::Runner;
+use dwc_testkit::{tk_ensure, tk_ensure_eq};
+use dwcomplements::analyze::{analyze, specfile, AnalyzeOptions, Code, Report, Severity};
+use dwcomplements::core::psj::{NamedView, PsjView};
+use dwcomplements::relalg::gen::{random_state, StateGenConfig};
+use dwcomplements::relalg::{AttrSet, Catalog, CmpOp, InclusionDep, Operand, Predicate, RelName};
+use dwcomplements::warehouse::WarehouseSpec;
+
+/// The Example 2.3 catalog (keys + INDs) — the richest constraint shape.
+fn constrained_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_schema_with_key("R1", &["A", "B", "C"], &["A"]).unwrap();
+    c.add_schema_with_key("R2", &["A", "C", "D"], &["A"]).unwrap();
+    c.add_schema_with_key("R3", &["A", "B"], &["A"]).unwrap();
+    c.add_inclusion_dep(InclusionDep::new("R3", "R1", AttrSet::from_names(&["A", "B"])))
+        .unwrap();
+    c.add_inclusion_dep(InclusionDep::new("R2", "R1", AttrSet::from_names(&["A", "C"])))
+        .unwrap();
+    c
+}
+
+/// A pool of warehouse shapes over the constrained catalog.
+fn warehouse_variants(c: &Catalog, which: u8) -> Vec<NamedView> {
+    let v1 = NamedView::new("V1", PsjView::join_of(c, &["R1", "R2"]).unwrap());
+    let v2 = NamedView::new("V2", PsjView::of_base(c, "R3").unwrap());
+    let v3 = NamedView::new("V3", PsjView::project_of(c, "R1", &["A", "B"]).unwrap());
+    let v4 = NamedView::new("V4", PsjView::project_of(c, "R1", &["A", "C"]).unwrap());
+    let v5 = NamedView::new(
+        "V5",
+        PsjView::select_of(c, "R2", Predicate::attr_eq("D", 1)).unwrap(),
+    );
+    match which % 5 {
+        0 => vec![v1, v2, v3, v4],
+        1 => vec![v1, v3],
+        2 => vec![v1],
+        3 => vec![v3, v4, v5],
+        _ => vec![v1, v2, v3, v4, v5],
+    }
+}
+
+/// accept ⇒ works: whatever the ingestion gate lets through must
+/// augment, materialize and reconstruct exactly — the analyzer never
+/// accepts a spec the complement machinery cannot handle.
+#[test]
+fn accepted_specs_reconstruct_exactly() {
+    Runner::new("accepted_specs_reconstruct_exactly").cases(48).run(
+        |rng| (rng.below(5) as u8, rng.next_u64()),
+        |&(which, seed)| {
+            let catalog = constrained_catalog();
+            let views = warehouse_variants(&catalog, which);
+            let report = analyze(&catalog, &views, &[], &AnalyzeOptions::accept());
+            tk_ensure!(!report.has_errors(), "gate rejected a well-formed spec: {report}");
+
+            let spec = WarehouseSpec::new(catalog.clone(), views).expect("distinct names");
+            let aug = spec.augment().expect("accepted spec must augment");
+            let cfg = StateGenConfig::new(16, 5);
+            for i in 0..3u64 {
+                let db = random_state(&catalog, &cfg, seed.wrapping_add(i));
+                let w = aug.materialize(&db).expect("accepted spec must materialize");
+                let back = aug.reconstruct_sources(&w).expect("inverses must evaluate");
+                tk_ensure_eq!(back, db);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// certify ⇒ empty complement: when the analyzer reports `I901` for a
+/// base relation, the construction machinery really stores nothing for
+/// it, on any valid state.
+#[test]
+fn certified_relations_get_empty_complements() {
+    Runner::new("certified_relations_get_empty_complements").cases(32).run(
+        |rng| (rng.below(5) as u8, rng.next_u64()),
+        |&(which, seed)| {
+            let catalog = constrained_catalog();
+            let views = warehouse_variants(&catalog, which);
+            let report = analyze(&catalog, &views, &[], &AnalyzeOptions::certify());
+            let certified: Vec<RelName> = catalog
+                .relation_names()
+                .filter(|r| {
+                    report.diagnostics().iter().any(|d| {
+                        d.code == Code::I901CertifiedEmptyComplement
+                            && d.at == format!("relation {r}")
+                    })
+                })
+                .collect();
+
+            let aug = WarehouseSpec::new(catalog.clone(), views)
+                .expect("distinct names")
+                .augment()
+                .expect("augments");
+            let db = random_state(&catalog, &StateGenConfig::new(16, 5), seed);
+            let w = aug.materialize(&db).expect("materializes");
+            for r in certified {
+                let c_name = RelName::new(&format!("C_{r}"));
+                if let Ok(rel) = w.relation(c_name) {
+                    tk_ensure_eq!(rel.len(), 0);
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// reject ⇒ seeded defect, and the run-time truth agrees: a selection
+/// the analyzer calls unsatisfiable evaluates empty on every state, and
+/// one it leaves alone is not reported.
+#[test]
+fn unsat_verdicts_match_evaluation() {
+    Runner::new("unsat_verdicts_match_evaluation").cases(64).run(
+        |rng| (rng.i64_in(0, 5), rng.i64_in(0, 5), rng.below(4) as u8, rng.next_u64()),
+        |&(x, y, shape, seed)| {
+            let catalog = constrained_catalog();
+            // One corrupted conjunction per shape; contradictory iff the
+            // generated constants disagree in the right direction.
+            let a = |v| Predicate::attr_eq("D", v);
+            let d = |op, v| Predicate::cmp(Operand::attr("D"), op, Operand::val(v));
+            let (pred, flagged_expected) = match shape {
+                0 => (a(x).and(a(y)), x != y),
+                // D < x ∧ D > y: the bound tracker proves unsat exactly
+                // when y >= x (it reasons over the dense value order, so
+                // the integer-only gap y = x-1 stays "possibly sat").
+                1 => (d(CmpOp::Lt, x).and(d(CmpOp::Gt, y)), y >= x),
+                2 => (a(x).and(d(CmpOp::Ne, y)), x == y),
+                _ => (d(CmpOp::Le, x).and(d(CmpOp::Ge, x)), false),
+            };
+            let views = vec![NamedView::new(
+                "V",
+                PsjView::select_of(&catalog, "R2", pred).unwrap(),
+            )];
+            let report = analyze(&catalog, &views, &[], &AnalyzeOptions::certify());
+            let flagged = report.has_code(Code::L302UnsatisfiableSelection);
+            tk_ensure_eq!(flagged, flagged_expected);
+
+            if flagged {
+                // The analyzer's claim is universal: empty on EVERY state.
+                let db = random_state(&catalog, &StateGenConfig::new(24, 4), seed);
+                let v = views[0].to_expr().eval(&db).expect("evaluates");
+                tk_ensure_eq!(v.len(), 0);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Seeded corruption of each Theorem 2.2 precondition produces exactly
+/// the diagnostic code that names it — and under the ingestion gate the
+/// lossy (but not ill-formed) corruptions still reconstruct exactly,
+/// which is Proposition 2.2 at work.
+#[test]
+fn seeded_corruptions_yield_their_codes() {
+    // C201: drop the key of a relation whose attributes are split.
+    let mut keyless = Catalog::new();
+    keyless.add_schema("R1", &["A", "B", "C"]).unwrap();
+    let split = vec![
+        NamedView::new("V3", PsjView::project_of(&keyless, "R1", &["A", "B"]).unwrap()),
+        NamedView::new("V4", PsjView::project_of(&keyless, "R1", &["A", "C"]).unwrap()),
+    ];
+    let report = analyze(&keyless, &split, &[], &AnalyzeOptions::certify());
+    assert!(report.has_code(Code::C201KeylessReassembly), "{report}");
+    assert!(report.has_errors());
+    // ... while the ingestion gate accepts it and Proposition 2.2 keeps
+    // the warehouse exact via a full-copy complement.
+    let report = analyze(&keyless, &split, &[], &AnalyzeOptions::accept());
+    assert!(!report.has_errors(), "{report}");
+    let aug = WarehouseSpec::new(keyless.clone(), split).unwrap().augment().unwrap();
+    let db = random_state(&keyless, &StateGenConfig::new(16, 5), 7);
+    let w = aug.materialize(&db).unwrap();
+    assert_eq!(aug.reconstruct_sources(&w).unwrap(), db);
+
+    // L301: keep the (composite) key but lose it in every projection.
+    let mut lossy = Catalog::new();
+    lossy.add_schema_with_key("R", &["a", "b", "c", "d"], &["a", "b"]).unwrap();
+    let views = vec![
+        NamedView::new("V1", PsjView::project_of(&lossy, "R", &["a", "b"]).unwrap()),
+        NamedView::new("V2", PsjView::project_of(&lossy, "R", &["a", "c"]).unwrap()),
+        NamedView::new("V3", PsjView::project_of(&lossy, "R", &["b", "d"]).unwrap()),
+    ];
+    let report = analyze(&lossy, &views, &[], &AnalyzeOptions::certify());
+    assert!(report.has_code(Code::L301LossyReassembly), "{report}");
+    assert!(report.has_errors());
+
+    // L302: conjoin a contradiction onto a healthy selection.
+    let catalog = constrained_catalog();
+    let poisoned = Predicate::attr_eq("D", 1).and(Predicate::attr_eq("D", 2));
+    let views = vec![NamedView::new(
+        "V5",
+        PsjView::select_of(&catalog, "R2", poisoned).unwrap(),
+    )];
+    let report = analyze(&catalog, &views, &[], &AnalyzeOptions::certify());
+    assert!(report.has_code(Code::L302UnsatisfiableSelection), "{report}");
+
+    // C101: close the IND chain R2 -> R1 into a cycle. The catalog API
+    // itself refuses the closing edge (the analyzer and the constructors
+    // enforce the same precondition), so corrupt the raw spec text.
+    let (_, report) = specfile::parse_spec(
+        "table R1(A*, B)\ntable R2(A*, B)\nind R2 -> R1 (A)\nind R1 -> R2 (A)\n",
+        "corrupted.dwc",
+    );
+    assert!(report.has_code(Code::C101CyclicInds), "{report}");
+    let c101 = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == Code::C101CyclicInds)
+        .unwrap();
+    assert!(c101.message.contains(" -> "), "cycle witness missing: {}", c101.message);
+    let mut api = Catalog::new();
+    api.add_schema_with_key("R1", &["A", "B"], &["A"]).unwrap();
+    api.add_schema_with_key("R2", &["A", "B"], &["A"]).unwrap();
+    api.add_inclusion_dep(InclusionDep::new("R2", "R1", AttrSet::from_names(&["A"])))
+        .unwrap();
+    assert!(api
+        .add_inclusion_dep(InclusionDep::new("R1", "R2", AttrSet::from_names(&["A"])))
+        .is_err());
+}
+
+fn spec_path(name: &str) -> String {
+    format!("{}/examples/specs/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn analyze_file(name: &str) -> Report {
+    let path = spec_path(name);
+    let text = std::fs::read_to_string(&path).expect("spec file readable");
+    let (spec, mut report) = specfile::parse_spec(&text, name);
+    if !report.has_errors() {
+        report.extend(analyze(&spec.catalog, &spec.views, &[], &AnalyzeOptions::certify()));
+    }
+    report
+}
+
+/// Golden verdicts for the shipped spec files.
+#[test]
+fn golden_spec_verdicts() {
+    for good in ["fig1.dwc", "ex23.dwc", "starschema.dwc"] {
+        let report = analyze_file(good);
+        assert!(!report.has_errors(), "{good} must certify:\n{report}");
+    }
+    for (bad, code) in [
+        ("cyclic.dwc", Code::C101CyclicInds),
+        ("keyless.dwc", Code::C201KeylessReassembly),
+        ("lossy.dwc", Code::L301LossyReassembly),
+        ("unsat.dwc", Code::L302UnsatisfiableSelection),
+    ] {
+        let report = analyze_file(bad);
+        assert!(report.has_errors(), "{bad} must be rejected");
+        assert!(
+            report
+                .errors()
+                .any(|d| d.code == code),
+            "{bad} must carry {code:?}:\n{report}"
+        );
+    }
+}
+
+/// Golden details: the cycle witness names the full A -> B -> C -> A
+/// path, Fig 1 is trusted (C203) rather than certified, and Ex 2.3 /
+/// the star schema certify their key relations (I901).
+#[test]
+fn golden_spec_details() {
+    let report = analyze_file("cyclic.dwc");
+    let c101 = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == Code::C101CyclicInds)
+        .expect("cyclic.dwc reports C101");
+    for rel in ["A", "B", "C"] {
+        assert!(c101.message.contains(rel), "witness misses {rel}: {}", c101.message);
+    }
+
+    let report = analyze_file("fig1.dwc");
+    assert!(report.has_code(Code::C203TrustedNotCertified), "{report}");
+
+    let report = analyze_file("ex23.dwc");
+    assert!(report.has_code(Code::I901CertifiedEmptyComplement), "{report}");
+    // ... and the construction agrees: Example 2.3's complement for R1
+    // is empty on any state.
+    let text = std::fs::read_to_string(spec_path("ex23.dwc")).unwrap();
+    let (spec, _) = specfile::parse_spec(&text, "ex23.dwc");
+    let aug = WarehouseSpec::new(spec.catalog.clone(), spec.views).unwrap().augment().unwrap();
+    let db = random_state(&spec.catalog, &StateGenConfig::new(16, 5), 11);
+    let w = aug.materialize(&db).unwrap();
+    if let Ok(c_r1) = w.relation(RelName::new("C_R1")) {
+        assert_eq!(c_r1.len(), 0, "certified complement must be empty");
+    }
+
+    // Star schema: DimPart hides pname, so Part needs a full copy (info,
+    // not error), while the dimension sources certify empty.
+    let report = analyze_file("starschema.dwc");
+    assert!(report.has_code(Code::I902FullCopyComplement), "{report}");
+    assert!(report.has_code(Code::I901CertifiedEmptyComplement), "{report}");
+}
+
+/// Every diagnostic serializes as one well-formed JSON object per line
+/// with the stable field set, and severities map to the documented
+/// strings.
+#[test]
+fn diagnostics_serialize_as_json_lines() {
+    for name in ["fig1.dwc", "cyclic.dwc", "keyless.dwc", "lossy.dwc", "unsat.dwc"] {
+        let report = analyze_file(name);
+        let json = report.to_json_lines();
+        assert_eq!(json.lines().count(), report.len(), "{name}");
+        for line in json.lines() {
+            assert!(line.starts_with(r#"{"code":"DWC-"#), "{name}: {line}");
+            assert!(line.ends_with('}'), "{name}: {line}");
+            assert!(line.contains(r#""severity":"#), "{name}: {line}");
+            assert!(line.contains(r#""at":"#), "{name}: {line}");
+            assert!(line.contains(r#""message":"#), "{name}: {line}");
+        }
+    }
+    // Severity strings are the documented lowercase triple.
+    assert_eq!(Severity::Info.as_str(), "info");
+    assert_eq!(Severity::Warning.as_str(), "warning");
+    assert_eq!(Severity::Error.as_str(), "error");
+}

@@ -39,7 +39,8 @@ fn chain_rig(
     let site = SourceSite::new(catalog, chain_state(init)).map_err(|e| e.to_string())?;
     let src = SequencedSource::new("chain", site);
     let integ = Integrator::initial_load(aug, src.site()).map_err(|e| e.to_string())?;
-    Ok((src, IngestingIntegrator::new(integ, config)))
+    let ing = IngestingIntegrator::new(integ, config).map_err(|e| e.to_string())?;
+    Ok((src, ing))
 }
 
 /// Deterministic payload corruption, varied by sequence number so one
@@ -220,7 +221,8 @@ fn tampered_complement_is_detected_and_healed() {
     let site = SourceSite::new(catalog, db).expect("valid state");
     let mut src = SequencedSource::new("store", site);
     let integ = Integrator::initial_load(aug, src.site()).expect("loads");
-    let mut ing = IngestingIntegrator::new(integ, IngestConfig::paranoid());
+    let mut ing =
+        IngestingIntegrator::new(integ, IngestConfig::paranoid()).expect("spec verifies");
 
     // Smuggle a joinable tuple into C_Sale: "John" is an employee, so
     // the tampered state cannot be W(d) for any source state d.

@@ -63,7 +63,7 @@ fn cached_eval_agrees() {
 #[test]
 fn set_operator_laws() {
     Runner::new("set_operator_laws").cases(128).run(
-        |rng| gen_chain_rows(rng),
+        gen_chain_rows,
         |rows| {
             let db = chain_state(rows);
             let r = db.relation("R".into()).unwrap();
@@ -90,7 +90,7 @@ fn set_operator_laws() {
 #[test]
 fn join_laws() {
     Runner::new("join_laws").cases(128).run(
-        |rng| gen_chain_rows(rng),
+        gen_chain_rows,
         |rows| {
             use dwcomplements::relalg::eval::natural_join;
             let db = chain_state(rows);
@@ -116,7 +116,7 @@ fn join_laws() {
 #[test]
 fn projection_selection_distributivity() {
     Runner::new("projection_selection_distributivity").cases(128).run(
-        |rng| gen_chain_rows(rng),
+        gen_chain_rows,
         |rows| {
             let db = chain_state(rows);
             let lhs = RaExpr::parse("pi[b](R) union pi[b](S)").unwrap().eval(&db).unwrap();

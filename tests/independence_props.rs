@@ -101,7 +101,7 @@ fn queries_remain_correct_after_maintenance() {
 #[test]
 fn inverse_identity() {
     Runner::new("inverse_identity").cases(128).run(
-        |rng| gen_chain_rows(rng),
+        gen_chain_rows,
         |rows| {
             let aug = chain_warehouse();
             let db = chain_state(rows);
