@@ -35,6 +35,7 @@ pub enum Code {
     S501BannedCall,
     S502ThreadSpawn,
     S503MissingForbidUnsafe,
+    S504FsWriteOutsideStorage,
     I901CertifiedEmptyComplement,
     I902FullCopyComplement,
     I903UncoveredRelation,
@@ -63,6 +64,7 @@ impl Code {
             Code::S501BannedCall => "DWC-S501",
             Code::S502ThreadSpawn => "DWC-S502",
             Code::S503MissingForbidUnsafe => "DWC-S503",
+            Code::S504FsWriteOutsideStorage => "DWC-S504",
             Code::I901CertifiedEmptyComplement => "DWC-I901",
             Code::I902FullCopyComplement => "DWC-I902",
             Code::I903UncoveredRelation => "DWC-I903",
@@ -100,6 +102,9 @@ impl Code {
             Code::S501BannedCall => "panicking call in non-test library code",
             Code::S502ThreadSpawn => "thread::spawn outside the executor module",
             Code::S503MissingForbidUnsafe => "crate root lacks #![forbid(unsafe_code)]",
+            Code::S504FsWriteOutsideStorage => {
+                "filesystem write outside the warehouse::storage durability module"
+            }
             Code::I901CertifiedEmptyComplement => "complement is certified empty (Theorem 2.2)",
             Code::I902FullCopyComplement => "complement stores a full copy of the relation",
             Code::I903UncoveredRelation => "relation appears in no view",

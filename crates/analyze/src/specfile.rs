@@ -283,6 +283,48 @@ pub fn parse_spec(text: &str, file: &str) -> (SpecFile, Report) {
     (spec, report)
 }
 
+/// Renders a [`SpecFile`] back into the `.dwc` text format.
+///
+/// The output is canonical: tables sorted by name with sorted attributes
+/// (keyed ones suffixed `*`), every dependency printed as a plain `ind`
+/// (a `fk` line degenerates to its inclusion dependency once the key it
+/// demanded lives on the table declaration), and views through the
+/// [`RaExpr`] pretty-printer, whose syntax the parser accepts. Re-parsing
+/// the output therefore yields an equivalent spec, and printing *that*
+/// yields the identical string — the fixpoint `tests/parser_fuzz.rs`
+/// checks.
+pub fn print_spec(spec: &SpecFile) -> String {
+    let mut out = String::new();
+    for schema in spec.catalog.schemas() {
+        out.push_str("table ");
+        out.push_str(schema.name().as_str());
+        out.push('(');
+        for (i, attr) in schema.attrs().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(attr.as_str());
+            if schema.key().is_some_and(|k| k.contains(attr)) {
+                out.push('*');
+            }
+        }
+        out.push_str(")\n");
+    }
+    for dep in spec.catalog.inclusion_deps() {
+        let attrs: Vec<&str> = dep.attrs.iter().map(|a| a.as_str()).collect();
+        out.push_str(&format!(
+            "ind {} -> {} ({})\n",
+            dep.from.as_str(),
+            dep.to.as_str(),
+            attrs.join(", ")
+        ));
+    }
+    for view in &spec.views {
+        out.push_str(&format!("view {} = {}\n", view.name().as_str(), view.to_expr()));
+    }
+    out
+}
+
 /// `Name(a*, b, c)` → `(Name, [(a, true), (b, false), (c, false)])`.
 fn parse_table(rest: &str) -> Option<(String, Vec<(String, bool)>)> {
     let open = rest.find('(')?;
@@ -366,6 +408,27 @@ view Sold = Sale join Emp
         assert_eq!(spec.views[0].name(), RelName::new("Sold"));
         let key = spec.catalog.key_of(RelName::new("Emp")).unwrap().unwrap();
         assert_eq!(key, &AttrSet::from_names(&["clerk"]));
+    }
+
+    #[test]
+    fn print_spec_is_a_parse_fixpoint() {
+        let text = "\
+table Sale(item, clerk)
+table Emp(clerk*, age)
+fk Sale -> Emp (clerk)
+view Sold = pi[age, item](Sale join Emp)
+";
+        let (spec, report) = parse_spec(text, "f.dwc");
+        assert!(report.is_empty(), "{report}");
+        let printed = print_spec(&spec);
+        // The fk line degenerates into its inclusion dependency.
+        assert!(printed.contains("ind Sale -> Emp (clerk)"), "{printed}");
+        assert!(printed.contains("table Emp(age, clerk*)"), "{printed}");
+        let (spec2, report2) = parse_spec(&printed, "printed.dwc");
+        assert!(report2.is_empty(), "{report2}");
+        assert_eq!(printed, print_spec(&spec2));
+        assert_eq!(spec.catalog, spec2.catalog);
+        assert_eq!(spec.views.len(), spec2.views.len());
     }
 
     #[test]

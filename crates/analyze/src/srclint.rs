@@ -13,6 +13,11 @@
 //!   the one sanctioned executor module.
 //! * `S503` — every crate root (and the workspace root library) carries
 //!   `#![forbid(unsafe_code)]`.
+//! * `S504` — no `std::fs` *writes* (`fs::write`, `fs::rename`,
+//!   `File::create`, `OpenOptions::new`, …) outside
+//!   `crates/warehouse/src/storage/`, the one crash-tested durability
+//!   module. Reads are unrestricted; test modules are exempt; a
+//!   same-line `// lint:allow fs_write -- reason` waives one line.
 //!
 //! Comments, string literals, raw strings and char literals are stripped
 //! by a small lexer before token matching, so a doc-comment mentioning
@@ -38,6 +43,27 @@ const S501_ROOTS: &[&str] = &["crates/relalg/src", "crates/core/src", "crates/wa
 
 /// The one module allowed to call `thread::spawn`.
 const S502_ALLOWED: &str = "crates/relalg/src/exec.rs";
+
+/// The one module tree allowed to write through `std::fs`: the
+/// durability layer, whose writes follow the WAL/snapshot atomicity
+/// discipline and are crash-tested. Everything else must stay
+/// read-only on disk (`S504`).
+const S504_ALLOWED_PREFIX: &str = "crates/warehouse/src/storage/";
+
+/// Filesystem-write tokens banned outside the storage module:
+/// `(needle, waiver name)` — all waived by `fs_write`.
+const FS_WRITE_BANNED: &[&str] = &[
+    "fs::write",
+    "fs::rename",
+    "fs::remove_file",
+    "fs::remove_dir",
+    "fs::create_dir",
+    "fs::copy",
+    "fs::hard_link",
+    "fs::set_permissions",
+    "File::create",
+    "OpenOptions::new",
+];
 
 /// Banned tokens: `(needle, waiver name)`.
 const BANNED: &[(&str, &str)] = &[
@@ -77,6 +103,20 @@ pub fn self_check(root: &Path) -> Report {
                 continue;
             }
             scan_spawn(&file, &rel, &mut report);
+        }
+    }
+
+    // --- S504: filesystem writes confined to warehouse::storage. Same
+    // tree set as S502: every crate's src plus the workspace root's.
+    let mut src_trees: Vec<PathBuf> = vec![root.join("src")];
+    src_trees.extend(crate_dirs(root, &mut report).into_iter().map(|d| d.join("src")));
+    for tree in src_trees {
+        for file in rust_files(&tree, &mut report) {
+            let rel = rel_path(root, &file);
+            if rel.starts_with(S504_ALLOWED_PREFIX) {
+                continue;
+            }
+            scan_fs_writes(&file, &rel, &mut report);
         }
     }
 
@@ -219,6 +259,34 @@ fn scan_spawn(path: &Path, rel: &str, report: &mut Report) {
                 format!("{rel}:{line_no}"),
                 format!("thread::spawn outside {S502_ALLOWED}; use dwc_relalg::exec"),
             );
+        }
+    }
+}
+
+/// Scans one file for filesystem-write tokens (see `FS_WRITE_BANNED`).
+/// Test modules at the bottom of a file (first `#[cfg(test)]` line
+/// onward) may write scratch files freely; library code may not.
+fn scan_fs_writes(path: &Path, rel: &str, report: &mut Report) {
+    let Some(lines) = stripped_lines(path, rel, report) else {
+        return;
+    };
+    for (line_no, raw, stripped) in &lines {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        for needle in FS_WRITE_BANNED {
+            if stripped.contains(needle) && !has_waiver(raw, "fs_write") {
+                report.push(
+                    Code::S504FsWriteOutsideStorage,
+                    Severity::Error,
+                    format!("{rel}:{line_no}"),
+                    format!(
+                        "`{needle}` outside {S504_ALLOWED_PREFIX}; route durable writes \
+                         through warehouse::storage (or waive with \
+                         `// lint:allow fs_write -- reason`)"
+                    ),
+                );
+            }
         }
     }
 }

@@ -93,6 +93,16 @@ pub enum RelalgError {
         /// What the parser expected or found.
         message: String,
     },
+    /// Binary-encoded data failed checksum or structural validation
+    /// (see [`crate::io::decode_relation`]). Decoding never panics: a
+    /// flipped bit, a truncation, or a hostile length field all land
+    /// here.
+    Corrupt {
+        /// Byte offset at which validation failed.
+        offset: usize,
+        /// What exactly was wrong (checksum mismatch, bad magic, …).
+        detail: String,
+    },
 }
 
 impl fmt::Display for RelalgError {
@@ -141,6 +151,9 @@ impl fmt::Display for RelalgError {
             }
             RelalgError::Parse { position, message } => {
                 write!(f, "parse error at offset {position}: {message}")
+            }
+            RelalgError::Corrupt { offset, detail } => {
+                write!(f, "corrupt binary data at byte {offset}: {detail}")
             }
         }
     }

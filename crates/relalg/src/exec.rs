@@ -15,7 +15,10 @@
 //! The worker count comes from, in priority order:
 //!
 //! 1. [`set_threads`] — a programmatic override (tests, benches),
-//! 2. the `DWC_THREADS` environment variable,
+//! 2. the `DWC_THREADS` environment variable — parsed **strictly**
+//!    ([`parse_threads`]): `0`, garbage, and overflow are typed
+//!    [`ThreadConfigError`]s that binaries surface once at startup via
+//!    [`thread_config`]; library code degrades to serial meanwhile,
 //! 3. [`std::thread::available_parallelism`].
 //!
 //! At `1` every combinator degenerates to the serial loop with zero
@@ -28,11 +31,106 @@
 //! propagates to the caller.
 
 use std::collections::hash_map::DefaultHasher;
+use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Programmatic thread-count override; `0` means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Upper bound accepted from `DWC_THREADS`. Far above any useful width —
+/// it exists so a typo like `88888888` is a configuration error instead
+/// of a fork bomb.
+pub const MAX_THREADS: usize = 512;
+
+/// Why a `DWC_THREADS` value was rejected. Binaries should check
+/// [`thread_config`] once at startup and refuse to run on `Err`; library
+/// code keeps its no-panic contract by degrading to serial execution
+/// until the error is surfaced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ThreadConfigError {
+    /// `DWC_THREADS=0` asks for no workers at all; use `1` for serial.
+    Zero,
+    /// The value is not a plain decimal number.
+    NotANumber {
+        /// The raw value found in the environment.
+        got: String,
+    },
+    /// The value parses but exceeds [`MAX_THREADS`] (or overflows
+    /// `usize`).
+    OutOfRange {
+        /// The raw value found in the environment.
+        got: String,
+        /// The maximum accepted worker count.
+        max: usize,
+    },
+}
+
+impl fmt::Display for ThreadConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadConfigError::Zero => {
+                write!(f, "DWC_THREADS=0 requests zero workers; use 1 for serial execution")
+            }
+            ThreadConfigError::NotANumber { got } => {
+                write!(f, "DWC_THREADS=`{got}` is not a decimal thread count")
+            }
+            ThreadConfigError::OutOfRange { got, max } => {
+                write!(f, "DWC_THREADS=`{got}` exceeds the maximum of {max} workers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThreadConfigError {}
+
+/// Strict parser for a `DWC_THREADS` value: plain decimal digits only
+/// (surrounding whitespace tolerated), in `1..=MAX_THREADS`. Rejects
+/// `0`, signs, garbage, and overflow with a typed error.
+pub fn parse_threads(raw: &str) -> Result<usize, ThreadConfigError> {
+    let t = raw.trim();
+    if t.is_empty() || !t.chars().all(|c| c.is_ascii_digit()) {
+        return Err(ThreadConfigError::NotANumber { got: raw.to_owned() });
+    }
+    match t.parse::<usize>() {
+        Ok(0) => Err(ThreadConfigError::Zero),
+        Ok(n) if n > MAX_THREADS => {
+            Err(ThreadConfigError::OutOfRange { got: raw.to_owned(), max: MAX_THREADS })
+        }
+        Ok(n) => Ok(n),
+        // usize overflow: still "a number", but unusable as a width.
+        Err(_) => Err(ThreadConfigError::OutOfRange { got: raw.to_owned(), max: MAX_THREADS }),
+    }
+}
+
+/// The environment's verdict, computed once per process: `Ok(None)`
+/// means `DWC_THREADS` is unset.
+fn env_threads() -> &'static Result<Option<usize>, ThreadConfigError> {
+    static ENV: OnceLock<Result<Option<usize>, ThreadConfigError>> = OnceLock::new();
+    ENV.get_or_init(|| match std::env::var("DWC_THREADS") {
+        Ok(v) => parse_threads(&v).map(Some),
+        Err(_) => Ok(None),
+    })
+}
+
+/// Resolves the effective worker count, surfacing a malformed
+/// `DWC_THREADS` as a typed error instead of a silent fallback.
+/// Binaries call this once at startup; resolution order is
+/// [`set_threads`] override > `DWC_THREADS` > hardware.
+pub fn thread_config() -> Result<usize, ThreadConfigError> {
+    let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return Ok(o);
+    }
+    match env_threads() {
+        Ok(Some(n)) => Ok(*n),
+        Ok(None) => {
+            Ok(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        }
+        Err(e) => Err(e.clone()),
+    }
+}
 
 /// Overrides the worker count for subsequent operations (`0` clears the
 /// override and returns control to `DWC_THREADS` / the hardware). Used by
@@ -43,20 +141,11 @@ pub fn set_threads(n: usize) {
 }
 
 /// The worker count for parallel operations (≥ 1). See the module docs
-/// for the resolution order.
+/// for the resolution order. A malformed `DWC_THREADS` degrades to `1`
+/// (serial, deterministic) here — the typed error is reported by
+/// [`thread_config`], which binaries check once at startup.
 pub fn threads() -> usize {
-    let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
-    if o > 0 {
-        return o;
-    }
-    if let Ok(v) = std::env::var("DWC_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    thread_config().unwrap_or(1)
 }
 
 /// A fork budget for nested fork–join parallelism: the number of extra
@@ -276,6 +365,36 @@ mod tests {
     fn threads_override_and_env() {
         assert_eq!(with_threads(3, threads), 3);
         assert!(threads() >= 1);
+        // With an override in force, thread_config never errors.
+        assert_eq!(with_threads(3, thread_config), Ok(3));
+    }
+
+    #[test]
+    fn parse_threads_accepts_plain_counts() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads(" 8 "), Ok(8));
+        assert_eq!(parse_threads(&MAX_THREADS.to_string()), Ok(MAX_THREADS));
+    }
+
+    #[test]
+    fn parse_threads_rejects_zero_garbage_and_overflow() {
+        assert_eq!(parse_threads("0"), Err(ThreadConfigError::Zero));
+        for bad in ["", "  ", "abc", "8x", "+8", "-1", "3.5", "0x10"] {
+            assert!(
+                matches!(parse_threads(bad), Err(ThreadConfigError::NotANumber { .. })),
+                "`{bad}` must be NotANumber"
+            );
+        }
+        let over = (MAX_THREADS + 1).to_string();
+        assert!(matches!(parse_threads(&over), Err(ThreadConfigError::OutOfRange { .. })));
+        // Larger than usize::MAX: overflow is OutOfRange, not a panic.
+        assert!(matches!(
+            parse_threads("99999999999999999999999999"),
+            Err(ThreadConfigError::OutOfRange { .. })
+        ));
+        // Errors render with the offending value.
+        let msg = parse_threads("zap").unwrap_err().to_string();
+        assert!(msg.contains("zap"), "{msg}");
     }
 
     #[test]

@@ -1,14 +1,25 @@
-//! CSV import/export for relations.
+//! CSV and binary import/export for relations.
 //!
-//! A small, dependency-free CSV dialect for moving data in and out of
-//! the engine (examples, the shell, external tooling): comma-separated,
-//! double-quote quoting with `""` escapes, first line = header. Values
-//! are written in the display syntax of [`Value`] minus the string
-//! quotes; on import each cell is parsed as `i64`, then `f64`, then
-//! `true`/`false`, falling back to a string — so `export → import`
-//! round-trips relations whose strings do not themselves look numeric.
-//! For exact round-trips of arbitrary values use [`export_typed`] /
-//! [`import_typed`], which tag each cell (`i:`, `d:`, `b:`, `s:`).
+//! **CSV** — a small, dependency-free CSV dialect for moving data in and
+//! out of the engine (examples, the shell, external tooling):
+//! comma-separated, double-quote quoting with `""` escapes, first line =
+//! header. Values are written in the display syntax of [`Value`] minus
+//! the string quotes; on import each cell is parsed as `i64`, then
+//! `f64`, then `true`/`false`, falling back to a string — so `export →
+//! import` round-trips relations whose strings do not themselves look
+//! numeric. For exact round-trips of arbitrary values use
+//! [`export_typed`] / [`import_typed`], which tag each cell (`i:`, `d:`,
+//! `b:`, `s:`).
+//!
+//! **Binary** — the canonical checksummed encoding the durability layer
+//! (`warehouse::storage`) persists relations in: [`encode_relation`]
+//! produces a self-contained blob (magic, version, sorted header, tuple
+//! payload, trailing CRC-32) and [`decode_relation`] validates the
+//! checksum *before* parsing a single field, so one flipped bit anywhere
+//! in the blob is a typed [`RelalgError::Corrupt`], never a panic and
+//! never a silently different relation. [`ByteWriter`] / [`ByteReader`]
+//! are the little-endian primitives the encoding is built from; the
+//! storage layer reuses them for its own framing.
 
 use crate::attrs::AttrSet;
 use crate::error::{RelalgError, Result};
@@ -211,6 +222,340 @@ fn parse_csv(text: &str) -> Result<Vec<Vec<String>>> {
     Ok(rows)
 }
 
+// ---------------------------------------------------------------------
+// Canonical binary encoding
+// ---------------------------------------------------------------------
+
+/// Magic prefix of a binary-encoded relation blob.
+pub const REL_MAGIC: [u8; 4] = *b"DWCR";
+/// Version byte of the binary relation encoding.
+pub const REL_VERSION: u8 = 1;
+
+/// CRC-32 (IEEE 802.3 polynomial) of a byte slice. Detects any burst
+/// error up to 32 bits — in particular every single-byte corruption.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Little-endian byte serializer shared by the binary relation encoding
+/// and the storage layer's WAL/snapshot framing.
+#[derive(Clone, Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True iff nothing was written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64`, little-endian.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed (`u32`) UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends one tagged value (`0` bool, `1` int, `2` double as IEEE
+    /// bits, `3` length-prefixed string).
+    pub fn put_value(&mut self, v: &Value) {
+        match v {
+            Value::Bool(b) => {
+                self.put_u8(0);
+                self.put_u8(u8::from(*b));
+            }
+            Value::Int(i) => {
+                self.put_u8(1);
+                self.put_i64(*i);
+            }
+            Value::Double(d) => {
+                self.put_u8(2);
+                self.put_u64(d.0.to_bits());
+            }
+            Value::Str(s) => {
+                self.put_u8(3);
+                self.put_str(s);
+            }
+        }
+    }
+
+    /// Finishes the blob: appends the CRC-32 of everything written so
+    /// far and returns the buffer.
+    pub fn finish_crc(mut self) -> Vec<u8> {
+        let crc = crc32(&self.buf);
+        self.put_u32(crc);
+        self.buf
+    }
+
+    /// Returns the buffer without a checksum (for callers that frame and
+    /// checksum at a higher level).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice. Every `take_*`
+/// returns [`RelalgError::Corrupt`] on underrun — hostile lengths cannot
+/// cause panics or oversized allocations.
+#[derive(Clone, Debug)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a slice.
+    pub fn new(data: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { data, pos: 0 }
+    }
+
+    /// Current read offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// A typed corruption error anchored at the current offset.
+    pub fn corrupt(&self, detail: impl Into<String>) -> RelalgError {
+        RelalgError::Corrupt { offset: self.pos, detail: detail.into() }
+    }
+
+    /// Consumes `n` raw bytes.
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(self.corrupt(format!(
+                "need {n} byte(s), only {} remain",
+                self.remaining()
+            )));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consumes one byte.
+    pub fn take_u8(&mut self) -> Result<u8> {
+        Ok(self.take_bytes(1)?[0])
+    }
+
+    /// Consumes a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32> {
+        let b = self.take_bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Consumes a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64> {
+        let b = self.take_bytes(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Consumes a little-endian `i64`.
+    pub fn take_i64(&mut self) -> Result<i64> {
+        Ok(self.take_u64()? as i64)
+    }
+
+    /// Consumes a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String> {
+        let len = self.take_u32()? as usize;
+        if len > self.remaining() {
+            return Err(self.corrupt(format!(
+                "string length {len} exceeds {} remaining byte(s)",
+                self.remaining()
+            )));
+        }
+        let bytes = self.take_bytes(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| self.corrupt("string is not valid UTF-8"))
+    }
+
+    /// Consumes one tagged value (the [`ByteWriter::put_value`] format).
+    pub fn take_value(&mut self) -> Result<Value> {
+        match self.take_u8()? {
+            0 => match self.take_u8()? {
+                0 => Ok(Value::Bool(false)),
+                1 => Ok(Value::Bool(true)),
+                other => Err(self.corrupt(format!("bad bool byte {other}"))),
+            },
+            1 => Ok(Value::Int(self.take_i64()?)),
+            2 => Ok(Value::double(f64::from_bits(self.take_u64()?))),
+            3 => Ok(Value::str(&self.take_str()?)),
+            other => Err(self.corrupt(format!("unknown value tag {other}"))),
+        }
+    }
+
+    /// Fails unless every byte was consumed.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(self.corrupt(format!(
+                "{} trailing byte(s) after the last field",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Validates and strips the trailing CRC-32 of a checksummed blob,
+/// returning the covered body. The checksum is verified before any field
+/// is parsed.
+pub fn check_crc(data: &[u8]) -> Result<&[u8]> {
+    if data.len() < 4 {
+        return Err(RelalgError::Corrupt {
+            offset: data.len(),
+            detail: format!("blob of {} byte(s) cannot hold a checksum", data.len()),
+        });
+    }
+    let (body, tail) = data.split_at(data.len() - 4);
+    let stored = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]);
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(RelalgError::Corrupt {
+            offset: data.len() - 4,
+            detail: format!("checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"),
+        });
+    }
+    Ok(body)
+}
+
+/// Serializes a relation into the canonical checksummed binary form:
+/// magic, version, sorted attribute names, tuple count, tuples in set
+/// order, trailing CRC-32. Deterministic: equal relations encode to
+/// identical bytes.
+pub fn encode_relation(rel: &Relation) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(&REL_MAGIC);
+    w.put_u8(REL_VERSION);
+    w.put_u32(rel.attrs().len() as u32);
+    for a in rel.attrs().iter() {
+        w.put_str(a.as_str());
+    }
+    w.put_u64(rel.len() as u64);
+    for t in rel.iter() {
+        for v in t.values() {
+            w.put_value(v);
+        }
+    }
+    w.finish_crc()
+}
+
+/// Decodes an [`encode_relation`] blob. The trailing checksum is
+/// verified first, so any single corrupted byte — header, payload, or
+/// checksum itself — yields [`RelalgError::Corrupt`]; structural
+/// validation (magic, version, sorted unique attributes, exact length)
+/// backstops it.
+pub fn decode_relation(data: &[u8]) -> Result<Relation> {
+    let body = check_crc(data)?;
+    let mut r = ByteReader::new(body);
+    if r.take_bytes(4)? != REL_MAGIC {
+        return Err(RelalgError::Corrupt {
+            offset: 0,
+            detail: "bad magic: not a binary relation blob".into(),
+        });
+    }
+    let version = r.take_u8()?;
+    if version != REL_VERSION {
+        return Err(RelalgError::Corrupt {
+            offset: 4,
+            detail: format!("unsupported relation encoding version {version}"),
+        });
+    }
+    let nattrs = r.take_u32()? as usize;
+    if nattrs > r.remaining() {
+        return Err(r.corrupt(format!("attribute count {nattrs} exceeds blob size")));
+    }
+    let mut names: Vec<String> = Vec::with_capacity(nattrs);
+    for _ in 0..nattrs {
+        let name = r.take_str()?;
+        if let Some(prev) = names.last() {
+            if *prev >= name {
+                return Err(r.corrupt(format!(
+                    "attribute `{name}` out of canonical order after `{prev}`"
+                )));
+            }
+        }
+        names.push(name);
+    }
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let attrs = AttrSet::from_names(&refs);
+    let count = r.take_u64()? as usize;
+    let plausible = if nattrs == 0 { 1 } else { r.remaining() };
+    if count > plausible {
+        return Err(r.corrupt(format!("tuple count {count} exceeds blob size")));
+    }
+    let mut rel = Relation::empty(attrs);
+    for _ in 0..count {
+        let mut values = Vec::with_capacity(nattrs);
+        for _ in 0..nattrs {
+            values.push(r.take_value()?);
+        }
+        rel.insert(Tuple::new(values))?;
+    }
+    r.expect_end()?;
+    Ok(rel)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,5 +619,87 @@ mod tests {
     fn crlf_tolerated_and_final_line_without_newline() {
         let r = import_csv("a,b\r\n1,2\r\n3,4").unwrap();
         assert_eq!(r, rel! { ["a", "b"] => (1, 2), (3, 4) });
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact_and_deterministic() {
+        let r = rel! { ["item", "clerk", "n"] =>
+            ("TV set", "Mary", 3), ("PC", "John", -7), ("42", "x", 0) };
+        let bytes = encode_relation(&r);
+        assert_eq!(decode_relation(&bytes).unwrap(), r);
+        assert_eq!(encode_relation(&r), bytes, "encoding must be deterministic");
+    }
+
+    #[test]
+    fn binary_roundtrip_all_value_kinds_and_empty() {
+        let r = rel! { ["b", "d", "i", "s"] => (true, 2.5, 42, "x"), (false, -0.0, -1, "") };
+        assert_eq!(decode_relation(&encode_relation(&r)).unwrap(), r);
+        let empty = Relation::empty(AttrSet::from_names(&["a"]));
+        assert_eq!(decode_relation(&encode_relation(&empty)).unwrap(), empty);
+        let nullary = Relation::empty(AttrSet::empty());
+        assert_eq!(decode_relation(&encode_relation(&nullary)).unwrap(), nullary);
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_a_typed_error() {
+        let r = rel! { ["clerk", "item"] => ("Mary", "TV"), ("John", "PC") };
+        let bytes = encode_relation(&r);
+        for i in 0..bytes.len() {
+            for bit in [1u8, 0x80] {
+                let mut bad = bytes.clone();
+                bad[i] ^= bit;
+                match decode_relation(&bad) {
+                    Err(RelalgError::Corrupt { .. }) => {}
+                    other => panic!("byte {i} bit {bit:#x}: expected Corrupt, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_are_typed_errors() {
+        let r = rel! { ["a"] => (1,), (2,) };
+        let bytes = encode_relation(&r);
+        for len in 0..bytes.len() {
+            assert!(
+                matches!(decode_relation(&bytes[..len]), Err(RelalgError::Corrupt { .. })),
+                "prefix of {len} byte(s) must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn reader_guards_hostile_lengths() {
+        // A string length far beyond the buffer must error, not allocate.
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.take_str(), Err(RelalgError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn writer_reader_primitives_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_i64(-42);
+        w.put_str("héllo");
+        let bytes = w.finish_crc();
+        let body = check_crc(&bytes).unwrap();
+        let mut r = ByteReader::new(body);
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert_eq!(r.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.take_i64().unwrap(), -42);
+        assert_eq!(r.take_str().unwrap(), "héllo");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 }

@@ -1,0 +1,536 @@
+//! Deterministic crash-simulation filesystem for durability testing.
+//!
+//! [`SimFs`] is an in-memory filesystem over flat file names that models
+//! the crash behavior real storage stacks exhibit:
+//!
+//! * writes land in a volatile page cache ([`SimFs::append`],
+//!   [`SimFs::write_all`]) and become durable only on [`SimFs::sync`];
+//! * [`SimFs::rename`] and [`SimFs::remove`] are atomic metadata
+//!   operations (the journaled-filesystem assumption);
+//! * a crash ([`CrashPlan::crash_at_op`]) kills the simulated process at
+//!   a chosen **mutating operation**: the surviving on-disk state keeps
+//!   every synced byte, tears each unsynced tail at a seed-chosen
+//!   length, and resolves in-flight renames/removes by a seeded coin.
+//!
+//! Every mutating operation is counted, so a test can run a scenario
+//! once cleanly, read [`SimFs::ops`], and then replay it with a crash at
+//! *every* operation index — the kill-at-every-IO-boundary sweep the
+//! durability layer is verified with. After a crash every operation
+//! returns [`SimError::Crashed`]; the durable view is frozen and read
+//! back with [`SimFs::survivors`], typically to seed a fresh `SimFs` via
+//! [`SimFs::from_files`] for the recovery run.
+//!
+//! The whole simulation is a deterministic function of the
+//! [`CrashPlan`] (pure data, [`Shrink`]able) and the operation sequence;
+//! there is no wall clock, no OS entropy, and no threading.
+
+use crate::rng::SplitMix64;
+use crate::shrink::Shrink;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A deterministic fault-injection plan for one [`SimFs`] instance.
+///
+/// Pure data: replaying the same plan against the same operation
+/// sequence reproduces the same surviving state bit-for-bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Index of the mutating operation at which the process dies, or
+    /// `None` for a clean run. Index 0 is the first mutating operation;
+    /// the dying operation applies *partially* (torn write, coin-flipped
+    /// rename/remove, lost sync).
+    pub crash_at_op: Option<u64>,
+    /// Seed for the crash-time draws: torn-tail lengths per file and
+    /// the applied/lost outcome of an in-flight rename or remove.
+    pub torn_seed: u64,
+}
+
+impl CrashPlan {
+    /// A plan that never crashes.
+    pub fn none() -> CrashPlan {
+        CrashPlan { crash_at_op: None, torn_seed: 0 }
+    }
+
+    /// A plan that crashes at mutating operation `op`.
+    pub fn at(op: u64, torn_seed: u64) -> CrashPlan {
+        CrashPlan { crash_at_op: Some(op), torn_seed }
+    }
+}
+
+impl Shrink for CrashPlan {
+    fn shrink(&self) -> Vec<CrashPlan> {
+        let mut out = Vec::new();
+        match self.crash_at_op {
+            None => {
+                if self.torn_seed != 0 {
+                    out.push(CrashPlan::none());
+                }
+            }
+            Some(op) => {
+                out.push(CrashPlan::none());
+                for smaller in op.shrink() {
+                    out.push(CrashPlan { crash_at_op: Some(smaller), torn_seed: self.torn_seed });
+                }
+                if self.torn_seed != 0 {
+                    out.push(CrashPlan { crash_at_op: Some(op), torn_seed: 0 });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Failures of the simulated filesystem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The simulated process has crashed; no operation can succeed.
+    Crashed,
+    /// The named file does not exist.
+    NotFound {
+        /// The missing file's name.
+        path: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Crashed => write!(f, "simulated process crashed"),
+            SimError::NotFound { path } => write!(f, "simulated file `{path}` not found"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// One simulated file: volatile contents plus the durable prefix/copy.
+#[derive(Clone, Debug, Default)]
+struct SimFile {
+    /// Current contents as the process sees them (page cache included).
+    data: Vec<u8>,
+    /// Contents guaranteed on disk as of the last sync (or creation via
+    /// [`SimFs::from_files`]).
+    durable: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct SimInner {
+    files: BTreeMap<String, SimFile>,
+    ops: u64,
+    plan: CrashPlan,
+    crashed: bool,
+    /// The frozen durable view, computed at crash time.
+    survivors: Option<BTreeMap<String, Vec<u8>>>,
+}
+
+/// A cloneable handle to one simulated filesystem (handles share state,
+/// like file descriptors into one disk).
+#[derive(Clone, Debug)]
+pub struct SimFs {
+    inner: Rc<RefCell<SimInner>>,
+}
+
+enum MutOp<'a> {
+    Append { path: &'a str, bytes: &'a [u8] },
+    WriteAll { path: &'a str, bytes: &'a [u8] },
+    Sync { path: &'a str },
+    Rename { from: &'a str, to: &'a str },
+    Remove { path: &'a str },
+}
+
+impl SimFs {
+    /// An empty filesystem governed by `plan`.
+    pub fn new(plan: CrashPlan) -> SimFs {
+        SimFs {
+            inner: Rc::new(RefCell::new(SimInner {
+                files: BTreeMap::new(),
+                ops: 0,
+                plan,
+                crashed: false,
+                survivors: None,
+            })),
+        }
+    }
+
+    /// A filesystem pre-populated with fully durable files and no crash
+    /// plan — the "disk after reboot" a recovery run opens, typically
+    /// seeded from [`SimFs::survivors`] of a crashed instance.
+    pub fn from_files(files: BTreeMap<String, Vec<u8>>) -> SimFs {
+        SimFs::from_files_with_plan(files, CrashPlan::none())
+    }
+
+    /// Like [`SimFs::from_files`], but the rebooted filesystem is itself
+    /// governed by a crash plan — for nesting faults, e.g. killing a
+    /// recovery run that is already working off a crashed disk.
+    pub fn from_files_with_plan(files: BTreeMap<String, Vec<u8>>, plan: CrashPlan) -> SimFs {
+        let fs = SimFs::new(plan);
+        {
+            let mut inner = fs.inner.borrow_mut();
+            for (name, bytes) in files {
+                inner
+                    .files
+                    .insert(name, SimFile { data: bytes.clone(), durable: bytes });
+            }
+        }
+        fs
+    }
+
+    /// Completed mutating operations so far (the sweep bound: crash
+    /// indices `0..ops()` of a clean run cover every IO boundary).
+    pub fn ops(&self) -> u64 {
+        self.inner.borrow().ops
+    }
+
+    /// True once the plan's crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.inner.borrow().crashed
+    }
+
+    /// The durable view: after a crash, the frozen surviving state; on a
+    /// live filesystem, the current contents (a clean shutdown syncs
+    /// everything by definition).
+    pub fn survivors(&self) -> BTreeMap<String, Vec<u8>> {
+        let inner = self.inner.borrow();
+        match &inner.survivors {
+            Some(s) => s.clone(),
+            None => inner
+                .files
+                .iter()
+                .map(|(k, f)| (k.clone(), f.data.clone()))
+                .collect(),
+        }
+    }
+
+    /// Reads a whole file.
+    pub fn read(&self, path: &str) -> Result<Vec<u8>, SimError> {
+        let inner = self.inner.borrow();
+        if inner.crashed {
+            return Err(SimError::Crashed);
+        }
+        inner
+            .files
+            .get(path)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| SimError::NotFound { path: path.to_owned() })
+    }
+
+    /// True iff the file exists (false after a crash).
+    pub fn exists(&self, path: &str) -> bool {
+        let inner = self.inner.borrow();
+        !inner.crashed && inner.files.contains_key(path)
+    }
+
+    /// All file names, sorted.
+    pub fn list(&self) -> Vec<String> {
+        let inner = self.inner.borrow();
+        if inner.crashed {
+            return Vec::new();
+        }
+        inner.files.keys().cloned().collect()
+    }
+
+    /// Appends bytes to a file, creating it if missing. The appended
+    /// tail is volatile until [`SimFs::sync`].
+    pub fn append(&self, path: &str, bytes: &[u8]) -> Result<(), SimError> {
+        self.mutate(MutOp::Append { path, bytes })
+    }
+
+    /// Replaces a file's contents wholesale (creating it if missing).
+    /// Deliberately **non-atomic** under crashes: once the overwrite
+    /// starts, the survivor may be the old contents, a torn prefix of
+    /// the new, or empty — which is exactly why durable code must write
+    /// a temp file, sync it, and rename.
+    pub fn write_all(&self, path: &str, bytes: &[u8]) -> Result<(), SimError> {
+        self.mutate(MutOp::WriteAll { path, bytes })
+    }
+
+    /// Makes a file's current contents durable (fsync).
+    pub fn sync(&self, path: &str) -> Result<(), SimError> {
+        self.mutate(MutOp::Sync { path })
+    }
+
+    /// Atomically renames a file over any existing target. Durable once
+    /// it returns; a crash *at* the rename applies it or not by a
+    /// seeded coin.
+    pub fn rename(&self, from: &str, to: &str) -> Result<(), SimError> {
+        self.mutate(MutOp::Rename { from, to })
+    }
+
+    /// Removes a file. Crash-atomic like [`SimFs::rename`].
+    pub fn remove(&self, path: &str) -> Result<(), SimError> {
+        self.mutate(MutOp::Remove { path })
+    }
+
+    /// Test-corruption helper: flips one bit in place (contents *and*
+    /// durable copy — modelling media corruption, not a torn write).
+    /// Not counted as a mutating operation. Returns `false` if the file
+    /// is missing or shorter than `byte`.
+    pub fn flip_bit(&self, path: &str, byte: usize, bit: u8) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        match inner.files.get_mut(path) {
+            Some(f) if byte < f.data.len() => {
+                let mask = 1u8 << (bit % 8);
+                f.data[byte] ^= mask;
+                if byte < f.durable.len() {
+                    f.durable[byte] ^= mask;
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Test-corruption helper: truncates a file in place (contents and
+    /// durable copy), simulating a torn tail found on disk. Not counted
+    /// as a mutating operation. Returns `false` if the file is missing.
+    pub fn truncate_to(&self, path: &str, len: usize) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        match inner.files.get_mut(path) {
+            Some(f) => {
+                f.data.truncate(len);
+                f.durable.truncate(len);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// File length in bytes, if it exists.
+    pub fn len_of(&self, path: &str) -> Option<usize> {
+        self.inner.borrow().files.get(path).map(|f| f.data.len())
+    }
+
+    fn mutate(&self, op: MutOp<'_>) -> Result<(), SimError> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.crashed {
+            return Err(SimError::Crashed);
+        }
+        if inner.plan.crash_at_op == Some(inner.ops) {
+            let seed = inner.plan.torn_seed;
+            let mut rng = SplitMix64::new(seed);
+            // The dying operation lands partially before the power cut.
+            match op {
+                MutOp::Append { path, bytes } => {
+                    inner.files.entry(path.to_owned()).or_default().data.extend_from_slice(bytes);
+                }
+                MutOp::WriteAll { path, bytes } => {
+                    inner.files.entry(path.to_owned()).or_default().data = bytes.to_vec();
+                }
+                // The crash beat the fsync: nothing becomes durable.
+                MutOp::Sync { .. } => {}
+                MutOp::Rename { from, to } => {
+                    if rng.bool() {
+                        if let Some(f) = inner.files.remove(from) {
+                            inner.files.insert(to.to_owned(), f);
+                        }
+                    }
+                }
+                MutOp::Remove { path } => {
+                    if rng.bool() {
+                        inner.files.remove(path);
+                    }
+                }
+            }
+            // Freeze the durable view: synced bytes survive, every
+            // unsynced tail tears at a seeded length, rewritten files
+            // resolve to old-durable or torn-new by a seeded coin.
+            let mut survivors = BTreeMap::new();
+            for (name, f) in &inner.files {
+                let surviving = if f.data.starts_with(&f.durable) {
+                    let tail = &f.data[f.durable.len()..];
+                    let keep = rng.index(tail.len() + 1);
+                    let mut v = f.durable.clone();
+                    v.extend_from_slice(&tail[..keep]);
+                    v
+                } else if rng.bool() {
+                    f.durable.clone()
+                } else {
+                    let keep = rng.index(f.data.len() + 1);
+                    f.data[..keep].to_vec()
+                };
+                survivors.insert(name.clone(), surviving);
+            }
+            inner.survivors = Some(survivors);
+            inner.crashed = true;
+            return Err(SimError::Crashed);
+        }
+        // The operation completes normally.
+        match op {
+            MutOp::Append { path, bytes } => {
+                inner.files.entry(path.to_owned()).or_default().data.extend_from_slice(bytes);
+            }
+            MutOp::WriteAll { path, bytes } => {
+                inner.files.entry(path.to_owned()).or_default().data = bytes.to_vec();
+            }
+            MutOp::Sync { path } => {
+                let f = inner
+                    .files
+                    .get_mut(path)
+                    .ok_or_else(|| SimError::NotFound { path: path.to_owned() })?;
+                f.durable = f.data.clone();
+            }
+            MutOp::Rename { from, to } => {
+                let f = inner
+                    .files
+                    .remove(from)
+                    .ok_or_else(|| SimError::NotFound { path: from.to_owned() })?;
+                inner.files.insert(to.to_owned(), f);
+            }
+            MutOp::Remove { path } => {
+                if inner.files.remove(path).is_none() {
+                    return Err(SimError::NotFound { path: path.to_owned() });
+                }
+            }
+        }
+        inner.ops += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reboot(fs: &SimFs) -> SimFs {
+        SimFs::from_files(fs.survivors())
+    }
+
+    #[test]
+    fn clean_runs_count_ops_and_keep_everything() {
+        let fs = SimFs::new(CrashPlan::none());
+        fs.append("a.log", b"one").unwrap();
+        fs.sync("a.log").unwrap();
+        fs.append("a.log", b"two").unwrap();
+        assert_eq!(fs.ops(), 3);
+        assert!(!fs.crashed());
+        assert_eq!(fs.read("a.log").unwrap(), b"onetwo");
+        assert_eq!(fs.survivors()["a.log"], b"onetwo");
+    }
+
+    #[test]
+    fn unsynced_tails_tear_synced_bytes_survive() {
+        // Crash at the second append: the synced prefix must survive in
+        // full, the unsynced tail tears to some prefix.
+        for seed in 0..32 {
+            let fs = SimFs::new(CrashPlan::at(2, seed));
+            fs.append("a.log", b"SYNCED").unwrap();
+            fs.sync("a.log").unwrap();
+            let err = fs.append("a.log", b"tail").unwrap_err();
+            assert_eq!(err, SimError::Crashed);
+            assert!(fs.crashed());
+            let s = &fs.survivors()["a.log"];
+            assert!(s.starts_with(b"SYNCED"), "synced bytes lost: {s:?}");
+            assert!(s.len() <= b"SYNCEDtail".len());
+            assert!(b"SYNCEDtail".starts_with(&s[..]));
+        }
+    }
+
+    #[test]
+    fn overwrite_without_sync_can_lose_old_contents() {
+        let mut saw_old = false;
+        let mut saw_new_prefix = false;
+        for seed in 0..64 {
+            let fs = SimFs::new(CrashPlan::at(2, seed));
+            fs.write_all("cfg", b"OLD").unwrap();
+            fs.sync("cfg").unwrap();
+            fs.write_all("cfg", b"NEWNEW").unwrap_err();
+            let s = fs.survivors()["cfg"].clone();
+            if s == b"OLD" {
+                saw_old = true;
+            } else {
+                assert!(b"NEWNEW".starts_with(&s[..]), "{s:?}");
+                saw_new_prefix = true;
+            }
+        }
+        assert!(saw_old && saw_new_prefix, "both outcomes must be reachable");
+    }
+
+    #[test]
+    fn rename_is_atomic_and_coin_flipped_at_the_crash() {
+        let mut saw_applied = false;
+        let mut saw_lost = false;
+        for seed in 0..32 {
+            let fs = SimFs::new(CrashPlan::at(2, seed));
+            fs.write_all("f.tmp", b"payload").unwrap();
+            fs.sync("f.tmp").unwrap();
+            fs.rename("f.tmp", "f").unwrap_err();
+            let s = fs.survivors();
+            if let Some(v) = s.get("f") {
+                assert_eq!(v, b"payload"); // atomic: never torn
+                assert!(!s.contains_key("f.tmp"));
+                saw_applied = true;
+            } else {
+                assert_eq!(s.get("f.tmp").map(Vec::as_slice), Some(&b"payload"[..]));
+                saw_lost = true;
+            }
+        }
+        assert!(saw_applied && saw_lost);
+    }
+
+    #[test]
+    fn crashes_are_deterministic_in_the_plan() {
+        let run = || {
+            let fs = SimFs::new(CrashPlan::at(4, 99));
+            fs.append("w", b"aaaa").unwrap();
+            fs.sync("w").unwrap();
+            fs.append("w", b"bbbb").unwrap();
+            fs.append("w", b"cccc").unwrap();
+            fs.append("w", b"dddd").unwrap_err();
+            fs.survivors()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn after_crash_everything_fails_and_reboot_restores_survivors() {
+        let fs = SimFs::new(CrashPlan::at(1, 7));
+        fs.append("x", b"abc").unwrap();
+        fs.sync("x").unwrap_err();
+        assert_eq!(fs.read("x"), Err(SimError::Crashed));
+        assert_eq!(fs.append("x", b"z"), Err(SimError::Crashed));
+        assert!(!fs.exists("x"));
+        assert!(fs.list().is_empty());
+        let fresh = reboot(&fs);
+        assert!(!fresh.crashed());
+        // Whatever survived is fully durable on the rebooted disk.
+        let s = fresh.survivors();
+        assert_eq!(s, fs.survivors());
+    }
+
+    #[test]
+    fn corruption_helpers_mutate_in_place() {
+        let fs = SimFs::new(CrashPlan::none());
+        fs.write_all("b", b"\x00\x00\x00").unwrap();
+        fs.sync("b").unwrap();
+        assert!(fs.flip_bit("b", 1, 0));
+        assert_eq!(fs.read("b").unwrap(), b"\x00\x01\x00");
+        assert!(fs.truncate_to("b", 1));
+        assert_eq!(fs.read("b").unwrap(), b"\x00");
+        assert!(!fs.flip_bit("b", 9, 0));
+        assert!(!fs.flip_bit("missing", 0, 0));
+        assert!(!fs.truncate_to("missing", 0));
+        // Helpers are not mutating operations.
+        assert_eq!(fs.ops(), 2);
+    }
+
+    #[test]
+    fn missing_files_are_typed_errors() {
+        let fs = SimFs::new(CrashPlan::none());
+        assert!(matches!(fs.read("nope"), Err(SimError::NotFound { .. })));
+        assert!(matches!(fs.sync("nope"), Err(SimError::NotFound { .. })));
+        assert!(matches!(fs.rename("nope", "x"), Err(SimError::NotFound { .. })));
+        assert!(matches!(fs.remove("nope"), Err(SimError::NotFound { .. })));
+    }
+
+    #[test]
+    fn crash_plans_shrink_toward_clean() {
+        let plan = CrashPlan::at(9, 1234);
+        let candidates = plan.shrink();
+        assert!(candidates.contains(&CrashPlan::none()));
+        assert!(candidates.iter().any(|c| c.crash_at_op == Some(4)));
+        assert!(candidates.contains(&CrashPlan::at(9, 0)));
+        assert!(CrashPlan::none().shrink().is_empty());
+    }
+}

@@ -7,7 +7,7 @@
 //! plain `std`: no registry crates, no build scripts, no feature flags —
 //! so `cargo build --release && cargo test -q` works fully offline.
 //!
-//! Four subsystems:
+//! Five subsystems:
 //!
 //! * [`rng`] — the [`rng::SplitMix64`] PRNG plus value generators
 //!   (bounded ints, indices, Bernoulli draws, identifiers, wild strings,
@@ -19,6 +19,11 @@
 //! * [`fault`] — a deterministic chaos harness ([`fault::FaultPlan`])
 //!   that drops, duplicates, reorders and corrupts a message stream,
 //!   replayable from the same seed and shrinkable toward the clean plan.
+//! * [`crash`] — a deterministic crash-simulation filesystem
+//!   ([`crash::SimFs`]) for durability testing: volatile page cache,
+//!   torn unsynced tails, coin-flipped in-flight renames, and a counted
+//!   operation stream enabling kill-at-every-IO-boundary sweeps, all a
+//!   pure function of a shrinkable [`crash::CrashPlan`].
 //! * [`bench`] — a microbenchmark timer ([`bench::Bench`]) with
 //!   calibration, warmup and median-of-N sampling, reporting one JSON
 //!   line per benchmark.
@@ -55,12 +60,14 @@
 //! the one seed).
 
 pub mod bench;
+pub mod crash;
 pub mod fault;
 pub mod prop;
 pub mod rng;
 pub mod shrink;
 
 pub use bench::{Bench, Stats};
+pub use crash::{CrashPlan, SimError, SimFs};
 pub use fault::{Delivery, FaultPlan};
 pub use prop::{PropResult, Runner};
 pub use rng::SplitMix64;

@@ -86,6 +86,14 @@ pub enum WarehouseError {
         /// Rendered diagnostics, one per line, most severe first.
         diagnostics: Vec<String>,
     },
+    /// An error restored from a durable snapshot (see
+    /// [`crate::storage`]). Snapshots persist quarantine errors in
+    /// rendered form, so the original typed variant is no longer
+    /// recoverable — only its message survives the round trip.
+    Restored {
+        /// The rendered message of the original error.
+        message: String,
+    },
 }
 
 impl fmt::Display for WarehouseError {
@@ -136,6 +144,7 @@ impl fmt::Display for WarehouseError {
                 }
                 Ok(())
             }
+            WarehouseError::Restored { message } => write!(f, "{message}"),
         }
     }
 }

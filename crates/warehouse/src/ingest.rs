@@ -105,11 +105,44 @@ pub enum IngestOutcome {
 
 /// Per-source ingestion cursor.
 #[derive(Clone, Debug, Default)]
-struct Cursor {
-    epoch: u64,
-    next_seq: u64,
+pub(crate) struct Cursor {
+    pub(crate) epoch: u64,
+    pub(crate) next_seq: u64,
     /// Out-of-order reports parked by sequence number.
-    pending: BTreeMap<u64, Update>,
+    pub(crate) pending: BTreeMap<u64, Update>,
+}
+
+/// One rejected envelope with the typed error that rejected it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuarantineEntry {
+    /// The envelope as it arrived from the channel.
+    pub envelope: Envelope,
+    /// Why it was rejected. After a snapshot round trip this is the
+    /// rendered-form [`WarehouseError::Restored`] variant.
+    pub error: WarehouseError,
+}
+
+/// A quarantined envelope an operator discarded, with the stated reason.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiscardedEntry {
+    /// The discarded quarantine entry.
+    pub entry: QuarantineEntry,
+    /// The operator-supplied reason for discarding it.
+    pub reason: String,
+}
+
+/// A read-only view of one source's sequencing cursor — what a durable
+/// snapshot persists and what an operator inspects after recovery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SequencingStatus {
+    /// The source the cursor tracks.
+    pub source: SourceId,
+    /// The epoch the cursor is at.
+    pub epoch: u64,
+    /// The next in-order sequence number the cursor waits for.
+    pub next_seq: u64,
+    /// Sequence numbers parked out of order in the reorder window.
+    pub parked: Vec<u64>,
 }
 
 /// An [`Integrator`] hardened against channel faults; see the module
@@ -118,7 +151,8 @@ struct Cursor {
 pub struct IngestingIntegrator {
     integ: Integrator,
     cursors: BTreeMap<SourceId, Cursor>,
-    quarantine: Vec<(Envelope, WarehouseError)>,
+    quarantine: Vec<QuarantineEntry>,
+    discarded: Vec<DiscardedEntry>,
     config: IngestConfig,
     stats: IngestStats,
 }
@@ -135,9 +169,30 @@ impl IngestingIntegrator {
             integ,
             cursors: BTreeMap::new(),
             quarantine: Vec::new(),
+            discarded: Vec::new(),
             config,
             stats: IngestStats::default(),
         })
+    }
+
+    /// Rebuilds an ingestor from snapshot state (see [`crate::storage`]):
+    /// every field is restored verbatim so a WAL replay continues exactly
+    /// where the snapshotted process stopped.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn restore(
+        integ: Integrator,
+        cursors: BTreeMap<SourceId, Cursor>,
+        quarantine: Vec<QuarantineEntry>,
+        discarded: Vec<DiscardedEntry>,
+        config: IngestConfig,
+        stats: IngestStats,
+    ) -> IngestingIntegrator {
+        IngestingIntegrator { integ, cursors, quarantine, discarded, config, stats }
+    }
+
+    /// The raw per-source cursors — read by the snapshot writer.
+    pub(crate) fn cursors(&self) -> &BTreeMap<SourceId, Cursor> {
+        &self.cursors
     }
 
     /// Offers one envelope from the channel. Infallible at the call
@@ -275,7 +330,8 @@ impl IngestingIntegrator {
 
     fn reject(&mut self, envelope: &Envelope, error: WarehouseError) -> IngestOutcome {
         self.stats.quarantined += 1;
-        self.quarantine.push((envelope.clone(), error.clone()));
+        self.quarantine
+            .push(QuarantineEntry { envelope: envelope.clone(), error: error.clone() });
         IngestOutcome::Quarantined(error)
     }
 
@@ -404,8 +460,62 @@ impl IngestingIntegrator {
 
     /// The quarantine log: every rejected envelope with its typed error,
     /// oldest first.
-    pub fn quarantine(&self) -> &[(Envelope, WarehouseError)] {
+    pub fn quarantine(&self) -> &[QuarantineEntry] {
         &self.quarantine
+    }
+
+    /// Re-offers the quarantined envelope at `index` through the normal
+    /// ingestion path and removes it from quarantine — the operator move
+    /// after fixing whatever rejected it (e.g. a source that re-keyed a
+    /// relation, or a gap recovery that advanced the cursor past a
+    /// transiently-failing report). Returns `None` when the index is out
+    /// of range. Note a re-offer can land straight back in quarantine
+    /// (as a *new* entry) if the report is still bad.
+    pub fn requeue_quarantined(&mut self, index: usize) -> Option<IngestOutcome> {
+        if index >= self.quarantine.len() {
+            return None;
+        }
+        let entry = self.quarantine.remove(index);
+        // The original rejection already counted this envelope; the
+        // requeue is a fresh channel offer and counts again.
+        Some(self.offer(&entry.envelope))
+    }
+
+    /// Permanently discards the quarantined envelope at `index`,
+    /// recording the operator's reason in the discard log. Returns the
+    /// discarded entry, or `None` when the index is out of range.
+    pub fn discard_quarantined(
+        &mut self,
+        index: usize,
+        reason: impl Into<String>,
+    ) -> Option<&DiscardedEntry> {
+        if index >= self.quarantine.len() {
+            return None;
+        }
+        let entry = self.quarantine.remove(index);
+        self.discarded.push(DiscardedEntry { entry, reason: reason.into() });
+        self.discarded.last()
+    }
+
+    /// The discard log: every quarantined envelope an operator dropped,
+    /// with the stated reason, oldest first.
+    pub fn discarded(&self) -> &[DiscardedEntry] {
+        &self.discarded
+    }
+
+    /// Read-only sequencing status of every source the ingestor has
+    /// heard from — the dedup/reorder windows a durable snapshot must
+    /// capture for recovery to stay idempotent.
+    pub fn sequencing(&self) -> Vec<SequencingStatus> {
+        self.cursors
+            .iter()
+            .map(|(source, c)| SequencingStatus {
+                source: source.clone(),
+                epoch: c.epoch,
+                next_seq: c.next_seq,
+                parked: c.pending.keys().copied().collect(),
+            })
+            .collect()
     }
 
     /// The configuration in effect.
@@ -551,6 +661,62 @@ mod tests {
         // The pristine retransmission still fills seq 0.
         assert_eq!(ing.offer(&good), IngestOutcome::Applied(1));
         assert_eq!(ing.state(), &oracle(&src, &ing));
+    }
+
+    #[test]
+    fn quarantine_drain_requeue_and_discard() {
+        let (mut src, mut ing) = setup(IngestConfig::default());
+        let good0 = sale_insert(&mut src, "Mac", "Paula");
+        let good1 = sale_insert(&mut src, "Modem", "John");
+        // Two corrupt copies: a ghost relation and a header mismatch.
+        let mut ghost = good0.clone();
+        ghost.report = Update::inserting("Ghost", rel! { ["x"] => (1,) });
+        let mut narrow = good1.clone();
+        narrow.report = Update::inserting("Sale", rel! { ["item"] => ("Mac",) });
+        assert!(matches!(ing.offer(&ghost), IngestOutcome::Quarantined(_)));
+        assert!(matches!(ing.offer(&narrow), IngestOutcome::Quarantined(_)));
+        assert_eq!(ing.quarantine().len(), 2);
+        assert_eq!(ing.quarantine()[0].envelope, ghost);
+        assert!(matches!(
+            ing.quarantine()[0].error,
+            WarehouseError::UpdateOutsideSources(_)
+        ));
+
+        // Out-of-range indices are None, not panics.
+        assert_eq!(ing.requeue_quarantined(5), None);
+        assert!(ing.discard_quarantined(5, "nope").is_none());
+
+        // Discard the ghost with a reason; it moves to the discard log.
+        let d = ing.discard_quarantined(0, "relation does not exist").unwrap();
+        assert_eq!(d.reason, "relation does not exist");
+        assert_eq!(ing.quarantine().len(), 1);
+        assert_eq!(ing.discarded().len(), 1);
+        assert_eq!(ing.discarded()[0].entry.envelope, ghost);
+
+        // Requeueing the still-bad envelope re-quarantines it as a new
+        // entry (the quarantine length is unchanged: one out, one in).
+        let outcome = ing.requeue_quarantined(0).unwrap();
+        assert!(matches!(outcome, IngestOutcome::Quarantined(_)));
+        assert_eq!(ing.quarantine().len(), 1);
+
+        // The pristine retransmissions still apply: no sequence was
+        // consumed by any of the above.
+        assert_eq!(ing.offer(&good0), IngestOutcome::Applied(1));
+        assert_eq!(ing.offer(&good1), IngestOutcome::Applied(1));
+        assert_eq!(ing.state(), &oracle(&src, &ing));
+
+        // Requeueing a now-valid duplicate drains it from quarantine.
+        let outcome = ing.requeue_quarantined(0).unwrap();
+        assert!(matches!(
+            outcome,
+            IngestOutcome::Duplicate | IngestOutcome::Quarantined(_)
+        ));
+        // Sequencing inspection sees the drained cursor.
+        let seq = ing.sequencing();
+        assert_eq!(seq.len(), 1);
+        assert_eq!(seq[0].source, *src.id());
+        assert_eq!(seq[0].next_seq, 2);
+        assert!(seq[0].parked.is_empty());
     }
 
     #[test]

@@ -208,6 +208,47 @@ impl Integrator {
         })
     }
 
+    /// Rebuilds an integrator around an already-materialized warehouse
+    /// state — the restore half of [`crate::storage`]'s snapshot cycle.
+    /// No source is consulted: inverse mirrors (when configured) are
+    /// re-derived from the state itself, exactly as
+    /// [`Integrator::force_state`] does. The state is *trusted* here;
+    /// recovery cross-checks it separately before serving.
+    pub fn from_state(
+        aug: AugmentedWarehouse,
+        state: DbState,
+        config: IntegratorConfig,
+    ) -> Result<Integrator> {
+        let mirrors = if config.cache_inverses {
+            let mut m = DbState::new();
+            for (base, inv) in aug.inverse() {
+                m.insert_relation(*base, inv.eval(&state)?);
+            }
+            Some(m)
+        } else {
+            None
+        };
+        Ok(Integrator {
+            aug,
+            warehouse: state,
+            plans: BTreeMap::new(),
+            stats: IntegratorStats::default(),
+            mirrors,
+        })
+    }
+
+    /// Overwrites the counters — used by snapshot restore so a replayed
+    /// prefix reproduces the full run's statistics exactly.
+    pub(crate) fn restore_stats(&mut self, stats: IntegratorStats) {
+        self.stats = stats;
+    }
+
+    /// The effective tuning (reconstructed from structure: mirrors are
+    /// present iff inverse caching is on).
+    pub fn config(&self) -> IntegratorConfig {
+        IntegratorConfig { cache_inverses: self.mirrors.is_some() }
+    }
+
     /// The warehouse definition.
     pub fn warehouse(&self) -> &AugmentedWarehouse {
         &self.aug

@@ -28,6 +28,11 @@
 //! * [`ingest`] — the fault-tolerant receiving end: idempotent dedup,
 //!   bounded reordering, typed quarantine, and source-free gap recovery
 //!   through the `W ∘ u ∘ W⁻¹` reconstruction fallback,
+//! * [`storage`] — crash-consistent durability: a checksummed
+//!   write-ahead log of applied envelopes, atomic snapshots of the full
+//!   warehouse image (views, complements, sequencing cursors,
+//!   quarantine, counters), and `Recovery::open` replaying the WAL
+//!   through the idempotent ingestion path,
 //! * [`baselines`] — the comparison points: full recomputation with
 //!   source access, and maintenance expressions evaluated against the
 //!   sources (the approach the paper contrasts with),
@@ -78,10 +83,18 @@ pub mod integrator;
 pub mod maintain;
 pub mod rewrite;
 pub mod spec;
+pub mod storage;
 #[cfg(test)]
 pub(crate) mod testutil;
 
 pub use channel::{Envelope, SequencedSource, SourceId};
 pub use error::{Result, WarehouseError};
-pub use ingest::{IngestConfig, IngestOutcome, IngestStats, IngestingIntegrator};
+pub use ingest::{
+    DiscardedEntry, IngestConfig, IngestOutcome, IngestStats, IngestingIntegrator,
+    QuarantineEntry, SequencingStatus,
+};
 pub use spec::{AugmentedWarehouse, WarehouseSpec};
+pub use storage::{
+    DurabilityConfig, DurableWarehouse, FsMedium, MediumError, Recovery, RecoveryReport,
+    StorageError, StorageMedium, StorageStats,
+};

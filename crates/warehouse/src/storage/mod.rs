@@ -1,0 +1,765 @@
+//! Crash-consistent durability: WAL + snapshot + recovery.
+//!
+//! In-memory, `W = V ∪ C` is self-maintainable (Theorem 4.1) — but one
+//! process crash destroys exactly the complement and sequencing state
+//! that update-independence depends on, forcing the source-requerying
+//! path the paper exists to avoid. This module makes the warehouse
+//! crash-consistent with three pieces:
+//!
+//! 1. **Write-ahead log** ([`wal`]) — every applied report envelope and
+//!    every log-replay recovery is appended as a length-prefixed,
+//!    CRC-32-checksummed frame *after* it is applied in memory (a crash
+//!    is process death, so in-memory effects die with the log gap). A
+//!    torn tail — the unsynced suffix a crash leaves behind — is
+//!    detected structurally and truncated; a checksum mismatch inside a
+//!    complete frame is a typed [`StorageError::WalCorruptRecord`].
+//! 2. **Snapshots** ([`snapshot`]) — the full warehouse image (view and
+//!    complement relations in the canonical binary encoding of
+//!    [`dwc_relalg::io`], plus per-source sequencing cursors, parked
+//!    reports, quarantine, and all counters) written atomically:
+//!    temp file, fsync, rename. A `MANIFEST` (same discipline) binds
+//!    each generation's snapshot to its WAL segment; the manifest
+//!    rename is the commit point of a generation.
+//! 3. **Recovery** ([`Recovery::open`]) — restores the newest intact
+//!    snapshot (falling back a generation when one is corrupt), replays
+//!    every newer WAL segment through the idempotent
+//!    [`IngestingIntegrator`] path, cross-checks the result against the
+//!    `W ∘ W⁻¹` reconstruction invariant, and only then serves — after
+//!    rolling a *fresh* generation so a torn segment is never appended
+//!    to.
+//!
+//! All IO goes through the [`StorageMedium`] trait. [`FsMedium`] is the
+//! production implementation (and the only place in the workspace
+//! allowed to write through `std::fs` — lint `DWC-S504`); the crash
+//! property suites drive the same code over `dwc_testkit::crash::SimFs`
+//! and kill the process model at every IO boundary.
+//!
+//! Every failure is a typed [`StorageError`] with a stable `DWC-SNNN`
+//! code (see [`StorageError::code`]); nothing in this module panics on
+//! bad bytes.
+
+pub mod snapshot;
+pub mod wal;
+
+use crate::error::WarehouseError;
+use crate::ingest::{
+    DiscardedEntry, IngestOutcome, IngestingIntegrator, QuarantineEntry,
+};
+use crate::integrator::{Integrator, IntegratorConfig};
+use crate::spec::AugmentedWarehouse;
+use crate::channel::{Envelope, SourceId};
+use snapshot::{ManifestEntry, WarehouseImage, MANIFEST};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use wal::WalRecord;
+
+/// One failed operation of a [`StorageMedium`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MediumError {
+    /// The operation that failed (`read`, `append`, `sync`, …).
+    pub op: &'static str,
+    /// The file the operation targeted.
+    pub path: String,
+    /// The underlying failure, rendered.
+    pub detail: String,
+}
+
+impl fmt::Display for MediumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "storage {} of `{}` failed: {}", self.op, self.path, self.detail)
+    }
+}
+
+/// The IO surface the durability layer runs on: a flat namespace of
+/// files with explicit durability ([`StorageMedium::sync`]) and atomic
+/// [`StorageMedium::rename`]. Production uses [`FsMedium`]; the crash
+/// suites adapt `dwc_testkit::crash::SimFs`.
+pub trait StorageMedium {
+    /// Reads a whole file.
+    fn read(&self, path: &str) -> Result<Vec<u8>, MediumError>;
+    /// Replaces a file's contents (creating it). **Not** crash-atomic:
+    /// durable code must write a temp name, sync, and rename.
+    fn write_all(&self, path: &str, bytes: &[u8]) -> Result<(), MediumError>;
+    /// Appends bytes to a file (creating it).
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<(), MediumError>;
+    /// Forces the file's current contents to stable storage (fsync).
+    fn sync(&self, path: &str) -> Result<(), MediumError>;
+    /// Atomically renames `from` over any existing `to`.
+    fn rename(&self, from: &str, to: &str) -> Result<(), MediumError>;
+    /// Removes a file.
+    fn remove(&self, path: &str) -> Result<(), MediumError>;
+    /// All file names, sorted.
+    fn list(&self) -> Result<Vec<String>, MediumError>;
+    /// True iff the file exists.
+    fn exists(&self, path: &str) -> bool;
+}
+
+/// Everything that can go wrong in the durability layer. Each variant
+/// carries a stable diagnostic code (see [`StorageError::code`]) in the
+/// `DWC-SNNN` range, disjoint from the static-analysis `DWC-S5NN` lints.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StorageError {
+    /// The underlying medium failed (`DWC-S001`).
+    Io(MediumError),
+    /// A WAL segment's 20-byte header is short, has a bad magic or
+    /// checksum, or names the wrong segment id (`DWC-S101`).
+    WalHeader {
+        /// The segment file.
+        segment: String,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// A structurally complete WAL frame failed its checksum or decoded
+    /// to garbage (`DWC-S102`). Torn *tails* are not errors — they are
+    /// truncated and counted in [`RecoveryReport::torn_tails`].
+    WalCorruptRecord {
+        /// The segment file.
+        segment: String,
+        /// Byte offset of the offending frame.
+        offset: usize,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// A snapshot file failed checksum or structural validation
+    /// (`DWC-S201`). Recovery treats this as "skip to the previous
+    /// generation", surfacing it only when no generation is left.
+    SnapshotCorrupt {
+        /// The snapshot file.
+        file: String,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// Every snapshot the manifest references is corrupt or unreadable
+    /// (`DWC-S202`).
+    NoIntactSnapshot {
+        /// The snapshot files tried, newest first.
+        tried: Vec<String>,
+    },
+    /// The directory has no `MANIFEST` — it does not contain a committed
+    /// warehouse (`DWC-S301`).
+    ManifestMissing,
+    /// The `MANIFEST` exists but fails checksum or structural validation
+    /// (`DWC-S302`).
+    ManifestCorrupt {
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// Recovered state failed the `W(W⁻¹(w)) = w` cross-check before
+    /// serving (`DWC-S401`).
+    RecoveredStateInconsistent {
+        /// What exactly diverged.
+        detail: String,
+    },
+    /// The warehouse layer itself rejected an operation (`DWC-S901`).
+    Warehouse(WarehouseError),
+}
+
+impl StorageError {
+    /// The stable diagnostic code of this error.
+    pub fn code(&self) -> &'static str {
+        match self {
+            StorageError::Io(_) => "DWC-S001",
+            StorageError::WalHeader { .. } => "DWC-S101",
+            StorageError::WalCorruptRecord { .. } => "DWC-S102",
+            StorageError::SnapshotCorrupt { .. } => "DWC-S201",
+            StorageError::NoIntactSnapshot { .. } => "DWC-S202",
+            StorageError::ManifestMissing => "DWC-S301",
+            StorageError::ManifestCorrupt { .. } => "DWC-S302",
+            StorageError::RecoveredStateInconsistent { .. } => "DWC-S401",
+            StorageError::Warehouse(_) => "DWC-S901",
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.code())?;
+        match self {
+            StorageError::Io(e) => write!(f, "{e}"),
+            StorageError::WalHeader { segment, detail } => {
+                write!(f, "WAL segment `{segment}` header invalid: {detail}")
+            }
+            StorageError::WalCorruptRecord { segment, offset, detail } => {
+                write!(f, "WAL segment `{segment}` corrupt at byte {offset}: {detail}")
+            }
+            StorageError::SnapshotCorrupt { file, detail } => {
+                write!(f, "snapshot `{file}` corrupt: {detail}")
+            }
+            StorageError::NoIntactSnapshot { tried } => {
+                write!(f, "no intact snapshot among: {}", tried.join(", "))
+            }
+            StorageError::ManifestMissing => {
+                write!(f, "no MANIFEST: directory holds no committed warehouse")
+            }
+            StorageError::ManifestCorrupt { detail } => {
+                write!(f, "MANIFEST corrupt: {detail}")
+            }
+            StorageError::RecoveredStateInconsistent { detail } => {
+                write!(f, "recovered state failed consistency cross-check: {detail}")
+            }
+            StorageError::Warehouse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Warehouse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WarehouseError> for StorageError {
+    fn from(e: WarehouseError) -> StorageError {
+        StorageError::Warehouse(e)
+    }
+}
+
+impl From<MediumError> for StorageError {
+    fn from(e: MediumError) -> StorageError {
+        StorageError::Io(e)
+    }
+}
+
+/// The production [`StorageMedium`]: one directory of flat files on the
+/// real filesystem. The only place in the workspace allowed to write
+/// through `std::fs` (srclint rule `DWC-S504`).
+#[derive(Clone, Debug)]
+pub struct FsMedium {
+    root: PathBuf,
+}
+
+impl FsMedium {
+    /// Opens (creating if needed) the directory `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Result<FsMedium, StorageError> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| MediumError {
+            op: "create_dir",
+            path: root.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        Ok(FsMedium { root })
+    }
+
+    /// The directory this medium stores into.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    fn full(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    fn err(&self, op: &'static str, name: &str, e: std::io::Error) -> MediumError {
+        MediumError { op, path: name.to_owned(), detail: e.to_string() }
+    }
+}
+
+impl StorageMedium for FsMedium {
+    fn read(&self, path: &str) -> Result<Vec<u8>, MediumError> {
+        fs::read(self.full(path)).map_err(|e| self.err("read", path, e))
+    }
+
+    fn write_all(&self, path: &str, bytes: &[u8]) -> Result<(), MediumError> {
+        fs::write(self.full(path), bytes).map_err(|e| self.err("write", path, e))
+    }
+
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<(), MediumError> {
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.full(path))
+            .map_err(|e| self.err("append", path, e))?;
+        f.write_all(bytes).map_err(|e| self.err("append", path, e))
+    }
+
+    fn sync(&self, path: &str) -> Result<(), MediumError> {
+        fs::File::open(self.full(path))
+            .and_then(|f| f.sync_all())
+            .map_err(|e| self.err("sync", path, e))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), MediumError> {
+        fs::rename(self.full(from), self.full(to)).map_err(|e| self.err("rename", from, e))
+    }
+
+    fn remove(&self, path: &str) -> Result<(), MediumError> {
+        fs::remove_file(self.full(path)).map_err(|e| self.err("remove", path, e))
+    }
+
+    fn list(&self) -> Result<Vec<String>, MediumError> {
+        let rd = fs::read_dir(&self.root).map_err(|e| self.err("list", ".", e))?;
+        let mut names = Vec::new();
+        for entry in rd {
+            let entry = entry.map_err(|e| self.err("list", ".", e))?;
+            if entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.full(path).exists()
+    }
+}
+
+/// Tuning of the durability layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Fsync the WAL after every appended record. Off, a crash can lose
+    /// (or tear) a suffix of acknowledged records — recovery still
+    /// yields a consistent prefix state, just an older one.
+    pub sync_every_append: bool,
+    /// Snapshot generations (snapshot + WAL segment pairs) to retain.
+    /// At least 2 lets recovery fall back past one corrupt snapshot;
+    /// values below 1 are treated as 1.
+    pub retain_generations: usize,
+    /// Automatically roll a new generation after this many WAL records.
+    /// `None` snapshots only on explicit [`DurableWarehouse::snapshot`].
+    pub snapshot_every: Option<u64>,
+    /// Cross-check recovered state against the `W(W⁻¹(w)) = w`
+    /// reconstruction invariant before serving.
+    pub verify_on_open: bool,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> DurabilityConfig {
+        DurabilityConfig {
+            sync_every_append: true,
+            retain_generations: 2,
+            snapshot_every: None,
+            verify_on_open: true,
+        }
+    }
+}
+
+/// Cumulative counters of a [`DurableWarehouse`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// WAL records appended.
+    pub wal_appends: u64,
+    /// Bytes appended to the WAL (frames included).
+    pub wal_bytes: u64,
+    /// Snapshots written (explicit, automatic, and the recovery roll).
+    pub snapshots_written: u64,
+    /// Old generations pruned past the retention horizon.
+    pub generations_pruned: u64,
+}
+
+/// What [`Recovery::open`] found and did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The snapshot file the restore started from.
+    pub snapshot_used: String,
+    /// Newer snapshots skipped because they were corrupt or unreadable.
+    pub snapshots_skipped: usize,
+    /// WAL records replayed through the idempotent ingestion path.
+    pub records_replayed: usize,
+    /// WAL segments whose tail was torn (truncated mid-frame by a
+    /// crash) and silently clipped to the last complete frame.
+    pub torn_tails: usize,
+    /// Whether the `W(W⁻¹(w)) = w` cross-check ran (per
+    /// [`DurabilityConfig::verify_on_open`]).
+    pub consistency_checked: bool,
+}
+
+/// An [`IngestingIntegrator`] whose every applied envelope is
+/// write-ahead-logged and whose full state snapshots atomically.
+///
+/// Ordering discipline: the in-memory offer happens *first*, the WAL
+/// append second. The only failure the log can miss is therefore a
+/// crash between the two — and a crash kills the in-memory effect too,
+/// so the log never lags a surviving state. A storage failure on the
+/// append path **poisons** the instance: the in-memory state is ahead
+/// of the log, so further durable operation would lie; every subsequent
+/// call returns the poisoning error class until the process restarts
+/// and recovers.
+#[derive(Debug)]
+pub struct DurableWarehouse<M: StorageMedium> {
+    medium: M,
+    ingest: IngestingIntegrator,
+    config: DurabilityConfig,
+    entries: Vec<ManifestEntry>,
+    wal_name: String,
+    records_since_snapshot: u64,
+    poisoned: bool,
+    stats: StorageStats,
+}
+
+impl<M: StorageMedium> DurableWarehouse<M> {
+    /// Creates a fresh durable warehouse in an empty medium: writes the
+    /// initial snapshot, opens WAL segment 1, and commits the manifest.
+    /// Refuses a medium that already holds a committed warehouse — open
+    /// that with [`Recovery::open`] instead.
+    pub fn create(
+        medium: M,
+        ingest: IngestingIntegrator,
+        config: DurabilityConfig,
+    ) -> Result<DurableWarehouse<M>, StorageError> {
+        if medium.exists(MANIFEST) {
+            return Err(StorageError::Io(MediumError {
+                op: "create",
+                path: MANIFEST.to_owned(),
+                detail: "medium already holds a committed warehouse (use Recovery::open)"
+                    .to_owned(),
+            }));
+        }
+        let mut dw = DurableWarehouse {
+            medium,
+            ingest,
+            config,
+            entries: Vec::new(),
+            wal_name: String::new(),
+            records_since_snapshot: 0,
+            poisoned: false,
+            stats: StorageStats::default(),
+        };
+        dw.roll_generation()?;
+        Ok(dw)
+    }
+
+    /// Offers one envelope: applies it in memory (infallibly, per the
+    /// ingestion contract), then appends it to the WAL. Replay of the
+    /// logged envelope is idempotent, so at-least-once logging is safe.
+    pub fn offer(&mut self, envelope: &Envelope) -> Result<IngestOutcome, StorageError> {
+        self.ensure_live()?;
+        let outcome = self.ingest.offer(envelope);
+        self.log(&WalRecord::Offered(envelope.clone()))?;
+        self.maybe_auto_snapshot()?;
+        Ok(outcome)
+    }
+
+    /// Repairs sequence gaps from a source's outbox log (see
+    /// [`IngestingIntegrator::recover_from_log`]) and records the
+    /// repair — log slice included — in the WAL so replay reproduces it.
+    pub fn recover_from_log(
+        &mut self,
+        source: &SourceId,
+        log: &[Envelope],
+    ) -> Result<usize, StorageError> {
+        self.ensure_live()?;
+        let n = self.ingest.recover_from_log(source, log)?;
+        self.log(&WalRecord::Recovered { source: source.clone(), log: log.to_vec() })?;
+        self.maybe_auto_snapshot()?;
+        Ok(n)
+    }
+
+    /// Rolls a new generation now: snapshot, fresh WAL segment, manifest
+    /// commit, retention pruning.
+    pub fn snapshot(&mut self) -> Result<(), StorageError> {
+        self.ensure_live()?;
+        self.roll_generation()
+    }
+
+    /// The current materialized warehouse state.
+    pub fn state(&self) -> &dwc_relalg::DbState {
+        self.ingest.state()
+    }
+
+    /// The wrapped fault-tolerant ingestor.
+    pub fn ingestor(&self) -> &IngestingIntegrator {
+        &self.ingest
+    }
+
+    /// The storage counters.
+    pub fn storage_stats(&self) -> StorageStats {
+        self.stats
+    }
+
+    /// The current generation number (1-based; bumps on every snapshot).
+    pub fn generation(&self) -> u64 {
+        self.entries.last().map_or(0, |e| e.generation)
+    }
+
+    /// True once a storage failure has poisoned this instance.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// The durability tuning in effect.
+    pub fn config(&self) -> DurabilityConfig {
+        self.config
+    }
+
+    fn ensure_live(&self) -> Result<(), StorageError> {
+        if self.poisoned {
+            return Err(StorageError::Io(MediumError {
+                op: "poisoned",
+                path: String::new(),
+                detail: "durable warehouse is poisoned by an earlier storage failure; \
+                         restart and recover"
+                    .to_owned(),
+            }));
+        }
+        Ok(())
+    }
+
+    /// Appends one record, poisoning the instance on failure (the
+    /// in-memory state is then ahead of the log).
+    fn log(&mut self, record: &WalRecord) -> Result<(), StorageError> {
+        let sync = self.config.sync_every_append;
+        match wal::append_record(&self.medium, &self.wal_name, record, sync) {
+            Ok(bytes) => {
+                self.stats.wal_appends += 1;
+                self.stats.wal_bytes += bytes as u64;
+                self.records_since_snapshot += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn maybe_auto_snapshot(&mut self) -> Result<(), StorageError> {
+        if let Some(every) = self.config.snapshot_every {
+            if every > 0 && self.records_since_snapshot >= every {
+                return self.roll_generation();
+            }
+        }
+        Ok(())
+    }
+
+    fn image(&self) -> WarehouseImage {
+        let integ = self.ingest.integrator();
+        WarehouseImage {
+            warehouse: integ.state().clone(),
+            cache_inverses: integ.config().cache_inverses,
+            integrator_stats: integ.stats(),
+            ingest_config: self.ingest.config(),
+            ingest_stats: self.ingest.stats(),
+            cursors: self
+                .ingest
+                .cursors()
+                .iter()
+                .map(|(s, c)| {
+                    (s.clone(), (c.epoch, c.next_seq, c.pending.clone()))
+                })
+                .collect(),
+            quarantine: self
+                .ingest
+                .quarantine()
+                .iter()
+                .map(|q| (q.envelope.clone(), q.error.to_string()))
+                .collect(),
+            discarded: self
+                .ingest
+                .discarded()
+                .iter()
+                .map(|d| {
+                    (d.entry.envelope.clone(), d.entry.error.to_string(), d.reason.clone())
+                })
+                .collect(),
+        }
+    }
+
+    /// Writes snapshot + fresh WAL segment + manifest for generation
+    /// `last + 1`, then prunes generations past the retention horizon.
+    /// On any failure the instance poisons (a half-rolled generation is
+    /// recoverable from disk, but this process can no longer prove
+    /// which files the manifest commits to).
+    fn roll_generation(&mut self) -> Result<(), StorageError> {
+        let result = self.roll_generation_inner();
+        if result.is_err() {
+            self.poisoned = true;
+        }
+        result
+    }
+
+    fn roll_generation_inner(&mut self) -> Result<(), StorageError> {
+        let generation = self.generation() + 1;
+        let snap = snapshot::write_snapshot(&self.medium, generation, &self.image())?;
+        let wal_name = wal::create_segment(&self.medium, generation)?;
+        let mut entries = self.entries.clone();
+        entries.push(ManifestEntry { generation, snapshot: snap, wal: wal_name.clone() });
+        let retain = self.config.retain_generations.max(1);
+        let pruned: Vec<ManifestEntry> = if entries.len() > retain {
+            entries.drain(..entries.len() - retain).collect()
+        } else {
+            Vec::new()
+        };
+        snapshot::write_manifest(&self.medium, &entries)?;
+        // The manifest rename is the commit point: only now is it safe
+        // to drop the pruned generations' files. Removal is best-effort
+        // (a leftover file is garbage, not corruption).
+        for old in pruned {
+            let _ = self.medium.remove(&old.snapshot);
+            let _ = self.medium.remove(&old.wal);
+            self.stats.generations_pruned += 1;
+        }
+        self.entries = entries;
+        self.wal_name = wal_name;
+        self.records_since_snapshot = 0;
+        self.stats.snapshots_written += 1;
+        Ok(())
+    }
+}
+
+/// Opens a medium holding a committed warehouse and restores it; see
+/// the module docs for the recovery algorithm.
+pub struct Recovery;
+
+impl Recovery {
+    /// Restores the newest intact snapshot, replays every newer WAL
+    /// segment, cross-checks consistency, and rolls a fresh generation.
+    ///
+    /// `aug` must be the same augmented warehouse definition the state
+    /// was persisted under (definitions are code, not data — only state
+    /// is persisted). The ingest and integrator configurations are
+    /// restored from the snapshot; `config` tunes durability only.
+    pub fn open<M: StorageMedium>(
+        medium: M,
+        aug: AugmentedWarehouse,
+        config: DurabilityConfig,
+    ) -> Result<(DurableWarehouse<M>, RecoveryReport), StorageError> {
+        let entries = snapshot::read_manifest(&medium)?;
+        // Newest intact snapshot wins; corrupt/unreadable ones fall
+        // back a generation.
+        let mut skipped = 0usize;
+        let mut tried = Vec::new();
+        let mut start: Option<(usize, WarehouseImage)> = None;
+        for (i, entry) in entries.iter().enumerate().rev() {
+            tried.push(entry.snapshot.clone());
+            match snapshot::read_snapshot(&medium, &entry.snapshot, entry.generation) {
+                Ok(image) => {
+                    start = Some((i, image));
+                    break;
+                }
+                Err(_) => skipped += 1,
+            }
+        }
+        let Some((start_idx, image)) = start else {
+            return Err(StorageError::NoIntactSnapshot { tried });
+        };
+        let snapshot_used = entries[start_idx].snapshot.clone();
+        let mut ingest = Recovery::restore(aug, image)?;
+        // Replay the chosen generation's WAL and every newer segment,
+        // in order. Offers are idempotent; repairs are recorded with
+        // their log slice and re-run verbatim.
+        let mut replayed = 0usize;
+        let mut torn_tails = 0usize;
+        for entry in &entries[start_idx..] {
+            let scan = wal::scan_segment(&medium, &entry.wal, entry.generation)?;
+            if scan.torn_bytes > 0 {
+                torn_tails += 1;
+            }
+            for record in scan.records {
+                match record {
+                    WalRecord::Offered(env) => {
+                        ingest.offer(&env);
+                    }
+                    WalRecord::Recovered { source, log } => {
+                        ingest.recover_from_log(&source, &log)?;
+                    }
+                }
+                replayed += 1;
+            }
+        }
+        if config.verify_on_open {
+            Recovery::cross_check(&ingest)?;
+        }
+        let mut dw = DurableWarehouse {
+            medium,
+            ingest,
+            config,
+            entries: entries[start_idx..].to_vec(),
+            wal_name: String::new(),
+            records_since_snapshot: 0,
+            poisoned: false,
+            stats: StorageStats::default(),
+        };
+        // Roll a fresh generation: recovery must never append to a
+        // possibly-torn segment, and the roll re-commits the recovered
+        // state so the next crash recovers without this replay.
+        dw.roll_generation()?;
+        let report = RecoveryReport {
+            snapshot_used,
+            snapshots_skipped: skipped,
+            records_replayed: replayed,
+            torn_tails,
+            consistency_checked: config.verify_on_open,
+        };
+        Ok((dw, report))
+    }
+
+    /// Rebuilds the fault-tolerant ingestor from a snapshot image.
+    fn restore(
+        aug: AugmentedWarehouse,
+        image: WarehouseImage,
+    ) -> Result<IngestingIntegrator, StorageError> {
+        let mut integ = Integrator::from_state(
+            aug,
+            image.warehouse,
+            IntegratorConfig { cache_inverses: image.cache_inverses },
+        )?;
+        integ.restore_stats(image.integrator_stats);
+        let cursors: BTreeMap<SourceId, crate::ingest::Cursor> = image
+            .cursors
+            .into_iter()
+            .map(|(s, (epoch, next_seq, pending))| {
+                (s, crate::ingest::Cursor { epoch, next_seq, pending })
+            })
+            .collect();
+        let quarantine = image
+            .quarantine
+            .into_iter()
+            .map(|(envelope, message)| QuarantineEntry {
+                envelope,
+                error: WarehouseError::Restored { message },
+            })
+            .collect();
+        let discarded = image
+            .discarded
+            .into_iter()
+            .map(|(envelope, message, reason)| DiscardedEntry {
+                entry: QuarantineEntry {
+                    envelope,
+                    error: WarehouseError::Restored { message },
+                },
+                reason,
+            })
+            .collect();
+        Ok(IngestingIntegrator::restore(
+            integ,
+            cursors,
+            quarantine,
+            discarded,
+            image.ingest_config,
+            image.ingest_stats,
+        ))
+    }
+
+    /// The Theorem 4.1 sanity gate: the recovered warehouse must be in
+    /// the image of `W`, i.e. `W(W⁻¹(w)) = w`.
+    fn cross_check(ingest: &IngestingIntegrator) -> Result<(), StorageError> {
+        let aug = ingest.integrator().warehouse();
+        let wrap = |e: WarehouseError| StorageError::RecoveredStateInconsistent {
+            detail: format!("reconstruction pipeline failed: {e}"),
+        };
+        let sources = aug.reconstruct_sources(ingest.state()).map_err(wrap)?;
+        let roundtrip = aug.materialize(&sources).map_err(wrap)?;
+        if &roundtrip != ingest.state() {
+            let diverged: Vec<String> = ingest
+                .state()
+                .iter()
+                .filter(|(name, rel)| roundtrip.relation(*name).ok() != Some(rel))
+                .map(|(name, _)| name.to_string())
+                .collect();
+            return Err(StorageError::RecoveredStateInconsistent {
+                detail: format!(
+                    "W(W⁻¹(w)) diverges from w at: {}",
+                    diverged.join(", ")
+                ),
+            });
+        }
+        Ok(())
+    }
+}

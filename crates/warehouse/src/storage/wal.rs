@@ -1,0 +1,431 @@
+//! The write-ahead log: segment format, record codec, and scanner.
+//!
+//! A segment file `wal-NNNNNNNN.log` is a 20-byte header followed by
+//! zero or more frames:
+//!
+//! ```text
+//! header : magic "DWCWAL1\n" (8) | segment id u64 LE | crc32 of the first 16 bytes
+//! frame  : payload_len u32 LE | crc32(payload) u32 LE | payload
+//! payload: tag u8 (1 = Offered, 2 = Recovered) | body
+//! ```
+//!
+//! An `Offered` body is one envelope; a `Recovered` body is the source
+//! id plus the envelope log slice the repair consumed. Envelopes and
+//! updates use the canonical binary value encoding of
+//! [`dwc_relalg::io`] (relations carry their own trailing CRC — defense
+//! in depth under the frame CRC).
+//!
+//! The scanner distinguishes two failure shapes by construction:
+//!
+//! * **torn tail** — the file ends before a complete frame (fewer than
+//!   8 bytes of framing left, or a length pointing past EOF). That is
+//!   the signature of a crash mid-append; the tail is truncated and the
+//!   event counted, never an error.
+//! * **corruption** — a *complete* frame whose payload fails its CRC or
+//!   decodes to garbage, or a damaged header. Those are typed
+//!   [`StorageError::WalHeader`] / [`StorageError::WalCorruptRecord`].
+
+use super::{StorageError, StorageMedium};
+use crate::channel::{Envelope, SourceId};
+use dwc_relalg::io::{crc32, decode_relation, encode_relation, ByteReader, ByteWriter};
+use dwc_relalg::{Delta, RelalgError, Update};
+
+/// Magic bytes opening every WAL segment.
+pub const WAL_MAGIC: [u8; 8] = *b"DWCWAL1\n";
+
+/// One durable log record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// An envelope offered to the ingestor (whatever the outcome —
+    /// replay is idempotent, and quarantines must replay too).
+    Offered(Envelope),
+    /// A gap repair: the source and the outbox log slice it consumed.
+    Recovered {
+        /// The source whose gap was repaired.
+        source: SourceId,
+        /// The log slice passed to the repair, verbatim.
+        log: Vec<Envelope>,
+    },
+}
+
+/// The name of segment `id`.
+pub fn segment_name(id: u64) -> String {
+    format!("wal-{id:08}.log")
+}
+
+/// Creates (and syncs) an empty segment for `id`, returning its name.
+pub(crate) fn create_segment<M: StorageMedium>(
+    medium: &M,
+    id: u64,
+) -> Result<String, StorageError> {
+    let name = segment_name(id);
+    let mut w = ByteWriter::new();
+    w.put_bytes(&WAL_MAGIC);
+    w.put_u64(id);
+    let header = w.into_bytes();
+    let mut framed = header.clone();
+    framed.extend_from_slice(&crc32(&header).to_le_bytes());
+    medium.write_all(&name, &framed)?;
+    medium.sync(&name)?;
+    Ok(name)
+}
+
+/// Appends one record as a checksummed frame; returns the bytes
+/// written. With `sync`, the segment is fsynced after the append.
+pub(crate) fn append_record<M: StorageMedium>(
+    medium: &M,
+    segment: &str,
+    record: &WalRecord,
+    sync: bool,
+) -> Result<usize, StorageError> {
+    let payload = encode_record(record);
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    medium.append(segment, &frame)?;
+    if sync {
+        medium.sync(segment)?;
+    }
+    Ok(frame.len())
+}
+
+/// Reads a little-endian u32 at `pos`; the caller guarantees bounds.
+fn le_u32(data: &[u8], pos: usize) -> u32 {
+    u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]])
+}
+
+/// Reads a little-endian u64 at `pos`; the caller guarantees bounds.
+fn le_u64(data: &[u8], pos: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&data[pos..pos + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// What a segment scan found.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalScan {
+    /// Every complete, checksum-valid record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Bytes of torn tail truncated after the last complete frame
+    /// (0 on a cleanly closed segment).
+    pub torn_bytes: usize,
+}
+
+/// Reads and validates a whole segment; see the module docs for the
+/// torn-vs-corrupt contract.
+pub(crate) fn scan_segment<M: StorageMedium>(
+    medium: &M,
+    segment: &str,
+    expect_id: u64,
+) -> Result<WalScan, StorageError> {
+    let data = medium.read(segment)?;
+    let header_err = |detail: String| StorageError::WalHeader {
+        segment: segment.to_owned(),
+        detail,
+    };
+    if data.len() < 20 {
+        return Err(header_err(format!("{} bytes, header needs 20", data.len())));
+    }
+    if data[..8] != WAL_MAGIC {
+        return Err(header_err("bad magic".to_owned()));
+    }
+    let stored_crc = le_u32(&data, 16);
+    if crc32(&data[..16]) != stored_crc {
+        return Err(header_err("header checksum mismatch".to_owned()));
+    }
+    let id = le_u64(&data, 8);
+    if id != expect_id {
+        return Err(header_err(format!("segment id {id}, expected {expect_id}")));
+    }
+    let mut records = Vec::new();
+    let mut pos = 20usize;
+    let torn_bytes = loop {
+        let remaining = data.len() - pos;
+        if remaining == 0 {
+            break 0;
+        }
+        if remaining < 8 {
+            break remaining;
+        }
+        let len = le_u32(&data, pos) as usize;
+        let stored = le_u32(&data, pos + 4);
+        if len > remaining - 8 {
+            // Length points past EOF: an append the crash cut short.
+            break remaining;
+        }
+        let payload = &data[pos + 8..pos + 8 + len];
+        if crc32(payload) != stored {
+            return Err(StorageError::WalCorruptRecord {
+                segment: segment.to_owned(),
+                offset: pos,
+                detail: "frame checksum mismatch".to_owned(),
+            });
+        }
+        let record = decode_record(payload).map_err(|e| StorageError::WalCorruptRecord {
+            segment: segment.to_owned(),
+            offset: pos,
+            detail: e.to_string(),
+        })?;
+        records.push(record);
+        pos += 8 + len;
+    };
+    Ok(WalScan { records, torn_bytes })
+}
+
+fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match record {
+        WalRecord::Offered(env) => {
+            w.put_u8(1);
+            put_envelope(&mut w, env);
+        }
+        WalRecord::Recovered { source, log } => {
+            w.put_u8(2);
+            w.put_str(source.as_str());
+            w.put_u32(log.len() as u32);
+            for env in log {
+                put_envelope(&mut w, env);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_record(payload: &[u8]) -> Result<WalRecord, RelalgError> {
+    let mut r = ByteReader::new(payload);
+    let record = match r.take_u8()? {
+        1 => WalRecord::Offered(take_envelope(&mut r)?),
+        2 => {
+            let source = SourceId::new(r.take_str()?);
+            let n = r.take_u32()? as usize;
+            if n > r.remaining() {
+                return Err(r.corrupt(format!("recovered-log count {n} exceeds payload")));
+            }
+            let mut log = Vec::with_capacity(n);
+            for _ in 0..n {
+                log.push(take_envelope(&mut r)?);
+            }
+            WalRecord::Recovered { source, log }
+        }
+        tag => return Err(r.corrupt(format!("unknown WAL record tag {tag}"))),
+    };
+    r.expect_end()?;
+    Ok(record)
+}
+
+/// Writes one envelope: source | epoch | seq | report.
+pub(crate) fn put_envelope(w: &mut ByteWriter, env: &Envelope) {
+    w.put_str(env.source.as_str());
+    w.put_u64(env.epoch);
+    w.put_u64(env.seq);
+    put_update(w, &env.report);
+}
+
+/// Reads one envelope written by [`put_envelope`].
+pub(crate) fn take_envelope(r: &mut ByteReader<'_>) -> Result<Envelope, RelalgError> {
+    let source = SourceId::new(r.take_str()?);
+    let epoch = r.take_u64()?;
+    let seq = r.take_u64()?;
+    let report = take_update(r)?;
+    Ok(Envelope { source, epoch, seq, report })
+}
+
+/// Writes one update: relation count, then per relation the name and
+/// length-prefixed insert/delete relation blobs (each blob is the
+/// canonical encoding of [`dwc_relalg::io::encode_relation`], own CRC
+/// included).
+pub(crate) fn put_update(w: &mut ByteWriter, update: &Update) {
+    let rels: Vec<_> = update.iter().collect();
+    w.put_u32(rels.len() as u32);
+    for (name, delta) in rels {
+        w.put_str(name.as_str());
+        let ins = encode_relation(delta.inserted());
+        w.put_u32(ins.len() as u32);
+        w.put_bytes(&ins);
+        let del = encode_relation(delta.deleted());
+        w.put_u32(del.len() as u32);
+        w.put_bytes(&del);
+    }
+}
+
+/// Reads one update written by [`put_update`].
+pub(crate) fn take_update(r: &mut ByteReader<'_>) -> Result<Update, RelalgError> {
+    let n = r.take_u32()? as usize;
+    if n > r.remaining() {
+        return Err(r.corrupt(format!("update relation count {n} exceeds payload")));
+    }
+    let mut update = Update::new();
+    for _ in 0..n {
+        let name = r.take_str()?;
+        let ins_len = r.take_u32()? as usize;
+        let ins = decode_relation(r.take_bytes(ins_len)?)?;
+        let del_len = r.take_u32()? as usize;
+        let del = decode_relation(r.take_bytes(del_len)?)?;
+        let delta = Delta::new(ins, del)?;
+        update = update.with(name.as_str(), delta);
+    }
+    Ok(update)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MediumError;
+    use dwc_relalg::rel;
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+
+    /// A minimal in-memory medium for unit-testing the codec (the real
+    /// crash model lives in `dwc-testkit` and the root test suite).
+    #[derive(Default)]
+    struct MemMedium {
+        files: RefCell<BTreeMap<String, Vec<u8>>>,
+    }
+
+    impl StorageMedium for MemMedium {
+        fn read(&self, path: &str) -> Result<Vec<u8>, MediumError> {
+            self.files.borrow().get(path).cloned().ok_or(MediumError {
+                op: "read",
+                path: path.to_owned(),
+                detail: "not found".to_owned(),
+            })
+        }
+        fn write_all(&self, path: &str, bytes: &[u8]) -> Result<(), MediumError> {
+            self.files.borrow_mut().insert(path.to_owned(), bytes.to_vec());
+            Ok(())
+        }
+        fn append(&self, path: &str, bytes: &[u8]) -> Result<(), MediumError> {
+            self.files
+                .borrow_mut()
+                .entry(path.to_owned())
+                .or_default()
+                .extend_from_slice(bytes);
+            Ok(())
+        }
+        fn sync(&self, _path: &str) -> Result<(), MediumError> {
+            Ok(())
+        }
+        fn rename(&self, from: &str, to: &str) -> Result<(), MediumError> {
+            let mut files = self.files.borrow_mut();
+            let data = files.remove(from).ok_or(MediumError {
+                op: "rename",
+                path: from.to_owned(),
+                detail: "not found".to_owned(),
+            })?;
+            files.insert(to.to_owned(), data);
+            Ok(())
+        }
+        fn remove(&self, path: &str) -> Result<(), MediumError> {
+            self.files.borrow_mut().remove(path).map(drop).ok_or(MediumError {
+                op: "remove",
+                path: path.to_owned(),
+                detail: "not found".to_owned(),
+            })
+        }
+        fn list(&self) -> Result<Vec<String>, MediumError> {
+            Ok(self.files.borrow().keys().cloned().collect())
+        }
+        fn exists(&self, path: &str) -> bool {
+            self.files.borrow().contains_key(path)
+        }
+    }
+
+    fn sample_envelope(seq: u64) -> Envelope {
+        Envelope {
+            source: SourceId::new("paris"),
+            epoch: 2,
+            seq,
+            report: Update::inserting(
+                "Sale",
+                rel! { ["clerk", "item"] => ("Mary", "PC"), ("John", "Mac") },
+            ),
+        }
+    }
+
+    #[test]
+    fn records_roundtrip_through_a_segment() {
+        let m = MemMedium::default();
+        let seg = create_segment(&m, 7).unwrap();
+        assert_eq!(seg, "wal-00000007.log");
+        let records = vec![
+            WalRecord::Offered(sample_envelope(0)),
+            WalRecord::Recovered {
+                source: SourceId::new("paris"),
+                log: vec![sample_envelope(1), sample_envelope(2)],
+            },
+            WalRecord::Offered(sample_envelope(3)),
+        ];
+        for r in &records {
+            append_record(&m, &seg, r, true).unwrap();
+        }
+        let scan = scan_segment(&m, &seg, 7).unwrap();
+        assert_eq!(scan.records, records);
+        assert_eq!(scan.torn_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tails_truncate_and_count() {
+        let m = MemMedium::default();
+        let seg = create_segment(&m, 1).unwrap();
+        append_record(&m, &seg, &WalRecord::Offered(sample_envelope(0)), true).unwrap();
+        let full = m.read(&seg).unwrap();
+        append_record(&m, &seg, &WalRecord::Offered(sample_envelope(1)), true).unwrap();
+        let longer = m.read(&seg).unwrap();
+        // Tear the second frame at every possible length.
+        for cut in full.len() + 1..longer.len() {
+            m.write_all(&seg, &longer[..cut]).unwrap();
+            let scan = scan_segment(&m, &seg, 1).unwrap();
+            assert_eq!(scan.records.len(), 1, "cut at {cut}");
+            assert_eq!(scan.torn_bytes, cut - full.len());
+        }
+    }
+
+    #[test]
+    fn header_and_frame_corruption_are_typed() {
+        let m = MemMedium::default();
+        let seg = create_segment(&m, 1).unwrap();
+        append_record(&m, &seg, &WalRecord::Offered(sample_envelope(0)), true).unwrap();
+        let good = m.read(&seg).unwrap();
+
+        // Bit flip in the header.
+        let mut bad = good.clone();
+        bad[3] ^= 0x40;
+        m.write_all(&seg, &bad).unwrap();
+        let err = scan_segment(&m, &seg, 1).unwrap_err();
+        assert_eq!(err.code(), "DWC-S101");
+
+        // Wrong segment id expectation.
+        m.write_all(&seg, &good).unwrap();
+        assert_eq!(scan_segment(&m, &seg, 9).unwrap_err().code(), "DWC-S101");
+
+        // Bit flip inside a complete frame's payload.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        m.write_all(&seg, &bad).unwrap();
+        let err = scan_segment(&m, &seg, 1).unwrap_err();
+        assert_eq!(err.code(), "DWC-S102");
+
+        // Truncated header.
+        m.write_all(&seg, &good[..10]).unwrap();
+        assert_eq!(scan_segment(&m, &seg, 1).unwrap_err().code(), "DWC-S101");
+    }
+
+    #[test]
+    fn update_codec_handles_mixed_deltas() {
+        let ins = rel! { ["a"] => (1,), (2,) };
+        let del = rel! { ["a"] => (3,) };
+        let update = Update::new().with("R", Delta::new(ins, del).unwrap()).with(
+            "S",
+            Delta::insert_only(rel! { ["x", "y"] => ("k", true) }),
+        );
+        let mut w = ByteWriter::new();
+        put_update(&mut w, &update);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = take_update(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(back, update);
+    }
+}

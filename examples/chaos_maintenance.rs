@@ -136,7 +136,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  AllOrders tuples     : {}",
         ing.state().relation(RelName::new("AllOrders"))?.len()
     );
-    for (env, err) in ing.quarantine() {
+    for entry in ing.quarantine() {
+        let (env, err) = (&entry.envelope, &entry.error);
         println!("quarantine entry: {}#{} — {err}", env.source, env.seq);
     }
     Ok(())

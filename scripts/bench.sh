@@ -9,6 +9,10 @@
 #
 #   jq -s 'group_by(.group+"/"+.bench)' BENCH_eval.json
 #
+# The durability suite (snapshot write, WAL append, cold recovery) is
+# IO-bound rather than thread-scaled, so it runs once serially and lands
+# in BENCH_recovery.json.
+#
 # Usage: scripts/bench.sh [--quick] [--threads N] [--out FILE]
 #   --quick      smoke pass (fewer samples, 2ms target per sample)
 #   --threads N  parallel width for the second sweep (default 4, or the
@@ -57,3 +61,12 @@ for threads in 1 "$PAR_THREADS"; do
 done
 
 echo "wrote $(grep -c '^{' "$OUT") results to $OUT"
+
+# Durability timings are IO-bound, not thread-scaled: one serial pass
+# into a sibling file ({eval -> recovery} of whatever --out was given).
+RECOVERY_OUT="$(dirname "$OUT")/$(basename "$OUT" | sed 's/eval/recovery/')"
+[ "$RECOVERY_OUT" = "$OUT" ] && RECOVERY_OUT="${OUT%.json}_recovery.json"
+echo "=== durability: BENCH recovery ==="
+DWC_THREADS=1 cargo bench -q -p dwc-bench --bench recovery \
+  | grep '^{' | tee "$RECOVERY_OUT"
+echo "wrote $(grep -c '^{' "$RECOVERY_OUT") results to $RECOVERY_OUT"

@@ -75,7 +75,9 @@ done
 # file; real numbers are recorded by `scripts/bench.sh` into
 # BENCH_eval.json and never touched here.
 SWEEP_OUT=$(mktemp)
-trap 'rm -f "$SWEEP_OUT"' EXIT
+# bench.sh drops the durability suite into a sibling file; mktemp names
+# carry no "eval", so that sibling is ${SWEEP_OUT}_recovery.json.
+trap 'rm -f "$SWEEP_OUT" "${SWEEP_OUT}_recovery.json"' EXIT
 scripts/bench.sh --quick --out "$SWEEP_OUT" >/dev/null
 echo "ok: bench sweep produced $(grep -c '^{' "$SWEEP_OUT") results"
 
@@ -113,6 +115,22 @@ echo "ok: seeded-defect specs rejected with their documented codes"
   || { echo "FAIL: workspace source lint (srclint) found violations" >&2
        "$DWC" analyze --self-check >&2 || true; exit 1; }
 echo "ok: srclint self-check clean"
+
+# --- 8. durability: pinned crash matrix --------------------------------
+# The storage suite kills a simulated process at every IO boundary of a
+# pinned-seed ingestion run (tests/crash_props.rs bakes its own seeds in,
+# so no env pinning is needed) and proves recovery lands bit-identical to
+# a never-crashed oracle. Release mode: the sweep recovers the warehouse
+# a few hundred times. The thread-config gate must also fail closed —
+# binaries refuse to start under a malformed DWC_THREADS rather than
+# silently running serial.
+echo "crash matrix: tests/crash_props.rs"
+cargo test -q --release --test crash_props
+if DWC_THREADS=0 "$DWC" analyze --self-check >/dev/null 2>&1; then
+  echo "FAIL: dwc must refuse to run under DWC_THREADS=0" >&2
+  exit 1
+fi
+echo "ok: crash matrix green, DWC_THREADS=0 refused"
 
 # Clippy is not part of the offline gate, but when a toolchain ships it,
 # run it too (still offline).

@@ -276,7 +276,7 @@ impl Shell {
             return Err(format!("no relation or stored view named `{name}`"));
         };
         let csv = crate::relalg::io::export_csv(&rel);
-        std::fs::write(path.trim(), csv).map_err(|e| e.to_string())?;
+        std::fs::write(path.trim(), csv).map_err(|e| e.to_string())?; // lint:allow fs_write -- interactive CSV export at the user's explicit request
         Ok(Outcome::Text(format!("saved {} tuple(s) from {name}", rel.len())))
     }
 

@@ -382,5 +382,5 @@ fn epoch_restarts_supersede_and_stale_replays_quarantine() {
     let stats = ing.stats();
     assert_eq!(stats.quarantined, 1);
     assert_eq!(ing.quarantine().len(), 1);
-    assert!(matches!(ing.quarantine()[0].1, WarehouseError::StaleEpoch { .. }));
+    assert!(matches!(ing.quarantine()[0].error, WarehouseError::StaleEpoch { .. }));
 }

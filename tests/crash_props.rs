@@ -1,0 +1,442 @@
+//! Kill-at-every-IO-boundary crash properties for the durability layer.
+//!
+//! The central claim of `warehouse::storage`: for a pinned-seed run of a
+//! warehouse that offers reports, quarantines garbage, repairs a gap from
+//! the outbox log, and rolls generations, killing the process model at
+//! **every** mutating IO boundary leaves a disk from which
+//! [`Recovery::open`] either restores a warehouse that — after the
+//! source redelivers its outbox — is bit-identical to a never-crashed
+//! oracle, or reports the one documented pre-commit code (`DWC-S301`,
+//! no manifest yet). Seeded bit flips and torn tails on the committed
+//! files must each yield their documented `DWC-SNNN` code — never a
+//! panic, never silent divergence.
+//!
+//! The process model is [`dwc_testkit::crash::SimFs`]: counted mutating
+//! operations, seeded torn writes at the crash point, coin-flipped
+//! renames, and a frozen survivor view that a "rebooted" filesystem is
+//! born from.
+
+mod common;
+
+use common::{chain_catalog, chain_state, relation_from, ChainRows};
+use dwc_testkit::crash::{CrashPlan, SimError, SimFs};
+use dwc_testkit::SplitMix64;
+use dwcomplements::relalg::{io, Delta, Update};
+use dwcomplements::warehouse::channel::{Envelope, SequencedSource, SourceId};
+use dwcomplements::warehouse::ingest::{IngestConfig, IngestingIntegrator};
+use dwcomplements::warehouse::integrator::{Integrator, SourceSite};
+use dwcomplements::warehouse::storage::snapshot::snapshot_name;
+use dwcomplements::warehouse::storage::wal::segment_name;
+use dwcomplements::warehouse::{
+    AugmentedWarehouse, DurabilityConfig, DurableWarehouse, MediumError, Recovery, StorageError,
+    StorageMedium, WarehouseSpec,
+};
+
+/// The pinned seed of the whole suite; `verify.sh` replays it in step 8.
+const CRASH_SEED: u64 = 0xD1CE_0005_C0FF_EE42;
+
+/// The manifest file name (`storage` keeps the constant crate-private;
+/// the on-disk name is part of the documented format).
+const MANIFEST: &str = "MANIFEST";
+
+// ---------------------------------------------------------------------
+// SimFs → StorageMedium adapter
+// ---------------------------------------------------------------------
+
+/// Runs the production durability code over the crash-simulated
+/// filesystem. Clones share the disk (and its crash plan).
+#[derive(Clone, Debug)]
+struct SimMedium(SimFs);
+
+fn sim_err(op: &'static str, path: &str, e: SimError) -> MediumError {
+    MediumError { op, path: path.to_owned(), detail: e.to_string() }
+}
+
+impl StorageMedium for SimMedium {
+    fn read(&self, path: &str) -> Result<Vec<u8>, MediumError> {
+        self.0.read(path).map_err(|e| sim_err("read", path, e))
+    }
+    fn write_all(&self, path: &str, bytes: &[u8]) -> Result<(), MediumError> {
+        self.0.write_all(path, bytes).map_err(|e| sim_err("write", path, e))
+    }
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<(), MediumError> {
+        self.0.append(path, bytes).map_err(|e| sim_err("append", path, e))
+    }
+    fn sync(&self, path: &str) -> Result<(), MediumError> {
+        self.0.sync(path).map_err(|e| sim_err("sync", path, e))
+    }
+    fn rename(&self, from: &str, to: &str) -> Result<(), MediumError> {
+        self.0.rename(from, to).map_err(|e| sim_err("rename", from, e))
+    }
+    fn remove(&self, path: &str) -> Result<(), MediumError> {
+        self.0.remove(path).map_err(|e| sim_err("remove", path, e))
+    }
+    fn list(&self) -> Result<Vec<String>, MediumError> {
+        Ok(self.0.list())
+    }
+    fn exists(&self, path: &str) -> bool {
+        self.0.exists(path)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The pinned scenario
+// ---------------------------------------------------------------------
+
+enum Step {
+    Offer(Envelope),
+    Snapshot,
+    RecoverLog,
+}
+
+/// A fixed run over the chain warehouse `V = R ⋈ S` exercising every
+/// WAL record kind and a mid-stream generation roll: clean offers, a
+/// corrupted delivery (quarantined), an out-of-order delivery across a
+/// gap (parked), an outbox-log repair, and an explicit snapshot.
+struct Scenario {
+    init: ChainRows,
+    steps: Vec<Step>,
+    outbox: Vec<Envelope>,
+    source: SourceId,
+}
+
+fn build_scenario() -> Scenario {
+    let init: ChainRows = (
+        vec![vec![1, 10], vec![2, 20]],
+        vec![vec![10, 100], vec![20, 200]],
+        vec![vec![100]],
+    );
+    let site = SourceSite::new(chain_catalog(), chain_state(&init)).expect("site");
+    let mut src = SequencedSource::new("chain", site);
+    let updates = [
+        Update::inserting("R", relation_from(&["a", "b"], &[vec![3, 30]])),
+        Update::inserting("S", relation_from(&["b", "c"], &[vec![30, 300]])),
+        Update::deleting("R", relation_from(&["a", "b"], &[vec![1, 10]])),
+        Update::inserting("T", relation_from(&["c"], &[vec![200]])),
+        Update::new()
+            .with("R", Delta::insert_only(relation_from(&["a", "b"], &[vec![4, 20]])))
+            .with("S", Delta::delete_only(relation_from(&["b", "c"], &[vec![10, 100]]))),
+    ];
+    let envs: Vec<Envelope> = updates
+        .iter()
+        .map(|u| src.apply_update(u).expect("source applies its own update"))
+        .collect();
+    // A corrupted copy of seq 1: unknown relation, must quarantine.
+    let mut bad = envs[1].clone();
+    bad.report = Update::inserting("Ghost", relation_from(&["x"], &[vec![1]]));
+    let steps = vec![
+        Step::Offer(envs[0].clone()),
+        Step::Offer(bad),
+        Step::Offer(envs[1].clone()),
+        Step::Snapshot,
+        Step::Offer(envs[3].clone()), // seq 3 while seq 2 is missing: parks
+        Step::RecoverLog,             // repairs the gap from the outbox
+        Step::Offer(envs[4].clone()),
+    ];
+    Scenario {
+        init,
+        steps,
+        outbox: src.outbox().to_vec(),
+        source: src.id().clone(),
+    }
+}
+
+fn fresh_aug() -> AugmentedWarehouse {
+    WarehouseSpec::parse(chain_catalog(), &[("V", "R join S")])
+        .expect("static spec")
+        .augment()
+        .expect("chain warehouse augments")
+}
+
+fn fresh_ingest(init: &ChainRows) -> IngestingIntegrator {
+    let site = SourceSite::new(chain_catalog(), chain_state(init)).expect("site");
+    let integ = Integrator::initial_load(fresh_aug(), &site).expect("initial load");
+    IngestingIntegrator::new(integ, IngestConfig::default()).expect("ingestor")
+}
+
+fn config() -> DurabilityConfig {
+    DurabilityConfig {
+        sync_every_append: true,
+        retain_generations: 2,
+        snapshot_every: None,
+        verify_on_open: true,
+    }
+}
+
+fn run_script(dw: &mut DurableWarehouse<SimMedium>, sc: &Scenario) -> Result<(), StorageError> {
+    for step in &sc.steps {
+        match step {
+            Step::Offer(env) => {
+                dw.offer(env)?;
+            }
+            Step::Snapshot => dw.snapshot()?,
+            Step::RecoverLog => {
+                dw.recover_from_log(&sc.source, &sc.outbox)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// After recovery, the source redelivers its whole outbox (idempotent)
+/// and replays the log once more — the normal catch-up a live channel
+/// performs after a receiver restart.
+fn complete(dw: &mut DurableWarehouse<SimMedium>, sc: &Scenario) {
+    for env in &sc.outbox {
+        dw.offer(env).expect("redelivery");
+    }
+    dw.recover_from_log(&sc.source, &sc.outbox).expect("log replay");
+}
+
+// ---------------------------------------------------------------------
+// The oracle fingerprint
+// ---------------------------------------------------------------------
+
+/// Everything the bit-identical claim covers: the canonical binary
+/// encoding of every warehouse relation (view and complement), and the
+/// full sequencing state. Quarantine is compared by containment — a
+/// corrupted *delivery* is transient channel garbage, so whether it was
+/// durably recorded legitimately depends on where the crash fell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Fingerprint {
+    rels: Vec<(String, Vec<u8>)>,
+    seq: Vec<(String, u64, u64, Vec<u64>)>,
+    quarantine: Vec<(u64, String)>,
+}
+
+fn fingerprint(ing: &IngestingIntegrator) -> Fingerprint {
+    Fingerprint {
+        rels: ing
+            .state()
+            .iter()
+            .map(|(n, r)| (n.as_str().to_owned(), io::encode_relation(r)))
+            .collect(),
+        seq: ing
+            .sequencing()
+            .iter()
+            .map(|s| (s.source.as_str().to_owned(), s.epoch, s.next_seq, s.parked.clone()))
+            .collect(),
+        quarantine: ing
+            .quarantine()
+            .iter()
+            .map(|q| (q.envelope.seq, q.error.to_string()))
+            .collect(),
+    }
+}
+
+/// Runs the scenario on a fresh disk governed by `plan`; returns the
+/// shared filesystem handle and the script result.
+fn run_on(plan: CrashPlan, sc: &Scenario) -> (SimFs, Result<Fingerprint, StorageError>) {
+    let fs = SimFs::new(plan);
+    let result = DurableWarehouse::create(SimMedium(fs.clone()), fresh_ingest(&sc.init), config())
+        .and_then(|mut dw| {
+            run_script(&mut dw, sc)?;
+            Ok(fingerprint(dw.ingestor()))
+        });
+    (fs, result)
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+/// THE acceptance property: crash at every mutating IO boundary of the
+/// pinned run; recovery from the survivors plus outbox redelivery is
+/// bit-identical to the never-crashed oracle — or, before the first
+/// manifest commit, exactly `DWC-S301`.
+#[test]
+fn kill_at_every_io_boundary_recovers_bit_identically() {
+    let sc = build_scenario();
+    let (clean_fs, clean) = run_on(CrashPlan::none(), &sc);
+    let oracle = clean.expect("never-crashed run");
+    let total_ops = clean_fs.ops();
+    assert!(total_ops >= 20, "scenario exercises too few IO boundaries: {total_ops}");
+
+    for k in 0..total_ops {
+        let torn_seed = CRASH_SEED ^ (k + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let (fs, result) = run_on(CrashPlan::at(k, torn_seed), &sc);
+        assert!(result.is_err(), "crash at op {k} surfaced no error");
+        assert!(fs.crashed(), "crash plan at op {k} never fired");
+
+        let survivors = fs.survivors();
+        if !survivors.contains_key(MANIFEST) {
+            // Death before the first manifest commit: the disk holds no
+            // committed warehouse, and recovery must say exactly that.
+            let err = Recovery::open(
+                SimMedium(SimFs::from_files(survivors)),
+                fresh_aug(),
+                config(),
+            )
+            .expect_err("no manifest yet recovery succeeded");
+            assert_eq!(err.code(), "DWC-S301", "crash at op {k}: {err}");
+            continue;
+        }
+        let (mut rec, report) = Recovery::open(
+            SimMedium(SimFs::from_files(survivors)),
+            fresh_aug(),
+            config(),
+        )
+        .unwrap_or_else(|e| panic!("crash at op {k}: recovery failed: {e}"));
+        assert!(report.consistency_checked, "crash at op {k}: cross-check skipped");
+        complete(&mut rec, &sc);
+        let fp = fingerprint(rec.ingestor());
+        assert_eq!(fp.rels, oracle.rels, "crash at op {k}: relations diverged");
+        assert_eq!(fp.seq, oracle.seq, "crash at op {k}: sequencing diverged");
+        for q in &fp.quarantine {
+            assert!(
+                oracle.quarantine.contains(q),
+                "crash at op {k}: alien quarantine entry {q:?}"
+            );
+        }
+    }
+}
+
+/// Crashing *during recovery* must leave a disk a second recovery opens
+/// cleanly — the roll-a-fresh-generation discipline commits before it
+/// prunes, so the manifest always binds durable files.
+#[test]
+fn recovery_survives_crashes_during_recovery() {
+    let sc = build_scenario();
+    let (_, clean) = run_on(CrashPlan::none(), &sc);
+    let oracle = clean.expect("never-crashed run");
+
+    // A mid-script crash with a committed manifest as the starting disk.
+    let (fs, _) = run_on(CrashPlan::at(17, CRASH_SEED), &sc);
+    let s0 = fs.survivors();
+    assert!(s0.contains_key(MANIFEST), "probe crash fell before the first commit");
+
+    // Count the baseline recovery's own IO boundaries.
+    let rfs = SimFs::from_files(s0.clone());
+    Recovery::open(SimMedium(rfs.clone()), fresh_aug(), config()).expect("baseline recovery");
+    let rec_ops = rfs.ops();
+    assert!(rec_ops >= 8, "recovery does too little IO to sweep: {rec_ops}");
+
+    for j in 0..rec_ops {
+        let torn_seed = CRASH_SEED.rotate_left(j as u32) ^ j;
+        let rfs = SimFs::from_files_with_plan(s0.clone(), CrashPlan::at(j, torn_seed));
+        let r = Recovery::open(SimMedium(rfs.clone()), fresh_aug(), config());
+        assert!(r.is_err(), "recovery crash at op {j} surfaced no error");
+        let s1 = rfs.survivors();
+        assert!(s1.contains_key(MANIFEST), "recovery crash at op {j} lost the manifest");
+        let (mut rec2, _) = Recovery::open(
+            SimMedium(SimFs::from_files(s1)),
+            fresh_aug(),
+            config(),
+        )
+        .unwrap_or_else(|e| panic!("second recovery after crash at op {j} failed: {e}"));
+        complete(&mut rec2, &sc);
+        let fp = fingerprint(rec2.ingestor());
+        assert_eq!(fp.rels, oracle.rels, "recovery crash at op {j}: relations diverged");
+        assert_eq!(fp.seq, oracle.seq, "recovery crash at op {j}: sequencing diverged");
+    }
+}
+
+/// Seeded in-place corruption of each committed file class yields its
+/// documented `DWC-SNNN` code — or, for damage that structurally reads
+/// as a torn tail, a successful recovery that converges after
+/// redelivery. Never a panic.
+#[test]
+fn seeded_corruption_yields_documented_codes() {
+    let sc = build_scenario();
+    let (fs, clean) = run_on(CrashPlan::none(), &sc);
+    let oracle = clean.expect("never-crashed run");
+    let files = fs.survivors();
+
+    let wal2 = segment_name(2);
+    let snap1 = snapshot_name(1);
+    let snap2 = snapshot_name(2);
+    for name in [wal2.as_str(), snap1.as_str(), snap2.as_str(), MANIFEST] {
+        assert!(files.contains_key(name), "missing committed file {name}");
+    }
+    let frame_len =
+        u32::from_le_bytes(files[&wal2][20..24].try_into().expect("4 bytes")) as usize;
+    assert!(frame_len > 8, "first WAL frame suspiciously small");
+    let mut rng = SplitMix64::new(CRASH_SEED);
+
+    // WAL header damage → DWC-S101.
+    for _ in 0..12 {
+        let fs = SimFs::from_files(files.clone());
+        assert!(fs.flip_bit(&wal2, rng.index(20), rng.below(8) as u8));
+        let err = Recovery::open(SimMedium(fs), fresh_aug(), config())
+            .expect_err("header flip went unnoticed");
+        assert_eq!(err.code(), "DWC-S101", "{err}");
+    }
+
+    // Damage inside a structurally complete WAL frame → DWC-S102.
+    for _ in 0..12 {
+        let fs = SimFs::from_files(files.clone());
+        assert!(fs.flip_bit(&wal2, 28 + rng.index(frame_len), rng.below(8) as u8));
+        let err = Recovery::open(SimMedium(fs), fresh_aug(), config())
+            .expect_err("frame flip went unnoticed");
+        assert_eq!(err.code(), "DWC-S102", "{err}");
+    }
+
+    // Blowing up a frame's length field makes the rest of the segment
+    // structurally unreadable: documented as a torn tail — truncated,
+    // counted, recovered across.
+    {
+        let fs = SimFs::from_files(files.clone());
+        assert!(fs.flip_bit(&wal2, 23, 7)); // high bit of the length
+        let (mut rec, report) = Recovery::open(SimMedium(fs), fresh_aug(), config())
+            .expect("length damage must read as torn, not fail");
+        assert_eq!(report.torn_tails, 1);
+        complete(&mut rec, &sc);
+        assert_eq!(fingerprint(rec.ingestor()).rels, oracle.rels);
+    }
+
+    // Newest snapshot corrupt → silent fallback one generation, then
+    // convergence via the older snapshot + both WAL segments.
+    for _ in 0..12 {
+        let fs = SimFs::from_files(files.clone());
+        assert!(fs.flip_bit(&snap2, rng.index(files[&snap2].len()), rng.below(8) as u8));
+        let (mut rec, report) = Recovery::open(SimMedium(fs), fresh_aug(), config())
+            .unwrap_or_else(|e| panic!("fallback recovery failed: {e}"));
+        assert_eq!(report.snapshots_skipped, 1);
+        assert_eq!(report.snapshot_used, snap1);
+        complete(&mut rec, &sc);
+        let fp = fingerprint(rec.ingestor());
+        assert_eq!(fp.rels, oracle.rels);
+        assert_eq!(fp.seq, oracle.seq);
+    }
+
+    // Every referenced snapshot corrupt → DWC-S202.
+    {
+        let fs = SimFs::from_files(files.clone());
+        assert!(fs.flip_bit(&snap1, rng.index(files[&snap1].len()), 3));
+        assert!(fs.flip_bit(&snap2, rng.index(files[&snap2].len()), 5));
+        let err = Recovery::open(SimMedium(fs), fresh_aug(), config())
+            .expect_err("all snapshots corrupt yet recovery succeeded");
+        assert_eq!(err.code(), "DWC-S202", "{err}");
+    }
+
+    // Manifest damage → DWC-S302; manifest missing → DWC-S301.
+    for _ in 0..12 {
+        let fs = SimFs::from_files(files.clone());
+        assert!(fs.flip_bit(MANIFEST, rng.index(files[MANIFEST].len()), rng.below(8) as u8));
+        let err = Recovery::open(SimMedium(fs), fresh_aug(), config())
+            .expect_err("manifest flip went unnoticed");
+        assert_eq!(err.code(), "DWC-S302", "{err}");
+    }
+    {
+        let mut gone = files.clone();
+        gone.remove(MANIFEST);
+        let err = Recovery::open(SimMedium(SimFs::from_files(gone)), fresh_aug(), config())
+            .expect_err("missing manifest yet recovery succeeded");
+        assert_eq!(err.code(), "DWC-S301", "{err}");
+    }
+
+    // A torn WAL tail (truncation mid-frame) is clipped, counted, and
+    // recovered across.
+    for cut in [1, 3, 9] {
+        let fs = SimFs::from_files(files.clone());
+        let full = fs.len_of(&wal2).expect("wal present");
+        assert!(fs.truncate_to(&wal2, full - cut));
+        let (mut rec, report) = Recovery::open(SimMedium(fs), fresh_aug(), config())
+            .unwrap_or_else(|e| panic!("torn tail (cut {cut}) failed recovery: {e}"));
+        assert_eq!(report.torn_tails, 1, "cut {cut}");
+        complete(&mut rec, &sc);
+        let fp = fingerprint(rec.ingestor());
+        assert_eq!(fp.rels, oracle.rels, "cut {cut}");
+        assert_eq!(fp.seq, oracle.seq, "cut {cut}");
+    }
+}

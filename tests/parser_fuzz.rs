@@ -10,8 +10,9 @@ mod common;
 
 use common::{chain_catalog, random_expr};
 use dwc_testkit::prop::Runner;
-use dwc_testkit::tk_ensure_eq;
-use dwcomplements::relalg::RaExpr;
+use dwc_testkit::{tk_ensure, tk_ensure_eq, SplitMix64};
+use dwcomplements::analyze::specfile::{parse_spec, print_spec};
+use dwcomplements::relalg::{io, AttrSet, RaExpr, Relation, Tuple, Value};
 
 /// Totally arbitrary strings: parse must return (Ok or Err), never panic.
 /// (The runner converts panics into failures, then shrinks the string.)
@@ -71,6 +72,234 @@ fn generated_expressions_roundtrip() {
             let e = random_expr(seed, depth, &catalog);
             let reparsed = RaExpr::parse(&e.to_string()).expect("printer output parses");
             tk_ensure_eq!(e, reparsed);
+            Ok(())
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// `.dwc` spec files: parse → print → parse is a fixpoint
+// ---------------------------------------------------------------------
+
+/// A random well-formed spec over tables `T0..Tn` drawing attributes
+/// from a shared pool (so joins and inclusion dependencies are
+/// satisfiable), inclusion deps only from later to earlier tables
+/// (acyclic by construction), and PSJ views built from joins,
+/// selections, and projections.
+fn gen_spec_text(rng: &mut SplitMix64) -> String {
+    let pool = ["a0", "a1", "a2", "a3", "a4"];
+    let ntab = 1 + rng.index(4);
+    let mut out = String::new();
+    let mut tables: Vec<Vec<&str>> = Vec::new();
+    for t in 0..ntab {
+        let attrs: Vec<&str> = pool
+            .iter()
+            .copied()
+            .filter(|_| rng.chance(1, 2))
+            .collect();
+        let attrs = if attrs.is_empty() { vec![pool[rng.index(pool.len())]] } else { attrs };
+        let keyed: Vec<bool> = attrs.iter().map(|_| rng.chance(1, 3)).collect();
+        let decl: Vec<String> = attrs
+            .iter()
+            .zip(&keyed)
+            .map(|(a, &k)| if k { format!("{a}*") } else { (*a).to_owned() })
+            .collect();
+        out.push_str(&format!("table T{t}({})\n", decl.join(", ")));
+        tables.push(attrs);
+    }
+    // Acyclic inclusion deps: from a later table into an earlier one.
+    for from in 1..ntab {
+        if !rng.chance(1, 3) {
+            continue;
+        }
+        let to = rng.index(from);
+        let common: Vec<&str> = tables[from]
+            .iter()
+            .copied()
+            .filter(|a| tables[to].contains(a))
+            .collect();
+        if common.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("ind T{from} -> T{to} ({})\n", common.join(", ")));
+    }
+    // Views: joins of one or two tables, sometimes selected/projected.
+    for v in 0..rng.index(3) {
+        let i = rng.index(ntab);
+        let j = rng.index(ntab);
+        let (expr, attrs) = if rng.chance(1, 2) && i != j {
+            let mut u: Vec<&str> = tables[i].clone();
+            for a in &tables[j] {
+                if !u.contains(a) {
+                    u.push(a);
+                }
+            }
+            (format!("T{i} join T{j}"), u)
+        } else {
+            (format!("T{i}"), tables[i].clone())
+        };
+        let expr = if rng.chance(1, 3) {
+            let a = attrs[rng.index(attrs.len())];
+            format!("sigma[{a} = {}]({expr})", rng.i64_in(0, 9))
+        } else {
+            expr
+        };
+        let expr = if rng.chance(1, 3) {
+            let keep: Vec<&str> =
+                attrs.iter().copied().filter(|_| rng.chance(2, 3)).collect();
+            let keep = if keep.is_empty() { vec![attrs[0]] } else { keep };
+            format!("pi[{}]({expr})", keep.join(", "))
+        } else {
+            expr
+        };
+        out.push_str(&format!("view V{v} = {expr}\n"));
+    }
+    out
+}
+
+/// Round-trip fuzz of the `.dwc` spec parser: whenever a generated spec
+/// parses cleanly, the printer's output must parse cleanly too and print
+/// back to the *identical* string (printer fixpoint).
+#[test]
+fn spec_files_roundtrip_through_the_printer() {
+    Runner::new("spec_files_roundtrip_through_the_printer").cases(256).run(
+        gen_spec_text,
+        |text: &String| {
+            let (spec, report) = parse_spec(text, "gen.dwc");
+            if report.has_errors() {
+                // Generated collisions (duplicate view bodies are only
+                // warnings; name collisions are impossible by naming) —
+                // nothing to round-trip.
+                return Ok(());
+            }
+            let printed = print_spec(&spec);
+            let (spec2, report2) = parse_spec(&printed, "printed.dwc");
+            tk_ensure!(!report2.has_errors(), "printed spec does not re-parse:\n{report2}\n{printed}");
+            tk_ensure_eq!(printed, print_spec(&spec2));
+            Ok(())
+        },
+    );
+}
+
+/// The spec-grammar vocabulary for garbage-soup inputs.
+const SPEC_VOCAB: &[&str] = &[
+    "table", "fk", "ind", "view", "T0", "T1", "V", "(", ")", "*", ",",
+    "->", "=", "join", "pi", "sigma", "[", "]", "a0", "a1", "#", "\n",
+    "0", "9x",
+];
+
+/// Spec-parser robustness: token soup and wild strings must produce a
+/// report (possibly all errors) — never a panic — and anything that
+/// parses cleanly must satisfy the printer fixpoint.
+#[test]
+fn spec_soup_never_panics() {
+    Runner::new("spec_soup_never_panics").cases(512).run(
+        |rng| {
+            if rng.chance(1, 4) {
+                rng.wild_string(120)
+            } else {
+                let len = rng.index(32);
+                let toks =
+                    rng.vec_of(len, |r| SPEC_VOCAB[r.index(SPEC_VOCAB.len())]);
+                toks.join(" ")
+            }
+        },
+        |text: &String| {
+            let (spec, report) = parse_spec(text, "soup.dwc");
+            if !report.has_errors() {
+                let printed = print_spec(&spec);
+                let (spec2, report2) = parse_spec(&printed, "printed.dwc");
+                tk_ensure!(!report2.has_errors(), "printed spec does not re-parse:\n{printed}");
+                tk_ensure_eq!(printed, print_spec(&spec2));
+            }
+            Ok(())
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Binary relation encoding: encode → decode identity, corruption is a
+// typed error, arbitrary bytes never panic
+// ---------------------------------------------------------------------
+
+/// A random relation mixing every value kind the codec tags.
+fn gen_relation(rng: &mut SplitMix64) -> Relation {
+    let arity = 1 + rng.index(4);
+    let names: Vec<String> = (0..arity).map(|i| format!("c{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut rel = Relation::empty(AttrSet::from_names(&name_refs));
+    for _ in 0..rng.index(12) {
+        let tuple = Tuple::new(
+            (0..arity)
+                .map(|_| match rng.below(4) {
+                    0 => Value::int(rng.i64_in(-1000, 1000)),
+                    1 => Value::Bool(rng.bool()),
+                    2 => Value::double(rng.i64_in(-4000, 4000) as f64 / 4.0),
+                    _ => {
+                        let len = 1 + rng.index(6);
+                        Value::str(&rng.ident(len))
+                    }
+                })
+                .collect(),
+        );
+        rel.insert(tuple).expect("generated arity matches");
+    }
+    rel
+}
+
+/// Encode → decode is the identity.
+#[test]
+fn relation_codec_roundtrips() {
+    Runner::new("relation_codec_roundtrips").cases(256).run(
+        |rng| rng.next_u64(),
+        |&seed| {
+            let rel = gen_relation(&mut SplitMix64::new(seed));
+            let bytes = io::encode_relation(&rel);
+            let back = io::decode_relation(&bytes).expect("own encoding decodes");
+            tk_ensure_eq!(rel, back);
+            Ok(())
+        },
+    );
+}
+
+/// Corrupt any single byte (bit flip) or cut the tail: the decoder must
+/// return a typed error — the trailing CRC-32 catches every single-bit
+/// flip — and never panic.
+#[test]
+fn relation_codec_rejects_corruption() {
+    Runner::new("relation_codec_rejects_corruption").cases(256).run(
+        |rng| (rng.next_u64(), rng.next_u64()),
+        |&(seed, pick)| {
+            let rel = gen_relation(&mut SplitMix64::new(seed));
+            let bytes = io::encode_relation(&rel);
+            let mut rng = SplitMix64::new(pick);
+            let mut flipped = bytes.clone();
+            let at = rng.index(flipped.len());
+            flipped[at] ^= 1 << rng.below(8);
+            tk_ensure!(
+                io::decode_relation(&flipped).is_err(),
+                "bit flip at byte {at} went unnoticed"
+            );
+            let cut = rng.index(bytes.len());
+            tk_ensure!(
+                io::decode_relation(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes went unnoticed"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Arbitrary byte soup: decode must return, never panic.
+#[test]
+fn relation_codec_never_panics_on_garbage() {
+    Runner::new("relation_codec_never_panics_on_garbage").cases(512).run(
+        |rng| {
+            let len = rng.index(96);
+            rng.vec_of(len, |r| r.below(256) as u8)
+        },
+        |bytes: &Vec<u8>| {
+            let _ = io::decode_relation(bytes);
             Ok(())
         },
     );
