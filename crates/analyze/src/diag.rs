@@ -36,6 +36,7 @@ pub enum Code {
     S502ThreadSpawn,
     S503MissingForbidUnsafe,
     S504FsWriteOutsideStorage,
+    S505AckOutsideCommitLoop,
     I901CertifiedEmptyComplement,
     I902FullCopyComplement,
     I903UncoveredRelation,
@@ -65,6 +66,7 @@ impl Code {
             Code::S502ThreadSpawn => "DWC-S502",
             Code::S503MissingForbidUnsafe => "DWC-S503",
             Code::S504FsWriteOutsideStorage => "DWC-S504",
+            Code::S505AckOutsideCommitLoop => "DWC-S505",
             Code::I901CertifiedEmptyComplement => "DWC-I901",
             Code::I902FullCopyComplement => "DWC-I902",
             Code::I903UncoveredRelation => "DWC-I903",
@@ -104,6 +106,9 @@ impl Code {
             Code::S503MissingForbidUnsafe => "crate root lacks #![forbid(unsafe_code)]",
             Code::S504FsWriteOutsideStorage => {
                 "filesystem write outside the warehouse::storage durability module"
+            }
+            Code::S505AckOutsideCommitLoop => {
+                "durable-ack construction or fsync outside the server commit loop"
             }
             Code::I901CertifiedEmptyComplement => "complement is certified empty (Theorem 2.2)",
             Code::I902FullCopyComplement => "complement stores a full copy of the relation",

@@ -9,8 +9,9 @@
 //!   `#[cfg(test)]` line of a file (the repo convention keeps test
 //!   modules at the bottom), and a same-line `// lint:allow <token> --
 //!   reason` comment waives a single occurrence.
-//! * `S502` — no `thread::spawn` outside `crates/relalg/src/exec.rs`,
-//!   the one sanctioned executor module.
+//! * `S502` — no `thread::spawn` outside the sanctioned runtime
+//!   modules: `crates/relalg/src/exec.rs` (the scoped executor) and
+//!   `src/serve.rs` (the server's connection/engine threads).
 //! * `S503` — every crate root (and the workspace root library) carries
 //!   `#![forbid(unsafe_code)]`.
 //! * `S504` — no `std::fs` *writes* (`fs::write`, `fs::rename`,
@@ -18,6 +19,11 @@
 //!   `crates/warehouse/src/storage/`, the one crash-tested durability
 //!   module. Reads are unrestricted; test modules are exempt; a
 //!   same-line `// lint:allow fs_write -- reason` waives one line.
+//! * `S505` — the server's durable-ack discipline. `Ack::new(` may
+//!   appear only in `crates/warehouse/src/server/commit.rs` (acks are
+//!   minted strictly after the group fsync returns), and `.sync(`
+//!   calls inside `crates/warehouse/src` stay confined to the
+//!   `storage/` tree. Waivers: `ack_new` / `sync_call`.
 //!
 //! Comments, string literals, raw strings and char literals are stripped
 //! by a small lexer before token matching, so a doc-comment mentioning
@@ -41,8 +47,9 @@ const S501_EXCLUDED: &[&str] = &[
 /// Library trees subject to the `S501` panic-free rule.
 const S501_ROOTS: &[&str] = &["crates/relalg/src", "crates/core/src", "crates/warehouse/src"];
 
-/// The one module allowed to call `thread::spawn`.
-const S502_ALLOWED: &str = "crates/relalg/src/exec.rs";
+/// The modules allowed to call `thread::spawn`: the scoped executor
+/// and the server runtime (engine, acceptor, per-connection threads).
+const S502_ALLOWED: &[&str] = &["crates/relalg/src/exec.rs", "src/serve.rs"];
 
 /// The one module tree allowed to write through `std::fs`: the
 /// durability layer, whose writes follow the WAL/snapshot atomicity
@@ -64,6 +71,19 @@ const FS_WRITE_BANNED: &[&str] = &[
     "File::create",
     "OpenOptions::new",
 ];
+
+/// The one file allowed to construct durable acks (`Ack::new(`): the
+/// server commit loop, which mints them strictly after the group
+/// fsync returns (`S505`).
+const S505_ACK_ALLOWED: &str = "crates/warehouse/src/server/commit.rs";
+
+/// The tree whose `.sync(` calls `S505` polices (the warehouse crate —
+/// other crates, e.g. the testkit's simulated filesystem, legitimately
+/// define and exercise sync).
+const S505_SYNC_TREE: &str = "crates/warehouse/src";
+
+/// Where `.sync(` may appear inside that tree: the storage layer.
+const S505_SYNC_ALLOWED_PREFIX: &str = "crates/warehouse/src/storage/";
 
 /// Banned tokens: `(needle, waiver name)`.
 const BANNED: &[(&str, &str)] = &[
@@ -99,7 +119,7 @@ pub fn self_check(root: &Path) -> Report {
     for tree in src_trees {
         for file in rust_files(&tree, &mut report) {
             let rel = rel_path(root, &file);
-            if rel == S502_ALLOWED {
+            if S502_ALLOWED.contains(&rel.as_str()) {
                 continue;
             }
             scan_spawn(&file, &rel, &mut report);
@@ -117,6 +137,23 @@ pub fn self_check(root: &Path) -> Report {
                 continue;
             }
             scan_fs_writes(&file, &rel, &mut report);
+        }
+    }
+
+    // --- S505: durable-ack discipline. `Ack::new(` confined to the
+    // commit loop (scanned everywhere a src tree exists); `.sync(`
+    // confined to the storage layer within the warehouse crate.
+    let mut src_trees: Vec<PathBuf> = vec![root.join("src")];
+    src_trees.extend(crate_dirs(root, &mut report).into_iter().map(|d| d.join("src")));
+    for tree in src_trees {
+        for file in rust_files(&tree, &mut report) {
+            let rel = rel_path(root, &file);
+            let check_ack = rel != S505_ACK_ALLOWED;
+            let check_sync =
+                rel.starts_with(S505_SYNC_TREE) && !rel.starts_with(S505_SYNC_ALLOWED_PREFIX);
+            if check_ack || check_sync {
+                scan_ack_discipline(&file, &rel, check_ack, check_sync, &mut report);
+            }
         }
     }
 
@@ -257,7 +294,7 @@ fn scan_spawn(path: &Path, rel: &str, report: &mut Report) {
                 Code::S502ThreadSpawn,
                 Severity::Error,
                 format!("{rel}:{line_no}"),
-                format!("thread::spawn outside {S502_ALLOWED}; use dwc_relalg::exec"),
+                format!("thread::spawn outside {S502_ALLOWED:?}; use dwc_relalg::exec"),
             );
         }
     }
@@ -287,6 +324,51 @@ fn scan_fs_writes(path: &Path, rel: &str, report: &mut Report) {
                     ),
                 );
             }
+        }
+    }
+}
+
+/// Scans one file for `S505` violations: durable-ack construction
+/// (`Ack::new(`) outside the commit loop and `.sync(` calls outside
+/// the storage layer. Test modules at the bottom of a file are exempt
+/// (they drive test doubles, not the durability path).
+fn scan_ack_discipline(
+    path: &Path,
+    rel: &str,
+    check_ack: bool,
+    check_sync: bool,
+    report: &mut Report,
+) {
+    let Some(lines) = stripped_lines(path, rel, report) else {
+        return;
+    };
+    for (line_no, raw, stripped) in &lines {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        if check_ack && stripped.contains("Ack::new(") && !has_waiver(raw, "ack_new") {
+            report.push(
+                Code::S505AckOutsideCommitLoop,
+                Severity::Error,
+                format!("{rel}:{line_no}"),
+                format!(
+                    "`Ack::new(` outside {S505_ACK_ALLOWED}; acks may only be minted \
+                     after the commit loop's group fsync (or waive with \
+                     `// lint:allow ack_new -- reason`)"
+                ),
+            );
+        }
+        if check_sync && stripped.contains(".sync(") && !has_waiver(raw, "sync_call") {
+            report.push(
+                Code::S505AckOutsideCommitLoop,
+                Severity::Error,
+                format!("{rel}:{line_no}"),
+                format!(
+                    "`.sync(` outside {S505_SYNC_ALLOWED_PREFIX}; fsync decisions belong \
+                     to the storage layer (or waive with \
+                     `// lint:allow sync_call -- reason`)"
+                ),
+            );
         }
     }
 }
@@ -522,6 +604,34 @@ call(); /* block panic! comment */ after();
         assert!(has_waiver("foo.expect(\"x\"); // lint:allow expect -- reason", "expect"));
         assert!(!has_waiver("foo.expect(\"x\");", "expect"));
         assert!(!has_waiver("// lint:allow unwrap", "expect"));
+    }
+
+    #[test]
+    fn s505_flags_ack_and_sync_outside_their_modules() {
+        let dir = std::env::temp_dir().join(format!("dwc-srclint-s505-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("rogue.rs");
+        fs::write(
+            &file,
+            "fn f(m: &M) {\n    let a = Ack::new(1);\n    m.sync(\"wal\");\n    \
+             let b = Ack::new(2); // lint:allow ack_new -- exercising the waiver\n}\n\
+             #[cfg(test)]\nmod t { fn g() { Ack::new(3); } }\n",
+        )
+        .unwrap();
+        let mut report = Report::new();
+        scan_ack_discipline(&file, "src/rogue.rs", true, true, &mut report);
+        let text = report.to_string();
+        assert_eq!(
+            text.matches("DWC-S505").count(),
+            2,
+            "one ack + one sync; waiver and test module exempt:\n{text}"
+        );
+        // With both checks disabled the same file is clean.
+        let mut clean = Report::new();
+        scan_ack_discipline(&file, "src/rogue.rs", false, false, &mut clean);
+        assert!(!clean.has_errors());
+        fs::remove_file(&file).ok();
+        fs::remove_dir(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Server group-commit throughput: what batching the fsync buys.
+//!
+//! Drives [`ServerCore`] end to end — session delivery, batcher, WAL
+//! group commit, epoch publication, ack minting — over a real
+//! filesystem scratch directory at batch caps 1/16/64 and 1/4 concurrent
+//! sources, reporting acked envelopes per second. Alongside the wall
+//! clock rows, a deterministic [`SimFs`] pass counts the actual
+//! append/fsync mix per configuration and prices it under the documented
+//! cost model (an fsync ≈ 50× an unsynced append), so the headline claim
+//! — batch ≥ 16 sustains ≥ 5× the acks/sec of batch = 1 — is pinned by
+//! accounting even on machines whose fsync is a tmpfs no-op.
+//! `scripts/bench.sh` collects every line into `BENCH_server.json`.
+
+use dwc_relalg::{Catalog, DbState, Relation, Tuple, Update, Value};
+use dwc_testkit::crash::{CrashPlan, SimError, SimFs};
+use dwc_testkit::Bench;
+use dwc_warehouse::channel::{Envelope, SourceId};
+use dwc_warehouse::ingest::{IngestConfig, IngestingIntegrator};
+use dwc_warehouse::integrator::{Integrator, SourceSite};
+use dwc_warehouse::server::{BatchPolicy, ServerCore, SessionId};
+use dwc_warehouse::{
+    DurabilityConfig, DurableWarehouse, FsMedium, MediumError, StorageMedium, WarehouseSpec,
+};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::path::PathBuf;
+
+/// Acked envelopes per timed iteration (all configurations).
+const ENVELOPES: usize = 64;
+
+/// The documented cost model: one fsync ≈ this many unsynced appends
+/// (see `DurableWarehouse::offer_batch`).
+const FSYNC_COST: u64 = 50;
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dwc-bench-server-{}-{tag}", std::process::id()))
+}
+
+fn chain_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_schema("R", &["a", "b"]).expect("static schema");
+    c.add_schema("S", &["b", "c"]).expect("static schema");
+    c.add_schema("T", &["c"]).expect("static schema");
+    c
+}
+
+fn row(rel_attrs: &[&str], values: &[i64]) -> Relation {
+    let mut rel = Relation::empty(dwc_relalg::AttrSet::from_names(rel_attrs));
+    rel.insert(Tuple::new(values.iter().map(|&v| Value::int(v)).collect()))
+        .expect("static arity");
+    rel
+}
+
+fn fresh_ingest() -> IngestingIntegrator {
+    let aug = WarehouseSpec::parse(chain_catalog(), &[("V", "R join S")])
+        .expect("static spec")
+        .augment()
+        .expect("chain warehouse augments");
+    let site = SourceSite::new(chain_catalog(), DbState::empty_for(&chain_catalog())).expect("site");
+    let integ = Integrator::initial_load(aug, &site).expect("initial load");
+    IngestingIntegrator::new(integ, IngestConfig::default()).expect("ingestor")
+}
+
+fn config() -> DurabilityConfig {
+    DurabilityConfig {
+        sync_every_append: false,
+        retain_generations: 2,
+        snapshot_every: None,
+        verify_on_open: true,
+    }
+}
+
+/// A round-robin schedule of `ENVELOPES` single-row inserts spread over
+/// `sources` independent sequenced sources (disjoint rows into R).
+fn build_schedule(sources: usize) -> Vec<(usize, Envelope)> {
+    let mut lanes: Vec<Vec<Envelope>> = (0..sources)
+        .map(|s| {
+            let site = SourceSite::new(chain_catalog(), DbState::empty_for(&chain_catalog())).expect("site");
+            let mut src =
+                dwc_warehouse::channel::SequencedSource::new(SourceId::new(format!("src{s}")), site);
+            (0..ENVELOPES / sources)
+                .map(|i| {
+                    let v = (s * 10_000 + i) as i64;
+                    src.apply_update(&Update::inserting("R", row(&["a", "b"], &[v, v + 1])))
+                        .expect("source applies its own update")
+                })
+                .collect()
+        })
+        .collect();
+    let mut schedule = Vec::with_capacity(ENVELOPES);
+    'outer: loop {
+        for (lane, envs) in lanes.iter_mut().enumerate() {
+            if envs.is_empty() {
+                break 'outer;
+            }
+            schedule.push((lane, envs.remove(0)));
+        }
+    }
+    schedule
+}
+
+/// Connects one session per source and delivers the whole schedule plus
+/// a final flush, returning the ack count (must equal `ENVELOPES`).
+fn pump<M: StorageMedium>(
+    core: &mut ServerCore<M>,
+    sessions: &[SessionId],
+    schedule: &[(usize, Envelope)],
+) -> usize {
+    let mut acks = 0;
+    for (lane, env) in schedule {
+        acks += core.deliver(sessions[*lane], env.clone(), 0).expect("deliver").len();
+    }
+    acks += core.flush().expect("flush").len();
+    assert_eq!(acks, schedule.len(), "every envelope must be acked");
+    acks
+}
+
+/// SimFs → StorageMedium adapter (accounting pass).
+#[derive(Clone, Debug)]
+struct SimMedium(SimFs);
+
+fn sim_err(op: &'static str, path: &str, e: SimError) -> MediumError {
+    MediumError { op, path: path.to_owned(), detail: e.to_string() }
+}
+
+impl StorageMedium for SimMedium {
+    fn read(&self, path: &str) -> Result<Vec<u8>, MediumError> {
+        self.0.read(path).map_err(|e| sim_err("read", path, e))
+    }
+    fn write_all(&self, path: &str, bytes: &[u8]) -> Result<(), MediumError> {
+        self.0.write_all(path, bytes).map_err(|e| sim_err("write", path, e))
+    }
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<(), MediumError> {
+        self.0.append(path, bytes).map_err(|e| sim_err("append", path, e))
+    }
+    fn sync(&self, path: &str) -> Result<(), MediumError> {
+        self.0.sync(path).map_err(|e| sim_err("sync", path, e))
+    }
+    fn rename(&self, from: &str, to: &str) -> Result<(), MediumError> {
+        self.0.rename(from, to).map_err(|e| sim_err("rename", from, e))
+    }
+    fn remove(&self, path: &str) -> Result<(), MediumError> {
+        self.0.remove(path).map_err(|e| sim_err("remove", path, e))
+    }
+    fn list(&self) -> Result<Vec<String>, MediumError> {
+        Ok(self.0.list())
+    }
+    fn exists(&self, path: &str) -> bool {
+        self.0.exists(path)
+    }
+}
+
+fn main() {
+    let mut scratch_dirs = Vec::new();
+    let mut measured: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+    let mut modeled: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+
+    for &sources in &[1usize, 4] {
+        let schedule = build_schedule(sources);
+        for &max_batch in &[1usize, 16, 64] {
+            // --- wall clock over the real filesystem ---
+            let dir = scratch(&format!("b{max_batch}-s{sources}"));
+            scratch_dirs.push(dir.clone());
+            let medium = FsMedium::new(&dir).expect("scratch dir");
+            let dw = DurableWarehouse::create(medium, fresh_ingest(), config())
+                .expect("creates");
+            let mut core = ServerCore::new(
+                dw,
+                BatchPolicy { max_batch, max_wait_micros: 1_000_000 },
+            );
+            let sessions: Vec<SessionId> = (0..sources)
+                .map(|s| core.connect(SourceId::new(format!("src{s}"))).session)
+                .collect();
+            let group = Bench::new("server")
+                .field_num("max_batch", max_batch as u64)
+                .field_num("sources", sources as u64)
+                .field_num("envelopes_per_iter", ENVELOPES as u64);
+            let stats = group.run(&format!("group-commit/batch{max_batch}-src{sources}"), || {
+                black_box(pump(&mut core, &sessions, &schedule))
+            });
+            let acks_per_sec =
+                (ENVELOPES as u128 * 1_000_000_000 / u128::from(stats.median_ns.max(1))) as u64;
+            measured.insert((sources, max_batch), acks_per_sec);
+            println!(
+                "{{\"group\":\"server\",\"bench\":\"acks-per-sec/batch{max_batch}-src{sources}\",\"acks_per_sec\":{acks_per_sec},\"max_batch\":{max_batch},\"sources\":{sources}}}"
+            );
+
+            // --- deterministic SimFs accounting + cost model ---
+            let fs = SimFs::new(CrashPlan::none());
+            let dw = DurableWarehouse::create(SimMedium(fs.clone()), fresh_ingest(), config())
+                .expect("creates");
+            let mut core = ServerCore::new(
+                dw,
+                BatchPolicy { max_batch, max_wait_micros: 1_000_000 },
+            );
+            let sessions: Vec<SessionId> = (0..sources)
+                .map(|s| core.connect(SourceId::new(format!("src{s}"))).session)
+                .collect();
+            let syncs_before = fs.syncs();
+            pump(&mut core, &sessions, &schedule);
+            let fsyncs = fs.syncs() - syncs_before;
+            let storage = core.warehouse().storage_stats();
+            assert_eq!(storage.wal_syncs, fsyncs, "accounting cross-check");
+            // Modeled cost per acked envelope: appends at unit cost,
+            // fsyncs at FSYNC_COST; modeled rate is acks per kilo-unit.
+            let cost = ENVELOPES as u64 + fsyncs * FSYNC_COST;
+            let modeled_rate = ENVELOPES as u64 * 1_000 / cost;
+            modeled.insert((sources, max_batch), modeled_rate);
+            println!(
+                "{{\"group\":\"server\",\"bench\":\"fsync-accounting/batch{max_batch}-src{sources}\",\"acks\":{ENVELOPES},\"fsyncs\":{fsyncs},\"modeled_acks_per_kunit\":{modeled_rate},\"max_batch\":{max_batch},\"sources\":{sources}}}"
+            );
+        }
+    }
+
+    // The headline claim, both ways: measured wall clock and the
+    // deterministic accounting model. speedup_x100 is the ratio ×100.
+    for &sources in &[1usize, 4] {
+        for &batch in &[16usize, 64] {
+            let measured_x100 =
+                measured[&(sources, batch)] * 100 / measured[&(sources, 1)].max(1);
+            let modeled_x100 = modeled[&(sources, batch)] * 100 / modeled[&(sources, 1)].max(1);
+            println!(
+                "{{\"group\":\"server\",\"bench\":\"claim/batch{batch}-vs-1-src{sources}\",\"measured_speedup_x100\":{measured_x100},\"modeled_speedup_x100\":{modeled_x100},\"threshold_x100\":500}}"
+            );
+        }
+    }
+
+    for dir in scratch_dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -45,6 +45,7 @@ pub mod attrs;
 pub mod constraints;
 pub mod database;
 pub mod display;
+pub mod epoch;
 pub mod error;
 pub mod eval;
 pub mod exec;
@@ -64,6 +65,7 @@ pub mod value;
 pub use attrs::AttrSet;
 pub use constraints::{InclusionDep, Key};
 pub use database::DbState;
+pub use epoch::{EpochCell, EpochReader, StateEpoch};
 pub use error::{RelalgError, Result};
 pub use expr::RaExpr;
 pub use predicate::{CmpOp, Operand, Predicate};

@@ -119,6 +119,7 @@ struct SimFile {
 struct SimInner {
     files: BTreeMap<String, SimFile>,
     ops: u64,
+    syncs: u64,
     plan: CrashPlan,
     crashed: bool,
     /// The frozen durable view, computed at crash time.
@@ -147,6 +148,7 @@ impl SimFs {
             inner: Rc::new(RefCell::new(SimInner {
                 files: BTreeMap::new(),
                 ops: 0,
+                syncs: 0,
                 plan,
                 crashed: false,
                 survivors: None,
@@ -181,6 +183,13 @@ impl SimFs {
     /// indices `0..ops()` of a clean run cover every IO boundary).
     pub fn ops(&self) -> u64 {
         self.inner.borrow().ops
+    }
+
+    /// Completed [`SimFs::sync`] operations so far — the fsync meter
+    /// the group-commit accounting tests read. A sync the crash beat
+    /// (nothing became durable) is not counted.
+    pub fn syncs(&self) -> u64 {
+        self.inner.borrow().syncs
     }
 
     /// True once the plan's crash has fired.
@@ -370,6 +379,7 @@ impl SimFs {
                     .get_mut(path)
                     .ok_or_else(|| SimError::NotFound { path: path.to_owned() })?;
                 f.durable = f.data.clone();
+                inner.syncs += 1;
             }
             MutOp::Rename { from, to } => {
                 let f = inner
@@ -407,6 +417,21 @@ mod tests {
         assert!(!fs.crashed());
         assert_eq!(fs.read("a.log").unwrap(), b"onetwo");
         assert_eq!(fs.survivors()["a.log"], b"onetwo");
+    }
+
+    #[test]
+    fn syncs_are_counted_separately_from_ops() {
+        let fs = SimFs::new(CrashPlan::none());
+        fs.append("a", b"x").unwrap();
+        fs.sync("a").unwrap();
+        fs.append("a", b"y").unwrap();
+        fs.sync("a").unwrap();
+        assert_eq!((fs.ops(), fs.syncs()), (4, 2));
+        // A sync the crash beat made nothing durable and is not counted.
+        let fs = SimFs::new(CrashPlan::at(1, 3));
+        fs.append("a", b"x").unwrap();
+        fs.sync("a").unwrap_err();
+        assert_eq!(fs.syncs(), 0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! plain `std`: no registry crates, no build scripts, no feature flags —
 //! so `cargo build --release && cargo test -q` works fully offline.
 //!
-//! Five subsystems:
+//! Six subsystems:
 //!
 //! * [`rng`] — the [`rng::SplitMix64`] PRNG plus value generators
 //!   (bounded ints, indices, Bernoulli draws, identifiers, wild strings,
@@ -24,6 +24,11 @@
 //!   torn unsynced tails, coin-flipped in-flight renames, and a counted
 //!   operation stream enabling kill-at-every-IO-boundary sweeps, all a
 //!   pure function of a shrinkable [`crash::CrashPlan`].
+//! * [`sched`] — deterministic concurrency scheduling: a virtual
+//!   microsecond clock ([`sched::VirtualClock`]) and a seeded
+//!   interleaver ([`sched::Interleaver`]) that merges per-source event
+//!   lanes into one reproducible schedule, plus the `DWC_SCHED_SEEDS`
+//!   sweep hook ([`sched::sched_seeds`]).
 //! * [`bench`] — a microbenchmark timer ([`bench::Bench`]) with
 //!   calibration, warmup and median-of-N sampling, reporting one JSON
 //!   line per benchmark.
@@ -64,6 +69,7 @@ pub mod crash;
 pub mod fault;
 pub mod prop;
 pub mod rng;
+pub mod sched;
 pub mod shrink;
 
 pub use bench::{Bench, Stats};
@@ -71,6 +77,7 @@ pub use crash::{CrashPlan, SimError, SimFs};
 pub use fault::{Delivery, FaultPlan};
 pub use prop::{PropResult, Runner};
 pub use rng::SplitMix64;
+pub use sched::{sched_seeds, Interleaver, VirtualClock};
 pub use shrink::{NoShrink, Shrink};
 
 /// Fails the enclosing property with a formatted message unless the

@@ -207,12 +207,9 @@ impl IngestingIntegrator {
     }
 
     fn offer_at(&mut self, cursor: &mut Cursor, envelope: &Envelope) -> IngestOutcome {
-        // Epoch transitions first: a newer epoch supersedes the cursor
-        // (the source's sequencer restarted), an older one is a stale
-        // replay from before the restart.
-        if envelope.epoch > cursor.epoch {
-            *cursor = Cursor { epoch: envelope.epoch, next_seq: 0, pending: BTreeMap::new() };
-        } else if envelope.epoch < cursor.epoch {
+        // An older epoch is a stale replay from before the source's
+        // sequencer restarted.
+        if envelope.epoch < cursor.epoch {
             return self.reject(
                 envelope,
                 WarehouseError::StaleEpoch {
@@ -222,14 +219,26 @@ impl IngestingIntegrator {
                 },
             );
         }
-        // Idempotent dedup: applied or already parked.
-        if envelope.seq < cursor.next_seq || cursor.pending.contains_key(&envelope.seq) {
+        // Idempotent dedup within the current epoch: applied or parked.
+        if envelope.epoch == cursor.epoch
+            && (envelope.seq < cursor.next_seq || cursor.pending.contains_key(&envelope.seq))
+        {
             self.stats.duplicates += 1;
             return IngestOutcome::Duplicate;
         }
-        // Malformed reports never touch warehouse state or sequencing.
+        // Malformed reports never touch warehouse state or sequencing —
+        // including the epoch cursor. Validation must precede the epoch
+        // transition below: a *corrupt* envelope claiming a future epoch
+        // would otherwise wedge the cursor past the genuine stream, and
+        // every pristine retransmission or quarantine requeue would then
+        // bounce as stale.
         if let Err(e) = self.validate(&envelope.report) {
             return self.reject(envelope, e);
+        }
+        // A (valid) newer epoch supersedes the cursor: the source's
+        // sequencer restarted.
+        if envelope.epoch > cursor.epoch {
+            *cursor = Cursor { epoch: envelope.epoch, next_seq: 0, pending: BTreeMap::new() };
         }
         if envelope.seq > cursor.next_seq {
             // A gap: park the early report, bounded by the window.
@@ -481,6 +490,31 @@ impl IngestingIntegrator {
         Some(self.offer(&entry.envelope))
     }
 
+    /// Drains the whole quarantine in **sequence order** — sorted by
+    /// `(source, epoch, seq)` — re-offering every entry through the
+    /// normal ingestion path, and returns each envelope with its fresh
+    /// outcome, in the order offered. Arrival order is the wrong
+    /// requeue order: entries are logged in rejection order, and
+    /// re-offering a later sequence of a source before an earlier one
+    /// parks it again (or, past the reorder window, demands recovery);
+    /// sorted re-entry lets contiguous sequences apply directly. Each
+    /// drained entry is offered exactly once — still-bad envelopes land
+    /// back in quarantine as new entries, with no fixpoint loop.
+    pub fn requeue_all_quarantined(&mut self) -> Vec<(Envelope, IngestOutcome)> {
+        let mut entries = std::mem::take(&mut self.quarantine);
+        entries.sort_by(|a, b| {
+            (&a.envelope.source, a.envelope.epoch, a.envelope.seq)
+                .cmp(&(&b.envelope.source, b.envelope.epoch, b.envelope.seq))
+        });
+        entries
+            .into_iter()
+            .map(|e| {
+                let outcome = self.offer(&e.envelope);
+                (e.envelope, outcome)
+            })
+            .collect()
+    }
+
     /// Permanently discards the quarantined envelope at `index`,
     /// recording the operator's reason in the discard log. Returns the
     /// discarded entry, or `None` when the index is out of range.
@@ -717,6 +751,63 @@ mod tests {
         assert_eq!(seq[0].source, *src.id());
         assert_eq!(seq[0].next_seq, 2);
         assert!(seq[0].parked.is_empty());
+    }
+
+    #[test]
+    fn corrupt_future_epoch_never_wedges_the_cursor() {
+        let (mut src, mut ing) = setup(IngestConfig::default());
+        let good0 = sale_insert(&mut src, "Mac", "Paula");
+        let good1 = sale_insert(&mut src, "Modem", "John");
+        assert_eq!(ing.offer(&good0), IngestOutcome::Applied(1));
+        // A corrupted copy of good1 that *also* claims a future epoch.
+        // Validation must reject it before the epoch transition: were
+        // the cursor bumped first, every genuine epoch-0 envelope —
+        // including the pristine retransmission below — would bounce
+        // as stale and the source would be wedged for good.
+        let mut corrupt = good1.clone();
+        corrupt.epoch = 5;
+        corrupt.report = Update::inserting("Ghost", rel! { ["x"] => (1,) });
+        assert!(matches!(ing.offer(&corrupt), IngestOutcome::Quarantined(_)));
+        assert_eq!(ing.sequencing()[0].epoch, 0, "cursor epoch must not move");
+        // The pristine retransmission still applies in its epoch.
+        assert_eq!(ing.offer(&good1), IngestOutcome::Applied(1));
+        assert_eq!(ing.state(), &oracle(&src, &ing));
+        // And a *valid* future-epoch envelope still supersedes normally.
+        src.begin_epoch();
+        let next = sale_insert(&mut src, "Printer", "Mary");
+        assert_eq!((next.epoch, next.seq), (1, 0));
+        assert_eq!(ing.offer(&next), IngestOutcome::Applied(1));
+        assert_eq!(ing.sequencing()[0].epoch, 1);
+    }
+
+    #[test]
+    fn requeue_all_reenters_in_sequence_order() {
+        let (mut src, mut ing) = setup(IngestConfig::default());
+        let goods: Vec<Envelope> =
+            (0..3).map(|i| sale_insert(&mut src, &format!("item{i}"), "Mary")).collect();
+        // Corrupt copies arrive in scrambled order 2, 0, 1 and all
+        // quarantine (validation precedes any sequencing decision).
+        for i in [2usize, 0, 1] {
+            let mut corrupt = goods[i].clone();
+            corrupt.report = Update::inserting("Ghost", rel! { ["x"] => (i as i64,) });
+            assert!(matches!(ing.offer(&corrupt), IngestOutcome::Quarantined(_)));
+        }
+        let arrival: Vec<u64> = ing.quarantine().iter().map(|q| q.envelope.seq).collect();
+        assert_eq!(arrival, vec![2, 0, 1]);
+        // The bulk requeue drains in (source, epoch, seq) order, so the
+        // re-offers — and the re-quarantined entries they produce — come
+        // back sequence-sorted, not arrival-sorted.
+        let outcomes = ing.requeue_all_quarantined();
+        let offered: Vec<u64> = outcomes.iter().map(|(e, _)| e.seq).collect();
+        assert_eq!(offered, vec![0, 1, 2]);
+        assert!(outcomes.iter().all(|(_, o)| matches!(o, IngestOutcome::Quarantined(_))));
+        let requeued: Vec<u64> = ing.quarantine().iter().map(|q| q.envelope.seq).collect();
+        assert_eq!(requeued, vec![0, 1, 2]);
+        // Pristine retransmissions are unaffected throughout.
+        for g in &goods {
+            assert_eq!(ing.offer(g), IngestOutcome::Applied(1));
+        }
+        assert_eq!(ing.state(), &oracle(&src, &ing));
     }
 
     #[test]

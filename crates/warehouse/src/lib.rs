@@ -82,6 +82,7 @@ pub mod ingest;
 pub mod integrator;
 pub mod maintain;
 pub mod rewrite;
+pub mod server;
 pub mod spec;
 pub mod storage;
 #[cfg(test)]
@@ -92,6 +93,10 @@ pub use error::{Result, WarehouseError};
 pub use ingest::{
     DiscardedEntry, IngestConfig, IngestOutcome, IngestStats, IngestingIntegrator,
     QuarantineEntry, SequencingStatus,
+};
+pub use server::{
+    Ack, AckOutcome, BatchPolicy, QueryClient, ServerCore, ServerError, ServerStats,
+    SessionGrant, SessionId,
 };
 pub use spec::{AugmentedWarehouse, WarehouseSpec};
 pub use storage::{

@@ -1,0 +1,212 @@
+//! The commit pipeline: the single place where batches become durable,
+//! epochs are published, and acks are minted.
+//!
+//! Concentrating the fsync → publish → ack sequence in one module is a
+//! correctness device, not just tidiness. The server's durability
+//! contract — *a session never sees an ack for an envelope that could
+//! be lost in a crash* — holds iff acks are constructed only after
+//! [`DurableWarehouse::offer_batch`] returns, i.e. after the batch's
+//! group fsync. The workspace lint enforces the shape: `Ack::new` may
+//! appear only in this file (rule S505), so no other module can
+//! fabricate an ack ahead of durability, and `.sync(` calls inside the
+//! warehouse crate stay confined to the storage layer.
+//!
+//! The pipeline also owns the [`EpochCell`]: after every commit the new
+//! warehouse state is published as an immutable snapshot epoch, which
+//! readers load via cheap `Arc` clones without ever blocking ingestion.
+
+use crate::channel::{Envelope, SourceId};
+use crate::ingest::IngestOutcome;
+use crate::server::batch::BatchItem;
+use crate::server::session::SessionId;
+use crate::storage::{DurableWarehouse, StorageError, StorageMedium};
+use dwc_relalg::{EpochCell, EpochReader};
+use std::fmt;
+
+/// The per-envelope result a session is told after its batch's fsync.
+/// A rendered, `'static`-friendly projection of [`IngestOutcome`]
+/// (errors carry their display text, not the typed error).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AckOutcome {
+    /// Applied in sequence (count includes drained parked successors).
+    Applied(usize),
+    /// Already durably applied — idempotent replay.
+    Duplicate,
+    /// Parked out of order in the reorder window.
+    Buffered,
+    /// Rejected into quarantine; the text is the typed error rendered.
+    Quarantined(String),
+    /// The gap cannot fill from the stream; the session must replay its
+    /// outbox (`recover` in the line protocol).
+    NeedsRecovery(String),
+    /// A gap-recovery request completed, applying this many envelopes.
+    Recovered(usize),
+}
+
+impl AckOutcome {
+    /// Projects an ingestion outcome into its ack form.
+    pub fn from_ingest(outcome: &IngestOutcome) -> AckOutcome {
+        match outcome {
+            IngestOutcome::Applied(n) => AckOutcome::Applied(*n),
+            IngestOutcome::Duplicate => AckOutcome::Duplicate,
+            IngestOutcome::Buffered => AckOutcome::Buffered,
+            IngestOutcome::Quarantined(e) => AckOutcome::Quarantined(e.to_string()),
+            IngestOutcome::NeedsRecovery(e) => AckOutcome::NeedsRecovery(e.to_string()),
+        }
+    }
+
+    /// Whether the envelope (or recovery) is durably reflected in the
+    /// warehouse state.
+    pub fn is_durable(&self) -> bool {
+        matches!(
+            self,
+            AckOutcome::Applied(_) | AckOutcome::Duplicate | AckOutcome::Recovered(_)
+        )
+    }
+}
+
+impl fmt::Display for AckOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AckOutcome::Applied(n) => write!(f, "applied {n}"),
+            AckOutcome::Duplicate => write!(f, "duplicate"),
+            AckOutcome::Buffered => write!(f, "buffered"),
+            AckOutcome::Quarantined(e) => write!(f, "quarantined {e}"),
+            AckOutcome::NeedsRecovery(e) => write!(f, "needs-recovery {e}"),
+            AckOutcome::Recovered(n) => write!(f, "recovered {n}"),
+        }
+    }
+}
+
+/// A durable acknowledgment: sent to `session` only after the fsync
+/// covering its envelope returned. Constructed exclusively by the
+/// commit pipeline (lint rule S505).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ack {
+    /// The session to notify.
+    pub session: SessionId,
+    /// The source the envelope belonged to.
+    pub source: SourceId,
+    /// The envelope's source epoch.
+    pub epoch: u64,
+    /// The envelope's sequence number.
+    pub seq: u64,
+    /// What happened to it.
+    pub outcome: AckOutcome,
+}
+
+impl Ack {
+    fn new(session: SessionId, source: SourceId, epoch: u64, seq: u64, outcome: AckOutcome) -> Ack {
+        Ack { session, source, epoch, seq, outcome }
+    }
+}
+
+/// What one group commit produced: the published snapshot epoch and the
+/// per-envelope acks, in batch order.
+#[derive(Clone, Debug)]
+pub struct CommitReceipt {
+    /// The snapshot epoch readers observe from this commit onward.
+    pub epoch: u64,
+    /// One ack per batched envelope, in arrival order.
+    pub acks: Vec<Ack>,
+}
+
+/// The single-writer commit loop state: the durable warehouse plus the
+/// epoch cell readers subscribe to.
+#[derive(Debug)]
+pub struct CommitPipeline<M: StorageMedium> {
+    warehouse: DurableWarehouse<M>,
+    epochs: EpochCell,
+}
+
+impl<M: StorageMedium> CommitPipeline<M> {
+    /// Wraps a durable warehouse, seeding epoch 1 with its current
+    /// state (freshly created or just recovered).
+    pub fn new(warehouse: DurableWarehouse<M>) -> CommitPipeline<M> {
+        let epochs = EpochCell::new(warehouse.state().clone());
+        CommitPipeline { warehouse, epochs }
+    }
+
+    /// Commits one batch: offers every envelope, fsyncs once, publishes
+    /// the post-batch state as a new snapshot epoch, and only then
+    /// mints the acks. On storage error nothing is acked (and the
+    /// warehouse poisons itself, failing all later commits).
+    pub fn commit(&mut self, batch: Vec<BatchItem>) -> Result<CommitReceipt, StorageError> {
+        let envelopes: Vec<Envelope> = batch.iter().map(|item| item.envelope.clone()).collect();
+        let outcomes = self.warehouse.offer_batch(&envelopes)?;
+        let epoch = self.epochs.publish(self.warehouse.state().clone());
+        let acks = batch
+            .into_iter()
+            .zip(outcomes)
+            .map(|(item, outcome)| {
+                Ack::new(
+                    item.session,
+                    item.envelope.source,
+                    item.envelope.epoch,
+                    item.envelope.seq,
+                    AckOutcome::from_ingest(&outcome),
+                )
+            })
+            .collect();
+        Ok(CommitReceipt { epoch, acks })
+    }
+
+    /// Runs durable gap recovery from a session's replayed outbox and
+    /// publishes the repaired state. The single ack reports the
+    /// post-recovery cursor position.
+    pub fn recover_source(
+        &mut self,
+        session: SessionId,
+        source: &SourceId,
+        log: &[Envelope],
+    ) -> Result<CommitReceipt, StorageError> {
+        let applied = self.warehouse.recover_from_log(source, log)?;
+        let epoch = self.epochs.publish(self.warehouse.state().clone());
+        let (cursor_epoch, next_seq) = self
+            .warehouse
+            .ingestor()
+            .sequencing()
+            .into_iter()
+            .find(|s| &s.source == source)
+            .map(|s| (s.epoch, s.next_seq))
+            .unwrap_or((0, 0));
+        let ack = Ack::new(
+            session,
+            source.clone(),
+            cursor_epoch,
+            next_seq,
+            AckOutcome::Recovered(applied),
+        );
+        Ok(CommitReceipt { epoch, acks: vec![ack] })
+    }
+
+    /// A reader handle onto the published snapshot epochs. Clones are
+    /// cheap; loads never block the commit loop.
+    pub fn reader(&self) -> EpochReader {
+        self.epochs.reader()
+    }
+
+    /// The snapshot epoch readers currently observe.
+    pub fn epoch(&self) -> u64 {
+        self.epochs.epoch()
+    }
+
+    /// The wrapped durable warehouse (read-only).
+    pub fn warehouse(&self) -> &DurableWarehouse<M> {
+        &self.warehouse
+    }
+
+    /// Mutable access for operator paths (snapshot, quarantine
+    /// triage). Callers must republish via [`CommitPipeline::publish`]
+    /// if they change the state.
+    pub fn warehouse_mut(&mut self) -> &mut DurableWarehouse<M> {
+        &mut self.warehouse
+    }
+
+    /// Publishes the current warehouse state as a fresh snapshot epoch
+    /// (after an operator mutation through
+    /// [`CommitPipeline::warehouse_mut`]).
+    pub fn publish(&mut self) -> u64 {
+        self.epochs.publish(self.warehouse.state().clone())
+    }
+}

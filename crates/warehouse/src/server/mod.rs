@@ -1,0 +1,290 @@
+//! The warehouse server core: concurrent source sessions, epoch
+//! snapshot reads, and group-committed durable ingestion.
+//!
+//! This module promotes [`DurableWarehouse`] from a library type into a
+//! long-running multi-client service — as a **pure state machine**. All
+//! concurrency policy lives here (sessions, batching deadlines, commit
+//! ordering, ack minting); all actual threads, sockets and timers live
+//! in the binary's runtime layer, which merely forwards events into
+//! [`ServerCore`]. The payoff is testability: the deterministic
+//! scheduler harness in `dwc-testkit::sched` drives the same core over
+//! a simulated filesystem, so "reader observes a torn epoch", "ack sent
+//! before fsync" and "lost wakeup in the batcher" are reproducible
+//! single-seed failures instead of flaky thread races.
+//!
+//! ## Shape
+//!
+//! ```text
+//!  sessions (many)          ServerCore (single writer)        readers (many)
+//!  ───────────────          ─────────────────────────         ──────────────
+//!  connect ───────────────▶ SessionManager ─ grant(resume)
+//!  deliver(env) ──────────▶ Batcher ──full──▶ CommitPipeline
+//!  tick(now) ─────────────▶ Batcher ──wait──▶   │ offer_batch (N frames, 1 fsync)
+//!                                               │ publish epoch ───▶ EpochReader.load()
+//!  acks ◀── per-session ◀───────────────────────┘ mint acks
+//! ```
+//!
+//! * **Writes** enter via [`ServerCore::deliver`] and are grouped by
+//!   the [`Batcher`] under a [`BatchPolicy`] (size cap + max wait). A
+//!   released batch goes through [`CommitPipeline::commit`]: N WAL
+//!   frames, **one** fsync, then epoch publication, then acks. A
+//!   session is never acked before its envelope's fsync returned.
+//! * **Reads** never enter the core at all: a [`QueryClient`] holds an
+//!   [`EpochReader`] and answers against an immutable [`StateEpoch`]
+//!   snapshot, so queries neither block nor observe half-applied
+//!   batches.
+//! * **Recovery**: after a restart, `Recovery::open` rebuilds the
+//!   warehouse (including group-committed WAL frames) and
+//!   [`ServerCore::connect`] hands every returning source its durable
+//!   resume point, so sources replay exactly the unacked suffix.
+//!
+//! [`StateEpoch`]: dwc_relalg::StateEpoch
+
+pub mod batch;
+pub mod commit;
+pub mod session;
+
+pub use batch::{BatchItem, BatchPolicy, Batcher};
+pub use commit::{Ack, AckOutcome, CommitPipeline, CommitReceipt};
+pub use session::{SessionGrant, SessionId, SessionManager};
+
+use crate::channel::{Envelope, SourceId};
+use crate::error::WarehouseError;
+use crate::spec::AugmentedWarehouse;
+use crate::storage::{DurableWarehouse, StorageError, StorageMedium};
+use dwc_relalg::{EpochReader, RaExpr, Relation, StateEpoch};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors surfaced to a server client (distinct from storage poisoning,
+/// which fails every later commit).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerError {
+    /// The session handle was never granted by this server.
+    UnknownSession(SessionId),
+    /// The envelope names a different source than the session owns.
+    SourceMismatch {
+        /// The session that delivered the envelope.
+        session: SessionId,
+        /// The source the session was granted for.
+        expected: SourceId,
+        /// The source the envelope claimed.
+        got: SourceId,
+    },
+    /// The commit path failed durably; the warehouse is poisoned.
+    Storage(StorageError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::UnknownSession(s) => write!(f, "unknown session {s}"),
+            ServerError::SourceMismatch { session, expected, got } => write!(
+                f,
+                "session {session} owns source {expected:?} but delivered for {got:?}"
+            ),
+            ServerError::Storage(e) => write!(f, "storage failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<StorageError> for ServerError {
+    fn from(e: StorageError) -> ServerError {
+        ServerError::Storage(e)
+    }
+}
+
+/// Server-side counters, for the `stats` protocol verb and benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Envelopes accepted into the batcher.
+    pub delivered: u64,
+    /// Batches durably committed (== group fsyncs from this path).
+    pub batches_committed: u64,
+    /// Acks minted across all commits and recoveries.
+    pub acks_minted: u64,
+}
+
+/// The single-writer server state machine: session table + batcher +
+/// commit pipeline. The runtime owns exactly one and feeds it events;
+/// everything here is deterministic given the event sequence and the
+/// virtual clock values passed in.
+#[derive(Debug)]
+pub struct ServerCore<M: StorageMedium> {
+    sessions: SessionManager,
+    batcher: Batcher,
+    pipeline: CommitPipeline<M>,
+    stats: ServerStats,
+}
+
+impl<M: StorageMedium> ServerCore<M> {
+    /// A server over `warehouse` (fresh or recovered) batching under
+    /// `policy`.
+    pub fn new(warehouse: DurableWarehouse<M>, policy: BatchPolicy) -> ServerCore<M> {
+        ServerCore {
+            sessions: SessionManager::new(),
+            batcher: Batcher::new(policy),
+            pipeline: CommitPipeline::new(warehouse),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Connects (or reconnects) a source, returning its session and the
+    /// durable resume point — the cursor the warehouse recovered or
+    /// last acked.
+    pub fn connect(&mut self, source: SourceId) -> SessionGrant {
+        let sequencing = self.pipeline.warehouse().ingestor().sequencing();
+        self.sessions.connect(source, &sequencing)
+    }
+
+    /// Accepts one envelope from `session` at virtual time `now`.
+    /// Returns the acks released by this event: empty while the
+    /// envelope waits in the batcher, or one ack per batched envelope
+    /// (across **all** sessions in the batch — route by
+    /// [`Ack::session`]) when this push filled the batch and forced a
+    /// group commit.
+    pub fn deliver(
+        &mut self,
+        session: SessionId,
+        envelope: Envelope,
+        now: u64,
+    ) -> Result<Vec<Ack>, ServerError> {
+        let owner = self
+            .sessions
+            .source_of(session)
+            .ok_or(ServerError::UnknownSession(session))?;
+        if owner != &envelope.source {
+            return Err(ServerError::SourceMismatch {
+                session,
+                expected: owner.clone(),
+                got: envelope.source.clone(),
+            });
+        }
+        self.stats.delivered += 1;
+        match self.batcher.push(session, envelope, now) {
+            Some(batch) => self.commit(batch),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Timer tick at virtual time `now`: commits the pending batch if
+    /// its max-wait deadline has passed. The runtime must call this by
+    /// [`ServerCore::next_deadline`] — sleeping past it with envelopes
+    /// pending is the lost-wakeup bug the scheduler tests hunt.
+    pub fn tick(&mut self, now: u64) -> Result<Vec<Ack>, ServerError> {
+        match self.batcher.poll(now) {
+            Some(batch) => self.commit(batch),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Commits whatever is pending regardless of deadlines (shutdown
+    /// barrier).
+    pub fn flush(&mut self) -> Result<Vec<Ack>, ServerError> {
+        match self.batcher.flush() {
+            Some(batch) => self.commit(batch),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// When [`ServerCore::tick`] must next run; `Some` exactly when
+    /// envelopes are pending.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.batcher.next_deadline()
+    }
+
+    /// Durable gap recovery for a session: replays its outbox slice
+    /// through the warehouse and returns the single `Recovered` ack.
+    /// Flushes any pending batch first so recovery observes every
+    /// delivered envelope.
+    pub fn recover_source(
+        &mut self,
+        session: SessionId,
+        log: &[Envelope],
+    ) -> Result<Vec<Ack>, ServerError> {
+        let source = self
+            .sessions
+            .source_of(session)
+            .ok_or(ServerError::UnknownSession(session))?
+            .clone();
+        let mut acks = self.flush()?;
+        let receipt = self.pipeline.recover_source(session, &source, log)?;
+        self.stats.acks_minted += receipt.acks.len() as u64;
+        acks.extend(receipt.acks);
+        Ok(acks)
+    }
+
+    /// A query handle decoupled from the commit loop: answers against
+    /// published snapshot epochs only.
+    pub fn query_client(&self) -> QueryClient {
+        QueryClient {
+            warehouse: self.pipeline.warehouse().ingestor().integrator().warehouse().clone(),
+            reader: self.pipeline.reader(),
+        }
+    }
+
+    /// A raw reader handle onto the published epochs.
+    pub fn reader(&self) -> EpochReader {
+        self.pipeline.reader()
+    }
+
+    /// The snapshot epoch readers currently observe.
+    pub fn commit_epoch(&self) -> u64 {
+        self.pipeline.epoch()
+    }
+
+    /// The server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// The underlying durable warehouse (read-only).
+    pub fn warehouse(&self) -> &DurableWarehouse<M> {
+        self.pipeline.warehouse()
+    }
+
+    /// The commit pipeline, for operator paths (quarantine triage,
+    /// manual snapshots) that must republish after mutating.
+    pub fn pipeline_mut(&mut self) -> &mut CommitPipeline<M> {
+        &mut self.pipeline
+    }
+
+    fn commit(&mut self, batch: Vec<BatchItem>) -> Result<Vec<Ack>, ServerError> {
+        let receipt = self.pipeline.commit(batch)?;
+        self.stats.batches_committed += 1;
+        self.stats.acks_minted += receipt.acks.len() as u64;
+        Ok(receipt.acks)
+    }
+}
+
+/// A read-side client: answers source queries against the latest
+/// *published* snapshot epoch via the Theorem 3.1 query translation.
+/// Cloneable and independent of the commit loop — a slow query holds an
+/// `Arc` to an old epoch, never a lock the writer needs.
+#[derive(Clone, Debug)]
+pub struct QueryClient {
+    warehouse: AugmentedWarehouse,
+    reader: EpochReader,
+}
+
+impl QueryClient {
+    /// Answers `q` against the current snapshot, returning the epoch it
+    /// was evaluated at alongside the result.
+    pub fn answer(&self, q: &RaExpr) -> Result<(u64, Relation), WarehouseError> {
+        let snap = self.reader.load();
+        let rel = self.warehouse.answer_at_warehouse(q, &snap.state)?;
+        Ok((snap.epoch, rel))
+    }
+
+    /// The snapshot epoch a query issued now would observe.
+    pub fn epoch(&self) -> u64 {
+        self.reader.epoch()
+    }
+
+    /// The full current snapshot (epoch + immutable state).
+    pub fn snapshot(&self) -> Arc<StateEpoch> {
+        self.reader.load()
+    }
+}

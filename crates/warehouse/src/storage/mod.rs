@@ -347,6 +347,13 @@ pub struct StorageStats {
     pub wal_appends: u64,
     /// Bytes appended to the WAL (frames included).
     pub wal_bytes: u64,
+    /// WAL fsyncs issued by record appends and group commits (segment
+    /// creation and snapshot syncs are not counted — this is the
+    /// per-record durability cost the group-commit batcher amortizes).
+    pub wal_syncs: u64,
+    /// Group commits: batches durably committed by a single fsync via
+    /// [`DurableWarehouse::offer_batch`].
+    pub group_commits: u64,
     /// Snapshots written (explicit, automatic, and the recovery roll).
     pub snapshots_written: u64,
     /// Old generations pruned past the retention horizon.
@@ -436,6 +443,108 @@ impl<M: StorageMedium> DurableWarehouse<M> {
         Ok(outcome)
     }
 
+    /// Offers a batch of envelopes as one **group commit**: each
+    /// envelope is applied in memory and appended as its own WAL frame,
+    /// then the segment is fsynced *once* for the whole batch. When
+    /// this returns `Ok`, every envelope in the batch is durable —
+    /// regardless of [`DurabilityConfig::sync_every_append`], which
+    /// tunes the single-envelope [`DurableWarehouse::offer`] path only.
+    /// This is what makes ack-after-fsync affordable: the fsync (the
+    /// ~50× dominant cost of a durable append) is amortized over the
+    /// batch. A crash before the group fsync tears the unsynced frame
+    /// suffix — exactly the envelopes no caller was acked for.
+    pub fn offer_batch(
+        &mut self,
+        envelopes: &[Envelope],
+    ) -> Result<Vec<IngestOutcome>, StorageError> {
+        self.ensure_live()?;
+        let mut outcomes = Vec::with_capacity(envelopes.len());
+        for envelope in envelopes {
+            outcomes.push(self.ingest.offer(envelope));
+            self.log_with_sync(&WalRecord::Offered(envelope.clone()), false)?;
+        }
+        if !envelopes.is_empty() {
+            if let Err(e) = self.medium.sync(&self.wal_name) {
+                self.poisoned = true;
+                return Err(StorageError::Io(e));
+            }
+            self.stats.wal_syncs += 1;
+            self.stats.group_commits += 1;
+        }
+        self.maybe_auto_snapshot()?;
+        Ok(outcomes)
+    }
+
+    /// Re-offers the quarantined envelope at `index` through the normal
+    /// ingestion path (see [`IngestingIntegrator::requeue_quarantined`])
+    /// and records the operator action in the WAL so replay reproduces
+    /// it. Returns `Ok(None)` when the index is out of range (nothing
+    /// is logged).
+    pub fn requeue_quarantined(
+        &mut self,
+        index: usize,
+    ) -> Result<Option<IngestOutcome>, StorageError> {
+        self.ensure_live()?;
+        let Some(outcome) = self.ingest.requeue_quarantined(index) else {
+            return Ok(None);
+        };
+        self.log(&WalRecord::Requeued { index: index as u64 })?;
+        self.maybe_auto_snapshot()?;
+        Ok(Some(outcome))
+    }
+
+    /// Permanently discards the quarantined envelope at `index` with a
+    /// stated reason (see [`IngestingIntegrator::discard_quarantined`]),
+    /// recording the action in the WAL. Returns `Ok(None)` when the
+    /// index is out of range.
+    pub fn discard_quarantined(
+        &mut self,
+        index: usize,
+        reason: &str,
+    ) -> Result<Option<DiscardedEntry>, StorageError> {
+        self.ensure_live()?;
+        let Some(entry) = self.ingest.discard_quarantined(index, reason) else {
+            return Ok(None);
+        };
+        let entry = entry.clone();
+        self.log(&WalRecord::Discarded { index: index as u64, reason: reason.to_owned() })?;
+        self.maybe_auto_snapshot()?;
+        Ok(Some(entry))
+    }
+
+    /// Drains the whole quarantine in sequence order through the durable
+    /// requeue path: repeatedly requeues the entry with the smallest
+    /// `(source, epoch, seq)` among the original entries, logging each
+    /// step. Entries a re-offer throws back into quarantine are appended
+    /// after the originals and are *not* drained again (no fixpoint
+    /// loop). Returns the outcomes in requeue order.
+    pub fn requeue_all_quarantined(&mut self) -> Result<Vec<IngestOutcome>, StorageError> {
+        self.ensure_live()?;
+        let mut remaining = self.ingest.quarantine().len();
+        let mut outcomes = Vec::with_capacity(remaining);
+        while remaining > 0 {
+            // Re-quarantined entries are appended at the end, so the
+            // still-undrained originals always occupy the first
+            // `remaining` positions.
+            let next = self.ingest.quarantine()[..remaining]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, q)| {
+                    (q.envelope.source.clone(), q.envelope.epoch, q.envelope.seq)
+                })
+                .map(|(i, _)| i);
+            let Some(index) = next else {
+                break;
+            };
+            match self.requeue_quarantined(index)? {
+                Some(outcome) => outcomes.push(outcome),
+                None => break,
+            }
+            remaining -= 1;
+        }
+        Ok(outcomes)
+    }
+
     /// Repairs sequence gaps from a source's outbox log (see
     /// [`IngestingIntegrator::recover_from_log`]) and records the
     /// repair — log slice included — in the WAL so replay reproduces it.
@@ -501,14 +610,22 @@ impl<M: StorageMedium> DurableWarehouse<M> {
         Ok(())
     }
 
-    /// Appends one record, poisoning the instance on failure (the
-    /// in-memory state is then ahead of the log).
+    /// Appends one record under [`DurabilityConfig::sync_every_append`],
+    /// poisoning the instance on failure (the in-memory state is then
+    /// ahead of the log).
     fn log(&mut self, record: &WalRecord) -> Result<(), StorageError> {
         let sync = self.config.sync_every_append;
+        self.log_with_sync(record, sync)
+    }
+
+    fn log_with_sync(&mut self, record: &WalRecord, sync: bool) -> Result<(), StorageError> {
         match wal::append_record(&self.medium, &self.wal_name, record, sync) {
             Ok(bytes) => {
                 self.stats.wal_appends += 1;
                 self.stats.wal_bytes += bytes as u64;
+                if sync {
+                    self.stats.wal_syncs += 1;
+                }
                 self.records_since_snapshot += 1;
                 Ok(())
             }
@@ -658,6 +775,28 @@ impl Recovery {
                     }
                     WalRecord::Recovered { source, log } => {
                         ingest.recover_from_log(&source, &log)?;
+                    }
+                    WalRecord::Requeued { index } => {
+                        // The quarantine log is rebuilt record by
+                        // record, so the index resolves exactly as it
+                        // did live; a miss means snapshot and WAL
+                        // disagree about history.
+                        if ingest.requeue_quarantined(index as usize).is_none() {
+                            return Err(StorageError::RecoveredStateInconsistent {
+                                detail: format!(
+                                    "WAL requeue of quarantine index {index} out of range"
+                                ),
+                            });
+                        }
+                    }
+                    WalRecord::Discarded { index, reason } => {
+                        if ingest.discard_quarantined(index as usize, reason).is_none() {
+                            return Err(StorageError::RecoveredStateInconsistent {
+                                detail: format!(
+                                    "WAL discard of quarantine index {index} out of range"
+                                ),
+                            });
+                        }
                     }
                 }
                 replayed += 1;

@@ -6,11 +6,14 @@
 //! ```text
 //! header : magic "DWCWAL1\n" (8) | segment id u64 LE | crc32 of the first 16 bytes
 //! frame  : payload_len u32 LE | crc32(payload) u32 LE | payload
-//! payload: tag u8 (1 = Offered, 2 = Recovered) | body
+//! payload: tag u8 (1 = Offered, 2 = Recovered, 3 = Requeued, 4 = Discarded) | body
 //! ```
 //!
 //! An `Offered` body is one envelope; a `Recovered` body is the source
-//! id plus the envelope log slice the repair consumed. Envelopes and
+//! id plus the envelope log slice the repair consumed; `Requeued` and
+//! `Discarded` bodies are a quarantine index (plus the operator's
+//! reason, for discards) — replay re-runs the operator action against
+//! the deterministically reconstructed quarantine log. Envelopes and
 //! updates use the canonical binary value encoding of
 //! [`dwc_relalg::io`] (relations carry their own trailing CRC — defense
 //! in depth under the frame CRC).
@@ -45,6 +48,21 @@ pub enum WalRecord {
         source: SourceId,
         /// The log slice passed to the repair, verbatim.
         log: Vec<Envelope>,
+    },
+    /// An operator re-offered the quarantined envelope at `index`
+    /// through the normal ingestion path. Replay is deterministic
+    /// because the quarantine log itself is rebuilt record by record.
+    Requeued {
+        /// Position in the quarantine log at the time of the requeue.
+        index: u64,
+    },
+    /// An operator permanently discarded the quarantined envelope at
+    /// `index`, stating a reason.
+    Discarded {
+        /// Position in the quarantine log at the time of the discard.
+        index: u64,
+        /// The operator's stated reason.
+        reason: String,
     },
 }
 
@@ -188,6 +206,15 @@ fn encode_record(record: &WalRecord) -> Vec<u8> {
                 put_envelope(&mut w, env);
             }
         }
+        WalRecord::Requeued { index } => {
+            w.put_u8(3);
+            w.put_u64(*index);
+        }
+        WalRecord::Discarded { index, reason } => {
+            w.put_u8(4);
+            w.put_u64(*index);
+            w.put_str(reason);
+        }
     }
     w.into_bytes()
 }
@@ -207,6 +234,12 @@ fn decode_record(payload: &[u8]) -> Result<WalRecord, RelalgError> {
                 log.push(take_envelope(&mut r)?);
             }
             WalRecord::Recovered { source, log }
+        }
+        3 => WalRecord::Requeued { index: r.take_u64()? },
+        4 => {
+            let index = r.take_u64()?;
+            let reason = r.take_str()?;
+            WalRecord::Discarded { index, reason }
         }
         tag => return Err(r.corrupt(format!("unknown WAL record tag {tag}"))),
     };
@@ -355,6 +388,8 @@ mod tests {
                 log: vec![sample_envelope(1), sample_envelope(2)],
             },
             WalRecord::Offered(sample_envelope(3)),
+            WalRecord::Requeued { index: 2 },
+            WalRecord::Discarded { index: 0, reason: "ghost relation".to_owned() },
         ];
         for r in &records {
             append_record(&m, &seg, r, true).unwrap();

@@ -11,7 +11,8 @@
 #
 # The durability suite (snapshot write, WAL append, cold recovery) is
 # IO-bound rather than thread-scaled, so it runs once serially and lands
-# in BENCH_recovery.json.
+# in BENCH_recovery.json. The server group-commit suite is IO-bound the
+# same way and lands in BENCH_server.json.
 #
 # Usage: scripts/bench.sh [--quick] [--threads N] [--out FILE]
 #   --quick      smoke pass (fewer samples, 2ms target per sample)
@@ -70,3 +71,15 @@ echo "=== durability: BENCH recovery ==="
 DWC_THREADS=1 cargo bench -q -p dwc-bench --bench recovery \
   | grep '^{' | tee "$RECOVERY_OUT"
 echo "wrote $(grep -c '^{' "$RECOVERY_OUT") results to $RECOVERY_OUT"
+
+# Server group-commit throughput: likewise IO-bound (one fsync per
+# batch is the whole point), so one serial pass into its own sibling.
+# The target emits wall-clock acks/sec rows, deterministic SimFs
+# fsync-accounting rows, and "claim/..." rows carrying the batch>=16
+# vs batch=1 speedup against threshold_x100=500 (the 5x headline).
+SERVER_OUT="$(dirname "$OUT")/$(basename "$OUT" | sed 's/eval/server/')"
+[ "$SERVER_OUT" = "$OUT" ] && SERVER_OUT="${OUT%.json}_server.json"
+echo "=== server: BENCH group commit ==="
+DWC_THREADS=1 cargo bench -q -p dwc-bench --bench server \
+  | grep '^{' | tee "$SERVER_OUT"
+echo "wrote $(grep -c '^{' "$SERVER_OUT") results to $SERVER_OUT"

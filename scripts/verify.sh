@@ -75,9 +75,10 @@ done
 # file; real numbers are recorded by `scripts/bench.sh` into
 # BENCH_eval.json and never touched here.
 SWEEP_OUT=$(mktemp)
-# bench.sh drops the durability suite into a sibling file; mktemp names
-# carry no "eval", so that sibling is ${SWEEP_OUT}_recovery.json.
-trap 'rm -f "$SWEEP_OUT" "${SWEEP_OUT}_recovery.json"' EXIT
+# bench.sh drops the durability and server suites into sibling files;
+# mktemp names carry no "eval", so those siblings are
+# ${SWEEP_OUT}_recovery.json and ${SWEEP_OUT}_server.json.
+trap 'rm -f "$SWEEP_OUT" "${SWEEP_OUT}_recovery.json" "${SWEEP_OUT}_server.json"' EXIT
 scripts/bench.sh --quick --out "$SWEEP_OUT" >/dev/null
 echo "ok: bench sweep produced $(grep -c '^{' "$SWEEP_OUT") results"
 
@@ -131,6 +132,23 @@ if DWC_THREADS=0 "$DWC" analyze --self-check >/dev/null 2>&1; then
   exit 1
 fi
 echo "ok: crash matrix green, DWC_THREADS=0 refused"
+
+# --- 9. server: concurrency differential + group-commit accounting -----
+# The server suites drive ServerCore (sessions, batcher, group commit,
+# epoch publication) under seeded interleavings and prove convergence to
+# the serial oracle, exact fsync accounting, and acked-state survival of
+# a kill at every IO boundary — including mid-batch. Step 1 already ran
+# them at the ambient seed; run them pinned in release (the crash sweep
+# recovers the server a few hundred times), then widen the schedule
+# sweep beyond the suites' built-in DWC_SCHED_SEEDS defaults.
+echo "server matrix: tests/server_props.rs + tests/group_commit_props.rs"
+cargo test -q --release --test server_props --test group_commit_props
+for seeds in "2026 40490 271828182845904523" "11400714819323198485 6364136223846793005"; do
+  echo "schedule sweep: DWC_SCHED_SEEDS=\"$seeds\""
+  DWC_SCHED_SEEDS="$seeds" cargo test -q --release --test server_props \
+    pinned_scenario_converges_under_every_sweep_seed
+done
+echo "ok: server differential green, schedule sweep green"
 
 # Clippy is not part of the offline gate, but when a toolchain ships it,
 # run it too (still offline).

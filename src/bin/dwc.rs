@@ -14,6 +14,7 @@
 //! any error-severity diagnostic is found.
 
 use dwcomplements::analyze::{analyze, specfile, srclint, AnalyzeOptions, Report};
+use dwcomplements::serve::{self, ServeOptions};
 use dwcomplements::shell::{Outcome, Shell};
 use dwcomplements::warehouse::{DurabilityConfig, FsMedium, Recovery, WarehouseSpec};
 use std::io::{BufRead, Write};
@@ -46,6 +47,29 @@ exits non-zero on any DWC-SNNN storage error.
 --no-verify skips the reconstruction cross-check (faster on large
 states; corruption then surfaces lazily).";
 
+const SERVE_USAGE: &str = "\
+usage: dwc serve --spec <spec.dwc> [--addr HOST:PORT] [--batch N]
+                 [--max-wait-us U] [--no-verify] <dir>
+
+Runs the warehouse as a long-running server over <dir>: many source
+sessions ingest concurrently through group-committed WAL appends (N
+envelopes, one fsync; acks only after the fsync), readers query
+immutable epoch snapshots, and a restart resumes every source at its
+acked sequence number. Binds --addr (default 127.0.0.1:4710; port 0
+picks a free port) and prints `listening on <addr>`.
+
+--batch and --max-wait-us tune the group-commit policy (defaults 64
+envelopes / 2000 us).";
+
+const CONNECT_USAGE: &str = "\
+usage: dwc connect --source <name> [HOST:PORT]
+
+Connects a source session to a running `dwc serve` (default address
+127.0.0.1:4710). Type `insert Name (a=1, ...)` / `delete Name (...)`
+exactly as in the local shell — sequencing is handled for you and
+durable `ack` lines stream back asynchronously. Other verbs (`query`,
+`epoch`, `stats`, `recover`, `quit`) pass through the line protocol.";
+
 fn main() -> ExitCode {
     // Surface a malformed DWC_THREADS once, up front, instead of letting
     // every parallel operation silently degrade to serial.
@@ -57,8 +81,10 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("recover") => cmd_recover(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("connect") => cmd_connect(&args[1..]),
         Some("--help" | "-h" | "help") => {
-            println!("usage: dwc [analyze ...] [recover ...]\n\n{ANALYZE_USAGE}\n\n{RECOVER_USAGE}\n\nWithout arguments: the interactive shell.");
+            println!("usage: dwc [analyze ...] [recover ...] [serve ...] [connect ...]\n\n{ANALYZE_USAGE}\n\n{RECOVER_USAGE}\n\n{SERVE_USAGE}\n\n{CONNECT_USAGE}\n\nWithout arguments: the interactive shell.");
             ExitCode::SUCCESS
         }
         Some(other) => {
@@ -155,6 +181,131 @@ fn cmd_recover(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("recovery failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Reads and statically validates a spec file into a [`WarehouseSpec`].
+fn load_spec(spec_path: &str) -> Result<WarehouseSpec, String> {
+    let text =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: cannot read: {e}"))?;
+    let (spec, report) = specfile::parse_spec(&text, spec_path);
+    if report.has_errors() {
+        return Err(format!("{report}"));
+    }
+    WarehouseSpec::new(spec.catalog, spec.views)
+        .map_err(|e| format!("{spec_path}: not a usable warehouse spec: {e}"))
+}
+
+/// `dwc serve --spec <spec.dwc> [--addr A] [--batch N] [--max-wait-us U] [--no-verify] <dir>`.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut spec_path: Option<String> = None;
+    let mut dir: Option<&str> = None;
+    let mut options = ServeOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |flag: &str| -> Option<String> {
+            match it.next() {
+                Some(v) => Some(v.clone()),
+                None => {
+                    eprintln!("{flag} needs an argument\n{SERVE_USAGE}");
+                    None
+                }
+            }
+        };
+        match arg.as_str() {
+            "--spec" => match take("--spec") {
+                Some(p) => spec_path = Some(p),
+                None => return ExitCode::from(2),
+            },
+            "--addr" => match take("--addr") {
+                Some(a) => options.addr = a,
+                None => return ExitCode::from(2),
+            },
+            "--batch" => match take("--batch").and_then(|v| v.parse().ok()) {
+                Some(n) => options.max_batch = n,
+                None => {
+                    eprintln!("--batch needs an integer\n{SERVE_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--max-wait-us" => match take("--max-wait-us").and_then(|v| v.parse().ok()) {
+                Some(u) => options.max_wait_micros = u,
+                None => {
+                    eprintln!("--max-wait-us needs an integer\n{SERVE_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-verify" => options.verify_on_open = false,
+            "--help" | "-h" => {
+                println!("{SERVE_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}`\n{SERVE_USAGE}");
+                return ExitCode::from(2);
+            }
+            path if dir.is_none() => dir = Some(path),
+            extra => {
+                eprintln!("unexpected argument `{extra}`\n{SERVE_USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (Some(spec_path), Some(dir)) = (spec_path, dir) else {
+        eprintln!("{SERVE_USAGE}");
+        return ExitCode::from(2);
+    };
+    let spec = match load_spec(&spec_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match serve::serve(spec, dir, options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `dwc connect --source <name> [HOST:PORT]`.
+fn cmd_connect(args: &[String]) -> ExitCode {
+    let mut source: Option<&str> = None;
+    let mut addr = "127.0.0.1:4710".to_owned();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--source" => match it.next() {
+                Some(s) => source = Some(s),
+                None => {
+                    eprintln!("--source needs a name\n{CONNECT_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{CONNECT_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}`\n{CONNECT_USAGE}");
+                return ExitCode::from(2);
+            }
+            a => addr = a.to_owned(),
+        }
+    }
+    let Some(source) = source else {
+        eprintln!("{CONNECT_USAGE}");
+        return ExitCode::from(2);
+    };
+    match serve::connect(&addr, source) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("connect failed: {e}");
             ExitCode::FAILURE
         }
     }

@@ -13,7 +13,12 @@
 //! * [`aggregates`] — summary tables over fact views (Section 5's OLAP layer)
 //! * [`starschema`] — TPC-D-like star-schema workload (Section 5)
 //! * [`analyze`] — static plan/complement verifier (`dwc analyze`)
+//!
+//! Plus the binary's own engine modules: [`shell`] (the interactive
+//! command language) and [`serve`] (the threaded `dwc serve`/`dwc
+//! connect` runtime over the [`warehouse::server`] state machine).
 
+pub mod serve;
 pub mod shell;
 
 pub use dwc_aggregates as aggregates;

@@ -1,0 +1,537 @@
+//! The warehouse server runtime: threads, sockets and timers around the
+//! pure [`ServerCore`] state machine.
+//!
+//! Everything *deterministic* — sessions, batching, group commit, ack
+//! minting, epoch publication — lives in `dwc_warehouse::server` and is
+//! exercised by the scheduler test suites over a simulated filesystem.
+//! This module adds only the unavoidable runtime shell:
+//!
+//! * one **engine thread** owning the [`ServerCore`], draining a
+//!   channel of connection events with `recv_timeout` armed from
+//!   [`ServerCore::next_deadline`] (so a pending batch commits on time
+//!   even when no new envelope arrives — the classic lost-wakeup bug
+//!   the deterministic tests pin down);
+//! * one **acceptor thread** per listener plus a reader/writer pair per
+//!   connection; acks flow back over a per-session channel and reach
+//!   the client asynchronously, strictly after their batch's fsync;
+//! * queries never touch the engine thread at all: every connection
+//!   holds a [`QueryClient`] answering against published epoch
+//!   snapshots.
+//!
+//! ## Line protocol
+//!
+//! ```text
+//! client → server                          server → client
+//! ---------------                          ---------------
+//! hello <source>                           session <id> <epoch> <next_seq>
+//! report <epoch> <seq> insert Name (a=1)   ack <epoch> <seq> <outcome>   (async)
+//! report <epoch> <seq> delete Name (a=1)
+//! recover <n>  (then n report lines)       ack <epoch> <next_seq> recovered <k>
+//! query <expr>                             result <epoch> <n> tuple(s) + rows
+//! epoch                                    epoch <n>
+//! stats                                    stats ...
+//! quit                                     (connection closes)
+//! ```
+//!
+//! `report` reuses the shell's update dialect (`Name (attr=value, …)`)
+//! via [`crate::shell::parse_update`], so `dwc connect` feels exactly
+//! like the local REPL with sequencing handled for you.
+
+use crate::relalg::{Catalog, DbState, RaExpr};
+use crate::shell::parse_update;
+use crate::warehouse::integrator::{Integrator, IntegratorConfig};
+use crate::warehouse::server::{Ack, BatchPolicy, QueryClient, ServerCore, SessionGrant, SessionId};
+use crate::warehouse::{
+    DurabilityConfig, DurableWarehouse, Envelope, FsMedium, IngestConfig, IngestingIntegrator,
+    Recovery, SourceId, StorageError, WarehouseSpec,
+};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning for `dwc serve`.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Address to listen on (`127.0.0.1:0` picks a free port and prints
+    /// it).
+    pub addr: String,
+    /// Group-commit size cap.
+    pub max_batch: usize,
+    /// Group-commit max wait in microseconds.
+    pub max_wait_micros: u64,
+    /// Cross-check `W(W⁻¹(w)) = w` when opening an existing directory.
+    pub verify_on_open: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        let p = BatchPolicy::default();
+        ServeOptions {
+            addr: "127.0.0.1:4710".to_owned(),
+            max_batch: p.max_batch,
+            max_wait_micros: p.max_wait_micros,
+            verify_on_open: true,
+        }
+    }
+}
+
+/// Opens `dir` as a durable warehouse for `spec`: recovers a committed
+/// one (resuming every source session at its acked cursor), or creates
+/// a fresh empty warehouse when the directory holds none.
+pub fn open_or_create(
+    spec: WarehouseSpec,
+    dir: &str,
+    config: DurabilityConfig,
+) -> Result<DurableWarehouse<FsMedium>, String> {
+    let aug = spec.clone().augment().map_err(|e| e.to_string())?;
+    let medium = FsMedium::new(dir).map_err(|e| e.to_string())?;
+    match Recovery::open(medium, aug.clone(), config) {
+        Ok((dw, report)) => {
+            eprintln!(
+                "recovered from {} ({} records replayed, {} torn tail(s))",
+                report.snapshot_used, report.records_replayed, report.torn_tails
+            );
+            for cursor in dw.ingestor().sequencing() {
+                eprintln!(
+                    "  source {:?} resumes at epoch {} seq {}",
+                    cursor.source, cursor.epoch, cursor.next_seq
+                );
+            }
+            Ok(dw)
+        }
+        Err(StorageError::ManifestMissing) => {
+            let empty = aug
+                .materialize(&DbState::empty_for(aug.catalog()))
+                .map_err(|e| e.to_string())?;
+            let integ = Integrator::from_state(aug, empty, IntegratorConfig::default())
+                .map_err(|e| e.to_string())?;
+            let ingest =
+                IngestingIntegrator::new(integ, IngestConfig::default()).map_err(|e| e.to_string())?;
+            let medium = FsMedium::new(dir).map_err(|e| e.to_string())?;
+            let dw = DurableWarehouse::create(medium, ingest, config).map_err(|e| e.to_string())?;
+            eprintln!("created fresh warehouse in {dir}");
+            Ok(dw)
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// What the engine pushes down a session's ack channel.
+enum SessionEvent {
+    Ack(Ack),
+    Error(String),
+}
+
+/// Connection → engine messages.
+enum EngineMsg {
+    Connect {
+        source: String,
+        reply: mpsc::Sender<(SessionGrant, mpsc::Receiver<SessionEvent>)>,
+    },
+    Deliver {
+        session: SessionId,
+        envelope: Envelope,
+    },
+    Recover {
+        session: SessionId,
+        log: Vec<Envelope>,
+    },
+    Stats {
+        reply: mpsc::Sender<String>,
+    },
+}
+
+/// Runs the server until the process is killed: binds `addr`, prints
+/// `listening on <addr>` to stdout (scripts parse this to learn the
+/// bound port), and serves connections forever.
+pub fn serve(
+    spec: WarehouseSpec,
+    dir: &str,
+    options: ServeOptions,
+) -> Result<(), String> {
+    let config = DurabilityConfig {
+        verify_on_open: options.verify_on_open,
+        ..DurabilityConfig::default()
+    };
+    let catalog = spec.catalog().clone();
+    let warehouse = open_or_create(spec, dir, config)?;
+    let policy = BatchPolicy {
+        max_batch: options.max_batch.max(1),
+        max_wait_micros: options.max_wait_micros,
+    };
+    let core = ServerCore::new(warehouse, policy);
+    let query = core.query_client();
+
+    let listener = TcpListener::bind(&options.addr).map_err(|e| {
+        format!("cannot bind {}: {e}", options.addr)
+    })?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {local}");
+    std::io::stdout().flush().ok();
+
+    let (engine_tx, engine_rx) = mpsc::channel::<EngineMsg>();
+    thread::spawn(move || run_engine(core, engine_rx));
+
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let tx = engine_tx.clone();
+                let query = query.clone();
+                let catalog = catalog.clone();
+                thread::spawn(move || {
+                    if let Err(e) = handle_connection(stream, tx, query, catalog) {
+                        eprintln!("connection error: {e}");
+                    }
+                });
+            }
+            Err(e) => eprintln!("accept error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+/// The single-writer commit loop: drains connection events, arms its
+/// sleep from the batcher deadline, and routes acks back per session.
+fn run_engine(mut core: ServerCore<FsMedium>, rx: mpsc::Receiver<EngineMsg>) {
+    let start = Instant::now();
+    let mut acks: BTreeMap<SessionId, mpsc::Sender<SessionEvent>> = BTreeMap::new();
+    let now = |start: &Instant| start.elapsed().as_micros() as u64;
+    loop {
+        let timeout = match core.next_deadline() {
+            Some(deadline) => Duration::from_micros(deadline.saturating_sub(now(&start))),
+            None => Duration::from_secs(3600),
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(EngineMsg::Connect { source, reply }) => {
+                let grant = core.connect(SourceId::new(source));
+                let (tx, ack_rx) = mpsc::channel();
+                acks.insert(grant.session, tx);
+                let _ = reply.send((grant, ack_rx));
+            }
+            Ok(EngineMsg::Deliver { session, envelope }) => {
+                match core.deliver(session, envelope, now(&start)) {
+                    Ok(released) => route(&acks, released),
+                    Err(e) => complain(&acks, session, e.to_string()),
+                }
+            }
+            Ok(EngineMsg::Recover { session, log }) => {
+                match core.recover_source(session, &log) {
+                    Ok(released) => route(&acks, released),
+                    Err(e) => complain(&acks, session, e.to_string()),
+                }
+            }
+            Ok(EngineMsg::Stats { reply }) => {
+                let s = core.stats();
+                let st = core.warehouse().storage_stats();
+                let _ = reply.send(format!(
+                    "stats epoch={} delivered={} batches={} acks={} wal_syncs={} \
+                     group_commits={} generation={}",
+                    core.commit_epoch(),
+                    s.delivered,
+                    s.batches_committed,
+                    s.acks_minted,
+                    st.wal_syncs,
+                    st.group_commits,
+                    core.warehouse().generation(),
+                ));
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => match core.tick(now(&start)) {
+                Ok(released) => route(&acks, released),
+                Err(e) => eprintln!("commit failure on tick: {e}"),
+            },
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                if let Err(e) = core.flush() {
+                    eprintln!("commit failure on shutdown flush: {e}");
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn route(acks: &BTreeMap<SessionId, mpsc::Sender<SessionEvent>>, released: Vec<Ack>) {
+    for ack in released {
+        if let Some(tx) = acks.get(&ack.session) {
+            // A dead receiver just means the client went away; its acks
+            // are durable regardless and the grant survives reconnect.
+            let _ = tx.send(SessionEvent::Ack(ack));
+        }
+    }
+}
+
+fn complain(
+    acks: &BTreeMap<SessionId, mpsc::Sender<SessionEvent>>,
+    session: SessionId,
+    message: String,
+) {
+    if let Some(tx) = acks.get(&session) {
+        let _ = tx.send(SessionEvent::Error(message));
+    } else {
+        eprintln!("session {session}: {message}");
+    }
+}
+
+/// Serves one client connection: command reader on this thread, ack
+/// writer on a helper thread, both sharing the socket behind a mutex so
+/// protocol lines never interleave mid-line.
+fn handle_connection(
+    stream: TcpStream,
+    engine: mpsc::Sender<EngineMsg>,
+    query: QueryClient,
+    catalog: Catalog,
+) -> Result<(), String> {
+    let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let writer = Arc::new(Mutex::new(stream));
+    let mut session: Option<SessionGrant> = None;
+    let mut lines = reader.lines();
+
+    while let Some(line) = lines.next() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (verb, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match verb {
+            "hello" => {
+                let source = rest.trim();
+                if source.is_empty() {
+                    respond(&writer, "err usage: hello <source>")?;
+                    continue;
+                }
+                let (reply_tx, reply_rx) = mpsc::channel();
+                engine
+                    .send(EngineMsg::Connect { source: source.to_owned(), reply: reply_tx })
+                    .map_err(|_| "engine stopped".to_owned())?;
+                let (grant, ack_rx) =
+                    reply_rx.recv().map_err(|_| "engine stopped".to_owned())?;
+                respond(
+                    &writer,
+                    &format!("session {} {} {}", grant.session.index(), grant.epoch, grant.resume_seq),
+                )?;
+                let w = Arc::clone(&writer);
+                thread::spawn(move || {
+                    while let Ok(event) = ack_rx.recv() {
+                        let line = match event {
+                            SessionEvent::Ack(a) => {
+                                format!("ack {} {} {}", a.epoch, a.seq, a.outcome)
+                            }
+                            SessionEvent::Error(e) => format!("err {e}"),
+                        };
+                        if respond(&w, &line).is_err() {
+                            break;
+                        }
+                    }
+                });
+                session = Some(grant);
+            }
+            "report" => match &session {
+                None => respond(&writer, "err hello first")?,
+                Some(grant) => match parse_report(&catalog, &grant.source, rest) {
+                    Ok(envelope) => engine
+                        .send(EngineMsg::Deliver { session: grant.session, envelope })
+                        .map_err(|_| "engine stopped".to_owned())?,
+                    Err(e) => respond(&writer, &format!("err {e}"))?,
+                },
+            },
+            "recover" => match session.clone() {
+                None => respond(&writer, "err hello first")?,
+                Some(grant) => {
+                    // `recover <n>` announces n `report` lines to
+                    // follow: the client's outbox replay, oldest first.
+                    let n: usize = match rest.trim().parse() {
+                        Ok(n) => n,
+                        Err(_) => {
+                            respond(&writer, "err usage: recover <count> (then <count> report lines)")?;
+                            continue;
+                        }
+                    };
+                    let mut log = Vec::with_capacity(n);
+                    let mut bad: Option<String> = None;
+                    for _ in 0..n {
+                        let Some(next) = lines.next() else {
+                            bad = Some("connection closed mid-recover".to_owned());
+                            break;
+                        };
+                        let next = next.map_err(|e| e.to_string())?;
+                        let body = next
+                            .trim()
+                            .strip_prefix("report ")
+                            .ok_or(())
+                            .and_then(|b| parse_report(&catalog, &grant.source, b).map_err(|_| ()));
+                        match body {
+                            Ok(envelope) => log.push(envelope),
+                            Err(()) => {
+                                bad = Some(format!("bad recover log line: `{}`", next.trim()));
+                                break;
+                            }
+                        }
+                    }
+                    match bad {
+                        Some(e) => respond(&writer, &format!("err {e}"))?,
+                        None => engine
+                            .send(EngineMsg::Recover { session: grant.session, log })
+                            .map_err(|_| "engine stopped".to_owned())?,
+                    }
+                }
+            },
+            "query" => match RaExpr::parse(rest) {
+                Ok(q) => match query.answer(&q) {
+                    Ok((epoch, rel)) => {
+                        let mut out = format!("result {epoch} {} tuple(s)", rel.len());
+                        for t in rel.iter() {
+                            out.push_str(&format!("\n  {t}"));
+                        }
+                        respond(&writer, &out)?;
+                    }
+                    Err(e) => respond(&writer, &format!("err {e}"))?,
+                },
+                Err(e) => respond(&writer, &format!("err {e}"))?,
+            },
+            "epoch" => respond(&writer, &format!("epoch {}", query.epoch()))?,
+            "stats" => {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                engine
+                    .send(EngineMsg::Stats { reply: reply_tx })
+                    .map_err(|_| "engine stopped".to_owned())?;
+                let s = reply_rx.recv().map_err(|_| "engine stopped".to_owned())?;
+                respond(&writer, &s)?;
+            }
+            "quit" => return Ok(()),
+            other => respond(&writer, &format!("err unknown verb `{other}`"))?,
+        }
+    }
+    Ok(())
+}
+
+/// Parses `report <epoch> <seq> insert|delete Name (a=1, …)` into an
+/// envelope for `source`.
+fn parse_report(catalog: &Catalog, source: &SourceId, rest: &str) -> Result<Envelope, String> {
+    let mut parts = rest.splitn(4, ' ');
+    let usage = "usage: report <epoch> <seq> insert|delete Name (attr=value, ...)";
+    let epoch: u64 = parts.next().and_then(|t| t.parse().ok()).ok_or(usage)?;
+    let seq: u64 = parts.next().and_then(|t| t.parse().ok()).ok_or(usage)?;
+    let action = parts.next().ok_or(usage)?;
+    let body = parts.next().ok_or(usage)?;
+    let insert = match action {
+        "insert" => true,
+        "delete" => false,
+        _ => return Err(usage.to_owned()),
+    };
+    let report = parse_update(catalog, body, insert)?;
+    Ok(Envelope { source: source.clone(), epoch, seq, report })
+}
+
+fn respond(writer: &Arc<Mutex<TcpStream>>, line: &str) -> Result<(), String> {
+    let mut w = writer
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    writeln!(w, "{line}").map_err(|e| e.to_string())
+}
+
+/// The `dwc connect` client REPL: connects, introduces `source`, then
+/// turns `insert`/`delete` lines into sequenced `report` verbs (keeping
+/// a local outbox) and passes every other verb through. Async `ack`
+/// lines from the server print as they arrive.
+pub fn connect(addr: &str, source: &str) -> Result<(), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut stream = stream;
+
+    writeln!(stream, "hello {source}").map_err(|e| e.to_string())?;
+    let mut greeting = String::new();
+    reader.read_line(&mut greeting).map_err(|e| e.to_string())?;
+    let mut parts = greeting.split_whitespace();
+    let (epoch, mut seq) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some("session"), Some(_id), Some(e), Some(s)) => (
+            e.parse::<u64>().map_err(|e| e.to_string())?,
+            s.parse::<u64>().map_err(|e| e.to_string())?,
+        ),
+        _ => return Err(format!("unexpected greeting: {}", greeting.trim())),
+    };
+    println!("{}", greeting.trim());
+    println!("(resuming source `{source}` at epoch {epoch} seq {seq})");
+
+    // Server lines print as they arrive, interleaved with the prompt.
+    thread::spawn(move || {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => {
+                    println!("(server closed the connection)");
+                    return;
+                }
+                Ok(_) => println!("{}", line.trim_end()),
+            }
+        }
+    });
+
+    let stdin = std::io::stdin();
+    let mut outbox: Vec<String> = Vec::new();
+    loop {
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => return Err(e.to_string()),
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (verb, rest) = trimmed.split_once(' ').unwrap_or((trimmed, ""));
+        match verb {
+            "insert" | "delete" => {
+                let wire = format!("report {epoch} {seq} {verb} {rest}");
+                writeln!(stream, "{wire}").map_err(|e| e.to_string())?;
+                outbox.push(wire);
+                seq += 1;
+            }
+            "recover" if rest.is_empty() => {
+                writeln!(stream, "recover {}", outbox.len()).map_err(|e| e.to_string())?;
+                for wire in &outbox {
+                    writeln!(stream, "{wire}").map_err(|e| e.to_string())?;
+                }
+            }
+            "quit" => {
+                let _ = writeln!(stream, "quit");
+                break;
+            }
+            _ => writeln!(stream, "{trimmed}").map_err(|e| e.to_string())?,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_schema("R", &["a", "b"]).expect("static schema");
+        c
+    }
+
+    #[test]
+    fn report_lines_parse_into_envelopes() {
+        let cat = chain_catalog();
+        let src = SourceId::new("paris");
+        let env = parse_report(&cat, &src, "3 14 insert R (a=1, b=2)").expect("parses");
+        assert_eq!((env.epoch, env.seq), (3, 14));
+        assert_eq!(env.source, src);
+        assert_eq!(env.report.len(), 1);
+
+        let env = parse_report(&cat, &src, "0 0 delete R (a=1, b=2)").expect("parses");
+        assert!(env.report.delta(crate::relalg::RelName::new("R")).is_some());
+
+        assert!(parse_report(&cat, &src, "x 0 insert R (a=1, b=2)").is_err());
+        assert!(parse_report(&cat, &src, "0 0 upsert R (a=1, b=2)").is_err());
+        assert!(parse_report(&cat, &src, "0 0 insert Ghost (a=1)").is_err());
+    }
+}

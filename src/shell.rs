@@ -174,41 +174,7 @@ impl Shell {
 
     /// `insert Name (a=1, b='x')` / `delete Name (...)`.
     fn cmd_update(&mut self, rest: &str, insert: bool) -> Result<Outcome, String> {
-        let (name, vals_text) = rest
-            .split_once('(')
-            .ok_or("usage: insert Name (attr=value, ...)")?;
-        let name = RelName::new(name.trim());
-        let schema = self.catalog.schema(name).map_err(|e| e.to_string())?;
-        let vals_text = vals_text.strip_suffix(')').ok_or("missing closing `)`")?;
-        let mut values: Vec<Option<Value>> = vec![None; schema.attrs().len()];
-        for pair in vals_text.split(',') {
-            let (attr, value) = pair
-                .split_once('=')
-                .ok_or_else(|| format!("expected attr=value, found `{pair}`"))?;
-            let attr = Attr::new(attr.trim());
-            let i = schema
-                .attrs()
-                .index_of(attr)
-                .ok_or_else(|| format!("`{name}` has no attribute `{attr}`"))?;
-            values[i] = Some(parse_value(value.trim())?);
-        }
-        let values: Vec<Value> = values
-            .into_iter()
-            .enumerate()
-            .map(|(i, v)| {
-                v.ok_or_else(|| {
-                    format!("missing value for `{}`", schema.attrs().as_slice()[i])
-                })
-            })
-            .collect::<Result<_, String>>()?;
-        let mut rows = Relation::empty(schema.attrs().clone());
-        rows.insert(Tuple::new(values)).map_err(|e| e.to_string())?;
-        let delta = if insert {
-            Delta::insert_only(rows)
-        } else {
-            Delta::delete_only(rows)
-        };
-        let update = Update::new().with(name.as_str(), delta);
+        let update = parse_update(&self.catalog, rest, insert)?;
         self.apply(update)
     }
 
@@ -365,6 +331,47 @@ impl Shell {
         }
         Err(format!("no relation or stored view named `{name}`"))
     }
+}
+
+/// Parses a single-tuple update in the shell's command syntax —
+/// `Name (attr=value, ...)` — against `catalog`, returning an
+/// insertion (`insert = true`) or deletion update. Shared by the REPL
+/// (`insert`/`delete` commands) and the server line protocol's
+/// `report` verb, so both fronts speak exactly the same dialect.
+pub fn parse_update(catalog: &Catalog, rest: &str, insert: bool) -> Result<Update, String> {
+    let (name, vals_text) = rest
+        .split_once('(')
+        .ok_or("usage: insert Name (attr=value, ...)")?;
+    let name = RelName::new(name.trim());
+    let schema = catalog.schema(name).map_err(|e| e.to_string())?;
+    let vals_text = vals_text.strip_suffix(')').ok_or("missing closing `)`")?;
+    let mut values: Vec<Option<Value>> = vec![None; schema.attrs().len()];
+    for pair in vals_text.split(',') {
+        let (attr, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("expected attr=value, found `{pair}`"))?;
+        let attr = Attr::new(attr.trim());
+        let i = schema
+            .attrs()
+            .index_of(attr)
+            .ok_or_else(|| format!("`{name}` has no attribute `{attr}`"))?;
+        values[i] = Some(parse_value(value.trim())?);
+    }
+    let values: Vec<Value> = values
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| {
+            v.ok_or_else(|| format!("missing value for `{}`", schema.attrs().as_slice()[i]))
+        })
+        .collect::<Result<_, String>>()?;
+    let mut rows = Relation::empty(schema.attrs().clone());
+    rows.insert(Tuple::new(values)).map_err(|e| e.to_string())?;
+    let delta = if insert {
+        Delta::insert_only(rows)
+    } else {
+        Delta::delete_only(rows)
+    };
+    Ok(Update::new().with(name.as_str(), delta))
 }
 
 fn parse_value(text: &str) -> Result<Value, String> {

@@ -7,11 +7,55 @@
 //! before a failure is reported.
 #![allow(dead_code)] // each test binary uses a different subset
 
+use dwc_testkit::crash::{SimError, SimFs};
 use dwc_testkit::SplitMix64;
 use dwcomplements::relalg::{
     AttrSet, Catalog, DbState, Delta, Predicate, RaExpr, RelName, Relation, Tuple, Update,
     Value,
 };
+use dwcomplements::warehouse::{MediumError, StorageMedium};
+
+// ---------------------------------------------------------------------
+// SimFs → StorageMedium adapter
+// ---------------------------------------------------------------------
+
+/// Runs the production durability code over the crash-simulated
+/// filesystem. Clones share the disk (and its crash plan). Used by the
+/// server and group-commit suites; `crash_props` keeps a local copy next
+/// to the IO-boundary sweep it documents.
+#[derive(Clone, Debug)]
+pub struct SimMedium(pub SimFs);
+
+fn sim_err(op: &'static str, path: &str, e: SimError) -> MediumError {
+    MediumError { op, path: path.to_owned(), detail: e.to_string() }
+}
+
+impl StorageMedium for SimMedium {
+    fn read(&self, path: &str) -> Result<Vec<u8>, MediumError> {
+        self.0.read(path).map_err(|e| sim_err("read", path, e))
+    }
+    fn write_all(&self, path: &str, bytes: &[u8]) -> Result<(), MediumError> {
+        self.0.write_all(path, bytes).map_err(|e| sim_err("write", path, e))
+    }
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<(), MediumError> {
+        self.0.append(path, bytes).map_err(|e| sim_err("append", path, e))
+    }
+    fn sync(&self, path: &str) -> Result<(), MediumError> {
+        self.0.sync(path).map_err(|e| sim_err("sync", path, e))
+    }
+    fn rename(&self, from: &str, to: &str) -> Result<(), MediumError> {
+        self.0.rename(from, to).map_err(|e| sim_err("rename", from, e))
+    }
+    fn remove(&self, path: &str) -> Result<(), MediumError> {
+        self.0.remove(path).map_err(|e| sim_err("remove", path, e))
+    }
+    fn list(&self) -> Result<Vec<String>, MediumError> {
+        Ok(self.0.list())
+    }
+    fn exists(&self, path: &str) -> bool {
+        self.0.exists(path)
+    }
+}
 
 /// The unconstrained three-relation catalog used by the expression and
 /// delta properties: R(a,b), S(b,c), T(c).
