@@ -23,7 +23,13 @@
 //!   appear only in `crates/warehouse/src/server/commit.rs` (acks are
 //!   minted strictly after the group fsync returns), and `.sync(`
 //!   calls inside `crates/warehouse/src` stay confined to the
-//!   `storage/` tree. Waivers: `ack_new` / `sync_call`.
+//!   `storage/` tree. With the retry/degraded paths the rule also
+//!   covers the construction bypasses: `Ack {` struct literals and
+//!   `.publish(` epoch publications inside the warehouse crate stay
+//!   confined to the commit loop, so no code path — including error
+//!   branches and retry drains — can mint an ack or publish an epoch
+//!   before its batch's fsync returned. Waivers: `ack_new` /
+//!   `sync_call` / `ack_literal` / `epoch_publish`.
 //!
 //! Comments, string literals, raw strings and char literals are stripped
 //! by a small lexer before token matching, so a doc-comment mentioning
@@ -85,6 +91,13 @@ const S505_SYNC_TREE: &str = "crates/warehouse/src";
 /// Where `.sync(` may appear inside that tree: the storage layer.
 const S505_SYNC_ALLOWED_PREFIX: &str = "crates/warehouse/src/storage/";
 
+/// The tree whose ack/epoch *construction bypasses* `S505` polices:
+/// inside the warehouse crate, `Ack {` struct literals and `.publish(`
+/// epoch publications are confined to the commit loop, closing the
+/// loophole where a retry or error branch builds an ack without going
+/// through `Ack::new(`.
+const S505_MINT_TREE: &str = "crates/warehouse/src";
+
 /// Banned tokens: `(needle, waiver name)`.
 const BANNED: &[(&str, &str)] = &[
     (".unwrap()", "unwrap"),
@@ -142,7 +155,10 @@ pub fn self_check(root: &Path) -> Report {
 
     // --- S505: durable-ack discipline. `Ack::new(` confined to the
     // commit loop (scanned everywhere a src tree exists); `.sync(`
-    // confined to the storage layer within the warehouse crate.
+    // confined to the storage layer within the warehouse crate; `Ack {`
+    // literals and `.publish(` confined to the commit loop within the
+    // warehouse crate (the construction bypasses an error/retry branch
+    // could otherwise use to ack or publish before the fsync).
     let mut src_trees: Vec<PathBuf> = vec![root.join("src")];
     src_trees.extend(crate_dirs(root, &mut report).into_iter().map(|d| d.join("src")));
     for tree in src_trees {
@@ -151,8 +167,9 @@ pub fn self_check(root: &Path) -> Report {
             let check_ack = rel != S505_ACK_ALLOWED;
             let check_sync =
                 rel.starts_with(S505_SYNC_TREE) && !rel.starts_with(S505_SYNC_ALLOWED_PREFIX);
-            if check_ack || check_sync {
-                scan_ack_discipline(&file, &rel, check_ack, check_sync, &mut report);
+            let check_mint = rel.starts_with(S505_MINT_TREE) && rel != S505_ACK_ALLOWED;
+            if check_ack || check_sync || check_mint {
+                scan_ack_discipline(&file, &rel, check_ack, check_sync, check_mint, &mut report);
             }
         }
     }
@@ -329,14 +346,17 @@ fn scan_fs_writes(path: &Path, rel: &str, report: &mut Report) {
 }
 
 /// Scans one file for `S505` violations: durable-ack construction
-/// (`Ack::new(`) outside the commit loop and `.sync(` calls outside
-/// the storage layer. Test modules at the bottom of a file are exempt
+/// (`Ack::new(`) outside the commit loop, `.sync(` calls outside the
+/// storage layer, and — inside the warehouse crate — the construction
+/// bypasses (`Ack {` literals, `.publish(` epoch publications) outside
+/// the commit loop. Test modules at the bottom of a file are exempt
 /// (they drive test doubles, not the durability path).
 fn scan_ack_discipline(
     path: &Path,
     rel: &str,
     check_ack: bool,
     check_sync: bool,
+    check_mint: bool,
     report: &mut Report,
 ) {
     let Some(lines) = stripped_lines(path, rel, report) else {
@@ -369,6 +389,33 @@ fn scan_ack_discipline(
                      `// lint:allow sync_call -- reason`)"
                 ),
             );
+        }
+        if check_mint {
+            if stripped.contains("Ack {") && !has_waiver(raw, "ack_literal") {
+                report.push(
+                    Code::S505AckOutsideCommitLoop,
+                    Severity::Error,
+                    format!("{rel}:{line_no}"),
+                    format!(
+                        "`Ack {{` literal outside {S505_ACK_ALLOWED}; constructing an ack \
+                         without `Ack::new(` bypasses the ack-after-fsync discipline — \
+                         error and retry branches must not mint acks (or waive with \
+                         `// lint:allow ack_literal -- reason`)"
+                    ),
+                );
+            }
+            if stripped.contains(".publish(") && !has_waiver(raw, "epoch_publish") {
+                report.push(
+                    Code::S505AckOutsideCommitLoop,
+                    Severity::Error,
+                    format!("{rel}:{line_no}"),
+                    format!(
+                        "`.publish(` outside {S505_ACK_ALLOWED}; epochs become readable \
+                         only from the commit loop after a durable batch (or waive with \
+                         `// lint:allow epoch_publish -- reason`)"
+                    ),
+                );
+            }
         }
     }
 }
@@ -614,21 +661,24 @@ call(); /* block panic! comment */ after();
         fs::write(
             &file,
             "fn f(m: &M) {\n    let a = Ack::new(1);\n    m.sync(\"wal\");\n    \
-             let b = Ack::new(2); // lint:allow ack_new -- exercising the waiver\n}\n\
+             let b = Ack::new(2); // lint:allow ack_new -- exercising the waiver\n    \
+             let c = Ack { session, epoch: 0 };\n    epochs.publish(state);\n    \
+             let d = Ack { seq: 1 }; // lint:allow ack_literal -- exercising the waiver\n}\n\
              #[cfg(test)]\nmod t { fn g() { Ack::new(3); } }\n",
         )
         .unwrap();
         let mut report = Report::new();
-        scan_ack_discipline(&file, "src/rogue.rs", true, true, &mut report);
+        scan_ack_discipline(&file, "src/rogue.rs", true, true, true, &mut report);
         let text = report.to_string();
         assert_eq!(
             text.matches("DWC-S505").count(),
-            2,
-            "one ack + one sync; waiver and test module exempt:\n{text}"
+            4,
+            "one ack + one sync + one literal + one publish; waivers and \
+             test module exempt:\n{text}"
         );
-        // With both checks disabled the same file is clean.
+        // With every check disabled the same file is clean.
         let mut clean = Report::new();
-        scan_ack_discipline(&file, "src/rogue.rs", false, false, &mut clean);
+        scan_ack_discipline(&file, "src/rogue.rs", false, false, false, &mut clean);
         assert!(!clean.has_errors());
         fs::remove_file(&file).ok();
         fs::remove_dir(&dir).ok();

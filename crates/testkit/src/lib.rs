@@ -7,7 +7,7 @@
 //! plain `std`: no registry crates, no build scripts, no feature flags —
 //! so `cargo build --release && cargo test -q` works fully offline.
 //!
-//! Six subsystems:
+//! Seven subsystems:
 //!
 //! * [`rng`] — the [`rng::SplitMix64`] PRNG plus value generators
 //!   (bounded ints, indices, Bernoulli draws, identifiers, wild strings,
@@ -24,6 +24,11 @@
 //!   torn unsynced tails, coin-flipped in-flight renames, and a counted
 //!   operation stream enabling kill-at-every-IO-boundary sweeps, all a
 //!   pure function of a shrinkable [`crash::CrashPlan`].
+//! * [`iofault`] — a fallible medium ([`iofault::FaultyFs`]) layered
+//!   over the crash filesystem: seeded transient/permanent IO failures
+//!   per op-class, torn partial writes on failed appends, heal/quiesce
+//!   transitions, and modeled latency against the virtual clock, all a
+//!   pure function of a shrinkable [`iofault::MediumFaultPlan`].
 //! * [`sched`] — deterministic concurrency scheduling: a virtual
 //!   microsecond clock ([`sched::VirtualClock`]) and a seeded
 //!   interleaver ([`sched::Interleaver`]) that merges per-source event
@@ -67,6 +72,7 @@
 pub mod bench;
 pub mod crash;
 pub mod fault;
+pub mod iofault;
 pub mod prop;
 pub mod rng;
 pub mod sched;
@@ -75,6 +81,7 @@ pub mod shrink;
 pub use bench::{Bench, Stats};
 pub use crash::{CrashPlan, SimError, SimFs};
 pub use fault::{Delivery, FaultPlan};
+pub use iofault::{FaultyError, FaultyFs, MediumFaultPlan, OpClass};
 pub use prop::{PropResult, Runner};
 pub use rng::SplitMix64;
 pub use sched::{sched_seeds, Interleaver, VirtualClock};

@@ -100,6 +100,6 @@ pub use server::{
 };
 pub use spec::{AugmentedWarehouse, WarehouseSpec};
 pub use storage::{
-    DurabilityConfig, DurableWarehouse, FsMedium, MediumError, Recovery, RecoveryReport,
-    StorageError, StorageMedium, StorageStats,
+    DurabilityConfig, DurableWarehouse, ErrorClass, FsMedium, MediumError, Recovery,
+    RecoveryReport, StorageError, StorageMedium, StorageStats,
 };

@@ -18,6 +18,14 @@
 //! structurally impossible to miss in tests, because `next_deadline`
 //! returns `Some` exactly when `pending` is non-empty, and the
 //! scheduler suites assert that invariant under seeded interleavings.
+//!
+//! A released batch leaves the batcher *before* its commit runs, so a
+//! commit failure cannot re-arm a deadline here — the batcher is empty
+//! and `next_deadline` is `None`. Deadline continuity across failed
+//! commits is the commit pipeline's job: a retryably-failed batch parks
+//! there and `CommitPipeline::retry_deadline` feeds the server's
+//! `next_deadline`, so the wakeup chain never drops (regression-tested
+//! in the fault suite).
 
 use crate::channel::Envelope;
 use crate::server::session::SessionId;

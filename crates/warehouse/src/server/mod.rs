@@ -45,7 +45,9 @@ pub mod commit;
 pub mod session;
 
 pub use batch::{BatchItem, BatchPolicy, Batcher};
-pub use commit::{Ack, AckOutcome, CommitPipeline, CommitReceipt};
+pub use commit::{
+    Ack, AckOutcome, CommitPipeline, CommitReceipt, Health, RetryPolicy, Submitted,
+};
 pub use session::{SessionGrant, SessionId, SessionManager};
 
 use crate::channel::{Envelope, SourceId};
@@ -73,6 +75,20 @@ pub enum ServerError {
     },
     /// The commit path failed durably; the warehouse is poisoned.
     Storage(StorageError),
+    /// The server is in read-only degradation: reads keep serving, but
+    /// writes are refused until the medium heals or the process
+    /// restarts into recovery. The typed nack of the fault model.
+    ReadOnly {
+        /// The storage failure that forced read-only mode, rendered.
+        detail: String,
+    },
+    /// Admission control: too many envelopes are already pending
+    /// (batched + parked). Back off and retry — nothing was accepted.
+    Busy {
+        /// A hint for when capacity may free up, in virtual
+        /// microseconds from the rejected delivery.
+        retry_after_micros: u64,
+    },
 }
 
 impl fmt::Display for ServerError {
@@ -84,6 +100,12 @@ impl fmt::Display for ServerError {
                 "session {session} owns source {expected:?} but delivered for {got:?}"
             ),
             ServerError::Storage(e) => write!(f, "storage failure: {e}"),
+            ServerError::ReadOnly { detail } => {
+                write!(f, "server is read-only: {detail}")
+            }
+            ServerError::Busy { retry_after_micros } => {
+                write!(f, "server busy; retry after {retry_after_micros}us")
+            }
         }
     }
 }
@@ -108,15 +130,26 @@ pub struct ServerStats {
 }
 
 /// The single-writer server state machine: session table + batcher +
-/// commit pipeline. The runtime owns exactly one and feeds it events;
-/// everything here is deterministic given the event sequence and the
-/// virtual clock values passed in.
+/// commit pipeline (with its health state machine). The runtime owns
+/// exactly one and feeds it events; everything here is deterministic
+/// given the event sequence and the virtual clock values passed in.
 #[derive(Debug)]
 pub struct ServerCore<M: StorageMedium> {
     sessions: SessionManager,
     batcher: Batcher,
     pipeline: CommitPipeline<M>,
     stats: ServerStats,
+    /// Admission bound: batched + parked envelopes beyond this nack
+    /// [`ServerError::Busy`].
+    max_pending: usize,
+    /// Idle sessions silent longer than this are reaped; `None`
+    /// disables reaping (library embeddings, tests that drive time
+    /// sparsely).
+    idle_timeout: Option<u64>,
+    /// The latest virtual time any event carried — the clock substitute
+    /// for the clock-free entry points (`connect`, `flush`).
+    last_now: u64,
+    reaped: Vec<(SessionId, SourceId)>,
 }
 
 impl<M: StorageMedium> ServerCore<M> {
@@ -128,23 +161,65 @@ impl<M: StorageMedium> ServerCore<M> {
             batcher: Batcher::new(policy),
             pipeline: CommitPipeline::new(warehouse),
             stats: ServerStats::default(),
+            max_pending: 4096,
+            idle_timeout: None,
+            last_now: 0,
+            reaped: Vec::new(),
         }
+    }
+
+    /// Bounds the pending (batched + parked) envelopes admitted before
+    /// deliveries nack [`ServerError::Busy`]. Values below 1 are
+    /// treated as 1.
+    pub fn set_max_pending(&mut self, max_pending: usize) {
+        self.max_pending = max_pending.max(1);
+    }
+
+    /// Enables (or with `None` disables) idle-session reaping: sessions
+    /// silent for longer than `timeout` virtual microseconds are
+    /// evicted on the next tick. Reaping loses nothing — durable
+    /// cursors make the reconnect grant resume exactly.
+    pub fn set_idle_timeout(&mut self, timeout: Option<u64>) {
+        self.idle_timeout = timeout;
+    }
+
+    /// Replaces the commit pipeline's retry/backoff tuning.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.pipeline.set_retry_policy(retry);
     }
 
     /// Connects (or reconnects) a source, returning its session and the
     /// durable resume point — the cursor the warehouse recovered or
-    /// last acked.
+    /// last acked. The session's liveness is stamped at the time of the
+    /// last observed event; runtimes with a real clock should prefer
+    /// [`ServerCore::connect_at`] so a connect on a long-quiet server
+    /// is not instantly idle.
     pub fn connect(&mut self, source: SourceId) -> SessionGrant {
         let sequencing = self.pipeline.warehouse().ingestor().sequencing();
-        self.sessions.connect(source, &sequencing)
+        self.sessions.connect_at(source, &sequencing, self.last_now)
+    }
+
+    /// [`ServerCore::connect`] at virtual time `now`: advances the
+    /// core's event clock first, so the new session's idle window
+    /// starts at the connect, not at the previous event.
+    pub fn connect_at(&mut self, source: SourceId, now: u64) -> SessionGrant {
+        self.last_now = self.last_now.max(now);
+        self.connect(source)
     }
 
     /// Accepts one envelope from `session` at virtual time `now`.
     /// Returns the acks released by this event: empty while the
-    /// envelope waits in the batcher, or one ack per batched envelope
-    /// (across **all** sessions in the batch — route by
-    /// [`Ack::session`]) when this push filled the batch and forced a
-    /// group commit.
+    /// envelope waits in the batcher (or parks under degradation), or
+    /// one ack per batched envelope (across **all** sessions in the
+    /// batch — route by [`Ack::session`]) when this push filled the
+    /// batch and forced a group commit.
+    ///
+    /// Fault-model nacks, checked in order: unknown session / source
+    /// mismatch (protocol errors), [`ServerError::ReadOnly`] when the
+    /// pipeline has degraded past retrying, [`ServerError::Busy`] when
+    /// pending admission is exhausted. A nacked envelope was **not**
+    /// accepted; the source retransmits it later (sequencing makes the
+    /// retry idempotent).
     pub fn deliver(
         &mut self,
         session: SessionId,
@@ -162,43 +237,97 @@ impl<M: StorageMedium> ServerCore<M> {
                 got: envelope.source.clone(),
             });
         }
+        self.last_now = self.last_now.max(now);
+        self.sessions.touch(session, now);
+        if let Health::ReadOnly { .. } = self.pipeline.health() {
+            return Err(ServerError::ReadOnly { detail: self.read_only_detail() });
+        }
+        if self.batcher.len() + self.pipeline.parked_len() >= self.max_pending {
+            return Err(ServerError::Busy { retry_after_micros: self.retry_after(now) });
+        }
         self.stats.delivered += 1;
         match self.batcher.push(session, envelope, now) {
-            Some(batch) => self.commit(batch),
+            Some(batch) => self.commit(batch, now),
             None => Ok(Vec::new()),
         }
+    }
+
+    /// Records a heartbeat from `session` at virtual time `now`,
+    /// deferring its idle-timeout eviction. The `ping` protocol verb.
+    pub fn ping(&mut self, session: SessionId, now: u64) -> Result<(), ServerError> {
+        self.sessions
+            .source_of(session)
+            .ok_or(ServerError::UnknownSession(session))?;
+        self.last_now = self.last_now.max(now);
+        self.sessions.touch(session, now);
+        Ok(())
     }
 
     /// Timer tick at virtual time `now`: commits the pending batch if
-    /// its max-wait deadline has passed. The runtime must call this by
+    /// its max-wait deadline has passed, runs the due degraded-mode
+    /// retry or read-only heal probe (draining parked batches on
+    /// success), and reaps idle sessions. The runtime must call this by
     /// [`ServerCore::next_deadline`] — sleeping past it with envelopes
-    /// pending is the lost-wakeup bug the scheduler tests hunt.
+    /// pending *or a retry scheduled* is the lost-wakeup bug the
+    /// scheduler tests hunt.
     pub fn tick(&mut self, now: u64) -> Result<Vec<Ack>, ServerError> {
-        match self.batcher.poll(now) {
-            Some(batch) => self.commit(batch),
-            None => Ok(Vec::new()),
+        self.last_now = self.last_now.max(now);
+        let mut acks = match self.batcher.poll(now) {
+            Some(batch) => self.commit(batch, now)?,
+            None => Vec::new(),
+        };
+        // One epoch is published per drained batch, so the epoch delta
+        // is the batch count this retry tick committed.
+        let epoch_before = self.pipeline.epoch();
+        let retried = self.pipeline.tick_retry(now);
+        self.stats.batches_committed += self.pipeline.epoch() - epoch_before;
+        self.stats.acks_minted += retried.len() as u64;
+        acks.extend(retried);
+        if let Some(timeout) = self.idle_timeout {
+            let reaped = self.sessions.reap_idle(now, timeout);
+            self.reaped.extend(reaped);
         }
+        Ok(acks)
     }
 
     /// Commits whatever is pending regardless of deadlines (shutdown
-    /// barrier).
+    /// barrier). Under degradation the batch parks instead — shutting
+    /// down then loses only unacked envelopes, which is the crash
+    /// contract.
     pub fn flush(&mut self) -> Result<Vec<Ack>, ServerError> {
         match self.batcher.flush() {
-            Some(batch) => self.commit(batch),
+            Some(batch) => {
+                let now = self.last_now;
+                self.commit(batch, now)
+            }
             None => Ok(Vec::new()),
         }
     }
 
-    /// When [`ServerCore::tick`] must next run; `Some` exactly when
-    /// envelopes are pending.
+    /// When [`ServerCore::tick`] must next run: the earliest of the
+    /// batcher's max-wait deadline, the pipeline's retry/probe deadline
+    /// (so a failed commit re-arms the schedule instead of waiting for
+    /// traffic), and the next idle-session expiry.
     pub fn next_deadline(&self) -> Option<u64> {
-        self.batcher.next_deadline()
+        let idle = match self.idle_timeout {
+            Some(timeout) => self
+                .sessions
+                .oldest_last_seen()
+                .map(|seen| seen.saturating_add(timeout).saturating_add(1)),
+            None => None,
+        };
+        [self.batcher.next_deadline(), self.pipeline.retry_deadline(), idle]
+            .into_iter()
+            .flatten()
+            .min()
     }
 
     /// Durable gap recovery for a session: replays its outbox slice
     /// through the warehouse and returns the single `Recovered` ack.
     /// Flushes any pending batch first so recovery observes every
-    /// delivered envelope.
+    /// delivered envelope. Refused while unhealthy — recovery must not
+    /// jump the queue of parked batches ([`ServerError::Busy`] while
+    /// degraded, [`ServerError::ReadOnly`] past that).
     pub fn recover_source(
         &mut self,
         session: SessionId,
@@ -209,11 +338,54 @@ impl<M: StorageMedium> ServerCore<M> {
             .source_of(session)
             .ok_or(ServerError::UnknownSession(session))?
             .clone();
+        match self.pipeline.health() {
+            Health::Healthy => {}
+            Health::Degraded { .. } => {
+                return Err(ServerError::Busy {
+                    retry_after_micros: self.retry_after(self.last_now),
+                });
+            }
+            Health::ReadOnly { .. } => {
+                return Err(ServerError::ReadOnly { detail: self.read_only_detail() });
+            }
+        }
+        self.sessions.touch(session, self.last_now);
         let mut acks = self.flush()?;
         let receipt = self.pipeline.recover_source(session, &source, log)?;
         self.stats.acks_minted += receipt.acks.len() as u64;
         acks.extend(receipt.acks);
         Ok(acks)
+    }
+
+    /// Sessions evicted by idle-timeout reaping since the last call
+    /// (the runtime closes their connections; the sources reconnect
+    /// into fresh grants).
+    pub fn take_reaped(&mut self) -> Vec<(SessionId, SourceId)> {
+        std::mem::take(&mut self.reaped)
+    }
+
+    /// The commit pipeline's health state.
+    pub fn health(&self) -> Health {
+        self.pipeline.health()
+    }
+
+    /// Envelopes applied but parked awaiting a retried commit.
+    pub fn parked_len(&self) -> usize {
+        self.pipeline.parked_len()
+    }
+
+    fn read_only_detail(&self) -> String {
+        self.pipeline
+            .last_error()
+            .unwrap_or("storage degraded to read-only")
+            .to_owned()
+    }
+
+    fn retry_after(&self, now: u64) -> u64 {
+        match self.pipeline.retry_deadline() {
+            Some(deadline) => deadline.saturating_sub(now).max(1),
+            None => 1_000,
+        }
     }
 
     /// A query handle decoupled from the commit loop: answers against
@@ -251,11 +423,16 @@ impl<M: StorageMedium> ServerCore<M> {
         &mut self.pipeline
     }
 
-    fn commit(&mut self, batch: Vec<BatchItem>) -> Result<Vec<Ack>, ServerError> {
-        let receipt = self.pipeline.commit(batch)?;
-        self.stats.batches_committed += 1;
-        self.stats.acks_minted += receipt.acks.len() as u64;
-        Ok(receipt.acks)
+    fn commit(&mut self, batch: Vec<BatchItem>, now: u64) -> Result<Vec<Ack>, ServerError> {
+        match self.pipeline.submit(batch, now)? {
+            Submitted::Committed(receipt) => {
+                self.stats.batches_committed += 1;
+                self.stats.acks_minted += receipt.acks.len() as u64;
+                Ok(receipt.acks)
+            }
+            // Parked: acks arrive from a later tick's retry drain.
+            Submitted::Parked { .. } => Ok(Vec::new()),
+        }
     }
 }
 

@@ -56,12 +56,25 @@ pub struct SessionGrant {
     pub resume_seq: u64,
 }
 
-/// The session table: source ↔ session bijection plus grant minting.
+/// The session table: source ↔ session bijection plus grant minting
+/// and idle-session reaping.
+///
+/// Liveness tracking is heartbeat-based: every deliver or explicit ping
+/// [`touch`]es the session's `last_seen`, and [`reap_idle`] evicts
+/// sessions silent past a timeout. Reaping is safe *because resume is
+/// durable*: the sequencing cursors survive in the warehouse, so a
+/// reaped source reconnects into a fresh session whose grant resumes
+/// exactly where the old one durably left off — nothing acked is lost,
+/// nothing is double-applied.
+///
+/// [`touch`]: SessionManager::touch
+/// [`reap_idle`]: SessionManager::reap_idle
 #[derive(Clone, Debug, Default)]
 pub struct SessionManager {
     next_id: u64,
     by_source: BTreeMap<SourceId, SessionId>,
     by_session: BTreeMap<SessionId, SourceId>,
+    last_seen: BTreeMap<SessionId, u64>,
 }
 
 impl SessionManager {
@@ -83,6 +96,7 @@ impl SessionManager {
                 let minted = SessionId(self.next_id);
                 self.by_source.insert(source.clone(), minted);
                 self.by_session.insert(minted, source.clone());
+                self.last_seen.insert(minted, 0);
                 minted
             }
         };
@@ -92,6 +106,20 @@ impl SessionManager {
             .map(|s| (s.epoch, s.next_seq))
             .unwrap_or((0, 0));
         SessionGrant { session, source, epoch, resume_seq }
+    }
+
+    /// [`SessionManager::connect`] with a liveness stamp: the grant's
+    /// session is touched at `now`, so a just-connected session is
+    /// never instantly idle.
+    pub fn connect_at(
+        &mut self,
+        source: SourceId,
+        sequencing: &[SequencingStatus],
+        now: u64,
+    ) -> SessionGrant {
+        let grant = self.connect(source, sequencing);
+        self.touch(grant.session, now);
+        grant
     }
 
     /// The source bound to `session`, if the session exists.
@@ -112,6 +140,42 @@ impl SessionManager {
     /// Whether no source has connected yet.
     pub fn is_empty(&self) -> bool {
         self.by_source.is_empty()
+    }
+
+    /// Records a sign of life from `session` at virtual time `now`
+    /// (any deliver, ping, or recover counts).
+    pub fn touch(&mut self, session: SessionId, now: u64) {
+        if let Some(seen) = self.last_seen.get_mut(&session) {
+            *seen = (*seen).max(now);
+        }
+    }
+
+    /// The earliest `last_seen` across live sessions — the time the
+    /// next idle deadline is measured from.
+    pub fn oldest_last_seen(&self) -> Option<u64> {
+        self.last_seen.values().copied().min()
+    }
+
+    /// Evicts every session silent for longer than `timeout` before
+    /// `now`, returning the evicted `(session, source)` pairs. A reaped
+    /// source reconnects into a *new* session id; the durable cursors
+    /// make the new grant resume losslessly.
+    pub fn reap_idle(&mut self, now: u64, timeout: u64) -> Vec<(SessionId, SourceId)> {
+        let dead: Vec<SessionId> = self
+            .last_seen
+            .iter()
+            .filter(|(_, &seen)| now.saturating_sub(seen) > timeout)
+            .map(|(&session, _)| session)
+            .collect();
+        let mut reaped = Vec::with_capacity(dead.len());
+        for session in dead {
+            self.last_seen.remove(&session);
+            if let Some(source) = self.by_session.remove(&session) {
+                self.by_source.remove(&source);
+                reaped.push((session, source));
+            }
+        }
+        reaped
     }
 }
 

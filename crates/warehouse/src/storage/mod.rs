@@ -65,11 +65,40 @@ pub struct MediumError {
     pub path: String,
     /// The underlying failure, rendered.
     pub detail: String,
+    /// True for a transient failure a later retry may clear (timeout,
+    /// interrupted call); false for a permanent one (bad disk, missing
+    /// file, logic error). Decides the [`StorageError`] variant — and
+    /// therefore whether the server degrades or goes read-only.
+    pub transient: bool,
+}
+
+impl MediumError {
+    /// A permanent medium failure (the default severity: when in doubt,
+    /// a medium must report fatal — retrying a mis-classified fatal
+    /// fault loses data, retrying nothing merely loses availability).
+    pub fn fatal(
+        op: &'static str,
+        path: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> MediumError {
+        MediumError { op, path: path.into(), detail: detail.into(), transient: false }
+    }
+
+    /// A transient medium failure: the same operation may succeed if
+    /// simply retried later.
+    pub fn transient(
+        op: &'static str,
+        path: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> MediumError {
+        MediumError { op, path: path.into(), detail: detail.into(), transient: true }
+    }
 }
 
 impl fmt::Display for MediumError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "storage {} of `{}` failed: {}", self.op, self.path, self.detail)
+        let kind = if self.transient { " (transient)" } else { "" };
+        write!(f, "storage {} of `{}` failed{}: {}", self.op, self.path, kind, self.detail)
     }
 }
 
@@ -102,8 +131,12 @@ pub trait StorageMedium {
 /// `DWC-SNNN` range, disjoint from the static-analysis `DWC-S5NN` lints.
 #[derive(Clone, Debug, PartialEq)]
 pub enum StorageError {
-    /// The underlying medium failed (`DWC-S001`).
+    /// The underlying medium failed permanently (`DWC-S001`).
     Io(MediumError),
+    /// The underlying medium failed transiently (`DWC-S002`): the only
+    /// **retryable** storage error. The server's degraded mode exists
+    /// for exactly this variant; everything else is fatal.
+    IoTransient(MediumError),
     /// A WAL segment's 20-byte header is short, has a bad magic or
     /// checksum, or names the wrong segment id (`DWC-S101`).
     WalHeader {
@@ -157,11 +190,28 @@ pub enum StorageError {
     Warehouse(WarehouseError),
 }
 
+/// The coarse severity of a [`StorageError`]: may a retry of the same
+/// operation succeed, or is the durable layer beyond in-process repair?
+/// Every `DWC-SNNN` code maps to exactly one class (a property test
+/// pins this), and the server's health state machine branches on
+/// nothing finer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// A bounded retry (with backoff) of the failed operation is sound
+    /// and may succeed. Only transient medium faults qualify.
+    Retryable,
+    /// No retry can help: corrupt bytes, structural inconsistency, or a
+    /// permanently failed medium. The process must degrade to read-only
+    /// and be restarted into recovery.
+    Fatal,
+}
+
 impl StorageError {
     /// The stable diagnostic code of this error.
     pub fn code(&self) -> &'static str {
         match self {
             StorageError::Io(_) => "DWC-S001",
+            StorageError::IoTransient(_) => "DWC-S002",
             StorageError::WalHeader { .. } => "DWC-S101",
             StorageError::WalCorruptRecord { .. } => "DWC-S102",
             StorageError::SnapshotCorrupt { .. } => "DWC-S201",
@@ -172,6 +222,19 @@ impl StorageError {
             StorageError::Warehouse(_) => "DWC-S901",
         }
     }
+
+    /// The retryable-vs-fatal classification of this error.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            StorageError::IoTransient(_) => ErrorClass::Retryable,
+            _ => ErrorClass::Fatal,
+        }
+    }
+
+    /// True iff retrying the failed operation is sound and may succeed.
+    pub fn is_retryable(&self) -> bool {
+        self.class() == ErrorClass::Retryable
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -179,6 +242,7 @@ impl fmt::Display for StorageError {
         write!(f, "[{}] ", self.code())?;
         match self {
             StorageError::Io(e) => write!(f, "{e}"),
+            StorageError::IoTransient(e) => write!(f, "{e}"),
             StorageError::WalHeader { segment, detail } => {
                 write!(f, "WAL segment `{segment}` header invalid: {detail}")
             }
@@ -222,7 +286,11 @@ impl From<WarehouseError> for StorageError {
 
 impl From<MediumError> for StorageError {
     fn from(e: MediumError) -> StorageError {
-        StorageError::Io(e)
+        if e.transient {
+            StorageError::IoTransient(e)
+        } else {
+            StorageError::Io(e)
+        }
     }
 }
 
@@ -238,10 +306,8 @@ impl FsMedium {
     /// Opens (creating if needed) the directory `root`.
     pub fn new(root: impl Into<PathBuf>) -> Result<FsMedium, StorageError> {
         let root = root.into();
-        fs::create_dir_all(&root).map_err(|e| MediumError {
-            op: "create_dir",
-            path: root.display().to_string(),
-            detail: e.to_string(),
+        fs::create_dir_all(&root).map_err(|e| {
+            MediumError::fatal("create_dir", root.display().to_string(), e.to_string())
         })?;
         Ok(FsMedium { root })
     }
@@ -256,7 +322,15 @@ impl FsMedium {
     }
 
     fn err(&self, op: &'static str, name: &str, e: std::io::Error) -> MediumError {
-        MediumError { op, path: name.to_owned(), detail: e.to_string() }
+        // The conservative kernel-level transients: everything else —
+        // ENOSPC, EIO, permissions — is fatal until proven otherwise.
+        let transient = matches!(
+            e.kind(),
+            std::io::ErrorKind::Interrupted
+                | std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::TimedOut
+        );
+        MediumError { op, path: name.to_owned(), detail: e.to_string(), transient }
     }
 }
 
@@ -383,11 +457,27 @@ pub struct RecoveryReport {
 /// Ordering discipline: the in-memory offer happens *first*, the WAL
 /// append second. The only failure the log can miss is therefore a
 /// crash between the two — and a crash kills the in-memory effect too,
-/// so the log never lags a surviving state. A storage failure on the
-/// append path **poisons** the instance: the in-memory state is ahead
-/// of the log, so further durable operation would lie; every subsequent
-/// call returns the poisoning error class until the process restarts
-/// and recovers.
+/// so the log never lags a surviving state.
+///
+/// Storage failures split by [`StorageError::class`]:
+///
+/// * A **fatal** failure **poisons** the instance: the in-memory state
+///   is ahead of the log and no retry can reconcile them; every
+///   subsequent call returns the poisoning error class until the
+///   process restarts and recovers.
+/// * A **retryable** failure marks the current WAL segment **dirty**
+///   and keeps the not-yet-durable records in an in-memory `unlogged`
+///   queue. A dirty segment is *never appended to again* — after a
+///   failed fsync the page-cache state is unknowable, and after a
+///   failed append the segment may hold a torn frame. Instead,
+///   [`DurableWarehouse::heal`] rolls a whole new generation: the
+///   snapshot captures every in-memory effect (including the unlogged
+///   records), the manifest rename commits it atomically, and the
+///   dirty segment becomes garbage behind the commit point. Healing
+///   never re-appends the queued records — `Requeued`/`Discarded`
+///   records are index-based and non-idempotent, so re-logging them
+///   against a state that already reflects them would corrupt replay;
+///   the snapshot path is the only sound one.
 #[derive(Debug)]
 pub struct DurableWarehouse<M: StorageMedium> {
     medium: M,
@@ -397,6 +487,8 @@ pub struct DurableWarehouse<M: StorageMedium> {
     wal_name: String,
     records_since_snapshot: u64,
     poisoned: bool,
+    dirty: bool,
+    unlogged: Vec<WalRecord>,
     stats: StorageStats,
 }
 
@@ -411,12 +503,11 @@ impl<M: StorageMedium> DurableWarehouse<M> {
         config: DurabilityConfig,
     ) -> Result<DurableWarehouse<M>, StorageError> {
         if medium.exists(MANIFEST) {
-            return Err(StorageError::Io(MediumError {
-                op: "create",
-                path: MANIFEST.to_owned(),
-                detail: "medium already holds a committed warehouse (use Recovery::open)"
-                    .to_owned(),
-            }));
+            return Err(StorageError::Io(MediumError::fatal(
+                "create",
+                MANIFEST,
+                "medium already holds a committed warehouse (use Recovery::open)",
+            )));
         }
         let mut dw = DurableWarehouse {
             medium,
@@ -426,6 +517,8 @@ impl<M: StorageMedium> DurableWarehouse<M> {
             wal_name: String::new(),
             records_since_snapshot: 0,
             poisoned: false,
+            dirty: false,
+            unlogged: Vec::new(),
             stats: StorageStats::default(),
         };
         dw.roll_generation()?;
@@ -458,21 +551,69 @@ impl<M: StorageMedium> DurableWarehouse<M> {
         envelopes: &[Envelope],
     ) -> Result<Vec<IngestOutcome>, StorageError> {
         self.ensure_live()?;
+        let outcomes = self.apply_batch(envelopes);
+        if !envelopes.is_empty() {
+            self.commit_applied()?;
+        }
+        Ok(outcomes)
+    }
+
+    /// Applies a batch in memory only: each envelope goes through the
+    /// (infallible) ingestion path and its WAL record is queued, but
+    /// nothing touches storage. Pair with
+    /// [`DurableWarehouse::commit_applied`] — the split lets the server
+    /// park an already-applied batch when the commit fails retryably,
+    /// instead of losing it or applying it twice.
+    pub fn apply_batch(&mut self, envelopes: &[Envelope]) -> Vec<IngestOutcome> {
         let mut outcomes = Vec::with_capacity(envelopes.len());
         for envelope in envelopes {
             outcomes.push(self.ingest.offer(envelope));
-            self.log_with_sync(&WalRecord::Offered(envelope.clone()), false)?;
+            self.unlogged.push(WalRecord::Offered(envelope.clone()));
         }
-        if !envelopes.is_empty() {
-            if let Err(e) = self.medium.sync(&self.wal_name) {
-                self.poisoned = true;
-                return Err(StorageError::Io(e));
-            }
-            self.stats.wal_syncs += 1;
+        outcomes
+    }
+
+    /// Makes every applied-but-not-yet-durable record durable: the
+    /// group-commit second half. On a clean segment this appends the
+    /// queued records and issues one fsync; on a dirty segment it heals
+    /// by rolling a generation (see [`DurableWarehouse::heal`]). When
+    /// this returns `Ok`, everything previously applied in memory is
+    /// durable and it is sound to ack.
+    pub fn commit_applied(&mut self) -> Result<(), StorageError> {
+        self.ensure_live()?;
+        if !self.dirty && self.unlogged.is_empty() {
+            return Ok(());
+        }
+        let was_dirty = self.dirty;
+        self.flush_unlogged(true)?;
+        if !was_dirty {
             self.stats.group_commits += 1;
         }
-        self.maybe_auto_snapshot()?;
-        Ok(outcomes)
+        self.maybe_auto_snapshot()
+    }
+
+    /// True iff applied records are awaiting [`commit_applied`]
+    /// (including records stranded by a retryable failure).
+    ///
+    /// [`commit_applied`]: DurableWarehouse::commit_applied
+    pub fn has_uncommitted(&self) -> bool {
+        self.dirty || !self.unlogged.is_empty()
+    }
+
+    /// Repairs the aftermath of a retryable storage failure by rolling
+    /// a fresh generation: snapshot (capturing all in-memory effects,
+    /// including unlogged records), new WAL segment, manifest commit.
+    /// No-op on a clean instance; fails fast if poisoned. On success
+    /// the instance is clean and durable again. On another retryable
+    /// failure the instance stays dirty and `heal` can simply be called
+    /// again — the roll is idempotent under retry (deterministic file
+    /// names, state mutated only on success).
+    pub fn heal(&mut self) -> Result<(), StorageError> {
+        self.ensure_live()?;
+        if !self.dirty && self.unlogged.is_empty() {
+            return Ok(());
+        }
+        self.roll_generation()
     }
 
     /// Re-offers the quarantined envelope at `index` through the normal
@@ -599,41 +740,68 @@ impl<M: StorageMedium> DurableWarehouse<M> {
 
     fn ensure_live(&self) -> Result<(), StorageError> {
         if self.poisoned {
-            return Err(StorageError::Io(MediumError {
-                op: "poisoned",
-                path: String::new(),
-                detail: "durable warehouse is poisoned by an earlier storage failure; \
-                         restart and recover"
-                    .to_owned(),
-            }));
+            return Err(StorageError::Io(MediumError::fatal(
+                "poisoned",
+                "",
+                "durable warehouse is poisoned by an earlier storage failure; \
+                 restart and recover",
+            )));
         }
         Ok(())
     }
 
-    /// Appends one record under [`DurabilityConfig::sync_every_append`],
-    /// poisoning the instance on failure (the in-memory state is then
-    /// ahead of the log).
+    /// Queues one record and flushes under
+    /// [`DurabilityConfig::sync_every_append`]. A fatal failure poisons
+    /// the instance; a retryable one leaves it dirty with the record
+    /// safe in the unlogged queue.
     fn log(&mut self, record: &WalRecord) -> Result<(), StorageError> {
         let sync = self.config.sync_every_append;
-        self.log_with_sync(record, sync)
+        self.unlogged.push(record.clone());
+        self.flush_unlogged(sync)
     }
 
-    fn log_with_sync(&mut self, record: &WalRecord, sync: bool) -> Result<(), StorageError> {
-        match wal::append_record(&self.medium, &self.wal_name, record, sync) {
-            Ok(bytes) => {
-                self.stats.wal_appends += 1;
-                self.stats.wal_bytes += bytes as u64;
-                if sync {
-                    self.stats.wal_syncs += 1;
+    /// Drains the unlogged queue to the WAL (front first, removing each
+    /// record only once its append succeeded), then optionally fsyncs.
+    /// A dirty segment is never appended to: the whole flush happens by
+    /// rolling a generation instead. Failures route through
+    /// [`note_failure`], so the queue keeps exactly the records whose
+    /// durability is still unproven.
+    ///
+    /// [`note_failure`]: DurableWarehouse::note_failure
+    fn flush_unlogged(&mut self, sync: bool) -> Result<(), StorageError> {
+        if self.dirty {
+            return self.roll_generation();
+        }
+        while let Some(record) = self.unlogged.first() {
+            match wal::append_record(&self.medium, &self.wal_name, record, false) {
+                Ok(bytes) => {
+                    self.stats.wal_appends += 1;
+                    self.stats.wal_bytes += bytes as u64;
+                    self.records_since_snapshot += 1;
+                    self.unlogged.remove(0);
                 }
-                self.records_since_snapshot += 1;
-                Ok(())
-            }
-            Err(e) => {
-                self.poisoned = true;
-                Err(e)
+                Err(e) => return Err(self.note_failure(e)),
             }
         }
+        if sync {
+            match self.medium.sync(&self.wal_name) {
+                Ok(()) => self.stats.wal_syncs += 1,
+                Err(e) => return Err(self.note_failure(StorageError::from(e))),
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a storage failure at the appropriate severity: retryable
+    /// dirties the WAL segment (recoverable in-process via
+    /// [`DurableWarehouse::heal`]), fatal poisons the instance.
+    fn note_failure(&mut self, e: StorageError) -> StorageError {
+        if e.is_retryable() {
+            self.dirty = true;
+        } else {
+            self.poisoned = true;
+        }
+        e
     }
 
     fn maybe_auto_snapshot(&mut self) -> Result<(), StorageError> {
@@ -680,15 +848,28 @@ impl<M: StorageMedium> DurableWarehouse<M> {
 
     /// Writes snapshot + fresh WAL segment + manifest for generation
     /// `last + 1`, then prunes generations past the retention horizon.
-    /// On any failure the instance poisons (a half-rolled generation is
-    /// recoverable from disk, but this process can no longer prove
-    /// which files the manifest commits to).
+    /// Success clears the dirty flag and the unlogged queue: the
+    /// snapshot captured everything, so the new generation owes the old
+    /// segment nothing. A fatal failure poisons the instance (a
+    /// half-rolled generation is recoverable from disk, but this
+    /// process can no longer prove which files the manifest commits
+    /// to); a retryable failure leaves the roll safely repeatable — the
+    /// inner sequence uses deterministic names, overwrites its own
+    /// partial leftovers, and mutates state only on success.
     fn roll_generation(&mut self) -> Result<(), StorageError> {
-        let result = self.roll_generation_inner();
-        if result.is_err() {
-            self.poisoned = true;
+        match self.roll_generation_inner() {
+            Ok(()) => {
+                self.dirty = false;
+                self.unlogged.clear();
+                Ok(())
+            }
+            Err(e) => {
+                if !e.is_retryable() {
+                    self.poisoned = true;
+                }
+                Err(e)
+            }
         }
-        result
     }
 
     fn roll_generation_inner(&mut self) -> Result<(), StorageError> {
@@ -813,6 +994,8 @@ impl Recovery {
             wal_name: String::new(),
             records_since_snapshot: 0,
             poisoned: false,
+            dirty: false,
+            unlogged: Vec::new(),
             stats: StorageStats::default(),
         };
         // Roll a fresh generation: recovery must never append to a

@@ -364,11 +364,11 @@ mod tests {
 
     impl StorageMedium for MemMedium {
         fn read(&self, path: &str) -> Result<Vec<u8>, MediumError> {
-            self.files.borrow().get(path).cloned().ok_or(MediumError {
-                op: "read",
-                path: path.to_owned(),
-                detail: "not found".to_owned(),
-            })
+            self.files
+                .borrow()
+                .get(path)
+                .cloned()
+                .ok_or_else(|| MediumError::fatal("read", path, "not found"))
         }
         fn write_all(&self, path: &str, bytes: &[u8]) -> Result<(), MediumError> {
             self.files.borrow_mut().insert(path.to_owned(), bytes.to_vec());
@@ -387,20 +387,18 @@ mod tests {
         }
         fn rename(&self, from: &str, to: &str) -> Result<(), MediumError> {
             let mut files = self.files.borrow_mut();
-            let data = files.remove(from).ok_or(MediumError {
-                op: "rename",
-                path: from.to_owned(),
-                detail: "not found".to_owned(),
-            })?;
+            let data = files
+                .remove(from)
+                .ok_or_else(|| MediumError::fatal("rename", from, "not found"))?;
             files.insert(to.to_owned(), data);
             Ok(())
         }
         fn remove(&self, path: &str) -> Result<(), MediumError> {
-            self.files.borrow_mut().remove(path).map(drop).ok_or(MediumError {
-                op: "remove",
-                path: path.to_owned(),
-                detail: "not found".to_owned(),
-            })
+            self.files
+                .borrow_mut()
+                .remove(path)
+                .map(drop)
+                .ok_or_else(|| MediumError::fatal("remove", path, "not found"))
         }
         fn list(&self) -> Result<Vec<String>, MediumError> {
             Ok(self.files.borrow().keys().cloned().collect())

@@ -12,7 +12,8 @@
 # The durability suite (snapshot write, WAL append, cold recovery) is
 # IO-bound rather than thread-scaled, so it runs once serially and lands
 # in BENCH_recovery.json. The server group-commit suite is IO-bound the
-# same way and lands in BENCH_server.json.
+# same way and lands in BENCH_server.json, and the degraded-mode serving
+# suite (injected faults, modeled fsync stalls) in BENCH_faults.json.
 #
 # Usage: scripts/bench.sh [--quick] [--threads N] [--out FILE]
 #   --quick      smoke pass (fewer samples, 2ms target per sample)
@@ -83,3 +84,15 @@ echo "=== server: BENCH group commit ==="
 DWC_THREADS=1 cargo bench -q -p dwc-bench --bench server \
   | grep '^{' | tee "$SERVER_OUT"
 echo "wrote $(grep -c '^{' "$SERVER_OUT") results to $SERVER_OUT"
+
+# Serving under injected faults: wall-clock acks/sec at rising transient
+# error rates (with "claim/complete-..." rows pinning zero envelope
+# loss) plus virtual-clock fsync-stall modeling with the batch>=16
+# amortization claim against threshold_x100=500. Deterministic fault
+# plans, one serial pass, own sibling file.
+FAULTS_OUT="$(dirname "$OUT")/$(basename "$OUT" | sed 's/eval/faults/')"
+[ "$FAULTS_OUT" = "$OUT" ] && FAULTS_OUT="${OUT%.json}_faults.json"
+echo "=== faults: BENCH degraded-mode serving ==="
+DWC_THREADS=1 cargo bench -q -p dwc-bench --bench faults \
+  | grep '^{' | tee "$FAULTS_OUT"
+echo "wrote $(grep -c '^{' "$FAULTS_OUT") results to $FAULTS_OUT"

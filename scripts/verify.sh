@@ -75,10 +75,11 @@ done
 # file; real numbers are recorded by `scripts/bench.sh` into
 # BENCH_eval.json and never touched here.
 SWEEP_OUT=$(mktemp)
-# bench.sh drops the durability and server suites into sibling files;
-# mktemp names carry no "eval", so those siblings are
-# ${SWEEP_OUT}_recovery.json and ${SWEEP_OUT}_server.json.
-trap 'rm -f "$SWEEP_OUT" "${SWEEP_OUT}_recovery.json" "${SWEEP_OUT}_server.json"' EXIT
+# bench.sh drops the durability, server, and fault suites into sibling
+# files; mktemp names carry no "eval", so those siblings are
+# ${SWEEP_OUT}_recovery.json, ${SWEEP_OUT}_server.json and
+# ${SWEEP_OUT}_faults.json.
+trap 'rm -f "$SWEEP_OUT" "${SWEEP_OUT}_recovery.json" "${SWEEP_OUT}_server.json" "${SWEEP_OUT}_faults.json"' EXIT
 scripts/bench.sh --quick --out "$SWEEP_OUT" >/dev/null
 echo "ok: bench sweep produced $(grep -c '^{' "$SWEEP_OUT") results"
 
@@ -149,6 +150,18 @@ for seeds in "2026 40490 271828182845904523" "11400714819323198485 6364136223846
     pinned_scenario_converges_under_every_sweep_seed
 done
 echo "ok: server differential green, schedule sweep green"
+
+# --- 10. fault injection: pinned medium-fault matrix -------------------
+# The fault suite wraps the medium in FaultyFs and injects a transient
+# fault at every IO boundary (the server must self-heal and converge on
+# the exact oracle ack stream), a permanent fault from every boundary
+# (read-only degradation, acks a strict prefix, restart-recovery
+# convergence), modeled fsync stalls, and seeded random chaos — all
+# offline, all deterministic (tests/fault_props.rs bakes its seed in).
+# Release mode: the matrix drives the server a few hundred times.
+echo "fault matrix: tests/fault_props.rs"
+cargo test -q --release --test fault_props
+echo "ok: fault matrix green"
 
 # Clippy is not part of the offline gate, but when a toolchain ships it,
 # run it too (still offline).

@@ -49,7 +49,8 @@ states; corruption then surfaces lazily).";
 
 const SERVE_USAGE: &str = "\
 usage: dwc serve --spec <spec.dwc> [--addr HOST:PORT] [--batch N]
-                 [--max-wait-us U] [--no-verify] <dir>
+                 [--max-wait-us U] [--idle-timeout-us U] [--no-verify]
+                 <dir>
 
 Runs the warehouse as a long-running server over <dir>: many source
 sessions ingest concurrently through group-committed WAL appends (N
@@ -59,7 +60,12 @@ acked sequence number. Binds --addr (default 127.0.0.1:4710; port 0
 picks a free port) and prints `listening on <addr>`.
 
 --batch and --max-wait-us tune the group-commit policy (defaults 64
-envelopes / 2000 us).";
+envelopes / 2000 us). --idle-timeout-us reaps sessions silent past the
+timeout (default 0 = never; reconnect resumes losslessly — send `ping`
+to keep an idle session alive). On storage faults the server degrades
+instead of dying: transient failures park writes and retry with
+backoff, permanent failures turn the server read-only (queries keep
+answering from the last published epoch).";
 
 const CONNECT_USAGE: &str = "\
 usage: dwc connect --source <name> [HOST:PORT]
@@ -198,7 +204,8 @@ fn load_spec(spec_path: &str) -> Result<WarehouseSpec, String> {
         .map_err(|e| format!("{spec_path}: not a usable warehouse spec: {e}"))
 }
 
-/// `dwc serve --spec <spec.dwc> [--addr A] [--batch N] [--max-wait-us U] [--no-verify] <dir>`.
+/// `dwc serve --spec <spec.dwc> [--addr A] [--batch N] [--max-wait-us U]
+/// [--idle-timeout-us U] [--no-verify] <dir>`.
 fn cmd_serve(args: &[String]) -> ExitCode {
     let mut spec_path: Option<String> = None;
     let mut dir: Option<&str> = None;
@@ -237,6 +244,15 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--idle-timeout-us" => {
+                match take("--idle-timeout-us").and_then(|v| v.parse().ok()) {
+                    Some(u) => options.idle_timeout_micros = u,
+                    None => {
+                        eprintln!("--idle-timeout-us needs an integer\n{SERVE_USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--no-verify" => options.verify_on_open = false,
             "--help" | "-h" => {
                 println!("{SERVE_USAGE}");

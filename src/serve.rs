@@ -29,9 +29,16 @@
 //! recover <n>  (then n report lines)       ack <epoch> <next_seq> recovered <k>
 //! query <expr>                             result <epoch> <n> tuple(s) + rows
 //! epoch                                    epoch <n>
-//! stats                                    stats ...
+//! ping                                     pong          (heartbeat; defers idle reaping)
+//! stats                                    stats ... health=... parked=...
 //! quit                                     (connection closes)
 //! ```
+//!
+//! Under a degraded medium the server parks writes instead of acking
+//! them (acks arrive after the retried commit lands), nacks writes
+//! `err read-only: …` once the medium is permanently broken, and nacks
+//! `err busy: …` when the pending backlog exceeds the admission bound.
+//! Queries keep answering from the last published epoch throughout.
 //!
 //! `report` reuses the shell's update dialect (`Name (attr=value, …)`)
 //! via [`crate::shell::parse_update`], so `dwc connect` feels exactly
@@ -40,7 +47,9 @@
 use crate::relalg::{Catalog, DbState, RaExpr};
 use crate::shell::parse_update;
 use crate::warehouse::integrator::{Integrator, IntegratorConfig};
-use crate::warehouse::server::{Ack, BatchPolicy, QueryClient, ServerCore, SessionGrant, SessionId};
+use crate::warehouse::server::{
+    Ack, BatchPolicy, Health, QueryClient, ServerCore, SessionGrant, SessionId,
+};
 use crate::warehouse::{
     DurabilityConfig, DurableWarehouse, Envelope, FsMedium, IngestConfig, IngestingIntegrator,
     Recovery, SourceId, StorageError, WarehouseSpec,
@@ -65,6 +74,10 @@ pub struct ServeOptions {
     pub max_wait_micros: u64,
     /// Cross-check `W(W⁻¹(w)) = w` when opening an existing directory.
     pub verify_on_open: bool,
+    /// Reap sessions silent for longer than this many microseconds
+    /// (`0` disables reaping). Reaping is lossless: the durable cursors
+    /// let a reaped source reconnect and resume exactly.
+    pub idle_timeout_micros: u64,
 }
 
 impl Default for ServeOptions {
@@ -75,6 +88,7 @@ impl Default for ServeOptions {
             max_batch: p.max_batch,
             max_wait_micros: p.max_wait_micros,
             verify_on_open: true,
+            idle_timeout_micros: 0,
         }
     }
 }
@@ -140,6 +154,10 @@ enum EngineMsg {
         session: SessionId,
         log: Vec<Envelope>,
     },
+    Ping {
+        session: SessionId,
+        reply: mpsc::Sender<Result<(), String>>,
+    },
     Stats {
         reply: mpsc::Sender<String>,
     },
@@ -163,7 +181,10 @@ pub fn serve(
         max_batch: options.max_batch.max(1),
         max_wait_micros: options.max_wait_micros,
     };
-    let core = ServerCore::new(warehouse, policy);
+    let mut core = ServerCore::new(warehouse, policy);
+    if options.idle_timeout_micros > 0 {
+        core.set_idle_timeout(Some(options.idle_timeout_micros));
+    }
     let query = core.query_client();
 
     let listener = TcpListener::bind(&options.addr).map_err(|e| {
@@ -207,7 +228,7 @@ fn run_engine(mut core: ServerCore<FsMedium>, rx: mpsc::Receiver<EngineMsg>) {
         };
         match rx.recv_timeout(timeout) {
             Ok(EngineMsg::Connect { source, reply }) => {
-                let grant = core.connect(SourceId::new(source));
+                let grant = core.connect_at(SourceId::new(source), now(&start));
                 let (tx, ack_rx) = mpsc::channel();
                 acks.insert(grant.session, tx);
                 let _ = reply.send((grant, ack_rx));
@@ -224,12 +245,24 @@ fn run_engine(mut core: ServerCore<FsMedium>, rx: mpsc::Receiver<EngineMsg>) {
                     Err(e) => complain(&acks, session, e.to_string()),
                 }
             }
+            Ok(EngineMsg::Ping { session, reply }) => {
+                let _ = reply.send(
+                    core.ping(session, now(&start)).map_err(|e| e.to_string()),
+                );
+            }
             Ok(EngineMsg::Stats { reply }) => {
                 let s = core.stats();
                 let st = core.warehouse().storage_stats();
+                let health = match core.health() {
+                    Health::Healthy => "healthy".to_owned(),
+                    Health::Degraded { attempts, .. } => {
+                        format!("degraded(attempts={attempts})")
+                    }
+                    Health::ReadOnly { .. } => "read-only".to_owned(),
+                };
                 let _ = reply.send(format!(
                     "stats epoch={} delivered={} batches={} acks={} wal_syncs={} \
-                     group_commits={} generation={}",
+                     group_commits={} generation={} health={} parked={}",
                     core.commit_epoch(),
                     s.delivered,
                     s.batches_committed,
@@ -237,10 +270,25 @@ fn run_engine(mut core: ServerCore<FsMedium>, rx: mpsc::Receiver<EngineMsg>) {
                     st.wal_syncs,
                     st.group_commits,
                     core.warehouse().generation(),
+                    health,
+                    core.parked_len(),
                 ));
             }
             Err(mpsc::RecvTimeoutError::Timeout) => match core.tick(now(&start)) {
-                Ok(released) => route(&acks, released),
+                Ok(released) => {
+                    route(&acks, released);
+                    // The ack sender stays registered: a report sent on
+                    // the dead session still gets its "unknown session"
+                    // complaint instead of silence.
+                    for (session, source) in core.take_reaped() {
+                        complain(
+                            &acks,
+                            session,
+                            format!("session reaped after idle timeout (source `{source}` \
+                                     resumes losslessly on reconnect)"),
+                        );
+                    }
+                }
                 Err(e) => eprintln!("commit failure on tick: {e}"),
             },
             Err(mpsc::RecvTimeoutError::Disconnected) => {
@@ -391,6 +439,19 @@ fn handle_connection(
                     Err(e) => respond(&writer, &format!("err {e}"))?,
                 },
                 Err(e) => respond(&writer, &format!("err {e}"))?,
+            },
+            "ping" => match &session {
+                None => respond(&writer, "err hello first")?,
+                Some(grant) => {
+                    let (reply_tx, reply_rx) = mpsc::channel();
+                    engine
+                        .send(EngineMsg::Ping { session: grant.session, reply: reply_tx })
+                        .map_err(|_| "engine stopped".to_owned())?;
+                    match reply_rx.recv().map_err(|_| "engine stopped".to_owned())? {
+                        Ok(()) => respond(&writer, "pong")?,
+                        Err(e) => respond(&writer, &format!("err {e}"))?,
+                    }
+                }
             },
             "epoch" => respond(&writer, &format!("epoch {}", query.epoch()))?,
             "stats" => {

@@ -8,6 +8,7 @@
 #![allow(dead_code)] // each test binary uses a different subset
 
 use dwc_testkit::crash::{SimError, SimFs};
+use dwc_testkit::iofault::{FaultyError, FaultyFs};
 use dwc_testkit::SplitMix64;
 use dwcomplements::relalg::{
     AttrSet, Catalog, DbState, Delta, Predicate, RaExpr, RelName, Relation, Tuple, Update,
@@ -27,7 +28,7 @@ use dwcomplements::warehouse::{MediumError, StorageMedium};
 pub struct SimMedium(pub SimFs);
 
 fn sim_err(op: &'static str, path: &str, e: SimError) -> MediumError {
-    MediumError { op, path: path.to_owned(), detail: e.to_string() }
+    MediumError::fatal(op, path, e.to_string())
 }
 
 impl StorageMedium for SimMedium {
@@ -48,6 +49,53 @@ impl StorageMedium for SimMedium {
     }
     fn remove(&self, path: &str) -> Result<(), MediumError> {
         self.0.remove(path).map_err(|e| sim_err("remove", path, e))
+    }
+    fn list(&self) -> Result<Vec<String>, MediumError> {
+        Ok(self.0.list())
+    }
+    fn exists(&self, path: &str) -> bool {
+        self.0.exists(path)
+    }
+}
+
+// ---------------------------------------------------------------------
+// FaultyFs → StorageMedium adapter
+// ---------------------------------------------------------------------
+
+/// Runs the production durability code over the fault-injecting
+/// filesystem. Clones share the disk, the fault plan and the op
+/// counter. Injected transient faults map to retryable
+/// [`MediumError`]s (`DWC-S002`); injected permanent faults and
+/// simulator errors map to fatal ones.
+#[derive(Clone, Debug)]
+pub struct FaultyMedium(pub FaultyFs);
+
+fn faulty_err(op: &'static str, path: &str, e: FaultyError) -> MediumError {
+    if e.is_transient() {
+        MediumError::transient(op, path, e.to_string())
+    } else {
+        MediumError::fatal(op, path, e.to_string())
+    }
+}
+
+impl StorageMedium for FaultyMedium {
+    fn read(&self, path: &str) -> Result<Vec<u8>, MediumError> {
+        self.0.read(path).map_err(|e| faulty_err("read", path, e))
+    }
+    fn write_all(&self, path: &str, bytes: &[u8]) -> Result<(), MediumError> {
+        self.0.write_all(path, bytes).map_err(|e| faulty_err("write", path, e))
+    }
+    fn append(&self, path: &str, bytes: &[u8]) -> Result<(), MediumError> {
+        self.0.append(path, bytes).map_err(|e| faulty_err("append", path, e))
+    }
+    fn sync(&self, path: &str) -> Result<(), MediumError> {
+        self.0.sync(path).map_err(|e| faulty_err("sync", path, e))
+    }
+    fn rename(&self, from: &str, to: &str) -> Result<(), MediumError> {
+        self.0.rename(from, to).map_err(|e| faulty_err("rename", from, e))
+    }
+    fn remove(&self, path: &str) -> Result<(), MediumError> {
+        self.0.remove(path).map_err(|e| faulty_err("remove", path, e))
     }
     fn list(&self) -> Result<Vec<String>, MediumError> {
         Ok(self.0.list())

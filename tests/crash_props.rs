@@ -49,7 +49,7 @@ const MANIFEST: &str = "MANIFEST";
 struct SimMedium(SimFs);
 
 fn sim_err(op: &'static str, path: &str, e: SimError) -> MediumError {
-    MediumError { op, path: path.to_owned(), detail: e.to_string() }
+    MediumError::fatal(op, path, e.to_string())
 }
 
 impl StorageMedium for SimMedium {
