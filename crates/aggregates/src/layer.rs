@@ -250,7 +250,7 @@ mod tests {
                 // delete an arbitrary sale if any
                 let sale =
                     site.oracle_state().relation(RelName::new("Sale")).unwrap().clone();
-                let victim = sale.iter().next().cloned();
+                let victim = sale.iter().next();
                 match victim {
                     Some(victim) => {
                         let mut d = Relation::empty(sale.attrs().clone());

@@ -67,7 +67,7 @@ impl SummaryState {
             groups: BTreeMap::new(),
         };
         for t in source.iter() {
-            state.add(t)?;
+            state.add(&t)?;
         }
         Ok(state)
     }
@@ -105,10 +105,10 @@ impl SummaryState {
     /// [`dwc_warehouse::incremental::StoredDelta`] carries).
     pub fn apply_delta(&mut self, inserted: &Relation, deleted: &Relation) -> Result<()> {
         for t in deleted.iter() {
-            self.remove(t)?;
+            self.remove(&t)?;
         }
         for t in inserted.iter() {
-            self.add(t)?;
+            self.add(&t)?;
         }
         Ok(())
     }
@@ -451,7 +451,7 @@ mod tests {
                     Value::int(rng.below(10) as i64),
                 ]))
                 .unwrap();
-                if src.is_subset(&src).unwrap() && src.contains(i.iter().next().unwrap()) {
+                if src.is_subset(&src).unwrap() && src.contains(&i.iter().next().unwrap()) {
                     continue; // not a net insertion; skip
                 }
                 (i, Relation::empty(src.attrs().clone()))

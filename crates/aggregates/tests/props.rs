@@ -108,7 +108,7 @@ fn stream_of_net_deltas_stays_exact() {
                     .difference(&source)
                     .expect("same header");
                 // net deletions: picked from the current source
-                let current: Vec<Tuple> = source.iter().cloned().collect();
+                let current: Vec<Tuple> = source.iter().collect();
                 let mut del = Relation::empty(header());
                 for pick in del_picks {
                     if !current.is_empty() {

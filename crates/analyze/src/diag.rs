@@ -37,6 +37,7 @@ pub enum Code {
     S503MissingForbidUnsafe,
     S504FsWriteOutsideStorage,
     S505AckOutsideCommitLoop,
+    S506RawColumnAccess,
     I901CertifiedEmptyComplement,
     I902FullCopyComplement,
     I903UncoveredRelation,
@@ -67,6 +68,7 @@ impl Code {
             Code::S503MissingForbidUnsafe => "DWC-S503",
             Code::S504FsWriteOutsideStorage => "DWC-S504",
             Code::S505AckOutsideCommitLoop => "DWC-S505",
+            Code::S506RawColumnAccess => "DWC-S506",
             Code::I901CertifiedEmptyComplement => "DWC-I901",
             Code::I902FullCopyComplement => "DWC-I902",
             Code::I903UncoveredRelation => "DWC-I903",
@@ -109,6 +111,9 @@ impl Code {
             }
             Code::S505AckOutsideCommitLoop => {
                 "durable-ack construction or fsync outside the server commit loop"
+            }
+            Code::S506RawColumnAccess => {
+                "raw columnar-storage access outside the relalg crate"
             }
             Code::I901CertifiedEmptyComplement => "complement is certified empty (Theorem 2.2)",
             Code::I902FullCopyComplement => "complement stores a full copy of the relation",

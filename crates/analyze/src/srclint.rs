@@ -30,6 +30,13 @@
 //!   branches and retry drains — can mint an ack or publish an epoch
 //!   before its batch's fsync returned. Waivers: `ack_new` /
 //!   `sync_call` / `ack_literal` / `epoch_publish`.
+//! * `S506` — columnar-storage encapsulation. The dictionary-coded
+//!   column vectors and keyed delta indexes live inside
+//!   `crates/relalg/src/columns.rs`; every other layer goes through
+//!   `Relation`'s set API so reads benefit from the cached key
+//!   indexes. Outside `crates/relalg/src`, the raw access tokens
+//!   (`.iter_rows(`, `Columns::`, `KeyIndex::`) are banned; a
+//!   same-line `// lint:allow raw_columns -- reason` waives one line.
 //!
 //! Comments, string literals, raw strings and char literals are stripped
 //! by a small lexer before token matching, so a doc-comment mentioning
@@ -97,6 +104,15 @@ const S505_SYNC_ALLOWED_PREFIX: &str = "crates/warehouse/src/storage/";
 /// loophole where a retry or error branch builds an ack without going
 /// through `Ack::new(`.
 const S505_MINT_TREE: &str = "crates/warehouse/src";
+
+/// The one tree allowed to touch the columnar storage internals: the
+/// relalg crate itself, which owns the dictionary, the column vectors
+/// and the keyed delta indexes (`S506`).
+const S506_ALLOWED_TREE: &str = "crates/relalg/src";
+
+/// Raw columnar-access tokens banned outside the relalg crate — all
+/// waived by `raw_columns`.
+const S506_BANNED: &[&str] = &[".iter_rows(", "Columns::", "KeyIndex::"];
 
 /// Banned tokens: `(needle, waiver name)`.
 const BANNED: &[(&str, &str)] = &[
@@ -171,6 +187,20 @@ pub fn self_check(root: &Path) -> Report {
             if check_ack || check_sync || check_mint {
                 scan_ack_discipline(&file, &rel, check_ack, check_sync, check_mint, &mut report);
             }
+        }
+    }
+
+    // --- S506: columnar-storage encapsulation. Scan every src tree
+    // except the relalg crate, which owns the representation.
+    let mut src_trees: Vec<PathBuf> = vec![root.join("src")];
+    src_trees.extend(crate_dirs(root, &mut report).into_iter().map(|d| d.join("src")));
+    for tree in src_trees {
+        for file in rust_files(&tree, &mut report) {
+            let rel = rel_path(root, &file);
+            if rel.starts_with(S506_ALLOWED_TREE) {
+                continue;
+            }
+            scan_raw_columns(&file, &rel, &mut report);
         }
     }
 
@@ -413,6 +443,34 @@ fn scan_ack_discipline(
                         "`.publish(` outside {S505_ACK_ALLOWED}; epochs become readable \
                          only from the commit loop after a durable batch (or waive with \
                          `// lint:allow epoch_publish -- reason`)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Scans one file for raw columnar-storage access (see `S506_BANNED`).
+/// Test modules at the bottom of a file are exempt (they may poke the
+/// representation to assert invariants), library code is not.
+fn scan_raw_columns(path: &Path, rel: &str, report: &mut Report) {
+    let Some(lines) = stripped_lines(path, rel, report) else {
+        return;
+    };
+    for (line_no, raw, stripped) in &lines {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        for needle in S506_BANNED {
+            if stripped.contains(needle) && !has_waiver(raw, "raw_columns") {
+                report.push(
+                    Code::S506RawColumnAccess,
+                    Severity::Error,
+                    format!("{rel}:{line_no}"),
+                    format!(
+                        "`{needle}` outside {S506_ALLOWED_TREE}; go through the Relation \
+                         set API so reads share the cached key indexes (or waive with \
+                         `// lint:allow raw_columns -- reason`)"
                     ),
                 );
             }
@@ -680,6 +738,32 @@ call(); /* block panic! comment */ after();
         let mut clean = Report::new();
         scan_ack_discipline(&file, "src/rogue.rs", false, false, false, &mut clean);
         assert!(!clean.has_errors());
+        fs::remove_file(&file).ok();
+        fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn s506_flags_raw_column_access_outside_relalg() {
+        let dir = std::env::temp_dir().join(format!("dwc-srclint-s506-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("rogue.rs");
+        fs::write(
+            &file,
+            "fn f(r: &Relation) {\n    for t in r.iter_rows() {}\n    \
+             let c = Columns::from_unsorted_rows(1, 0, vec![]);\n    \
+             let k = KeyIndex::build(&c, &[0]);\n    \
+             let w = r.iter_rows(); // lint:allow raw_columns -- exercising the waiver\n}\n\
+             #[cfg(test)]\nmod t { fn g(c: &Columns) { KeyIndex::build(c, &[0]); } }\n",
+        )
+        .unwrap();
+        let mut report = Report::new();
+        scan_raw_columns(&file, "src/rogue.rs", &mut report);
+        let text = report.to_string();
+        assert_eq!(
+            text.matches("DWC-S506").count(),
+            3,
+            "iter_rows + Columns:: + KeyIndex::; waiver and test module exempt:\n{text}"
+        );
         fs::remove_file(&file).ok();
         fs::remove_dir(&dir).ok();
     }

@@ -30,7 +30,7 @@ fn mixed_update(db: &DbState, i: usize, n_emps: usize) -> Update {
     let mut u = Update::new().with("Sale", Delta::insert_only(sale_ins));
     if i.is_multiple_of(3) {
         let sale = db.relation(dwc_relalg::RelName::new("Sale")).expect("state");
-        if let Some(victim) = sale.iter().next().cloned() {
+        if let Some(victim) = sale.iter().next() {
             let mut del = Relation::empty(sale.attrs().clone());
             del.insert(victim).expect("arity");
             u = u.with("Sale", Delta::delete_only(del));

@@ -90,7 +90,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         // remove one tuple below the selection bound: same W-image
         let r = d2.relation(dwc_relalg::RelName::new("R")).expect("state").clone();
         let below = r.filter(|tup| tup.get(0).as_int().unwrap() < 500);
-        let victim = below.iter().next().cloned();
+        let victim = below.iter().next();
         if let Some(victim) = victim {
             let mut smaller = r;
             smaller.remove(&victim);

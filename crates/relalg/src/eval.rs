@@ -26,14 +26,13 @@
 //! sibling subtrees share one cache without cloning expression trees.
 
 use crate::attrs::AttrSet;
+use crate::columns::{Code, Columns, KeyIndex};
 use crate::database::DbState;
 use crate::error::{RelalgError, Result};
 use crate::exec;
 use crate::expr::{rename_header, RaExpr};
 use crate::relation::Relation;
-use crate::tuple::{ColSource, Tuple};
-use crate::value::Value;
-use std::collections::hash_map::DefaultHasher;
+use crate::tuple::ColSource;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::AtomicIsize;
@@ -190,7 +189,7 @@ fn eval_rec(
         RaExpr::Select(input, pred) => {
             let rel = eval_rec(input, db, cache, budget)?;
             let compiled = pred.compile(rel.attrs())?;
-            Arc::new(rel.filter(|t| compiled.eval(t)))
+            Arc::new(rel.select_compiled(&compiled))
         }
         RaExpr::Project(input, wanted) => {
             Arc::new(eval_rec(input, db, cache, budget)?.project(wanted)?)
@@ -241,111 +240,108 @@ fn eval_pair(
 
 /// Natural join of two relation instances. Degenerates to the cartesian
 /// product when the headers are disjoint and to intersection when they are
-/// equal. Large joins with a non-empty common header are hash-partitioned
-/// and joined in parallel; the set-semantics merge makes the output
-/// independent of the partition count and scheduling.
+/// equal. The join probes the *larger* side's cached sorted key index
+/// ([`crate::columns::KeyIndex`]) with the smaller side's key codes — the
+/// index is built once per column store and shared through its `Arc`, so
+/// repeated joins against a stored relation (maintenance plans, the eval
+/// cache, epoch readers) skip the build entirely. Matched row pairs are
+/// gathered column-wise and canonicalized in one batch, so the result is
+/// independent of probe order and scheduling.
 pub fn natural_join(left: &Relation, right: &Relation) -> Result<Relation> {
     if left.attrs() == right.attrs() {
         return left.intersect(right);
     }
-    // Put the smaller relation on the build side.
-    if left.len() > right.len() {
-        return natural_join(right, left);
-    }
     let common = left.attrs().intersect(right.attrs());
     let out_attrs = left.attrs().union(right.attrs());
-    let layout = join_layout(left.attrs(), right.attrs(), &out_attrs)?;
-    let build_positions =
-        common
-            .positions_in(left.attrs())
-            .ok_or_else(|| RelalgError::ProjectionNotSubset {
-                wanted: common.clone(),
-                header: left.attrs().clone(),
-            })?;
-    let probe_positions =
-        common
-            .positions_in(right.attrs())
-            .ok_or_else(|| RelalgError::ProjectionNotSubset {
-                wanted: common.clone(),
-                header: right.attrs().clone(),
-            })?;
-
-    let mut out = Relation::empty(out_attrs);
     if left.is_empty() || right.is_empty() {
-        return Ok(out);
+        return Ok(Relation::empty(out_attrs));
     }
+    // Index the larger side, probe with the smaller.
+    let (big, small) = if left.len() >= right.len() {
+        (left, right)
+    } else {
+        (right, left)
+    };
+    // `big` plays "left" in the output layout; common attributes carry
+    // equal values on both sides, so the choice does not affect results.
+    let layout = join_layout(big.attrs(), small.attrs(), &out_attrs)?;
+    let bcols = big.columns();
+    let scols = small.columns();
 
-    let workers = exec::threads();
-    if workers > 1
-        && !common.is_empty()
-        && left.len() + right.len() >= PAR_JOIN_MIN_TUPLES
-    {
-        // Partition both sides by join-key hash: matching keys meet in
-        // the same partition, so partitions join independently.
-        let build: Vec<&Tuple> = left.iter().collect();
-        let probe: Vec<&Tuple> = right.iter().collect();
-        let bparts = exec::par_partition(&build, workers, |t| key_hash(t, &build_positions));
-        let pparts = exec::par_partition(&probe, workers, |t| key_hash(t, &probe_positions));
-        let tasks: Vec<(Vec<&&Tuple>, Vec<&&Tuple>)> =
-            bparts.into_iter().zip(pparts).collect();
-        let rows = exec::par_map(&tasks, |(b, p)| {
-            let b: Vec<&Tuple> = b.iter().map(|t| **t).collect();
-            let p: Vec<&Tuple> = p.iter().map(|t| **t).collect();
-            join_partition(&b, &p, &build_positions, &probe_positions, &layout)
-        });
-        for part in rows {
-            for t in part {
-                out.insert(t)?;
-            }
+    let pairs: Vec<(u32, u32)> = if common.is_empty() {
+        // Cartesian product.
+        (0..bcols.len() as u32)
+            .flat_map(|b| (0..scols.len() as u32).map(move |s| (b, s)))
+            .collect()
+    } else {
+        let big_positions =
+            common
+                .positions_in(big.attrs())
+                .ok_or_else(|| RelalgError::ProjectionNotSubset {
+                    wanted: common.clone(),
+                    header: big.attrs().clone(),
+                })?;
+        let small_positions =
+            common
+                .positions_in(small.attrs())
+                .ok_or_else(|| RelalgError::ProjectionNotSubset {
+                    wanted: common.clone(),
+                    header: small.attrs().clone(),
+                })?;
+        let index = bcols.index_for(&big_positions);
+        let workers = exec::threads();
+        if workers > 1 && big.len() + small.len() >= PAR_JOIN_MIN_TUPLES {
+            // Probe in parallel over contiguous chunks of the small side;
+            // chunk results are concatenated in order (and the output is
+            // canonicalized below anyway), so scheduling cannot leak in.
+            let rows: Vec<u32> = (0..scols.len() as u32).collect();
+            let chunk = rows.len().div_ceil(workers).max(1);
+            let chunks: Vec<&[u32]> = rows.chunks(chunk).collect();
+            let parts = exec::par_map(&chunks, |rows| {
+                probe_pairs(bcols, scols, &index, &small_positions, rows)
+            });
+            parts.concat()
+        } else {
+            let rows: Vec<u32> = (0..scols.len() as u32).collect();
+            probe_pairs(bcols, scols, &index, &small_positions, &rows)
         }
-        return Ok(out);
-    }
+    };
 
-    let build: Vec<&Tuple> = left.iter().collect();
-    let probe: Vec<&Tuple> = right.iter().collect();
-    for t in join_partition(&build, &probe, &build_positions, &probe_positions, &layout) {
-        out.insert(t)?;
+    // Column-wise gather of the matched pairs, then one canonicalization.
+    let arity = layout.len();
+    let mut flat: Vec<Code> = Vec::with_capacity(pairs.len() * arity);
+    for &(b, s) in &pairs {
+        for src in &layout {
+            flat.push(match *src {
+                ColSource::Left(i) => bcols.col(i)[b as usize],
+                ColSource::Right(i) => scols.col(i)[s as usize],
+            });
+        }
     }
-    Ok(out)
+    Ok(Relation::from_parts(
+        out_attrs,
+        Columns::from_unsorted_rows(arity, pairs.len(), flat),
+    ))
 }
 
-/// Process-stable hash of a tuple's join-key columns, used to route
-/// build and probe tuples to the same partition.
-fn key_hash(t: &Tuple, positions: &[usize]) -> u64 {
-    let mut h = DefaultHasher::new();
-    for &i in positions {
-        t.get(i).hash(&mut h);
-    }
-    h.finish()
-}
-
-/// Hash-joins one (build, probe) pair of tuple sets. The index keys on
-/// *borrowed* values and the probe loop reuses one scratch key, so the
-/// hot path performs no per-tuple key allocation or value cloning.
-fn join_partition(
-    build: &[&Tuple],
-    probe: &[&Tuple],
-    build_positions: &[usize],
-    probe_positions: &[usize],
-    layout: &[ColSource],
-) -> Vec<Tuple> {
-    if build.is_empty() || probe.is_empty() {
-        return Vec::new();
-    }
-    let mut index: HashMap<Vec<&Value>, Vec<&Tuple>> = HashMap::with_capacity(build.len());
-    for &t in build {
-        let key: Vec<&Value> = build_positions.iter().map(|&i| t.get(i)).collect();
-        index.entry(key).or_default().push(t);
-    }
+/// Probes the big side's key index with each listed small-side row,
+/// emitting matching `(big_row, small_row)` pairs. Pure `u32` work: the
+/// key scratch is reused and no value is resolved or hashed.
+fn probe_pairs(
+    big: &Columns,
+    small: &Columns,
+    index: &KeyIndex,
+    small_positions: &[usize],
+    rows: &[u32],
+) -> Vec<(u32, u32)> {
+    let mut key: Vec<Code> = vec![0; small_positions.len()];
     let mut out = Vec::new();
-    let mut scratch: Vec<&Value> = Vec::with_capacity(probe_positions.len());
-    for &p in probe {
-        scratch.clear();
-        scratch.extend(probe_positions.iter().map(|&i| p.get(i)));
-        if let Some(matches) = index.get(scratch.as_slice()) {
-            for &b in matches {
-                out.push(b.merge(p, layout));
-            }
+    for &s in rows {
+        for (k, &p) in key.iter_mut().zip(small_positions) {
+            *k = small.col(p)[s as usize];
+        }
+        for &b in index.probe(big, &key) {
+            out.push((b, s));
         }
     }
     out
@@ -393,11 +389,20 @@ pub fn rename_relation(rel: &Relation, pairs: &[(crate::symbol::Attr, crate::sym
                 })
         })
         .collect::<Result<_>>()?;
-    let mut out = Relation::empty(new_header);
-    for t in rel.iter() {
-        out.insert(t.project(&back))?;
+    // Same codes, permuted columns: gather row-major through `back` and
+    // canonicalize once for the new header's sort order.
+    let cols = rel.columns();
+    let arity = back.len();
+    let mut flat: Vec<Code> = Vec::with_capacity(cols.len() * arity);
+    for i in 0..cols.len() {
+        for &p in &back {
+            flat.push(cols.col(p)[i]);
+        }
     }
-    Ok(out)
+    Ok(Relation::from_parts(
+        new_header,
+        Columns::from_unsorted_rows(arity, cols.len(), flat),
+    ))
 }
 
 #[cfg(test)]
@@ -406,6 +411,8 @@ mod tests {
     use crate::predicate::Predicate;
     use crate::rel;
     use crate::symbol::Attr;
+    use crate::tuple::Tuple;
+    use crate::value::Value;
 
     fn fig1_db() -> DbState {
         let mut d = DbState::new();

@@ -96,7 +96,7 @@ fn import_with(text: &str, decode: impl Fn(&str) -> Result<Value>) -> Result<Rel
                 })
         })
         .collect::<Result<_>>()?;
-    let mut rel = Relation::empty(attrs);
+    let mut tuples: Vec<Tuple> = Vec::with_capacity(rows.len());
     for (lineno, row) in rows.into_iter().enumerate() {
         if row.len() != names.len() {
             return Err(RelalgError::Parse {
@@ -112,9 +112,9 @@ fn import_with(text: &str, decode: impl Fn(&str) -> Result<Value>) -> Result<Rel
             .iter()
             .map(|&i| decode(&row[i]))
             .collect::<Result<_>>()?;
-        rel.insert(Tuple::new(values))?;
+        tuples.push(Tuple::new(values));
     }
-    Ok(rel)
+    Relation::from_tuples(attrs, tuples)
 }
 
 fn plain(v: &Value) -> String {
@@ -544,16 +544,21 @@ pub fn decode_relation(data: &[u8]) -> Result<Relation> {
     if count > plausible {
         return Err(r.corrupt(format!("tuple count {count} exceeds blob size")));
     }
-    let mut rel = Relation::empty(attrs);
+    // Decode straight into the dictionary and canonicalize once — no
+    // per-tuple ordered insertion. The bytes themselves are unchanged:
+    // encoding still walks canonical order, so encode ∘ decode is the
+    // identity on valid blobs.
+    let mut flat: Vec<crate::columns::Code> = Vec::with_capacity(count * nattrs);
     for _ in 0..count {
-        let mut values = Vec::with_capacity(nattrs);
         for _ in 0..nattrs {
-            values.push(r.take_value()?);
+            flat.push(crate::columns::intern(&r.take_value()?));
         }
-        rel.insert(Tuple::new(values))?;
     }
     r.expect_end()?;
-    Ok(rel)
+    Ok(Relation::from_parts(
+        attrs,
+        crate::columns::Columns::from_unsorted_rows(nattrs, count, flat),
+    ))
 }
 
 #[cfg(test)]

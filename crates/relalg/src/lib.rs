@@ -42,6 +42,7 @@
 //! ```
 
 pub mod attrs;
+pub(crate) mod columns;
 pub mod constraints;
 pub mod database;
 pub mod display;

@@ -293,26 +293,35 @@ pub struct CompiledPred {
 impl CompiledPred {
     /// Evaluates against a tuple laid out per the compile-time header.
     pub fn eval(&self, tuple: &Tuple) -> bool {
-        fn go(n: &Node, t: &Tuple) -> bool {
-            match n {
-                Node::Const(b) => *b,
-                Node::Cmp(l, op, r) => {
-                    let lv = match l {
-                        Slot::Col(i) => t.get(*i),
-                        Slot::Lit(v) => v,
-                    };
-                    let rv = match r {
-                        Slot::Col(i) => t.get(*i),
-                        Slot::Lit(v) => v,
-                    };
-                    op.test(lv.cmp(rv))
-                }
-                Node::And(a, b) => go(a, t) && go(b, t),
-                Node::Or(a, b) => go(a, t) || go(b, t),
-                Node::Not(a) => !go(a, t),
-            }
+        eval_node(&self.node, &|i| tuple.get(i))
+    }
+
+    /// Evaluates against one row given as a value slice in compile-time
+    /// header order — the columnar scan path: the evaluator resolves a
+    /// relation's rows once and feeds slices, with no per-row tuple
+    /// materialization.
+    pub fn eval_values(&self, row: &[&Value]) -> bool {
+        eval_node(&self.node, &|i| row[i])
+    }
+}
+
+fn eval_node<'a>(n: &'a Node, get: &impl Fn(usize) -> &'a Value) -> bool {
+    match n {
+        Node::Const(b) => *b,
+        Node::Cmp(l, op, r) => {
+            let lv = match l {
+                Slot::Col(i) => get(*i),
+                Slot::Lit(v) => v,
+            };
+            let rv = match r {
+                Slot::Col(i) => get(*i),
+                Slot::Lit(v) => v,
+            };
+            op.test(lv.cmp(rv))
         }
-        go(&self.node, tuple)
+        Node::And(a, b) => eval_node(a, get) && eval_node(b, get),
+        Node::Or(a, b) => eval_node(a, get) || eval_node(b, get),
+        Node::Not(a) => !eval_node(a, get),
     }
 }
 

@@ -1,38 +1,83 @@
 //! Set-semantics relations.
 //!
-//! A [`Relation`] is a sorted attribute header plus an ordered set of
-//! tuples. The paper's constructions (complements, the one-to-one mapping
-//! of Proposition 2.1, the correctness criteria of Theorems 3.1/4.1) all
-//! rely on relations being *sets* with a well-defined equality, which
-//! `BTreeSet<Tuple>` provides directly, along with deterministic
-//! iteration for printing and hashing.
+//! A [`Relation`] is a sorted attribute header plus a set of tuples of
+//! matching arity. The paper's constructions (complements, the one-to-one
+//! mapping of Proposition 2.1, the correctness criteria of Theorems
+//! 3.1/4.1) all rely on relations being *sets* with a well-defined
+//! equality and deterministic iteration.
+//!
+//! Storage is columnar ([`crate::columns`]): values are interned into a
+//! global dictionary and each attribute is a vector of `u32` codes, rows
+//! kept in canonical (value-lexicographic) order. Equality, ordering,
+//! iteration order, printing and the binary codec are bit-identical to
+//! the former `BTreeSet<Tuple>` representation; what changes is cost —
+//! set operations and `apply_delta` are sorted merges over code columns,
+//! membership is a binary search, and joins probe a cached sorted key
+//! index (see [`crate::eval`]). The column store is behind an `Arc`:
+//! cloning a relation is a reference bump, and epoch snapshot readers or
+//! the eval cache holding the same store share its warm key indexes.
 
 use crate::attrs::AttrSet;
+use crate::columns::{self, Code, Columns};
 use crate::error::{RelalgError, Result};
+use crate::predicate::CompiledPred;
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::collections::BTreeSet;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A relation instance: a header and a set of tuples of matching arity.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+#[derive(Clone)]
 pub struct Relation {
     attrs: AttrSet,
-    tuples: BTreeSet<Tuple>,
+    cols: Arc<Columns>,
+}
+
+impl Default for Relation {
+    fn default() -> Relation {
+        Relation::empty(AttrSet::empty())
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        self.attrs == other.attrs
+            && (Arc::ptr_eq(&self.cols, &other.cols) || self.cols == other.cols)
+    }
+}
+
+impl Eq for Relation {}
+
+impl PartialOrd for Relation {
+    fn partial_cmp(&self, other: &Relation) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Relation {
+    fn cmp(&self, other: &Relation) -> std::cmp::Ordering {
+        match self.attrs.cmp(&other.attrs) {
+            std::cmp::Ordering::Equal => {}
+            o => return o,
+        }
+        if Arc::ptr_eq(&self.cols, &other.cols) {
+            return std::cmp::Ordering::Equal;
+        }
+        columns::cmp_lex(&self.cols, &other.cols)
+    }
 }
 
 impl Relation {
     /// The empty relation over the given header.
     pub fn empty(attrs: AttrSet) -> Relation {
-        Relation {
-            attrs,
-            tuples: BTreeSet::new(),
-        }
+        let cols = Arc::new(Columns::empty(attrs.len()));
+        Relation { attrs, cols }
     }
 
     /// Builds a relation from a header given as attribute names (in any
     /// order) and rows aligned with *that* order. Rows are permuted into
-    /// canonical (sorted-header) order internally.
+    /// canonical (sorted-header) order and canonicalized in one batch.
     pub fn from_rows<R>(names: &[&str], rows: impl IntoIterator<Item = R>) -> Result<Relation>
     where
         R: IntoIterator<Item = Value>,
@@ -46,32 +91,80 @@ impl Relation {
                 got: given.len(),
             });
         }
+        // attr → index in the given order, built once; the permutation
+        // lookup is then O(1) per attribute instead of a linear scan.
+        let where_given: HashMap<crate::symbol::Attr, usize> =
+            given.iter().enumerate().map(|(i, &a)| (a, i)).collect();
         // permutation[k] = index (in the given row) of the k-th canonical attr
         let permutation: Vec<usize> = attrs
             .iter()
             .map(|a| {
-                given
-                    .iter()
-                    .position(|g| *g == a)
+                where_given
+                    .get(&a)
+                    .copied()
                     .ok_or_else(|| RelalgError::UnknownAttribute {
                         attr: a,
                         header: attrs.clone(),
                     })
             })
             .collect::<Result<_>>()?;
-        let mut rel = Relation::empty(attrs);
+        let arity = permutation.len();
+        let mut flat: Vec<Code> = Vec::new();
+        let mut nrows = 0usize;
         for row in rows {
             let row: Vec<Value> = row.into_iter().collect();
-            if row.len() != permutation.len() {
+            if row.len() != arity {
                 return Err(RelalgError::ArityMismatch {
-                    expected: permutation.len(),
+                    expected: arity,
                     got: row.len(),
                 });
             }
-            let tuple = Tuple::new(permutation.iter().map(|&i| row[i].clone()).collect());
-            rel.tuples.insert(tuple);
+            flat.extend(permutation.iter().map(|&i| columns::intern(&row[i])));
+            nrows += 1;
         }
-        Ok(rel)
+        Ok(Relation {
+            attrs,
+            cols: Arc::new(Columns::from_unsorted_rows(arity, nrows, flat)),
+        })
+    }
+
+    /// Builds a relation from tuples already in canonical column order —
+    /// the batch counterpart of an [`Relation::insert`] loop: one
+    /// canonicalization instead of per-tuple ordered insertion.
+    pub fn from_tuples(attrs: AttrSet, tuples: impl IntoIterator<Item = Tuple>) -> Result<Relation> {
+        let arity = attrs.len();
+        let mut flat: Vec<Code> = Vec::new();
+        let mut nrows = 0usize;
+        for t in tuples {
+            if t.arity() != arity {
+                return Err(RelalgError::ArityMismatch {
+                    expected: arity,
+                    got: t.arity(),
+                });
+            }
+            flat.extend(t.values().iter().map(columns::intern));
+            nrows += 1;
+        }
+        Ok(Relation {
+            attrs,
+            cols: Arc::new(Columns::from_unsorted_rows(arity, nrows, flat)),
+        })
+    }
+
+    /// Wraps an already-canonical column store (crate-internal: the
+    /// operators in [`crate::eval`] and the codec build stores directly).
+    pub(crate) fn from_parts(attrs: AttrSet, cols: Columns) -> Relation {
+        debug_assert_eq!(attrs.len(), cols.arity());
+        Relation {
+            attrs,
+            cols: Arc::new(cols),
+        }
+    }
+
+    /// The shared column store (crate-internal; everything outside
+    /// `relalg` goes through tuples so it cannot bypass the index layer).
+    pub(crate) fn columns(&self) -> &Arc<Columns> {
+        &self.cols
     }
 
     /// The header.
@@ -81,17 +174,18 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.cols.len()
     }
 
     /// True iff the relation has no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.cols.is_empty()
     }
 
-    /// Membership test.
+    /// Membership test: a binary search on canonical order, comparing
+    /// values directly so the probe never grows the dictionary.
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.tuples.contains(t)
+        t.arity() == self.attrs.len() && self.cols.find_row(t.values()).is_ok()
     }
 
     /// Inserts a tuple (must match arity); returns whether it was new.
@@ -102,22 +196,40 @@ impl Relation {
                 got: t.arity(),
             });
         }
-        Ok(self.tuples.insert(t))
+        match self.cols.find_row(t.values()) {
+            Ok(_) => Ok(false),
+            Err(at) => {
+                let codes: Vec<Code> = t.values().iter().map(columns::intern).collect();
+                Arc::make_mut(&mut self.cols).insert_row(at, &codes);
+                Ok(true)
+            }
+        }
     }
 
     /// Removes a tuple; returns whether it was present.
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        self.tuples.remove(t)
+        if t.arity() != self.attrs.len() {
+            return false;
+        }
+        match self.cols.find_row(t.values()) {
+            Ok(at) => {
+                Arc::make_mut(&mut self.cols).remove_row(at);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
-    /// Iterates tuples in canonical order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
-        self.tuples.iter()
-    }
-
-    /// The underlying tuple set.
-    pub fn tuples(&self) -> &BTreeSet<Tuple> {
-        &self.tuples
+    /// Iterates tuples in canonical order. Rows are resolved through the
+    /// dictionary up front (one short-lived guard), so no lock is held
+    /// while the caller consumes the iterator.
+    pub fn iter(&self) -> Rows {
+        Rows {
+            vals: self.cols.resolve_rows(),
+            arity: self.attrs.len(),
+            n: self.cols.len(),
+            front: 0,
+        }
     }
 
     fn require_same_header(&self, other: &Relation) -> Result<()> {
@@ -130,40 +242,41 @@ impl Relation {
         Ok(())
     }
 
-    /// `self ∪ other` (same header required). Clones the larger operand
-    /// and extends it with the smaller one, so cost scales with the
-    /// smaller side plus one bulk clone instead of always re-cloning
-    /// `self`.
+    /// `self ∪ other` (same header required): a sorted merge into buffers
+    /// allocated once at the combined capacity. Empty operands degrade to
+    /// a reference bump on the other side.
     pub fn union(&self, other: &Relation) -> Result<Relation> {
         self.require_same_header(other)?;
-        let (big, small) = if self.len() >= other.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        let mut out = big.clone();
-        out.tuples.extend(small.tuples.iter().cloned());
-        Ok(out)
+        if Arc::ptr_eq(&self.cols, &other.cols) {
+            return Ok(self.clone());
+        }
+        Ok(Relation {
+            attrs: self.attrs.clone(),
+            cols: Arc::new(columns::union(&self.cols, &other.cols)),
+        })
     }
 
-    /// `self ∖ other` (same header required). When either side is empty
-    /// the answer is a clone of `self` (resp. empty) without walking the
-    /// other operand.
+    /// `self ∖ other` (same header required): a sorted merge; when either
+    /// side is empty the answer is `self` by reference bump.
     pub fn difference(&self, other: &Relation) -> Result<Relation> {
         self.require_same_header(other)?;
         if other.is_empty() || self.is_empty() {
             return Ok(self.clone());
         }
+        if Arc::ptr_eq(&self.cols, &other.cols) {
+            return Ok(Relation::empty(self.attrs.clone()));
+        }
         Ok(Relation {
             attrs: self.attrs.clone(),
-            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
+            cols: Arc::new(columns::difference(&self.cols, &other.cols)),
         })
     }
 
-    /// `self ∩ other` (same header required). Empty operands short-circuit.
+    /// `self ∩ other` (same header required): a sorted merge; empty
+    /// operands short-circuit.
     pub fn intersect(&self, other: &Relation) -> Result<Relation> {
         self.require_same_header(other)?;
-        if self.is_empty() {
+        if self.is_empty() || Arc::ptr_eq(&self.cols, &other.cols) {
             return Ok(self.clone());
         }
         if other.is_empty() {
@@ -171,7 +284,7 @@ impl Relation {
         }
         Ok(Relation {
             attrs: self.attrs.clone(),
-            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
+            cols: Arc::new(columns::intersect(&self.cols, &other.cols)),
         })
     }
 
@@ -188,45 +301,113 @@ impl Relation {
         };
         Ok(Relation {
             attrs: wanted.clone(),
-            tuples: self.tuples.iter().map(|t| t.project(&positions)).collect(),
+            cols: Arc::new(self.cols.project(&positions)),
         })
     }
 
-    /// Keeps the tuples satisfying `keep`.
+    /// Keeps the tuples satisfying `keep`, visited in canonical order.
     pub fn filter(&self, mut keep: impl FnMut(&Tuple) -> bool) -> Relation {
+        let arity = self.attrs.len();
+        let resolved = self.cols.resolve_rows();
+        let mut kept: Vec<u32> = Vec::new();
+        for i in 0..self.cols.len() {
+            let t: Tuple = resolved[i * arity..(i + 1) * arity]
+                .iter()
+                .map(|v| (*v).clone())
+                .collect();
+            if keep(&t) {
+                kept.push(i as u32);
+            }
+        }
         Relation {
             attrs: self.attrs.clone(),
-            tuples: self.tuples.iter().filter(|t| keep(t)).cloned().collect(),
+            cols: Arc::new(self.cols.gather_sorted(&kept)),
+        }
+    }
+
+    /// Selection over a compiled predicate as a tight column scan: rows
+    /// are resolved once and evaluated as value slices — no per-row tuple
+    /// materialization (the evaluator's σ path).
+    pub(crate) fn select_compiled(&self, pred: &CompiledPred) -> Relation {
+        let arity = self.attrs.len();
+        let resolved = self.cols.resolve_rows();
+        let mut kept: Vec<u32> = Vec::new();
+        for i in 0..self.cols.len() {
+            if pred.eval_values(&resolved[i * arity..(i + 1) * arity]) {
+                kept.push(i as u32);
+            }
+        }
+        Relation {
+            attrs: self.attrs.clone(),
+            cols: Arc::new(self.cols.gather_sorted(&kept)),
         }
     }
 
     /// True iff `self ⊆ other` (same header required).
     pub fn is_subset(&self, other: &Relation) -> Result<bool> {
         self.require_same_header(other)?;
-        Ok(self.tuples.is_subset(&other.tuples))
+        if Arc::ptr_eq(&self.cols, &other.cols) {
+            return Ok(true);
+        }
+        Ok(columns::is_subset(&self.cols, &other.cols))
     }
 
-    /// `(self ∖ delete) ∪ insert` in one pass: a single clone of `self`
-    /// followed by point removals and insertions. The delta-composition
-    /// identity every maintenance path ends with — as two set operations
-    /// it would clone the full relation twice per stored relation per
-    /// update; deltas are usually tiny compared to `self`.
+    /// `(self ∖ delete) ∪ insert` in one three-way merge pass — the
+    /// delta-composition identity every maintenance path ends with.
+    /// Deltas are usually tiny compared to `self`; an empty delta is a
+    /// reference bump.
     pub fn apply_delta(&self, insert: &Relation, delete: &Relation) -> Result<Relation> {
         self.require_same_header(insert)?;
         self.require_same_header(delete)?;
-        let mut out = self.clone();
-        for t in &delete.tuples {
-            out.tuples.remove(t);
+        if insert.is_empty() && delete.is_empty() {
+            return Ok(self.clone());
         }
-        out.tuples.extend(insert.tuples.iter().cloned());
-        Ok(out)
+        Ok(Relation {
+            attrs: self.attrs.clone(),
+            cols: Arc::new(columns::apply_delta(&self.cols, &insert.cols, &delete.cols)),
+        })
     }
 }
+
+/// Owning iterator over a relation's tuples in canonical order; rows were
+/// resolved through the dictionary when the iterator was created, so
+/// advancing it takes no locks.
+pub struct Rows {
+    vals: Vec<&'static Value>,
+    arity: usize,
+    n: usize,
+    front: usize,
+}
+
+impl Iterator for Rows {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        if self.front >= self.n {
+            return None;
+        }
+        let row = &self.vals[self.front * self.arity..(self.front + 1) * self.arity];
+        self.front += 1;
+        Some(row.iter().map(|v| (*v).clone()).collect())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.n - self.front;
+        (left, Some(left))
+    }
+
+    fn nth(&mut self, k: usize) -> Option<Tuple> {
+        self.front = self.front.saturating_add(k).min(self.n);
+        self.next()
+    }
+}
+
+impl ExactSizeIterator for Rows {}
 
 impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", self.attrs)?;
-        for t in &self.tuples {
+        for t in self.iter() {
             writeln!(f, "  {t}")?;
         }
         Ok(())
@@ -346,6 +527,17 @@ mod tests {
     }
 
     #[test]
+    fn project_non_prefix_recanonicalizes() {
+        // {a, b} with rows whose b-order inverts the a-order; π_b must be
+        // re-sorted, not a truncation of the row order.
+        let r = rel! { ["a", "b"] => (1, 9), (2, 3) };
+        let p = r.project(&AttrSet::from_names(&["b"])).unwrap();
+        let rows: Vec<Tuple> = p.iter().collect();
+        assert_eq!(rows[0], Tuple::new(vec![Value::int(3)]));
+        assert_eq!(rows[1], Tuple::new(vec![Value::int(9)]));
+    }
+
+    #[test]
     fn rel_macro() {
         let r = rel! { ["item", "clerk"] => ("TV set", "Mary"), ("PC", "John") };
         assert_eq!(r.len(), 2);
@@ -362,5 +554,70 @@ mod tests {
         assert!(r.remove(&t));
         assert!(!r.remove(&t));
         assert!(r.insert(Tuple::new(vec![])).is_err());
+    }
+
+    #[test]
+    fn insert_on_shared_store_does_not_mutate_the_other_handle() {
+        // Clone = shared Arc; inserting into one must copy-on-write.
+        let a = rel! { ["x"] => (1,), (2,) };
+        let mut b = a.clone();
+        b.insert(Tuple::new(vec![Value::int(3)])).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 3);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn apply_delta_insert_wins_over_delete() {
+        let base = rel! { ["x"] => (1,), (2,) };
+        let ins = rel! { ["x"] => (2,), (3,) };
+        let del = rel! { ["x"] => (2,) };
+        let out = base.apply_delta(&ins, &del).unwrap();
+        assert_eq!(out, rel! { ["x"] => (1,), (2,), (3,) });
+        // Empty deltas: a reference bump, not a copy.
+        let same = base.apply_delta(
+            &Relation::empty(base.attrs().clone()),
+            &Relation::empty(base.attrs().clone()),
+        )
+        .unwrap();
+        assert_eq!(same, base);
+    }
+
+    #[test]
+    fn relation_ordering_matches_row_lexicographic_order() {
+        let a = rel! { ["x"] => (1,), (2,) };
+        let b = rel! { ["x"] => (1,), (3,) };
+        let prefix = rel! { ["x"] => (1,) };
+        assert!(a < b);
+        assert!(prefix < a, "shorter prefix sorts first");
+        assert_eq!(a.cmp(&a.clone()), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn iter_is_canonical_and_owned() {
+        let r = sale();
+        let rows: Vec<Tuple> = r.iter().collect();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(r.iter().nth(2), Some(rows[2].clone()));
+        assert_eq!(r.iter().nth(3), None);
+        assert_eq!(r.iter().len(), 3);
+    }
+
+    #[test]
+    fn from_tuples_batches_like_inserts() {
+        let attrs = AttrSet::from_names(&["x"]);
+        let tuples = vec![
+            Tuple::new(vec![Value::int(2)]),
+            Tuple::new(vec![Value::int(1)]),
+            Tuple::new(vec![Value::int(2)]),
+        ];
+        let batch = Relation::from_tuples(attrs.clone(), tuples.clone()).unwrap();
+        let mut looped = Relation::empty(attrs.clone());
+        for t in tuples {
+            looped.insert(t).unwrap();
+        }
+        assert_eq!(batch, looped);
+        assert!(Relation::from_tuples(attrs, vec![Tuple::new(vec![])]).is_err());
     }
 }

@@ -212,7 +212,7 @@ impl UpdateStream {
         .expect("static query")
         .eval(&self.state)
         .expect("valid query");
-        if let Some(victim) = orderless.iter().next().cloned() {
+        if let Some(victim) = orderless.iter().next() {
             let mut del = Relation::empty(orderless.attrs().clone());
             del.insert(victim).expect("arity");
             update = update.with("Customer", Delta::delete_only(del));
@@ -222,7 +222,7 @@ impl UpdateStream {
 
     fn price_change(&mut self) -> Update {
         let li = self.state.relation(RelName::new("Lineitem")).expect("state");
-        let Some(old_row) = li.iter().next().cloned() else {
+        let Some(old_row) = li.iter().next() else {
             return Update::new();
         };
         let price_idx = li

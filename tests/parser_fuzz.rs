@@ -290,6 +290,46 @@ fn relation_codec_rejects_corruption() {
     );
 }
 
+/// The dictionary round-trip is *byte-stable*: decoding interns every
+/// value into the global dictionary and re-encoding resolves it back
+/// out, and the bytes must come through unchanged — the dictionary is
+/// an in-memory compression detail, invisible on the wire.
+#[test]
+fn dictionary_codec_is_byte_stable() {
+    Runner::new("dictionary_codec_is_byte_stable").cases(256).run(
+        |rng| rng.next_u64(),
+        |&seed| {
+            let rel = gen_relation(&mut SplitMix64::new(seed));
+            let bytes = io::encode_relation(&rel);
+            let back = io::decode_relation(&bytes).expect("own encoding decodes");
+            tk_ensure_eq!(io::encode_relation(&back), bytes);
+            Ok(())
+        },
+    );
+}
+
+/// Decoding the same bytes repeatedly re-interns the same values; the
+/// resulting relations must stay equal to each other and interoperate
+/// in set operations (code equality must coincide with value equality
+/// across independent decodes).
+#[test]
+fn dictionary_interning_is_stable_across_decodes() {
+    Runner::new("dictionary_interning_is_stable_across_decodes").cases(128).run(
+        |rng| rng.next_u64(),
+        |&seed| {
+            let rel = gen_relation(&mut SplitMix64::new(seed));
+            let bytes = io::encode_relation(&rel);
+            let a = io::decode_relation(&bytes).expect("decodes");
+            let b = io::decode_relation(&bytes).expect("decodes");
+            tk_ensure_eq!(a, b);
+            tk_ensure_eq!(a.union(&b).expect("same header"), rel);
+            tk_ensure!(a.difference(&b).expect("same header").is_empty());
+            tk_ensure_eq!(a.intersect(&b).expect("same header"), rel);
+            Ok(())
+        },
+    );
+}
+
 /// Arbitrary byte soup: decode must return, never panic.
 #[test]
 fn relation_codec_never_panics_on_garbage() {
