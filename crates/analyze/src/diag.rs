@@ -38,6 +38,10 @@ pub enum Code {
     S504FsWriteOutsideStorage,
     S505AckOutsideCommitLoop,
     S506RawColumnAccess,
+    S507StrategyDispatchOutsidePlanner,
+    P001CostEstimate,
+    P101StrategyChosen,
+    P201Misprediction,
     I901CertifiedEmptyComplement,
     I902FullCopyComplement,
     I903UncoveredRelation,
@@ -69,6 +73,10 @@ impl Code {
             Code::S504FsWriteOutsideStorage => "DWC-S504",
             Code::S505AckOutsideCommitLoop => "DWC-S505",
             Code::S506RawColumnAccess => "DWC-S506",
+            Code::S507StrategyDispatchOutsidePlanner => "DWC-S507",
+            Code::P001CostEstimate => "DWC-P001",
+            Code::P101StrategyChosen => "DWC-P101",
+            Code::P201Misprediction => "DWC-P201",
             Code::I901CertifiedEmptyComplement => "DWC-I901",
             Code::I902FullCopyComplement => "DWC-I902",
             Code::I903UncoveredRelation => "DWC-I903",
@@ -114,6 +122,14 @@ impl Code {
             }
             Code::S506RawColumnAccess => {
                 "raw columnar-storage access outside the relalg crate"
+            }
+            Code::S507StrategyDispatchOutsidePlanner => {
+                "maintenance-strategy dispatch outside the planner modules"
+            }
+            Code::P001CostEstimate => "per-view maintenance cost estimate",
+            Code::P101StrategyChosen => "maintenance strategy chosen with predicted costs",
+            Code::P201Misprediction => {
+                "maintenance touched far more tuples than the planner predicted"
             }
             Code::I901CertifiedEmptyComplement => "complement is certified empty (Theorem 2.2)",
             Code::I902FullCopyComplement => "complement stores a full copy of the relation",
@@ -169,19 +185,33 @@ pub struct Diagnostic {
     pub at: String,
     /// Human-readable explanation.
     pub message: String,
+    /// Optional machine-readable payload: a pre-rendered JSON value
+    /// (object, array or number) appended verbatim as a `"data"` field.
+    /// Producers are responsible for its validity; [`Report::push`]
+    /// leaves it `None`, so the classic four-field shape is unchanged.
+    pub data: Option<String>,
 }
 
 impl Diagnostic {
     /// Renders the diagnostic as one JSON object (hand-rolled; the
-    /// workspace is dependency-free by design).
+    /// workspace is dependency-free by design). The `data` field, when
+    /// present, is appended after `message` so existing shape-matching
+    /// consumers (prefix greps, golden tests) keep working.
     pub fn to_json(&self) -> String {
-        format!(
-            r#"{{"code":"{}","severity":"{}","at":"{}","message":"{}"}}"#,
+        let mut out = format!(
+            r#"{{"code":"{}","severity":"{}","at":"{}","message":"{}"#,
             self.code,
             self.severity,
             json_escape(&self.at),
             json_escape(&self.message)
-        )
+        );
+        out.push('"');
+        if let Some(data) = &self.data {
+            out.push_str(r#","data":"#);
+            out.push_str(data);
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -234,6 +264,27 @@ impl Report {
             severity,
             at: at.into(),
             message: message.into(),
+            data: None,
+        });
+    }
+
+    /// Appends a finding carrying a machine-readable `data` payload —
+    /// `data` must already be a valid JSON value (see
+    /// [`Diagnostic::data`]).
+    pub fn push_with_data(
+        &mut self,
+        code: Code,
+        severity: Severity,
+        at: impl Into<String>,
+        message: impl Into<String>,
+        data: impl Into<String>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity,
+            at: at.into(),
+            message: message.into(),
+            data: Some(data.into()),
         });
     }
 
@@ -315,6 +366,30 @@ mod tests {
         assert!(json.contains(r#"\"quotes\""#));
         assert!(json.contains(r"\n"));
         assert_eq!(json.lines().count(), 1);
+    }
+
+    #[test]
+    fn data_field_appends_after_message() {
+        let mut r = Report::new();
+        r.push_with_data(
+            Code::P101StrategyChosen,
+            Severity::Info,
+            "ingest",
+            "chose incremental",
+            r#"{"predicted_ns":1234,"predicted_rows":5}"#,
+        );
+        let json = r.to_json_lines();
+        let line = json.lines().next().expect("one line");
+        assert!(line.starts_with(r#"{"code":"DWC-P101","severity":"info","at":"ingest""#));
+        assert!(line.contains(r#""message":"chose incremental""#));
+        assert!(line.ends_with(r#""data":{"predicted_ns":1234,"predicted_rows":5}}"#));
+        // Plain pushes keep the exact four-field shape.
+        let mut r = Report::new();
+        r.push(Code::C101CyclicInds, Severity::Error, "catalog", "m");
+        assert!(r
+            .to_json_lines()
+            .trim_end()
+            .ends_with(r#""message":"m"}"#));
     }
 
     #[test]

@@ -26,6 +26,12 @@
 //! source tree: no panicking calls in library code, no stray thread
 //! spawns, `#![forbid(unsafe_code)]` everywhere.
 //!
+//! A fifth family (`P` codes, [`cost`] + [`planner`]) prices the
+//! *maintenance* of certified warehouses: static per-node cardinality
+//! and cost estimates over the certified plans, and a chooser ranking
+//! the four update strategies of Theorem 4.1 — the choice is purely a
+//! cost question since every strategy converges to the same state.
+//!
 //! ## Gates
 //!
 //! The same analysis serves two policies ([`Gate`]):
@@ -41,8 +47,10 @@
 //!   correct via full-copy complements.
 
 pub mod certify;
+pub mod cost;
 pub mod diag;
 pub mod lints;
+pub mod planner;
 pub mod specfile;
 pub mod srclint;
 pub mod typecheck;

@@ -413,6 +413,31 @@ impl Columns {
         idx
     }
 
+    /// Number of distinct values of the given column combination, counted
+    /// as group boundaries along the cached sorted key index — O(n)
+    /// comparisons after the (cached, shared) index build.
+    pub(crate) fn distinct_on(&self, positions: &[usize]) -> usize {
+        if positions.is_empty() {
+            return self.nrows.min(1);
+        }
+        let idx = self.index_for(positions);
+        let mut count = 0usize;
+        let mut prev: Option<u32> = None;
+        for &row in idx.order.iter() {
+            let boundary = match prev {
+                None => true,
+                Some(p) => positions
+                    .iter()
+                    .any(|&j| self.cols[j][row as usize] != self.cols[j][p as usize]),
+            };
+            if boundary {
+                count += 1;
+            }
+            prev = Some(row);
+        }
+        count
+    }
+
     /// Number of key indexes currently cached (test helper).
     #[cfg(test)]
     pub(crate) fn cached_indexes(&self) -> usize {

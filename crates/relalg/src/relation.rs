@@ -182,6 +182,26 @@ impl Relation {
         self.cols.is_empty()
     }
 
+    /// Number of distinct values taken by `attrs` across the relation —
+    /// the cardinality statistic the maintenance planner's selectivity
+    /// model consumes. Counted along the cached sorted key index over
+    /// those columns, so repeated calls (and subsequent joins on the same
+    /// attributes) share one index build. `attrs` must be a subset of the
+    /// header; the empty set yields `min(1, len)`.
+    pub fn distinct_count(&self, attrs: &AttrSet) -> Result<usize> {
+        let positions = attrs.positions_in(&self.attrs).ok_or_else(|| {
+            let missing = attrs
+                .iter()
+                .find(|a| !self.attrs.contains(*a))
+                .unwrap_or_else(|| crate::symbol::Attr::new("?"));
+            RelalgError::UnknownAttribute {
+                attr: missing,
+                header: self.attrs.clone(),
+            }
+        })?;
+        Ok(self.cols.distinct_on(&positions))
+    }
+
     /// Membership test: a binary search on canonical order, comparing
     /// values directly so the probe never grows the dictionary.
     pub fn contains(&self, t: &Tuple) -> bool {
@@ -475,6 +495,22 @@ mod tests {
         let err =
             Relation::from_rows(&["a", "a"], Vec::<Vec<Value>>::new()).unwrap_err();
         assert!(matches!(err, RelalgError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn distinct_count_per_attribute_combination() {
+        let r = sale();
+        let clerk = AttrSet::from_names(&["clerk"]);
+        let item = AttrSet::from_names(&["item"]);
+        let both = AttrSet::from_names(&["clerk", "item"]);
+        assert_eq!(r.distinct_count(&clerk).unwrap(), 2); // Mary, John
+        assert_eq!(r.distinct_count(&item).unwrap(), 3);
+        assert_eq!(r.distinct_count(&both).unwrap(), r.len());
+        assert_eq!(r.distinct_count(&AttrSet::empty()).unwrap(), 1);
+        let empty = Relation::empty(r.attrs().clone());
+        assert_eq!(empty.distinct_count(&clerk).unwrap(), 0);
+        assert_eq!(empty.distinct_count(&AttrSet::empty()).unwrap(), 0);
+        assert!(r.distinct_count(&AttrSet::from_names(&["ghost"])).is_err());
     }
 
     #[test]

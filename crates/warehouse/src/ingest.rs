@@ -28,6 +28,7 @@
 use crate::channel::{Envelope, SourceId};
 use crate::error::{Result, WarehouseError};
 use crate::integrator::{Integrator, IntegratorStats};
+use crate::planner::AdaptivePolicy;
 use dwc_relalg::{DbState, RaExpr, Relation, Update};
 use std::collections::BTreeMap;
 
@@ -155,6 +156,7 @@ pub struct IngestingIntegrator {
     discarded: Vec<DiscardedEntry>,
     config: IngestConfig,
     stats: IngestStats,
+    policy: AdaptivePolicy,
 }
 
 impl IngestingIntegrator {
@@ -172,6 +174,7 @@ impl IngestingIntegrator {
             discarded: Vec::new(),
             config,
             stats: IngestStats::default(),
+            policy: AdaptivePolicy::off(),
         })
     }
 
@@ -187,7 +190,35 @@ impl IngestingIntegrator {
         config: IngestConfig,
         stats: IngestStats,
     ) -> IngestingIntegrator {
-        IngestingIntegrator { integ, cursors, quarantine, discarded, config, stats }
+        // The maintenance policy is deliberately not persisted: its
+        // decision cache is pure derived state and Theorem 4.1 makes WAL
+        // replay strategy-independent, so a restored ingestor starts
+        // inert and the host re-arms it.
+        IngestingIntegrator {
+            integ,
+            cursors,
+            quarantine,
+            discarded,
+            config,
+            stats,
+            policy: AdaptivePolicy::off(),
+        }
+    }
+
+    /// Installs a maintenance policy (see [`crate::planner`]); reports
+    /// applied from here on are routed through it.
+    pub fn set_policy(&mut self, policy: AdaptivePolicy) {
+        self.policy = policy;
+    }
+
+    /// The active maintenance policy.
+    pub fn policy(&self) -> &AdaptivePolicy {
+        &self.policy
+    }
+
+    /// Mutable access to the policy — for draining its diagnostics.
+    pub fn policy_mut(&mut self) -> &mut AdaptivePolicy {
+        &mut self.policy
     }
 
     /// The raw per-source cursors — read by the snapshot writer.
@@ -289,12 +320,12 @@ impl IngestingIntegrator {
     /// the Theorem 4.1 criterion `w' = W(u(W⁻¹(w)))`.
     fn apply_one(&mut self, report: &Update) -> Result<()> {
         if !self.config.verify_invariants {
-            return self.integ.on_report(report);
+            return crate::planner::maintain_with_policy(&mut self.policy, &mut self.integ, report);
         }
         let expected = self
             .integ
             .warehouse()
-            .maintain_by_reconstruction(self.integ.state(), report)?;
+            .maintain_by_reconstruction(self.integ.state(), report)?; // lint:allow strategy_dispatch -- verification cross-check oracle
         self.integ.on_report(report)?;
         if self.integ.state() != &expected {
             // The incremental result diverged from the source-free

@@ -274,6 +274,20 @@ impl Integrator {
     /// committed, so an evaluation error on any path leaves the
     /// integrator exactly as it was.
     pub fn on_report_detailed(&mut self, report: &Update) -> Result<Vec<StoredDelta>> {
+        self.on_report_detailed_with(report, true)
+    }
+
+    /// Like [`Integrator::on_report_detailed`], but with the mirror
+    /// *plan path* under caller control: `use_mirrors: false` evaluates
+    /// the inverse expressions afresh (the plain incremental strategy)
+    /// even when mirrors are cached — the mirrors themselves are still
+    /// delta-maintained so later reports can use them. The adaptive
+    /// maintenance policy ([`crate::planner`]) dispatches through this.
+    pub fn on_report_detailed_with(
+        &mut self,
+        report: &Update,
+        use_mirrors: bool,
+    ) -> Result<Vec<StoredDelta>> {
         if report.is_empty() {
             return Ok(Vec::new());
         }
@@ -286,8 +300,10 @@ impl Integrator {
         }
         let plan = &self.plans[&touched];
         let (next, deltas) = match &self.mirrors {
-            Some(m) => plan.apply_with_mirrors_detailed(&self.warehouse, report, m)?,
-            None => plan.apply_detailed(&self.warehouse, report)?,
+            Some(m) if use_mirrors => {
+                plan.apply_with_mirrors_detailed(&self.warehouse, report, m)?
+            }
+            _ => plan.apply_detailed(&self.warehouse, report)?,
         };
         // Mirrors are themselves maintained delta-wise: the mirror IS the
         // base relation (Proposition 2.1), so the reported delta applies
@@ -338,7 +354,7 @@ impl Integrator {
     /// reports, possibly unnormalized with respect to the current state)
     /// and failed invariant checks. Still zero source queries.
     pub fn recover_by_reconstruction(&mut self, update: &Update) -> Result<()> {
-        let next = self.aug.maintain_by_reconstruction(&self.warehouse, update)?;
+        let next = self.aug.maintain_by_reconstruction(&self.warehouse, update)?; // lint:allow strategy_dispatch -- the recovery path IS the reconstruction strategy
         self.stats.updates_processed += 1;
         self.stats.delta_tuples += update.len();
         self.force_state(next)
@@ -348,6 +364,13 @@ impl Integrator {
     /// storage price of `cache_inverses`.
     pub fn mirror_storage(&self) -> usize {
         self.mirrors.as_ref().map_or(0, DbState::total_tuples)
+    }
+
+    /// The cached inverse mirrors, when inverse caching is on. The
+    /// maintenance planner measures distinct counts on them (and only
+    /// on cache-miss re-plans, so the amortized cost stays O(plan)).
+    pub(crate) fn mirrors_state(&self) -> Option<&DbState> {
+        self.mirrors.as_ref()
     }
 
     /// Answers a source query at the warehouse (query independence).

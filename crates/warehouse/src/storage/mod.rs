@@ -718,6 +718,21 @@ impl<M: StorageMedium> DurableWarehouse<M> {
         &self.ingest
     }
 
+    /// Installs a maintenance policy on the ingestor (see
+    /// [`crate::planner`]). Deliberately not WAL-logged: Theorem 4.1
+    /// makes replay strategy-independent, so the policy is runtime
+    /// tuning, not durable state — a recovered warehouse starts with
+    /// the policy off and the host re-arms it.
+    pub fn set_maintenance_policy(&mut self, policy: crate::planner::AdaptivePolicy) {
+        self.ingest.set_policy(policy);
+    }
+
+    /// Mutable access to the ingestor's maintenance policy — for
+    /// draining planner diagnostics.
+    pub fn policy_mut(&mut self) -> &mut crate::planner::AdaptivePolicy {
+        self.ingest.policy_mut()
+    }
+
     /// The storage counters.
     pub fn storage_stats(&self) -> StorageStats {
         self.stats

@@ -64,6 +64,16 @@ done
 
 echo "wrote $(grep -c '^{' "$OUT") results to $OUT"
 
+# Adaptive maintenance: the strategy comparison (fixed pins vs the
+# planner, plus the clone baseline and the O(plan) planner-choose rows)
+# is about strategy choice, not thread scaling, so it runs once
+# serially. Rows are strategy-tagged and land in the main file next to
+# the raw maintenance group they compare against.
+echo "=== adaptive: strategy sweep ==="
+DWC_THREADS=1 cargo bench -q -p dwc-bench --bench adaptive \
+  | grep '^{' | tee -a "$OUT"
+echo "wrote $(grep -c '^{' "$OUT") results to $OUT (incl. adaptive sweep)"
+
 # Durability timings are IO-bound, not thread-scaled: one serial pass
 # into a sibling file ({eval -> recovery} of whatever --out was given).
 RECOVERY_OUT="$(dirname "$OUT")/$(basename "$OUT" | sed 's/eval/recovery/')"

@@ -175,6 +175,23 @@ DWC_TESTKIT_SEED=20260807 cargo test -q --release --test columnar_props
 DWC_TESTKIT_SEED=20260807 cargo test -q --release --test parser_fuzz dictionary_
 echo "ok: columnar differential green"
 
+# --- 12. maintenance planner: pinned differential + cost CLI -----------
+# Theorem 4.1 makes strategy choice a pure cost question; the planner
+# suite pins that every chooser-selectable strategy converges to the
+# oracle, that the skewed-clerk misprediction fires DWC-P201 and
+# flushes the decision cache, and that steady streams hit the cache.
+# Then the cost analyzer itself must run over the shipped specs and
+# emit the machine-readable P101 strategy-chosen payload.
+echo "planner differential: tests/planner_props.rs (pinned seed)"
+DWC_TESTKIT_SEED=20260807 cargo test -q --release --test planner_props
+"$DWC" analyze --cost examples/specs/fig1.dwc examples/specs/adaptive.dwc >/dev/null
+COST_JSON="$("$DWC" analyze --cost --json examples/specs/adaptive.dwc)"
+echo "$COST_JSON" | grep -q '"code":"DWC-P101"' \
+  || { echo "FAIL: analyze --cost --json missing DWC-P101" >&2; exit 1; }
+echo "$COST_JSON" | grep -q '"data":{"chosen":' \
+  || { echo "FAIL: analyze --cost --json missing data payload" >&2; exit 1; }
+echo "ok: planner differential + cost analyzer green"
+
 # Clippy is not part of the offline gate, but when a toolchain ships it,
 # run it too (still offline).
 if cargo clippy --version >/dev/null 2>&1; then

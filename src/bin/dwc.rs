@@ -13,6 +13,8 @@
 //! sources) without evaluating any relation, and exits non-zero when
 //! any error-severity diagnostic is found.
 
+use dwcomplements::analyze::cost::{estimate, CostConstants, TableStats};
+use dwcomplements::analyze::planner::{choose, report_choice, PlannerInputs, WorkloadProfile};
 use dwcomplements::analyze::{analyze, specfile, srclint, AnalyzeOptions, Report};
 use dwcomplements::serve::{self, ServeOptions};
 use dwcomplements::shell::{Outcome, Shell};
@@ -21,13 +23,20 @@ use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 const ANALYZE_USAGE: &str = "\
-usage: dwc analyze [--json] <spec.dwc>...
+usage: dwc analyze [--json] [--cost] <spec.dwc>...
        dwc analyze [--json] --self-check [workspace-root]
 
 Statically verifies warehouse spec files (catalog + PSJ views) against
 the Theorem 2.2 preconditions and the plan hygiene lints, printing one
 diagnostic per line (JSON lines with --json). Exits 0 when no
 error-severity diagnostic was produced.
+
+--cost additionally prices the four maintenance strategies for each
+certified spec under a what-if workload (every source at 1000 rows, a
+single-tuple delta per source in turn, mirrors cached, source
+reachable) and prints the chosen strategy per delta — a table by
+default, DWC-P001/P101 JSON lines with --json. Purely static: no
+relation is evaluated.
 
 --self-check lints the workspace's own sources instead: no panicking
 calls in library code, no stray thread spawns, forbid(unsafe_code) in
@@ -331,11 +340,13 @@ fn cmd_connect(args: &[String]) -> ExitCode {
 fn cmd_analyze(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut self_check = false;
+    let mut cost = false;
     let mut paths: Vec<&str> = Vec::new();
     for arg in args {
         match arg.as_str() {
             "--json" => json = true,
             "--self-check" => self_check = true,
+            "--cost" => cost = true,
             "--help" | "-h" => {
                 println!("{ANALYZE_USAGE}");
                 return ExitCode::SUCCESS;
@@ -383,12 +394,85 @@ fn cmd_analyze(args: &[String]) -> ExitCode {
                 ));
             }
             failed |= emit(&report, path, json);
+            if cost && !report.has_errors() {
+                match WarehouseSpec::new(spec.catalog, spec.views)
+                    .and_then(WarehouseSpec::augment)
+                {
+                    Ok(aug) => cost_analysis(&aug, path, json),
+                    Err(e) => {
+                        eprintln!("{path}: cannot augment for --cost: {e}");
+                        failed = true;
+                    }
+                }
+            }
         }
     }
     if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// `--cost`: prices the four maintenance strategies for one certified
+/// spec under a uniform what-if workload — every source at 1000 rows, a
+/// single-tuple delta per source in turn, mirrors cached, source
+/// reachable. Purely static (cost-model arithmetic over the certified
+/// plans); the actual ingest-time decision is made per report by the
+/// warehouse's adaptive policy against live statistics.
+fn cost_analysis(aug: &dwcomplements::warehouse::AugmentedWarehouse, subject: &str, json: bool) {
+    const WHATIF_ROWS: f64 = 1000.0;
+    let consts = CostConstants::calibrated();
+    let catalog = aug.catalog();
+    let definitions = aug.all_definitions();
+    let inputs = PlannerInputs { catalog, definitions: &definitions, inverses: aug.inverse() };
+
+    // Stored sizes follow from the what-if source sizes by estimation.
+    let mut base_stats = TableStats::new();
+    for name in catalog.relation_names() {
+        base_stats.declare_from_catalog(catalog, name, WHATIF_ROWS);
+    }
+    let mut profile = WorkloadProfile::default();
+    for name in catalog.relation_names() {
+        profile.base_rows.insert(name, WHATIF_ROWS);
+    }
+    for (&view, def) in &definitions {
+        profile
+            .stored_rows
+            .insert(view, estimate(def, &base_stats, &consts).rows);
+    }
+    profile.mirrors_cached = true;
+    profile.source_reachable = true;
+
+    let mut out = Report::new();
+    if !json {
+        println!(
+            "{subject}: maintenance cost (what-if: |R|={WHATIF_ROWS:.0}, |Δ|=1, \
+             mirrors cached, source reachable)"
+        );
+    }
+    for base in catalog.relation_names() {
+        profile.delta_rows.clear();
+        profile.delta_rows.insert(base, 1.0);
+        let choice = choose(&inputs, &profile, &consts);
+        if json {
+            report_choice(&choice, &format!("{subject}: Δ{base}"), &mut out);
+        } else {
+            let totals = choice
+                .totals
+                .iter()
+                .map(|t| format!("{} {:.1} µs", t.strategy, t.cost_ns / 1_000.0))
+                .collect::<Vec<_>>()
+                .join("  |  ");
+            println!(
+                "  Δ{base}: chose {} (≈ {:.1} µs)\n    {totals}",
+                choice.chosen,
+                choice.predicted_ns / 1_000.0
+            );
+        }
+    }
+    if json {
+        print!("{}", out.to_json_lines());
     }
 }
 

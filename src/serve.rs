@@ -51,8 +51,8 @@ use crate::warehouse::server::{
     Ack, BatchPolicy, Health, QueryClient, ServerCore, SessionGrant, SessionId,
 };
 use crate::warehouse::{
-    DurabilityConfig, DurableWarehouse, Envelope, FsMedium, IngestConfig, IngestingIntegrator,
-    Recovery, SourceId, StorageError, WarehouseSpec,
+    AdaptivePolicy, DurabilityConfig, DurableWarehouse, Envelope, FsMedium, IngestConfig,
+    IngestingIntegrator, Recovery, SourceId, StorageError, WarehouseSpec,
 };
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
@@ -176,7 +176,10 @@ pub fn serve(
         ..DurabilityConfig::default()
     };
     let catalog = spec.catalog().clone();
-    let warehouse = open_or_create(spec, dir, config)?;
+    let mut warehouse = open_or_create(spec, dir, config)?;
+    // The policy is runtime tuning, not durable state: re-armed on every
+    // open (recovery replays strategy-independently per Theorem 4.1).
+    warehouse.set_maintenance_policy(AdaptivePolicy::adaptive());
     let policy = BatchPolicy {
         max_batch: options.max_batch.max(1),
         max_wait_micros: options.max_wait_micros,
@@ -260,9 +263,11 @@ fn run_engine(mut core: ServerCore<FsMedium>, rx: mpsc::Receiver<EngineMsg>) {
                     }
                     Health::ReadOnly { .. } => "read-only".to_owned(),
                 };
+                let p = core.warehouse().ingestor().policy().stats();
                 let _ = reply.send(format!(
                     "stats epoch={} delivered={} batches={} acks={} wal_syncs={} \
-                     group_commits={} generation={} health={} parked={}",
+                     group_commits={} generation={} health={} parked={} \
+                     planner=plans:{},incr:{},mirr:{},recon:{},mispredict:{}",
                     core.commit_epoch(),
                     s.delivered,
                     s.batches_committed,
@@ -272,6 +277,11 @@ fn run_engine(mut core: ServerCore<FsMedium>, rx: mpsc::Receiver<EngineMsg>) {
                     core.warehouse().generation(),
                     health,
                     core.parked_len(),
+                    p.plans,
+                    p.chosen_incremental,
+                    p.chosen_mirrored,
+                    p.chosen_reconstruction,
+                    p.mispredictions,
                 ));
             }
             Err(mpsc::RecvTimeoutError::Timeout) => match core.tick(now(&start)) {
