@@ -1,0 +1,192 @@
+//! `H` codes — static certification that a key-range sharding respects
+//! the warehouse's key and inclusion-dependency structure.
+//!
+//! Sharding in this stack is a *durability* partition: the live
+//! integrator holds the full state, and shards only split the
+//! write-ahead lineages row-wise by a routing attribute. Bit-identical
+//! recovery therefore holds for **any** row partition — these checks
+//! are about *semantic soundness* instead: whether each shard's slice
+//! is a self-contained key range of the warehouse, so that per-shard
+//! inspection, repair, and (future) shard-local serving do not silently
+//! cross key boundaries.
+//!
+//! Three findings, all cheap and purely schematic:
+//!
+//! * [`Code::H601ShardSplitsCover`] (**error**) — a view joins at least
+//!   one routed relation but projects the routing attribute away; its
+//!   rows cannot be attributed to a key range, so the partition splits
+//!   the view's cover across shards untraceably.
+//! * [`Code::H602ShardSeversInd`] (**error**) — an inclusion dependency
+//!   connects a routed relation to an unrouted one (or ranges over
+//!   attributes that exclude the routing attribute, a **warning**):
+//!   the dependency cannot be checked shard-locally.
+//! * [`Code::H603ShardPinnedRelation`] (info) — a relation without the
+//!   routing attribute is pinned whole to shard 0; correct, but that
+//!   shard carries the full copy.
+
+use crate::diag::{Code, Report, Severity};
+use dwc_core::psj::NamedView;
+use dwc_relalg::{Attr, Catalog, RelName};
+
+/// Certifies that routing by `attr` respects the key/IND structure of
+/// `(catalog, views)`. Pushes `H` findings into `report`; an unknown
+/// routing attribute is an [`Code::A002UnknownAttribute`] error.
+pub fn certify_sharding(
+    catalog: &Catalog,
+    views: &[NamedView],
+    attr: &str,
+    report: &mut Report,
+) {
+    let routing = Attr::new(attr);
+    let routed: Vec<RelName> = catalog
+        .schemas()
+        .filter(|s| s.attrs().contains(routing))
+        .map(|s| s.name())
+        .collect();
+    if routed.is_empty() {
+        report.push(
+            Code::A002UnknownAttribute,
+            Severity::Error,
+            "sharding",
+            format!("routing attribute `{attr}` appears in no base relation"),
+        );
+        return;
+    }
+
+    // H603: unrouted relations are pinned whole to shard 0.
+    for schema in catalog.schemas() {
+        if !schema.attrs().contains(routing) {
+            report.push(
+                Code::H603ShardPinnedRelation,
+                Severity::Info,
+                format!("relation {}", schema.name()),
+                format!(
+                    "no `{attr}` attribute; the whole relation is pinned to shard 0"
+                ),
+            );
+        }
+    }
+
+    // H601: a view over routed relations must keep the routing
+    // attribute, or its rows cannot be attributed to a key range.
+    for view in views {
+        let joined: Vec<String> = view
+            .view()
+            .relations()
+            .iter()
+            .filter(|r| routed.contains(r))
+            .map(|r| r.to_string())
+            .collect();
+        if !joined.is_empty() && !view.header().contains(routing) {
+            report.push(
+                Code::H601ShardSplitsCover,
+                Severity::Error,
+                format!("view {}", view.name()),
+                format!(
+                    "joins routed relation(s) {} but projects away routing \
+                     attribute `{attr}`; its rows cannot be attributed to a \
+                     key range",
+                    joined.join(", ")
+                ),
+            );
+        }
+    }
+
+    // H602: inclusion dependencies must not straddle the partition.
+    for dep in catalog.inclusion_deps() {
+        let from_routed = routed.contains(&dep.from);
+        let to_routed = routed.contains(&dep.to);
+        if from_routed != to_routed {
+            let (r, u) = if from_routed {
+                (dep.from, dep.to)
+            } else {
+                (dep.to, dep.from)
+            };
+            report.push(
+                Code::H602ShardSeversInd,
+                Severity::Error,
+                format!("ind {dep}"),
+                format!(
+                    "connects routed relation {r} to unrouted relation {u}; \
+                     the dependency cannot be checked within one shard"
+                ),
+            );
+        } else if from_routed && !dep.attrs.contains(routing) {
+            report.push(
+                Code::H602ShardSeversInd,
+                Severity::Warning,
+                format!("ind {dep}"),
+                format!(
+                    "ranges over attributes that exclude `{attr}`; matching \
+                     rows may live on different shards, so the dependency is \
+                     only checkable globally"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwc_core::psj::PsjView;
+    use dwc_relalg::AttrSet;
+
+    fn keyed_pair() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_schema_with_key("R", &["k", "a"], &["k"]).unwrap();
+        c.add_schema_with_key("S", &["k", "b"], &["k"]).unwrap();
+        c
+    }
+
+    #[test]
+    fn clean_sharding_reports_nothing_fatal() {
+        let c = keyed_pair();
+        let views = vec![NamedView::new(
+            "V",
+            PsjView::join_of(&c, &["R", "S"]).unwrap(),
+        )];
+        let mut report = Report::new();
+        certify_sharding(&c, &views, "k", &mut report);
+        assert!(!report.has_errors(), "{report}");
+    }
+
+    #[test]
+    fn projecting_away_the_routing_attr_is_h601() {
+        let c = keyed_pair();
+        let views = vec![NamedView::new(
+            "V",
+            PsjView::project_of(&c, "R", &["a"]).unwrap(),
+        )];
+        let mut report = Report::new();
+        certify_sharding(&c, &views, "k", &mut report);
+        assert!(report.has_code(Code::H601ShardSplitsCover));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn asymmetric_ind_is_h602_and_unrouted_is_h603() {
+        let mut c = keyed_pair();
+        c.add_schema_with_key("Dim", &["a", "label"], &["a"]).unwrap();
+        c.add_inclusion_dep(dwc_relalg::InclusionDep::new(
+            "R",
+            "Dim",
+            AttrSet::from_names(&["a"]),
+        ))
+        .unwrap_or_else(|e| panic!("{e}"));
+        let mut report = Report::new();
+        certify_sharding(&c, &[], "k", &mut report);
+        assert!(report.has_code(Code::H602ShardSeversInd));
+        assert!(report.has_code(Code::H603ShardPinnedRelation));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn unknown_routing_attribute_fails_closed() {
+        let c = keyed_pair();
+        let mut report = Report::new();
+        certify_sharding(&c, &[], "nope", &mut report);
+        assert!(report.has_code(Code::A002UnknownAttribute));
+        assert!(report.has_errors());
+    }
+}

@@ -7,6 +7,16 @@
 //! replay → consistency cross-check) as a function of state size and
 //! log length. One JSON line per benchmark; `scripts/bench.sh` collects
 //! them into `BENCH_recovery.json`.
+//!
+//! Setting `DWC_BENCH_SHARDS` to a comma-separated list of shard
+//! counts switches the target to the **sharded** cold-recovery sweep
+//! instead: the same warehouse committed under a key-range sharded
+//! layout, reopened via the parallel per-shard recovery. Each row is
+//! tagged with a `shards` field so the sweep is directly comparable
+//! against the unsharded `cold-recovery-*` rows. `scripts/bench.sh`
+//! runs the unsharded pass serially (the IO paths are not
+//! thread-scaled) and the shard sweep at the parallel width, where the
+//! per-shard decode/replay fan-out actually buys wall-clock.
 
 use dwc_bench::experiments::{fig1_catalog, fig1_state};
 use dwc_relalg::{rel, Update};
@@ -15,7 +25,8 @@ use dwc_warehouse::channel::{Envelope, SequencedSource};
 use dwc_warehouse::ingest::{IngestConfig, IngestingIntegrator};
 use dwc_warehouse::integrator::{Integrator, SourceSite};
 use dwc_warehouse::{
-    AugmentedWarehouse, DurabilityConfig, DurableWarehouse, FsMedium, Recovery, WarehouseSpec,
+    AugmentedWarehouse, DurabilityConfig, DurableWarehouse, FsMedium, Recovery,
+    ShardedDurableWarehouse, WarehouseSpec,
 };
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -65,7 +76,111 @@ fn config(sync_every_append: bool) -> DurabilityConfig {
     }
 }
 
+/// Snapshots every file in `dir` so cold-recovery iterations can be
+/// replayed from an identical on-disk image.
+fn capture_image(dir: &PathBuf) -> Vec<(String, Vec<u8>)> {
+    std::fs::read_dir(dir)
+        .expect("scratch dir")
+        .map(|entry| {
+            let entry = entry.expect("dir entry");
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let bytes = std::fs::read(entry.path()).expect("readable file");
+            (name, bytes)
+        })
+        .collect()
+}
+
+/// Resets `dir` to a previously captured image.
+fn restore_image(dir: &PathBuf, image: &[(String, Vec<u8>)]) {
+    std::fs::remove_dir_all(dir).expect("scratch dir");
+    std::fs::create_dir_all(dir).expect("scratch dir");
+    for (name, bytes) in image {
+        std::fs::write(dir.join(name), bytes).expect("image restores");
+    }
+}
+
+/// The sharded cold-recovery sweep: the figure-1 warehouse committed
+/// under `shards` key-range lineages (routed by `clerk`, Emp's key),
+/// reopened through the parallel per-shard recovery. One bench group
+/// per shard count so every row carries a `shards` field.
+fn bench_sharded(counts: &[usize]) {
+    let mut scratch_dirs = Vec::new();
+    for &n in &[1_000usize, 10_000] {
+        let (aug, mut src, ing) = rig(n);
+        let envelopes = sale_envelopes(&mut src, LOG_LEN);
+        for &shards in counts {
+            let dir = scratch(&format!("shard{shards}-{n}"));
+            scratch_dirs.push(dir.clone());
+            let medium = FsMedium::new(&dir).expect("scratch dir");
+            let mut sw =
+                ShardedDurableWarehouse::create(medium, ing.clone(), config(true), shards, None)
+                    .expect("creates");
+            for env in &envelopes {
+                sw.offer(env).expect("offer logs");
+            }
+            drop(sw);
+            let image = capture_image(&dir);
+            // Untimed opens harvest the replay-path telemetry: the
+            // critical path (slowest shard) vs the summed per-shard
+            // work. Their ratio is the parallel-recovery speedup a
+            // host with >= `shards` cores sees, reported alongside the
+            // wall-clock rows so a core-starved bench host cannot hide
+            // it. Best-of-three, because on an oversubscribed host a
+            // worker's wall clock includes preemption.
+            let mut best: Option<(u64, u64)> = None;
+            for _ in 0..3 {
+                restore_image(&dir, &image);
+                let medium = FsMedium::new(&dir).expect("scratch dir");
+                let (_, report) =
+                    ShardedDurableWarehouse::open(medium, aug.clone(), config(true), None)
+                        .expect("recovers");
+                let pair = (
+                    report.replay_critical.as_nanos() as u64,
+                    report.replay_total.as_nanos() as u64,
+                );
+                if best.is_none_or(|(c, _)| pair.0 < c) {
+                    best = Some(pair);
+                }
+            }
+            let (critical_ns, total_ns) = best.unwrap_or((0, 0));
+            let group = Bench::new("recovery")
+                .field_num("shards", shards as u64)
+                .field_num("replay_critical_ns", critical_ns)
+                .field_num("replay_total_ns", total_ns);
+            let aug = aug.clone();
+            let dir = dir.clone();
+            group.run(&format!("cold-recovery-sharded/{n}"), move || {
+                restore_image(&dir, &image);
+                let medium = FsMedium::new(&dir).expect("scratch dir");
+                let (sw, report) =
+                    ShardedDurableWarehouse::open(medium, aug.clone(), config(true), None)
+                        .expect("recovers");
+                black_box((sw.shards(), report.shard_records_replayed))
+            });
+        }
+    }
+    for dir in scratch_dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
 fn main() {
+    // `DWC_BENCH_SHARDS=1,2,4` switches to the sharded sweep so
+    // bench.sh can run it at a parallel width without re-timing the
+    // (serial, IO-bound) unsharded paths.
+    if let Ok(spec) = std::env::var("DWC_BENCH_SHARDS") {
+        let counts: Vec<usize> = spec
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .filter(|&c| c >= 1)
+            .collect();
+        if counts.is_empty() {
+            eprintln!("DWC_BENCH_SHARDS=`{spec}` names no shard counts");
+            std::process::exit(2);
+        }
+        bench_sharded(&counts);
+        return;
+    }
     let group = Bench::new("recovery");
     let mut scratch_dirs = Vec::new();
 
@@ -111,25 +226,13 @@ fn main() {
         // Recovery rolls a fresh generation, absorbing the WAL tail into
         // a new snapshot; restore the captured image before each run so
         // every iteration replays the same LOG_LEN records.
-        let image: Vec<(String, Vec<u8>)> = std::fs::read_dir(&dir)
-            .expect("scratch dir")
-            .map(|entry| {
-                let entry = entry.expect("dir entry");
-                let name = entry.file_name().to_string_lossy().into_owned();
-                let bytes = std::fs::read(entry.path()).expect("readable file");
-                (name, bytes)
-            })
-            .collect();
+        let image = capture_image(&dir);
         for (mode, check) in [("verify", true), ("noverify", false)] {
             let aug = aug.clone();
             let dir = dir.clone();
             let image = &image;
             group.run(&format!("cold-recovery-{mode}/{n}"), move || {
-                std::fs::remove_dir_all(&dir).expect("scratch dir");
-                std::fs::create_dir_all(&dir).expect("scratch dir");
-                for (name, bytes) in image {
-                    std::fs::write(dir.join(name), bytes).expect("image restores");
-                }
+                restore_image(&dir, image);
                 let medium = FsMedium::new(&dir).expect("scratch dir");
                 let cfg = DurabilityConfig {
                     verify_on_open: check,

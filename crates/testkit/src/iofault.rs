@@ -20,6 +20,10 @@
 //! * **latency** — per-op-class modeled delays advancing a shared
 //!   [`sched::VirtualClock`], so "the fsync stalls for 50 ms" is a
 //!   schedulable, reproducible event rather than a real sleep.
+//! * **scoping** — an optional path prefix confining the whole plan to
+//!   one slice of the medium (one shard's WAL lineage, say), so the
+//!   shard fault matrix can break disk `s1-*` while the rest of the
+//!   files stay healthy.
 //!
 //! The whole simulation is a pure function of the plan and the
 //! operation sequence: one [`SplitMix64`] stream drawn from the plan's
@@ -89,6 +93,13 @@ pub struct MediumFaultPlan {
     /// From this faultable-operation index onward, every operation
     /// fails permanently (`transient: false`) until [`FaultyFs::heal`].
     pub permanent_from_op: Option<u64>,
+    /// Restricts the whole plan to paths starting with this prefix:
+    /// operations on other paths pass through untouched and do **not**
+    /// consume faultable-operation indexes. `None` scopes to every
+    /// path. The shard fault matrix uses this to break exactly one
+    /// shard's WAL lineage (e.g. prefix `"s1-"`) while the rest of the
+    /// medium stays healthy.
+    pub scope_prefix: Option<String>,
     /// Modeled latency of a read, in virtual microseconds.
     pub read_latency_micros: u64,
     /// Modeled latency of a data write, in virtual microseconds.
@@ -112,11 +123,20 @@ impl MediumFaultPlan {
             rename_permille: 0,
             transient_at_op: None,
             permanent_from_op: None,
+            scope_prefix: None,
             read_latency_micros: 0,
             append_latency_micros: 0,
             sync_latency_micros: 0,
             rename_latency_micros: 0,
         }
+    }
+
+    /// Restricts this plan to paths starting with `prefix` (builder
+    /// style): only such operations draw from the injection stream,
+    /// count as faultable, or model latency.
+    pub fn scoped_to(mut self, prefix: &str) -> MediumFaultPlan {
+        self.scope_prefix = Some(prefix.to_owned());
+        self
     }
 
     /// A random plan with moderate transient rates and occasional
@@ -131,6 +151,7 @@ impl MediumFaultPlan {
             rename_permille: rng.below(100) as u16,
             transient_at_op: None,
             permanent_from_op: None,
+            scope_prefix: None,
             read_latency_micros: rng.below(20),
             append_latency_micros: rng.below(50),
             sync_latency_micros: rng.below(500),
@@ -138,9 +159,14 @@ impl MediumFaultPlan {
         }
     }
 
-    /// True iff the plan can never fail or delay an operation.
+    /// True iff the plan can never fail or delay an operation (the
+    /// scope prefix is irrelevant once every knob is zero).
     pub fn is_clean(&self) -> bool {
-        self == &MediumFaultPlan { seed: self.seed, ..MediumFaultPlan::clean() }
+        self == &MediumFaultPlan {
+            seed: self.seed,
+            scope_prefix: self.scope_prefix.clone(),
+            ..MediumFaultPlan::clean()
+        }
     }
 
     fn permille(&self, class: OpClass) -> u16 {
@@ -169,7 +195,11 @@ impl Shrink for MediumFaultPlan {
     fn shrink(&self) -> Vec<MediumFaultPlan> {
         let mut out = Vec::new();
         if !self.is_clean() {
-            out.push(MediumFaultPlan { seed: self.seed, ..MediumFaultPlan::clean() });
+            out.push(MediumFaultPlan {
+                seed: self.seed,
+                scope_prefix: self.scope_prefix.clone(),
+                ..MediumFaultPlan::clean()
+            });
         }
         let mut knob = |mutate: &dyn Fn(&mut MediumFaultPlan)| {
             let mut candidate = self.clone();
@@ -351,6 +381,11 @@ impl FaultyFs {
     /// single-shot / probabilistic failure.
     fn gate(&self, class: OpClass, path: &str) -> Result<(), FaultyError> {
         let mut st = self.state.borrow_mut();
+        if let Some(prefix) = &st.plan.scope_prefix {
+            if !path.starts_with(prefix.as_str()) {
+                return Ok(());
+            }
+        }
         let op = st.ops;
         st.ops += 1;
         let latency = st.plan.latency(class);
@@ -587,6 +622,27 @@ mod tests {
             (outcomes, fs.inner().survivors())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn scoped_plans_leave_other_paths_untouched() {
+        let plan = MediumFaultPlan { permanent_from_op: Some(0), ..MediumFaultPlan::clean() }
+            .scoped_to("s1-");
+        let fs = fresh(plan);
+        // Out-of-scope paths never fault and never consume op indexes.
+        for _ in 0..5 {
+            fs.append("s0-wal", b"x").unwrap();
+            fs.sync("s0-wal").unwrap();
+        }
+        assert_eq!(fs.faultable_ops(), 0);
+        // The scoped path hits the permanent fault immediately.
+        let err = fs.append("s1-wal", b"x").unwrap_err();
+        assert!(!err.is_transient());
+        assert!(fs.broken());
+        // The broken state still only affects the scoped slice.
+        fs.append("s0-wal", b"y").unwrap();
+        fs.heal();
+        fs.append("s1-wal", b"x").unwrap();
     }
 
     #[test]

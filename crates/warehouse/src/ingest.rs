@@ -27,10 +27,52 @@
 
 use crate::channel::{Envelope, SourceId};
 use crate::error::{Result, WarehouseError};
+use crate::incremental::StoredDelta;
 use crate::integrator::{Integrator, IntegratorStats};
 use crate::planner::AdaptivePolicy;
 use dwc_relalg::{DbState, RaExpr, Relation, Update};
 use std::collections::BTreeMap;
+
+/// How [`IngestingIntegrator::apply_one`] executes maintenance — the
+/// hook the sharded durability layer uses to capture (and later replay)
+/// per-operation effects without changing any live semantics.
+#[derive(Clone, Debug, Default)]
+enum ApplyMode {
+    /// Normal operation: maintenance runs and nothing extra is recorded.
+    #[default]
+    Live,
+    /// Maintenance runs exactly as live, and the traced stored-relation
+    /// deltas (or a reset marker for non-incremental paths) accumulate
+    /// for the caller.
+    Traced(TraceBuf),
+    /// Scripted replay: maintenance does **not** run — the next `ok`
+    /// applies succeed as bookkeeping no-ops, then one fails with the
+    /// recorded error verbatim. Data effects come from the shard
+    /// lineages; this mode reproduces sequencing, quarantine, and
+    /// cursor effects only.
+    Scripted {
+        /// Successful applies remaining.
+        ok: u32,
+        /// The rendered error of the failing apply, if one follows.
+        error: Option<String>,
+    },
+}
+
+/// What one traced operation did to the stored relations.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct TraceBuf {
+    /// Per-relation deltas, in application order, when every apply took
+    /// an incremental path.
+    pub deltas: Vec<StoredDelta>,
+    /// True when any apply took a non-incremental path (reconstruction,
+    /// paranoid heal, gap repair): the deltas are not exhaustive and the
+    /// caller must capture full state instead.
+    pub reset: bool,
+    /// Successful applies.
+    pub ok: u32,
+    /// The rendered error of the failing apply, if one occurred.
+    pub error: Option<String>,
+}
 
 /// Tuning of the ingestion layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -157,6 +199,7 @@ pub struct IngestingIntegrator {
     config: IngestConfig,
     stats: IngestStats,
     policy: AdaptivePolicy,
+    mode: ApplyMode,
 }
 
 impl IngestingIntegrator {
@@ -175,6 +218,7 @@ impl IngestingIntegrator {
             config,
             stats: IngestStats::default(),
             policy: AdaptivePolicy::off(),
+            mode: ApplyMode::Live,
         })
     }
 
@@ -190,10 +234,10 @@ impl IngestingIntegrator {
         config: IngestConfig,
         stats: IngestStats,
     ) -> IngestingIntegrator {
-        // The maintenance policy is deliberately not persisted: its
-        // decision cache is pure derived state and Theorem 4.1 makes WAL
-        // replay strategy-independent, so a restored ingestor starts
-        // inert and the host re-arms it.
+        // The policy's decision cache is pure derived state and Theorem
+        // 4.1 makes WAL replay strategy-independent, so a restored
+        // ingestor starts inert; the storage layer re-arms the mode
+        // persisted in the manifest once replay finishes.
         IngestingIntegrator {
             integ,
             cursors,
@@ -202,6 +246,7 @@ impl IngestingIntegrator {
             config,
             stats,
             policy: AdaptivePolicy::off(),
+            mode: ApplyMode::Live,
         }
     }
 
@@ -235,6 +280,97 @@ impl IngestingIntegrator {
         let outcome = self.offer_at(&mut cursor, envelope);
         self.cursors.insert(envelope.source.clone(), cursor);
         outcome
+    }
+
+    /// Runs `f` in `mode`, restoring live mode afterwards and returning
+    /// whatever trace the run accumulated.
+    fn with_mode<T>(
+        &mut self,
+        mode: ApplyMode,
+        f: impl FnOnce(&mut IngestingIntegrator) -> T,
+    ) -> (T, TraceBuf) {
+        self.mode = mode;
+        let out = f(self);
+        let buf = match std::mem::take(&mut self.mode) {
+            ApplyMode::Traced(buf) => buf,
+            _ => TraceBuf::default(),
+        };
+        (out, buf)
+    }
+
+    /// [`IngestingIntegrator::offer`] with delta tracing: behaves
+    /// identically, and additionally returns what the operation did to
+    /// the stored relations (the sharded WAL routes that shard-wise).
+    pub(crate) fn offer_traced(&mut self, envelope: &Envelope) -> (IngestOutcome, TraceBuf) {
+        self.with_mode(ApplyMode::Traced(TraceBuf::default()), |ing| ing.offer(envelope))
+    }
+
+    /// [`IngestingIntegrator::offer`] in scripted-replay mode: the
+    /// sequencing, quarantine, and cursor effects replay exactly, while
+    /// maintenance is skipped (`ok` applies succeed, then one fails with
+    /// `error` verbatim). Data effects come from the shard lineages.
+    pub(crate) fn offer_scripted(
+        &mut self,
+        envelope: &Envelope,
+        ok: u32,
+        error: Option<String>,
+    ) -> IngestOutcome {
+        self.with_mode(ApplyMode::Scripted { ok, error }, |ing| ing.offer(envelope)).0
+    }
+
+    /// [`IngestingIntegrator::recover_from_log`] with delta tracing (a
+    /// successful repair always records a reset — reconstruction
+    /// rewrites the stored relations wholesale).
+    pub(crate) fn recover_from_log_traced(
+        &mut self,
+        source: &SourceId,
+        log: &[Envelope],
+    ) -> (Result<usize>, TraceBuf) {
+        self.with_mode(ApplyMode::Traced(TraceBuf::default()), |ing| {
+            ing.recover_from_log(source, log)
+        })
+    }
+
+    /// [`IngestingIntegrator::recover_from_log`] in scripted-replay
+    /// mode: cursor and counter effects only.
+    pub(crate) fn recover_from_log_scripted(
+        &mut self,
+        source: &SourceId,
+        log: &[Envelope],
+    ) -> Result<usize> {
+        self.with_mode(ApplyMode::Scripted { ok: 0, error: None }, |ing| {
+            ing.recover_from_log(source, log)
+        })
+        .0
+    }
+
+    /// [`IngestingIntegrator::requeue_quarantined`] with delta tracing.
+    pub(crate) fn requeue_quarantined_traced(
+        &mut self,
+        index: usize,
+    ) -> (Option<IngestOutcome>, TraceBuf) {
+        self.with_mode(ApplyMode::Traced(TraceBuf::default()), |ing| {
+            ing.requeue_quarantined(index)
+        })
+    }
+
+    /// [`IngestingIntegrator::requeue_quarantined`] in scripted-replay
+    /// mode.
+    pub(crate) fn requeue_quarantined_scripted(
+        &mut self,
+        index: usize,
+        ok: u32,
+        error: Option<String>,
+    ) -> Option<IngestOutcome> {
+        self.with_mode(ApplyMode::Scripted { ok, error }, |ing| ing.requeue_quarantined(index)).0
+    }
+
+    /// Overwrites both counter sets with absolute values — scripted
+    /// replay forces the recorded post-operation counters instead of
+    /// recomputing maintenance work it deliberately skipped.
+    pub(crate) fn force_stats(&mut self, istats: IntegratorStats, ingstats: IngestStats) {
+        self.integ.restore_stats(istats);
+        self.stats = ingstats;
     }
 
     fn offer_at(&mut self, cursor: &mut Cursor, envelope: &Envelope) -> IngestOutcome {
@@ -317,10 +453,47 @@ impl IngestingIntegrator {
     }
 
     /// Applies one in-sequence report, optionally cross-checked against
-    /// the Theorem 4.1 criterion `w' = W(u(W⁻¹(w)))`.
+    /// the Theorem 4.1 criterion `w' = W(u(W⁻¹(w)))`. In scripted mode
+    /// nothing is computed: the recorded outcome is reproduced verbatim
+    /// (data effects replay from the shard lineages instead).
     fn apply_one(&mut self, report: &Update) -> Result<()> {
+        if let ApplyMode::Scripted { ok, error } = &mut self.mode {
+            if *ok > 0 {
+                *ok -= 1;
+                return Ok(());
+            }
+            // [`WarehouseError::Restored`] renders its message verbatim,
+            // so the scripted quarantine entry is bit-identical to the
+            // live one after the snapshot round trip.
+            let message = error.take().unwrap_or_default();
+            return Err(WarehouseError::Restored { message });
+        }
+        let result = self.apply_one_live(report);
+        if let ApplyMode::Traced(buf) = &mut self.mode {
+            match &result {
+                Ok(()) => buf.ok += 1,
+                Err(e) => buf.error = Some(e.to_string()),
+            }
+        }
+        result
+    }
+
+    fn apply_one_live(&mut self, report: &Update) -> Result<()> {
         if !self.config.verify_invariants {
-            return crate::planner::maintain_with_policy(&mut self.policy, &mut self.integ, report);
+            let traced = crate::planner::maintain_with_policy_traced(
+                &mut self.policy,
+                &mut self.integ,
+                report,
+            )?;
+            if let ApplyMode::Traced(buf) = &mut self.mode {
+                match traced {
+                    Some(deltas) => buf.deltas.extend(deltas),
+                    // A reconstruction strategy rewrote the stored
+                    // relations wholesale.
+                    None => buf.reset = true,
+                }
+            }
+            return Ok(());
         }
         let expected = self
             .integ
@@ -333,6 +506,12 @@ impl IngestingIntegrator {
             self.stats.invariant_failures += 1;
             self.stats.recoveries += 1;
             self.integ.force_state(expected)?;
+        }
+        if let ApplyMode::Traced(buf) = &mut self.mode {
+            // Paranoid mode may adopt a reconstructed state at any
+            // apply; tracing deltas through the heal is not worth the
+            // complexity, so the whole operation records as a reset.
+            buf.reset = true;
         }
         Ok(())
     }
@@ -458,8 +637,17 @@ impl IngestingIntegrator {
         let count = reports.len();
         // The composed update is generally *not* normalized with respect
         // to the current state, which is exactly what the reconstruction
-        // pipeline tolerates and the incremental plans do not.
-        self.integ.recover_by_reconstruction(&composed)?;
+        // pipeline tolerates and the incremental plans do not. Scripted
+        // replay skips the rebuild (shard lineages carry the data
+        // effect) but keeps every cursor and counter effect below.
+        match &mut self.mode {
+            ApplyMode::Scripted { .. } => {}
+            ApplyMode::Traced(buf) => {
+                buf.reset = true;
+                self.integ.recover_by_reconstruction(&composed)?;
+            }
+            ApplyMode::Live => self.integ.recover_by_reconstruction(&composed)?,
+        }
         cursor.pending.clear();
         cursor.next_seq = hi + 1;
         self.stats.applied += count;

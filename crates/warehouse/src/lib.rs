@@ -87,6 +87,7 @@ pub mod maintain;
 pub mod planner;
 pub mod rewrite;
 pub mod server;
+pub mod shard;
 pub mod spec;
 pub mod storage;
 #[cfg(test)]
@@ -103,6 +104,7 @@ pub use server::{
     SessionGrant, SessionId,
 };
 pub use planner::{AdaptivePolicy, PolicyMode, PolicyStats};
+pub use shard::{ShardHealth, ShardRecoveryReport, ShardSpec, ShardedDurableWarehouse};
 pub use spec::{AugmentedWarehouse, WarehouseSpec};
 pub use storage::{
     DurabilityConfig, DurableWarehouse, ErrorClass, FsMedium, MediumError, Recovery,

@@ -10,8 +10,8 @@
 //!   relations, delta size class, state size class)* so steady-state
 //!   ingestion pays zero planning cost — re-planning happens only when
 //!   a report's shape crosses a power-of-two size boundary;
-//! * [`maintain_with_policy`] dispatches the chosen strategy onto the
-//!   [`Integrator`] and feeds the observed touched-row count back;
+//! * `maintain_with_policy_traced` dispatches the chosen strategy onto
+//!   the [`Integrator`] and feeds the observed touched-row count back;
 //! * mispredictions (observed rows far outside the predicted envelope,
 //!   see [`dwc_analyze::planner::misprediction`]) raise `DWC-P201`,
 //!   bump a counter, and flush the decision cache so the next report
@@ -81,10 +81,12 @@ fn log2_class(n: usize) -> u32 {
     usize::BITS - (n + 1).leading_zeros()
 }
 
-/// The per-ingestor adaptive maintenance policy. Not persisted: a
-/// restored warehouse starts with the policy [`PolicyMode::Off`] and
-/// the host re-arms it (decisions are a pure cache — Theorem 4.1 makes
-/// WAL replay strategy-independent, so this loses nothing).
+/// The per-ingestor adaptive maintenance policy. The *decision cache*
+/// is never persisted (it is pure derived state — Theorem 4.1 makes
+/// WAL replay strategy-independent), but the configured [`PolicyMode`]
+/// is written into the storage manifest and re-armed on recovery, so a
+/// warehouse that was running adaptively keeps running adaptively
+/// after a crash instead of silently falling back to the inert mode.
 #[derive(Clone, Debug, Default)]
 pub struct AdaptivePolicy {
     mode: PolicyMode,
@@ -219,24 +221,43 @@ impl AdaptivePolicy {
 /// Routes one report through the policy: plans (or recalls) a strategy,
 /// dispatches it on the integrator, and feeds the observation back.
 /// With the policy [`PolicyMode::Off`] this is exactly
-/// [`Integrator::on_report`].
+/// [`Integrator::on_report`]. Production ingestion goes through the
+/// traced variant below; this delta-free form remains for tests.
+#[cfg(test)]
 pub(crate) fn maintain_with_policy(
     policy: &mut AdaptivePolicy,
     integ: &mut Integrator,
     report: &Update,
 ) -> Result<()> {
+    maintain_with_policy_traced(policy, integ, report).map(drop)
+}
+
+/// Routes one report through the policy, additionally returning the net
+/// per-stored-relation deltas maintenance produced — `Some(deltas)` on
+/// the incremental strategies, `None` when the dispatched strategy was
+/// a wholesale reconstruction (there is no delta form; the caller must
+/// treat the whole state as rewritten). The shard WAL consumes this:
+/// `Some` becomes partitioned redo records, `None` a full-slice reset.
+pub(crate) fn maintain_with_policy_traced(
+    policy: &mut AdaptivePolicy,
+    integ: &mut Integrator,
+    report: &Update,
+) -> Result<Option<Vec<crate::incremental::StoredDelta>>> {
     if !policy.is_active() || report.is_empty() {
-        return integ.on_report(report);
+        // The integrator's plain path *is* the mirrored incremental
+        // strategy (mirrors used when cached), so the detailed variant
+        // traces it without changing behavior.
+        return integ.on_report_detailed_with(report, true).map(Some);
     }
     let decision = policy.decide(integ, report);
-    let actual = match decision.strategy {
+    let (actual, traced) = match decision.strategy {
         MaintenanceStrategy::Incremental => {
             let deltas = integ.on_report_detailed_with(report, false)?;
-            touched_rows(report, &deltas)
+            (touched_rows(report, &deltas), Some(deltas))
         }
         MaintenanceStrategy::MirroredIncremental => {
             let deltas = integ.on_report_detailed_with(report, true)?;
-            touched_rows(report, &deltas)
+            (touched_rows(report, &deltas), Some(deltas))
         }
         // At ingest there is no source; a pinned recompute-at-source
         // degrades to the source-free reconstruction (same fixpoint by
@@ -250,11 +271,39 @@ pub(crate) fn maintain_with_policy(
                 .filter_map(|&n| integ.state().relation(n).ok())
                 .map(dwc_relalg::Relation::len)
                 .sum();
-            report.len() + stored
+            (report.len() + stored, None)
         }
     };
     policy.observe(decision.predicted_rows, actual as f64);
-    Ok(())
+    Ok(traced)
+}
+
+/// The manifest byte persisting a [`PolicyMode`] across restarts (the
+/// planner is the only module allowed to name concrete strategies —
+/// rule S507 — so the storage layer stores this opaque byte).
+pub(crate) fn mode_to_byte(mode: PolicyMode) -> u8 {
+    match mode {
+        PolicyMode::Off => 0,
+        PolicyMode::Adaptive => 1,
+        PolicyMode::Fixed(MaintenanceStrategy::Incremental) => 2,
+        PolicyMode::Fixed(MaintenanceStrategy::MirroredIncremental) => 3,
+        PolicyMode::Fixed(MaintenanceStrategy::Reconstruction) => 4,
+        PolicyMode::Fixed(MaintenanceStrategy::RecomputeAtSource) => 5,
+    }
+}
+
+/// Rebuilds a policy from its persisted manifest byte. Unknown bytes
+/// (from a newer version) degrade to the inert policy rather than
+/// failing recovery — the mode is tuning, not state.
+pub(crate) fn policy_from_byte(byte: u8) -> AdaptivePolicy {
+    match byte {
+        1 => AdaptivePolicy::adaptive(),
+        2 => AdaptivePolicy::fixed(MaintenanceStrategy::Incremental),
+        3 => AdaptivePolicy::fixed(MaintenanceStrategy::MirroredIncremental),
+        4 => AdaptivePolicy::fixed(MaintenanceStrategy::Reconstruction),
+        5 => AdaptivePolicy::fixed(MaintenanceStrategy::RecomputeAtSource),
+        _ => AdaptivePolicy::off(),
+    }
 }
 
 /// What maintenance actually touched: the reported delta plus every

@@ -46,7 +46,7 @@ pub mod session;
 
 pub use batch::{BatchItem, BatchPolicy, Batcher};
 pub use commit::{
-    Ack, AckOutcome, CommitPipeline, CommitReceipt, Health, RetryPolicy, Submitted,
+    Ack, AckOutcome, CommitPipeline, CommitReceipt, Health, RetryPolicy, Store, Submitted,
 };
 pub use session::{SessionGrant, SessionId, SessionManager};
 
@@ -156,10 +156,25 @@ impl<M: StorageMedium> ServerCore<M> {
     /// A server over `warehouse` (fresh or recovered) batching under
     /// `policy`.
     pub fn new(warehouse: DurableWarehouse<M>, policy: BatchPolicy) -> ServerCore<M> {
+        Self::over(CommitPipeline::new(warehouse), policy)
+    }
+
+    /// A server over a key-range sharded warehouse: same pipeline, plus
+    /// per-shard fault containment — a fatal single-shard fault rejects
+    /// its batch ([`AckOutcome::Rejected`]) while every other key range
+    /// keeps committing and every reader keeps serving.
+    pub fn new_sharded(
+        warehouse: crate::shard::ShardedDurableWarehouse<M>,
+        policy: BatchPolicy,
+    ) -> ServerCore<M> {
+        Self::over(CommitPipeline::new_sharded(warehouse), policy)
+    }
+
+    fn over(pipeline: CommitPipeline<M>, policy: BatchPolicy) -> ServerCore<M> {
         ServerCore {
             sessions: SessionManager::new(),
             batcher: Batcher::new(policy),
-            pipeline: CommitPipeline::new(warehouse),
+            pipeline,
             stats: ServerStats::default(),
             max_pending: 4096,
             idle_timeout: None,
@@ -412,9 +427,20 @@ impl<M: StorageMedium> ServerCore<M> {
         self.stats
     }
 
-    /// The underlying durable warehouse (read-only).
-    pub fn warehouse(&self) -> &DurableWarehouse<M> {
+    /// The underlying durable store (read-only).
+    pub fn warehouse(&self) -> &Store<M> {
         self.pipeline.warehouse()
+    }
+
+    /// Per-shard health (`None` when the store is unsharded) — the
+    /// `stats` protocol verb's shard section.
+    pub fn shard_health(&self) -> Option<Vec<crate::shard::ShardHealth>> {
+        self.pipeline.warehouse().shard_health()
+    }
+
+    /// The number of durability shards (1 when unsharded).
+    pub fn shards(&self) -> usize {
+        self.pipeline.warehouse().shards()
     }
 
     /// The commit pipeline, for operator paths (quarantine triage,
@@ -432,6 +458,11 @@ impl<M: StorageMedium> ServerCore<M> {
             }
             // Parked: acks arrive from a later tick's retry drain.
             Submitted::Parked { .. } => Ok(Vec::new()),
+            // Rejected whole (parked shard): nacked now, nothing durable.
+            Submitted::Rejected(acks) => {
+                self.stats.acks_minted += acks.len() as u64;
+                Ok(acks)
+            }
         }
     }
 }

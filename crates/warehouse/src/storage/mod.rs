@@ -48,7 +48,7 @@ use crate::ingest::{
 use crate::integrator::{Integrator, IntegratorConfig};
 use crate::spec::AugmentedWarehouse;
 use crate::channel::{Envelope, SourceId};
-use snapshot::{ManifestEntry, WarehouseImage, MANIFEST};
+use snapshot::{ManifestDoc, ManifestEntry, WarehouseImage, MANIFEST};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
@@ -180,6 +180,33 @@ pub enum StorageError {
         /// What exactly was wrong.
         detail: String,
     },
+    /// The manifest names a shard lineage file that does not exist on
+    /// the medium (`DWC-S303`). The store is sharded but incomplete;
+    /// opening it fails closed rather than recovering a subset of the
+    /// key space.
+    ShardLineageMissing {
+        /// The shard whose lineage is incomplete.
+        shard: usize,
+        /// The missing file.
+        file: String,
+    },
+    /// The shard topology on the medium does not match the open that was
+    /// attempted — an unsharded open pointed at a sharded store, or vice
+    /// versa (`DWC-S304`).
+    ShardTopologyMismatch {
+        /// What exactly mismatched.
+        detail: String,
+    },
+    /// One shard's medium failed permanently while the others stayed
+    /// healthy (`DWC-S305`). Fatal *for that shard*: the sharded store
+    /// rolls the offending batch back in memory, rejects it, and keeps
+    /// committing and serving on every other shard.
+    ShardUnavailable {
+        /// The broken shard.
+        shard: usize,
+        /// The underlying failure, rendered.
+        detail: String,
+    },
     /// Recovered state failed the `W(W⁻¹(w)) = w` cross-check before
     /// serving (`DWC-S401`).
     RecoveredStateInconsistent {
@@ -218,6 +245,9 @@ impl StorageError {
             StorageError::NoIntactSnapshot { .. } => "DWC-S202",
             StorageError::ManifestMissing => "DWC-S301",
             StorageError::ManifestCorrupt { .. } => "DWC-S302",
+            StorageError::ShardLineageMissing { .. } => "DWC-S303",
+            StorageError::ShardTopologyMismatch { .. } => "DWC-S304",
+            StorageError::ShardUnavailable { .. } => "DWC-S305",
             StorageError::RecoveredStateInconsistent { .. } => "DWC-S401",
             StorageError::Warehouse(_) => "DWC-S901",
         }
@@ -260,6 +290,15 @@ impl fmt::Display for StorageError {
             }
             StorageError::ManifestCorrupt { detail } => {
                 write!(f, "MANIFEST corrupt: {detail}")
+            }
+            StorageError::ShardLineageMissing { shard, file } => {
+                write!(f, "shard {shard} lineage file `{file}` named by MANIFEST is missing")
+            }
+            StorageError::ShardTopologyMismatch { detail } => {
+                write!(f, "shard topology mismatch: {detail}")
+            }
+            StorageError::ShardUnavailable { shard, detail } => {
+                write!(f, "shard {shard} unavailable: {detail}")
             }
             StorageError::RecoveredStateInconsistent { detail } => {
                 write!(f, "recovered state failed consistency cross-check: {detail}")
@@ -449,6 +488,10 @@ pub struct RecoveryReport {
     /// Whether the `W(W⁻¹(w)) = w` cross-check ran (per
     /// [`DurabilityConfig::verify_on_open`]).
     pub consistency_checked: bool,
+    /// Whether the manifest carried a persisted maintenance-policy mode
+    /// that was re-armed on the recovered ingestor. `false` only for
+    /// version-1 manifests written before the mode was durable.
+    pub policy_restored: bool,
 }
 
 /// An [`IngestingIntegrator`] whose every applied envelope is
@@ -719,12 +762,32 @@ impl<M: StorageMedium> DurableWarehouse<M> {
     }
 
     /// Installs a maintenance policy on the ingestor (see
-    /// [`crate::planner`]). Deliberately not WAL-logged: Theorem 4.1
-    /// makes replay strategy-independent, so the policy is runtime
-    /// tuning, not durable state — a recovered warehouse starts with
-    /// the policy off and the host re-arms it.
-    pub fn set_maintenance_policy(&mut self, policy: crate::planner::AdaptivePolicy) {
+    /// [`crate::planner`]) and immediately persists the configured
+    /// *mode* into the manifest, so recovery re-arms the same mode.
+    /// The decision cache stays runtime-only — Theorem 4.1 makes replay
+    /// strategy-independent — but losing the mode across a crash
+    /// silently disabled adaptive maintenance, so the mode is durable.
+    pub fn set_maintenance_policy(
+        &mut self,
+        policy: crate::planner::AdaptivePolicy,
+    ) -> Result<(), StorageError> {
+        self.ensure_live()?;
         self.ingest.set_policy(policy);
+        let doc = self.manifest_doc(self.entries.clone());
+        match snapshot::write_manifest(&self.medium, &doc) {
+            Ok(()) => Ok(()),
+            Err(e) => Err(self.note_failure(e)),
+        }
+    }
+
+    /// The manifest document committing `entries` under the currently
+    /// configured maintenance-policy mode.
+    fn manifest_doc(&self, entries: Vec<ManifestEntry>) -> ManifestDoc {
+        ManifestDoc {
+            entries,
+            policy: Some(crate::planner::mode_to_byte(self.ingest.policy().mode())),
+            shards: None,
+        }
     }
 
     /// Mutable access to the ingestor's maintenance policy — for
@@ -751,6 +814,13 @@ impl<M: StorageMedium> DurableWarehouse<M> {
     /// The durability tuning in effect.
     pub fn config(&self) -> DurabilityConfig {
         self.config
+    }
+
+    /// Dismantles the warehouse into its medium and ingestor — the
+    /// migration path from an unsharded store to a sharded one reuses
+    /// both under the sharded layout.
+    pub(crate) fn into_parts(self) -> (M, IngestingIntegrator) {
+        (self.medium, self.ingest)
     }
 
     fn ensure_live(&self) -> Result<(), StorageError> {
@@ -829,36 +899,7 @@ impl<M: StorageMedium> DurableWarehouse<M> {
     }
 
     fn image(&self) -> WarehouseImage {
-        let integ = self.ingest.integrator();
-        WarehouseImage {
-            warehouse: integ.state().clone(),
-            cache_inverses: integ.config().cache_inverses,
-            integrator_stats: integ.stats(),
-            ingest_config: self.ingest.config(),
-            ingest_stats: self.ingest.stats(),
-            cursors: self
-                .ingest
-                .cursors()
-                .iter()
-                .map(|(s, c)| {
-                    (s.clone(), (c.epoch, c.next_seq, c.pending.clone()))
-                })
-                .collect(),
-            quarantine: self
-                .ingest
-                .quarantine()
-                .iter()
-                .map(|q| (q.envelope.clone(), q.error.to_string()))
-                .collect(),
-            discarded: self
-                .ingest
-                .discarded()
-                .iter()
-                .map(|d| {
-                    (d.entry.envelope.clone(), d.entry.error.to_string(), d.reason.clone())
-                })
-                .collect(),
-        }
+        image_of(&self.ingest)
     }
 
     /// Writes snapshot + fresh WAL segment + manifest for generation
@@ -899,7 +940,7 @@ impl<M: StorageMedium> DurableWarehouse<M> {
         } else {
             Vec::new()
         };
-        snapshot::write_manifest(&self.medium, &entries)?;
+        snapshot::write_manifest(&self.medium, &self.manifest_doc(entries.clone()))?;
         // The manifest rename is the commit point: only now is it safe
         // to drop the pruned generations' files. Removal is best-effort
         // (a leftover file is garbage, not corruption).
@@ -913,6 +954,37 @@ impl<M: StorageMedium> DurableWarehouse<M> {
         self.records_since_snapshot = 0;
         self.stats.snapshots_written += 1;
         Ok(())
+    }
+}
+
+/// Captures the full snapshot image of a live ingestor — the sharded
+/// store's sequencing lineage reuses this to snapshot under its own
+/// naming scheme.
+pub(crate) fn image_of(ingest: &IngestingIntegrator) -> WarehouseImage {
+    let integ = ingest.integrator();
+    WarehouseImage {
+        warehouse: integ.state().clone(),
+        cache_inverses: integ.config().cache_inverses,
+        integrator_stats: integ.stats(),
+        ingest_config: ingest.config(),
+        ingest_stats: ingest.stats(),
+        cursors: ingest
+            .cursors()
+            .iter()
+            .map(|(s, c)| (s.clone(), (c.epoch, c.next_seq, c.pending.clone())))
+            .collect(),
+        quarantine: ingest
+            .quarantine()
+            .iter()
+            .map(|q| (q.envelope.clone(), q.error.to_string()))
+            .collect(),
+        discarded: ingest
+            .discarded()
+            .iter()
+            .map(|d| {
+                (d.entry.envelope.clone(), d.entry.error.to_string(), d.reason.clone())
+            })
+            .collect(),
     }
 }
 
@@ -933,7 +1005,17 @@ impl Recovery {
         aug: AugmentedWarehouse,
         config: DurabilityConfig,
     ) -> Result<(DurableWarehouse<M>, RecoveryReport), StorageError> {
-        let entries = snapshot::read_manifest(&medium)?;
+        let ManifestDoc { entries, policy, shards } = snapshot::read_manifest(&medium)?;
+        if let Some(sm) = shards {
+            return Err(StorageError::ShardTopologyMismatch {
+                detail: format!(
+                    "medium holds a warehouse key-range partitioned {} ways on \
+                     `{}`; open it through the sharded recovery path",
+                    sm.lineages.len(),
+                    sm.attr
+                ),
+            });
+        }
         // Newest intact snapshot wins; corrupt/unreadable ones fall
         // back a generation.
         let mut skipped = 0usize;
@@ -1001,6 +1083,13 @@ impl Recovery {
         if config.verify_on_open {
             Recovery::cross_check(&ingest)?;
         }
+        // Re-arm the persisted maintenance-policy mode *after* replay:
+        // replay runs with the policy off (Theorem 4.1 makes the final
+        // state strategy-independent), and the fresh policy starts with
+        // an empty decision cache exactly as a process restart would.
+        if let Some(byte) = policy {
+            ingest.set_policy(crate::planner::policy_from_byte(byte));
+        }
         let mut dw = DurableWarehouse {
             medium,
             ingest,
@@ -1023,12 +1112,13 @@ impl Recovery {
             records_replayed: replayed,
             torn_tails,
             consistency_checked: config.verify_on_open,
+            policy_restored: policy.is_some(),
         };
         Ok((dw, report))
     }
 
     /// Rebuilds the fault-tolerant ingestor from a snapshot image.
-    fn restore(
+    pub(crate) fn restore(
         aug: AugmentedWarehouse,
         image: WarehouseImage,
     ) -> Result<IngestingIntegrator, StorageError> {
@@ -1076,7 +1166,7 @@ impl Recovery {
 
     /// The Theorem 4.1 sanity gate: the recovered warehouse must be in
     /// the image of `W`, i.e. `W(W⁻¹(w)) = w`.
-    fn cross_check(ingest: &IngestingIntegrator) -> Result<(), StorageError> {
+    pub(crate) fn cross_check(ingest: &IngestingIntegrator) -> Result<(), StorageError> {
         let aug = ingest.integrator().warehouse();
         let wrap = |e: WarehouseError| StorageError::RecoveredStateInconsistent {
             detail: format!("reconstruction pipeline failed: {e}"),

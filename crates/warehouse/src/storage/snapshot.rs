@@ -29,17 +29,21 @@ use crate::channel::{Envelope, SourceId};
 use crate::ingest::{IngestConfig, IngestStats};
 use crate::integrator::IntegratorStats;
 use dwc_relalg::io::{check_crc, decode_relation, encode_relation, ByteReader, ByteWriter};
-use dwc_relalg::{DbState, RelalgError, Update};
+use dwc_relalg::{DbState, Relation, RelalgError, Update};
 use std::collections::BTreeMap;
 
 /// Magic bytes opening every snapshot file.
 pub const SNAP_MAGIC: [u8; 8] = *b"DWCSNAP1";
 /// Snapshot format version.
 pub const SNAP_VERSION: u8 = 1;
+/// Magic bytes opening every shard slice snapshot file.
+pub const SLICE_MAGIC: [u8; 8] = *b"DWCSLIC1";
 /// Magic bytes opening the manifest.
 pub const MANIFEST_MAGIC: [u8; 8] = *b"DWCMAN1\n";
-/// Manifest format version.
-pub const MANIFEST_VERSION: u8 = 1;
+/// Manifest format version. Version 2 adds the persisted maintenance
+/// policy byte and the optional shard section; version 1 manifests
+/// (entries only) are still read.
+pub const MANIFEST_VERSION: u8 = 2;
 /// The manifest's file name — the single commit point of the store.
 pub const MANIFEST: &str = "MANIFEST";
 
@@ -70,6 +74,16 @@ pub fn snapshot_name(id: u64) -> String {
     format!("snap-{id:08}.dwcs")
 }
 
+/// The name of the sequencing lineage's snapshot `id` (sharded stores).
+pub fn seq_snapshot_name(id: u64) -> String {
+    format!("seq-snap-{id:08}.dwcs")
+}
+
+/// The name of shard `shard`'s slice snapshot `id` (sharded stores).
+pub fn shard_snapshot_name(shard: usize, id: u64) -> String {
+    format!("s{shard}-snap-{id:08}.dwcs")
+}
+
 /// One committed generation: a snapshot and the WAL segment recording
 /// everything applied after it.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -89,6 +103,19 @@ pub(crate) fn write_snapshot<M: StorageMedium>(
     image: &WarehouseImage,
 ) -> Result<String, StorageError> {
     let name = snapshot_name(id);
+    write_snapshot_named(medium, &name, id, image)?;
+    Ok(name)
+}
+
+/// Atomically writes a full warehouse image under an explicit file
+/// name — the sequencing lineage of a sharded store reuses the image
+/// codec under its own naming scheme.
+pub(crate) fn write_snapshot_named<M: StorageMedium>(
+    medium: &M,
+    name: &str,
+    id: u64,
+    image: &WarehouseImage,
+) -> Result<(), StorageError> {
     let tmp = format!("{name}.tmp");
     let mut w = ByteWriter::new();
     w.put_bytes(&SNAP_MAGIC);
@@ -97,8 +124,8 @@ pub(crate) fn write_snapshot<M: StorageMedium>(
     put_image(&mut w, image);
     medium.write_all(&tmp, &w.finish_crc())?;
     medium.sync(&tmp)?;
-    medium.rename(&tmp, &name)?;
-    Ok(name)
+    medium.rename(&tmp, name)?;
+    Ok(())
 }
 
 /// Reads and fully validates the snapshot `name`; any defect — checksum,
@@ -136,20 +163,221 @@ pub(crate) fn read_snapshot<M: StorageMedium>(
     Ok(image)
 }
 
-/// Atomically commits the manifest listing `entries` (oldest first).
-pub(crate) fn write_manifest<M: StorageMedium>(
+/// A shard slice snapshot: every stored relation's rows owned by one
+/// shard, tagged with the operation ordinal (`sqn`) the slice reflects.
+/// Slices of the same generation union (canonically, by the sorted-merge
+/// of [`Relation::union`]) back to the full warehouse state.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct SliceImage {
+    /// The global operation ordinal this slice is current through.
+    pub sqn: u64,
+    /// Per stored relation, the rows routed to this shard.
+    pub rels: Vec<(String, Relation)>,
+}
+
+/// Atomically writes (temp + fsync + rename) a shard slice snapshot.
+pub(crate) fn write_slice_snapshot<M: StorageMedium>(
     medium: &M,
-    entries: &[ManifestEntry],
+    name: &str,
+    id: u64,
+    slice: &SliceImage,
 ) -> Result<(), StorageError> {
-    let tmp = "MANIFEST.tmp";
+    let tmp = format!("{name}.tmp");
     let mut w = ByteWriter::new();
-    w.put_bytes(&MANIFEST_MAGIC);
-    w.put_u8(MANIFEST_VERSION);
+    w.put_bytes(&SLICE_MAGIC);
+    w.put_u8(SNAP_VERSION);
+    w.put_u64(id);
+    w.put_u64(slice.sqn);
+    w.put_u32(slice.rels.len() as u32);
+    for (name, rel) in &slice.rels {
+        w.put_str(name);
+        let blob = encode_relation(rel);
+        w.put_u32(blob.len() as u32);
+        w.put_bytes(&blob);
+    }
+    medium.write_all(&tmp, &w.finish_crc())?;
+    medium.sync(&tmp)?;
+    medium.rename(&tmp, name)?;
+    Ok(())
+}
+
+/// Reads and fully validates a shard slice snapshot; any defect is
+/// [`StorageError::SnapshotCorrupt`] (recovery falls back a generation
+/// on that shard's lineage alone).
+pub(crate) fn read_slice_snapshot<M: StorageMedium>(
+    medium: &M,
+    name: &str,
+    expect_id: u64,
+) -> Result<SliceImage, StorageError> {
+    let data = medium.read(name)?;
+    let corrupt = |detail: String| StorageError::SnapshotCorrupt {
+        file: name.to_owned(),
+        detail,
+    };
+    let body = check_crc(&data).map_err(|e| corrupt(e.to_string()))?;
+    let mut r = ByteReader::new(body);
+    (|| -> Result<SliceImage, RelalgError> {
+        if r.take_bytes(8)? != SLICE_MAGIC {
+            return Err(r.corrupt("bad slice snapshot magic"));
+        }
+        let version = r.take_u8()?;
+        if version != SNAP_VERSION {
+            return Err(r.corrupt(format!("unsupported slice version {version}")));
+        }
+        let id = r.take_u64()?;
+        if id != expect_id {
+            return Err(r.corrupt(format!("slice id {id}, expected {expect_id}")));
+        }
+        let sqn = r.take_u64()?;
+        let n = r.take_u32()? as usize;
+        if n > r.remaining() {
+            return Err(r.corrupt(format!("relation count {n} exceeds slice size")));
+        }
+        let mut rels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.take_str()?;
+            let len = r.take_u32()? as usize;
+            let rel = decode_relation(r.take_bytes(len)?)?;
+            rels.push((name, rel));
+        }
+        r.expect_end()?;
+        Ok(SliceImage { sqn, rels })
+    })()
+    .map_err(|e| corrupt(e.to_string()))
+}
+
+/// The shard section of a version-2 manifest: the routing attribute,
+/// the range cuts (encoded as a single-column relation in the canonical
+/// codec), and one lineage (oldest-first generation entries) per shard.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct ShardManifest {
+    /// The key attribute rows are ranged on.
+    pub attr: String,
+    /// The `count - 1` ascending cut values; row `t` routes to the
+    /// first shard whose cut exceeds `t[attr]`.
+    pub cuts: Relation,
+    /// The operation ordinal every committed lineage is flushed
+    /// through: the commit-point invariant guarantees that at rename
+    /// time each live lineage holds every record up to this ordinal.
+    pub sqn: u64,
+    /// Per committed root generation (parallel to
+    /// [`ManifestDoc::entries`]), the ordinal its sequencing snapshot
+    /// covers — the scripted-replay base for that generation. The full
+    /// warehouse image codec carries no ordinal of its own, so the
+    /// manifest records it.
+    pub seq_sqns: Vec<u64>,
+    /// Per shard, its committed lineage and park status.
+    pub lineages: Vec<ShardLineage>,
+}
+
+/// One shard's committed lineage in the root manifest.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct ShardLineage {
+    /// `Some(sqn)` when the shard's medium failed fatally: the lineage
+    /// is durable exactly through `sqn` and, past it, operations are
+    /// certified (by the live route checks) to have written nothing to
+    /// this shard. `None` for a live shard.
+    pub parked_at: Option<u64>,
+    /// Committed snapshot/WAL generations, oldest first.
+    pub entries: Vec<ManifestEntry>,
+}
+
+/// Everything the root manifest commits in one rename: the primary
+/// lineage (the whole store when unsharded; the sequencing lineage when
+/// sharded), the persisted maintenance-policy byte, and the shard
+/// section.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct ManifestDoc {
+    /// Committed generations, oldest first.
+    pub entries: Vec<ManifestEntry>,
+    /// The maintenance policy byte (see `crate::planner`), if one was
+    /// ever configured. `None` on version-1 manifests.
+    pub policy: Option<u8>,
+    /// The shard section; `None` for unsharded stores.
+    pub shards: Option<ShardManifest>,
+}
+
+impl ManifestDoc {
+    /// An unsharded manifest over `entries` with no policy recorded
+    /// (the pre-v2 shape; production writers always record a policy).
+    #[cfg(test)]
+    pub fn plain(entries: Vec<ManifestEntry>) -> ManifestDoc {
+        ManifestDoc { entries, policy: None, shards: None }
+    }
+}
+
+fn put_entries(w: &mut ByteWriter, entries: &[ManifestEntry]) {
     w.put_u32(entries.len() as u32);
     for e in entries {
         w.put_u64(e.generation);
         w.put_str(&e.snapshot);
         w.put_str(&e.wal);
+    }
+}
+
+fn take_entries(r: &mut ByteReader<'_>) -> Result<Vec<ManifestEntry>, RelalgError> {
+    let n = r.take_u32()? as usize;
+    if n > r.remaining() {
+        return Err(r.corrupt(format!("entry count {n} exceeds manifest size")));
+    }
+    let mut entries = Vec::with_capacity(n);
+    let mut last_gen = 0u64;
+    for _ in 0..n {
+        let generation = r.take_u64()?;
+        if generation <= last_gen {
+            return Err(r.corrupt("generations not strictly increasing"));
+        }
+        last_gen = generation;
+        let snapshot = r.take_str()?;
+        let wal = r.take_str()?;
+        entries.push(ManifestEntry { generation, snapshot, wal });
+    }
+    Ok(entries)
+}
+
+/// Atomically commits the manifest document — the single commit point
+/// of the store, sharded or not.
+pub(crate) fn write_manifest<M: StorageMedium>(
+    medium: &M,
+    doc: &ManifestDoc,
+) -> Result<(), StorageError> {
+    let tmp = "MANIFEST.tmp";
+    let mut w = ByteWriter::new();
+    w.put_bytes(&MANIFEST_MAGIC);
+    w.put_u8(MANIFEST_VERSION);
+    put_entries(&mut w, &doc.entries);
+    match doc.policy {
+        Some(byte) => {
+            w.put_u8(1);
+            w.put_u8(byte);
+        }
+        None => w.put_u8(0),
+    }
+    match &doc.shards {
+        Some(sm) => {
+            w.put_u8(1);
+            w.put_str(&sm.attr);
+            let blob = encode_relation(&sm.cuts);
+            w.put_u32(blob.len() as u32);
+            w.put_bytes(&blob);
+            w.put_u64(sm.sqn);
+            w.put_u32(sm.seq_sqns.len() as u32);
+            for s in &sm.seq_sqns {
+                w.put_u64(*s);
+            }
+            w.put_u32(sm.lineages.len() as u32);
+            for lineage in &sm.lineages {
+                match lineage.parked_at {
+                    Some(sqn) => {
+                        w.put_u8(1);
+                        w.put_u64(sqn);
+                    }
+                    None => w.put_u8(0),
+                }
+                put_entries(&mut w, &lineage.entries);
+            }
+        }
+        None => w.put_u8(0),
     }
     medium.write_all(tmp, &w.finish_crc())?;
     medium.sync(tmp)?;
@@ -158,11 +386,13 @@ pub(crate) fn write_manifest<M: StorageMedium>(
 }
 
 /// Reads the manifest. Missing is [`StorageError::ManifestMissing`]
-/// (the directory was never committed); any validation failure is
-/// [`StorageError::ManifestCorrupt`].
+/// (the directory was never committed); any validation failure —
+/// including a torn tail, since the whole file is CRC-bound — is
+/// [`StorageError::ManifestCorrupt`]. Version-1 manifests read as a
+/// document with no policy and no shard section.
 pub(crate) fn read_manifest<M: StorageMedium>(
     medium: &M,
-) -> Result<Vec<ManifestEntry>, StorageError> {
+) -> Result<ManifestDoc, StorageError> {
     if !medium.exists(MANIFEST) {
         return Err(StorageError::ManifestMissing);
     }
@@ -171,32 +401,64 @@ pub(crate) fn read_manifest<M: StorageMedium>(
         |detail: String| StorageError::ManifestCorrupt { detail };
     let body = check_crc(&data).map_err(|e| corrupt(e.to_string()))?;
     let mut r = ByteReader::new(body);
-    (|| -> Result<Vec<ManifestEntry>, RelalgError> {
+    (|| -> Result<ManifestDoc, RelalgError> {
         if r.take_bytes(8)? != MANIFEST_MAGIC {
             return Err(r.corrupt("bad manifest magic"));
         }
         let version = r.take_u8()?;
-        if version != MANIFEST_VERSION {
+        if version == 0 || version > MANIFEST_VERSION {
             return Err(r.corrupt(format!("unsupported manifest version {version}")));
         }
-        let n = r.take_u32()? as usize;
-        if n > r.remaining() {
-            return Err(r.corrupt(format!("entry count {n} exceeds manifest size")));
+        let entries = take_entries(&mut r)?;
+        if version == 1 {
+            r.expect_end()?;
+            return Ok(ManifestDoc { entries, policy: None, shards: None });
         }
-        let mut entries = Vec::with_capacity(n);
-        let mut last_gen = 0u64;
-        for _ in 0..n {
-            let generation = r.take_u64()?;
-            if generation <= last_gen {
-                return Err(r.corrupt("generations not strictly increasing"));
+        let policy = match r.take_u8()? {
+            0 => None,
+            1 => Some(r.take_u8()?),
+            flag => return Err(r.corrupt(format!("bad policy flag {flag}"))),
+        };
+        let shards = match r.take_u8()? {
+            0 => None,
+            1 => {
+                let attr = r.take_str()?;
+                let len = r.take_u32()? as usize;
+                let cuts = decode_relation(r.take_bytes(len)?)?;
+                let sqn = r.take_u64()?;
+                let k = r.take_u32()? as usize;
+                if k > r.remaining() {
+                    return Err(r.corrupt(format!("seq-sqn count {k} exceeds manifest size")));
+                }
+                let mut seq_sqns = Vec::with_capacity(k);
+                for _ in 0..k {
+                    seq_sqns.push(r.take_u64()?);
+                }
+                let n = r.take_u32()? as usize;
+                if n > r.remaining() {
+                    return Err(r.corrupt(format!("shard count {n} exceeds manifest size")));
+                }
+                if n == 0 {
+                    return Err(r.corrupt("shard section with zero shards"));
+                }
+                let mut lineages = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let parked_at = match r.take_u8()? {
+                        0 => None,
+                        1 => Some(r.take_u64()?),
+                        flag => {
+                            return Err(r.corrupt(format!("bad park flag {flag}")));
+                        }
+                    };
+                    let entries = take_entries(&mut r)?;
+                    lineages.push(ShardLineage { parked_at, entries });
+                }
+                Some(ShardManifest { attr, cuts, sqn, seq_sqns, lineages })
             }
-            last_gen = generation;
-            let snapshot = r.take_str()?;
-            let wal = r.take_str()?;
-            entries.push(ManifestEntry { generation, snapshot, wal });
-        }
+            flag => return Err(r.corrupt(format!("bad shard flag {flag}"))),
+        };
         r.expect_end()?;
-        Ok(entries)
+        Ok(ManifestDoc { entries, policy, shards })
     })()
     .map_err(|e| corrupt(e.to_string()))
 }
@@ -505,9 +767,10 @@ mod tests {
                 wal: super::super::wal::segment_name(2),
             },
         ];
-        write_manifest(&m, &entries).unwrap();
+        let doc = ManifestDoc::plain(entries);
+        write_manifest(&m, &doc).unwrap();
         assert!(!m.exists("MANIFEST.tmp"));
-        assert_eq!(read_manifest(&m).unwrap(), entries);
+        assert_eq!(read_manifest(&m).unwrap(), doc);
 
         let good = m.read(MANIFEST).unwrap();
         for i in 0..good.len() {
@@ -517,6 +780,75 @@ mod tests {
             let err = read_manifest(&m).unwrap_err();
             assert_eq!(err.code(), "DWC-S302", "byte {i} flipped");
         }
+        // A torn tail (truncated write) is corruption, never a panic.
+        for cut in 0..good.len() {
+            m.write_all(MANIFEST, &good[..cut]).unwrap();
+            let err = read_manifest(&m).unwrap_err();
+            assert_eq!(err.code(), "DWC-S302", "truncated to {cut}");
+        }
+    }
+
+    fn sharded_doc() -> ManifestDoc {
+        let entry = |prefix: &str, g: u64| ManifestEntry {
+            generation: g,
+            snapshot: format!("{prefix}-snap-{g:08}.dwcs"),
+            wal: format!("{prefix}-wal-{g:08}.log"),
+        };
+        ManifestDoc {
+            entries: vec![entry("seq", 1), entry("seq", 2)],
+            policy: Some(1),
+            shards: Some(ShardManifest {
+                attr: "item".to_owned(),
+                cuts: rel! { ["item"] => ("M",) },
+                sqn: 17,
+                seq_sqns: vec![9, 17],
+                lineages: vec![
+                    ShardLineage { parked_at: None, entries: vec![entry("s0", 2)] },
+                    ShardLineage {
+                        parked_at: Some(13),
+                        entries: vec![entry("s1", 1), entry("s1", 2)],
+                    },
+                ],
+            }),
+        }
+    }
+
+    #[test]
+    fn sharded_manifest_roundtrips_and_rejects_corruption() {
+        let m = MemMedium::default();
+        let doc = sharded_doc();
+        write_manifest(&m, &doc).unwrap();
+        assert_eq!(read_manifest(&m).unwrap(), doc);
+
+        let good = m.read(MANIFEST).unwrap();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x11;
+            m.write_all(MANIFEST, &bad).unwrap();
+            let err = read_manifest(&m).unwrap_err();
+            assert_eq!(err.code(), "DWC-S302", "byte {i} flipped");
+        }
+    }
+
+    #[test]
+    fn version_1_manifest_still_reads() {
+        // Hand-encode a version-1 manifest (entries only, no policy or
+        // shard section) and confirm the reader maps it to a plain doc.
+        let m = MemMedium::default();
+        let entries = vec![ManifestEntry {
+            generation: 7,
+            snapshot: snapshot_name(7),
+            wal: super::super::wal::segment_name(7),
+        }];
+        let mut w = ByteWriter::new();
+        w.put_bytes(&MANIFEST_MAGIC);
+        w.put_u8(1);
+        w.put_u32(1);
+        w.put_u64(7);
+        w.put_str(&entries[0].snapshot);
+        w.put_str(&entries[0].wal);
+        m.write_all(MANIFEST, &w.finish_crc()).unwrap();
+        assert_eq!(read_manifest(&m).unwrap(), ManifestDoc::plain(entries));
     }
 
     #[test]
@@ -527,7 +859,45 @@ mod tests {
             snapshot: snapshot_name(g),
             wal: super::super::wal::segment_name(g),
         };
-        write_manifest(&m, &[e(2), e(2)]).unwrap();
+        write_manifest(&m, &ManifestDoc::plain(vec![e(2), e(2)])).unwrap();
         assert_eq!(read_manifest(&m).unwrap_err().code(), "DWC-S302");
+        // Per shard lineage too.
+        let mut doc = sharded_doc();
+        doc.shards.as_mut().unwrap().lineages[1] =
+            ShardLineage { parked_at: None, entries: vec![e(3), e(3)] };
+        write_manifest(&m, &doc).unwrap();
+        assert_eq!(read_manifest(&m).unwrap_err().code(), "DWC-S302");
+    }
+
+    #[test]
+    fn slice_snapshot_roundtrips_and_rejects_corruption() {
+        let m = MemMedium::default();
+        let slice = SliceImage {
+            sqn: 41,
+            rels: vec![
+                ("Sold".to_owned(), rel! { ["item"] => ("PC",) }),
+                ("Empty".to_owned(), Relation::empty(dwc_relalg::AttrSet::from_names(&["x"]))),
+            ],
+        };
+        let name = shard_snapshot_name(1, 4);
+        assert_eq!(name, "s1-snap-00000004.dwcs");
+        write_slice_snapshot(&m, &name, 4, &slice).unwrap();
+        assert!(!m.exists("s1-snap-00000004.dwcs.tmp"));
+        assert_eq!(read_slice_snapshot(&m, &name, 4).unwrap(), slice);
+        assert_eq!(read_slice_snapshot(&m, &name, 5).unwrap_err().code(), "DWC-S201");
+
+        let good = m.read(&name).unwrap();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            m.write_all(&name, &bad).unwrap();
+            let err = read_slice_snapshot(&m, &name, 4).unwrap_err();
+            assert_eq!(err.code(), "DWC-S201", "byte {i} flipped");
+        }
+        for cut in 0..good.len() {
+            m.write_all(&name, &good[..cut]).unwrap();
+            let err = read_slice_snapshot(&m, &name, 4).unwrap_err();
+            assert_eq!(err.code(), "DWC-S201", "truncated to {cut}");
+        }
     }
 }

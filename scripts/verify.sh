@@ -192,6 +192,23 @@ echo "$COST_JSON" | grep -q '"data":{"chosen":' \
   || { echo "FAIL: analyze --cost --json missing data payload" >&2; exit 1; }
 echo "ok: planner differential + cost analyzer green"
 
+# --- 13. sharding: shard-aware crash/fault matrix ----------------------
+# The sharded store partitions the base relations, views, and
+# complements by key range, each shard with its own WAL/snapshot
+# lineage under one root manifest. The suite kills the store at every
+# IO boundary across all lineages (recovery must land on the acked
+# prefix and converge bit-identically to a never-crashed unsharded
+# oracle), crashes it again *during* parallel recovery, injects a
+# transient fault at every boundary, scopes a permanent fault to one
+# shard's files (only that key range may park; the rest keep
+# committing), and covers torn/corrupt root manifests, missing shard
+# lineages, layout migration both ways, and shard-count re-cuts across
+# restarts. Release mode: the matrix recovers the store a few hundred
+# times. Deterministic — the suite bakes its seed in.
+echo "shard matrix: tests/shard_props.rs"
+cargo test -q --release --test shard_props
+echo "ok: shard matrix green"
+
 # Clippy is not part of the offline gate, but when a toolchain ships it,
 # run it too (still offline).
 if cargo clippy --version >/dev/null 2>&1; then
